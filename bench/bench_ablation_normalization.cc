@@ -1,0 +1,51 @@
+// E11 — ablation of the Eq. 13 normalization. The paper observes
+// (Section 4) that although Eq. 14 predicts e.g. ~96% retained mass at
+// N = 240, V = 10 m/s with gh = g = 3, the NORMALIZED analysis lands
+// within 1% of the simulation — normalization redistributes the truncated
+// mass proportionally and recovers almost all of the accuracy. This sweep
+// quantifies that across caps, against the exact spatial model.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/ms_approach.h"
+#include "core/s_approach.h"
+
+using namespace sparsedet;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E11", "Normalization ablation (Eq. 13 vs raw truncation)",
+      "N = 240, V = 10 m/s, k = 5 of M = 20; exact spatial model as ground "
+      "truth");
+
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  p.target_speed = 10.0;
+  const double exact = SApproachExactDetectionProbability(p);
+
+  Table table({"gh=g", "eta_MS (Eq.14)", "raw P", "raw error",
+               "normalized P", "normalized error"});
+  for (int cap = 1; cap <= 6; ++cap) {
+    MsApproachOptions raw;
+    raw.gh = cap;
+    raw.g = cap;
+    raw.normalize = false;
+    MsApproachOptions norm = raw;
+    norm.normalize = true;
+
+    const MsApproachResult r_raw = MsApproachAnalyze(p, raw);
+    const MsApproachResult r_norm = MsApproachAnalyze(p, norm);
+
+    table.BeginRow();
+    table.AddInt(cap);
+    table.AddNumber(r_raw.predicted_accuracy, 4);
+    table.AddNumber(r_raw.detection_probability, 4);
+    table.AddNumber(std::abs(r_raw.detection_probability - exact), 4);
+    table.AddNumber(r_norm.detection_probability, 4);
+    table.AddNumber(std::abs(r_norm.detection_probability - exact), 4);
+  }
+  std::cout << "exact spatial model: P = " << FormatDouble(exact, 4)
+            << "\n\n";
+  bench::Emit(table, argc, argv);
+  return 0;
+}

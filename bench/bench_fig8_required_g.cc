@@ -1,0 +1,43 @@
+// E1 — Figure 8: required values of g and gh (M-S-approach) and G
+// (S-approach) to reach 99% analysis accuracy, as the deployment density
+// grows. Paper parameters: S = 32 km x 32 km, Rs = 1000 m, t = 1 min,
+// M = 20, V = 10 m/s, N = 60 .. 260.
+//
+// Expected shape (paper): G climbs steeply (≈4 at N=60 up to ≈13 at
+// N=260) while gh stays around 2-4 and g at 1-2; G >> gh >= g throughout,
+// which is why the S-approach is computationally infeasible and the
+// M-S-approach is not.
+#include "bench_util.h"
+#include "core/ms_approach.h"
+#include "core/s_approach.h"
+
+using namespace sparsedet;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E1", "Figure 8",
+      "Required caps for 99% analysis accuracy vs. deployment size\n"
+      "(S = 32km x 32km, Rs = 1000m, t = 60s, M = 20, V = 10 m/s)");
+
+  Table table({"N", "g (M-S)", "gh (M-S)", "G (S)", "S cost ~ms^2G",
+               "M-S cost ~ms^2gh+(M-1)ms^2g"});
+  for (int nodes = 60; nodes <= 260; nodes += 20) {
+    SystemParams p = SystemParams::OnrDefaults();
+    p.num_nodes = nodes;
+    p.target_speed = 10.0;
+
+    const MsRequiredCaps caps = MsRequiredCapsFor(p, 0.99);
+    const int g_cap = SApproachRequiredCap(p, 0.99);
+
+    table.BeginRow();
+    table.AddInt(nodes);
+    table.AddInt(caps.g);
+    table.AddInt(caps.gh);
+    table.AddInt(g_cap);
+    table.AddCell(FormatDouble(SApproachCostModel(p.Ms(), g_cap), 0));
+    table.AddCell(
+        FormatDouble(MsApproachCostModel(p.Ms(), caps.gh, caps.g, 20), 0));
+  }
+  bench::Emit(table, argc, argv);
+  return 0;
+}

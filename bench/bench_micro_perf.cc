@@ -1,0 +1,117 @@
+// Micro performance suite (google-benchmark): regression guard for the
+// hot paths — geometry decomposition, stage pmf construction, the full
+// M-S analysis, one Monte-Carlo trial, gating and track fitting. Not a
+// paper experiment; keeps the library honest as it evolves.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/ms_approach.h"
+#include "core/region_pmf.h"
+#include "detect/track_estimate.h"
+#include "detect/track_gate.h"
+#include "geometry/region_decomposition.h"
+#include "prob/pmf.h"
+#include "sim/trial.h"
+
+namespace {
+
+using namespace sparsedet;
+
+SystemParams Onr(int nodes, double speed) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  return p;
+}
+
+void BM_RegionDecomposition(benchmark::State& state) {
+  const double speed = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegionDecomposition(1000.0, speed, 60.0).ms());
+  }
+}
+BENCHMARK(BM_RegionDecomposition)->Arg(10)->Arg(4)->Arg(1);
+
+void BM_CappedRegionPmf(benchmark::State& state) {
+  const RegionDecomposition decomp(1000.0, 10.0, 60.0);
+  const int cap = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CappedRegionReportPmf(
+        240, 32000.0 * 32000.0, decomp.area_h(), 0.9, cap));
+  }
+}
+BENCHMARK(BM_CappedRegionPmf)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_PmfConvolvePower(benchmark::State& state) {
+  const Pmf step({0.4, 0.3, 0.2, 0.1});
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step.ConvolvePower(n).TotalMass());
+  }
+}
+BENCHMARK(BM_PmfConvolvePower)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FullMsAnalysis(benchmark::State& state) {
+  const SystemParams p = Onr(240, state.range(0) == 0 ? 10.0 : 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MsApproachAnalyze(p).detection_probability);
+  }
+}
+BENCHMARK(BM_FullMsAnalysis)->Arg(0)->Arg(1);
+
+void BM_SingleTrial(benchmark::State& state) {
+  TrialConfig config;
+  config.params = Onr(static_cast<int>(state.range(0)), 10.0);
+  const Rng base(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Rng rng = base.Substream(i++);
+    benchmark::DoNotOptimize(RunTrial(config, rng).total_true_reports);
+  }
+}
+BENCHMARK(BM_SingleTrial)->Arg(60)->Arg(240);
+
+std::vector<SimReport> MakeReports(int count) {
+  std::vector<SimReport> reports;
+  Rng rng(7);
+  for (int i = 0; i < count; ++i) {
+    reports.push_back({.period = i % 20,
+                       .node = i,
+                       .node_pos = {rng.Uniform(0.0, 32000.0),
+                                    rng.Uniform(0.0, 32000.0)},
+                       .is_false_alarm = false});
+  }
+  return reports;
+}
+
+void BM_TrackGateChain(benchmark::State& state) {
+  const std::vector<SimReport> reports =
+      MakeReports(static_cast<int>(state.range(0)));
+  const TrackGateParams gate{.speed = 10.0,
+                             .period_length = 60.0,
+                             .sensing_range = 1000.0,
+                             .slack = 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LongestTrackConsistentChain(reports, gate));
+  }
+}
+BENCHMARK(BM_TrackGateChain)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_TrackFit(benchmark::State& state) {
+  std::vector<SimReport> reports;
+  for (int i = 0; i < 20; ++i) {
+    reports.push_back({.period = i,
+                       .node = i,
+                       .node_pos = {600.0 * i, 100.0},
+                       .is_false_alarm = false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FitConstantVelocityTrack(reports, 60.0).Speed());
+  }
+}
+BENCHMARK(BM_TrackFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

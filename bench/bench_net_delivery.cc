@@ -1,0 +1,61 @@
+// E10 — Section 4's communication argument: "the maximum possible physical
+// distance is around 36 km, that is, around 6 hops [Rc = 6 km]; ... this
+// 6-hop end-to-end communication can easily be finished within a single
+// sensing period". The paper uses this to justify ignoring the
+// communication stack entirely. This experiment measures it on concrete
+// deployments: base station at the middle of an edge (max distance
+// sqrt(16^2 + 32^2) ~ 35.8 km), BFS shortest path and greedy geographic
+// forwarding, 6 s per hop.
+#include "bench_util.h"
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "net/delivery.h"
+#include "net/topology.h"
+#include "prob/stats.h"
+#include "sim/deployment.h"
+
+using namespace sparsedet;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E10", "Section 4 (multi-hop delivery inside one sensing period)",
+      "32 km x 32 km field, Rc = 6 km, base mid-edge, 6 s per hop, 30 "
+      "deployments per N");
+
+  Table table({"N", "routing", "delivered", "mean hops", "max hops",
+               "P[latency <= period]"});
+  const Field field = Field::Square(32000.0);
+  const Rng base_rng(4242);
+
+  for (int nodes : {60, 120, 180, 240}) {
+    for (bool greedy : {false, true}) {
+      MeanVarAccumulator delivered;
+      MeanVarAccumulator mean_hops;
+      MeanVarAccumulator within;
+      int max_hops = 0;
+      for (int rep = 0; rep < 30; ++rep) {
+        Rng rng = base_rng.Substream(nodes * 100 + rep);
+        std::vector<Vec2> positions = DeployUniform(field, nodes, rng);
+        positions.push_back({16000.0, 0.0});  // base station
+        const Topology topology(std::move(positions), 6000.0);
+        const DeliveryStats stats =
+            EvaluateDelivery(topology, topology.num_nodes() - 1,
+                             /*per_hop_latency=*/6.0,
+                             /*period_length=*/60.0, greedy);
+        delivered.Add(stats.delivered_fraction);
+        mean_hops.Add(stats.mean_hops);
+        within.Add(stats.within_period_fraction);
+        max_hops = std::max(max_hops, stats.max_hops);
+      }
+      table.BeginRow();
+      table.AddInt(nodes);
+      table.AddCell(greedy ? "greedy GF" : "BFS");
+      table.AddNumber(delivered.Mean(), 3);
+      table.AddNumber(mean_hops.Mean(), 2);
+      table.AddInt(max_hops);
+      table.AddNumber(within.Mean(), 3);
+    }
+  }
+  bench::Emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E5 — Section 3.4.5 claim: the capped S-approach explodes (the paper ran
+// it for days and often killed it) while the M-S-approach finishes in
+// well under a minute.
+//
+// Part 1 (google-benchmark): wall-clock of the M-S-approach (both the
+// paper-literal transition-matrix path and the direct path) and of the
+// S-approach's Algorithm-1 literal enumeration for growing caps G.
+// Part 2: a projection table that extrapolates the literal enumeration to
+// the G that 99% accuracy actually requires (Figure 8), reproducing the
+// "many days vs 1 minute" comparison without actually burning days.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/ms_approach.h"
+#include "core/s_approach.h"
+
+namespace {
+
+using namespace sparsedet;
+
+SystemParams Onr(int nodes, double speed) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  return p;
+}
+
+void BM_MsApproachDirect(benchmark::State& state) {
+  const SystemParams p = Onr(240, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MsApproachAnalyze(p).detection_probability);
+  }
+}
+BENCHMARK(BM_MsApproachDirect)->Arg(10)->Arg(4);
+
+void BM_MsApproachTransitionMatrices(benchmark::State& state) {
+  const SystemParams p = Onr(240, static_cast<double>(state.range(0)));
+  MsApproachOptions opt;
+  opt.use_transition_matrices = true;  // paper-literal Eq. 12
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MsApproachAnalyze(p, opt).detection_probability);
+  }
+}
+BENCHMARK(BM_MsApproachTransitionMatrices)->Arg(10)->Arg(4);
+
+void BM_SApproachConvolution(benchmark::State& state) {
+  const SystemParams p = Onr(240, 10.0);
+  SApproachOptions opt;
+  opt.cap = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SApproachAnalyze(p, opt).detection_probability);
+  }
+}
+BENCHMARK(BM_SApproachConvolution)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_SApproachLiteralEnumeration(benchmark::State& state) {
+  // V = 4 m/s gives ms = 9 — the regime the paper calls infeasible.
+  const SystemParams p = Onr(240, 4.0);
+  SApproachOptions opt;
+  opt.cap = static_cast<int>(state.range(0));
+  opt.literal_enumeration = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SApproachAnalyze(p, opt).detection_probability);
+  }
+}
+BENCHMARK(BM_SApproachLiteralEnumeration)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintProjection() {
+  const SystemParams p = Onr(240, 4.0);  // ms = 9
+  const int required_g = SApproachRequiredCap(p, 0.99);
+  const MsRequiredCaps ms_caps = MsRequiredCapsFor(p, 0.99);
+
+  // Measure the literal enumeration at a feasible cap, then scale by the
+  // paper's ms^(2G) cost model.
+  SApproachOptions probe;
+  probe.cap = 4;
+  probe.literal_enumeration = true;
+  Stopwatch sw;
+  (void)SApproachAnalyze(p, probe);
+  const double probe_seconds = sw.ElapsedSeconds();
+  const double scale = SApproachCostModel(p.Ms(), required_g) /
+                       SApproachCostModel(p.Ms(), probe.cap);
+  const double projected_seconds = probe_seconds * scale;
+
+  sw.Restart();
+  MsApproachOptions ms_opt;
+  ms_opt.gh = ms_caps.gh;
+  ms_opt.g = ms_caps.g;
+  (void)MsApproachAnalyze(p, ms_opt);
+  const double ms_seconds = sw.ElapsedSeconds();
+
+  std::printf(
+      "\n== E5: Section 3.4.5 'many days vs 1 minute' projection ==\n"
+      "scenario: N = 240, V = 4 m/s (ms = %d), 99%% accuracy target\n"
+      "S-approach   : requires G = %d; literal enumeration measured at "
+      "G = 4: %.3f s;\n"
+      "               projected at required G (x ms^(2dG) = %.2e): %.3e s "
+      "(~%.1f days)\n"
+      "M-S-approach : gh = %d, g = %d, measured: %.6f s\n",
+      p.Ms(), required_g, probe_seconds, scale, projected_seconds,
+      projected_seconds / 86400.0, ms_caps.gh, ms_caps.g, ms_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintProjection();
+  return 0;
+}

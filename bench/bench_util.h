@@ -1,0 +1,38 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary prints a header naming the experiment and the paper
+// artifact it regenerates, then one table with the same rows/series the
+// paper plots. Passing a file path as argv[1] additionally writes the table
+// as CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace sparsedet::bench {
+
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& artifact,
+                        const std::string& description) {
+  std::cout << "== " << experiment_id << ": " << artifact << " ==\n"
+            << description << "\n\n";
+}
+
+// Prints the table and optionally writes CSV to argv[1].
+inline void Emit(const Table& table, int argc, char** argv) {
+  table.PrintText(std::cout);
+  if (argc > 1) {
+    const std::string path = argv[1];
+    if (table.WriteCsvFile(path)) {
+      std::cout << "\ncsv written to " << path << "\n";
+    } else {
+      std::cerr << "failed to write csv to " << path << "\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace sparsedet::bench

@@ -1,0 +1,50 @@
+// E14 — the paper's future-work item: "relax the assumption to address the
+// case when the target travels in varying speeds". We simulate a target
+// whose per-period speed is scaled by an independent uniform draw from
+// [1-w, 1+w] around the nominal V and compare against the constant-speed
+// analysis at the same mean V.
+//
+// Expected behaviour: the ARegion's rectangular part depends linearly on
+// the traversed distance, whose mean is unchanged, so mild speed jitter
+// leaves the detection probability close to the constant-speed analysis;
+// large jitter shifts period-overlap structure and opens a modest gap.
+#include "bench_util.h"
+#include "core/ms_approach.h"
+#include "sim/monte_carlo.h"
+
+using namespace sparsedet;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E14", "Section 6 future work (varying target speed)",
+      "Constant-speed analysis vs simulation with per-period speed factor\n"
+      "uniform in [1-w, 1+w] (V = 10 m/s nominal, 10000 trials)");
+
+  Table table({"N", "jitter w", "analysis(const V)", "sim(varying V)",
+               "analysis-sim"});
+  for (int nodes : {120, 240}) {
+    SystemParams p = SystemParams::OnrDefaults();
+    p.num_nodes = nodes;
+    p.target_speed = 10.0;
+    const double analysis = MsApproachAnalyze(p).detection_probability;
+
+    for (double w : {0.0, 0.2, 0.5, 0.8}) {
+      const VaryingSpeedMotion motion(1.0 - w, 1.0 + w);
+      TrialConfig config;
+      config.params = p;
+      config.motion = &motion;
+      MonteCarloOptions mc;
+      mc.trials = 10000;
+      const ProportionEstimate sim = EstimateDetectionProbability(config, mc);
+
+      table.BeginRow();
+      table.AddInt(nodes);
+      table.AddNumber(w, 1);
+      table.AddNumber(analysis, 4);
+      table.AddNumber(sim.point, 4);
+      table.AddNumber(analysis - sim.point, 4);
+    }
+  }
+  bench::Emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Border surveillance with an online detector — the paper's second
+// motivating application (Section 1: sparse cameras along a border,
+// communication through tall antennae).
+//
+// A 40 km x 8 km border strip is covered by sparse sensors. A crosser
+// follows a waypoint route through the strip while every sensor also emits
+// occasional false alarms. The base station runs the track-gated window
+// detector; the example prints the period-by-period picture: reports
+// received, longest feasible chain, and the moment the system declares a
+// detection.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "detect/track_gate.h"
+#include "detect/window_detector.h"
+#include "sim/trial.h"
+
+using namespace sparsedet;
+
+int main() {
+  SystemParams params;
+  params.field_width = 40000.0;
+  params.field_height = 8000.0;
+  params.num_nodes = 90;
+  params.sensing_range = 1000.0;
+  params.comm_range = 6000.0;
+  params.detect_prob = 0.9;
+  params.period_length = 60.0;
+  params.target_speed = 3.0;  // a person / slow vehicle
+  params.window_periods = 30;
+  params.threshold_reports = 4;
+
+  // The crosser enters mid-border and zig-zags toward the far side.
+  const WaypointMotion route({{20000.0, 0.0},
+                              {21500.0, 2500.0},
+                              {20500.0, 5000.0},
+                              {22000.0, 8000.0}});
+
+  TrialConfig config;
+  config.params = params;
+  config.motion = &route;
+  config.geometry = SensingGeometry::kPlanar;  // a real bounded strip
+  config.false_alarm_prob = 2e-3;
+
+  Rng rng(20080617);
+  const TrialResult trial = RunTrial(config, rng);
+
+  WindowDetector::Options options;
+  options.k = params.threshold_reports;
+  options.window = params.window_periods;
+  options.use_track_gate = true;
+  options.gate = TrackGateParams::FromSystem(params);
+  options.gate.slack = 200.0;  // tolerance for localization error
+  WindowDetector detector(options);
+
+  std::printf("border strip %.0f x %.0f m, %d sensors, k = %d of M = %d "
+              "(track-gated)\n\n",
+              params.field_width, params.field_height, params.num_nodes,
+              options.k, options.window);
+  std::printf("%-7s %-6s %-6s %-28s %s\n", "period", "true", "false",
+              "window chain (gated length)", "decision");
+
+  std::size_t next = 0;
+  int detected_at = -1;
+  std::vector<SimReport> window;
+  for (int period = 0; period < params.window_periods; ++period) {
+    std::vector<SimReport> batch;
+    while (next < trial.reports.size() &&
+           trial.reports[next].period == period) {
+      batch.push_back(trial.reports[next]);
+      ++next;
+    }
+    int true_count = 0;
+    int false_count = 0;
+    for (const SimReport& r : batch) {
+      (r.is_false_alarm ? false_count : true_count) += 1;
+      window.push_back(r);
+    }
+    while (!window.empty() &&
+           window.front().period < period - options.window + 1) {
+      window.erase(window.begin());
+    }
+    const int chain = LongestTrackConsistentChain(window, options.gate);
+    const bool hit = detector.ProcessPeriod(period, batch);
+    if (hit && detected_at < 0) detected_at = period;
+    std::printf("%-7d %-6d %-6d %-28d %s\n", period, true_count, false_count,
+                chain, hit ? "DETECTED" : "-");
+  }
+
+  if (detected_at >= 0) {
+    std::printf("\ncrosser declared at period %d (%.0f s after entering "
+                "the strip)\n",
+                detected_at, (detected_at + 1) * params.period_length);
+  } else {
+    std::printf("\ncrosser not detected within the window — rerun with a "
+                "denser deployment\n");
+  }
+  return detected_at >= 0 ? 0 : 1;
+}

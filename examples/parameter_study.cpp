@@ -1,0 +1,78 @@
+// Parameter study: the paper's stated purpose is to let a system designer
+// "understand the impact of various system parameters in an easy way,
+// without running extensive simulations". This example exercises exactly
+// that: one analytical sweep per knob, each finishing in milliseconds.
+#include <cstdio>
+
+#include "core/ms_approach.h"
+#include "core/single_period.h"
+
+using namespace sparsedet;
+
+namespace {
+
+double Detect(SystemParams p) { return MsApproachAnalyze(p).detection_probability; }
+
+void Sweep(const char* title, const char* unit) {
+  std::printf("\n%s (%s)\n", title, unit);
+}
+
+}  // namespace
+
+int main() {
+  SystemParams base = SystemParams::OnrDefaults();
+  base.num_nodes = 140;
+  base.target_speed = 10.0;
+  std::printf("baseline: N=140, Rs=1000m, V=10m/s, t=60s, k=5, M=20 -> "
+              "P = %.4f\n", Detect(base));
+
+  Sweep("1. fleet size N", "sensors");
+  for (int n = 60; n <= 300; n += 40) {
+    SystemParams p = base;
+    p.num_nodes = n;
+    std::printf("   N = %-4d P = %.4f\n", n, Detect(p));
+  }
+
+  Sweep("2. sensing range Rs", "m");
+  for (double rs : {500.0, 750.0, 1000.0, 1500.0, 2000.0}) {
+    SystemParams p = base;
+    p.sensing_range = rs;
+    p.comm_range = 3.0 * rs;  // keep the sparse premise Rc > 2 Rs
+    std::printf("   Rs = %-6.0f P = %.4f\n", rs, Detect(p));
+  }
+
+  Sweep("3. decision threshold k (within M = 20)", "reports");
+  for (int k = 1; k <= 9; k += 2) {
+    SystemParams p = base;
+    p.threshold_reports = k;
+    std::printf("   k = %-3d P = %.4f\n", k, Detect(p));
+  }
+
+  Sweep("4. window length M (k = 5)", "periods");
+  for (int m = 10; m <= 40; m += 5) {
+    SystemParams p = base;
+    p.window_periods = m;
+    if (m <= p.Ms()) continue;
+    std::printf("   M = %-3d P = %.4f\n", m, Detect(p));
+  }
+
+  Sweep("5. sensing period length t", "s");
+  for (double t : {30.0, 60.0, 120.0, 240.0}) {
+    SystemParams p = base;
+    p.period_length = t;
+    if (p.window_periods <= p.Ms()) continue;
+    std::printf("   t = %-5.0f P = %.4f  (ms = %d)\n", t, Detect(p), p.Ms());
+  }
+
+  Sweep("6. single-period sanity (Section 3.1)", "-");
+  SystemParams single = base;
+  single.window_periods = 1;
+  single.threshold_reports = 1;
+  std::printf("   M = 1, k = 1 (instantaneous): P = %.4f — filters no "
+              "false alarms\n",
+              SinglePeriodDetectionProbability(single));
+  std::printf("   M = 20, k = 5 (group based) : P = %.4f — and bounds the "
+              "FA rate\n",
+              Detect(base));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Stealth crossing: what group based detection can and cannot promise.
+//
+// One fixed sparse deployment. Two kinds of crossers:
+//   * uninformed — random straight crossings, the paper's model: detected
+//     with the analytical probability;
+//   * informed — an adversary who knows every sensor position and walks
+//     the maximal breach path (coverage analysis). If the breach distance
+//     exceeds Rs, this crosser is NEVER sensed, regardless of k, M or Pd.
+// The example makes the contrast concrete on the ONR scenario.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/ms_approach.h"
+#include "coverage/coverage.h"
+#include "geometry/field.h"
+#include "geometry/segment.h"
+#include "sim/deployment.h"
+
+using namespace sparsedet;
+
+int main() {
+  SystemParams params = SystemParams::OnrDefaults();
+  params.num_nodes = 240;
+  params.target_speed = 10.0;
+
+  const Field field(params.field_width, params.field_height);
+  Rng rng(8461);
+  const std::vector<Vec2> nodes =
+      DeployUniform(field, params.num_nodes, rng);
+
+  // Uninformed crossers: the paper's analysis applies.
+  const double random_detect =
+      MsApproachAnalyze(params).detection_probability;
+  std::printf("uninformed random crosser: P[detected] = %.4f "
+              "(M-S-approach)\n",
+              random_detect);
+
+  // Informed crosser: walk the maximal breach path.
+  const CoverageStats coverage =
+      EstimateCoverage(field, nodes, params.sensing_range);
+  const BreachResult breach = MaximalBreachPath(field, nodes);
+  std::printf("deployment coverage: %.1f%% of the field within Rs "
+              "(Poisson estimate %.1f%%)\n",
+              coverage.covered_fraction * 100.0,
+              coverage.poisson_estimate * 100.0);
+  std::printf("maximal breach distance: %.0f m (= %.2f x Rs) over a "
+              "%zu-cell path\n",
+              breach.distance, breach.distance / params.sensing_range,
+              breach.path.size());
+
+  // Verify directly: walk the breach path and count sensing events.
+  int sensed_segments = 0;
+  for (std::size_t i = 1; i < breach.path.size(); ++i) {
+    const Segment leg(breach.path[i - 1], breach.path[i]);
+    for (const Vec2& node : nodes) {
+      if (leg.WithinDistance(node, params.sensing_range)) {
+        ++sensed_segments;
+        break;
+      }
+    }
+  }
+  if (breach.distance > params.sensing_range) {
+    std::printf("informed crosser on the breach path: sensed on %d of %zu "
+                "legs -> never detected, no matter how k and M are tuned\n",
+                sensed_segments, breach.path.size() - 1);
+  } else {
+    std::printf("informed crosser cannot avoid sensing (breach <= Rs); "
+                "sensed on %d legs\n",
+                sensed_segments);
+  }
+  std::printf("\nmoral: the paper's guarantees are probabilistic statements "
+              "about uninformed targets;\ndenying informed crossings needs "
+              "breach < Rs, i.e. a barrier-level density.\n");
+  return sensed_segments == 0 ? 0 : 0;
+}

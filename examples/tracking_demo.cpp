@@ -1,0 +1,82 @@
+// Tracking demo: the full base-station pipeline on one scenario —
+// detection reports stream in, the track gate accepts a chain, the system
+// declares a detection and then ESTIMATES the intruder's track, which is
+// what an operator actually wants ("where is it heading, how fast?").
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "detect/track_estimate.h"
+#include "detect/track_gate.h"
+#include "sim/trial.h"
+
+using namespace sparsedet;
+
+int main() {
+  SystemParams params = SystemParams::OnrDefaults();
+  params.num_nodes = 200;
+  params.target_speed = 10.0;
+
+  TrialConfig config;
+  config.params = params;
+  config.geometry = SensingGeometry::kPlanar;  // a real bounded sea area
+
+  // Find a seed whose trial is detected (most are at this density).
+  const Rng base(424242);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Rng rng = base.Substream(attempt);
+    const TrialResult trial = RunTrial(config, rng);
+    // Pick a trial with enough geometry to estimate from: plenty of
+    // reports, several distinct nodes, and a usable time span.
+    if (trial.total_true_reports < 8 || trial.distinct_true_nodes < 4) {
+      continue;
+    }
+    int min_p = 1 << 30;
+    int max_p = -1;
+    for (const SimReport& r : trial.reports) {
+      min_p = std::min(min_p, r.period);
+      max_p = std::max(max_p, r.period);
+    }
+    if (max_p - min_p < 5) continue;
+
+    const TrackGateParams gate = TrackGateParams::FromSystem(params);
+    const int chain = LongestTrackConsistentChain(trial.reports, gate);
+    std::printf("trial %d: %d reports from %d nodes, longest feasible "
+                "chain %d (k = %d) -> DETECTED\n\n",
+                attempt, trial.total_true_reports, trial.distinct_true_nodes,
+                chain, params.threshold_reports);
+
+    std::printf("reports (period, node, position):\n");
+    for (const SimReport& r : trial.reports) {
+      std::printf("  p=%-3d n=%-4d (%8.0f, %8.0f)\n", r.period, r.node,
+                  r.node_pos.x, r.node_pos.y);
+    }
+
+    const TrackEstimate fit =
+        FitConstantVelocityTrack(trial.reports, params.period_length);
+    const Vec2 true_v = (trial.target_path[1] - trial.target_path[0]) /
+                        params.period_length;
+    std::printf("\nestimated track: speed %.2f m/s heading %.1f deg, "
+                "residual %.0f m\n",
+                fit.Speed(),
+                std::atan2(fit.velocity.y, fit.velocity.x) * 180.0 / M_PI,
+                fit.rms_residual);
+    std::printf("true track     : speed %.2f m/s heading %.1f deg\n",
+                true_v.Norm(),
+                std::atan2(true_v.y, true_v.x) * 180.0 / M_PI);
+    // Evaluate at the center of the OBSERVED span; extrapolating beyond
+    // the reports inflates any estimator's error.
+    const int mid_period = (min_p + max_p) / 2;
+    const double mid_t = (mid_period + 0.5) * params.period_length;
+    const Vec2 true_mid = (trial.target_path[mid_period] +
+                           trial.target_path[mid_period + 1]) /
+                          2.0;
+    std::printf("position error at the track's midpoint: %.0f m (sensing "
+                "range is %.0f m)\n",
+                fit.PositionAt(mid_t).DistanceTo(true_mid),
+                params.sensing_range);
+    return 0;
+  }
+  std::printf("no detected trial among the attempted seeds\n");
+  return 1;
+}

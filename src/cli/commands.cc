@@ -1,0 +1,425 @@
+#include "cli/commands.h"
+
+#include <functional>
+#include <memory>
+#include <numbers>
+
+#include "cli/flags.h"
+#include "common/check.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "common/error.h"
+#include "core/analysis.h"
+#include "core/false_alarm_model.h"
+#include "core/latency.h"
+#include "core/ms_approach.h"
+#include "sim/trace_io.h"
+#include "detect/system_fa.h"
+#include "sim/monte_carlo.h"
+
+namespace sparsedet::cli {
+namespace {
+
+std::vector<const char*> ToArgv(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return argv;
+}
+
+// Scenario flags shared by every subcommand.
+SystemParams ParseScenario(FlagParser& flags) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.field_width = flags.GetDouble("field-width", p.field_width,
+                                  "field width in meters");
+  p.field_height = flags.GetDouble("field-height", p.field_height,
+                                   "field height in meters");
+  p.num_nodes = flags.GetInt("nodes", p.num_nodes, "number of sensor nodes");
+  p.sensing_range =
+      flags.GetDouble("rs", p.sensing_range, "sensing range Rs in meters");
+  p.comm_range = flags.GetDouble("rc", p.comm_range,
+                                 "communication range in meters");
+  p.detect_prob =
+      flags.GetDouble("pd", p.detect_prob, "in-range detection probability");
+  p.period_length =
+      flags.GetDouble("period", p.period_length, "sensing period t in s");
+  p.target_speed =
+      flags.GetDouble("speed", p.target_speed, "target speed V in m/s");
+  p.window_periods = flags.GetInt("window", p.window_periods,
+                                  "decision window M in periods");
+  p.threshold_reports =
+      flags.GetInt("k", p.threshold_reports, "reports required within M");
+  return p;
+}
+
+MsApproachOptions ParseMsOptions(FlagParser& flags) {
+  MsApproachOptions opt;
+  opt.gh = flags.GetInt("gh", opt.gh, "Head-stage sensor cap");
+  opt.g = flags.GetInt("g", opt.g, "Body/Tail-stage sensor cap");
+  opt.normalize =
+      flags.GetBool("normalize", opt.normalize, "apply Eq. 13 normalization");
+  opt.node_reliability = flags.GetDouble(
+      "reliability", opt.node_reliability, "node survival probability");
+  return opt;
+}
+
+int Guard(std::ostream& err, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const InvalidArgument& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "internal error: " << e.what() << "\n";
+    return 3;
+  }
+}
+
+}  // namespace
+
+int CmdAnalyze(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    const SystemParams params = ParseScenario(flags);
+    const MsApproachOptions options = ParseMsOptions(flags);
+    const std::string format =
+        flags.GetString("format", "text", "output format: text | json");
+    flags.Finish();
+    SPARSEDET_REQUIRE(format == "text" || format == "json",
+                      "--format must be text or json");
+    const ScenarioReport report = AnalyzeScenario(params, options);
+    if (format == "json") {
+      JsonValue json = JsonValue::Object();
+      json.Set("nodes", params.num_nodes)
+          .Set("speed_mps", params.target_speed)
+          .Set("k", params.threshold_reports)
+          .Set("window_periods", params.window_periods)
+          .Set("ms", report.ms)
+          .Set("detection_probability", report.detection_probability)
+          .Set("exact_detection_probability",
+               report.exact_detection_probability)
+          .Set("unnormalized_detection_probability",
+               report.unnormalized_detection_probability)
+          .Set("predicted_accuracy", report.predicted_accuracy)
+          .Set("single_period_detection", report.single_period_detection)
+          .Set("instantaneous_detection", report.instantaneous_detection)
+          .Set("required_gh_99", report.required_caps_99.gh)
+          .Set("required_g_99", report.required_caps_99.g)
+          .Set("ms_states", report.ms_states)
+          .Set("t_approach_states", report.t_approach_states);
+      out << json.ToString() << "\n";
+    } else {
+      out << report.Summary();
+    }
+    return 0;
+  });
+}
+
+int CmdSimulate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    TrialConfig config;
+    config.params = ParseScenario(flags);
+
+    MonteCarloOptions mc;
+    mc.trials = flags.GetInt("trials", 10000, "Monte-Carlo trials");
+    mc.seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", 20080617, "base RNG seed"));
+    config.false_alarm_prob = flags.GetDouble(
+        "pf", 0.0, "per-node per-period false alarm probability");
+    config.node_reliability =
+        flags.GetDouble("reliability", 1.0, "node survival probability");
+    const std::string motion = flags.GetString(
+        "motion", "straight", "target motion: straight | random-walk");
+    const std::string geometry = flags.GetString(
+        "geometry", "toroidal", "sensing geometry: toroidal | planar");
+    const int h =
+        flags.GetInt("h", 1, "distinct reporting nodes required (>= 1)");
+    const std::string format =
+        flags.GetString("format", "text", "output format: text | json");
+    flags.Finish();
+    SPARSEDET_REQUIRE(format == "text" || format == "json",
+                      "--format must be text or json");
+
+    config.geometry = geometry == "planar" ? SensingGeometry::kPlanar
+                                           : SensingGeometry::kToroidal;
+    SPARSEDET_REQUIRE(geometry == "planar" || geometry == "toroidal",
+                      "--geometry must be toroidal or planar");
+    std::unique_ptr<MotionModel> model;
+    if (motion == "random-walk") {
+      model = std::make_unique<RandomWalkMotion>(std::numbers::pi / 4.0);
+    } else {
+      SPARSEDET_REQUIRE(motion == "straight",
+                        "--motion must be straight or random-walk");
+      model = std::make_unique<StraightLineMotion>();
+    }
+    config.motion = model.get();
+
+    const ProportionEstimate est =
+        h > 1 ? EstimateKNodeDetectionProbability(config, h, mc)
+              : EstimateDetectionProbability(config, mc);
+    if (format == "json") {
+      JsonValue json = JsonValue::Object();
+      json.Set("trials", est.trials)
+          .Set("detections", est.successes)
+          .Set("detection_probability", est.point)
+          .Set("ci_lo", est.lo)
+          .Set("ci_hi", est.hi);
+      out << json.ToString() << "\n";
+    } else {
+      out << "trials            : " << est.trials << "\n"
+          << "detections        : " << est.successes << "\n"
+          << "P[detect]         : " << est.point << "\n"
+          << "95% Wilson CI     : [" << est.lo << ", " << est.hi << "]\n";
+    }
+    return 0;
+  });
+}
+
+int CmdPlan(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    SystemParams params = ParseScenario(flags);
+    const double target = flags.GetDouble(
+        "target-detection", 0.9, "required detection probability");
+    const double pf = flags.GetDouble(
+        "pf", 0.0, "per-node per-period false alarm probability");
+    const double max_fa = flags.GetDouble(
+        "max-fa", 0.01, "max system false alarm probability per window");
+    const int max_nodes =
+        flags.GetInt("max-nodes", 500, "largest fleet to consider");
+    flags.Finish();
+    SPARSEDET_REQUIRE(target > 0.0 && target < 1.0,
+                      "--target-detection must be in (0, 1)");
+
+    // Step 1: threshold k from the FA requirement (count-only bound at the
+    // largest candidate fleet).
+    if (pf > 0.0) {
+      params.num_nodes = max_nodes;
+      params.threshold_reports = MinimumThresholdForFaRate(params, pf, max_fa);
+      out << "k = " << params.threshold_reports
+          << " (bounds count-only P_sysFA <= " << max_fa << " at pf = " << pf
+          << ")\n";
+    } else {
+      out << "k = " << params.threshold_reports << " (no FA requirement)\n";
+    }
+
+    // Step 2: smallest fleet meeting the detection target.
+    for (int nodes = 20; nodes <= max_nodes; nodes += 10) {
+      params.num_nodes = nodes;
+      if (params.threshold_reports > nodes * params.window_periods) continue;
+      const double detect =
+          MsApproachAnalyze(params).detection_probability;
+      if (detect >= target) {
+        out << "N = " << nodes << " sensors reach P[detect] = " << detect
+            << " >= " << target << "\n";
+        return 0;
+      }
+    }
+    out << "no fleet up to " << max_nodes << " nodes reaches " << target
+        << "\n";
+    return 1;
+  });
+}
+
+int CmdFa(const std::vector<std::string>& args, std::ostream& out,
+          std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    SystemParams params = ParseScenario(flags);
+    const double pf = flags.GetDouble(
+        "pf", 1e-3, "per-node per-period false alarm probability");
+    const int trials =
+        flags.GetInt("trials", 10000, "no-target windows to simulate");
+    const int max_k = flags.GetInt("max-k", 8, "largest k to tabulate");
+    flags.Finish();
+
+    out << "expected false reports per window: "
+        << ExpectedFalseReportsPerWindow(params, pf) << "\n";
+    out << "k  count-only  track-gated\n";
+    for (int k = 1; k <= max_k; ++k) {
+      params.threshold_reports = k;
+      SystemFaOptions opt;
+      opt.trials = trials;
+      const SystemFaEstimate est = EstimateSystemFaProbability(params, pf, opt);
+      out << k << "  " << CountOnlySystemFaProbability(params, pf) << "  "
+          << est.gated.point << "\n";
+    }
+    return 0;
+  });
+}
+
+int CmdSweep(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    const SystemParams base = ParseScenario(flags);
+    const MsApproachOptions options = ParseMsOptions(flags);
+    const std::string param = flags.GetString(
+        "param", "nodes",
+        "parameter to sweep: nodes | speed | k | window | rs | pd");
+    const double from = flags.GetDouble("from", 60.0, "sweep start");
+    const double to = flags.GetDouble("to", 240.0, "sweep end (inclusive)");
+    const double step = flags.GetDouble("step", 20.0, "sweep step");
+    const int trials = flags.GetInt(
+        "trials", 0, "Monte-Carlo trials per point (0 = analysis only)");
+    const std::string csv =
+        flags.GetString("csv", "", "optional CSV output path");
+    flags.Finish();
+    SPARSEDET_REQUIRE(step > 0.0, "--step must be positive");
+    SPARSEDET_REQUIRE(to >= from, "--to must be >= --from");
+
+    auto apply = [&](SystemParams& p, double value) {
+      if (param == "nodes") {
+        p.num_nodes = static_cast<int>(value);
+      } else if (param == "speed") {
+        p.target_speed = value;
+      } else if (param == "k") {
+        p.threshold_reports = static_cast<int>(value);
+      } else if (param == "window") {
+        p.window_periods = static_cast<int>(value);
+      } else if (param == "rs") {
+        p.sensing_range = value;
+      } else if (param == "pd") {
+        p.detect_prob = value;
+      } else {
+        SPARSEDET_REQUIRE(false, "unknown --param: " + param);
+      }
+    };
+
+    std::vector<std::string> columns{param, "analysis"};
+    if (trials > 0) columns.push_back("simulation");
+    Table table(columns);
+    for (double value = from; value <= to + 1e-9; value += step) {
+      SystemParams p = base;
+      apply(p, value);
+      table.BeginRow();
+      table.AddNumber(value, param == "pd" ? 3 : 0);
+      table.AddNumber(MsApproachAnalyze(p, options).detection_probability,
+                      4);
+      if (trials > 0) {
+        TrialConfig config;
+        config.params = p;
+        MonteCarloOptions mc;
+        mc.trials = trials;
+        table.AddNumber(EstimateDetectionProbability(config, mc).point, 4);
+      }
+    }
+    table.PrintText(out);
+    if (!csv.empty()) {
+      SPARSEDET_REQUIRE(table.WriteCsvFile(csv),
+                        "cannot write CSV to " + csv);
+      out << "csv written to " << csv << "\n";
+    }
+    return 0;
+  });
+}
+
+int CmdLatency(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    const SystemParams params = ParseScenario(flags);
+    const MsApproachOptions options = ParseMsOptions(flags);
+    flags.Finish();
+    const LatencyDistribution latency = DetectionLatency(params, options);
+    out << "P[detected within L periods]:\n";
+    for (int l = latency.first_valid_prefix; l <= params.window_periods;
+         ++l) {
+      out << "  L = " << l << " : " << latency.CdfAt(l) << "\n";
+    }
+    out << "mean latency | detected : " << latency.MeanConditionalLatency()
+        << " periods\n";
+    out << "conditional 90th pct    : " << latency.ConditionalQuantile(0.9)
+        << " periods\n";
+    return 0;
+  });
+}
+
+int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    TrialConfig config;
+    config.params = ParseScenario(flags);
+    config.false_alarm_prob = flags.GetDouble(
+        "pf", 0.0, "per-node per-period false alarm probability");
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", 1, "trial RNG seed"));
+    const std::string prefix =
+        flags.GetString("prefix", "trial", "output CSV path prefix");
+    flags.Finish();
+
+    Rng rng(seed);
+    const TrialResult trial = RunTrial(config, rng);
+    const TraceFiles files = SaveTrialTrace(trial, prefix);
+    out << "trial: " << trial.total_true_reports << " true reports from "
+        << trial.distinct_true_nodes << " nodes\n"
+        << "wrote " << files.nodes_path << ", " << files.path_path << ", "
+        << files.reports_path << "\n";
+    return 0;
+  });
+}
+
+std::string Usage() {
+  return
+      "sparsedet — group based detection analysis for sparse sensor "
+      "networks\n"
+      "\n"
+      "usage: sparsedet <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  analyze    analytical report for a scenario (M-S-approach & co)\n"
+      "  simulate   Monte-Carlo detection probability\n"
+      "  plan       smallest fleet meeting a detection + FA requirement\n"
+      "  fa         system-level false alarm table vs threshold k\n"
+      "  sweep      detection probability across one parameter\n"
+      "  latency    first-passage (time-to-detection) distribution\n"
+      "  trace      export one simulated trial as CSV\n"
+      "\n"
+      "scenario flags (all commands): --field-width --field-height --nodes\n"
+      "  --rs --rc --pd --period --speed --window --k\n"
+      "analyze: --gh --g --normalize --reliability\n"
+      "simulate: --trials --seed --pf --reliability --motion --geometry "
+      "--h\n"
+      "plan: --target-detection --pf --max-fa --max-nodes\n"
+      "fa: --pf --trials --max-k\n"
+      "sweep: --param --from --to --step [--trials --csv]\n";
+}
+
+int Run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  if (argc < 2) {
+    err << Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (command == "analyze") return CmdAnalyze(args, out, err);
+  if (command == "simulate") return CmdSimulate(args, out, err);
+  if (command == "plan") return CmdPlan(args, out, err);
+  if (command == "fa") return CmdFa(args, out, err);
+  if (command == "sweep") return CmdSweep(args, out, err);
+  if (command == "latency") return CmdLatency(args, out, err);
+  if (command == "trace") return CmdTrace(args, out, err);
+  if (command == "help" || command == "--help") {
+    out << Usage();
+    return 0;
+  }
+  err << "unknown command: " << command << "\n\n" << Usage();
+  return 2;
+}
+
+}  // namespace sparsedet::cli

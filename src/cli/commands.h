@@ -1,0 +1,44 @@
+// The sparsedet CLI subcommands, as testable functions.
+//
+//   sparsedet analyze  [scenario flags]          analytical report
+//   sparsedet simulate [scenario flags] [--trials --motion --geometry ...]
+//   sparsedet plan     [scenario flags] [--target-detection --max-fa ...]
+//   sparsedet fa       [scenario flags] [--pf --trials ...]
+//   sparsedet sweep    [scenario flags] --param <name> --from --to --step
+//   sparsedet latency  [scenario flags]          first-passage table
+//   sparsedet trace    [scenario flags] --prefix <path>  export one trial
+//
+// Each command returns a process exit code and writes to `out` / `err`, so
+// tests can drive them directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sparsedet::cli {
+
+// Dispatches argv (argv[1] is the subcommand). Returns the exit code.
+int Run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+// Individual commands; `args` excludes the program and command names.
+int CmdAnalyze(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+int CmdSimulate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+int CmdPlan(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+int CmdFa(const std::vector<std::string>& args, std::ostream& out,
+          std::ostream& err);
+int CmdSweep(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+int CmdLatency(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+// Full usage text.
+std::string Usage();
+
+}  // namespace sparsedet::cli

@@ -1,0 +1,8 @@
+// Entry point of the `sparsedet` command-line tool.
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return sparsedet::cli::Run(argc, argv, std::cout, std::cerr);
+}

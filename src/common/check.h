@@ -1,0 +1,60 @@
+// Precondition / invariant checking macros.
+//
+// SPARSEDET_REQUIRE(cond, msg)  — public-API precondition; throws
+//                                 InvalidArgument with file:line context.
+// SPARSEDET_CHECK(cond, msg)    — always-on internal invariant; throws
+//                                 InternalError.
+// SPARSEDET_DCHECK(cond, msg)   — debug-only internal invariant; compiles
+//                                 out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace sparsedet::internal {
+
+[[noreturn]] inline void ThrowInvalidArgument(const char* file, int line,
+                                              const char* cond,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed at " << file << ':' << line << ": (" << cond
+     << ") " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void ThrowInternal(const char* file, int line,
+                                       const char* cond,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed at " << file << ':' << line << ": (" << cond << ") "
+     << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace sparsedet::internal
+
+#define SPARSEDET_REQUIRE(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::sparsedet::internal::ThrowInvalidArgument(__FILE__, __LINE__, #cond, \
+                                                  (msg));                    \
+    }                                                                        \
+  } while (false)
+
+#define SPARSEDET_CHECK(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::sparsedet::internal::ThrowInternal(__FILE__, __LINE__, #cond,   \
+                                           (msg));                      \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPARSEDET_DCHECK(cond, msg) \
+  do {                              \
+  } while (false)
+#else
+#define SPARSEDET_DCHECK(cond, msg) SPARSEDET_CHECK(cond, msg)
+#endif

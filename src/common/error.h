@@ -1,0 +1,37 @@
+// Error types used across the sparsedet libraries.
+//
+// Public API functions validate their preconditions and throw
+// `InvalidArgument` (or a more specific subclass) on violation; internal
+// invariants are enforced with the SPARSEDET_DCHECK macros in check.h.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sparsedet {
+
+// Base class for all sparsedet errors, so callers can catch one type.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A caller-supplied argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// A computation left its documented domain (overflow, divergence, ...).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+// An internal invariant failed. Seeing this is always a sparsedet bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sparsedet

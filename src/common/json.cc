@@ -1,0 +1,143 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.value_ = ArrayType{};
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.value_ = ObjectType{};
+  return v;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  SPARSEDET_REQUIRE(is_array(), "Append requires a JSON array");
+  std::get<ArrayType>(value_).push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  SPARSEDET_REQUIRE(is_object(), "Set requires a JSON object");
+  auto& fields = std::get<ObjectType>(value_);
+  for (auto& [existing_key, existing_value] : fields) {
+    if (existing_key == key) {
+      existing_value = std::move(v);
+      return *this;
+    }
+  }
+  fields.emplace_back(key, std::move(v));
+  return *this;
+}
+
+namespace {
+
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char raw : s) {
+    const unsigned char ch = static_cast<unsigned char>(raw);
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << raw;
+        }
+    }
+  }
+  os << '"';
+}
+
+void WriteNumber(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";
+    return;
+  }
+  // Exactly representable integers print as integers.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    os << buf;
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, d);
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == d) {
+      os << candidate;
+      return;
+    }
+  }
+  os << buf;
+}
+
+}  // namespace
+
+void JsonValue::Serialize(std::ostream& os) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    WriteNumber(os, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    WriteEscaped(os, *s);
+  } else if (const ArrayType* arr = std::get_if<ArrayType>(&value_)) {
+    os << '[';
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      if (i != 0) os << ',';
+      (*arr)[i].Serialize(os);
+    }
+    os << ']';
+  } else {
+    const ObjectType& obj = std::get<ObjectType>(value_);
+    os << '{';
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i != 0) os << ',';
+      WriteEscaped(os, obj[i].first);
+      os << ':';
+      obj[i].second.Serialize(os);
+    }
+    os << '}';
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream os;
+  Serialize(os);
+  return os.str();
+}
+
+}  // namespace sparsedet

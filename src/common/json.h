@@ -1,0 +1,52 @@
+// Minimal JSON value tree + serializer, for machine-readable CLI output.
+//
+// Only what the tooling needs: null, bool, finite numbers, strings, arrays
+// and objects (insertion-ordered). No parsing — sparsedet only emits JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sparsedet {
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}                       // null
+  JsonValue(bool b) : value_(b) {}                       // NOLINT(runtime/explicit)
+  JsonValue(double d) : value_(d) {}                     // NOLINT
+  JsonValue(int i) : value_(static_cast<double>(i)) {}   // NOLINT
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}   // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}     // NOLINT
+
+  static JsonValue Array();
+  static JsonValue Object();
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_array() const { return std::holds_alternative<ArrayType>(value_); }
+  bool is_object() const { return std::holds_alternative<ObjectType>(value_); }
+
+  // Array append; requires is_array().
+  JsonValue& Append(JsonValue v);
+  // Object insert-or-overwrite; requires is_object().
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  // Compact single-line serialization. Numbers use shortest round-trip
+  // formatting; non-finite numbers serialize as null (JSON has no NaN).
+  void Serialize(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  using ArrayType = std::vector<JsonValue>;
+  using ObjectType = std::vector<std::pair<std::string, JsonValue>>;
+  std::variant<std::nullptr_t, bool, double, std::string, ArrayType,
+               ObjectType>
+      value_;
+};
+
+}  // namespace sparsedet

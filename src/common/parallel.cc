@@ -1,0 +1,58 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace sparsedet {
+
+std::size_t DefaultThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threads) {
+  if (n == 0) return;
+  std::size_t workers = threads == 0 ? DefaultThreadCount() : threads;
+  workers = std::min(workers, n);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+
+  // Dynamic chunking: workers pull modest chunks so uneven trial costs do
+  // not leave threads idle.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk);
+        if (begin >= n || failed.load(std::memory_order_relaxed)) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            if (!failed.exchange(true)) first_error = std::current_exception();
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,26 @@
+// Minimal data-parallel helper for embarrassingly parallel loops
+// (Monte-Carlo trials, parameter sweeps).
+//
+// ParallelFor partitions [0, n) into contiguous chunks, one per worker
+// thread, and runs `body(i)` for every index. Results must be written to
+// pre-sized storage indexed by `i`; the helper itself performs no
+// synchronization beyond joining the workers. Exceptions thrown by `body`
+// are captured and rethrown (the first one) on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sparsedet {
+
+// Number of workers ParallelFor uses when `threads == 0`:
+// std::thread::hardware_concurrency(), at least 1.
+std::size_t DefaultThreadCount();
+
+// Runs body(i) for all i in [0, n). `threads == 0` picks the default;
+// `threads == 1` runs inline (useful for debugging and determinism tests —
+// though results must not depend on thread count by construction).
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threads = 0);
+
+}  // namespace sparsedet

@@ -1,0 +1,71 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64Next(sm);
+  // xoshiro256++ must not start from the all-zero state; splitmix64 cannot
+  // produce four consecutive zeros, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SPARSEDET_REQUIRE(lo <= hi, "Uniform requires lo <= hi");
+  return lo + (hi - lo) * UniformDouble();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  SPARSEDET_REQUIRE(n > 0, "UniformInt requires n > 0");
+  // Rejection sampling over the largest multiple of n.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+Rng Rng::Substream(std::uint64_t label) const {
+  // Mix the original seed with the label through splitmix64 twice so that
+  // adjacent labels give unrelated seeds.
+  std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ULL * (label + 1));
+  const std::uint64_t derived = SplitMix64Next(sm) ^ SplitMix64Next(sm);
+  return Rng(derived);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,115 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+std::string FormatDouble(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  SPARSEDET_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::BeginRow() {
+  CheckRowComplete();
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+}
+
+void Table::AddCell(std::string value) {
+  SPARSEDET_REQUIRE(!rows_.empty(), "call BeginRow before AddCell");
+  SPARSEDET_REQUIRE(rows_.back().size() < columns_.size(),
+                    "row already has a cell for every column");
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::AddNumber(double value, int precision) {
+  AddCell(FormatDouble(value, precision));
+}
+
+void Table::AddInt(long long value) { AddCell(std::to_string(value)); }
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  SPARSEDET_REQUIRE(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+void Table::CheckRowComplete() const {
+  SPARSEDET_REQUIRE(rows_.empty() || rows_.back().size() == columns_.size(),
+                    "previous row is incomplete");
+}
+
+void Table::PrintText(std::ostream& os) const {
+  CheckRowComplete();
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::WriteCsv(std::ostream& os) const {
+  CheckRowComplete();
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << CsvEscape(cells[c]);
+    }
+    os << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool Table::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteCsv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sparsedet

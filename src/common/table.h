@@ -1,0 +1,50 @@
+// Console / CSV table output used by the bench binaries.
+//
+// Each experiment harness builds a `Table`, adds one row per sweep point,
+// then calls PrintText (aligned columns, for humans) and optionally
+// WriteCsv (for plotting). Cells are stored as preformatted strings; the
+// numeric helpers pick a compact fixed-precision rendering.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sparsedet {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Starts a new row; subsequent Add* calls fill it left to right.
+  // Throws InvalidArgument if the previous row is incomplete.
+  void BeginRow();
+  void AddCell(std::string value);
+  void AddNumber(double value, int precision = 4);
+  void AddInt(long long value);
+
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  // Aligned, human-readable rendering.
+  void PrintText(std::ostream& os) const;
+  // RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  void WriteCsv(std::ostream& os) const;
+  // Writes CSV to `path`, creating/truncating the file. Returns false and
+  // leaves no partial output requirements if the file cannot be opened.
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  void CheckRowComplete() const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace sparsedet

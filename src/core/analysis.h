@@ -1,0 +1,53 @@
+// One-call scenario analysis facade.
+//
+// Bundles everything a system designer wants to know about a scenario —
+// the paper's stated purpose — into a single structure: the M-S-approach
+// detection probability (the headline number), the exact-model reference,
+// the single-period and instantaneous baselines, accuracy diagnostics and
+// the computational footprint of the alternatives.
+#pragma once
+
+#include <string>
+
+#include "core/ms_approach.h"
+#include "core/params.h"
+
+namespace sparsedet {
+
+struct ScenarioReport {
+  SystemParams params;
+  int ms = 0;
+
+  // Headline: P_M[X >= k] by the M-S-approach (Eq. 13 normalized).
+  double detection_probability = 0.0;
+  // Ground truth under the same spatial model (uncapped convolution).
+  double exact_detection_probability = 0.0;
+  // Raw (unnormalized) M-S value and the Eq. 14 accuracy prediction.
+  double unnormalized_detection_probability = 0.0;
+  double predicted_accuracy = 0.0;
+
+  // Baselines.
+  double single_period_detection = 0.0;   // P1[X >= k] (Eq. 2)
+  double instantaneous_detection = 0.0;   // P_M[X >= 1]
+
+  // Caps used and the caps a 99% accuracy target would need.
+  int gh = 0;
+  int g = 0;
+  MsRequiredCaps required_caps_99;
+
+  // Computational footprint (paper Section 3.4.5 cost models).
+  int ms_states = 0;            // M * Z + 1
+  double t_approach_states = 0.0;  // at the same cap
+  double s_approach_cost = 0.0;    // ~ms^2G at the required 99% G
+  double ms_approach_cost = 0.0;
+
+  // Human-readable multi-line summary.
+  std::string Summary() const;
+};
+
+// Runs every analysis on `params`. `options` controls the caps /
+// normalization / reliability of the headline M-S run.
+ScenarioReport AnalyzeScenario(const SystemParams& params,
+                               const MsApproachOptions& options = {});
+
+}  // namespace sparsedet

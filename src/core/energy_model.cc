@@ -1,0 +1,55 @@
+#include "core/energy_model.h"
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+void EnergyModel::Validate() const {
+  SPARSEDET_REQUIRE(battery_joules > 0.0, "battery must be positive");
+  SPARSEDET_REQUIRE(sense_cost_per_period >= 0.0 &&
+                        idle_cost_per_period >= 0.0 &&
+                        tx_cost_per_report_hop >= 0.0 &&
+                        rx_cost_per_report_hop >= 0.0,
+                    "energy costs must be >= 0");
+}
+
+double SteadyStateReportRate(double duty_cycle, double false_alarm_prob) {
+  SPARSEDET_REQUIRE(duty_cycle >= 0.0 && duty_cycle <= 1.0,
+                    "duty cycle must be in [0, 1]");
+  SPARSEDET_REQUIRE(false_alarm_prob >= 0.0 && false_alarm_prob <= 1.0,
+                    "false alarm probability must be in [0, 1]");
+  return duty_cycle * false_alarm_prob;
+}
+
+EnergyReport AnalyzeEnergy(const SystemParams& params,
+                           const EnergyModel& model, double duty_cycle,
+                           double report_rate, double mean_hops) {
+  params.Validate();
+  model.Validate();
+  SPARSEDET_REQUIRE(duty_cycle >= 0.0 && duty_cycle <= 1.0,
+                    "duty cycle must be in [0, 1]");
+  SPARSEDET_REQUIRE(report_rate >= 0.0, "report rate must be >= 0");
+  SPARSEDET_REQUIRE(mean_hops >= 0.0, "mean hops must be >= 0");
+
+  EnergyReport report;
+  const double sensing = duty_cycle * model.sense_cost_per_period +
+                         (1.0 - duty_cycle) * model.idle_cost_per_period;
+  // A report traveling h hops costs h transmissions and h receptions,
+  // distributed over the nodes along its route; with every node
+  // originating `report_rate` reports per period, the expected per-node
+  // comms drain is rate * hops * (tx + rx).
+  const double comms =
+      report_rate * mean_hops *
+      (model.tx_cost_per_report_hop + model.rx_cost_per_report_hop);
+  report.drain_per_period = sensing + comms;
+  if (report.drain_per_period > 0.0) {
+    report.sensing_share = sensing / report.drain_per_period;
+    report.comms_share = comms / report.drain_per_period;
+    report.lifetime_periods = model.battery_joules / report.drain_per_period;
+    report.lifetime_days =
+        report.lifetime_periods * params.period_length / 86400.0;
+  }
+  return report;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,52 @@
+// Node energy budget and network lifetime.
+//
+// The surveillance systems the paper builds on (VigilNet etc.) live or die
+// by energy; duty cycling (E20) buys lifetime at the cost of detection
+// probability. This model closes the loop: expected per-node drain per
+// sensing period from sensing, idling, reporting and relaying, hence the
+// expected node lifetime, hence the detection-vs-lifetime frontier a
+// designer actually chooses on (experiment E24).
+#pragma once
+
+#include "core/params.h"
+
+namespace sparsedet {
+
+struct EnergyModel {
+  double battery_joules = 2.0e5;          // primary cell budget
+  double sense_cost_per_period = 0.5;     // J per AWAKE sensing period
+  double idle_cost_per_period = 0.01;     // J per asleep period
+  double tx_cost_per_report_hop = 0.05;   // J to transmit one report one hop
+  double rx_cost_per_report_hop = 0.02;   // J to receive one report one hop
+
+  // Throws InvalidArgument unless all costs are >= 0 and the battery > 0.
+  void Validate() const;
+};
+
+struct EnergyReport {
+  double drain_per_period = 0.0;    // expected J per node per period
+  double sensing_share = 0.0;       // fraction of drain spent sensing
+  double comms_share = 0.0;         // fraction spent on tx + rx relaying
+  double lifetime_periods = 0.0;    // battery / drain
+  double lifetime_days = 0.0;
+};
+
+// Expected energy accounting for one node under:
+//   duty_cycle d        — awake fraction of periods,
+//   report_rate         — expected reports *originated* per node per period
+//                         (detections while a target is present + false
+//                         alarms; pass the no-target rate d*pf for steady
+//                         state surveillance),
+//   mean_hops           — average route length to the base station; every
+//                         report costs (tx + rx) * hops shared across the
+//                         route, i.e. per-node relay load is
+//                         report_rate * N * hops / N = report_rate * hops.
+EnergyReport AnalyzeEnergy(const SystemParams& params,
+                           const EnergyModel& model, double duty_cycle,
+                           double report_rate, double mean_hops);
+
+// Steady-state surveillance report rate: duty-scaled false alarms only
+// (targets are rare events). pf is the per-awake-period FA probability.
+double SteadyStateReportRate(double duty_cycle, double false_alarm_prob);
+
+}  // namespace sparsedet

@@ -1,0 +1,43 @@
+#include "core/false_alarm_model.h"
+
+#include "common/check.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+int WindowSlots(const SystemParams& params) {
+  params.Validate();
+  return params.num_nodes * params.window_periods;
+}
+
+}  // namespace
+
+Pmf FalseReportDistribution(const SystemParams& params, double pf) {
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  return Pmf(BinomialPmfVector(WindowSlots(params), pf));
+}
+
+double CountOnlySystemFaProbability(const SystemParams& params, double pf) {
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  return BinomialSurvival(WindowSlots(params), params.threshold_reports, pf);
+}
+
+int MinimumThresholdForFaRate(const SystemParams& params, double pf,
+                              double max_fa_prob) {
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  SPARSEDET_REQUIRE(max_fa_prob >= 0.0 && max_fa_prob <= 1.0,
+                    "max_fa_prob must be in [0, 1]");
+  const int slots = WindowSlots(params);
+  for (int k = 1; k <= slots; ++k) {
+    if (BinomialSurvival(slots, k, pf) <= max_fa_prob) return k;
+  }
+  return slots + 1;
+}
+
+double ExpectedFalseReportsPerWindow(const SystemParams& params, double pf) {
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  return static_cast<double>(WindowSlots(params)) * pf;
+}
+
+}  // namespace sparsedet

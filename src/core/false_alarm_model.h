@@ -1,0 +1,39 @@
+// Node-level false alarms and the choice of k (paper Section 2 and the
+// Section-6 future-work item "exact lower bound of k for a specified false
+// alarm model").
+//
+// Model: in every sensing period every node independently emits a false
+// positive with probability pf. Within an M-period window the number of
+// false reports is Binomial(N*M, pf). A *count-only* group detector (the
+// paper's abstraction, with the track-mapping step ignored) raises a
+// system-level false alarm when that count reaches k, so
+//   P_sysFA(k) = P[Binomial(N*M, pf) >= k]
+// is an upper bound for any detector that additionally requires the
+// reports to map to a feasible track — the track gate can only discard
+// report subsets. The minimum k meeting a target system FA probability
+// under the count-only model is therefore a conservative (safe) choice for
+// the gated detector too; `detect/` measures how much slack the gate adds.
+#pragma once
+
+#include "core/params.h"
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+// Distribution of false reports in one M-period window (no target present).
+// Requires 0 <= pf <= 1.
+Pmf FalseReportDistribution(const SystemParams& params, double pf);
+
+// P[system-level false alarm in one window] under the count-only rule.
+double CountOnlySystemFaProbability(const SystemParams& params, double pf);
+
+// Smallest k with CountOnlySystemFaProbability <= max_fa_prob. Returns
+// N*M + 1 if even k = N*M cannot meet the target (only when pf == 1 and
+// max_fa_prob < 1). Requires max_fa_prob in [0, 1].
+int MinimumThresholdForFaRate(const SystemParams& params, double pf,
+                              double max_fa_prob);
+
+// Expected number of node-level false alarms per window, N * M * pf.
+double ExpectedFalseReportsPerWindow(const SystemParams& params, double pf);
+
+}  // namespace sparsedet

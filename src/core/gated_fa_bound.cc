@@ -1,0 +1,77 @@
+#include "core/gated_fa_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double GatePairProbability(const SystemParams& params, int period_gap,
+                           double gate_slack) {
+  params.Validate();
+  SPARSEDET_REQUIRE(period_gap >= 0, "period gap must be >= 0");
+  SPARSEDET_REQUIRE(gate_slack >= 0.0, "gate slack must be >= 0");
+  const double reach = params.target_speed * params.period_length *
+                           (period_gap + 1) +
+                       2.0 * params.sensing_range + gate_slack;
+  return std::min(1.0, std::numbers::pi * reach * reach /
+                           params.FieldArea());
+}
+
+double GatedFaUnionBound(const SystemParams& params, double pf, int k,
+                         double gate_slack) {
+  params.Validate();
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  if (k < 0) k = params.threshold_reports;
+  SPARSEDET_REQUIRE(k >= 1, "k must be >= 1");
+  const int m = params.window_periods;
+  if (pf == 0.0) return 0.0;
+
+  // q(dp) for dp = 0 .. M-1.
+  std::vector<double> q(static_cast<std::size_t>(m));
+  for (int dp = 0; dp < m; ++dp) {
+    q[dp] = GatePairProbability(params, dp, gate_slack);
+  }
+
+  // DP over chain length: f[j][p] = sum over feasible (p_1 <= ... <= p_j=p)
+  // of prod q(gaps). Work in log-safe doubles; values can be large when
+  // the bound exceeds 1 (then it is vacuous but still well-defined).
+  std::vector<double> f(static_cast<std::size_t>(m), 1.0);
+  for (int j = 2; j <= k; ++j) {
+    std::vector<double> next(static_cast<std::size_t>(m), 0.0);
+    for (int p = 0; p < m; ++p) {
+      double acc = 0.0;
+      for (int prev = 0; prev <= p; ++prev) {
+        acc += f[prev] * q[p - prev];
+      }
+      next[p] = acc;
+    }
+    f = std::move(next);
+  }
+  double chains = 0.0;
+  for (double v : f) chains += v;
+
+  // pf^k * N^k, guarded against underflow via logs.
+  const double log_scale =
+      k * (std::log(pf) + std::log(static_cast<double>(params.num_nodes)));
+  return chains * std::exp(log_scale);
+}
+
+int GuaranteedGatedThreshold(const SystemParams& params, double pf,
+                             double max_fa_prob, double gate_slack) {
+  params.Validate();
+  SPARSEDET_REQUIRE(max_fa_prob >= 0.0 && max_fa_prob <= 1.0,
+                    "max_fa_prob must be in [0, 1]");
+  const int max_k = params.num_nodes * params.window_periods;
+  for (int k = 1; k <= max_k; ++k) {
+    if (GatedFaUnionBound(params, pf, k, gate_slack) <= max_fa_prob) {
+      return k;
+    }
+  }
+  return max_k + 1;
+}
+
+}  // namespace sparsedet

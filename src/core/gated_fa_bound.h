@@ -1,0 +1,39 @@
+// Analytical upper bound on the TRACK-GATED system false alarm
+// probability — the paper's Section-6 future-work item: "the exact lower
+// bound of k based on a specified false alarm model [that] can provide
+// statistical guarantee that no possible sequencing of false alarms
+// results in a system level false alarm".
+//
+// Model: no target; every (node, period) slot false-alarms independently
+// with probability pf, node positions i.i.d. uniform. The gated detector
+// fires when some chain of k reports with consecutively gate-feasible
+// pairs exists (reach(dp) = V*t*(dp+1) + 2*Rs + slack). By the union
+// bound,
+//   P[gated FA] <= E[#feasible k-chains]
+//               = pf^k * N^k * sum over non-decreasing period sequences
+//                 p_1 <= ... <= p_k of  prod_i q(p_{i+1} - p_i),
+// with q(dp) = min(1, pi * reach(dp)^2 / S) the probability that two
+// uniform points are within gate reach. The inner sum is a simple DP in
+// O(k * M^2). The bound overcounts (ordered tuples, no exclusivity), so
+// the k it certifies is conservative — exactly what a guarantee needs.
+#pragma once
+
+#include "core/params.h"
+
+namespace sparsedet {
+
+// E[#feasible k-chains]; also a valid probability bound when < 1.
+// Requires 0 <= pf <= 1, slack >= 0; uses params' k when k < 0.
+double GatedFaUnionBound(const SystemParams& params, double pf, int k = -1,
+                         double gate_slack = 0.0);
+
+// Smallest k whose union bound is <= max_fa_prob: the guaranteed-safe
+// threshold. Returns N*M + 1 if none qualifies.
+int GuaranteedGatedThreshold(const SystemParams& params, double pf,
+                             double max_fa_prob, double gate_slack = 0.0);
+
+// The pairwise feasibility probability q(dp) used by the bound.
+double GatePairProbability(const SystemParams& params, int period_gap,
+                           double gate_slack = 0.0);
+
+}  // namespace sparsedet

@@ -1,0 +1,61 @@
+#include "core/knode_model.h"
+
+#include "common/check.h"
+#include "core/region_pmf.h"
+#include "geometry/region_decomposition.h"
+
+namespace sparsedet {
+
+KNodeResult KNodeAnalyze(const SystemParams& params,
+                         const KNodeOptions& options) {
+  params.Validate();
+  SPARSEDET_REQUIRE(options.h >= 1, "h must be >= 1");
+  SPARSEDET_REQUIRE(options.g >= 1 && options.gh >= options.g,
+                    "caps must satisfy gh >= g >= 1");
+  const RegionDecomposition decomp(params.sensing_range, params.target_speed,
+                                   params.period_length);
+  const int ms = decomp.ms();
+  SPARSEDET_REQUIRE(params.window_periods > ms,
+                    "the k-node model requires M > ms");
+
+  const int z = (ms + 1) * options.gh;
+  const int max_m = params.window_periods * z;
+  const int max_n = options.h;
+  const double s = params.FieldArea();
+  const double pd = params.detect_prob;
+  const int n = params.num_nodes;
+
+  // Stage joints on the shared (reports 0..M*Z, nodes 0..h) grid; the node
+  // axis saturates at h inside both the per-stage construction and the
+  // cross-stage convolution — exactly the paper's m:n state space.
+  const JointPmf head = CappedRegionJointPmf(n, s, decomp.area_h(), pd,
+                                             options.gh, max_m, max_n);
+  const JointPmf body = CappedRegionJointPmf(n, s, decomp.area_b(), pd,
+                                             options.g, max_m, max_n);
+
+  JointPmf dist = JointPmf::DeltaZero(max_m, max_n);
+  dist = dist.ConvolveWith(head, /*saturate_m=*/false, /*saturate_n=*/true);
+  for (int period = 2; period <= params.window_periods - ms; ++period) {
+    dist = dist.ConvolveWith(body, /*saturate_m=*/false, /*saturate_n=*/true);
+  }
+  for (int j = 1; j <= ms; ++j) {
+    const JointPmf tail = CappedRegionJointPmf(n, s, decomp.AreaTVector(j), pd,
+                                               options.g, max_m, max_n);
+    dist = dist.ConvolveWith(tail, /*saturate_m=*/false, /*saturate_n=*/true);
+  }
+
+  KNodeResult result{.joint = dist,
+                     .total_mass = dist.TotalMass(),
+                     .detection_probability = 0.0,
+                     .ms = ms,
+                     .num_report_states = max_m + 1};
+  const double tail_prob =
+      dist.JointTail(params.threshold_reports, options.h);
+  result.detection_probability =
+      options.normalize && result.total_mass > 0.0
+          ? tail_prob / result.total_mass
+          : tail_prob;
+  return result;
+}
+
+}  // namespace sparsedet

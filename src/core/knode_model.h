@@ -1,0 +1,36 @@
+// Section-4 extension: the decision rule "at least k detection reports
+// from at least h distinct nodes within M periods".
+//
+// The paper sketches the required change: grow the Markov state from the
+// scalar "reports so far" to pairs m:n where n counts distinct reporting
+// nodes and saturates at h ("n = h means at least h nodes"). We implement
+// exactly that with a joint (reports, nodes) distribution per stage and a
+// joint chain across stages; h = 1 degenerates to the base M-S-approach
+// (verified by tests).
+#pragma once
+
+#include "core/params.h"
+#include "prob/joint_pmf.h"
+
+namespace sparsedet {
+
+struct KNodeOptions {
+  int h = 2;   // distinct-node threshold
+  int gh = 3;  // Head-stage sensor cap
+  int g = 3;   // Body/Tail-stage sensor cap
+  bool normalize = true;  // Eq. 13 applied to the joint mass
+};
+
+struct KNodeResult {
+  JointPmf joint;  // final (reports, min(nodes, h)) distribution, truncated
+  double total_mass = 0.0;
+  double detection_probability = 0.0;  // P[reports >= k and nodes >= h]
+  int ms = 0;
+  int num_report_states = 0;  // M * Z + 1 (the paper's h*M*Z + 1 total)
+};
+
+// Requires params.window_periods > params.Ms(), h >= 1, gh >= g >= 1.
+KNodeResult KNodeAnalyze(const SystemParams& params,
+                         const KNodeOptions& options = {});
+
+}  // namespace sparsedet

@@ -1,0 +1,69 @@
+#include "core/latency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double LatencyDistribution::CdfAt(int periods) const {
+  if (cdf.empty() || periods < first_valid_prefix) return 0.0;
+  const std::size_t index = std::min(
+      static_cast<std::size_t>(periods - first_valid_prefix),
+      cdf.size() - 1);
+  return cdf[index];
+}
+
+double LatencyDistribution::MeanConditionalLatency() const {
+  SPARSEDET_REQUIRE(!cdf.empty() && cdf.back() > 0.0,
+                    "mean latency needs a positive detection probability");
+  // E[L | detected] = sum_L L * P[latency = L] / P[detected].
+  double weighted = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    const double mass = cdf[i] - prev;
+    weighted += static_cast<double>(first_valid_prefix + i) * mass;
+    prev = cdf[i];
+  }
+  return weighted / cdf.back();
+}
+
+int LatencyDistribution::ConditionalQuantile(double q) const {
+  SPARSEDET_REQUIRE(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+  SPARSEDET_REQUIRE(!cdf.empty() && cdf.back() > 0.0,
+                    "quantile needs a positive detection probability");
+  const double target = q * cdf.back();
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    if (cdf[i] >= target - 1e-15) {
+      return first_valid_prefix + static_cast<int>(i);
+    }
+  }
+  return first_valid_prefix + static_cast<int>(cdf.size()) - 1;
+}
+
+LatencyDistribution DetectionLatency(const SystemParams& params,
+                                     const MsApproachOptions& options) {
+  params.Validate();
+  const int ms = params.Ms();
+  SPARSEDET_REQUIRE(params.window_periods > ms,
+                    "latency analysis requires M > ms");
+
+  LatencyDistribution latency;
+  latency.first_valid_prefix = ms + 1;
+  latency.cdf.reserve(
+      static_cast<std::size_t>(params.window_periods - ms));
+  double running_max = 0.0;
+  for (int prefix = ms + 1; prefix <= params.window_periods; ++prefix) {
+    SystemParams truncated = params;
+    truncated.window_periods = prefix;
+    const double p =
+        MsApproachAnalyze(truncated, options).detection_probability;
+    // The cumulative count is monotone in the prefix, so the cdf must be
+    // too; tiny cap-induced wobbles are clamped away.
+    running_max = std::max(running_max, p);
+    latency.cdf.push_back(running_max);
+  }
+  return latency;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,49 @@
+// Detection latency: how long after entering the field is the target
+// recognized?
+//
+// The paper computes P_M[X >= k] for one window length M; related work it
+// cites ([21], Chin et al.) studies detection *latency*. Within the
+// paper's own model the two are the same object viewed differently: the
+// cumulative report count over the first L periods is exactly the
+// L-period-window statistic, so
+//     P[latency <= L] = P_L[X >= k]
+// and the latency distribution falls out of running the M-S-approach for
+// every prefix length L = ms+1 .. M. (Prefixes L <= ms are below the
+// model's domain; their probability is folded into the first valid
+// prefix, which is conservative: the reported latency cdf is a lower
+// bound there and exact beyond.)
+#pragma once
+
+#include <vector>
+
+#include "core/ms_approach.h"
+#include "core/params.h"
+
+namespace sparsedet {
+
+struct LatencyDistribution {
+  // cdf[i] = P[detected within (first_valid_prefix + i) periods];
+  // the last entry equals the full-window detection probability.
+  std::vector<double> cdf;
+  int first_valid_prefix = 0;  // = ms + 1
+
+  // P[detected within L periods]; 0 below the first valid prefix,
+  // clamped to the final value beyond M.
+  double CdfAt(int periods) const;
+
+  // E[latency in periods | detected within M]. Requires a positive
+  // detection probability.
+  double MeanConditionalLatency() const;
+
+  // Smallest L with P[latency <= L] >= q * P[detected within M]
+  // (a quantile of the conditional latency law). Requires q in (0, 1].
+  int ConditionalQuantile(double q) const;
+};
+
+// Computes the latency distribution for the scenario by sweeping the
+// window prefix through the M-S-approach. Requires
+// params.window_periods > params.Ms() (as the base analysis does).
+LatencyDistribution DetectionLatency(const SystemParams& params,
+                                     const MsApproachOptions& options = {});
+
+}  // namespace sparsedet

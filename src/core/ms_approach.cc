@@ -1,0 +1,145 @@
+#include "core/ms_approach.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/region_pmf.h"
+#include "geometry/region_decomposition.h"
+#include "markov/chain.h"
+#include "markov/increment_chain.h"
+
+namespace sparsedet {
+namespace {
+
+RegionDecomposition Decompose(const SystemParams& params) {
+  params.Validate();
+  RegionDecomposition decomp(params.sensing_range, params.target_speed,
+                             params.period_length);
+  SPARSEDET_REQUIRE(params.window_periods > decomp.ms(),
+                    "the M-S-approach requires M > ms");
+  return decomp;
+}
+
+}  // namespace
+
+MsApproachResult MsApproachAnalyze(const SystemParams& params,
+                                   const MsApproachOptions& options) {
+  SPARSEDET_REQUIRE(options.g >= 1 && options.gh >= 1,
+                    "per-stage caps must be >= 1");
+  SPARSEDET_REQUIRE(options.gh >= options.g,
+                    "the Head NEDR is the largest region; gh >= g");
+  SPARSEDET_REQUIRE(
+      options.node_reliability >= 0.0 && options.node_reliability <= 1.0,
+      "node reliability must be in [0, 1]");
+  const RegionDecomposition decomp = Decompose(params);
+  const int ms = decomp.ms();
+  const int m_periods = params.window_periods;
+  const double s = params.FieldArea();
+  const double pd = params.detect_prob;
+  const int n = params.num_nodes;
+
+  MsApproachResult result;
+  result.ms = ms;
+  result.z = (ms + 1) * options.gh;
+  result.num_states = m_periods * result.z + 1;
+
+  // Stage pmfs. Head uses the full DR subareas AreaH(i); Body/Tail use the
+  // crescent NEDR subareas AreaB(i) / AreaT(j, i).
+  const double rel = options.node_reliability;
+  result.head_pmf =
+      CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
+  result.body_pmf =
+      CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
+  result.tail_pmfs.reserve(static_cast<std::size_t>(ms));
+  for (int j = 1; j <= ms; ++j) {
+    result.tail_pmfs.push_back(CappedRegionReportPmf(
+        n, s, decomp.AreaTVector(j), pd, options.g, rel));
+  }
+
+  // Chain the stages: Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
+  // The state space 0 .. M*Z is large enough that no transition can
+  // overflow it (Head adds <= Z, each of the other M-1 stages adds
+  // <= (ms+1)*g <= Z), so saturation never triggers; we still keep the
+  // boundary behavior explicit.
+  const std::size_t num_states = static_cast<std::size_t>(result.num_states);
+  std::vector<double> dist(num_states, 0.0);
+  dist[0] = 1.0;  // u = [1 0 0 ... 0] (Eq. 11)
+
+  if (options.use_transition_matrices) {
+    const MarkovChain head(BuildIncrementTransitionMatrix(
+        result.head_pmf, num_states, /*saturate_top=*/false));
+    const MarkovChain body(BuildIncrementTransitionMatrix(
+        result.body_pmf, num_states, /*saturate_top=*/false));
+    dist = head.Propagate(dist);
+    dist = body.PropagateSteps(dist, m_periods - ms - 1);
+    for (const Pmf& tail : result.tail_pmfs) {
+      const MarkovChain chain(BuildIncrementTransitionMatrix(
+          tail, num_states, /*saturate_top=*/false));
+      dist = chain.Propagate(dist);
+    }
+  } else {
+    dist = PropagateIncrement(dist, result.head_pmf, /*saturate_top=*/false);
+    dist = PropagateIncrementSteps(dist, result.body_pmf,
+                                   m_periods - ms - 1, /*saturate_top=*/false);
+    for (const Pmf& tail : result.tail_pmfs) {
+      dist = PropagateIncrement(dist, tail, /*saturate_top=*/false);
+    }
+  }
+
+  result.report_distribution = Pmf(std::move(dist));
+  result.total_mass = result.report_distribution.TotalMass();
+  result.predicted_accuracy = MsPredictedAccuracy(params, options.gh,
+                                                  options.g);
+
+  const double tail_prob =
+      result.report_distribution.TailSum(params.threshold_reports);
+  result.detection_probability =
+      options.normalize && result.total_mass > 0.0
+          ? tail_prob / result.total_mass  // Eq. 13
+          : tail_prob;
+  return result;
+}
+
+double MsHeadStageAccuracy(const SystemParams& params, int gh) {
+  params.Validate();
+  return RegionCapAccuracy(params.num_nodes, params.FieldArea(),
+                           params.DrArea(), gh);
+}
+
+double MsBodyStageAccuracy(const SystemParams& params, int g) {
+  params.Validate();
+  const double nedr = 2.0 * params.sensing_range * params.StepLength();
+  return RegionCapAccuracy(params.num_nodes, params.FieldArea(), nedr, g);
+}
+
+double MsPredictedAccuracy(const SystemParams& params, int gh, int g) {
+  const double xi_h = MsHeadStageAccuracy(params, gh);
+  const double xi = MsBodyStageAccuracy(params, g);
+  return xi_h * std::pow(xi, params.window_periods - 1);
+}
+
+MsRequiredCaps MsRequiredCapsFor(const SystemParams& params, double eta) {
+  SPARSEDET_REQUIRE(eta > 0.0 && eta < 1.0, "eta must be in (0, 1)");
+  params.Validate();
+  // Per-stage requirement xi >= eta^(1/M) (the paper sets xi_h = xi).
+  const double per_stage =
+      std::pow(eta, 1.0 / static_cast<double>(params.window_periods));
+  MsRequiredCaps caps;
+  caps.gh = RequiredRegionCap(params.num_nodes, params.FieldArea(),
+                              params.DrArea(), per_stage);
+  const double nedr = 2.0 * params.sensing_range * params.StepLength();
+  caps.g = RequiredRegionCap(params.num_nodes, params.FieldArea(), nedr,
+                             per_stage);
+  return caps;
+}
+
+double MsApproachCostModel(int ms, int gh, int g, int window_periods) {
+  SPARSEDET_REQUIRE(ms >= 1 && gh >= 0 && g >= 0 && window_periods >= 1,
+                    "invalid cost-model arguments");
+  const double head = std::pow(static_cast<double>(ms), 2.0 * gh);
+  const double rest = static_cast<double>(window_periods - 1) *
+                      std::pow(static_cast<double>(ms), 2.0 * g);
+  return head + rest;
+}
+
+}  // namespace sparsedet

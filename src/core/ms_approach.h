@@ -1,0 +1,84 @@
+// The Markov chain based Spatial approach (paper Section 3.4) — the
+// paper's primary contribution.
+//
+// Instead of enumerating sensor placements over the whole Aggregate Region
+// at once, the window is processed one Newly Explored Detectable Region at
+// a time:
+//   Head stage — period 1, subareas AreaH(i) (Eq. 6), sensor cap gh;
+//   Body stage — periods 2 .. M-ms, subareas AreaB(i) (Eq. 8), cap g,
+//                one identical Markov step per period;
+//   Tail stage — periods M-ms+1 .. M, subareas AreaT(j, i) (Eq. 10),
+//                cap g, one distinct step per period.
+// Each stage yields the pmf of the reports its NEDR generates; a Markov
+// chain over "total reports so far" (states 0 .. M*Z, Z = (ms+1)*gh,
+// Figures 5-7) chains them:  Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
+// The truncated result is renormalized (Eq. 13); predicted accuracy is
+// eta_MS = xi_h * xi^(M-1) (Eq. 14).
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+struct MsApproachOptions {
+  int gh = 3;  // sensor cap in the Head NEDR
+  int g = 3;   // sensor cap in each Body/Tail NEDR
+  // Apply Eq. 13 (renormalize the truncated distribution). Figure 9(b)
+  // turns this off to show the raw truncation error.
+  bool normalize = true;
+  // Probability that a node is functional for the whole window (failure-
+  // injection extension; 1.0 reproduces the paper's model exactly).
+  double node_reliability = 1.0;
+  // Propagate through explicit transition matrices (paper-literal Eq. 12).
+  // When false, use the equivalent direct increment propagation, which is
+  // what a production caller would want. Tests assert both paths agree to
+  // machine precision.
+  bool use_transition_matrices = false;
+};
+
+struct MsApproachResult {
+  // Result vector of Eq. 12 restated as a pmf over 0 .. M*Z reports;
+  // TotalMass() < 1 because of the per-stage caps.
+  Pmf report_distribution;
+  double total_mass = 0.0;             // "sum" in Eq. 13
+  double detection_probability = 0.0;  // P_M[X >= k], Eq. 13
+  double predicted_accuracy = 0.0;     // eta_MS, Eq. 14
+  int ms = 0;
+  int z = 0;           // Z = (ms + 1) * gh, max reports from the Head DR
+  int num_states = 0;  // M * Z + 1
+
+  // Per-stage report pmfs, exposed for introspection and tests:
+  Pmf head_pmf;               // ph:m
+  Pmf body_pmf;               // pb:m
+  std::vector<Pmf> tail_pmfs;  // pt1:m .. ptms:m
+};
+
+// Analyzes P_M[X >= k] for the given scenario. Requires
+// params.window_periods > params.Ms() (the paper's general case) and
+// gh >= g >= 1.
+MsApproachResult MsApproachAnalyze(const SystemParams& params,
+                                   const MsApproachOptions& options = {});
+
+// Per-stage accuracies (Eqs. 7 and 9).
+double MsHeadStageAccuracy(const SystemParams& params, int gh);   // xi_h
+double MsBodyStageAccuracy(const SystemParams& params, int g);    // xi
+// eta_MS = xi_h * xi^(M-1) (Eq. 14).
+double MsPredictedAccuracy(const SystemParams& params, int gh, int g);
+
+struct MsRequiredCaps {
+  int gh = 0;
+  int g = 0;
+};
+
+// Smallest per-stage caps meeting overall accuracy `eta` following the
+// paper's recipe: each stage must reach xi >= eta^(1/M) (Section 3.4.5).
+MsRequiredCaps MsRequiredCapsFor(const SystemParams& params, double eta);
+
+// The paper's cost model for the M-S-approach:
+// ms^(2*gh) + (M - 1) * ms^(2*g) elementary operations (Section 3.4.5).
+double MsApproachCostModel(int ms, int gh, int g, int window_periods);
+
+}  // namespace sparsedet

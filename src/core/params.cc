@@ -1,0 +1,41 @@
+#include "core/params.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+void SystemParams::Validate() const {
+  SPARSEDET_REQUIRE(field_width > 0.0 && field_height > 0.0,
+                    "field dimensions must be positive");
+  SPARSEDET_REQUIRE(num_nodes >= 1, "at least one sensor node is required");
+  SPARSEDET_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  SPARSEDET_REQUIRE(comm_range > 2.0 * sensing_range,
+                    "sparse deployment requires comm range > 2 * Rs");
+  SPARSEDET_REQUIRE(detect_prob >= 0.0 && detect_prob <= 1.0,
+                    "Pd must be in [0, 1]");
+  SPARSEDET_REQUIRE(period_length > 0.0, "period length must be positive");
+  SPARSEDET_REQUIRE(target_speed > 0.0, "target speed must be positive");
+  SPARSEDET_REQUIRE(window_periods >= 1, "M must be >= 1");
+  SPARSEDET_REQUIRE(threshold_reports >= 1, "k must be >= 1");
+  SPARSEDET_REQUIRE(threshold_reports <= num_nodes * window_periods,
+                    "k exceeds the maximum possible number of reports");
+}
+
+int SystemParams::Ms() const {
+  return static_cast<int>(std::ceil(2.0 * sensing_range / StepLength()));
+}
+
+double SystemParams::DrArea() const {
+  return 2.0 * sensing_range * StepLength() +
+         std::numbers::pi * sensing_range * sensing_range;
+}
+
+double SystemParams::ARegionArea() const {
+  return 2.0 * window_periods * sensing_range * StepLength() +
+         std::numbers::pi * sensing_range * sensing_range;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,45 @@
+// System parameters of the surveillance scenario (paper Section 2 + the ONR
+// evaluation defaults of Section 4).
+#pragma once
+
+namespace sparsedet {
+
+// All lengths in meters, times in seconds, speeds in m/s.
+struct SystemParams {
+  double field_width = 32000.0;   // sensor field width  (S = W * H)
+  double field_height = 32000.0;  // sensor field height
+  int num_nodes = 60;             // N, uniformly randomly deployed
+  double sensing_range = 1000.0;  // Rs
+  double comm_range = 6000.0;     // communication range (net substrate only)
+  double detect_prob = 0.9;       // Pd: P[report | target inside range]
+  double period_length = 60.0;    // t: sensing period length
+  double target_speed = 10.0;     // V: constant target speed
+  int window_periods = 20;        // M: decision window, in sensing periods
+  int threshold_reports = 5;      // k: reports needed within the window
+
+  // The parameter set suggested by the Office of Naval Research that the
+  // paper uses for all validation experiments.
+  static SystemParams OnrDefaults() { return SystemParams{}; }
+
+  // Throws InvalidArgument if any parameter is out of its documented domain
+  // (positive lengths/times, 0 <= Pd <= 1, N >= 1, 1 <= k, M >= 1, and the
+  // sparse-deployment premise comm_range > 2 * sensing_range).
+  void Validate() const;
+
+  double FieldArea() const { return field_width * field_height; }
+
+  // V * t: distance the target travels per sensing period.
+  double StepLength() const { return target_speed * period_length; }
+
+  // ms = ceil(2 * Rs / (V * t)): the number of periods the target needs to
+  // traverse one sensing diameter; a sensor covers the target for at most
+  // ms + 1 consecutive periods.
+  int Ms() const;
+
+  // |DR| of one period: 2*Rs*V*t + pi*Rs^2.
+  double DrArea() const;
+  // |ARegion| of the whole window: 2*M*Rs*V*t + pi*Rs^2.
+  double ARegionArea() const;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,235 @@
+#include "core/region_pmf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+double CheckAreas(const std::vector<double>& areas, double field_area,
+                  double pd) {
+  SPARSEDET_REQUIRE(!areas.empty(), "region needs at least one subarea");
+  SPARSEDET_REQUIRE(pd >= 0.0 && pd <= 1.0, "Pd must be in [0, 1]");
+  double total = 0.0;
+  for (double a : areas) {
+    SPARSEDET_REQUIRE(a >= 0.0, "subarea sizes must be non-negative");
+    total += a;
+  }
+  SPARSEDET_REQUIRE(total > 0.0, "region must have positive total area");
+  SPARSEDET_REQUIRE(total <= field_area * (1.0 + 1e-9),
+                    "region cannot exceed the field");
+  return total;
+}
+
+}  // namespace
+
+Pmf ConditionalSensorReportPmf(const std::vector<double>& areas, double pd) {
+  const double total = CheckAreas(areas, 1e300, pd);
+  const int max_periods = static_cast<int>(areas.size());
+  std::vector<double> mass(static_cast<std::size_t>(max_periods) + 1, 0.0);
+  for (int periods = 1; periods <= max_periods; ++periods) {
+    const double weight = areas[periods - 1] / total;
+    if (weight == 0.0) continue;
+    for (int m = 0; m <= periods; ++m) {
+      mass[m] += weight * BinomialPmf(periods, m, pd);
+    }
+  }
+  return Pmf(std::move(mass));
+}
+
+Pmf ExactRegionReportPmf(int num_nodes, double field_area,
+                         const std::vector<double>& areas, double pd,
+                         double node_reliability) {
+  SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
+  SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
+  SPARSEDET_REQUIRE(node_reliability >= 0.0 && node_reliability <= 1.0,
+                    "node reliability must be in [0, 1]");
+  const double total = CheckAreas(areas, field_area, pd);
+
+  // Per-sensor unconditional pmf: outside the region with probability
+  // 1 - total/S (zero reports), otherwise in subarea i with probability
+  // areas[i]/S generating Binomial(i+1, pd) reports.
+  const int max_periods = static_cast<int>(areas.size());
+  std::vector<double> per(static_cast<std::size_t>(max_periods) + 1, 0.0);
+  per[0] = 1.0 - total / field_area;
+  for (int periods = 1; periods <= max_periods; ++periods) {
+    const double weight = areas[periods - 1] / field_area;
+    if (weight == 0.0) continue;
+    for (int m = 0; m <= periods; ++m) {
+      per[m] += weight * BinomialPmf(periods, m, pd);
+    }
+  }
+  return Pmf(per).ThinnedBy(node_reliability).ConvolvePower(num_nodes);
+}
+
+Pmf CappedRegionReportPmf(int num_nodes, double field_area,
+                          const std::vector<double>& areas, double pd,
+                          int cap, double node_reliability) {
+  SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
+  SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
+  SPARSEDET_REQUIRE(cap >= 0, "cap must be >= 0");
+  SPARSEDET_REQUIRE(node_reliability >= 0.0 && node_reliability <= 1.0,
+                    "node reliability must be in [0, 1]");
+  const double total = CheckAreas(areas, field_area, pd);
+  const double p_in = total / field_area;
+  const int max_periods = static_cast<int>(areas.size());
+  const int effective_cap = std::min(cap, num_nodes);
+
+  const Pmf conditional =
+      ConditionalSensorReportPmf(areas, pd).ThinnedBy(node_reliability);
+  std::vector<double> out(
+      static_cast<std::size_t>(effective_cap) * max_periods + 1, 0.0);
+  Pmf n_fold = Pmf::Delta(0);  // conditional^0
+  for (int n = 0; n <= effective_cap; ++n) {
+    const double p_n = BinomialPmf(num_nodes, n, p_in);
+    for (std::size_t m = 0; m < n_fold.size(); ++m) {
+      out[m] += p_n * n_fold[m];
+    }
+    if (n < effective_cap) n_fold = n_fold.ConvolveWith(conditional);
+  }
+  return Pmf(std::move(out));
+}
+
+namespace {
+
+// Recursive ordered-tuple enumeration from the paper's Algorithm 1:
+// choose the subarea R_d of the d-th sensor, then its report count, and
+// accumulate p_loc * prod_d p(N_d, R_d) into out[sum N_d].
+void EnumerateLiteral(const std::vector<double>& area_over_s,
+                      const std::vector<std::vector<double>>& report_pmfs,
+                      int depth, int reports_so_far, double weight,
+                      std::vector<double>& out) {
+  if (depth == 0) {
+    out[reports_so_far] += weight;
+    return;
+  }
+  for (std::size_t region = 0; region < area_over_s.size(); ++region) {
+    const double w_region = weight * area_over_s[region];
+    if (w_region == 0.0) continue;
+    const std::vector<double>& pmf = report_pmfs[region];
+    for (std::size_t m = 0; m < pmf.size(); ++m) {
+      if (pmf[m] == 0.0) continue;
+      EnumerateLiteral(area_over_s, report_pmfs, depth - 1,
+                       reports_so_far + static_cast<int>(m),
+                       w_region * pmf[m], out);
+    }
+  }
+}
+
+}  // namespace
+
+Pmf CappedRegionReportPmfLiteral(int num_nodes, double field_area,
+                                 const std::vector<double>& areas, double pd,
+                                 int cap) {
+  SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
+  SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
+  SPARSEDET_REQUIRE(cap >= 0, "cap must be >= 0");
+  const double total = CheckAreas(areas, field_area, pd);
+  const double p_in = total / field_area;
+  const int max_periods = static_cast<int>(areas.size());
+  const int effective_cap = std::min(cap, num_nodes);
+
+  // Region weights Region(i)/S and per-region report pmfs p(m, i) (Eq. 3).
+  std::vector<double> area_over_s(areas.size());
+  std::vector<std::vector<double>> report_pmfs(areas.size());
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    area_over_s[i] = areas[i] / field_area;
+    report_pmfs[i] = BinomialPmfVector(static_cast<int>(i) + 1, pd);
+  }
+
+  std::vector<double> out(
+      static_cast<std::size_t>(effective_cap) * max_periods + 1, 0.0);
+  for (int n = 0; n <= effective_cap; ++n) {
+    // pS{(n)(R1..Rn)} = C(N, n) (1 - A/S)^(N-n) prod Region(R_i)/S; the
+    // leading factor is shared by every tuple of this depth. Note
+    // C(N, n) (1 - A/S)^(N-n) (A/S)^n = BinomialPmf(N, n, A/S) and the
+    // enumeration below multiplies in exactly (A/S)^n via the region
+    // weights, so scale by BinomialPmf / (A/S)^n for stability.
+    double scale = BinomialPmf(num_nodes, n, p_in);
+    for (int d = 0; d < n; ++d) scale /= p_in;
+    std::vector<double> partial(out.size(), 0.0);
+    EnumerateLiteral(area_over_s, report_pmfs, n, 0, 1.0, partial);
+    for (std::size_t m = 0; m < out.size(); ++m) {
+      out[m] += scale * partial[m];
+    }
+  }
+  return Pmf(std::move(out));
+}
+
+double RegionCapAccuracy(int num_nodes, double field_area, double region_area,
+                         int cap) {
+  SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
+  SPARSEDET_REQUIRE(field_area > 0.0 && region_area > 0.0 &&
+                        region_area <= field_area * (1.0 + 1e-9),
+                    "region area must be in (0, field area]");
+  return BinomialCdf(num_nodes, cap, region_area / field_area);
+}
+
+int RequiredRegionCap(int num_nodes, double field_area, double region_area,
+                      double accuracy) {
+  SPARSEDET_REQUIRE(accuracy > 0.0 && accuracy <= 1.0,
+                    "accuracy must be in (0, 1]");
+  for (int cap = 0; cap < num_nodes; ++cap) {
+    if (RegionCapAccuracy(num_nodes, field_area, region_area, cap) >=
+        accuracy) {
+      return cap;
+    }
+  }
+  return num_nodes;
+}
+
+JointPmf ConditionalSensorJointPmf(const std::vector<double>& areas, double pd,
+                                   int max_m, int max_n) {
+  const double total = CheckAreas(areas, 1e300, pd);
+  SPARSEDET_REQUIRE(max_m >= static_cast<int>(areas.size()),
+                    "max_m too small to hold one sensor's reports");
+  SPARSEDET_REQUIRE(max_n >= 1, "max_n must be >= 1");
+  JointPmf joint(max_m, max_n);
+  for (int periods = 1; periods <= static_cast<int>(areas.size()); ++periods) {
+    const double weight = areas[periods - 1] / total;
+    if (weight == 0.0) continue;
+    for (int m = 0; m <= periods; ++m) {
+      joint.At(m, m >= 1 ? 1 : 0) += weight * BinomialPmf(periods, m, pd);
+    }
+  }
+  return joint;
+}
+
+JointPmf CappedRegionJointPmf(int num_nodes, double field_area,
+                              const std::vector<double>& areas, double pd,
+                              int cap, int max_m, int max_n) {
+  SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
+  SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
+  SPARSEDET_REQUIRE(cap >= 0, "cap must be >= 0");
+  const double total = CheckAreas(areas, field_area, pd);
+  const double p_in = total / field_area;
+  const int effective_cap = std::min(cap, num_nodes);
+  SPARSEDET_REQUIRE(
+      max_m >= effective_cap * static_cast<int>(areas.size()),
+      "max_m too small to hold the capped region's reports exactly");
+
+  const JointPmf conditional =
+      ConditionalSensorJointPmf(areas, pd, max_m, max_n);
+  JointPmf out(max_m, max_n);
+  JointPmf n_fold = JointPmf::DeltaZero(max_m, max_n);
+  for (int n = 0; n <= effective_cap; ++n) {
+    const double p_n = BinomialPmf(num_nodes, n, p_in);
+    for (int m = 0; m <= max_m; ++m) {
+      for (int nn = 0; nn <= max_n; ++nn) {
+        out.At(m, nn) += p_n * n_fold.At(m, nn);
+      }
+    }
+    if (n < effective_cap) {
+      // Node axis saturates (">= h nodes"); the report axis is sized to be
+      // exact, so saturation there never triggers.
+      n_fold = n_fold.ConvolveWith(conditional, /*saturate_m=*/true,
+                                   /*saturate_n=*/true);
+    }
+  }
+  return out;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,74 @@
+#include "core/s_approach.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/region_pmf.h"
+#include "geometry/region_decomposition.h"
+
+namespace sparsedet {
+namespace {
+
+std::vector<double> SRegions(const SystemParams& params) {
+  params.Validate();
+  const RegionDecomposition decomp(params.sensing_range, params.target_speed,
+                                   params.period_length);
+  SPARSEDET_REQUIRE(params.window_periods > decomp.ms(),
+                    "the S-approach requires M > ms");
+  return decomp.SApproachRegions(params.window_periods);
+}
+
+}  // namespace
+
+SApproachResult SApproachAnalyze(const SystemParams& params,
+                                 const SApproachOptions& options) {
+  SPARSEDET_REQUIRE(options.cap >= 0, "cap must be >= 0");
+  const std::vector<double> regions = SRegions(params);
+
+  SApproachResult result;
+  result.ms = params.Ms();
+  result.report_distribution =
+      options.literal_enumeration
+          ? CappedRegionReportPmfLiteral(params.num_nodes, params.FieldArea(),
+                                         regions, params.detect_prob,
+                                         options.cap)
+          : CappedRegionReportPmf(params.num_nodes, params.FieldArea(),
+                                  regions, params.detect_prob, options.cap,
+                                  options.node_reliability);
+  result.total_mass = result.report_distribution.TotalMass();
+  result.predicted_accuracy = RegionCapAccuracy(
+      params.num_nodes, params.FieldArea(), params.ARegionArea(), options.cap);
+
+  const double tail =
+      result.report_distribution.TailSum(params.threshold_reports);
+  result.detection_probability =
+      options.normalize && result.total_mass > 0.0 ? tail / result.total_mass
+                                                   : tail;
+  return result;
+}
+
+Pmf SApproachExactDistribution(const SystemParams& params,
+                               double node_reliability) {
+  const std::vector<double> regions = SRegions(params);
+  return ExactRegionReportPmf(params.num_nodes, params.FieldArea(), regions,
+                              params.detect_prob, node_reliability);
+}
+
+double SApproachExactDetectionProbability(const SystemParams& params, int k,
+                                          double node_reliability) {
+  if (k < 0) k = params.threshold_reports;
+  return SApproachExactDistribution(params, node_reliability).TailSum(k);
+}
+
+int SApproachRequiredCap(const SystemParams& params, double accuracy) {
+  params.Validate();
+  return RequiredRegionCap(params.num_nodes, params.FieldArea(),
+                           params.ARegionArea(), accuracy);
+}
+
+double SApproachCostModel(int ms, int cap) {
+  SPARSEDET_REQUIRE(ms >= 1 && cap >= 0, "ms must be >= 1 and cap >= 0");
+  return std::pow(static_cast<double>(ms), 2.0 * cap);
+}
+
+}  // namespace sparsedet

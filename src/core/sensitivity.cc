@@ -1,0 +1,138 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+double Probability(const SystemParams& params,
+                   const MsApproachOptions& options) {
+  return MsApproachAnalyze(params, options).detection_probability;
+}
+
+ParameterSensitivity Continuous(
+    const std::string& name, double value, double rel_step,
+    const std::function<double(double)>& probability_at, double base_p) {
+  const double lo = value * (1.0 - rel_step);
+  const double hi = value * (1.0 + rel_step);
+  const double p_lo = probability_at(lo);
+  const double p_hi = probability_at(hi);
+  ParameterSensitivity s;
+  s.parameter = name;
+  s.value = value;
+  s.derivative = (p_hi - p_lo) / (hi - lo);
+  s.elasticity = base_p > 0.0 ? s.derivative * value / base_p : 0.0;
+  return s;
+}
+
+ParameterSensitivity Integer(
+    const std::string& name, int value,
+    const std::function<double(int)>& probability_at, double base_p) {
+  const double p_lo = probability_at(value - 1);
+  const double p_hi = probability_at(value + 1);
+  ParameterSensitivity s;
+  s.parameter = name;
+  s.value = value;
+  s.derivative = (p_hi - p_lo) / 2.0;
+  s.elasticity = base_p > 0.0 ? s.derivative * value / base_p : 0.0;
+  return s;
+}
+
+}  // namespace
+
+const ParameterSensitivity& SensitivityReport::For(
+    const std::string& parameter) const {
+  for (const ParameterSensitivity& entry : entries) {
+    if (entry.parameter == parameter) return entry;
+  }
+  SPARSEDET_REQUIRE(false, "no sensitivity entry for: " + parameter);
+  // Unreachable; REQUIRE throws.
+  throw InternalError("unreachable");
+}
+
+SensitivityReport AnalyzeSensitivity(const SystemParams& params,
+                                     const MsApproachOptions& options,
+                                     double rel_step) {
+  params.Validate();
+  SPARSEDET_REQUIRE(rel_step > 0.0 && rel_step < 0.5,
+                    "relative step must be in (0, 0.5)");
+  SPARSEDET_REQUIRE(params.window_periods > params.Ms() + 1,
+                    "sensitivity probes require M > ms + 1");
+
+  SensitivityReport report;
+  report.detection_probability = Probability(params, options);
+  const double base_p = report.detection_probability;
+
+  report.entries.push_back(Integer(
+      "nodes", params.num_nodes,
+      [&](int n) {
+        SystemParams p = params;
+        p.num_nodes = std::max(1, n);
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Continuous(
+      "sensing_range", params.sensing_range, rel_step,
+      [&](double rs) {
+        SystemParams p = params;
+        p.sensing_range = rs;
+        // Keep the sparse premise intact while probing.
+        p.comm_range = std::max(p.comm_range, 2.5 * rs);
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Continuous(
+      "pd", params.detect_prob, rel_step,
+      [&](double pd) {
+        SystemParams p = params;
+        p.detect_prob = std::min(pd, 1.0);
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Continuous(
+      "speed", params.target_speed, rel_step,
+      [&](double v) {
+        SystemParams p = params;
+        p.target_speed = v;
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Continuous(
+      "period_length", params.period_length, rel_step,
+      [&](double t) {
+        SystemParams p = params;
+        p.period_length = t;
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Integer(
+      "window", params.window_periods,
+      [&](int m) {
+        SystemParams p = params;
+        p.window_periods = m;
+        return Probability(p, options);
+      },
+      base_p));
+
+  report.entries.push_back(Integer(
+      "threshold", params.threshold_reports,
+      [&](int k) {
+        SystemParams p = params;
+        p.threshold_reports = std::max(1, k);
+        return Probability(p, options);
+      },
+      base_p));
+
+  return report;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,46 @@
+// Parameter sensitivity of the detection probability.
+//
+// The paper's stated purpose is to let designers "understand the impact of
+// various system parameters". This module makes that quantitative: for
+// each tunable parameter it reports the local elasticity
+//     (dP / P) / (dx / x)   (percent detection change per percent
+//                            parameter change)
+// via central finite differences on the M-S-approach. Elasticities rank
+// which knob buys the most detection probability — e.g. whether a budget
+// is better spent on more nodes or on longer-range sensors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ms_approach.h"
+#include "core/params.h"
+
+namespace sparsedet {
+
+struct ParameterSensitivity {
+  std::string parameter;  // "nodes", "sensing_range", "pd", "speed", ...
+  double value = 0.0;     // the parameter's current value
+  double derivative = 0.0;  // dP/dx (finite difference)
+  double elasticity = 0.0;  // (dP/P) / (dx/x)
+};
+
+struct SensitivityReport {
+  double detection_probability = 0.0;  // at the base point
+  std::vector<ParameterSensitivity> entries;
+
+  // Entry lookup by name; throws InvalidArgument if absent.
+  const ParameterSensitivity& For(const std::string& parameter) const;
+};
+
+// Computes sensitivities for: nodes, sensing_range, pd, speed,
+// period_length, window (M) and threshold (k). Continuous parameters use a
+// relative step `rel_step`; integer parameters (nodes, window, threshold)
+// use +/- 1 around the base value. Requires a valid scenario with
+// window_periods > ms + 1 (so the M +/- 1 probe stays in the model's
+// domain).
+SensitivityReport AnalyzeSensitivity(const SystemParams& params,
+                                     const MsApproachOptions& options = {},
+                                     double rel_step = 0.05);
+
+}  // namespace sparsedet

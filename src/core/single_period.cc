@@ -1,0 +1,27 @@
+#include "core/single_period.h"
+
+#include "common/check.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+
+double SinglePeriodPIndi(const SystemParams& params) {
+  params.Validate();
+  return params.detect_prob * params.DrArea() / params.FieldArea();
+}
+
+double SinglePeriodReportPmf(const SystemParams& params, int k) {
+  SPARSEDET_REQUIRE(k >= 0, "report count must be >= 0");
+  return BinomialPmf(params.num_nodes, k, SinglePeriodPIndi(params));
+}
+
+double SinglePeriodDetectionProbability(const SystemParams& params, int k) {
+  if (k < 0) k = params.threshold_reports;
+  return BinomialSurvival(params.num_nodes, k, SinglePeriodPIndi(params));
+}
+
+Pmf SinglePeriodReportDistribution(const SystemParams& params) {
+  return Pmf(BinomialPmfVector(params.num_nodes, SinglePeriodPIndi(params)));
+}
+
+}  // namespace sparsedet

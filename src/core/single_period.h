@@ -1,0 +1,26 @@
+// The M = 1 preliminary model of Section 3.1 (Eqs. 1-2), following [9]
+// (Wettergren): with a single sensing period, the number of detection
+// reports is Binomial(N, p_indi) with
+//   p_indi = Pd * (2*Rs*V*t + pi*Rs^2) / S.
+#pragma once
+
+#include "core/params.h"
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+// p_indi: probability that one uniformly sampled sensor detects the target
+// in one sensing period.
+double SinglePeriodPIndi(const SystemParams& params);
+
+// Eq. 1: P1[X = k].
+double SinglePeriodReportPmf(const SystemParams& params, int k);
+
+// Eq. 2: P1[X >= k]. Uses params.threshold_reports when k < 0.
+double SinglePeriodDetectionProbability(const SystemParams& params,
+                                        int k = -1);
+
+// The full Binomial(N, p_indi) report distribution.
+Pmf SinglePeriodReportDistribution(const SystemParams& params);
+
+}  // namespace sparsedet

@@ -1,0 +1,32 @@
+#include "core/t_approach.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double TApproachStateCountRaw(int ms, int window_periods, int cap) {
+  SPARSEDET_REQUIRE(ms >= 1, "ms must be >= 1");
+  SPARSEDET_REQUIRE(window_periods >= 1, "M must be >= 1");
+  SPARSEDET_REQUIRE(cap >= 1, "cap must be >= 1");
+  const double z = static_cast<double>((ms + 1) * cap);
+  const double report_states = static_cast<double>(window_periods) * z + 1.0;
+  const double memory = std::pow(static_cast<double>(cap + 1), ms);
+  return report_states * memory;
+}
+
+double TApproachStateCount(const SystemParams& params, int cap) {
+  params.Validate();
+  return TApproachStateCountRaw(params.Ms(), params.window_periods, cap);
+}
+
+double MsApproachStateCount(const SystemParams& params, int gh) {
+  params.Validate();
+  SPARSEDET_REQUIRE(gh >= 1, "gh must be >= 1");
+  return static_cast<double>(params.window_periods) *
+             static_cast<double>((params.Ms() + 1) * gh) +
+         1.0;
+}
+
+}  // namespace sparsedet

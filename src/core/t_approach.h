@@ -1,0 +1,28 @@
+// The Temporal approach (paper Section 3.2) — the rejected baseline.
+//
+// The T-approach walks the window period by period and needs the Markov
+// state to remember, for each of the last ms periods, how many sensors sit
+// in the still-overlapping part of that period's DR (otherwise the
+// conditional detection probability of the next period is wrong). With a
+// per-region sensor cap of c, that memory alone multiplies the state space
+// by (c+1)^ms on top of the (M*Z + 1) report-count states. The paper
+// reports "millions or more states"; this module provides the state-count
+// model that reproduces that argument quantitatively (E6).
+#pragma once
+
+#include "core/params.h"
+
+namespace sparsedet {
+
+// Number of Markov states the T-approach needs: (M*Z + 1) * (cap+1)^ms,
+// with Z = (ms + 1) * cap. Returned as a double because it exceeds 2^63
+// exactly in the regimes the paper calls infeasible. Requires cap >= 1.
+double TApproachStateCount(const SystemParams& params, int cap);
+
+// Same, from raw ms / M / cap (for sweeps without a full parameter set).
+double TApproachStateCountRaw(int ms, int window_periods, int cap);
+
+// For comparison: the M-S-approach state count, M*Z + 1.
+double MsApproachStateCount(const SystemParams& params, int gh);
+
+}  // namespace sparsedet

@@ -1,0 +1,59 @@
+// Coverage and exposure analysis of a sparse deployment.
+//
+// The paper's premise is that sparse fields have "void sensing areas";
+// this module quantifies them with the two classic metrics:
+//   * covered fraction — how much of the field lies within Rs of a sensor
+//     (compare with the Poisson-process estimate 1 - exp(-N*pi*Rs^2 / S));
+//   * maximal breach distance — over all left-to-right crossing paths, the
+//     largest achievable minimum distance to any sensor (Meguerdichian et
+//     al.'s "maximal breach path"). If it exceeds Rs, an adversary that
+//     KNOWS the deployment can cross without ever being sensed — which is
+//     why the paper's detection guarantees are inherently probabilistic
+//     statements about uninformed targets.
+//
+// Both are computed on a regular grid: coverage by point sampling, breach
+// by a bottleneck (maximize-the-minimum) Dijkstra over grid cells weighted
+// with their distance to the nearest sensor.
+#pragma once
+
+#include <vector>
+
+#include "geometry/field.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+struct CoverageStats {
+  double covered_fraction = 0.0;   // grid fraction within Rs of a sensor
+  double poisson_estimate = 0.0;   // 1 - exp(-N pi Rs^2 / S)
+  int grid_cells = 0;              // resolution used (per axis)
+};
+
+// Requires sensing_range > 0 and grid_cells >= 2.
+CoverageStats EstimateCoverage(const Field& field,
+                               const std::vector<Vec2>& nodes,
+                               double sensing_range, int grid_cells = 200);
+
+// Maximal breach distance for a west-to-east crossing: the maximum over
+// paths (entering anywhere on the left edge, leaving anywhere on the
+// right) of the minimum distance to any sensor along the path. An empty
+// deployment yields +infinity (no sensor constrains the path). Requires
+// grid_cells >= 2.
+double MaximalBreachDistance(const Field& field,
+                             const std::vector<Vec2>& nodes,
+                             int grid_cells = 200);
+
+struct BreachResult {
+  double distance = 0.0;   // the bottleneck (min distance along the path)
+  std::vector<Vec2> path;  // grid-cell centers, west edge to east edge
+};
+
+// Same as MaximalBreachDistance but also returns one optimal path — what
+// an informed adversary would actually walk. Empty deployment yields an
+// infinite distance and a straight west-east path. Requires
+// grid_cells >= 2.
+BreachResult MaximalBreachPath(const Field& field,
+                               const std::vector<Vec2>& nodes,
+                               int grid_cells = 200);
+
+}  // namespace sparsedet

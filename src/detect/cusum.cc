@@ -1,0 +1,54 @@
+#include "detect/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+void CheckRates(double p0, double p1) {
+  SPARSEDET_REQUIRE(p0 > 0.0 && p1 < 1.0 && p0 < p1,
+                    "CUSUM rates require 0 < p0 < p1 < 1");
+}
+
+}  // namespace
+
+double CusumLlrIncrement(int count, int num_nodes, double p0, double p1) {
+  CheckRates(p0, p1);
+  SPARSEDET_REQUIRE(num_nodes >= 1, "need at least one node");
+  SPARSEDET_REQUIRE(count >= 0 && count <= num_nodes,
+                    "count must be in [0, N]");
+  return count * std::log(p1 / p0) +
+         (num_nodes - count) * std::log((1.0 - p1) / (1.0 - p0));
+}
+
+CusumDetector::CusumDetector(const Options& options) : options_(options) {
+  CheckRates(options.p0, options.p1);
+  SPARSEDET_REQUIRE(options.num_nodes >= 1, "need at least one node");
+  SPARSEDET_REQUIRE(options.threshold > 0.0, "threshold must be positive");
+}
+
+void CusumDetector::Reset() {
+  statistic_ = 0.0;
+  triggered_ = false;
+}
+
+bool CusumDetector::ProcessCount(int reports) {
+  statistic_ = std::max(
+      0.0, statistic_ + CusumLlrIncrement(reports, options_.num_nodes,
+                                          options_.p0, options_.p1));
+  const bool hit = statistic_ >= options_.threshold;
+  triggered_ = triggered_ || hit;
+  return hit;
+}
+
+double CusumH1Rate(const SystemParams& params, double pf) {
+  params.Validate();
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  return std::min(1.0, pf + params.detect_prob * params.DrArea() /
+                               params.FieldArea());
+}
+
+}  // namespace sparsedet

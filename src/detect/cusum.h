@@ -1,0 +1,54 @@
+// CUSUM (cumulative sum) change detector over per-period report counts —
+// a classical detection-theory baseline for the paper's k-of-M rule.
+//
+// Under H0 (no target) each of the N nodes reports with probability
+// p0 = pf per period; under H1 (target present) with p1 > p0 (false alarm
+// plus coverage). The per-period log-likelihood ratio of observing c
+// reports is
+//   llr(c) = c * ln(p1/p0) + (N - c) * ln((1-p1)/(1-p0)),
+// and the CUSUM statistic S_t = max(0, S_{t-1} + llr(c_t)) alarms when it
+// reaches a threshold h. Sweeping h traces an ROC that experiment E27
+// compares against sweeping k in the paper's rule: does count-thresholding
+// leave detection probability on the table relative to the likelihood
+//-based optimum-style detector?
+#pragma once
+
+#include "core/params.h"
+
+namespace sparsedet {
+
+// llr(c) as above. Requires 0 < p0 < p1 < 1, n >= 1, 0 <= count <= n.
+double CusumLlrIncrement(int count, int num_nodes, double p0, double p1);
+
+class CusumDetector {
+ public:
+  struct Options {
+    int num_nodes = 0;
+    double p0 = 1e-3;       // per-node per-period report rate under H0
+    double p1 = 5e-3;       // under H1
+    double threshold = 5.0; // alarm level h (in nats)
+  };
+
+  // Requires num_nodes >= 1, 0 < p0 < p1 < 1, threshold > 0.
+  explicit CusumDetector(const Options& options);
+
+  // Feeds one period's report count; returns true while the statistic is
+  // at or above the threshold.
+  bool ProcessCount(int reports);
+
+  double statistic() const { return statistic_; }
+  bool triggered() const { return triggered_; }
+  void Reset();
+
+ private:
+  Options options_;
+  double statistic_ = 0.0;
+  bool triggered_ = false;
+};
+
+// The H1 per-node report probability for a scenario: pf + Pd * |DR| / S
+// (coverage of a random node by the target's per-period Detectable
+// Region). Used to configure the detector from first principles.
+double CusumH1Rate(const SystemParams& params, double pf);
+
+}  // namespace sparsedet

@@ -1,0 +1,27 @@
+#include "detect/instantaneous.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/s_approach.h"
+
+namespace sparsedet {
+
+bool InstantaneousDetect(const TrialResult& trial) {
+  return !trial.reports.empty();
+}
+
+double InstantaneousDetectionProbability(const SystemParams& params) {
+  return SApproachExactDetectionProbability(params, /*k=*/1);
+}
+
+double InstantaneousSystemFaProbability(const SystemParams& params,
+                                        double pf) {
+  params.Validate();
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  const double slots =
+      static_cast<double>(params.num_nodes) * params.window_periods;
+  return 1.0 - std::pow(1.0 - pf, slots);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,28 @@
+// Instantaneous detection — the baseline group based detection replaces.
+//
+// With M = 1 and k = 1 a single report triggers the system, so every
+// node-level false alarm becomes a system-level false alarm (paper
+// Section 3.1: "group based detection becomes instantaneous detection,
+// which is unable to filter any false alarms").
+#pragma once
+
+#include "core/params.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+// True iff any report (true or false) occurs in the trial.
+bool InstantaneousDetect(const TrialResult& trial);
+
+// Analytical probability that a target is detected instantaneously in at
+// least one of the M periods it spends in the field (no false alarms):
+// complement of "no report in any period". Under the paper's spatial
+// model this is 1 - P[0 reports over the window].
+double InstantaneousDetectionProbability(const SystemParams& params);
+
+// Analytical system-level false alarm probability per window under
+// instantaneous detection with node-level rate pf:
+// 1 - (1 - pf)^(N * M).
+double InstantaneousSystemFaProbability(const SystemParams& params, double pf);
+
+}  // namespace sparsedet

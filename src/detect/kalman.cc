@@ -1,0 +1,116 @@
+#include "detect/kalman.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+KalmanTracker::KalmanTracker(const Options& options) : options_(options) {
+  SPARSEDET_REQUIRE(options.measurement_std > 0.0,
+                    "measurement std must be positive");
+  SPARSEDET_REQUIRE(options.process_noise >= 0.0,
+                    "process noise must be >= 0");
+}
+
+void KalmanTracker::Initialize(Vec2 position, Vec2 velocity,
+                               double position_std, double velocity_std) {
+  SPARSEDET_REQUIRE(position_std > 0.0 && velocity_std > 0.0,
+                    "prior standard deviations must be positive");
+  x_ = {position.x, velocity.x, position_std * position_std, 0.0,
+        velocity_std * velocity_std};
+  y_ = {position.y, velocity.y, position_std * position_std, 0.0,
+        velocity_std * velocity_std};
+  initialized_ = true;
+}
+
+void KalmanTracker::StepAxis(AxisState& axis, double dt, double measurement) {
+  // Predict: x' = F x with F = [[1, dt], [0, 1]]; P' = F P F^T + Q with
+  // the white-noise-acceleration Q.
+  const double q = options_.process_noise;
+  const double pos_pred = axis.pos + dt * axis.vel;
+  const double p00 = axis.p00 + 2.0 * dt * axis.p01 + dt * dt * axis.p11 +
+                     q * dt * dt * dt / 3.0;
+  const double p01 = axis.p01 + dt * axis.p11 + q * dt * dt / 2.0;
+  const double p11 = axis.p11 + q * dt;
+
+  // Update with measurement z of the position: H = [1 0].
+  const double r = options_.measurement_std * options_.measurement_std;
+  const double s = p00 + r;
+  const double k_pos = p00 / s;
+  const double k_vel = p01 / s;
+  const double innovation = measurement - pos_pred;
+
+  axis.pos = pos_pred + k_pos * innovation;
+  axis.vel = axis.vel + k_vel * innovation;
+  axis.p00 = (1.0 - k_pos) * p00;
+  axis.p01 = (1.0 - k_pos) * p01;
+  axis.p11 = p11 - k_vel * p01;
+}
+
+void KalmanTracker::PredictAndUpdate(double dt, Vec2 measurement) {
+  SPARSEDET_REQUIRE(initialized_, "Initialize the tracker first");
+  SPARSEDET_REQUIRE(dt > 0.0, "time step must be positive");
+  StepAxis(x_, dt, measurement.x);
+  StepAxis(y_, dt, measurement.y);
+}
+
+Vec2 KalmanTracker::position() const {
+  SPARSEDET_REQUIRE(initialized_, "tracker not initialized");
+  return {x_.pos, y_.pos};
+}
+
+Vec2 KalmanTracker::velocity() const {
+  SPARSEDET_REQUIRE(initialized_, "tracker not initialized");
+  return {x_.vel, y_.vel};
+}
+
+double KalmanTracker::position_std() const {
+  SPARSEDET_REQUIRE(initialized_, "tracker not initialized");
+  return std::sqrt(std::max(0.0, x_.p00));
+}
+
+double KalmanTracker::velocity_std() const {
+  SPARSEDET_REQUIRE(initialized_, "tracker not initialized");
+  return std::sqrt(std::max(0.0, x_.p11));
+}
+
+KalmanTrackResult RunKalmanTracker(const std::vector<SimReport>& reports,
+                                   double period_length,
+                                   const KalmanTracker::Options& options) {
+  SPARSEDET_REQUIRE(period_length > 0.0, "period length must be positive");
+  SPARSEDET_REQUIRE(reports.size() >= 2, "tracking needs >= 2 reports");
+
+  std::vector<SimReport> sorted = reports;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SimReport& a, const SimReport& b) {
+                     return a.period < b.period;
+                   });
+  SPARSEDET_REQUIRE(sorted.back().period > sorted.front().period,
+                    "tracking needs reports from >= 2 periods");
+
+  KalmanTracker tracker(options);
+  // Wide prior: position at the first report with Rs-scale uncertainty,
+  // zero velocity with a generous bound (targets are tens of m/s).
+  tracker.Initialize(sorted.front().node_pos, {0.0, 0.0},
+                     2.0 * options.measurement_std, 50.0);
+  double time = (sorted.front().period + 0.5) * period_length;
+  int updates = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const double t = (sorted[i].period + 0.5) * period_length;
+    // Same-period reports fuse with a tiny positive dt (simultaneous
+    // measurements a moment apart).
+    const double dt = std::max(t - time, 1e-3);
+    tracker.PredictAndUpdate(dt, sorted[i].node_pos);
+    time = std::max(time, t);
+    ++updates;
+  }
+  return {.position = tracker.position(),
+          .velocity = tracker.velocity(),
+          .position_std = tracker.position_std(),
+          .last_time = time,
+          .updates = updates};
+}
+
+}  // namespace sparsedet

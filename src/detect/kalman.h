@@ -1,0 +1,81 @@
+// Constant-velocity Kalman tracker over detection reports.
+//
+// The least-squares fit (track_estimate.h) is a batch estimator; a
+// deployed base station tracks ONLINE, updating position/velocity and
+// their uncertainty as each report arrives. The x and y axes decouple
+// under a constant-velocity model with isotropic noise, so the filter is
+// implemented as two independent 2-state (position, velocity) Kalman
+// filters. Measurement noise: a reporting node is roughly uniform within
+// Rs of the target, so each coordinate has variance Rs^2 / 4.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+class KalmanTracker {
+ public:
+  struct Options {
+    double measurement_std = 500.0;  // per-axis, ~ Rs / 2
+    // Continuous white-noise acceleration intensity (m^2/s^3); small for
+    // the paper's constant-velocity targets, larger to track maneuvers.
+    double process_noise = 1e-3;
+  };
+
+  // Requires measurement_std > 0 and process_noise >= 0.
+  explicit KalmanTracker(const Options& options);
+
+  // Starts the filter at `position` with velocity prior `velocity` and the
+  // given standard deviations (> 0).
+  void Initialize(Vec2 position, Vec2 velocity, double position_std,
+                  double velocity_std);
+  bool initialized() const { return initialized_; }
+
+  // Advances the state dt seconds (> 0 required), then fuses a position
+  // measurement. Requires Initialize first.
+  void PredictAndUpdate(double dt, Vec2 measurement);
+
+  Vec2 position() const;
+  Vec2 velocity() const;
+  // Per-axis posterior standard deviations (same for x and y by symmetry).
+  double position_std() const;
+  double velocity_std() const;
+
+ private:
+  struct AxisState {
+    double pos = 0.0;
+    double vel = 0.0;
+    // Covariance [[p00, p01], [p01, p11]].
+    double p00 = 0.0;
+    double p01 = 0.0;
+    double p11 = 0.0;
+  };
+
+  void StepAxis(AxisState& axis, double dt, double measurement);
+
+  Options options_;
+  bool initialized_ = false;
+  AxisState x_;
+  AxisState y_;
+};
+
+struct KalmanTrackResult {
+  Vec2 position;       // at the last report's timestamp
+  Vec2 velocity;
+  double position_std = 0.0;
+  double last_time = 0.0;  // seconds, mid-period of the last report
+  int updates = 0;
+};
+
+// Convenience batch runner: initializes from the first report (zero
+// velocity prior, wide covariance) and filters the rest at mid-period
+// timestamps. Requires >= 2 reports spanning >= 2 periods and
+// period_length > 0.
+KalmanTrackResult RunKalmanTracker(const std::vector<SimReport>& reports,
+                                   double period_length,
+                                   const KalmanTracker::Options& options);
+
+}  // namespace sparsedet

@@ -1,0 +1,93 @@
+#include "detect/system_fa.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "detect/track_gate.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+SystemFaEstimate EstimateSystemFaProbability(const SystemParams& params,
+                                             double pf,
+                                             const SystemFaOptions& options) {
+  params.Validate();
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  SPARSEDET_REQUIRE(options.trials >= 1, "need at least one trial");
+
+  TrialConfig config;
+  config.params = params;
+  config.false_alarm_prob = pf;
+  const TrackGateParams gate = TrackGateParams::FromSystem(params);
+  const int k = params.threshold_reports;
+
+  const Rng base(options.seed);
+  std::atomic<std::int64_t> count_only{0};
+  std::atomic<std::int64_t> gated{0};
+  ParallelFor(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t i) {
+        Rng rng = base.Substream(i);
+        const TrialResult trial = RunNoTargetTrial(config, rng);
+        if (static_cast<int>(trial.reports.size()) >= k) {
+          count_only.fetch_add(1, std::memory_order_relaxed);
+          if (LongestTrackConsistentChain(trial.reports, gate) >= k) {
+            gated.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      options.threads);
+
+  return {.count_only =
+              WilsonInterval(count_only.load(), options.trials, options.z),
+          .gated = WilsonInterval(gated.load(), options.trials, options.z)};
+}
+
+int MinimumGatedThreshold(const SystemParams& params, double pf,
+                          double max_fa_prob, const SystemFaOptions& options) {
+  params.Validate();
+  SPARSEDET_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf must be in [0, 1]");
+  SPARSEDET_REQUIRE(max_fa_prob >= 0.0 && max_fa_prob <= 1.0,
+                    "max_fa_prob must be in [0, 1]");
+  SPARSEDET_REQUIRE(options.trials >= 1, "need at least one trial");
+
+  TrialConfig config;
+  config.params = params;
+  config.false_alarm_prob = pf;
+  const TrackGateParams gate = TrackGateParams::FromSystem(params);
+  const int max_k = params.num_nodes * params.window_periods;
+
+  // One shared window set: per trial, record the longest feasible chain;
+  // P[FA at threshold k] is then the fraction of trials with chain >= k.
+  std::vector<int> chain_lengths(static_cast<std::size_t>(options.trials), 0);
+  const Rng base(options.seed);
+  ParallelFor(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t i) {
+        Rng rng = base.Substream(i);
+        const TrialResult trial = RunNoTargetTrial(config, rng);
+        chain_lengths[i] = LongestTrackConsistentChain(trial.reports, gate);
+      },
+      options.threads);
+
+  // Histogram -> survival counts.
+  std::vector<std::int64_t> at_least(static_cast<std::size_t>(max_k) + 2, 0);
+  for (int len : chain_lengths) {
+    const int capped = std::min(len, max_k);
+    ++at_least[capped];
+  }
+  for (int k = max_k; k >= 1; --k) at_least[k] += at_least[k + 1];
+
+  for (int k = 1; k <= max_k; ++k) {
+    const double p = static_cast<double>(at_least[k]) /
+                     static_cast<double>(options.trials);
+    if (p <= max_fa_prob) return k;
+  }
+  return max_k + 1;
+}
+
+}  // namespace sparsedet

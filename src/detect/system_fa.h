@@ -1,0 +1,39 @@
+// System-level false alarm rates of the group based detector, measured by
+// Monte-Carlo on no-target windows (experiment E9 and the paper's
+// future-work item: the minimum k that bounds the system FA rate).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.h"
+#include "prob/stats.h"
+
+namespace sparsedet {
+
+struct SystemFaOptions {
+  int trials = 10000;
+  std::uint64_t seed = 97;
+  std::size_t threads = 0;
+  double z = 1.96;
+};
+
+struct SystemFaEstimate {
+  ProportionEstimate count_only;  // k reports anywhere in the window
+  ProportionEstimate gated;       // k reports forming a track-feasible chain
+};
+
+// P[system-level false alarm within one M-period window | no target], for
+// node-level false alarm probability `pf` per node per period.
+SystemFaEstimate EstimateSystemFaProbability(const SystemParams& params,
+                                             double pf,
+                                             const SystemFaOptions& options = {});
+
+// Smallest k whose *gated* system FA probability is <= max_fa_prob,
+// estimated by Monte-Carlo (one shared set of windows evaluated for all k,
+// so the search is consistent). Returns k in [1, N*M + 1]; the sentinel
+// N*M + 1 means no threshold met the target.
+int MinimumGatedThreshold(const SystemParams& params, double pf,
+                          double max_fa_prob,
+                          const SystemFaOptions& options = {});
+
+}  // namespace sparsedet

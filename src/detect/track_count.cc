@@ -1,0 +1,69 @@
+#include "detect/track_count.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+// Longest chain ending index bookkeeping so the chain itself can be
+// removed: returns the indices (into `reports`) of one longest chain.
+std::vector<std::size_t> LongestChainIndices(
+    const std::vector<SimReport>& reports, const TrackGateParams& gate) {
+  std::vector<std::size_t> order(reports.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return reports[a].period < reports[b].period;
+                   });
+
+  std::vector<int> best(reports.size(), 1);
+  std::vector<int> parent(reports.size(), -1);
+  std::size_t best_end = 0;
+  int best_len = reports.empty() ? 0 : 1;
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const std::size_t i = order[oi];
+    for (std::size_t oj = 0; oj < oi; ++oj) {
+      const std::size_t j = order[oj];
+      if (best[j] + 1 > best[i] &&
+          PairFeasible(reports[j], reports[i], gate)) {
+        best[i] = best[j] + 1;
+        parent[i] = static_cast<int>(j);
+      }
+    }
+    if (best[i] > best_len) {
+      best_len = best[i];
+      best_end = i;
+    }
+  }
+
+  std::vector<std::size_t> chain;
+  if (reports.empty()) return chain;
+  for (int v = static_cast<int>(best_end); v >= 0; v = parent[v]) {
+    chain.push_back(static_cast<std::size_t>(v));
+  }
+  return chain;
+}
+
+}  // namespace
+
+int CountDisjointTracks(std::vector<SimReport> reports,
+                        const TrackGateParams& gate, int k) {
+  SPARSEDET_REQUIRE(k >= 1, "k must be >= 1");
+  int tracks = 0;
+  while (static_cast<int>(reports.size()) >= k) {
+    const std::vector<std::size_t> chain = LongestChainIndices(reports, gate);
+    if (static_cast<int>(chain.size()) < k) break;
+    ++tracks;
+    // Remove the chain's reports (indices are unique; erase descending).
+    std::vector<std::size_t> sorted(chain);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (std::size_t idx : sorted) {
+      reports.erase(reports.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  return tracks;
+}
+
+}  // namespace sparsedet

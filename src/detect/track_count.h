@@ -1,0 +1,26 @@
+// Counting distinct target tracks in a report set — the multi-target
+// question the paper defers ("we plan to deal with multiple targets that
+// might be near each other and/or crossing").
+//
+// Greedy peeling: repeatedly extract the longest track-consistent chain;
+// every chain of length >= k counts as one declared track and its reports
+// are removed before the next extraction. Greedy peeling is the standard
+// practical heuristic (optimal partition into chains is NP-hard); two
+// well-separated targets produce two disjoint chains, while near/crossing
+// targets merge into one — which is exactly the failure mode the paper
+// flags (experiment E19 measures where the transition happens).
+#pragma once
+
+#include <vector>
+
+#include "detect/track_gate.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+// Number of disjoint track-consistent chains of length >= k that greedy
+// peeling finds in `reports`. Requires k >= 1.
+int CountDisjointTracks(std::vector<SimReport> reports,
+                        const TrackGateParams& gate, int k);
+
+}  // namespace sparsedet

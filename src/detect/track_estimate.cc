@@ -1,0 +1,57 @@
+#include "detect/track_estimate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+TrackEstimate FitConstantVelocityTrack(const std::vector<SimReport>& reports,
+                                       double period_length) {
+  SPARSEDET_REQUIRE(period_length > 0.0, "period length must be positive");
+  SPARSEDET_REQUIRE(reports.size() >= 2, "track fit needs >= 2 reports");
+
+  // Simple linear regression per axis on report mid-period times.
+  double sum_t = 0.0;
+  double sum_tt = 0.0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_tx = 0.0;
+  double sum_ty = 0.0;
+  const double n = static_cast<double>(reports.size());
+  int min_period = reports.front().period;
+  int max_period = reports.front().period;
+  for (const SimReport& r : reports) {
+    const double t = (r.period + 0.5) * period_length;
+    sum_t += t;
+    sum_tt += t * t;
+    sum_x += r.node_pos.x;
+    sum_y += r.node_pos.y;
+    sum_tx += t * r.node_pos.x;
+    sum_ty += t * r.node_pos.y;
+    min_period = std::min(min_period, r.period);
+    max_period = std::max(max_period, r.period);
+  }
+  SPARSEDET_REQUIRE(max_period > min_period,
+                    "velocity is unobservable from a single period");
+
+  const double denom = n * sum_tt - sum_t * sum_t;
+  SPARSEDET_CHECK(denom > 0.0, "degenerate time design matrix");
+
+  TrackEstimate estimate;
+  estimate.support = static_cast<int>(reports.size());
+  estimate.velocity.x = (n * sum_tx - sum_t * sum_x) / denom;
+  estimate.velocity.y = (n * sum_ty - sum_t * sum_y) / denom;
+  estimate.position0.x = (sum_x - estimate.velocity.x * sum_t) / n;
+  estimate.position0.y = (sum_y - estimate.velocity.y * sum_t) / n;
+
+  double sq = 0.0;
+  for (const SimReport& r : reports) {
+    const double t = (r.period + 0.5) * period_length;
+    sq += (r.node_pos - estimate.PositionAt(t)).NormSquared();
+  }
+  estimate.rms_residual = std::sqrt(sq / n);
+  return estimate;
+}
+
+}  // namespace sparsedet

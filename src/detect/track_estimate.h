@@ -1,0 +1,38 @@
+// Constant-velocity track estimation from detection reports.
+//
+// Once group based detection accepts a chain of reports, the natural next
+// step of a deployed system is to estimate the target's track from the
+// reporting nodes' positions (each is within Rs of the true track at its
+// report time). A weighted least-squares fit of position against time per
+// axis recovers position and velocity; the residual doubles as a
+// consistency score. Reports are timestamped at the middle of their
+// sensing period (the unbiased choice when detection can happen any time
+// within the period).
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+struct TrackEstimate {
+  Vec2 position0;     // estimated position at time 0 (start of period 0)
+  Vec2 velocity;      // estimated velocity, m/s
+  int support = 0;    // reports used by the fit
+  double rms_residual = 0.0;  // RMS distance of reports to the fitted track
+
+  Vec2 PositionAt(double time_seconds) const {
+    return position0 + velocity * time_seconds;
+  }
+  double Speed() const { return velocity.Norm(); }
+};
+
+// Least-squares constant-velocity fit. Requires at least two reports from
+// at least two distinct periods (otherwise velocity is unobservable and
+// InvalidArgument is thrown; callers should gate first).
+TrackEstimate FitConstantVelocityTrack(const std::vector<SimReport>& reports,
+                                       double period_length);
+
+}  // namespace sparsedet

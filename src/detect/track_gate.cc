@@ -1,0 +1,43 @@
+#include "detect/track_gate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+bool PairFeasible(const SimReport& a, const SimReport& b,
+                  const TrackGateParams& gate) {
+  SPARSEDET_DCHECK(gate.speed > 0.0 && gate.period_length > 0.0 &&
+                       gate.sensing_range > 0.0,
+                   "gate parameters must be positive");
+  const int dp = std::abs(a.period - b.period);
+  const double reach = gate.speed * gate.period_length * (dp + 1) +
+                       2.0 * gate.sensing_range + gate.slack;
+  return a.node_pos.DistanceTo(b.node_pos) <= reach;
+}
+
+int LongestTrackConsistentChain(const std::vector<SimReport>& reports,
+                                const TrackGateParams& gate) {
+  if (reports.empty()) return 0;
+  std::vector<SimReport> sorted = reports;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SimReport& a, const SimReport& b) {
+                     return a.period < b.period;
+                   });
+
+  // chain[i]: longest feasible chain ending at report i.
+  std::vector<int> chain(sorted.size(), 1);
+  int best = 1;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (chain[j] + 1 > chain[i] && PairFeasible(sorted[j], sorted[i], gate)) {
+        chain[i] = chain[j] + 1;
+      }
+    }
+    best = std::max(best, chain[i]);
+  }
+  return best;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,50 @@
+// Track-consistency gating.
+//
+// Group based detection accepts only report sequences "that can be mapped
+// to a possible target track" (paper Section 1). For a target of speed V
+// and sensor range Rs, two reports from periods p1 <= p2 at node positions
+// x1, x2 can belong to the same track only if
+//   |x1 - x2| <= V * t * (p2 - p1 + 1) + 2 * Rs + slack,
+// because each reporting node is within Rs of the target's path segment in
+// its period and the path endpoints are V*t*(p2-p1+1) apart at most.
+//
+// The gate scores a report set by the longest chain (ordered by period)
+// whose *consecutive* members are pairwise feasible — the standard
+// first-order gating used by deployed trackers (VigilNet-style). Full
+// all-pairs consistency is NP-hard to optimize exactly; consecutive-pair
+// chaining is the usual practical relaxation and is conservative in the
+// right direction for false-alarm filtering experiments (it can only
+// overcount feasible chains, never undercount true-target chains).
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+struct TrackGateParams {
+  double speed = 10.0;          // assumed maximum target speed V
+  double period_length = 60.0;  // t
+  double sensing_range = 1000.0;  // Rs
+  double slack = 0.0;           // extra tolerance added to the gate
+
+  static TrackGateParams FromSystem(const SystemParams& params) {
+    return {.speed = params.target_speed,
+            .period_length = params.period_length,
+            .sensing_range = params.sensing_range,
+            .slack = 0.0};
+  }
+};
+
+// True iff two reports are pairwise track-feasible under `gate`.
+bool PairFeasible(const SimReport& a, const SimReport& b,
+                  const TrackGateParams& gate);
+
+// Length of the longest track-consistent chain in `reports` (any order;
+// sorted internally by period). O(n^2). Returns 0 for an empty set.
+int LongestTrackConsistentChain(const std::vector<SimReport>& reports,
+                                const TrackGateParams& gate);
+
+}  // namespace sparsedet

@@ -1,0 +1,97 @@
+#include "detect/transport.h"
+
+#include <atomic>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace sparsedet {
+
+std::vector<TransportedReport> TransportReports(const TrialResult& trial,
+                                                const SystemParams& params,
+                                                const TransportOptions& options,
+                                                Rng& rng) {
+  params.Validate();
+  SPARSEDET_REQUIRE(options.per_hop_latency >= 0.0,
+                    "per-hop latency must be >= 0");
+  SPARSEDET_REQUIRE(options.loss_per_hop >= 0.0 && options.loss_per_hop < 1.0,
+                    "per-hop loss must be in [0, 1)");
+
+  // Topology of this trial's deployment + the base station as last node.
+  std::vector<Vec2> positions = trial.node_positions;
+  positions.push_back(options.base_position);
+  const Topology topology(std::move(positions), params.comm_range);
+  const int base = topology.num_nodes() - 1;
+
+  // Route cache: hop count per reporting node (-1 = unreachable).
+  std::unordered_map<int, int> hops_to_base;
+  auto hops_for = [&](int node) {
+    const auto it = hops_to_base.find(node);
+    if (it != hops_to_base.end()) return it->second;
+    const RouteResult route = options.use_greedy
+                                  ? GreedyForward(topology, node, base)
+                                  : ShortestPath(topology, node, base);
+    const int hops = route.delivered ? route.hops : -1;
+    hops_to_base.emplace(node, hops);
+    return hops;
+  };
+
+  std::vector<TransportedReport> out;
+  out.reserve(trial.reports.size());
+  for (const SimReport& report : trial.reports) {
+    TransportedReport transported;
+    transported.report = report;
+    const int hops = hops_for(report.node);
+    if (hops >= 0) {
+      bool lost = false;
+      for (int h = 0; h < hops && !lost; ++h) {
+        lost = rng.Bernoulli(options.loss_per_hop);
+      }
+      if (!lost) {
+        transported.delivered = true;
+        transported.hops = hops;
+        transported.arrival_period =
+            report.period +
+            static_cast<int>(std::floor(hops * options.per_hop_latency /
+                                        params.period_length));
+      }
+    }
+    out.push_back(transported);
+  }
+  return out;
+}
+
+ProportionEstimate EstimateDetectionWithTransport(
+    const TrialConfig& config, const TransportOptions& transport,
+    const MonteCarloOptions& options) {
+  SPARSEDET_REQUIRE(options.trials >= 1, "need at least one trial");
+  config.params.Validate();
+
+  const int k = config.params.threshold_reports;
+  const int window = config.params.window_periods;
+  const Rng base(options.seed);
+  std::atomic<std::int64_t> successes{0};
+  ParallelFor(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t i) {
+        Rng rng = base.Substream(i);
+        const TrialResult trial = RunTrial(config, rng);
+        const std::vector<TransportedReport> transported =
+            TransportReports(trial, config.params, transport, rng);
+        int arrived_in_window = 0;
+        for (const TransportedReport& t : transported) {
+          if (t.delivered && t.arrival_period < window) ++arrived_in_window;
+        }
+        if (arrived_in_window >= k) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      options.threads);
+  return WilsonInterval(successes.load(), options.trials, options.z);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,58 @@
+// Report transport: couples the sensing simulator to the multi-hop
+// network substrate.
+//
+// The paper ignores the communication stack on the argument that any
+// report reaches the base station within one sensing period. This module
+// removes the idealization: every report of a trial is routed over that
+// trial's own deployment (greedy geographic forwarding or BFS shortest
+// path), arrives delayed by its hop latency, and is lost when its node
+// cannot reach the base (or per-hop loss fires). The end-to-end detection
+// probability with real transport quantifies exactly when the paper's
+// premise holds (experiment E18).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+#include "prob/stats.h"
+#include "sim/monte_carlo.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+struct TransportOptions {
+  // Base station position; defaults to the middle of the south edge (the
+  // geometry matching the paper's "~36 km maximum distance").
+  Vec2 base_position{16000.0, 0.0};
+  double per_hop_latency = 6.0;  // seconds per hop (MAC + processing)
+  bool use_greedy = true;        // greedy GF; false = BFS shortest path
+  double loss_per_hop = 0.0;     // independent per-hop delivery failure
+};
+
+struct TransportedReport {
+  SimReport report;
+  bool delivered = false;
+  int hops = 0;
+  // Sensing period at whose END the report is available to the detector:
+  // generation period + floor(hops * per_hop_latency / t).
+  int arrival_period = 0;
+};
+
+// Routes every report of `trial` to the base station over the trial's
+// deployment. Routes are computed once per reporting node. `rng` drives
+// the per-hop losses.
+std::vector<TransportedReport> TransportReports(const TrialResult& trial,
+                                                const SystemParams& params,
+                                                const TransportOptions& options,
+                                                Rng& rng);
+
+// Monte-Carlo estimate of the end-to-end detection probability: at least k
+// reports DELIVERED with arrival inside the M-period window. Compare with
+// EstimateDetectionProbability (ideal transport) to isolate the network's
+// cost.
+ProportionEstimate EstimateDetectionWithTransport(
+    const TrialConfig& config, const TransportOptions& transport,
+    const MonteCarloOptions& options = {});
+
+}  // namespace sparsedet

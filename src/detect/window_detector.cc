@@ -1,0 +1,84 @@
+#include "detect/window_detector.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+WindowDetector::WindowDetector(const Options& options) : options_(options) {
+  SPARSEDET_REQUIRE(options.k >= 1, "k must be >= 1");
+  SPARSEDET_REQUIRE(options.window >= 1, "window must be >= 1");
+  SPARSEDET_REQUIRE(options.h >= 1, "h must be >= 1");
+}
+
+void WindowDetector::Reset() {
+  window_.clear();
+  last_period_ = -1;
+  triggered_ = false;
+  trigger_count_ = 0;
+}
+
+bool WindowDetector::ProcessPeriod(int period,
+                                   const std::vector<SimReport>& reports) {
+  SPARSEDET_REQUIRE(period >= 0, "period must be >= 0");
+  SPARSEDET_REQUIRE(period >= last_period_,
+                    "periods must be fed in non-decreasing order");
+  last_period_ = period;
+
+  for (const SimReport& r : reports) {
+    SPARSEDET_REQUIRE(r.period == period,
+                      "report fed into the wrong period");
+    window_.push_back(r);
+  }
+  // Evict reports older than the window.
+  const int oldest_allowed = period - options_.window + 1;
+  while (!window_.empty() && window_.front().period < oldest_allowed) {
+    window_.pop_front();
+  }
+
+  const bool hit = EvaluateWindow();
+  if (hit) {
+    triggered_ = true;
+    ++trigger_count_;
+  }
+  return hit;
+}
+
+bool WindowDetector::EvaluateWindow() const {
+  if (static_cast<int>(window_.size()) < options_.k) return false;
+
+  if (options_.h > 1) {
+    std::unordered_set<int> nodes;
+    for (const SimReport& r : window_) nodes.insert(r.node);
+    if (static_cast<int>(nodes.size()) < options_.h) return false;
+  }
+
+  if (!options_.use_track_gate) return true;
+  const std::vector<SimReport> reports(window_.begin(), window_.end());
+  return LongestTrackConsistentChain(reports, options_.gate) >= options_.k;
+}
+
+bool DetectTrial(const TrialResult& trial,
+                 const WindowDetector::Options& options) {
+  WindowDetector detector(options);
+  // Group trial reports by period and feed them in order; the trial's
+  // report list is already period-sorted.
+  int periods = static_cast<int>(trial.true_reports_per_period.size());
+  if (periods == 0) periods = trial.reports.empty()
+                                  ? 1
+                                  : trial.reports.back().period + 1;
+  std::size_t next = 0;
+  for (int period = 0; period < periods; ++period) {
+    std::vector<SimReport> batch;
+    while (next < trial.reports.size() &&
+           trial.reports[next].period == period) {
+      batch.push_back(trial.reports[next]);
+      ++next;
+    }
+    if (detector.ProcessPeriod(period, batch)) return true;
+  }
+  return detector.triggered();
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,58 @@
+// Online base-station detector: sliding M-period window, k-report rule,
+// optional track gating and distinct-node requirement.
+//
+// This is the deployed-system counterpart of the analytical models: reports
+// stream in period by period; after each period the detector evaluates the
+// current window. The count-only configuration is exactly the abstraction
+// the paper analyzes; the gated configuration is what the abstraction
+// stands for in real systems.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "detect/track_gate.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+class WindowDetector {
+ public:
+  struct Options {
+    int k = 5;           // reports needed within the window
+    int window = 20;     // M sensing periods
+    bool use_track_gate = false;
+    TrackGateParams gate;  // used only when use_track_gate
+    int h = 1;           // distinct reporting nodes needed (1 = paper base)
+  };
+
+  explicit WindowDetector(const Options& options);
+
+  // Feeds the reports of `period` (consecutive, non-decreasing calls) and
+  // returns whether the detection rule holds for the window ending at this
+  // period. `period` must not decrease across calls.
+  bool ProcessPeriod(int period, const std::vector<SimReport>& reports);
+
+  // True once any processed window satisfied the rule.
+  bool triggered() const { return triggered_; }
+
+  // Number of windows (ProcessPeriod calls) that satisfied the rule so far.
+  int trigger_count() const { return trigger_count_; }
+
+  void Reset();
+
+ private:
+  bool EvaluateWindow() const;
+
+  Options options_;
+  std::deque<SimReport> window_;  // reports of the last `window` periods
+  int last_period_ = -1;
+  bool triggered_ = false;
+  int trigger_count_ = 0;
+};
+
+// Convenience: run a full TrialResult through a detector and report whether
+// it ever triggered.
+bool DetectTrial(const TrialResult& trial, const WindowDetector::Options& options);
+
+}  // namespace sparsedet

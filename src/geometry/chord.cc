@@ -1,0 +1,35 @@
+#include "geometry/chord.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double SegmentDiskIntersectionLength(const Segment& segment, Vec2 center,
+                                     double radius) {
+  SPARSEDET_REQUIRE(radius > 0.0, "disk radius must be positive");
+  const Vec2 d = segment.b - segment.a;
+  const double len2 = d.NormSquared();
+  if (len2 == 0.0) return 0.0;
+
+  // Parameterize p(u) = a + u*d, u in [0, 1]; solve |p(u) - c|^2 = r^2.
+  const Vec2 f = segment.a - center;
+  const double a_coef = len2;
+  const double b_coef = 2.0 * f.Dot(d);
+  const double c_coef = f.NormSquared() - radius * radius;
+  const double disc = b_coef * b_coef - 4.0 * a_coef * c_coef;
+  if (disc <= 0.0) {
+    // No crossing: the segment is entirely inside or entirely outside.
+    return c_coef <= 0.0 ? std::sqrt(len2) : 0.0;
+  }
+  const double sqrt_disc = std::sqrt(disc);
+  const double u1 = std::clamp((-b_coef - sqrt_disc) / (2.0 * a_coef), 0.0,
+                               1.0);
+  const double u2 = std::clamp((-b_coef + sqrt_disc) / (2.0 * a_coef), 0.0,
+                               1.0);
+  return (u2 - u1) * std::sqrt(len2);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,19 @@
+// Length of the part of a segment that lies inside a disk.
+//
+// Used by the dwell-time sensing model: the time a moving target spends
+// inside a sensor's disk during one period is (chord length) / V, where
+// the chord is the intersection of the period's path segment with the
+// sensing disk.
+#pragma once
+
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+// |{p in segment : |p - center| <= radius}|. Requires radius > 0.
+// Degenerate segments return 0 (a point has no length).
+double SegmentDiskIntersectionLength(const Segment& segment, Vec2 center,
+                                     double radius);
+
+}  // namespace sparsedet

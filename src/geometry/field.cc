@@ -1,0 +1,16 @@
+#include "geometry/field.h"
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+Field::Field(double width, double height) : width_(width), height_(height) {
+  SPARSEDET_REQUIRE(width > 0.0 && height > 0.0,
+                    "field dimensions must be positive");
+}
+
+Vec2 Field::SamplePoint(Rng& rng) const {
+  return {rng.Uniform(0.0, width_), rng.Uniform(0.0, height_)};
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,35 @@
+// Rectangular sensor field.
+#pragma once
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+class Field {
+ public:
+  // Axis-aligned rectangle [0, width] x [0, height]. Both must be > 0.
+  Field(double width, double height);
+
+  // Convenience for the square fields used throughout the paper.
+  static Field Square(double side) { return Field(side, side); }
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+  double Area() const { return width_ * height_; }
+
+  bool Contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+  }
+
+  // Uniform random point in the rectangle.
+  Vec2 SamplePoint(Rng& rng) const;
+
+  Vec2 Center() const { return {width_ / 2.0, height_ / 2.0}; }
+
+ private:
+  double width_;
+  double height_;
+};
+
+}  // namespace sparsedet

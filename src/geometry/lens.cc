@@ -1,0 +1,22 @@
+#include "geometry/lens.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double CircleLensArea(double d, double r) {
+  SPARSEDET_REQUIRE(r > 0.0, "lens radius must be positive");
+  SPARSEDET_REQUIRE(d >= 0.0, "lens center distance must be non-negative");
+  if (d >= 2.0 * r) return 0.0;
+  // Standard equal-radius lens formula:
+  //   A = 2 r^2 acos(d / 2r) - (d/2) sqrt(4 r^2 - d^2)
+  const double half = d / (2.0 * r);
+  const double area =
+      2.0 * r * r * std::acos(half) - 0.5 * d * std::sqrt(4.0 * r * r - d * d);
+  return std::max(area, 0.0);
+}
+
+}  // namespace sparsedet

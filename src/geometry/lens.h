@@ -1,0 +1,15 @@
+// Circle-circle intersection ("lens") area.
+#pragma once
+
+namespace sparsedet {
+
+// Area of the intersection of two circles of equal radius `r` whose centers
+// are `d` apart. Equals pi*r^2 at d = 0 and 0 for d >= 2r.
+//
+// This is the overlap between the Detectable Regions of non-adjacent sensing
+// periods along a straight track: the overlap of two collinear stadiums of
+// radius r reduces to the lens of the two facing end-cap circles.
+// Requires d >= 0 and r > 0.
+double CircleLensArea(double d, double r);
+
+}  // namespace sparsedet

@@ -1,0 +1,99 @@
+#include "geometry/region_decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "geometry/lens.h"
+
+namespace sparsedet {
+
+RegionDecomposition::RegionDecomposition(double sensing_range, double speed,
+                                         double period_length)
+    : rs_(sensing_range), vt_(speed * period_length) {
+  SPARSEDET_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  SPARSEDET_REQUIRE(speed > 0.0, "target speed must be positive");
+  SPARSEDET_REQUIRE(period_length > 0.0, "period length must be positive");
+
+  ms_ = static_cast<int>(std::ceil(2.0 * rs_ / vt_));
+  SPARSEDET_CHECK(ms_ >= 1, "ms must be at least 1");
+
+  // AreaH via the telescoped form of Eq. 6: AreaH(i) = O(i) - O(i+1) for
+  // i <= ms, AreaH(ms+1) = O(ms+1). O(ms+2) = lens(ms*V*t) = 0 because
+  // ms*V*t >= 2*Rs by definition of ms, so the two forms agree at i = ms.
+  area_h_.resize(static_cast<std::size_t>(ms_) + 1);
+  for (int i = 1; i <= ms_; ++i) {
+    area_h_[i - 1] = std::max(Overlap(i) - Overlap(i + 1), 0.0);
+  }
+  area_h_[ms_] = Overlap(ms_ + 1);
+
+  // Eq. 8.
+  area_b_.resize(static_cast<std::size_t>(ms_) + 1);
+  for (int i = 1; i <= ms_; ++i) {
+    area_b_[i - 1] = std::max(area_h_[i - 1] - area_h_[i], 0.0);
+  }
+  area_b_[ms_] = area_h_[ms_];
+}
+
+double RegionDecomposition::Overlap(int j) const {
+  SPARSEDET_DCHECK(j >= 1, "overlap index must be >= 1");
+  if (j == 1) return DrArea();
+  return CircleLensArea(static_cast<double>(j - 2) * vt_, rs_);
+}
+
+double RegionDecomposition::DrArea() const {
+  return 2.0 * rs_ * vt_ + std::numbers::pi * rs_ * rs_;
+}
+
+double RegionDecomposition::ARegionArea(int periods) const {
+  SPARSEDET_REQUIRE(periods >= 1, "ARegion needs at least one period");
+  return 2.0 * periods * rs_ * vt_ + std::numbers::pi * rs_ * rs_;
+}
+
+double RegionDecomposition::AreaH(int i) const {
+  SPARSEDET_REQUIRE(i >= 1 && i <= ms_ + 1, "AreaH index out of [1, ms+1]");
+  return area_h_[i - 1];
+}
+
+double RegionDecomposition::AreaB(int i) const {
+  SPARSEDET_REQUIRE(i >= 1 && i <= ms_ + 1, "AreaB index out of [1, ms+1]");
+  return area_b_[i - 1];
+}
+
+double RegionDecomposition::AreaT(int j, int i) const {
+  SPARSEDET_REQUIRE(j >= 1 && j <= ms_, "AreaT stage out of [1, ms]");
+  SPARSEDET_REQUIRE(i >= 1 && i <= ms_ + 1 - j,
+                    "AreaT index out of [1, ms+1-j]");
+  if (i <= ms_ - j) return area_b_[i - 1];
+  // i == ms+1-j: everything that would cover the target for ms+1-j or more
+  // periods is truncated by the end of the observation window (Eq. 10).
+  double sum = 0.0;
+  for (int m = ms_ + 1 - j; m <= ms_ + 1; ++m) sum += area_b_[m - 1];
+  return sum;
+}
+
+std::vector<double> RegionDecomposition::AreaTVector(int j) const {
+  SPARSEDET_REQUIRE(j >= 1 && j <= ms_, "AreaT stage out of [1, ms]");
+  std::vector<double> v(static_cast<std::size_t>(ms_ + 1 - j));
+  for (int i = 1; i <= ms_ + 1 - j; ++i) v[i - 1] = AreaT(j, i);
+  return v;
+}
+
+std::vector<double> RegionDecomposition::SApproachRegions(int periods) const {
+  SPARSEDET_REQUIRE(periods > ms_,
+                    "the S-approach region split is defined for M > ms");
+  std::vector<double> region(static_cast<std::size_t>(ms_) + 1, 0.0);
+  for (int i = 1; i <= ms_ + 1; ++i) {
+    region[i - 1] = area_h_[i - 1] +
+                    static_cast<double>(periods - ms_ - 1) * area_b_[i - 1];
+  }
+  for (int j = 1; j <= ms_; ++j) {
+    for (int i = 1; i <= ms_ + 1 - j; ++i) {
+      region[i - 1] += AreaT(j, i);
+    }
+  }
+  return region;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,83 @@
+// Region decomposition of a straight-line target track (paper Eqs. 6, 8, 10).
+//
+// A target moves at speed V for sensing periods of length t; sensors have
+// range Rs. The Detectable Region (DR) of period p is the stadium around
+// the segment traversed in period p. The paper decomposes the union of the
+// M DRs — the Aggregate Region — into subareas classified by *how many
+// periods a sensor placed there covers the target*:
+//
+//   ms            = ceil(2*Rs / (V*t)): number of periods the target takes
+//                   to traverse 2*Rs; a sensor can cover the target for at
+//                   most ms + 1 periods.
+//   AreaH(i)      (Eq. 6)  subareas of the DR of period 1 (the Head NEDR —
+//                   for period 1 the Newly Explored DR is the whole DR);
+//                   a sensor in AreaH(i) covers the target for i periods,
+//                   i = 1 .. ms+1.
+//   AreaB(i)      (Eq. 8)  subareas of a Body-stage NEDR (the leading
+//                   crescent of width V*t that a middle period adds).
+//   AreaT(j, i)   (Eq. 10) subareas of the j-th Tail-stage NEDR (period
+//                   M - ms + j); only ms+1-j subareas exist because fewer
+//                   future periods remain, i = 1 .. ms+1-j.
+//
+// All quantities depend only on (Rs, V*t); the decomposition is
+// deliberately independent of M. Closed forms follow from the equal-radius
+// circle-lens area: with O(j) := |DR(1) ∩ DR(j)| = lens((j-2)*V*t, Rs) for
+// j >= 2 and O(1) := |DR(1)|, convexity of the track gives the nesting
+// DR(1)∩DR(j) ⊇ DR(1)∩DR(j+1), hence AreaH(i) = O(i) - O(i+1) for i <= ms
+// and AreaH(ms+1) = O(ms+1) — exactly Eq. 6 after telescoping.
+#pragma once
+
+#include <vector>
+
+namespace sparsedet {
+
+class RegionDecomposition {
+ public:
+  // Requires Rs > 0, V > 0, t > 0.
+  RegionDecomposition(double sensing_range, double speed,
+                      double period_length);
+
+  double sensing_range() const { return rs_; }
+  double step_length() const { return vt_; }  // V*t
+
+  // ms = ceil(2*Rs / (V*t)) >= 1.
+  int ms() const { return ms_; }
+
+  // |DR| of one period: 2*Rs*V*t + pi*Rs^2.
+  double DrArea() const;
+  // |NEDR| of a Body/Tail period: 2*Rs*V*t.
+  double BodyNedrArea() const { return 2.0 * rs_ * vt_; }
+  // |ARegion| for M periods: 2*M*Rs*V*t + pi*Rs^2. Requires periods >= 1.
+  double ARegionArea(int periods) const;
+
+  // AreaH(i), i in [1, ms+1]  (Eq. 6).
+  double AreaH(int i) const;
+  // AreaB(i), i in [1, ms+1]  (Eq. 8).
+  double AreaB(int i) const;
+  // AreaT(j, i), j in [1, ms], i in [1, ms+1-j]  (Eq. 10).
+  double AreaT(int j, int i) const;
+
+  // Region(i) of the S-approach for an M-period ARegion (M > ms): total
+  // area over the whole ARegion in which a sensor covers the target for
+  // exactly i periods, i in [1, ms+1]. Sums the Head subarea, M-ms-1 Body
+  // subareas and the ms Tail subareas.
+  std::vector<double> SApproachRegions(int periods) const;
+
+  // The subarea sizes as probability-normalized vectors are what the
+  // analysis consumes; expose the raw vectors too (index 0 <-> i = 1).
+  const std::vector<double>& area_h() const { return area_h_; }
+  const std::vector<double>& area_b() const { return area_b_; }
+  std::vector<double> AreaTVector(int j) const;
+
+ private:
+  // |DR(1) ∩ DR(j)| for j >= 1 (O(1) = |DR(1)|).
+  double Overlap(int j) const;
+
+  double rs_;
+  double vt_;
+  int ms_;
+  std::vector<double> area_h_;  // size ms+1
+  std::vector<double> area_b_;  // size ms+1
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,20 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace sparsedet {
+
+Vec2 Segment::ClosestPointTo(Vec2 p) const {
+  const Vec2 d = b - a;
+  const double len2 = d.NormSquared();
+  if (len2 == 0.0) return a;  // degenerate segment (static target)
+  const double s = std::clamp((p - a).Dot(d) / len2, 0.0, 1.0);
+  return a + d * s;
+}
+
+bool Segment::WithinDistance(Vec2 p, double radius) const {
+  const Vec2 c = ClosestPointTo(p);
+  return (p - c).NormSquared() <= radius * radius;
+}
+
+}  // namespace sparsedet

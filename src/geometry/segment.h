@@ -1,0 +1,33 @@
+// Line segment and point-to-segment distance.
+//
+// The Detectable Region (DR) of a moving target in one sensing period is
+// exactly the set of points within sensing range Rs of the segment the
+// target traverses during that period, so point-to-segment distance is the
+// primitive the simulator's sensing test reduces to.
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Vec2 a_in, Vec2 b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return a.DistanceTo(b); }
+
+  // Closest point on the segment to `p`.
+  Vec2 ClosestPointTo(Vec2 p) const;
+
+  // Euclidean distance from `p` to the segment (0 on the segment).
+  double DistanceTo(Vec2 p) const { return p.DistanceTo(ClosestPointTo(p)); }
+
+  // True iff `p` lies within `radius` of the segment, i.e. inside the
+  // stadium (capsule) of this segment. Avoids the square root.
+  bool WithinDistance(Vec2 p, double radius) const;
+};
+
+}  // namespace sparsedet

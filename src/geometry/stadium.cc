@@ -1,0 +1,18 @@
+#include "geometry/stadium.h"
+
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+Stadium::Stadium(Segment axis, double radius) : axis_(axis), radius_(radius) {
+  SPARSEDET_REQUIRE(radius > 0.0, "stadium radius must be positive");
+}
+
+double Stadium::Area() const {
+  return 2.0 * radius_ * axis_.Length() +
+         std::numbers::pi * radius_ * radius_;
+}
+
+}  // namespace sparsedet

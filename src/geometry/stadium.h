@@ -1,0 +1,31 @@
+// Stadium (capsule): all points within `radius` of a segment.
+//
+// The Detectable Region of a target that moves along `axis` during one
+// sensing period, observed by sensors of sensing range `radius`, is exactly
+// this shape; its area 2*Rs*V*t + pi*Rs^2 appears throughout the paper.
+#pragma once
+
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+class Stadium {
+ public:
+  // Requires radius > 0. A zero-length axis yields a disk.
+  Stadium(Segment axis, double radius);
+
+  const Segment& axis() const { return axis_; }
+  double radius() const { return radius_; }
+
+  // 2 * radius * |axis| + pi * radius^2.
+  double Area() const;
+
+  bool Contains(Vec2 p) const { return axis_.WithinDistance(p, radius_); }
+
+ private:
+  Segment axis_;
+  double radius_;
+};
+
+}  // namespace sparsedet

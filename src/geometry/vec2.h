@@ -1,0 +1,41 @@
+// 2-D vector/point value type.
+#pragma once
+
+#include <cmath>
+
+namespace sparsedet {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+  constexpr double NormSquared() const { return x * x + y * y; }
+  double Norm() const { return std::hypot(x, y); }
+
+  double DistanceTo(Vec2 o) const { return (*this - o).Norm(); }
+
+  // Unit vector at `angle` radians from the +x axis.
+  static Vec2 FromAngle(double angle) {
+    return {std::cos(angle), std::sin(angle)};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+}  // namespace sparsedet

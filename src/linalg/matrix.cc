@@ -1,0 +1,99 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  SPARSEDET_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be > 0");
+}
+
+DenseMatrix DenseMatrix::Identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double DenseMatrix::At(std::size_t r, std::size_t c) const {
+  SPARSEDET_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+void DenseMatrix::Set(std::size_t r, std::size_t c, double v) {
+  SPARSEDET_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  (*this)(r, c) = v;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  SPARSEDET_REQUIRE(cols_ == other.rows_,
+                    "matrix product dimension mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::LeftApply(const std::vector<double>& v) const {
+  SPARSEDET_REQUIRE(v.size() == rows_, "vector-matrix dimension mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double a = v[i];
+    if (a == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out[j] += a * (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Power(int n) const {
+  SPARSEDET_REQUIRE(rows_ == cols_, "matrix power needs a square matrix");
+  SPARSEDET_REQUIRE(n >= 0, "matrix power exponent must be >= 0");
+  DenseMatrix result = Identity(rows_);
+  DenseMatrix base = *this;
+  int e = n;
+  while (e > 0) {
+    if (e & 1) result = result.Multiply(base);
+    e >>= 1;
+    if (e > 0) base = base.Multiply(base);
+  }
+  return result;
+}
+
+bool DenseMatrix::IsRowStochastic(double tol) const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double v = (*this)(i, j);
+      if (v < 0.0) return false;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+bool DenseMatrix::RowSumsAtMostOne(double tol) const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double v = (*this)(i, j);
+      if (v < 0.0) return false;
+      sum += v;
+    }
+    if (sum > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace sparsedet

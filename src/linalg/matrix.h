@@ -1,0 +1,52 @@
+// Dense row-major matrix, sized for Markov transition matrices of a few
+// hundred to a few thousand states.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsedet {
+
+class DenseMatrix {
+ public:
+  // Zero-initialized rows x cols matrix; both must be > 0.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  static DenseMatrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  // Bounds-checked access.
+  double At(std::size_t r, std::size_t c) const;
+  void Set(std::size_t r, std::size_t c, double v);
+
+  // this * other; requires cols() == other.rows().
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  // Row vector times matrix: v * this; requires v.size() == rows().
+  std::vector<double> LeftApply(const std::vector<double>& v) const;
+
+  // this^n for a square matrix; n >= 0 (n = 0 gives the identity).
+  DenseMatrix Power(int n) const;
+
+  // True if every row sums to `target` within `tol` and all entries are
+  // non-negative. Transition matrices of the paper's truncated chains are
+  // *sub*-stochastic, so callers can pass target <= 1 semantics through
+  // RowSumsAtMostOne instead.
+  bool IsRowStochastic(double tol = 1e-9) const;
+  bool RowSumsAtMostOne(double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,35 @@
+#include "markov/chain.h"
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+MarkovChain::MarkovChain(DenseMatrix transition)
+    : transition_(std::move(transition)) {
+  SPARSEDET_REQUIRE(transition_.rows() == transition_.cols(),
+                    "transition matrix must be square");
+  SPARSEDET_REQUIRE(transition_.RowSumsAtMostOne(1e-6),
+                    "transition rows must be (sub-)stochastic");
+}
+
+std::vector<double> MarkovChain::Propagate(
+    const std::vector<double>& dist) const {
+  return transition_.LeftApply(dist);
+}
+
+std::vector<double> MarkovChain::PropagateSteps(const std::vector<double>& dist,
+                                                int steps) const {
+  SPARSEDET_REQUIRE(steps >= 0, "step count must be >= 0");
+  std::vector<double> cur = dist;
+  for (int i = 0; i < steps; ++i) cur = Propagate(cur);
+  return cur;
+}
+
+std::vector<double> MarkovChain::InitialAt(std::size_t state) const {
+  SPARSEDET_REQUIRE(state < num_states(), "initial state out of range");
+  std::vector<double> dist(num_states(), 0.0);
+  dist[state] = 1.0;
+  return dist;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,38 @@
+// Generic finite Markov chain over states {0, ..., n-1}.
+//
+// The paper's Eq. 12 propagates an initial distribution u through a product
+// of per-stage transition matrices; this class owns one (possibly
+// sub-stochastic) transition matrix and provides the propagation.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sparsedet {
+
+class MarkovChain {
+ public:
+  // Requires a square matrix with non-negative entries and row sums <= 1 +
+  // tolerance (sub-stochastic rows model the paper's truncated chains).
+  explicit MarkovChain(DenseMatrix transition);
+
+  std::size_t num_states() const { return transition_.rows(); }
+  const DenseMatrix& transition() const { return transition_; }
+
+  // dist * T. Requires dist.size() == num_states().
+  std::vector<double> Propagate(const std::vector<double>& dist) const;
+
+  // dist * T^steps, applied iteratively (cheaper than forming T^steps for
+  // one distribution). steps >= 0.
+  std::vector<double> PropagateSteps(const std::vector<double>& dist,
+                                     int steps) const;
+
+  // The distribution concentrated at `state`.
+  std::vector<double> InitialAt(std::size_t state) const;
+
+ private:
+  DenseMatrix transition_;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,61 @@
+#include "markov/increment_chain.h"
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+DenseMatrix BuildIncrementTransitionMatrix(const Pmf& step,
+                                           std::size_t num_states,
+                                           bool saturate_top) {
+  SPARSEDET_REQUIRE(num_states >= 1, "a chain needs at least one state");
+  DenseMatrix t(num_states, num_states);
+  const std::size_t top = num_states - 1;
+  for (std::size_t s = 0; s < num_states; ++s) {
+    for (std::size_t m = 0; m < step.size(); ++m) {
+      const double p = step[m];
+      if (p == 0.0) continue;
+      const std::size_t target = s + m;
+      if (target <= top) {
+        t(s, target) += p;
+      } else if (saturate_top) {
+        t(s, top) += p;
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<double> PropagateIncrement(const std::vector<double>& dist,
+                                       const Pmf& step, bool saturate_top) {
+  SPARSEDET_REQUIRE(!dist.empty(), "distribution must be non-empty");
+  const std::size_t top = dist.size() - 1;
+  std::vector<double> out(dist.size(), 0.0);
+  for (std::size_t s = 0; s < dist.size(); ++s) {
+    const double a = dist[s];
+    if (a == 0.0) continue;
+    for (std::size_t m = 0; m < step.size(); ++m) {
+      const double p = step[m];
+      if (p == 0.0) continue;
+      const std::size_t target = s + m;
+      if (target <= top) {
+        out[target] += a * p;
+      } else if (saturate_top) {
+        out[top] += a * p;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> PropagateIncrementSteps(const std::vector<double>& dist,
+                                            const Pmf& step, int steps,
+                                            bool saturate_top) {
+  SPARSEDET_REQUIRE(steps >= 0, "step count must be >= 0");
+  std::vector<double> cur = dist;
+  for (int i = 0; i < steps; ++i) {
+    cur = PropagateIncrement(cur, step, saturate_top);
+  }
+  return cur;
+}
+
+}  // namespace sparsedet

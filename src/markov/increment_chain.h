@@ -1,0 +1,36 @@
+// Markov chains whose state is "total detection reports so far" and whose
+// transitions add an increment drawn from a per-stage pmf (paper
+// Figures 5-7). Because the increment distribution does not depend on the
+// current state, the transition matrix is an upper-shift band matrix; we
+// provide both the explicit matrix (paper-literal, Eq. 12) and a direct
+// propagation that never materializes it. Tests assert the two agree.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+// Builds the (num_states x num_states) transition matrix T with
+// T[s][s+m] = step[m]. Mass that would land beyond the last state is
+// dropped when `saturate_top` is false (truncated chain; rows become
+// sub-stochastic) or accumulated into the last state when true (merged
+// ">= top" state, as the paper suggests when only P[X >= k] is needed).
+// Requires num_states >= 1.
+DenseMatrix BuildIncrementTransitionMatrix(const Pmf& step,
+                                           std::size_t num_states,
+                                           bool saturate_top);
+
+// dist * T for the matrix above, computed in O(num_states * |step|).
+// `dist.size()` fixes the state count.
+std::vector<double> PropagateIncrement(const std::vector<double>& dist,
+                                       const Pmf& step, bool saturate_top);
+
+// Applies PropagateIncrement `steps` times.
+std::vector<double> PropagateIncrementSteps(const std::vector<double>& dist,
+                                            const Pmf& step, int steps,
+                                            bool saturate_top);
+
+}  // namespace sparsedet

@@ -1,0 +1,52 @@
+#include "net/delivery.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/routing.h"
+
+namespace sparsedet {
+
+DeliveryStats EvaluateDelivery(const Topology& topology, int base,
+                               double per_hop_latency, double period_length,
+                               bool use_greedy) {
+  SPARSEDET_REQUIRE(base >= 0 && base < topology.num_nodes(),
+                    "base node id out of range");
+  SPARSEDET_REQUIRE(per_hop_latency >= 0.0, "per-hop latency must be >= 0");
+  SPARSEDET_REQUIRE(period_length > 0.0, "period length must be positive");
+
+  DeliveryStats stats;
+  int delivered = 0;
+  int voids = 0;
+  int within = 0;
+  long long hop_sum = 0;
+  for (int node = 0; node < topology.num_nodes(); ++node) {
+    if (node == base) continue;
+    ++stats.num_sources;
+    const RouteResult route = use_greedy
+                                  ? GreedyForward(topology, node, base)
+                                  : ShortestPath(topology, node, base);
+    if (route.stuck_in_void) ++voids;
+    if (!route.delivered) continue;
+    ++delivered;
+    hop_sum += route.hops;
+    stats.max_hops = std::max(stats.max_hops, route.hops);
+    const double latency = route.hops * per_hop_latency;
+    stats.max_latency = std::max(stats.max_latency, latency);
+    if (latency <= period_length) ++within;
+  }
+
+  if (stats.num_sources > 0) {
+    const double n = static_cast<double>(stats.num_sources);
+    stats.delivered_fraction = delivered / n;
+    stats.greedy_void_fraction = voids / n;
+    stats.within_period_fraction = within / n;
+  }
+  if (delivered > 0) {
+    stats.mean_hops = static_cast<double>(hop_sum) / delivered;
+    stats.mean_latency = stats.mean_hops * per_hop_latency;
+  }
+  return stats;
+}
+
+}  // namespace sparsedet

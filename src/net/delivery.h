@@ -1,0 +1,32 @@
+// Deployment-wide delivery statistics toward a base station (E10).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace sparsedet {
+
+struct DeliveryStats {
+  int num_sources = 0;              // nodes evaluated (all but the base)
+  double delivered_fraction = 0.0;  // routes that reached the base
+  double greedy_void_fraction = 0.0;  // greedy stuck although connected
+  double mean_hops = 0.0;           // over delivered routes
+  int max_hops = 0;
+  double mean_latency = 0.0;        // seconds, over delivered routes
+  double max_latency = 0.0;
+  // Fraction of *all* sources whose report arrives within one sensing
+  // period — the quantity the paper's "ignore the communication stack"
+  // argument rests on.
+  double within_period_fraction = 0.0;
+};
+
+// Routes every node to `base` (a node id of `topology`) and aggregates.
+// `per_hop_latency` is the per-hop MAC+processing delay in seconds;
+// `period_length` the sensing period the within-period check uses.
+// `use_greedy` selects greedy geographic forwarding vs BFS shortest path.
+DeliveryStats EvaluateDelivery(const Topology& topology, int base,
+                               double per_hop_latency, double period_length,
+                               bool use_greedy);
+
+}  // namespace sparsedet

@@ -1,0 +1,39 @@
+#include "net/mac.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+double ExpectedSlotsPerHop(int contenders, const MacModel& model) {
+  SPARSEDET_REQUIRE(contenders >= 0, "contender count must be >= 0");
+  double p = model.p_tx;
+  if (p <= 0.0) {
+    p = 1.0 / (contenders + 1.0);  // throughput-optimal choice
+  }
+  SPARSEDET_REQUIRE(p > 0.0 && p < 1.0 + 1e-12,
+                    "transmission probability must be in (0, 1]");
+  const double success =
+      p * std::pow(1.0 - p, static_cast<double>(contenders));
+  SPARSEDET_REQUIRE(success > 0.0,
+                    "transmission never succeeds under this MAC setting");
+  return 1.0 / success;
+}
+
+double ExpectedHopLatency(int contenders, const MacModel& model) {
+  SPARSEDET_REQUIRE(model.slot_time > 0.0, "slot time must be positive");
+  return model.slot_time * ExpectedSlotsPerHop(contenders, model);
+}
+
+double MeanHopLatency(const Topology& topology, const MacModel& model) {
+  SPARSEDET_REQUIRE(model.slot_time > 0.0, "slot time must be positive");
+  double sum = 0.0;
+  for (int node = 0; node < topology.num_nodes(); ++node) {
+    sum += ExpectedHopLatency(
+        static_cast<int>(topology.Neighbors(node).size()), model);
+  }
+  return sum / topology.num_nodes();
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,39 @@
+// Per-hop latency under MAC contention.
+//
+// The delivery experiments use a constant per-hop latency; this module
+// derives that number from first principles instead. Model: slotted
+// CSMA/CA-style channel. A node with c contenders in range transmits in a
+// slot with probability p_tx; the attempt succeeds when none of the
+// contenders transmits in the same slot. The number of slots until success
+// is geometric with
+//   P[success per slot] = p_tx * (1 - p_tx)^c,
+// so the expected per-hop latency is slot_time / (p_tx (1 - p_tx)^c),
+// maximized over p_tx at p_tx = 1/(c+1) (the classical optimum). The model
+// gives experiments a principled latency-vs-density curve and shows when
+// the paper's "well within one period" premise survives contention.
+#pragma once
+
+#include "net/topology.h"
+
+namespace sparsedet {
+
+struct MacModel {
+  double slot_time = 0.05;  // seconds per contention slot
+  // Transmission probability per slot; <= 0 selects the per-node optimum
+  // 1 / (contenders + 1).
+  double p_tx = -1.0;
+};
+
+// Expected slots until a successful transmission with `contenders`
+// competing neighbors. Requires contenders >= 0; p_tx (if fixed) in (0, 1).
+double ExpectedSlotsPerHop(int contenders, const MacModel& model);
+
+// Expected one-hop latency in seconds for a node with `contenders`.
+double ExpectedHopLatency(int contenders, const MacModel& model);
+
+// Expected per-hop latency averaged over all nodes of a topology, each
+// contending with its own neighbors. This is the number to feed into
+// EvaluateDelivery / TransportOptions.
+double MeanHopLatency(const Topology& topology, const MacModel& model);
+
+}  // namespace sparsedet

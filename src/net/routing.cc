@@ -1,0 +1,98 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+void CheckIds(const Topology& topology, int src, int dst) {
+  SPARSEDET_REQUIRE(src >= 0 && src < topology.num_nodes(),
+                    "src node id out of range");
+  SPARSEDET_REQUIRE(dst >= 0 && dst < topology.num_nodes(),
+                    "dst node id out of range");
+}
+
+}  // namespace
+
+RouteResult GreedyForward(const Topology& topology, int src, int dst,
+                          int max_hops) {
+  CheckIds(topology, src, dst);
+  SPARSEDET_REQUIRE(max_hops >= 1, "max_hops must be >= 1");
+
+  RouteResult result;
+  result.path.push_back(src);
+  if (src == dst) {
+    result.delivered = true;
+    return result;
+  }
+
+  const Vec2 goal = topology.positions()[dst];
+  int current = src;
+  double current_dist = (topology.positions()[src] - goal).Norm();
+  for (int hop = 0; hop < max_hops; ++hop) {
+    int best = -1;
+    double best_dist = current_dist;
+    for (int neighbor : topology.Neighbors(current)) {
+      const double d = (topology.positions()[neighbor] - goal).Norm();
+      if (d < best_dist) {
+        best_dist = d;
+        best = neighbor;
+      }
+    }
+    if (best < 0) {
+      // Void: no strictly closer neighbor. Report whether a path exists.
+      result.stuck_in_void = ShortestPath(topology, current, dst).delivered;
+      return result;
+    }
+    current = best;
+    current_dist = best_dist;
+    result.path.push_back(current);
+    ++result.hops;
+    if (current == dst) {
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;  // hop budget exhausted
+}
+
+RouteResult ShortestPath(const Topology& topology, int src, int dst) {
+  CheckIds(topology, src, dst);
+
+  RouteResult result;
+  if (src == dst) {
+    result.delivered = true;
+    result.path.push_back(src);
+    return result;
+  }
+
+  std::vector<int> parent(static_cast<std::size_t>(topology.num_nodes()), -1);
+  std::queue<int> frontier;
+  parent[src] = src;
+  frontier.push(src);
+  while (!frontier.empty() && parent[dst] < 0) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : topology.Neighbors(u)) {
+      if (parent[v] < 0) {
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  if (parent[dst] < 0) return result;  // disconnected
+
+  std::vector<int> reverse_path;
+  for (int v = dst; v != src; v = parent[v]) reverse_path.push_back(v);
+  reverse_path.push_back(src);
+  std::reverse(reverse_path.begin(), reverse_path.end());
+  result.path = std::move(reverse_path);
+  result.hops = static_cast<int>(result.path.size()) - 1;
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace sparsedet

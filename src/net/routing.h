@@ -1,0 +1,34 @@
+// Geographic forwarding over a Topology.
+//
+// The paper cites GF / GPSR as the class of routing protocols that carry a
+// detection report to the base station "easily within a single sensing
+// period". We implement greedy geographic forwarding (each hop moves to
+// the neighbor strictly closest to the destination) plus an optional
+// shortest-path fallback so the experiments can separate geographic voids
+// (greedy failure) from true disconnection.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace sparsedet {
+
+struct RouteResult {
+  bool delivered = false;
+  int hops = 0;            // path length when delivered
+  std::vector<int> path;   // node ids, src first; dst last when delivered
+  bool stuck_in_void = false;  // greedy failed although a path exists
+};
+
+// Greedy geographic forwarding from `src` to `dst`. Fails (stuck) when no
+// neighbor is strictly closer to the destination. `max_hops` bounds the
+// walk (routing loops are impossible under strict progress, but the bound
+// keeps the API total). Requires valid node ids and max_hops >= 1.
+RouteResult GreedyForward(const Topology& topology, int src, int dst,
+                          int max_hops = 1 << 20);
+
+// BFS shortest path (minimum hops); delivered == false iff disconnected.
+RouteResult ShortestPath(const Topology& topology, int src, int dst);
+
+}  // namespace sparsedet

@@ -1,0 +1,91 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+Topology::Topology(std::vector<Vec2> positions, double comm_range)
+    : positions_(std::move(positions)), comm_range_(comm_range) {
+  SPARSEDET_REQUIRE(!positions_.empty(), "topology needs at least one node");
+  SPARSEDET_REQUIRE(comm_range > 0.0, "comm range must be positive");
+  const int n = num_nodes();
+  adjacency_.resize(static_cast<std::size_t>(n));
+  const double r2 = comm_range_ * comm_range_;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if ((positions_[i] - positions_[j]).NormSquared() <= r2) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+      }
+    }
+  }
+}
+
+const std::vector<int>& Topology::Neighbors(int node) const {
+  SPARSEDET_REQUIRE(node >= 0 && node < num_nodes(), "node id out of range");
+  return adjacency_[node];
+}
+
+std::vector<int> Topology::HopCountsFrom(int src) const {
+  SPARSEDET_REQUIRE(src >= 0 && src < num_nodes(), "node id out of range");
+  std::vector<int> dist(static_cast<std::size_t>(num_nodes()), -1);
+  std::queue<int> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : adjacency_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Topology::Components Topology::ConnectedComponents() const {
+  Components comp;
+  comp.id.assign(static_cast<std::size_t>(num_nodes()), -1);
+  for (int start = 0; start < num_nodes(); ++start) {
+    if (comp.id[start] >= 0) continue;
+    std::queue<int> frontier;
+    comp.id[start] = comp.count;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int v : adjacency_[u]) {
+        if (comp.id[v] < 0) {
+          comp.id[v] = comp.count;
+          frontier.push(v);
+        }
+      }
+    }
+    ++comp.count;
+  }
+  return comp;
+}
+
+bool Topology::IsConnected() const {
+  return ConnectedComponents().count == 1;
+}
+
+int Topology::LargestComponentSize() const {
+  const Components comp = ConnectedComponents();
+  std::vector<int> sizes(static_cast<std::size_t>(comp.count), 0);
+  for (int id : comp.id) ++sizes[id];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+double Topology::AverageDegree() const {
+  std::size_t edges2 = 0;
+  for (const auto& adj : adjacency_) edges2 += adj.size();
+  return static_cast<double>(edges2) / static_cast<double>(num_nodes());
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,49 @@
+// Communication topology of a deployment.
+//
+// The paper assumes communication range > 2 * sensing range, so the sparse
+// field is still connected through multi-hop networking, and asserts that a
+// report reaches the base station within one sensing period (~6 hops for
+// the ONR deployment). This substrate turns those assertions into
+// measurable quantities on concrete deployments (experiment E10).
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+class Topology {
+ public:
+  // Nodes communicate iff their distance is <= comm_range. Positions may
+  // include the base station (by convention the caller appends it last).
+  // Requires at least one node and comm_range > 0.
+  Topology(std::vector<Vec2> positions, double comm_range);
+
+  int num_nodes() const { return static_cast<int>(positions_.size()); }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  double comm_range() const { return comm_range_; }
+  const std::vector<int>& Neighbors(int node) const;
+
+  // BFS hop distance from `src` to every node; -1 where unreachable.
+  std::vector<int> HopCountsFrom(int src) const;
+
+  // Connected-component id per node (0-based) and the component count.
+  struct Components {
+    std::vector<int> id;
+    int count = 0;
+  };
+  Components ConnectedComponents() const;
+
+  bool IsConnected() const;
+  int LargestComponentSize() const;
+
+  double AverageDegree() const;
+
+ private:
+  std::vector<Vec2> positions_;
+  double comm_range_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,66 @@
+#include "prob/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "prob/combinatorics.h"
+
+namespace sparsedet {
+namespace {
+
+void CheckArgs(int n, double p) {
+  SPARSEDET_REQUIRE(n >= 0, "binomial n must be >= 0");
+  SPARSEDET_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p must be in [0, 1]");
+}
+
+}  // namespace
+
+double BinomialPmf(int n, int k, double p) {
+  CheckArgs(n, p);
+  SPARSEDET_REQUIRE(k >= 0, "binomial k must be >= 0");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogChoose(n, k) + k * std::log(p) +
+                         (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(int n, int k, double p) {
+  CheckArgs(n, p);
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  // Sum whichever tail has fewer terms; both are monotone so plain
+  // accumulation is fine at our sizes (n <= a few thousand).
+  if (k <= n / 2) {
+    double sum = 0.0;
+    for (int i = 0; i <= k; ++i) sum += BinomialPmf(n, i, p);
+    return std::min(sum, 1.0);
+  }
+  double upper = 0.0;
+  for (int i = k + 1; i <= n; ++i) upper += BinomialPmf(n, i, p);
+  return std::clamp(1.0 - upper, 0.0, 1.0);
+}
+
+double BinomialSurvival(int n, int k, double p) {
+  CheckArgs(n, p);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  if (k > n / 2) {
+    double sum = 0.0;
+    for (int i = k; i <= n; ++i) sum += BinomialPmf(n, i, p);
+    return std::min(sum, 1.0);
+  }
+  return std::clamp(1.0 - BinomialCdf(n, k - 1, p), 0.0, 1.0);
+}
+
+std::vector<double> BinomialPmfVector(int n, double p, int max_k) {
+  CheckArgs(n, p);
+  if (max_k < 0 || max_k > n) max_k = n;
+  std::vector<double> pmf(static_cast<std::size_t>(max_k) + 1);
+  for (int k = 0; k <= max_k; ++k) pmf[k] = BinomialPmf(n, k, p);
+  return pmf;
+}
+
+}  // namespace sparsedet

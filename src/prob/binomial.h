@@ -1,0 +1,25 @@
+// Numerically stable Binomial(n, p) pmf / cdf.
+//
+// The paper's Eqs. 1-2 (single-period model) and every "probability that m
+// of N sensors fall in an area" term are binomial; p can be as small as
+// 1e-5 for sparse deployments, so all pmf evaluation is done in log space.
+#pragma once
+
+#include <vector>
+
+namespace sparsedet {
+
+// P[X = k] for X ~ Binomial(n, p). Requires n >= 0, 0 <= k, 0 <= p <= 1.
+// Returns 0 for k > n.
+double BinomialPmf(int n, int k, double p);
+
+// P[X <= k]. Requires n >= 0, 0 <= p <= 1; k < 0 yields 0, k >= n yields 1.
+double BinomialCdf(int n, int k, double p);
+
+// P[X >= k] = 1 - P[X <= k-1], summed from the small tail for stability.
+double BinomialSurvival(int n, int k, double p);
+
+// The full pmf vector [P(0), ..., P(max_k)], max_k <= n (defaults to n).
+std::vector<double> BinomialPmfVector(int n, double p, int max_k = -1);
+
+}  // namespace sparsedet

@@ -1,0 +1,44 @@
+#include "prob/combinatorics.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+constexpr int kTableSize = 128;
+
+const std::array<double, kTableSize>& LogFactorialTable() {
+  static const std::array<double, kTableSize> table = [] {
+    std::array<double, kTableSize> t{};
+    t[0] = 0.0;
+    for (int n = 1; n < kTableSize; ++n) {
+      t[n] = t[n - 1] + std::log(static_cast<double>(n));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+double LogFactorial(int n) {
+  SPARSEDET_REQUIRE(n >= 0, "factorial of a negative number");
+  if (n < kTableSize) return LogFactorialTable()[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int n, int k) {
+  SPARSEDET_REQUIRE(k >= 0 && k <= n, "LogChoose requires 0 <= k <= n");
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Choose(int n, int k) {
+  SPARSEDET_REQUIRE(k >= 0 && k <= n, "Choose requires 0 <= k <= n");
+  if (k == 0 || k == n) return 1.0;
+  return std::exp(LogChoose(n, k));
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,18 @@
+// Log-space combinatorics. All heavy binomial work in the analytical models
+// goes through these helpers so that quantities like C(240, 6) * p^6 stay
+// accurate for tiny p.
+#pragma once
+
+namespace sparsedet {
+
+// ln(n!). Requires n >= 0. Exact table for small n, lgamma beyond.
+double LogFactorial(int n);
+
+// ln C(n, k). Requires 0 <= k <= n.
+double LogChoose(int n, int k);
+
+// C(n, k) as a double (may overflow to inf for huge n; fine for our sizes).
+// Requires 0 <= k <= n.
+double Choose(int n, int k);
+
+}  // namespace sparsedet

@@ -1,0 +1,129 @@
+#include "prob/gof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+// Lower regularized incomplete gamma P(s, x) by series expansion;
+// converges quickly for x < s + 1.
+double GammaPSeries(double s, double x) {
+  double term = 1.0 / s;
+  double sum = term;
+  for (int n = 1; n < 1000; ++n) {
+    term *= x / (s + n);
+    sum += term;
+    if (term < sum * 1e-16) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+// Upper regularized incomplete gamma Q(s, x) by continued fraction
+// (Lentz); converges quickly for x >= s + 1.
+double GammaQContinuedFraction(double s, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -i * (i - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double s, double x) {
+  SPARSEDET_REQUIRE(s > 0.0, "gamma shape must be positive");
+  SPARSEDET_REQUIRE(x >= 0.0, "gamma argument must be >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < s + 1.0) return std::clamp(1.0 - GammaPSeries(s, x), 0.0, 1.0);
+  return std::clamp(GammaQContinuedFraction(s, x), 0.0, 1.0);
+}
+
+double ChiSquareSurvival(double x, int dof) {
+  SPARSEDET_REQUIRE(dof >= 1, "chi-square needs dof >= 1");
+  SPARSEDET_REQUIRE(x >= 0.0, "chi-square statistic must be >= 0");
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<std::int64_t>& counts,
+                                       const Pmf& reference,
+                                       double min_expected) {
+  SPARSEDET_REQUIRE(min_expected > 0.0, "min expected count must be > 0");
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) {
+    SPARSEDET_REQUIRE(c >= 0, "histogram counts must be >= 0");
+    total += c;
+  }
+  SPARSEDET_REQUIRE(total > 0, "histogram must contain samples");
+  const double ref_mass = reference.TotalMass();
+  SPARSEDET_REQUIRE(ref_mass > 0.0, "reference pmf must have positive mass");
+
+  // Expected counts per value; the reference tail beyond the histogram's
+  // support joins the last value's bin. Observed values beyond the
+  // reference support are impossible under H0 — give them a bin with the
+  // (tiny) residual expected mass so they inflate the statistic instead of
+  // crashing.
+  const std::size_t support =
+      std::max(counts.size(), reference.size());
+  std::vector<double> expected(support, 0.0);
+  std::vector<double> observed(support, 0.0);
+  for (std::size_t v = 0; v < support; ++v) {
+    expected[v] = static_cast<double>(total) * reference[v] / ref_mass;
+    observed[v] = v < counts.size() ? static_cast<double>(counts[v]) : 0.0;
+  }
+
+  // Merge low-expectation bins left to right.
+  std::vector<double> merged_expected;
+  std::vector<double> merged_observed;
+  double acc_e = 0.0;
+  double acc_o = 0.0;
+  for (std::size_t v = 0; v < support; ++v) {
+    acc_e += expected[v];
+    acc_o += observed[v];
+    if (acc_e >= min_expected) {
+      merged_expected.push_back(acc_e);
+      merged_observed.push_back(acc_o);
+      acc_e = 0.0;
+      acc_o = 0.0;
+    }
+  }
+  if (acc_e > 0.0 || acc_o > 0.0) {
+    if (!merged_expected.empty()) {
+      merged_expected.back() += acc_e;
+      merged_observed.back() += acc_o;
+    } else {
+      merged_expected.push_back(acc_e);
+      merged_observed.push_back(acc_o);
+    }
+  }
+  SPARSEDET_REQUIRE(merged_expected.size() >= 2,
+                    "need at least two bins after merging");
+
+  ChiSquareResult result;
+  result.bins_used = static_cast<int>(merged_expected.size());
+  for (std::size_t b = 0; b < merged_expected.size(); ++b) {
+    const double diff = merged_observed[b] - merged_expected[b];
+    result.statistic += diff * diff / merged_expected[b];
+  }
+  result.degrees_of_freedom = result.bins_used - 1;
+  result.p_value =
+      ChiSquareSurvival(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,39 @@
+// Goodness-of-fit between an empirical sample histogram and a reference
+// pmf. Used to validate the simulator against the exact analytical
+// report-count distribution at the whole-distribution level, not just the
+// detection-probability tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+struct ChiSquareResult {
+  double statistic = 0.0;       // sum (obs - exp)^2 / exp over merged bins
+  int degrees_of_freedom = 0;   // merged bins - 1
+  double p_value = 0.0;         // P[chi2_dof >= statistic]
+  int bins_used = 0;
+};
+
+// Pearson chi-square test of `counts` (histogram over {0, 1, ...}) against
+// `reference` (normalized internally). Bins with expected count below
+// `min_expected` are merged into their right neighbor (the standard rule
+// of thumb); mass of the reference beyond the histogram support forms a
+// final tail bin. Requires a positive total count and at least two merged
+// bins. The test is valid for samples drawn independently.
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<std::int64_t>& counts,
+                                       const Pmf& reference,
+                                       double min_expected = 5.0);
+
+// Regularized upper incomplete gamma Q(s, x) = Gamma(s, x) / Gamma(s),
+// which equals the chi-square survival function with dof = 2s, x = stat/2.
+// Requires s > 0, x >= 0.
+double RegularizedGammaQ(double s, double x);
+
+// Chi-square survival function P[X >= x] for `dof` degrees of freedom.
+double ChiSquareSurvival(double x, int dof);
+
+}  // namespace sparsedet

@@ -1,0 +1,104 @@
+#include "prob/joint_pmf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+JointPmf::JointPmf(int max_m, int max_n)
+    : max_m_(max_m),
+      max_n_(max_n),
+      mass_(static_cast<std::size_t>(max_m + 1) *
+                static_cast<std::size_t>(max_n + 1),
+            0.0) {
+  SPARSEDET_REQUIRE(max_m >= 0 && max_n >= 0, "joint pmf caps must be >= 0");
+}
+
+JointPmf JointPmf::DeltaZero(int max_m, int max_n) {
+  JointPmf j(max_m, max_n);
+  j.At(0, 0) = 1.0;
+  return j;
+}
+
+double& JointPmf::At(int m, int n) {
+  SPARSEDET_REQUIRE(m >= 0 && m <= max_m_ && n >= 0 && n <= max_n_,
+                    "joint pmf index out of range");
+  return mass_[Index(m, n)];
+}
+
+double JointPmf::At(int m, int n) const {
+  SPARSEDET_REQUIRE(m >= 0 && m <= max_m_ && n >= 0 && n <= max_n_,
+                    "joint pmf index out of range");
+  return mass_[Index(m, n)];
+}
+
+double JointPmf::TotalMass() const {
+  return std::accumulate(mass_.begin(), mass_.end(), 0.0);
+}
+
+double JointPmf::JointTail(int m_min, int n_min) const {
+  double sum = 0.0;
+  for (int m = std::max(m_min, 0); m <= max_m_; ++m) {
+    for (int n = std::max(n_min, 0); n <= max_n_; ++n) {
+      sum += mass_[Index(m, n)];
+    }
+  }
+  return sum;
+}
+
+Pmf JointPmf::MarginalM() const {
+  std::vector<double> out(static_cast<std::size_t>(max_m_) + 1, 0.0);
+  for (int m = 0; m <= max_m_; ++m) {
+    for (int n = 0; n <= max_n_; ++n) out[m] += mass_[Index(m, n)];
+  }
+  return Pmf(std::move(out));
+}
+
+Pmf JointPmf::MarginalN() const {
+  std::vector<double> out(static_cast<std::size_t>(max_n_) + 1, 0.0);
+  for (int n = 0; n <= max_n_; ++n) {
+    for (int m = 0; m <= max_m_; ++m) out[n] += mass_[Index(m, n)];
+  }
+  return Pmf(std::move(out));
+}
+
+JointPmf JointPmf::ConvolveWith(const JointPmf& other, bool saturate_m,
+                                bool saturate_n) const {
+  JointPmf out(max_m_, max_n_);
+  for (int m1 = 0; m1 <= max_m_; ++m1) {
+    for (int n1 = 0; n1 <= max_n_; ++n1) {
+      const double a = mass_[Index(m1, n1)];
+      if (a == 0.0) continue;
+      for (int m2 = 0; m2 <= other.max_m_; ++m2) {
+        for (int n2 = 0; n2 <= other.max_n_; ++n2) {
+          const double b = other.mass_[other.Index(m2, n2)];
+          if (b == 0.0) continue;
+          int m = m1 + m2;
+          int n = n1 + n2;
+          if (m > max_m_) {
+            if (!saturate_m) continue;
+            m = max_m_;
+          }
+          if (n > max_n_) {
+            if (!saturate_n) continue;
+            n = max_n_;
+          }
+          out.mass_[out.Index(m, n)] += a * b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+JointPmf JointPmf::Normalized() const {
+  const double total = TotalMass();
+  SPARSEDET_REQUIRE(total > 0.0, "cannot normalize a zero-mass joint pmf");
+  JointPmf out = *this;
+  for (double& m : out.mass_) m /= total;
+  return out;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,59 @@
+// Joint pmf over pairs (m, n) of non-negative integers.
+//
+// Used by the paper's Section-4 extension, where the Markov state tracks
+// both the total number of detection reports (m) and the number of distinct
+// reporting nodes (n), with n saturating at the decision threshold h
+// ("state m:h means *at least* h nodes generated m reports").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/pmf.h"
+
+namespace sparsedet {
+
+class JointPmf {
+ public:
+  // Zero-mass grid with support {0..max_m} x {0..max_n}.
+  JointPmf(int max_m, int max_n);
+
+  // Point mass at (0, 0).
+  static JointPmf DeltaZero(int max_m, int max_n);
+
+  int max_m() const { return max_m_; }
+  int max_n() const { return max_n_; }
+
+  double& At(int m, int n);
+  double At(int m, int n) const;
+
+  double TotalMass() const;
+
+  // P[M >= m_min and N >= n_min].
+  double JointTail(int m_min, int n_min) const;
+
+  Pmf MarginalM() const;
+  Pmf MarginalN() const;
+
+  // Distribution of the component-wise sum of independent draws, with each
+  // axis independently saturating at its cap (mass beyond max accumulates
+  // at max) or truncating (mass dropped). The result keeps this grid's
+  // caps. Saturation on the n axis is what implements "at least h nodes".
+  JointPmf ConvolveWith(const JointPmf& other, bool saturate_m,
+                        bool saturate_n) const;
+
+  // Scales so TotalMass() == 1; requires positive mass.
+  JointPmf Normalized() const;
+
+ private:
+  std::size_t Index(int m, int n) const {
+    return static_cast<std::size_t>(m) * (max_n_ + 1) +
+           static_cast<std::size_t>(n);
+  }
+
+  int max_m_;
+  int max_n_;
+  std::vector<double> mass_;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,126 @@
+#include "prob/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+Pmf::Pmf() : mass_{1.0} {}
+
+Pmf::Pmf(std::vector<double> mass) : mass_(std::move(mass)) {
+  SPARSEDET_REQUIRE(!mass_.empty(), "a pmf needs at least one entry");
+  for (double m : mass_) {
+    SPARSEDET_REQUIRE(m >= 0.0 && std::isfinite(m),
+                      "pmf entries must be finite and non-negative");
+  }
+}
+
+Pmf Pmf::Delta(int value) {
+  SPARSEDET_REQUIRE(value >= 0, "pmf support starts at 0");
+  std::vector<double> mass(static_cast<std::size_t>(value) + 1, 0.0);
+  mass.back() = 1.0;
+  return Pmf(std::move(mass));
+}
+
+double Pmf::TotalMass() const {
+  return std::accumulate(mass_.begin(), mass_.end(), 0.0);
+}
+
+double Pmf::TailSum(int k) const {
+  if (k <= 0) return TotalMass();
+  double sum = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(k); i < mass_.size(); ++i) {
+    sum += mass_[i];
+  }
+  return sum;
+}
+
+double Pmf::HeadSum(int k) const {
+  if (k < 0) return 0.0;
+  const std::size_t end =
+      std::min(mass_.size(), static_cast<std::size_t>(k) + 1);
+  return std::accumulate(mass_.begin(), mass_.begin() + end, 0.0);
+}
+
+double Pmf::Mean() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    sum += static_cast<double>(i) * mass_[i];
+  }
+  return sum;
+}
+
+double Pmf::Variance() const {
+  const double mu = Mean();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    const double d = static_cast<double>(i) - mu;
+    sum += d * d * mass_[i];
+  }
+  return sum;
+}
+
+Pmf Pmf::ConvolveWith(const Pmf& other, int max_value, bool saturate) const {
+  const std::size_t full = mass_.size() + other.mass_.size() - 1;
+  const std::size_t out_size =
+      max_value < 0 ? full
+                    : std::min(full, static_cast<std::size_t>(max_value) + 1);
+  std::vector<double> out(out_size, 0.0);
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.mass_.size(); ++j) {
+      const std::size_t k = i + j;
+      if (k < out_size) {
+        out[k] += mass_[i] * other.mass_[j];
+      } else if (saturate) {
+        out.back() += mass_[i] * other.mass_[j];
+      }
+    }
+  }
+  return Pmf(std::move(out));
+}
+
+Pmf Pmf::ConvolvePower(int n, int max_value, bool saturate) const {
+  SPARSEDET_REQUIRE(n >= 0, "convolution power must be >= 0");
+  // Exponentiation by squaring keeps the number of convolutions O(log n);
+  // with truncation the intermediate supports stay bounded anyway.
+  Pmf result = Pmf::Delta(0);
+  Pmf base = *this;
+  int e = n;
+  while (e > 0) {
+    if (e & 1) result = result.ConvolveWith(base, max_value, saturate);
+    e >>= 1;
+    if (e > 0) base = base.ConvolveWith(base, max_value, saturate);
+  }
+  return result;
+}
+
+Pmf Pmf::Normalized() const {
+  const double total = TotalMass();
+  SPARSEDET_REQUIRE(total > 0.0, "cannot normalize a zero-mass pmf");
+  std::vector<double> out(mass_);
+  for (double& m : out) m /= total;
+  return Pmf(std::move(out));
+}
+
+Pmf Pmf::ThinnedBy(double keep_prob) const {
+  SPARSEDET_REQUIRE(keep_prob >= 0.0 && keep_prob <= 1.0,
+                    "keep probability must be in [0, 1]");
+  std::vector<double> out(mass_.size());
+  for (std::size_t i = 0; i < mass_.size(); ++i) out[i] = keep_prob * mass_[i];
+  // The collapsed outcomes keep the total mass constant (sub-stochastic
+  // pmfs stay sub-stochastic with the same total).
+  out[0] += (1.0 - keep_prob) * TotalMass();
+  return Pmf(std::move(out));
+}
+
+Pmf Pmf::Trimmed() const {
+  std::size_t last = mass_.size();
+  while (last > 1 && mass_[last - 1] == 0.0) --last;
+  return Pmf(std::vector<double>(mass_.begin(), mass_.begin() + last));
+}
+
+}  // namespace sparsedet

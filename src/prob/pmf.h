@@ -1,0 +1,68 @@
+// Pmf: probability mass function on {0, 1, 2, ...} as a dense vector.
+//
+// This is the workhorse of the analytical models: per-stage report-count
+// distributions are Pmfs, and chaining sensing periods is convolution.
+// A Pmf is allowed to be *sub-stochastic* (total mass < 1) — the paper's
+// capped enumerations deliberately drop the mass of configurations with
+// more than g sensors per region and renormalize at the very end (Eq. 13),
+// so the type tracks mass rather than enforcing it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsedet {
+
+class Pmf {
+ public:
+  // The zero distribution P[X = 0] = 1.
+  Pmf();
+  // Takes the mass vector; requires every entry >= 0 and at least one entry.
+  explicit Pmf(std::vector<double> mass);
+
+  static Pmf Delta(int value);  // point mass at `value`
+
+  std::size_t size() const { return mass_.size(); }
+  int MaxValue() const { return static_cast<int>(mass_.size()) - 1; }
+  // P[X = k]; 0 beyond the stored support.
+  double operator[](std::size_t k) const {
+    return k < mass_.size() ? mass_[k] : 0.0;
+  }
+  const std::vector<double>& mass() const { return mass_; }
+
+  double TotalMass() const;
+  // P[X >= k].
+  double TailSum(int k) const;
+  // P[X <= k].
+  double HeadSum(int k) const;
+  double Mean() const;
+  double Variance() const;
+
+  // Distribution of X + Y for independent X ~ *this, Y ~ other. If
+  // `max_value >= 0`, the support is truncated at max_value and the excess
+  // mass *dropped* (matching the paper's finite Markov state space when the
+  // top states are not merged) unless `saturate` is true, in which case the
+  // excess mass accumulates at max_value (matching a merged ">= top" state).
+  Pmf ConvolveWith(const Pmf& other, int max_value = -1,
+                   bool saturate = false) const;
+
+  // n-fold convolution of *this with itself (n >= 0; n = 0 gives Delta(0)).
+  Pmf ConvolvePower(int n, int max_value = -1, bool saturate = false) const;
+
+  // Scales all mass so TotalMass() == 1. Requires TotalMass() > 0.
+  Pmf Normalized() const;
+
+  // Distribution of B * X where B ~ Bernoulli(keep_prob) independent of X:
+  // with probability 1 - keep_prob the outcome collapses to 0. This is the
+  // "thinning" used to model unreliable sensors (a dead sensor generates
+  // no reports regardless of its position). Requires keep_prob in [0, 1].
+  Pmf ThinnedBy(double keep_prob) const;
+
+  // Drops trailing zero entries (keeps at least one entry).
+  Pmf Trimmed() const;
+
+ private:
+  std::vector<double> mass_;
+};
+
+}  // namespace sparsedet

@@ -1,0 +1,38 @@
+#include "prob/poisson.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "prob/combinatorics.h"
+
+namespace sparsedet {
+
+double PoissonPmf(double lambda, int k) {
+  SPARSEDET_REQUIRE(lambda >= 0.0, "Poisson rate must be >= 0");
+  SPARSEDET_REQUIRE(k >= 0, "Poisson k must be >= 0");
+  if (lambda == 0.0) return k == 0 ? 1.0 : 0.0;
+  return std::exp(k * std::log(lambda) - lambda - LogFactorial(k));
+}
+
+double PoissonCdf(double lambda, int k) {
+  SPARSEDET_REQUIRE(lambda >= 0.0, "Poisson rate must be >= 0");
+  if (k < 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i <= k; ++i) sum += PoissonPmf(lambda, i);
+  return std::min(sum, 1.0);
+}
+
+double PoissonSurvival(double lambda, int k) {
+  if (k <= 0) return 1.0;
+  return std::clamp(1.0 - PoissonCdf(lambda, k - 1), 0.0, 1.0);
+}
+
+std::vector<double> PoissonPmfVector(double lambda, int max_k) {
+  SPARSEDET_REQUIRE(max_k >= 0, "max_k must be >= 0");
+  std::vector<double> pmf(static_cast<std::size_t>(max_k) + 1);
+  for (int k = 0; k <= max_k; ++k) pmf[k] = PoissonPmf(lambda, k);
+  return pmf;
+}
+
+}  // namespace sparsedet

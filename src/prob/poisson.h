@@ -1,0 +1,22 @@
+// Poisson pmf / tails. Used by the false-alarm analysis (expected number of
+// node-level false alarms per window) and as a sanity approximation for
+// sparse binomials in tests.
+#pragma once
+
+#include <vector>
+
+namespace sparsedet {
+
+// P[X = k] for X ~ Poisson(lambda). Requires lambda >= 0, k >= 0.
+double PoissonPmf(double lambda, int k);
+
+// P[X <= k]; k < 0 yields 0.
+double PoissonCdf(double lambda, int k);
+
+// P[X >= k].
+double PoissonSurvival(double lambda, int k);
+
+// [P(0), ..., P(max_k)].
+std::vector<double> PoissonPmfVector(double lambda, int max_k);
+
+}  // namespace sparsedet

@@ -1,0 +1,56 @@
+#include "prob/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+ProportionEstimate WilsonInterval(std::int64_t successes, std::int64_t trials,
+                                  double z) {
+  SPARSEDET_REQUIRE(trials > 0, "Wilson interval needs at least one trial");
+  SPARSEDET_REQUIRE(successes >= 0 && successes <= trials,
+                    "successes must be in [0, trials]");
+  SPARSEDET_REQUIRE(z > 0.0, "z must be positive");
+
+  ProportionEstimate est;
+  est.successes = successes;
+  est.trials = trials;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  est.point = p;
+
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  est.lo = std::max(0.0, center - half);
+  est.hi = std::min(1.0, center + half);
+  return est;
+}
+
+void MeanVarAccumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double MeanVarAccumulator::Mean() const { return mean_; }
+
+double MeanVarAccumulator::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanVarAccumulator::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace sparsedet

@@ -1,0 +1,45 @@
+// Estimation statistics for the Monte-Carlo experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace sparsedet {
+
+// A binomial proportion with a Wilson score confidence interval. This is
+// what every simulation experiment reports: detection probability out of
+// `trials` independent trials.
+struct ProportionEstimate {
+  std::int64_t successes = 0;
+  std::int64_t trials = 0;
+  double point = 0.0;  // successes / trials
+  double lo = 0.0;     // Wilson lower bound
+  double hi = 0.0;     // Wilson upper bound
+};
+
+// Wilson score interval at confidence given by the normal quantile `z`
+// (1.96 ~ 95%, 2.576 ~ 99%, 3.29 ~ 99.9%). Requires trials > 0,
+// 0 <= successes <= trials, z > 0.
+ProportionEstimate WilsonInterval(std::int64_t successes, std::int64_t trials,
+                                  double z = 1.96);
+
+// Streaming mean / variance (Welford). Used for latency and hop statistics.
+class MeanVarAccumulator {
+ public:
+  void Add(double x);
+  std::int64_t count() const { return count_; }
+  double Mean() const;
+  // Unbiased sample variance; 0 with fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sparsedet

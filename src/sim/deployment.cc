@@ -1,0 +1,47 @@
+#include "sim/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+std::vector<Vec2> DeployUniform(const Field& field, int n, Rng& rng) {
+  SPARSEDET_REQUIRE(n >= 0, "node count must be >= 0");
+  std::vector<Vec2> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nodes.push_back(field.SamplePoint(rng));
+  return nodes;
+}
+
+std::vector<Vec2> DeployJitteredGrid(const Field& field, int n,
+                                     double jitter_fraction, Rng& rng) {
+  SPARSEDET_REQUIRE(n >= 1, "grid deployment needs at least one node");
+  SPARSEDET_REQUIRE(jitter_fraction >= 0.0 && jitter_fraction <= 0.5,
+                    "jitter fraction must be in [0, 0.5]");
+  // Choose a cols x rows grid with aspect ratio close to the field's and
+  // cols * rows >= n; emit the first n cells.
+  const double aspect = field.width() / field.height();
+  int cols = std::max(1, static_cast<int>(std::ceil(
+                             std::sqrt(static_cast<double>(n) * aspect))));
+  int rows = (n + cols - 1) / cols;
+  const double cell_w = field.width() / cols;
+  const double cell_h = field.height() / rows;
+
+  std::vector<Vec2> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int r = i / cols;
+    const int c = i % cols;
+    const double cx = (c + 0.5) * cell_w;
+    const double cy = (r + 0.5) * cell_h;
+    const double dx = rng.Uniform(-jitter_fraction, jitter_fraction) * cell_w;
+    const double dy = rng.Uniform(-jitter_fraction, jitter_fraction) * cell_h;
+    nodes.push_back({std::clamp(cx + dx, 0.0, field.width()),
+                     std::clamp(cy + dy, 0.0, field.height())});
+  }
+  return nodes;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,23 @@
+// Sensor deployment generators.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+// N i.i.d. uniform positions in the field — the paper's deployment
+// assumption (Section 2). Requires n >= 0.
+std::vector<Vec2> DeployUniform(const Field& field, int n, Rng& rng);
+
+// Near-regular grid with per-node uniform jitter of +/- jitter_fraction of
+// the cell size in each axis (jitter_fraction in [0, 0.5]). Used by the
+// ablation experiments to probe how sensitive the analysis (which assumes
+// uniform randomness) is to deployment regularity. Requires n >= 1.
+std::vector<Vec2> DeployJitteredGrid(const Field& field, int n,
+                                     double jitter_fraction, Rng& rng);
+
+}  // namespace sparsedet

@@ -1,0 +1,69 @@
+#include "sim/monte_carlo.h"
+
+#include <atomic>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace sparsedet {
+
+ProportionEstimate EstimateTrialProbability(
+    const TrialConfig& config, const MonteCarloOptions& options,
+    const std::function<bool(const TrialResult&)>& accept) {
+  SPARSEDET_REQUIRE(options.trials >= 1, "need at least one trial");
+  config.params.Validate();
+
+  const Rng base(options.seed);
+  std::atomic<std::int64_t> successes{0};
+  ParallelFor(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t i) {
+        Rng rng = base.Substream(i);
+        const TrialResult trial = RunTrial(config, rng);
+        if (accept(trial)) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      options.threads);
+  return WilsonInterval(successes.load(), options.trials, options.z);
+}
+
+ProportionEstimate EstimateDetectionProbability(
+    const TrialConfig& config, const MonteCarloOptions& options) {
+  const int k = config.params.threshold_reports;
+  return EstimateTrialProbability(
+      config, options,
+      [k](const TrialResult& trial) { return trial.total_true_reports >= k; });
+}
+
+ProportionEstimate EstimateKNodeDetectionProbability(
+    const TrialConfig& config, int h, const MonteCarloOptions& options) {
+  SPARSEDET_REQUIRE(h >= 1, "h must be >= 1");
+  const int k = config.params.threshold_reports;
+  return EstimateTrialProbability(config, options,
+                                  [k, h](const TrialResult& trial) {
+                                    return trial.total_true_reports >= k &&
+                                           trial.distinct_true_nodes >= h;
+                                  });
+}
+
+double EstimateMeanReports(const TrialConfig& config,
+                           const MonteCarloOptions& options) {
+  SPARSEDET_REQUIRE(options.trials >= 1, "need at least one trial");
+  config.params.Validate();
+  const Rng base(options.seed);
+  std::atomic<std::int64_t> total{0};
+  ParallelFor(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t i) {
+        Rng rng = base.Substream(i);
+        const TrialResult trial = RunTrial(config, rng);
+        total.fetch_add(trial.total_true_reports, std::memory_order_relaxed);
+      },
+      options.threads);
+  return static_cast<double>(total.load()) /
+         static_cast<double>(options.trials);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,153 @@
+#include "sim/motion.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sparsedet {
+namespace {
+
+void CheckPathArgs(int periods, double step_length) {
+  SPARSEDET_REQUIRE(periods >= 1, "a path needs at least one period");
+  SPARSEDET_REQUIRE(step_length > 0.0, "step length must be positive");
+}
+
+// Advances one step of `len` along `heading`, applying the boundary policy.
+// kReflect mirrors the position at the offending edge and flips the
+// corresponding heading component; one mirror pass per axis is enough
+// because a step is much shorter than the field.
+Vec2 Step(Vec2 pos, double& heading, double len, const Field& field,
+          BoundaryPolicy policy) {
+  Vec2 next = pos + Vec2::FromAngle(heading) * len;
+  if (policy == BoundaryPolicy::kUnbounded) return next;
+
+  double dir_x = std::cos(heading);
+  double dir_y = std::sin(heading);
+  if (next.x < 0.0) {
+    next.x = -next.x;
+    dir_x = -dir_x;
+  } else if (next.x > field.width()) {
+    next.x = 2.0 * field.width() - next.x;
+    dir_x = -dir_x;
+  }
+  if (next.y < 0.0) {
+    next.y = -next.y;
+    dir_y = -dir_y;
+  } else if (next.y > field.height()) {
+    next.y = 2.0 * field.height() - next.y;
+    dir_y = -dir_y;
+  }
+  heading = std::atan2(dir_y, dir_x);
+  return next;
+}
+
+}  // namespace
+
+std::vector<Vec2> StraightLineMotion::SamplePath(const Field& field,
+                                                 int periods,
+                                                 double step_length,
+                                                 Rng& rng) const {
+  CheckPathArgs(periods, step_length);
+  std::vector<Vec2> path;
+  path.reserve(static_cast<std::size_t>(periods) + 1);
+  Vec2 pos = field.SamplePoint(rng);
+  double heading = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  path.push_back(pos);
+  for (int p = 0; p < periods; ++p) {
+    pos = Step(pos, heading, step_length, field, policy_);
+    path.push_back(pos);
+  }
+  return path;
+}
+
+RandomWalkMotion::RandomWalkMotion(double max_turn, BoundaryPolicy policy)
+    : max_turn_(max_turn), policy_(policy) {
+  SPARSEDET_REQUIRE(max_turn >= 0.0 && max_turn <= std::numbers::pi,
+                    "max turn must be in [0, pi]");
+}
+
+std::vector<Vec2> RandomWalkMotion::SamplePath(const Field& field, int periods,
+                                               double step_length,
+                                               Rng& rng) const {
+  CheckPathArgs(periods, step_length);
+  std::vector<Vec2> path;
+  path.reserve(static_cast<std::size_t>(periods) + 1);
+  Vec2 pos = field.SamplePoint(rng);
+  double heading = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  path.push_back(pos);
+  for (int p = 0; p < periods; ++p) {
+    pos = Step(pos, heading, step_length, field, policy_);
+    path.push_back(pos);
+    heading += rng.Uniform(-max_turn_, max_turn_);
+  }
+  return path;
+}
+
+WaypointMotion::WaypointMotion(std::vector<Vec2> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  SPARSEDET_REQUIRE(waypoints_.size() >= 2,
+                    "waypoint motion needs at least two waypoints");
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    SPARSEDET_REQUIRE(waypoints_[i].DistanceTo(waypoints_[i - 1]) > 0.0,
+                      "consecutive waypoints must be distinct");
+  }
+}
+
+std::vector<Vec2> WaypointMotion::SamplePath(const Field& /*field*/,
+                                             int periods, double step_length,
+                                             Rng& /*rng*/) const {
+  CheckPathArgs(periods, step_length);
+  std::vector<Vec2> path;
+  path.reserve(static_cast<std::size_t>(periods) + 1);
+
+  std::size_t leg = 0;  // current leg: waypoints_[leg] -> waypoints_[leg+1]
+  Vec2 pos = waypoints_[0];
+  path.push_back(pos);
+  for (int p = 0; p < periods; ++p) {
+    double remaining = step_length;
+    while (remaining > 0.0) {
+      const Vec2 target = waypoints_[leg + 1];
+      const double to_target = pos.DistanceTo(target);
+      if (to_target > remaining) {
+        pos = pos + (target - pos) * (remaining / to_target);
+        remaining = 0.0;
+      } else {
+        pos = target;
+        remaining -= to_target;
+        leg = (leg + 1) % (waypoints_.size() - 1);
+        if (leg == 0) pos = waypoints_[0];  // cycle back to the start
+      }
+    }
+    path.push_back(pos);
+  }
+  return path;
+}
+
+VaryingSpeedMotion::VaryingSpeedMotion(double speed_factor_lo,
+                                       double speed_factor_hi,
+                                       BoundaryPolicy policy)
+    : lo_(speed_factor_lo), hi_(speed_factor_hi), policy_(policy) {
+  SPARSEDET_REQUIRE(speed_factor_lo > 0.0 && speed_factor_hi >= speed_factor_lo,
+                    "speed factors must satisfy 0 < lo <= hi");
+}
+
+std::vector<Vec2> VaryingSpeedMotion::SamplePath(const Field& field,
+                                                 int periods,
+                                                 double step_length,
+                                                 Rng& rng) const {
+  CheckPathArgs(periods, step_length);
+  std::vector<Vec2> path;
+  path.reserve(static_cast<std::size_t>(periods) + 1);
+  Vec2 pos = field.SamplePoint(rng);
+  double heading = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  path.push_back(pos);
+  for (int p = 0; p < periods; ++p) {
+    const double len = step_length * rng.Uniform(lo_, hi_);
+    pos = Step(pos, heading, len, field, policy_);
+    path.push_back(pos);
+  }
+  return path;
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,99 @@
+// Target motion models.
+//
+// A motion model produces the target's positions at sensing-period
+// boundaries: `periods + 1` points, so the segment between consecutive
+// points is the path traversed in one period. The paper's analysis assumes
+// a straight track at constant speed; the simulator also implements the
+// Random Walk pattern used by Figure 9(c) (direction change within
+// [-pi/4, pi/4] per period), a waypoint patrol, and a varying-speed model
+// (the paper's future-work item).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+
+// What happens when the target would leave the field.
+enum class BoundaryPolicy {
+  kUnbounded,  // keep going; sensors exist only inside the field. This is
+               // what the boundary-free analysis corresponds to.
+  kReflect,    // bounce off the field edge
+};
+
+class MotionModel {
+ public:
+  virtual ~MotionModel() = default;
+
+  // Positions at period boundaries 0 .. periods (periods + 1 entries).
+  // Requires periods >= 1 and step_length > 0 (= V * t).
+  virtual std::vector<Vec2> SamplePath(const Field& field, int periods,
+                                       double step_length, Rng& rng) const = 0;
+};
+
+// Straight line: uniform random start in the field, uniform random heading.
+class StraightLineMotion final : public MotionModel {
+ public:
+  explicit StraightLineMotion(BoundaryPolicy policy = BoundaryPolicy::kUnbounded)
+      : policy_(policy) {}
+
+  std::vector<Vec2> SamplePath(const Field& field, int periods,
+                               double step_length, Rng& rng) const override;
+
+ private:
+  BoundaryPolicy policy_;
+};
+
+// Random walk: every period the heading changes by a uniform draw from
+// [-max_turn, +max_turn] (paper: pi/4).
+class RandomWalkMotion final : public MotionModel {
+ public:
+  explicit RandomWalkMotion(double max_turn,
+                            BoundaryPolicy policy = BoundaryPolicy::kUnbounded);
+
+  std::vector<Vec2> SamplePath(const Field& field, int periods,
+                               double step_length, Rng& rng) const override;
+
+ private:
+  double max_turn_;
+  BoundaryPolicy policy_;
+};
+
+// Deterministic patrol along fixed waypoints at constant speed, starting at
+// the first waypoint (cycling if the path is exhausted). Used by the
+// border-surveillance example.
+class WaypointMotion final : public MotionModel {
+ public:
+  // Requires at least two waypoints, consecutive ones distinct.
+  explicit WaypointMotion(std::vector<Vec2> waypoints);
+
+  std::vector<Vec2> SamplePath(const Field& field, int periods,
+                               double step_length, Rng& rng) const override;
+
+ private:
+  std::vector<Vec2> waypoints_;
+};
+
+// Straight line whose per-period speed is scaled by an independent uniform
+// draw from [speed_factor_lo, speed_factor_hi] (paper future work:
+// "relax the assumption to address the case when the target travels in
+// varying speeds").
+class VaryingSpeedMotion final : public MotionModel {
+ public:
+  VaryingSpeedMotion(double speed_factor_lo, double speed_factor_hi,
+                     BoundaryPolicy policy = BoundaryPolicy::kUnbounded);
+
+  std::vector<Vec2> SamplePath(const Field& field, int periods,
+                               double step_length, Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+  BoundaryPolicy policy_;
+};
+
+}  // namespace sparsedet

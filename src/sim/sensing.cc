@@ -1,0 +1,66 @@
+#include "sim/sensing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geometry/chord.h"
+
+namespace sparsedet {
+
+DiskSensing::DiskSensing(double range, double pd) : range_(range), pd_(pd) {
+  SPARSEDET_REQUIRE(range > 0.0, "sensing range must be positive");
+  SPARSEDET_REQUIRE(pd >= 0.0 && pd <= 1.0, "Pd must be in [0, 1]");
+}
+
+double DiskSensing::DetectionProbability(Vec2 sensor,
+                                         const Segment& path) const {
+  return path.WithinDistance(sensor, range_) ? pd_ : 0.0;
+}
+
+DwellTimeSensing::DwellTimeSensing(double range, double rate, double speed)
+    : range_(range), rate_(rate), speed_(speed) {
+  SPARSEDET_REQUIRE(range > 0.0, "sensing range must be positive");
+  SPARSEDET_REQUIRE(rate >= 0.0, "detection rate must be >= 0");
+  SPARSEDET_REQUIRE(speed > 0.0, "target speed must be positive");
+}
+
+DwellTimeSensing DwellTimeSensing::Calibrated(double range,
+                                              double pd_full_crossing,
+                                              double speed) {
+  SPARSEDET_REQUIRE(pd_full_crossing >= 0.0 && pd_full_crossing < 1.0,
+                    "full-crossing Pd must be in [0, 1)");
+  // 1 - exp(-rate * 2*range/speed) = pd  =>  rate = -ln(1-pd)*speed/(2r).
+  const double rate =
+      -std::log1p(-pd_full_crossing) * speed / (2.0 * range);
+  return DwellTimeSensing(range, rate, speed);
+}
+
+double DwellTimeSensing::DetectionProbability(Vec2 sensor,
+                                              const Segment& path) const {
+  const double chord = SegmentDiskIntersectionLength(path, sensor, range_);
+  if (chord <= 0.0) {
+    // A sensor can be inside the DR without the *segment* entering its
+    // disk only in the end caps; there the dwell in this period is zero.
+    return 0.0;
+  }
+  const double dwell = chord / speed_;
+  return 1.0 - std::exp(-rate_ * dwell);
+}
+
+GradedSensing::GradedSensing(double inner_range, double outer_range, double pd)
+    : inner_(inner_range), outer_(outer_range), pd_(pd) {
+  SPARSEDET_REQUIRE(inner_range > 0.0, "inner range must be positive");
+  SPARSEDET_REQUIRE(outer_range > inner_range,
+                    "outer range must exceed inner range");
+  SPARSEDET_REQUIRE(pd >= 0.0 && pd <= 1.0, "Pd must be in [0, 1]");
+}
+
+double GradedSensing::DetectionProbability(Vec2 sensor,
+                                           const Segment& path) const {
+  const double d = path.DistanceTo(sensor);
+  if (d <= inner_) return pd_;
+  if (d >= outer_) return 0.0;
+  return pd_ * (outer_ - d) / (outer_ - inner_);
+}
+
+}  // namespace sparsedet

@@ -1,0 +1,51 @@
+#include "sim/trace_io.h"
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace sparsedet {
+
+TraceFiles SaveTrialTrace(const TrialResult& trial,
+                          const std::string& prefix) {
+  SPARSEDET_REQUIRE(!prefix.empty(), "trace prefix must be non-empty");
+  TraceFiles files{.nodes_path = prefix + "_nodes.csv",
+                   .path_path = prefix + "_path.csv",
+                   .reports_path = prefix + "_reports.csv"};
+
+  Table nodes({"node", "x", "y", "alive"});
+  for (std::size_t i = 0; i < trial.node_positions.size(); ++i) {
+    nodes.BeginRow();
+    nodes.AddInt(static_cast<long long>(i));
+    nodes.AddNumber(trial.node_positions[i].x, 2);
+    nodes.AddNumber(trial.node_positions[i].y, 2);
+    nodes.AddInt(i < trial.node_alive.size() && !trial.node_alive[i] ? 0
+                                                                     : 1);
+  }
+  SPARSEDET_REQUIRE(nodes.WriteCsvFile(files.nodes_path),
+                    "cannot write " + files.nodes_path);
+
+  Table path({"period_boundary", "x", "y"});
+  for (std::size_t i = 0; i < trial.target_path.size(); ++i) {
+    path.BeginRow();
+    path.AddInt(static_cast<long long>(i));
+    path.AddNumber(trial.target_path[i].x, 2);
+    path.AddNumber(trial.target_path[i].y, 2);
+  }
+  SPARSEDET_REQUIRE(path.WriteCsvFile(files.path_path),
+                    "cannot write " + files.path_path);
+
+  Table reports({"period", "node", "x", "y", "false_alarm"});
+  for (const SimReport& r : trial.reports) {
+    reports.BeginRow();
+    reports.AddInt(r.period);
+    reports.AddInt(r.node);
+    reports.AddNumber(r.node_pos.x, 2);
+    reports.AddNumber(r.node_pos.y, 2);
+    reports.AddInt(r.is_false_alarm ? 1 : 0);
+  }
+  SPARSEDET_REQUIRE(reports.WriteCsvFile(files.reports_path),
+                    "cannot write " + files.reports_path);
+  return files;
+}
+
+}  // namespace sparsedet

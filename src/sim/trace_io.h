@@ -1,0 +1,25 @@
+// Trial trace export: writes one trial's deployment, target path and
+// report stream as CSV so external tooling (plotting scripts, GIS) can
+// visualize a scenario. Three sections are written to separate files
+// sharing a path prefix: <prefix>_nodes.csv, <prefix>_path.csv,
+// <prefix>_reports.csv.
+#pragma once
+
+#include <string>
+
+#include "sim/trial.h"
+
+namespace sparsedet {
+
+struct TraceFiles {
+  std::string nodes_path;
+  std::string path_path;
+  std::string reports_path;
+};
+
+// Writes the three CSV files; returns the paths. Throws InvalidArgument if
+// any file cannot be opened.
+TraceFiles SaveTrialTrace(const TrialResult& trial,
+                          const std::string& prefix);
+
+}  // namespace sparsedet

@@ -1,0 +1,130 @@
+// Assorted edge-case coverage that earlier suites left thin: CSV output of
+// the CLI sweep, multi-target trials with false alarms, combined gate +
+// distinct-node detector rules, and the scenario report under options.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "common/rng.h"
+#include "core/analysis.h"
+#include "detect/window_detector.h"
+#include "sim/multi_target.h"
+
+namespace sparsedet {
+namespace {
+
+int RunCli(std::vector<const char*> argv, std::string& out_text,
+           std::string& err_text) {
+  std::ostringstream out;
+  std::ostringstream err;
+  argv.insert(argv.begin(), "sparsedet");
+  const int code = cli::Run(static_cast<int>(argv.size()), argv.data(), out,
+                            err);
+  out_text = out.str();
+  err_text = err.str();
+  return code;
+}
+
+TEST(CliSweep, WritesCsvFile) {
+  const std::string path = "/tmp/sparsedet_sweep_test.csv";
+  std::string out;
+  std::string err;
+  const int code =
+      RunCli({"sweep", "--param", "nodes", "--from", "60", "--to", "100",
+              "--step", "40", "--csv", path.c_str()},
+             out, err);
+  EXPECT_EQ(code, 0) << err;
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "nodes,analysis");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CliSweep, RejectsBadRange) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunCli({"sweep", "--from", "100", "--to", "60"}, out, err), 2);
+  EXPECT_EQ(RunCli({"sweep", "--step", "0"}, out, err), 2);
+}
+
+TEST(MultiTarget, FalseAlarmsAppearInMergedStream) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = 100;
+  config.false_alarm_prob = 0.02;
+  Rng rng(44);
+  const MultiTargetResult result =
+      RunParallelTargetsTrial(config, 2, 5000.0, rng);
+  int fa = 0;
+  for (const SimReport& r : result.merged_reports) {
+    fa += r.is_false_alarm ? 1 : 0;
+  }
+  // E[fa] = 100 * 20 * 0.02 = 40.
+  EXPECT_GT(fa, 15);
+  EXPECT_LT(fa, 80);
+}
+
+TEST(WindowDetector, GateAndDistinctNodesCombine) {
+  WindowDetector::Options opt;
+  opt.k = 3;
+  opt.window = 10;
+  opt.h = 3;
+  opt.use_track_gate = true;
+  opt.gate = {.speed = 10.0,
+              .period_length = 60.0,
+              .sensing_range = 1000.0,
+              .slack = 0.0};
+  WindowDetector detector(opt);
+  // Three chained reports but only two distinct nodes: h blocks.
+  SimReport a{.period = 0, .node = 1, .node_pos = {0, 0},
+              .is_false_alarm = false};
+  SimReport b{.period = 1, .node = 2, .node_pos = {600, 0},
+              .is_false_alarm = false};
+  SimReport c{.period = 2, .node = 1, .node_pos = {1200, 0},
+              .is_false_alarm = false};
+  detector.ProcessPeriod(0, {a});
+  detector.ProcessPeriod(1, {b});
+  EXPECT_FALSE(detector.ProcessPeriod(2, {c}));
+  // A third node completes both requirements.
+  SimReport d{.period = 3, .node = 3, .node_pos = {1800, 0},
+              .is_false_alarm = false};
+  EXPECT_TRUE(detector.ProcessPeriod(3, {d}));
+}
+
+TEST(ScenarioReport, HonorsNonDefaultOptions) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  MsApproachOptions wide;
+  wide.gh = 5;
+  wide.g = 5;
+  const ScenarioReport base = AnalyzeScenario(p);
+  const ScenarioReport precise = AnalyzeScenario(p, wide);
+  EXPECT_GT(precise.predicted_accuracy, base.predicted_accuracy);
+  // Both converge to the same exact value from below in raw form.
+  EXPECT_GT(precise.unnormalized_detection_probability,
+            base.unnormalized_detection_probability);
+  EXPECT_EQ(precise.gh, 5);
+}
+
+TEST(ScenarioReport, ReliabilityThreadsThrough) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  MsApproachOptions frail;
+  frail.node_reliability = 0.5;
+  const ScenarioReport healthy = AnalyzeScenario(p);
+  const ScenarioReport degraded = AnalyzeScenario(p, frail);
+  EXPECT_LT(degraded.detection_probability, healthy.detection_probability);
+  EXPECT_LT(degraded.exact_detection_probability,
+            healthy.exact_detection_probability);
+}
+
+}  // namespace
+}  // namespace sparsedet

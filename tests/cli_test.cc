@@ -1,0 +1,259 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+// ---- FlagParser ----------------------------------------------------------
+
+FlagParser Parse(std::vector<const char*> argv) {
+  return FlagParser(static_cast<int>(argv.size()), argv.data(), 0);
+}
+
+TEST(FlagParser, ParsesSeparateAndEqualsForms) {
+  FlagParser flags = Parse({"--nodes", "120", "--speed=4.5"});
+  EXPECT_EQ(flags.GetInt("nodes", 0, ""), 120);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("speed", 0.0, ""), 4.5);
+  flags.Finish();
+}
+
+TEST(FlagParser, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetInt("nodes", 42, ""), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("speed", 2.5, ""), 2.5);
+  EXPECT_EQ(flags.GetString("motion", "straight", ""), "straight");
+  EXPECT_TRUE(flags.GetBool("normalize", true, ""));
+  EXPECT_FALSE(flags.Provided("nodes"));
+  flags.Finish();
+}
+
+TEST(FlagParser, BoolForms) {
+  FlagParser flags =
+      Parse({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(flags.GetBool("a", false, ""));
+  EXPECT_FALSE(flags.GetBool("b", true, ""));
+  EXPECT_TRUE(flags.GetBool("c", false, ""));
+  EXPECT_FALSE(flags.GetBool("d", true, ""));
+  flags.Finish();
+}
+
+TEST(FlagParser, RejectsMalformedInput) {
+  EXPECT_THROW(Parse({"nodes", "5"}), InvalidArgument);  // missing --
+  EXPECT_THROW(Parse({"--nodes"}), InvalidArgument);     // missing value
+  FlagParser bad_int = Parse({"--nodes=abc"});
+  EXPECT_THROW(bad_int.GetInt("nodes", 0, ""), InvalidArgument);
+  FlagParser bad_bool = Parse({"--flag=maybe"});
+  EXPECT_THROW(bad_bool.GetBool("flag", false, ""), InvalidArgument);
+}
+
+TEST(FlagParser, FinishCatchesUnknownFlags) {
+  FlagParser flags = Parse({"--typo=1"});
+  EXPECT_THROW(flags.Finish(), InvalidArgument);
+}
+
+TEST(FlagParser, UsageListsDeclaredFlags) {
+  FlagParser flags = Parse({});
+  flags.GetInt("nodes", 60, "number of sensor nodes");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("number of sensor nodes"), std::string::npos);
+}
+
+// ---- CLI commands ---------------------------------------------------------
+
+int RunCli(std::vector<const char*> argv, std::string& out_text,
+           std::string& err_text) {
+  std::ostringstream out;
+  std::ostringstream err;
+  argv.insert(argv.begin(), "sparsedet");
+  const int code = cli::Run(static_cast<int>(argv.size()), argv.data(), out,
+                            err);
+  out_text = out.str();
+  err_text = err.str();
+  return code;
+}
+
+TEST(Cli, AnalyzeReportsDetectionProbability) {
+  std::string out;
+  std::string err;
+  const int code =
+      RunCli({"analyze", "--nodes", "240", "--speed", "10"}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("P[detect] (M-S"), std::string::npos);
+  EXPECT_NE(out.find("0.9781"), std::string::npos);
+  EXPECT_NE(out.find("ms=4"), std::string::npos);
+}
+
+TEST(Cli, SimulateReportsWilsonInterval) {
+  std::string out;
+  std::string err;
+  const int code = RunCli(
+      {"simulate", "--nodes", "140", "--trials", "500", "--seed", "7"}, out,
+      err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("trials            : 500"), std::string::npos);
+  EXPECT_NE(out.find("Wilson CI"), std::string::npos);
+}
+
+TEST(Cli, SimulateIsSeedDeterministic) {
+  std::string out1, out2, err;
+  RunCli({"simulate", "--trials", "300", "--seed", "11"}, out1, err);
+  RunCli({"simulate", "--trials", "300", "--seed", "11"}, out2, err);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(Cli, PlanFindsFleetSize) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"plan", "--target-detection", "0.8", "--speed",
+                           "10", "--max-nodes", "400"},
+                          out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("sensors reach P[detect]"), std::string::npos);
+}
+
+TEST(Cli, PlanFailsWhenTargetUnreachable) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"plan", "--target-detection", "0.999",
+                           "--max-nodes", "60", "--speed", "4"},
+                          out, err);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("no fleet"), std::string::npos);
+}
+
+TEST(Cli, FaTabulatesThresholds) {
+  std::string out;
+  std::string err;
+  const int code = RunCli(
+      {"fa", "--nodes", "100", "--pf", "0.001", "--trials", "300",
+       "--max-k", "3"},
+      out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("expected false reports per window: 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("count-only"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandPrintsUsage) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"frobnicate"}, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, NoCommandPrintsUsage) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* argv[] = {"sparsedet"};
+  EXPECT_EQ(cli::Run(1, argv, out, err), 2);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunCli({"help"}, out, err), 0);
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST(Cli, BadFlagValueIsUserError) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"analyze", "--nodes", "abc"}, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagIsUserError) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"analyze", "--frobs", "3"}, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, InvalidScenarioIsUserError) {
+  std::string out;
+  std::string err;
+  // comm range violates the sparse premise.
+  const int code = RunCli({"analyze", "--rc", "100"}, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeJsonOutputParsesKeyFields) {
+  std::string out;
+  std::string err;
+  const int code =
+      RunCli({"analyze", "--nodes", "240", "--format", "json"}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("\"nodes\":240"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"detection_probability\":0.978"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"ms\":4"), std::string::npos);
+}
+
+TEST(Cli, SimulateJsonOutput) {
+  std::string out;
+  std::string err;
+  const int code = RunCli(
+      {"simulate", "--trials", "200", "--format", "json"}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("\"trials\":200"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ci_lo\""), std::string::npos);
+}
+
+TEST(Cli, BadFormatRejected) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunCli({"analyze", "--format", "xml"}, out, err), 2);
+  EXPECT_NE(err.find("--format"), std::string::npos);
+}
+
+TEST(Cli, SweepProducesOneRowPerStep) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"sweep", "--param", "nodes", "--from", "60",
+                           "--to", "120", "--step", "30"},
+                          out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("nodes"), std::string::npos);
+  EXPECT_NE(out.find("60"), std::string::npos);
+  EXPECT_NE(out.find("90"), std::string::npos);
+  EXPECT_NE(out.find("120"), std::string::npos);
+}
+
+TEST(Cli, SweepUnknownParameterRejected) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunCli({"sweep", "--param", "frobs"}, out, err), 2);
+  EXPECT_NE(err.find("unknown --param"), std::string::npos);
+}
+
+TEST(Cli, SweepWithSimulationColumn) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"sweep", "--param", "k", "--from", "3", "--to",
+                           "5", "--step", "2", "--trials", "200"},
+                          out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("simulation"), std::string::npos);
+}
+
+TEST(Cli, SimulateKNodeRule) {
+  std::string out1, out2, err;
+  RunCli({"simulate", "--trials", "400", "--h", "1"}, out1, err);
+  RunCli({"simulate", "--trials", "400", "--h", "4"}, out2, err);
+  EXPECT_NE(out1, out2);  // stricter rule must change the count
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,87 @@
+#include "common/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue().ToString(), "null");
+  EXPECT_EQ(JsonValue(true).ToString(), "true");
+  EXPECT_EQ(JsonValue(false).ToString(), "false");
+  EXPECT_EQ(JsonValue(42).ToString(), "42");
+  EXPECT_EQ(JsonValue(-7).ToString(), "-7");
+  EXPECT_EQ(JsonValue("hello").ToString(), "\"hello\"");
+}
+
+TEST(Json, DoublesRoundTripCompactly) {
+  EXPECT_EQ(JsonValue(0.5).ToString(), "0.5");
+  EXPECT_EQ(JsonValue(240.0).ToString(), "240");
+  EXPECT_EQ(JsonValue(-0.25).ToString(), "-0.25");
+  // A value needing many digits still round-trips.
+  const double v = 0.9781389029463922;
+  double parsed = 0.0;
+  sscanf(JsonValue(v).ToString().c_str(), "%lf", &parsed);
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).ToString(), "null");
+  EXPECT_EQ(JsonValue(INFINITY).ToString(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("back\\slash").ToString(), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue("line\nbreak").ToString(), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonValue(std::string("ctrl\x01")).ToString(),
+            "\"ctrl\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1).Append("two").Append(JsonValue());
+  EXPECT_EQ(arr.ToString(), "[1,\"two\",null]");
+
+  JsonValue obj = JsonValue::Object();
+  obj.Set("n", 240).Set("p", 0.5).Set("tag", "onr");
+  EXPECT_EQ(obj.ToString(), "{\"n\":240,\"p\":0.5,\"tag\":\"onr\"}");
+}
+
+TEST(Json, NestedStructures) {
+  JsonValue inner = JsonValue::Object();
+  inner.Set("lo", 0.1).Set("hi", 0.2);
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ci", std::move(inner));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(std::move(obj));
+  EXPECT_EQ(arr.ToString(), "[{\"ci\":{\"lo\":0.1,\"hi\":0.2}}]");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("x", 1).Set("x", 2);
+  EXPECT_EQ(obj.ToString(), "{\"x\":2}");
+}
+
+TEST(Json, TypeMisuseRejected) {
+  JsonValue scalar(1);
+  EXPECT_THROW(scalar.Append(2), InvalidArgument);
+  EXPECT_THROW(scalar.Set("k", 2), InvalidArgument);
+  JsonValue arr = JsonValue::Array();
+  EXPECT_THROW(arr.Set("k", 2), InvalidArgument);
+  JsonValue obj = JsonValue::Object();
+  EXPECT_THROW(obj.Append(2), InvalidArgument);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Array().ToString(), "[]");
+  EXPECT_EQ(JsonValue::Object().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,213 @@
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.Uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.UniformInt(0), InvalidArgument);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndStable) {
+  const Rng base(99);
+  Rng s0 = base.Substream(0);
+  Rng s0_again = base.Substream(0);
+  Rng s1 = base.Substream(1);
+  EXPECT_EQ(s0(), s0_again());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0() == s1()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SubstreamDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.Substream(123);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(ParallelFor, RunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              /*threads=*/1);
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(ParallelFor(100,
+                           [](std::size_t i) {
+                             if (i == 37) throw InvalidArgument("boom");
+                           },
+                           4),
+               InvalidArgument);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  ParallelFor(3, [&](std::size_t) { count.fetch_add(1); }, 16);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Checks, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(SPARSEDET_REQUIRE(false, "message"), InvalidArgument);
+  EXPECT_NO_THROW(SPARSEDET_REQUIRE(true, "message"));
+}
+
+TEST(Checks, CheckThrowsInternalError) {
+  EXPECT_THROW(SPARSEDET_CHECK(false, "message"), InternalError);
+}
+
+TEST(Checks, MessagesCarryContext) {
+  try {
+    SPARSEDET_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(Table, PrintsAlignedText) {
+  Table t({"name", "value"});
+  t.BeginRow();
+  t.AddCell("alpha");
+  t.AddNumber(1.5, 2);
+  t.BeginRow();
+  t.AddCell("b");
+  t.AddInt(42);
+  std::ostringstream os;
+  t.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.BeginRow();
+  t.AddCell("x,y");
+  t.AddCell("quote\"inside");
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, RejectsIncompleteRows) {
+  Table t({"a", "b"});
+  t.BeginRow();
+  t.AddCell("only one");
+  EXPECT_THROW(t.BeginRow(), InvalidArgument);
+  std::ostringstream os;
+  EXPECT_THROW(t.PrintText(os), InvalidArgument);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a"});
+  t.BeginRow();
+  t.AddCell("1");
+  EXPECT_THROW(t.AddCell("2"), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(FormatDouble, Rendering) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(std::nan(""), 3), "nan");
+}
+
+}  // namespace
+}  // namespace sparsedet

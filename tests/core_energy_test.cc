@@ -1,0 +1,92 @@
+#include "core/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr() {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  return p;
+}
+
+TEST(EnergyModel, FullDutyDrainMatchesHandComputation) {
+  EnergyModel model;
+  model.battery_joules = 1000.0;
+  model.sense_cost_per_period = 2.0;
+  model.idle_cost_per_period = 0.5;
+  model.tx_cost_per_report_hop = 0.1;
+  model.rx_cost_per_report_hop = 0.1;
+  // duty 1, rate 0.01 reports/period, 5 hops:
+  // drain = 2.0 + 0.01 * 5 * 0.2 = 2.01 J/period.
+  const EnergyReport report = AnalyzeEnergy(Onr(), model, 1.0, 0.01, 5.0);
+  EXPECT_NEAR(report.drain_per_period, 2.01, 1e-12);
+  EXPECT_NEAR(report.lifetime_periods, 1000.0 / 2.01, 1e-9);
+  EXPECT_NEAR(report.lifetime_days, (1000.0 / 2.01) * 60.0 / 86400.0, 1e-9);
+  EXPECT_NEAR(report.sensing_share + report.comms_share, 1.0, 1e-12);
+}
+
+TEST(EnergyModel, DutyCyclingExtendsLifetime) {
+  const EnergyModel model;
+  const double rate = SteadyStateReportRate(1.0, 1e-3);
+  const EnergyReport full = AnalyzeEnergy(Onr(), model, 1.0, rate, 4.0);
+  const EnergyReport half = AnalyzeEnergy(
+      Onr(), model, 0.5, SteadyStateReportRate(0.5, 1e-3), 4.0);
+  EXPECT_GT(half.lifetime_days, full.lifetime_days);
+  EXPECT_LT(half.drain_per_period, full.drain_per_period);
+}
+
+TEST(EnergyModel, ZeroDutyDrainsOnlyIdle) {
+  EnergyModel model;
+  model.idle_cost_per_period = 0.25;
+  const EnergyReport report = AnalyzeEnergy(Onr(), model, 0.0,
+                                            SteadyStateReportRate(0.0, 0.5),
+                                            4.0);
+  EXPECT_NEAR(report.drain_per_period, 0.25, 1e-12);
+  EXPECT_NEAR(report.comms_share, 0.0, 1e-12);
+}
+
+TEST(EnergyModel, SteadyStateRateScalesWithDuty) {
+  EXPECT_DOUBLE_EQ(SteadyStateReportRate(1.0, 2e-3), 2e-3);
+  EXPECT_DOUBLE_EQ(SteadyStateReportRate(0.25, 2e-3), 5e-4);
+  EXPECT_DOUBLE_EQ(SteadyStateReportRate(0.5, 0.0), 0.0);
+}
+
+TEST(EnergyModel, RelayLoadScalesWithHops) {
+  const EnergyModel model;
+  const EnergyReport near = AnalyzeEnergy(Onr(), model, 0.5, 1e-3, 2.0);
+  const EnergyReport far = AnalyzeEnergy(Onr(), model, 0.5, 1e-3, 8.0);
+  EXPECT_GT(far.drain_per_period, near.drain_per_period);
+  EXPECT_GT(far.comms_share, near.comms_share);
+}
+
+TEST(EnergyModel, RejectsBadInputs) {
+  EnergyModel bad;
+  bad.battery_joules = 0.0;
+  EXPECT_THROW(bad.Validate(), InvalidArgument);
+  EnergyModel negative;
+  negative.tx_cost_per_report_hop = -1.0;
+  EXPECT_THROW(negative.Validate(), InvalidArgument);
+  const EnergyModel model;
+  EXPECT_THROW(AnalyzeEnergy(Onr(), model, 1.5, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(AnalyzeEnergy(Onr(), model, 0.5, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(AnalyzeEnergy(Onr(), model, 0.5, 0.0, -1.0), InvalidArgument);
+  EXPECT_THROW(SteadyStateReportRate(2.0, 0.5), InvalidArgument);
+}
+
+TEST(EnergyModel, ZeroCostMeansInfiniteLifetimeReportedAsZeroDrain) {
+  EnergyModel free;
+  free.sense_cost_per_period = 0.0;
+  free.idle_cost_per_period = 0.0;
+  free.tx_cost_per_report_hop = 0.0;
+  free.rx_cost_per_report_hop = 0.0;
+  const EnergyReport report = AnalyzeEnergy(Onr(), free, 1.0, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(report.drain_per_period, 0.0);
+  EXPECT_DOUBLE_EQ(report.lifetime_periods, 0.0);  // sentinel: undefined
+}
+
+}  // namespace
+}  // namespace sparsedet

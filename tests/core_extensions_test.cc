@@ -1,0 +1,170 @@
+// Tests for the k-node extension (paper Section 4), the T-approach state
+// model (Section 3.2) and the false-alarm / minimum-k analysis (Sections 2
+// and 6).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/false_alarm_model.h"
+#include "core/knode_model.h"
+#include "core/ms_approach.h"
+#include "core/t_approach.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr(int nodes, double speed) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  return p;
+}
+
+TEST(KNodeModel, HEqualsOneDegeneratesToBaseModel) {
+  const SystemParams p = Onr(140, 10.0);
+  KNodeOptions opt;
+  opt.h = 1;
+  const KNodeResult knode = KNodeAnalyze(p, opt);
+  const MsApproachResult base = MsApproachAnalyze(p);
+  EXPECT_NEAR(knode.detection_probability, base.detection_probability, 1e-9);
+  EXPECT_NEAR(knode.total_mass, base.total_mass, 1e-9);
+}
+
+TEST(KNodeModel, ReportMarginalMatchesBaseModel) {
+  const SystemParams p = Onr(140, 10.0);
+  KNodeOptions opt;
+  opt.h = 3;
+  const KNodeResult knode = KNodeAnalyze(p, opt);
+  const MsApproachResult base = MsApproachAnalyze(p);
+  const Pmf marginal = knode.joint.MarginalM();
+  for (int m = 0; m <= 30; ++m) {
+    EXPECT_NEAR(marginal[m], base.report_distribution[m], 1e-10)
+        << "m = " << m;
+  }
+}
+
+TEST(KNodeModel, DetectionProbabilityDecreasesInH) {
+  const SystemParams p = Onr(140, 10.0);
+  double prev = 1.1;
+  for (int h = 1; h <= 5; ++h) {
+    KNodeOptions opt;
+    opt.h = h;
+    const double cur = KNodeAnalyze(p, opt).detection_probability;
+    EXPECT_LE(cur, prev + 1e-12) << "h = " << h;
+    prev = cur;
+  }
+}
+
+TEST(KNodeModel, RequiringFewNodesCostsLittleWhenKIsHigh) {
+  // With k = 5 and sparse coverage, the reports usually come from several
+  // nodes anyway, so h = 2 should cost only a little detection probability.
+  const SystemParams p = Onr(240, 10.0);
+  KNodeOptions h1;
+  h1.h = 1;
+  KNodeOptions h2;
+  h2.h = 2;
+  const double p1 = KNodeAnalyze(p, h1).detection_probability;
+  const double p2 = KNodeAnalyze(p, h2).detection_probability;
+  EXPECT_GT(p2, p1 - 0.1);
+  EXPECT_LE(p2, p1);
+}
+
+TEST(KNodeModel, StateCountMatchesPaperFormula) {
+  const SystemParams p = Onr(140, 10.0);
+  const KNodeResult r = KNodeAnalyze(p);
+  // M * Z + 1 report states (paper: h * M * Z + 1 states in total).
+  EXPECT_EQ(r.num_report_states, 20 * 15 + 1);
+  EXPECT_EQ(r.ms, 4);
+}
+
+TEST(KNodeModel, RejectsInvalidOptions) {
+  const SystemParams p = Onr(140, 10.0);
+  KNodeOptions bad;
+  bad.h = 0;
+  EXPECT_THROW(KNodeAnalyze(p, bad), InvalidArgument);
+  KNodeOptions bad_caps;
+  bad_caps.g = 4;
+  bad_caps.gh = 3;
+  EXPECT_THROW(KNodeAnalyze(p, bad_caps), InvalidArgument);
+}
+
+TEST(TApproach, StateCountExplodesWithMs) {
+  // The Section-3.2 argument: V = 10 m/s (ms = 4) is already ~ 10^5 states
+  // at cap 3; V = 4 m/s (ms = 9) exceeds 10^8 — "millions or more".
+  const double fast = TApproachStateCount(Onr(240, 10.0), 3);
+  const double slow = TApproachStateCount(Onr(240, 4.0), 3);
+  EXPECT_GT(fast, 7e4);
+  EXPECT_GT(slow, 1e8);
+  EXPECT_GT(slow, fast * 100.0);
+}
+
+TEST(TApproach, MsApproachStateCountStaysTiny) {
+  EXPECT_EQ(MsApproachStateCount(Onr(240, 10.0), 3), 301.0);
+  EXPECT_EQ(MsApproachStateCount(Onr(240, 4.0), 3), 601.0);
+}
+
+TEST(TApproach, RawFormula) {
+  // (M*Z + 1) * (cap+1)^ms with Z = (ms+1)*cap.
+  EXPECT_DOUBLE_EQ(TApproachStateCountRaw(2, 10, 1),
+                   (10.0 * 3.0 + 1.0) * 4.0);
+  EXPECT_THROW(TApproachStateCountRaw(0, 10, 1), InvalidArgument);
+  EXPECT_THROW(TApproachStateCountRaw(2, 10, 0), InvalidArgument);
+}
+
+TEST(FalseAlarmModel, DistributionIsBinomialOverWindowSlots) {
+  SystemParams p = Onr(100, 10.0);
+  const double pf = 1e-3;
+  const Pmf dist = FalseReportDistribution(p, pf);
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(dist[k], BinomialPmf(100 * 20, k, pf), 1e-12);
+  }
+  EXPECT_NEAR(ExpectedFalseReportsPerWindow(p, pf), 2.0, 1e-12);
+}
+
+TEST(FalseAlarmModel, SystemFaProbabilityMatchesSurvival) {
+  SystemParams p = Onr(100, 10.0);
+  p.threshold_reports = 5;
+  const double pf = 1e-3;
+  EXPECT_NEAR(CountOnlySystemFaProbability(p, pf),
+              BinomialSurvival(2000, 5, pf), 1e-12);
+}
+
+TEST(FalseAlarmModel, MinimumThresholdIsMinimal) {
+  SystemParams p = Onr(100, 10.0);
+  const double pf = 1e-3;
+  const double target = 1e-3;
+  const int k = MinimumThresholdForFaRate(p, pf, target);
+  p.threshold_reports = k;
+  EXPECT_LE(CountOnlySystemFaProbability(p, pf), target);
+  if (k > 1) {
+    p.threshold_reports = k - 1;
+    EXPECT_GT(CountOnlySystemFaProbability(p, pf), target);
+  }
+}
+
+TEST(FalseAlarmModel, HigherNodeFaRateNeedsLargerK) {
+  // The Section-2 guidance: "if the false alarm rate is high, a large k is
+  // configured".
+  SystemParams p = Onr(100, 10.0);
+  const int k_low = MinimumThresholdForFaRate(p, 1e-4, 1e-3);
+  const int k_high = MinimumThresholdForFaRate(p, 1e-2, 1e-3);
+  EXPECT_GT(k_high, k_low);
+}
+
+TEST(FalseAlarmModel, ZeroRateAllowsKOne) {
+  SystemParams p = Onr(100, 10.0);
+  EXPECT_EQ(MinimumThresholdForFaRate(p, 0.0, 1e-6), 1);
+  EXPECT_DOUBLE_EQ(CountOnlySystemFaProbability(p, 0.0), 0.0);
+}
+
+TEST(FalseAlarmModel, RejectsBadRates) {
+  const SystemParams p = Onr(100, 10.0);
+  EXPECT_THROW(FalseReportDistribution(p, -0.1), InvalidArgument);
+  EXPECT_THROW(CountOnlySystemFaProbability(p, 1.1), InvalidArgument);
+  EXPECT_THROW(MinimumThresholdForFaRate(p, 0.5, -0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,124 @@
+#include "core/gated_fa_bound.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/false_alarm_model.h"
+#include "detect/system_fa.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr(int nodes) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  return p;
+}
+
+TEST(GatePairProbability, MatchesDiskAreaFormula) {
+  const SystemParams p = Onr(100);
+  // dp = 0: reach = V*t + 2*Rs = 2600 m.
+  const double expected =
+      std::numbers::pi * 2600.0 * 2600.0 / (32000.0 * 32000.0);
+  EXPECT_NEAR(GatePairProbability(p, 0), expected, 1e-12);
+  // Monotone in the gap, capped at 1.
+  double prev = 0.0;
+  for (int dp = 0; dp < 40; ++dp) {
+    const double cur = GatePairProbability(p, dp);
+    EXPECT_GE(cur, prev);
+    EXPECT_LE(cur, 1.0);
+    prev = cur;
+  }
+}
+
+TEST(GatePairProbability, SlackWidens) {
+  const SystemParams p = Onr(100);
+  EXPECT_GT(GatePairProbability(p, 0, 500.0), GatePairProbability(p, 0));
+}
+
+TEST(GatedFaUnionBound, KOneMatchesExpectedReportCount) {
+  // With k = 1 every report is a chain: bound = N * M * pf.
+  const SystemParams p = Onr(100);
+  const double pf = 1e-3;
+  EXPECT_NEAR(GatedFaUnionBound(p, pf, 1),
+              ExpectedFalseReportsPerWindow(p, pf), 1e-12);
+}
+
+TEST(GatedFaUnionBound, ZeroRateGivesZero) {
+  EXPECT_DOUBLE_EQ(GatedFaUnionBound(Onr(100), 0.0, 3), 0.0);
+}
+
+TEST(GatedFaUnionBound, DecreasesGeometricallyInK) {
+  const SystemParams p = Onr(140);
+  const double pf = 1e-3;
+  double prev = GatedFaUnionBound(p, pf, 1);
+  for (int k = 2; k <= 8; ++k) {
+    const double cur = GatedFaUnionBound(p, pf, k);
+    EXPECT_LT(cur, prev) << "k = " << k;
+    prev = cur;
+  }
+}
+
+TEST(GatedFaUnionBound, UpperBoundsMonteCarloGatedRate) {
+  // The point of the construction: the bound must sit above the measured
+  // gated FA probability at every k where it is informative (< 1).
+  SystemParams p = Onr(140);
+  const double pf = 1e-3;
+  SystemFaOptions opt;
+  opt.trials = 8000;
+  for (int k : {3, 4, 5}) {
+    p.threshold_reports = k;
+    const double bound = GatedFaUnionBound(p, pf, k);
+    const SystemFaEstimate est = EstimateSystemFaProbability(p, pf, opt);
+    if (bound < 1.0) {
+      EXPECT_GE(bound, est.gated.point - 0.01) << "k = " << k;
+    }
+  }
+}
+
+TEST(GuaranteedGatedThreshold, IsMinimalAndSafe) {
+  const SystemParams p = Onr(140);
+  const double pf = 1e-3;
+  const double target = 0.01;
+  const int k = GuaranteedGatedThreshold(p, pf, target);
+  EXPECT_LE(GatedFaUnionBound(p, pf, k), target);
+  if (k > 1) {
+    EXPECT_GT(GatedFaUnionBound(p, pf, k - 1), target);
+  }
+}
+
+TEST(GuaranteedGatedThreshold, OrderingAgainstOtherThresholds) {
+  // guaranteed-gated k is conservative: >= the Monte-Carlo gated minimum,
+  // and <= the count-only minimum (the gate can only help).
+  SystemParams p = Onr(140);
+  const double pf = 1e-3;
+  const double target = 0.01;
+  const int guaranteed = GuaranteedGatedThreshold(p, pf, target);
+  const int count_only = MinimumThresholdForFaRate(p, pf, target);
+  SystemFaOptions opt;
+  opt.trials = 8000;
+  const int measured = MinimumGatedThreshold(p, pf, target, opt);
+  EXPECT_GE(guaranteed, measured);
+  EXPECT_LE(guaranteed, count_only);
+}
+
+TEST(GuaranteedGatedThreshold, GrowsWithFaRate) {
+  const SystemParams p = Onr(140);
+  EXPECT_GE(GuaranteedGatedThreshold(p, 5e-3, 0.01),
+            GuaranteedGatedThreshold(p, 1e-4, 0.01));
+}
+
+TEST(GatedFaBound, RejectsBadInputs) {
+  const SystemParams p = Onr(100);
+  EXPECT_THROW(GatedFaUnionBound(p, -0.1, 3), InvalidArgument);
+  EXPECT_THROW(GatedFaUnionBound(p, 0.5, 0), InvalidArgument);
+  EXPECT_THROW(GatePairProbability(p, -1), InvalidArgument);
+  EXPECT_THROW(GatePairProbability(p, 1, -1.0), InvalidArgument);
+  EXPECT_THROW(GuaranteedGatedThreshold(p, 0.5, -0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,112 @@
+#include "core/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/ms_approach.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr(int nodes) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = 10.0;
+  return p;
+}
+
+TEST(DetectionLatency, CdfIsMonotoneAndEndsAtWindowProbability) {
+  const SystemParams p = Onr(140);
+  const LatencyDistribution latency = DetectionLatency(p);
+  ASSERT_EQ(latency.cdf.size(),
+            static_cast<std::size_t>(p.window_periods - p.Ms()));
+  double prev = 0.0;
+  for (double v : latency.cdf) {
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_NEAR(latency.cdf.back(),
+              MsApproachAnalyze(p).detection_probability, 1e-12);
+}
+
+TEST(DetectionLatency, CdfAtHandlesBoundaries) {
+  const SystemParams p = Onr(140);
+  const LatencyDistribution latency = DetectionLatency(p);
+  EXPECT_DOUBLE_EQ(latency.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(latency.CdfAt(p.Ms()), 0.0);
+  EXPECT_GT(latency.CdfAt(p.Ms() + 1), 0.0);
+  EXPECT_DOUBLE_EQ(latency.CdfAt(p.window_periods + 100),
+                   latency.cdf.back());
+}
+
+TEST(DetectionLatency, DenserNetworkDetectsSooner) {
+  const LatencyDistribution sparse = DetectionLatency(Onr(100));
+  const LatencyDistribution dense = DetectionLatency(Onr(240));
+  EXPECT_LT(dense.MeanConditionalLatency(), sparse.MeanConditionalLatency());
+  for (int l = 6; l <= 20; ++l) {
+    EXPECT_GE(dense.CdfAt(l), sparse.CdfAt(l)) << "L = " << l;
+  }
+}
+
+TEST(DetectionLatency, QuantilesOrdered) {
+  const LatencyDistribution latency = DetectionLatency(Onr(140));
+  const int q50 = latency.ConditionalQuantile(0.5);
+  const int q90 = latency.ConditionalQuantile(0.9);
+  const int q100 = latency.ConditionalQuantile(1.0);
+  EXPECT_LE(q50, q90);
+  EXPECT_LE(q90, q100);
+  EXPECT_GE(q50, latency.first_valid_prefix);
+  EXPECT_LE(q100, 20);
+}
+
+TEST(DetectionLatency, MeanWithinSupport) {
+  const LatencyDistribution latency = DetectionLatency(Onr(140));
+  const double mean = latency.MeanConditionalLatency();
+  EXPECT_GE(mean, latency.first_valid_prefix);
+  EXPECT_LE(mean, 20.0);
+}
+
+TEST(DetectionLatency, MatchesSimulatedFirstPassage) {
+  const SystemParams p = Onr(240);
+  const LatencyDistribution analysis = DetectionLatency(p);
+
+  TrialConfig config;
+  config.params = p;
+  const Rng base(9);
+  const int trials = 3000;
+  std::vector<int> detected_by(p.window_periods, 0);
+  for (int i = 0; i < trials; ++i) {
+    Rng rng = base.Substream(i);
+    const TrialResult trial = RunTrial(config, rng);
+    int cumulative = 0;
+    for (int period = 0; period < p.window_periods; ++period) {
+      cumulative += trial.true_reports_per_period[period];
+      if (cumulative >= p.threshold_reports) {
+        for (int l = period; l < p.window_periods; ++l) ++detected_by[l];
+        break;
+      }
+    }
+  }
+  for (int l = 8; l <= p.window_periods; l += 4) {
+    const double sim = static_cast<double>(detected_by[l - 1]) / trials;
+    EXPECT_NEAR(analysis.CdfAt(l), sim, 0.035) << "L = " << l;
+  }
+}
+
+TEST(DetectionLatency, RejectsInvalidUse) {
+  SystemParams p = Onr(140);
+  p.window_periods = p.Ms();
+  EXPECT_THROW(DetectionLatency(p), InvalidArgument);
+  const LatencyDistribution latency = DetectionLatency(Onr(140));
+  EXPECT_THROW(latency.ConditionalQuantile(0.0), InvalidArgument);
+  EXPECT_THROW(latency.ConditionalQuantile(1.5), InvalidArgument);
+  LatencyDistribution empty;
+  EXPECT_THROW(empty.MeanConditionalLatency(), InvalidArgument);
+  EXPECT_DOUBLE_EQ(empty.CdfAt(5), 0.0);
+}
+
+}  // namespace
+}  // namespace sparsedet

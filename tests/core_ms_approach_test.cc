@@ -1,0 +1,268 @@
+// Tests of the M-S-approach — the paper's contribution. The ground truth
+// is the exact spatial model (uncapped N-fold convolution); the M-S result
+// must approach it as the caps grow, the paper-literal transition-matrix
+// path must equal the direct path, and the accuracy formulas (Eqs. 7, 9,
+// 14) must predict the retained probability mass exactly.
+#include "core/ms_approach.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/s_approach.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr(int nodes, double speed) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  return p;
+}
+
+TEST(MsApproach, StateSpaceDimensions) {
+  const MsApproachResult r = MsApproachAnalyze(Onr(240, 10.0));
+  EXPECT_EQ(r.ms, 4);
+  EXPECT_EQ(r.z, 15);             // (ms + 1) * gh = 5 * 3
+  EXPECT_EQ(r.num_states, 301);   // M * Z + 1
+  EXPECT_EQ(static_cast<int>(r.report_distribution.size()), 301);
+  EXPECT_EQ(static_cast<int>(r.tail_pmfs.size()), r.ms);
+}
+
+TEST(MsApproach, TotalMassEqualsPredictedAccuracy) {
+  // The retained mass is exactly xi_h * xi^(M-1): every stage keeps exactly
+  // the mass of the <= cap sensor configurations, and the stages multiply.
+  for (int nodes : {60, 140, 240}) {
+    for (double v : {4.0, 10.0}) {
+      const MsApproachResult r = MsApproachAnalyze(Onr(nodes, v));
+      EXPECT_NEAR(r.total_mass, r.predicted_accuracy, 1e-9)
+          << "N = " << nodes << " V = " << v;
+    }
+  }
+}
+
+TEST(MsApproach, MatrixAndDirectPathsAgreeExactly) {
+  MsApproachOptions direct;
+  MsApproachOptions matrices;
+  matrices.use_transition_matrices = true;
+  const SystemParams p = Onr(140, 10.0);
+  const MsApproachResult a = MsApproachAnalyze(p, direct);
+  const MsApproachResult b = MsApproachAnalyze(p, matrices);
+  ASSERT_EQ(a.report_distribution.size(), b.report_distribution.size());
+  for (std::size_t i = 0; i < a.report_distribution.size(); ++i) {
+    EXPECT_NEAR(a.report_distribution[i], b.report_distribution[i], 1e-13);
+  }
+  EXPECT_NEAR(a.detection_probability, b.detection_probability, 1e-13);
+}
+
+TEST(MsApproach, ApproachesExactModelForDefaultCaps) {
+  // Figure 9(a): with gh = g = 3 and normalization, the analysis is within
+  // a fraction of a percent of the exact spatial model.
+  for (int nodes : {60, 120, 180, 240}) {
+    for (double v : {4.0, 10.0}) {
+      const SystemParams p = Onr(nodes, v);
+      const double ms_prob =
+          MsApproachAnalyze(p).detection_probability;
+      const double exact = SApproachExactDetectionProbability(p);
+      EXPECT_NEAR(ms_prob, exact, 0.005)
+          << "N = " << nodes << " V = " << v;
+    }
+  }
+}
+
+TEST(MsApproach, ConvergesToIndependenceLimitAsCapsGrow) {
+  // Growing the caps removes the truncation error. What remains is the
+  // M-S-approach's only intrinsic approximation: per-NEDR sensor counts
+  // are treated as independent binomials, while the exact joint is
+  // multinomial. At the ONR densities that residual is ~1e-3 — far below
+  // anything visible in the paper's figures.
+  const SystemParams p = Onr(240, 10.0);
+  const double exact = SApproachExactDetectionProbability(p);
+  double prev_err = 1.0;
+  for (int cap : {1, 2, 3, 5, 8}) {
+    MsApproachOptions opt;
+    opt.gh = cap;
+    opt.g = cap;
+    const double err =
+        std::abs(MsApproachAnalyze(p, opt).detection_probability - exact);
+    EXPECT_LE(err, prev_err + 1e-6) << "cap = " << cap;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 2e-3);
+}
+
+TEST(MsApproach, NormalizationImprovesAccuracyAtHighDensity) {
+  // Figure 9(b): without Eq. 13 the analysis underestimates, and the error
+  // grows with N and V; normalization recovers it.
+  const SystemParams p = Onr(240, 10.0);
+  MsApproachOptions raw;
+  raw.normalize = false;
+  const double exact = SApproachExactDetectionProbability(p);
+  const double unnorm = MsApproachAnalyze(p, raw).detection_probability;
+  const double norm = MsApproachAnalyze(p).detection_probability;
+  EXPECT_LT(unnorm, exact);  // truncation only removes mass
+  EXPECT_LT(std::abs(norm - exact), std::abs(unnorm - exact));
+}
+
+TEST(MsApproach, UnnormalizedErrorGrowsWithDensityAndSpeed) {
+  MsApproachOptions raw;
+  raw.normalize = false;
+  auto error = [&](int nodes, double v) {
+    const SystemParams p = Onr(nodes, v);
+    return std::abs(MsApproachAnalyze(p, raw).detection_probability -
+                    SApproachExactDetectionProbability(p));
+  };
+  EXPECT_GT(error(240, 10.0), error(60, 10.0));
+  EXPECT_GT(error(240, 10.0), error(240, 4.0));
+}
+
+TEST(MsApproach, DetectionProbabilityMonotoneInNodes) {
+  double prev = 0.0;
+  for (int nodes = 60; nodes <= 240; nodes += 20) {
+    const double cur =
+        MsApproachAnalyze(Onr(nodes, 10.0)).detection_probability;
+    EXPECT_GT(cur, prev) << "N = " << nodes;
+    prev = cur;
+  }
+}
+
+TEST(MsApproach, FasterTargetDetectedMoreOften) {
+  // The Figure 9(a) observation: more covered area traversed per window.
+  for (int nodes : {60, 140, 240}) {
+    EXPECT_GT(MsApproachAnalyze(Onr(nodes, 10.0)).detection_probability,
+              MsApproachAnalyze(Onr(nodes, 4.0)).detection_probability)
+        << "N = " << nodes;
+  }
+}
+
+TEST(MsApproach, DetectionProbabilityDecreasesInThreshold) {
+  SystemParams p = Onr(140, 10.0);
+  double prev = 1.1;
+  for (int k = 1; k <= 10; ++k) {
+    p.threshold_reports = k;
+    const double cur = MsApproachAnalyze(p).detection_probability;
+    EXPECT_LT(cur, prev) << "k = " << k;
+    prev = cur;
+  }
+}
+
+TEST(MsApproach, LongerWindowHelps) {
+  SystemParams p20 = Onr(140, 10.0);
+  SystemParams p40 = Onr(140, 10.0);
+  p40.window_periods = 40;
+  EXPECT_GT(MsApproachAnalyze(p40).detection_probability,
+            MsApproachAnalyze(p20).detection_probability);
+}
+
+TEST(MsApproach, StageAccuracies) {
+  const SystemParams p = Onr(240, 10.0);
+  // Eq. 7 / Eq. 9 are binomial cdfs over the stage NEDR areas.
+  EXPECT_NEAR(MsHeadStageAccuracy(p, 3),
+              BinomialCdf(240, 3, p.DrArea() / p.FieldArea()), 1e-15);
+  EXPECT_NEAR(MsBodyStageAccuracy(p, 3),
+              BinomialCdf(240, 3, 2.0 * 1000.0 * 600.0 / p.FieldArea()),
+              1e-15);
+  EXPECT_NEAR(MsPredictedAccuracy(p, 3, 3),
+              MsHeadStageAccuracy(p, 3) *
+                  std::pow(MsBodyStageAccuracy(p, 3), 19),
+              1e-15);
+}
+
+TEST(MsApproach, RequiredCapsMeetPerStageTarget) {
+  const SystemParams p = Onr(240, 10.0);
+  const double eta = 0.99;
+  const MsRequiredCaps caps = MsRequiredCapsFor(p, eta);
+  const double per_stage = std::pow(eta, 1.0 / 20.0);
+  EXPECT_GE(MsHeadStageAccuracy(p, caps.gh), per_stage);
+  EXPECT_GE(MsBodyStageAccuracy(p, caps.g), per_stage);
+  if (caps.gh > 0) {
+    EXPECT_LT(MsHeadStageAccuracy(p, caps.gh - 1), per_stage);
+  }
+  // The head NEDR is bigger, so gh >= g (the Figure 8 observation).
+  EXPECT_GE(caps.gh, caps.g);
+}
+
+TEST(MsApproach, HeadPmfMatchesBodyPlusCapStructure) {
+  const MsApproachResult r = MsApproachAnalyze(Onr(140, 10.0));
+  // Stage pmfs are sub-stochastic with mass = per-stage accuracy.
+  const SystemParams p = Onr(140, 10.0);
+  EXPECT_NEAR(r.head_pmf.TotalMass(), MsHeadStageAccuracy(p, 3), 1e-12);
+  EXPECT_NEAR(r.body_pmf.TotalMass(), MsBodyStageAccuracy(p, 3), 1e-12);
+  for (const Pmf& tail : r.tail_pmfs) {
+    EXPECT_NEAR(tail.TotalMass(), MsBodyStageAccuracy(p, 3), 1e-12);
+  }
+}
+
+TEST(MsApproach, TailStagesShrinkSupport) {
+  // Tail step j has at most (ms + 1 - j) * g reports.
+  const MsApproachResult r = MsApproachAnalyze(Onr(140, 10.0));
+  for (std::size_t j = 0; j < r.tail_pmfs.size(); ++j) {
+    const int max_reports = (r.ms + 1 - static_cast<int>(j) - 1) * 3;
+    EXPECT_LE(r.tail_pmfs[j].Trimmed().MaxValue(), max_reports)
+        << "tail step " << (j + 1);
+  }
+}
+
+TEST(MsApproach, CostModelFavorsMsOverS) {
+  // Section 3.4.5: ms^(2G) vs ms^(2gh) + (M-1) ms^(2g).
+  const double s_cost = SApproachCostModel(10, 6);
+  const double ms_cost = MsApproachCostModel(10, 3, 3, 20);
+  EXPECT_GT(s_cost, 1e11);
+  EXPECT_LT(ms_cost, 1e8);
+}
+
+TEST(MsApproach, RejectsInvalidOptions) {
+  const SystemParams p = Onr(140, 10.0);
+  MsApproachOptions bad;
+  bad.g = 0;
+  EXPECT_THROW(MsApproachAnalyze(p, bad), InvalidArgument);
+  bad.g = 4;
+  bad.gh = 3;  // gh < g
+  EXPECT_THROW(MsApproachAnalyze(p, bad), InvalidArgument);
+  SystemParams small = p;
+  small.window_periods = small.Ms();  // M <= ms
+  EXPECT_THROW(MsApproachAnalyze(small), InvalidArgument);
+  EXPECT_THROW(MsRequiredCapsFor(p, 1.0), InvalidArgument);
+}
+
+// Cross-parameter sweep: the M-S-approach with generous caps must track the
+// exact model across diverse scenarios, not only the ONR point.
+class MsSweep : public ::testing::TestWithParam<
+                    std::tuple<int, double, double, int, int>> {};
+
+TEST_P(MsSweep, MatchesExactModelWithin1Percent) {
+  const auto [nodes, speed, rs, m, k] = GetParam();
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  p.sensing_range = rs;
+  p.comm_range = 2.5 * rs;
+  p.window_periods = m;
+  p.threshold_reports = k;
+  if (m <= p.Ms()) GTEST_SKIP() << "M <= ms not in the model's domain";
+  MsApproachOptions opt;
+  opt.gh = 6;
+  opt.g = 6;
+  const double analysis = MsApproachAnalyze(p, opt).detection_probability;
+  const double exact = SApproachExactDetectionProbability(p);
+  EXPECT_NEAR(analysis, exact, 0.01)
+      << "N=" << nodes << " V=" << speed << " Rs=" << rs << " M=" << m
+      << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, MsSweep,
+    ::testing::Values(std::make_tuple(60, 10.0, 1000.0, 20, 5),
+                      std::make_tuple(240, 10.0, 1000.0, 20, 5),
+                      std::make_tuple(240, 4.0, 1000.0, 20, 5),
+                      std::make_tuple(100, 25.0, 1000.0, 12, 3),
+                      std::make_tuple(100, 10.0, 2000.0, 20, 7),
+                      std::make_tuple(400, 10.0, 500.0, 30, 4),
+                      std::make_tuple(50, 15.0, 1500.0, 10, 2)));
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,135 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/params.h"
+#include "core/single_period.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(SystemParams, OnrDefaultsMatchPaperSection4) {
+  const SystemParams p = SystemParams::OnrDefaults();
+  EXPECT_DOUBLE_EQ(p.field_width, 32000.0);
+  EXPECT_DOUBLE_EQ(p.field_height, 32000.0);
+  EXPECT_DOUBLE_EQ(p.sensing_range, 1000.0);
+  EXPECT_DOUBLE_EQ(p.comm_range, 6000.0);
+  EXPECT_DOUBLE_EQ(p.detect_prob, 0.9);
+  EXPECT_DOUBLE_EQ(p.period_length, 60.0);
+  EXPECT_EQ(p.window_periods, 20);
+  EXPECT_EQ(p.threshold_reports, 5);
+  EXPECT_NO_THROW(p.Validate());
+}
+
+TEST(SystemParams, DerivedQuantities) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.target_speed = 10.0;
+  EXPECT_DOUBLE_EQ(p.FieldArea(), 32000.0 * 32000.0);
+  EXPECT_DOUBLE_EQ(p.StepLength(), 600.0);
+  EXPECT_EQ(p.Ms(), 4);
+  EXPECT_NEAR(p.DrArea(), 2.0 * 1000.0 * 600.0 + std::numbers::pi * 1e6,
+              1e-6);
+  EXPECT_NEAR(p.ARegionArea(),
+              2.0 * 20 * 1000.0 * 600.0 + std::numbers::pi * 1e6, 1e-6);
+  p.target_speed = 4.0;
+  EXPECT_EQ(p.Ms(), 9);
+}
+
+TEST(SystemParams, ValidationRejectsEachBadField) {
+  const SystemParams good = SystemParams::OnrDefaults();
+  {
+    SystemParams p = good;
+    p.field_width = 0.0;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.num_nodes = 0;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.comm_range = 1500.0;  // violates sparse premise Rc > 2 Rs
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.detect_prob = 1.2;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.window_periods = 0;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.threshold_reports = 0;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+  {
+    SystemParams p = good;
+    p.threshold_reports = p.num_nodes * p.window_periods + 1;
+    EXPECT_THROW(p.Validate(), InvalidArgument);
+  }
+}
+
+TEST(SinglePeriod, PIndiMatchesFormula) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  const double expected = 0.9 *
+                          (2.0 * 1000.0 * 600.0 + std::numbers::pi * 1e6) /
+                          (32000.0 * 32000.0);
+  EXPECT_NEAR(SinglePeriodPIndi(p), expected, 1e-15);
+}
+
+TEST(SinglePeriod, PmfIsBinomialEq1) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  const double pindi = SinglePeriodPIndi(p);
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(SinglePeriodReportPmf(p, k), BinomialPmf(100, k, pindi),
+                1e-15);
+  }
+}
+
+TEST(SinglePeriod, DetectionProbabilityIsEq2) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  p.threshold_reports = 2;
+  const double pindi = SinglePeriodPIndi(p);
+  const double expected = 1.0 - BinomialPmf(100, 0, pindi) -
+                          BinomialPmf(100, 1, pindi);
+  EXPECT_NEAR(SinglePeriodDetectionProbability(p), expected, 1e-12);
+  // Explicit k overrides the params threshold.
+  EXPECT_NEAR(SinglePeriodDetectionProbability(p, 1),
+              1.0 - BinomialPmf(100, 0, pindi), 1e-12);
+}
+
+TEST(SinglePeriod, SparseDeploymentMakesMultiReportUnlikely) {
+  // The Section-3.1 argument: in a sparse deployment P1[X >= 2] is tiny,
+  // so M = 1 with k >= 2 is useless.
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 60;
+  EXPECT_LT(SinglePeriodDetectionProbability(p, 2), 0.03);
+  EXPECT_GT(SinglePeriodDetectionProbability(p, 1), 0.1);
+}
+
+TEST(SinglePeriod, DistributionSumsToOne) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 150;
+  EXPECT_NEAR(SinglePeriodReportDistribution(p).TotalMass(), 1.0, 1e-10);
+}
+
+TEST(SinglePeriod, FasterTargetRaisesPIndi) {
+  SystemParams slow = SystemParams::OnrDefaults();
+  slow.target_speed = 4.0;
+  SystemParams fast = SystemParams::OnrDefaults();
+  fast.target_speed = 10.0;
+  EXPECT_GT(SinglePeriodPIndi(fast), SinglePeriodPIndi(slow));
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,158 @@
+// Tests for the sensitivity report (E21), duty-cycled sensing (E20) and
+// the sliding-window bracket (E22).
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/ms_approach.h"
+#include "core/sensitivity.h"
+#include "detect/window_detector.h"
+#include "sim/monte_carlo.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Onr(int nodes) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = 10.0;
+  return p;
+}
+
+TEST(Sensitivity, CoversAllDocumentedParameters) {
+  const SensitivityReport report = AnalyzeSensitivity(Onr(140));
+  ASSERT_EQ(report.entries.size(), 7u);
+  for (const char* name : {"nodes", "sensing_range", "pd", "speed",
+                           "period_length", "window", "threshold"}) {
+    EXPECT_NO_THROW(report.For(name)) << name;
+  }
+  EXPECT_THROW(report.For("nonexistent"), InvalidArgument);
+}
+
+TEST(Sensitivity, SignsMatchMonotonicity) {
+  const SensitivityReport report = AnalyzeSensitivity(Onr(140));
+  EXPECT_GT(report.For("nodes").derivative, 0.0);
+  EXPECT_GT(report.For("sensing_range").derivative, 0.0);
+  EXPECT_GT(report.For("pd").derivative, 0.0);
+  EXPECT_GT(report.For("speed").derivative, 0.0);
+  EXPECT_GT(report.For("window").derivative, 0.0);
+  EXPECT_LT(report.For("threshold").derivative, 0.0);
+}
+
+TEST(Sensitivity, ElasticitiesShrinkNearSaturation) {
+  // At P ~ 0.98 every knob matters less than at P ~ 0.69.
+  const SensitivityReport marginal = AnalyzeSensitivity(Onr(100));
+  const SensitivityReport saturated = AnalyzeSensitivity(Onr(240));
+  for (const char* name : {"nodes", "sensing_range", "pd"}) {
+    EXPECT_LT(std::abs(saturated.For(name).elasticity),
+              std::abs(marginal.For(name).elasticity))
+        << name;
+  }
+}
+
+TEST(Sensitivity, SpeedAndPeriodElasticitiesAgree) {
+  // P depends on V and t only through V*t, so their elasticities match.
+  const SensitivityReport report = AnalyzeSensitivity(Onr(140));
+  EXPECT_NEAR(report.For("speed").elasticity,
+              report.For("period_length").elasticity, 1e-6);
+}
+
+TEST(Sensitivity, NodesDerivativeMatchesDirectDifference) {
+  const SystemParams p = Onr(140);
+  const SensitivityReport report = AnalyzeSensitivity(p);
+  SystemParams lo = p;
+  lo.num_nodes = 139;
+  SystemParams hi = p;
+  hi.num_nodes = 141;
+  const double expected = (MsApproachAnalyze(hi).detection_probability -
+                           MsApproachAnalyze(lo).detection_probability) /
+                          2.0;
+  EXPECT_NEAR(report.For("nodes").derivative, expected, 1e-12);
+}
+
+TEST(Sensitivity, RejectsBadInput) {
+  EXPECT_THROW(AnalyzeSensitivity(Onr(140), {}, 0.0), InvalidArgument);
+  EXPECT_THROW(AnalyzeSensitivity(Onr(140), {}, 0.7), InvalidArgument);
+  SystemParams tight = Onr(140);
+  tight.window_periods = tight.Ms() + 1;  // M - 1 probe leaves the domain
+  EXPECT_THROW(AnalyzeSensitivity(tight), InvalidArgument);
+}
+
+TEST(DutyCycle, SimulationMatchesScaledPdAnalysis) {
+  const SystemParams p = Onr(240);
+  for (double duty : {0.5, 0.8}) {
+    SystemParams scaled = p;
+    scaled.detect_prob = p.detect_prob * duty;
+    const double analysis = MsApproachAnalyze(scaled).detection_probability;
+
+    TrialConfig config;
+    config.params = p;
+    config.duty_cycle = duty;
+    MonteCarloOptions mc;
+    mc.trials = 5000;
+    mc.z = 3.3;
+    const ProportionEstimate sim = EstimateDetectionProbability(config, mc);
+    EXPECT_GT(analysis, sim.lo - 0.015) << "duty = " << duty;
+    EXPECT_LT(analysis, sim.hi + 0.015) << "duty = " << duty;
+  }
+}
+
+TEST(DutyCycle, FullDutyIsIdentical) {
+  TrialConfig a;
+  a.params = Onr(140);
+  TrialConfig b = a;
+  b.duty_cycle = 1.0;
+  Rng r1(5);
+  Rng r2(5);
+  EXPECT_EQ(RunTrial(a, r1).total_true_reports,
+            RunTrial(b, r2).total_true_reports);
+}
+
+TEST(DutyCycle, SleepingNodesCannotFalseAlarm) {
+  TrialConfig config;
+  config.params = Onr(140);
+  config.duty_cycle = 0.0;
+  config.false_alarm_prob = 0.5;
+  Rng rng(7);
+  const TrialResult trial = RunNoTargetTrial(config, rng);
+  EXPECT_TRUE(trial.reports.empty());
+}
+
+TEST(DutyCycle, RejectsOutOfRange) {
+  TrialConfig config;
+  config.params = Onr(140);
+  config.duty_cycle = 1.5;
+  Rng rng(1);
+  EXPECT_THROW(RunTrial(config, rng), InvalidArgument);
+}
+
+TEST(SlidingWindow, SimulationBracketsBetweenWindowAnalyses) {
+  // Target dwells 30 periods, detector slides a 20-period window.
+  SystemParams p20 = Onr(120);
+  SystemParams p30 = p20;
+  p30.window_periods = 30;
+  const double lower = MsApproachAnalyze(p20).detection_probability;
+  const double upper = MsApproachAnalyze(p30).detection_probability;
+
+  TrialConfig config;
+  config.params = p30;
+  WindowDetector::Options detector;
+  detector.k = 5;
+  detector.window = 20;
+  const Rng base(99);
+  std::atomic<int> detected{0};
+  const int trials = 3000;
+  ParallelFor(static_cast<std::size_t>(trials), [&](std::size_t i) {
+    Rng rng = base.Substream(i);
+    if (DetectTrial(RunTrial(config, rng), detector)) detected.fetch_add(1);
+  });
+  const double sliding = static_cast<double>(detected.load()) / trials;
+  EXPECT_GT(sliding, lower - 0.02);
+  EXPECT_LT(sliding, upper + 0.02);
+}
+
+}  // namespace
+}  // namespace sparsedet

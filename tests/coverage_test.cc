@@ -1,0 +1,136 @@
+#include "coverage/coverage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/deployment.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Coverage, SingleCentralSensorCoversDiskFraction) {
+  const Field field = Field::Square(1000.0);
+  const std::vector<Vec2> nodes{{500.0, 500.0}};
+  const CoverageStats stats = EstimateCoverage(field, nodes, 100.0, 250);
+  // Disk area / field area = pi * 100^2 / 1000^2 ~ 0.0314.
+  EXPECT_NEAR(stats.covered_fraction, 0.0314, 0.003);
+}
+
+TEST(Coverage, FullCoverageWithHugeRange) {
+  const Field field = Field::Square(1000.0);
+  const std::vector<Vec2> nodes{{500.0, 500.0}};
+  const CoverageStats stats = EstimateCoverage(field, nodes, 2000.0, 100);
+  EXPECT_DOUBLE_EQ(stats.covered_fraction, 1.0);
+}
+
+TEST(Coverage, EmptyDeploymentCoversNothing) {
+  const Field field = Field::Square(1000.0);
+  const CoverageStats stats = EstimateCoverage(field, {}, 100.0, 50);
+  EXPECT_DOUBLE_EQ(stats.covered_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.poisson_estimate, 0.0);
+}
+
+TEST(Coverage, MatchesPoissonEstimateForRandomDeployment) {
+  const Field field = Field::Square(32000.0);
+  Rng rng(9);
+  // Average a few deployments; single draws fluctuate.
+  double sum = 0.0;
+  double poisson = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::vector<Vec2> nodes = DeployUniform(field, 240, rng);
+    const CoverageStats stats = EstimateCoverage(field, nodes, 1000.0, 150);
+    sum += stats.covered_fraction;
+    poisson = stats.poisson_estimate;
+  }
+  EXPECT_NEAR(sum / 5.0, poisson, 0.02);
+  EXPECT_NEAR(poisson, 1.0 - std::exp(-240.0 * 3.14159 * 1e6 / 1.024e9),
+              1e-4);
+}
+
+TEST(Coverage, RejectsBadArguments) {
+  const Field field = Field::Square(1000.0);
+  EXPECT_THROW(EstimateCoverage(field, {}, 0.0, 50), InvalidArgument);
+  EXPECT_THROW(EstimateCoverage(field, {}, 10.0, 1), InvalidArgument);
+  EXPECT_THROW(MaximalBreachDistance(field, {}, 1), InvalidArgument);
+}
+
+TEST(Breach, EmptyDeploymentIsUnconstrained) {
+  const Field field = Field::Square(1000.0);
+  EXPECT_TRUE(std::isinf(MaximalBreachDistance(field, {}, 50)));
+}
+
+TEST(Breach, SingleCentralSensorForcesEdgePath) {
+  // The best west-east path hugs the north or south edge; its minimum
+  // distance to the central sensor is ~ half the field side.
+  const Field field = Field::Square(1000.0);
+  const std::vector<Vec2> nodes{{500.0, 500.0}};
+  const double breach = MaximalBreachDistance(field, nodes, 200);
+  EXPECT_NEAR(breach, 500.0, 15.0);
+}
+
+TEST(Breach, SensorWallBlocksCrossing) {
+  // A dense vertical wall of sensors at x = 500 forces every crossing to
+  // pass within half the sensor spacing of some sensor.
+  const Field field = Field::Square(1000.0);
+  std::vector<Vec2> wall;
+  for (double y = 0.0; y <= 1000.0; y += 50.0) wall.push_back({500.0, y});
+  const double breach = MaximalBreachDistance(field, wall, 200);
+  EXPECT_LT(breach, 35.0);  // ~ spacing/2 + grid discretization
+}
+
+TEST(Breach, MoreSensorsShrinkBreach) {
+  const Field field = Field::Square(32000.0);
+  Rng rng(4);
+  const std::vector<Vec2> sparse = DeployUniform(field, 60, rng);
+  const std::vector<Vec2> dense = DeployUniform(field, 480, rng);
+  EXPECT_GT(MaximalBreachDistance(field, sparse, 120),
+            MaximalBreachDistance(field, dense, 120));
+}
+
+TEST(Breach, PathIsConsistentWithReportedDistance) {
+  const Field field = Field::Square(2000.0);
+  Rng rng(13);
+  const std::vector<Vec2> nodes = DeployUniform(field, 12, rng);
+  const BreachResult result = MaximalBreachPath(field, nodes, 120);
+  ASSERT_FALSE(result.path.empty());
+  // Path spans west to east.
+  EXPECT_LT(result.path.front().x, 2000.0 / 120.0);
+  EXPECT_GT(result.path.back().x, 2000.0 - 2000.0 / 120.0);
+  // The reported bottleneck equals the minimum nearest-sensor distance
+  // along the path, and consecutive cells are 4-neighbors.
+  double min_dist = 1e300;
+  for (const Vec2& p : result.path) {
+    double nearest = 1e300;
+    for (const Vec2& n : nodes) nearest = std::min(nearest, p.DistanceTo(n));
+    min_dist = std::min(min_dist, nearest);
+  }
+  EXPECT_NEAR(min_dist, result.distance, 1e-9);
+  const double cell = 2000.0 / 120.0;
+  for (std::size_t i = 1; i < result.path.size(); ++i) {
+    EXPECT_NEAR(result.path[i].DistanceTo(result.path[i - 1]), cell, 1e-9);
+  }
+}
+
+TEST(Breach, EmptyDeploymentPathIsStraight) {
+  const Field field = Field::Square(1000.0);
+  const BreachResult result = MaximalBreachPath(field, {}, 50);
+  EXPECT_TRUE(std::isinf(result.distance));
+  EXPECT_EQ(result.path.size(), 50u);
+}
+
+TEST(Breach, PathValueNeverExceedsBestCellWeight) {
+  // The breach distance can never exceed the largest nearest-sensor
+  // distance anywhere on the west or east edge.
+  const Field field = Field::Square(1000.0);
+  const std::vector<Vec2> nodes{{100.0, 100.0}, {900.0, 900.0}};
+  const double breach = MaximalBreachDistance(field, nodes, 150);
+  // Upper bound: the field diagonal.
+  EXPECT_LT(breach, 1415.0);
+  EXPECT_GT(breach, 0.0);
+}
+
+}  // namespace
+}  // namespace sparsedet

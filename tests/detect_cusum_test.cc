@@ -1,0 +1,125 @@
+#include "detect/cusum.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(CusumLlr, SignsMatchEvidence) {
+  // Zero reports is evidence for H0 (negative), many reports for H1.
+  EXPECT_LT(CusumLlrIncrement(0, 100, 1e-3, 5e-3), 0.0);
+  EXPECT_GT(CusumLlrIncrement(5, 100, 1e-3, 5e-3), 0.0);
+}
+
+TEST(CusumLlr, MonotoneInCount) {
+  double prev = CusumLlrIncrement(0, 100, 1e-3, 5e-3);
+  for (int c = 1; c <= 10; ++c) {
+    const double cur = CusumLlrIncrement(c, 100, 1e-3, 5e-3);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(CusumLlr, ClosedForm) {
+  const double llr = CusumLlrIncrement(2, 10, 0.1, 0.3);
+  const double expected = 2.0 * std::log(3.0) + 8.0 * std::log(0.7 / 0.9);
+  EXPECT_NEAR(llr, expected, 1e-12);
+}
+
+TEST(CusumLlr, RejectsBadArguments) {
+  EXPECT_THROW(CusumLlrIncrement(1, 10, 0.3, 0.1), InvalidArgument);
+  EXPECT_THROW(CusumLlrIncrement(1, 10, 0.0, 0.5), InvalidArgument);
+  EXPECT_THROW(CusumLlrIncrement(11, 10, 0.1, 0.3), InvalidArgument);
+  EXPECT_THROW(CusumLlrIncrement(-1, 10, 0.1, 0.3), InvalidArgument);
+}
+
+CusumDetector::Options SmallOptions() {
+  CusumDetector::Options opt;
+  opt.num_nodes = 100;
+  opt.p0 = 1e-3;
+  opt.p1 = 5e-3;
+  opt.threshold = 3.0;
+  return opt;
+}
+
+TEST(CusumDetector, StatisticClampsAtZero) {
+  CusumDetector detector(SmallOptions());
+  detector.ProcessCount(0);
+  detector.ProcessCount(0);
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(CusumDetector, BurstTriggers) {
+  CusumDetector detector(SmallOptions());
+  bool hit = false;
+  for (int period = 0; period < 5; ++period) {
+    hit = detector.ProcessCount(3);
+  }
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(CusumDetector, QuietStreamDoesNotTrigger) {
+  CusumDetector detector(SmallOptions());
+  for (int period = 0; period < 100; ++period) {
+    detector.ProcessCount(0);
+  }
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(CusumDetector, TriggeredLatches) {
+  CusumDetector detector(SmallOptions());
+  for (int period = 0; period < 5; ++period) detector.ProcessCount(4);
+  EXPECT_TRUE(detector.triggered());
+  for (int period = 0; period < 20; ++period) detector.ProcessCount(0);
+  EXPECT_TRUE(detector.triggered());  // latched even after decay
+  detector.Reset();
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+}
+
+TEST(CusumDetector, HigherThresholdTriggersLater) {
+  CusumDetector::Options low = SmallOptions();
+  CusumDetector::Options high = SmallOptions();
+  high.threshold = 10.0;
+  CusumDetector a(low);
+  CusumDetector b(high);
+  int first_a = -1;
+  int first_b = -1;
+  for (int period = 0; period < 30; ++period) {
+    if (a.ProcessCount(2) && first_a < 0) first_a = period;
+    if (b.ProcessCount(2) && first_b < 0) first_b = period;
+  }
+  ASSERT_GE(first_a, 0);
+  ASSERT_GE(first_b, 0);
+  EXPECT_LT(first_a, first_b);
+}
+
+TEST(CusumH1Rate, AddsCoverageToFaRate) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 140;
+  const double pf = 1e-3;
+  const double rate = CusumH1Rate(p, pf);
+  EXPECT_GT(rate, pf);
+  EXPECT_NEAR(rate, pf + 0.9 * p.DrArea() / p.FieldArea(), 1e-12);
+}
+
+TEST(CusumDetector, RejectsBadOptions) {
+  CusumDetector::Options bad = SmallOptions();
+  bad.threshold = 0.0;
+  EXPECT_THROW(CusumDetector{bad}, InvalidArgument);
+  bad = SmallOptions();
+  bad.num_nodes = 0;
+  EXPECT_THROW(CusumDetector{bad}, InvalidArgument);
+  bad = SmallOptions();
+  bad.p1 = bad.p0;
+  EXPECT_THROW(CusumDetector{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

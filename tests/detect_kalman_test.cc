@@ -1,0 +1,135 @@
+#include "detect/kalman.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "detect/track_estimate.h"
+
+namespace sparsedet {
+namespace {
+
+SimReport At(int period, Vec2 pos) {
+  return {.period = period, .node = period, .node_pos = pos,
+          .is_false_alarm = false};
+}
+
+KalmanTracker::Options DefaultOptions() {
+  KalmanTracker::Options opt;
+  opt.measurement_std = 500.0;
+  opt.process_noise = 1e-3;
+  return opt;
+}
+
+TEST(KalmanTracker, ConvergesOnNoiseFreeTrack) {
+  const Vec2 p0{1000.0, 2000.0};
+  const Vec2 v{10.0, -3.0};
+  std::vector<SimReport> reports;
+  for (int period = 0; period < 20; ++period) {
+    const double t = (period + 0.5) * 60.0;
+    reports.push_back(At(period, p0 + v * t));
+  }
+  const KalmanTrackResult result =
+      RunKalmanTracker(reports, 60.0, DefaultOptions());
+  EXPECT_NEAR(result.velocity.x, 10.0, 0.8);
+  EXPECT_NEAR(result.velocity.y, -3.0, 0.8);
+  const Vec2 truth = p0 + v * result.last_time;
+  EXPECT_LT(result.position.DistanceTo(truth), 300.0);
+  EXPECT_EQ(result.updates, 19);
+}
+
+TEST(KalmanTracker, UncertaintyShrinksWithUpdates) {
+  KalmanTracker tracker(DefaultOptions());
+  tracker.Initialize({0.0, 0.0}, {0.0, 0.0}, 1000.0, 50.0);
+  const double initial = tracker.position_std();
+  for (int i = 1; i <= 10; ++i) {
+    tracker.PredictAndUpdate(60.0, {600.0 * i, 0.0});
+  }
+  EXPECT_LT(tracker.position_std(), initial);
+  EXPECT_LT(tracker.position_std(), 500.0);  // below measurement noise
+  EXPECT_LT(tracker.velocity_std(), 50.0);
+}
+
+TEST(KalmanTracker, ComparableToLeastSquaresOnNoisyTrack) {
+  Rng rng(11);
+  const Vec2 p0{5000.0, 5000.0};
+  const Vec2 v{10.0, 0.0};
+  double kalman_err = 0.0;
+  double lsq_err = 0.0;
+  const int repeats = 25;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::vector<SimReport> reports;
+    for (int period = 0; period < 20; period += 2) {
+      const double t = (period + 0.5) * 60.0;
+      const Vec2 truth = p0 + v * t;
+      reports.push_back(At(period, {truth.x + rng.Uniform(-900.0, 900.0),
+                                    truth.y + rng.Uniform(-900.0, 900.0)}));
+    }
+    const KalmanTrackResult kalman =
+        RunKalmanTracker(reports, 60.0, DefaultOptions());
+    const TrackEstimate lsq = FitConstantVelocityTrack(reports, 60.0);
+    kalman_err += std::abs(kalman.velocity.Norm() - 10.0);
+    lsq_err += std::abs(lsq.Speed() - 10.0);
+  }
+  // Both are reasonable estimators; the filter should be within 2x of the
+  // batch fit's error on constant-velocity data.
+  EXPECT_LT(kalman_err, 2.0 * lsq_err + 1.0);
+  EXPECT_LT(kalman_err / repeats, 5.0);
+}
+
+TEST(KalmanTracker, SamePeriodReportsAreFused) {
+  std::vector<SimReport> reports{At(0, {0.0, 0.0}), At(0, {100.0, 0.0}),
+                                 At(5, {3000.0, 0.0})};
+  const KalmanTrackResult result =
+      RunKalmanTracker(reports, 60.0, DefaultOptions());
+  EXPECT_EQ(result.updates, 2);
+  EXPECT_GT(result.velocity.x, 0.0);
+}
+
+TEST(KalmanTracker, RejectsMisuse) {
+  KalmanTracker tracker(DefaultOptions());
+  EXPECT_THROW(tracker.PredictAndUpdate(1.0, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(tracker.position(), InvalidArgument);
+  tracker.Initialize({0, 0}, {0, 0}, 10.0, 10.0);
+  EXPECT_THROW(tracker.PredictAndUpdate(0.0, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(tracker.Initialize({0, 0}, {0, 0}, 0.0, 1.0),
+               InvalidArgument);
+
+  KalmanTracker::Options bad = DefaultOptions();
+  bad.measurement_std = 0.0;
+  EXPECT_THROW(KalmanTracker{bad}, InvalidArgument);
+
+  EXPECT_THROW(RunKalmanTracker({At(0, {0, 0})}, 60.0, DefaultOptions()),
+               InvalidArgument);
+  EXPECT_THROW(RunKalmanTracker({At(3, {0, 0}), At(3, {1, 0})}, 60.0,
+                                DefaultOptions()),
+               InvalidArgument);
+}
+
+TEST(KalmanTracker, ProcessNoiseAllowsManeuverTracking) {
+  // A turning target: the high-process-noise filter follows it better at
+  // the end of the track than the near-zero-noise filter.
+  std::vector<SimReport> reports;
+  for (int period = 0; period < 20; ++period) {
+    const double t = (period + 0.5) * 60.0;
+    // First half straight +x, second half straight +y.
+    const Vec2 pos = period < 10
+                         ? Vec2{10.0 * t, 0.0}
+                         : Vec2{10.0 * 630.0, 10.0 * (t - 630.0)};
+    reports.push_back(At(period, pos));
+  }
+  KalmanTracker::Options stiff = DefaultOptions();
+  stiff.process_noise = 1e-6;
+  KalmanTracker::Options agile = DefaultOptions();
+  agile.process_noise = 1.0;
+  const KalmanTrackResult r_stiff = RunKalmanTracker(reports, 60.0, stiff);
+  const KalmanTrackResult r_agile = RunKalmanTracker(reports, 60.0, agile);
+  const Vec2 final_truth = reports.back().node_pos;
+  EXPECT_LT(r_agile.position.DistanceTo(final_truth),
+            r_stiff.position.DistanceTo(final_truth));
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/false_alarm_model.h"
+#include "detect/instantaneous.h"
+#include "detect/system_fa.h"
+#include "detect/track_gate.h"
+#include "detect/window_detector.h"
+
+namespace sparsedet {
+namespace {
+
+SimReport Report(int period, int node, double x, double y) {
+  return {.period = period, .node = node, .node_pos = {x, y},
+          .is_false_alarm = false};
+}
+
+TrackGateParams OnrGate() {
+  return {.speed = 10.0,
+          .period_length = 60.0,
+          .sensing_range = 1000.0,
+          .slack = 0.0};
+}
+
+TEST(PairFeasible, SamePeriodWithinTwoSensingRanges) {
+  const TrackGateParams gate = OnrGate();
+  // Same period: reach = V*t + 2*Rs = 2600 m.
+  EXPECT_TRUE(PairFeasible(Report(0, 1, 0, 0), Report(0, 2, 2500, 0), gate));
+  EXPECT_FALSE(PairFeasible(Report(0, 1, 0, 0), Report(0, 2, 2700, 0), gate));
+}
+
+TEST(PairFeasible, ReachGrowsWithPeriodGap) {
+  const TrackGateParams gate = OnrGate();
+  // Gap of 5 periods: reach = 600 * 6 + 2000 = 5600 m.
+  EXPECT_TRUE(PairFeasible(Report(0, 1, 0, 0), Report(5, 2, 5500, 0), gate));
+  EXPECT_FALSE(PairFeasible(Report(0, 1, 0, 0), Report(5, 2, 5700, 0), gate));
+}
+
+TEST(PairFeasible, SymmetricInArguments) {
+  const TrackGateParams gate = OnrGate();
+  const SimReport a = Report(2, 1, 0, 0);
+  const SimReport b = Report(7, 2, 3000, 500);
+  EXPECT_EQ(PairFeasible(a, b, gate), PairFeasible(b, a, gate));
+}
+
+TEST(LongestChain, EmptyAndSingle) {
+  const TrackGateParams gate = OnrGate();
+  EXPECT_EQ(LongestTrackConsistentChain({}, gate), 0);
+  EXPECT_EQ(LongestTrackConsistentChain({Report(0, 1, 0, 0)}, gate), 1);
+}
+
+TEST(LongestChain, TrueTrackChainsFully) {
+  // Reports along a straight 10 m/s track, one per period at the target's
+  // position: all pairwise feasible.
+  const TrackGateParams gate = OnrGate();
+  std::vector<SimReport> reports;
+  for (int p = 0; p < 8; ++p) {
+    reports.push_back(Report(p, p, 600.0 * p, 0.0));
+  }
+  EXPECT_EQ(LongestTrackConsistentChain(reports, gate), 8);
+}
+
+TEST(LongestChain, ScatteredFalseAlarmsDoNotChain) {
+  // Far-apart false alarms across a 32 km field cannot form a long chain.
+  const TrackGateParams gate = OnrGate();
+  std::vector<SimReport> reports;
+  reports.push_back(Report(0, 1, 0.0, 0.0));
+  reports.push_back(Report(1, 2, 20000.0, 0.0));
+  reports.push_back(Report(2, 3, 0.0, 25000.0));
+  reports.push_back(Report(3, 4, 30000.0, 30000.0));
+  EXPECT_LE(LongestTrackConsistentChain(reports, gate), 2);
+}
+
+TEST(LongestChain, UnsortedInputHandled) {
+  const TrackGateParams gate = OnrGate();
+  std::vector<SimReport> reports;
+  for (int p : {4, 0, 2, 1, 3}) {
+    reports.push_back(Report(p, p, 600.0 * p, 0.0));
+  }
+  EXPECT_EQ(LongestTrackConsistentChain(reports, gate), 5);
+}
+
+TEST(LongestChain, SlackWidensGate) {
+  TrackGateParams gate = OnrGate();
+  std::vector<SimReport> reports{Report(0, 1, 0, 0),
+                                 Report(0, 2, 2700, 0)};
+  EXPECT_EQ(LongestTrackConsistentChain(reports, gate), 1);
+  gate.slack = 200.0;
+  EXPECT_EQ(LongestTrackConsistentChain(reports, gate), 2);
+}
+
+TEST(WindowDetector, CountOnlyRule) {
+  WindowDetector::Options opt;
+  opt.k = 3;
+  opt.window = 4;
+  WindowDetector detector(opt);
+  EXPECT_FALSE(detector.ProcessPeriod(0, {Report(0, 1, 0, 0)}));
+  EXPECT_FALSE(detector.ProcessPeriod(1, {Report(1, 2, 100, 0)}));
+  EXPECT_TRUE(detector.ProcessPeriod(2, {Report(2, 3, 200, 0)}));
+  EXPECT_TRUE(detector.triggered());
+  EXPECT_EQ(detector.trigger_count(), 1);
+}
+
+TEST(WindowDetector, OldReportsExpireFromWindow) {
+  WindowDetector::Options opt;
+  opt.k = 2;
+  opt.window = 2;
+  WindowDetector detector(opt);
+  EXPECT_FALSE(detector.ProcessPeriod(0, {Report(0, 1, 0, 0)}));
+  EXPECT_FALSE(detector.ProcessPeriod(1, {}));
+  // Period 2: the period-0 report has left the 2-period window.
+  EXPECT_FALSE(detector.ProcessPeriod(2, {Report(2, 2, 0, 0)}));
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(WindowDetector, DistinctNodeRequirement) {
+  WindowDetector::Options opt;
+  opt.k = 3;
+  opt.window = 5;
+  opt.h = 2;
+  WindowDetector detector(opt);
+  // Three reports from the same node: k met, h not.
+  EXPECT_FALSE(detector.ProcessPeriod(
+      0, {Report(0, 7, 0, 0), Report(0, 7, 0, 0), Report(0, 7, 0, 0)}));
+  // A second node arrives.
+  EXPECT_TRUE(detector.ProcessPeriod(1, {Report(1, 8, 100, 0)}));
+}
+
+TEST(WindowDetector, TrackGateBlocksScatteredReports) {
+  WindowDetector::Options gated;
+  gated.k = 3;
+  gated.window = 10;
+  gated.use_track_gate = true;
+  gated.gate = OnrGate();
+  WindowDetector detector(gated);
+  EXPECT_FALSE(detector.ProcessPeriod(0, {Report(0, 1, 0, 0)}));
+  EXPECT_FALSE(detector.ProcessPeriod(1, {Report(1, 2, 20000, 0)}));
+  // Count reaches 3 but no 3-chain is feasible.
+  EXPECT_FALSE(detector.ProcessPeriod(2, {Report(2, 3, 0, 20000)}));
+  // A true track's reports would chain:
+  WindowDetector detector2(gated);
+  EXPECT_FALSE(detector2.ProcessPeriod(0, {Report(0, 1, 0, 0)}));
+  EXPECT_FALSE(detector2.ProcessPeriod(1, {Report(1, 2, 600, 0)}));
+  EXPECT_TRUE(detector2.ProcessPeriod(2, {Report(2, 3, 1200, 0)}));
+}
+
+TEST(WindowDetector, ResetClearsState) {
+  WindowDetector::Options opt;
+  opt.k = 1;
+  opt.window = 3;
+  WindowDetector detector(opt);
+  EXPECT_TRUE(detector.ProcessPeriod(0, {Report(0, 1, 0, 0)}));
+  detector.Reset();
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_EQ(detector.trigger_count(), 0);
+  EXPECT_FALSE(detector.ProcessPeriod(0, {}));
+}
+
+TEST(WindowDetector, RejectsMisuse) {
+  WindowDetector::Options opt;
+  opt.k = 0;
+  EXPECT_THROW(WindowDetector{opt}, InvalidArgument);
+  opt.k = 1;
+  WindowDetector d(opt);
+  d.ProcessPeriod(5, {});
+  EXPECT_THROW(d.ProcessPeriod(4, {}), InvalidArgument);
+  EXPECT_THROW(d.ProcessPeriod(6, {Report(5, 1, 0, 0)}), InvalidArgument);
+}
+
+TEST(DetectTrial, MatchesCountRuleOnTrueReports) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = 140;
+  Rng rng(55);
+  const TrialResult trial = RunTrial(config, rng);
+  WindowDetector::Options opt;
+  opt.k = config.params.threshold_reports;
+  opt.window = config.params.window_periods;
+  EXPECT_EQ(DetectTrial(trial, opt),
+            trial.total_true_reports >= config.params.threshold_reports);
+}
+
+TEST(Instantaneous, DetectsAnyReport) {
+  TrialResult empty;
+  EXPECT_FALSE(InstantaneousDetect(empty));
+  TrialResult one;
+  one.reports.push_back(Report(0, 1, 0, 0));
+  EXPECT_TRUE(InstantaneousDetect(one));
+}
+
+TEST(Instantaneous, SystemFaProbabilityFormula) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  // 1 - (1-pf)^(N*M) with N*M = 2000.
+  EXPECT_NEAR(InstantaneousSystemFaProbability(p, 1e-4),
+              1.0 - std::pow(1.0 - 1e-4, 2000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(InstantaneousSystemFaProbability(p, 0.0), 0.0);
+}
+
+TEST(SystemFa, GatedRateNeverExceedsCountOnly) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  p.threshold_reports = 4;
+  SystemFaOptions opt;
+  opt.trials = 1500;
+  const SystemFaEstimate est = EstimateSystemFaProbability(p, 2e-3, opt);
+  EXPECT_LE(est.gated.successes, est.count_only.successes);
+}
+
+TEST(SystemFa, CountOnlyMatchesAnalyticalModel) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  p.threshold_reports = 4;
+  const double pf = 2e-3;
+  SystemFaOptions opt;
+  opt.trials = 4000;
+  opt.z = 3.3;
+  const SystemFaEstimate est = EstimateSystemFaProbability(p, pf, opt);
+  const double analytical = CountOnlySystemFaProbability(p, pf);
+  EXPECT_GT(analytical, est.count_only.lo - 0.01);
+  EXPECT_LT(analytical, est.count_only.hi + 0.01);
+}
+
+TEST(SystemFa, MinimumGatedThresholdBoundedByCountOnly) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 100;
+  const double pf = 2e-3;
+  SystemFaOptions opt;
+  opt.trials = 2000;
+  const int gated_k = MinimumGatedThreshold(p, pf, 0.01, opt);
+  const int count_k = MinimumThresholdForFaRate(p, pf, 0.01);
+  // The gate discards reports, so it never needs a larger k.
+  EXPECT_LE(gated_k, count_k);
+  EXPECT_GE(gated_k, 1);
+}
+
+TEST(SystemFa, ZeroFaRateGivesZeroEstimate) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 60;
+  SystemFaOptions opt;
+  opt.trials = 200;
+  const SystemFaEstimate est = EstimateSystemFaProbability(p, 0.0, opt);
+  EXPECT_EQ(est.count_only.successes, 0);
+  EXPECT_EQ(est.gated.successes, 0);
+  EXPECT_EQ(MinimumGatedThreshold(p, 0.0, 0.5, opt), 1);
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,107 @@
+#include "detect/track_estimate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sparsedet {
+namespace {
+
+SimReport At(int period, Vec2 pos) {
+  return {.period = period, .node = period, .node_pos = pos,
+          .is_false_alarm = false};
+}
+
+TEST(TrackEstimate, RecoversExactTrackFromOnTrackReports) {
+  // Target at (100, 200) at t=0 moving (3, -4) m/s; reports exactly on the
+  // track at mid-period times, t = 60 s periods.
+  std::vector<SimReport> reports;
+  const Vec2 p0{100.0, 200.0};
+  const Vec2 v{3.0, -4.0};
+  for (int period : {0, 2, 5, 9}) {
+    const double t = (period + 0.5) * 60.0;
+    reports.push_back(At(period, p0 + v * t));
+  }
+  const TrackEstimate fit = FitConstantVelocityTrack(reports, 60.0);
+  EXPECT_NEAR(fit.velocity.x, 3.0, 1e-10);
+  EXPECT_NEAR(fit.velocity.y, -4.0, 1e-10);
+  EXPECT_NEAR(fit.position0.x, 100.0, 1e-7);
+  EXPECT_NEAR(fit.position0.y, 200.0, 1e-7);
+  EXPECT_NEAR(fit.rms_residual, 0.0, 1e-9);
+  EXPECT_NEAR(fit.Speed(), 5.0, 1e-10);
+  EXPECT_EQ(fit.support, 4);
+}
+
+TEST(TrackEstimate, PositionAtExtrapolates) {
+  std::vector<SimReport> reports{At(0, {0.0, 30.0}), At(1, {0.0, 90.0})};
+  const TrackEstimate fit = FitConstantVelocityTrack(reports, 60.0);
+  // Speed 1 m/s along +y; position at t = 0 is y = 0.
+  EXPECT_NEAR(fit.PositionAt(0.0).y, 0.0, 1e-9);
+  EXPECT_NEAR(fit.PositionAt(300.0).y, 300.0, 1e-9);
+}
+
+TEST(TrackEstimate, BoundedErrorUnderReportNoise) {
+  // Reports displaced up to Rs perpendicular to the track; the fitted
+  // track must stay well within Rs of the truth and residuals reflect the
+  // noise scale.
+  Rng rng(5);
+  const Vec2 p0{5000.0, 5000.0};
+  const Vec2 v{10.0, 0.0};
+  const double rs = 1000.0;
+  std::vector<SimReport> reports;
+  for (int period = 0; period < 20; period += 2) {
+    const double t = (period + 0.5) * 60.0;
+    const Vec2 truth = p0 + v * t;
+    reports.push_back(At(period, {truth.x + rng.Uniform(-rs, rs),
+                                  truth.y + rng.Uniform(-rs, rs)}));
+  }
+  const TrackEstimate fit = FitConstantVelocityTrack(reports, 60.0);
+  EXPECT_LT(std::abs(fit.Speed() - 10.0), 3.0);
+  EXPECT_LT(fit.PositionAt(600.0).DistanceTo(p0 + v * 600.0), rs);
+  EXPECT_GT(fit.rms_residual, 100.0);  // noise is visible in the residual
+  EXPECT_LT(fit.rms_residual, 2.0 * rs);
+}
+
+TEST(TrackEstimate, MoreReportsImproveAccuracy) {
+  const Vec2 p0{0.0, 0.0};
+  const Vec2 v{10.0, 0.0};
+  auto fit_with = [&](int count, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<SimReport> reports;
+    for (int i = 0; i < count; ++i) {
+      const int period = i % 20;
+      const double t = (period + 0.5) * 60.0;
+      const Vec2 truth = p0 + v * t;
+      reports.push_back(At(period, {truth.x + rng.Uniform(-1000.0, 1000.0),
+                                    truth.y + rng.Uniform(-1000.0, 1000.0)}));
+    }
+    return FitConstantVelocityTrack(reports, 60.0);
+  };
+  // Average over seeds to avoid single-draw flukes.
+  double err_few = 0.0;
+  double err_many = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    err_few += std::abs(fit_with(5, seed).Speed() - 10.0);
+    err_many += std::abs(fit_with(60, seed).Speed() - 10.0);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(TrackEstimate, RejectsUnderdeterminedInput) {
+  EXPECT_THROW(FitConstantVelocityTrack({}, 60.0), InvalidArgument);
+  EXPECT_THROW(FitConstantVelocityTrack({At(0, {0, 0})}, 60.0),
+               InvalidArgument);
+  // Two reports in the same period: velocity unobservable.
+  EXPECT_THROW(
+      FitConstantVelocityTrack({At(3, {0, 0}), At(3, {100, 0})}, 60.0),
+      InvalidArgument);
+  EXPECT_THROW(
+      FitConstantVelocityTrack({At(0, {0, 0}), At(1, {1, 0})}, 0.0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

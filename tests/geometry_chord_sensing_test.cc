@@ -1,0 +1,122 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "geometry/chord.h"
+#include "sim/sensing.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(ChordLength, FullDiameterCrossing) {
+  const Segment s({-10.0, 0.0}, {10.0, 0.0});
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 3.0), 6.0, 1e-12);
+}
+
+TEST(ChordLength, OffsetChord) {
+  // Disk radius 5 centered at origin; horizontal line y = 3 cuts a chord
+  // of length 2*sqrt(25 - 9) = 8.
+  const Segment s({-20.0, 3.0}, {20.0, 3.0});
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 5.0), 8.0, 1e-12);
+}
+
+TEST(ChordLength, SegmentEntirelyInside) {
+  const Segment s({-1.0, 0.0}, {1.0, 0.5});
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 10.0), s.Length(),
+              1e-12);
+}
+
+TEST(ChordLength, SegmentEntirelyOutside) {
+  const Segment s({10.0, 10.0}, {20.0, 10.0});
+  EXPECT_DOUBLE_EQ(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 3.0), 0.0);
+}
+
+TEST(ChordLength, SegmentEndingInsideDisk) {
+  // Enters the disk at x = -3 and stops at the center.
+  const Segment s({-10.0, 0.0}, {0.0, 0.0});
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 3.0), 3.0, 1e-12);
+}
+
+TEST(ChordLength, TangentLineHasZeroLength) {
+  const Segment s({-10.0, 3.0}, {10.0, 3.0});
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 3.0), 0.0, 1e-5);
+}
+
+TEST(ChordLength, DegeneratePointSegment) {
+  const Segment s({0.0, 0.0}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 3.0), 0.0);
+}
+
+TEST(ChordLength, MatchesSampledLength) {
+  const Segment s({-7.3, -2.1}, {5.9, 6.4});
+  const Vec2 center{0.5, 1.0};
+  const double radius = 4.2;
+  int inside = 0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double u = (i + 0.5) / samples;
+    const Vec2 p = s.a + (s.b - s.a) * u;
+    if ((p - center).NormSquared() <= radius * radius) ++inside;
+  }
+  const double sampled = s.Length() * inside / samples;
+  EXPECT_NEAR(SegmentDiskIntersectionLength(s, center, radius), sampled,
+              s.Length() * 1e-4);
+}
+
+TEST(ChordLength, RejectsNonPositiveRadius) {
+  const Segment s({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_THROW(SegmentDiskIntersectionLength(s, {0.0, 0.0}, 0.0),
+               InvalidArgument);
+}
+
+TEST(DwellTimeSensing, CalibrationHitsFullCrossingPd) {
+  const double range = 1000.0;
+  const double speed = 10.0;
+  const DwellTimeSensing sensing =
+      DwellTimeSensing::Calibrated(range, 0.9, speed);
+  // A full-diameter crossing.
+  const Segment crossing({-range, 0.0}, {range, 0.0});
+  EXPECT_NEAR(sensing.DetectionProbability({0.0, 0.0}, crossing), 0.9,
+              1e-12);
+}
+
+TEST(DwellTimeSensing, ShorterDwellLowersProbability) {
+  const DwellTimeSensing sensing =
+      DwellTimeSensing::Calibrated(1000.0, 0.9, 10.0);
+  const Segment crossing({-1000.0, 0.0}, {1000.0, 0.0});
+  const double center_p = sensing.DetectionProbability({0.0, 0.0}, crossing);
+  const double grazing_p =
+      sensing.DetectionProbability({0.0, 950.0}, crossing);
+  EXPECT_GT(center_p, grazing_p);
+  EXPECT_GT(grazing_p, 0.0);
+}
+
+TEST(DwellTimeSensing, ZeroDwellMeansZeroProbability) {
+  const DwellTimeSensing sensing =
+      DwellTimeSensing::Calibrated(1000.0, 0.9, 10.0);
+  const Segment path({0.0, 0.0}, {100.0, 0.0});
+  EXPECT_DOUBLE_EQ(sensing.DetectionProbability({5000.0, 0.0}, path), 0.0);
+}
+
+TEST(DwellTimeSensing, AlwaysBelowConstantPdBound) {
+  // With calibration at pd_full, no geometry can exceed pd_full.
+  const DwellTimeSensing sensing =
+      DwellTimeSensing::Calibrated(1000.0, 0.9, 10.0);
+  const Segment crossing({-1000.0, 0.0}, {1000.0, 0.0});
+  for (double y = -900.0; y <= 900.0; y += 100.0) {
+    EXPECT_LE(sensing.DetectionProbability({0.0, y}, crossing), 0.9 + 1e-12)
+        << "y = " << y;
+  }
+}
+
+TEST(DwellTimeSensing, RejectsBadParameters) {
+  EXPECT_THROW(DwellTimeSensing(0.0, 1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(DwellTimeSensing(10.0, -1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(DwellTimeSensing(10.0, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(DwellTimeSensing::Calibrated(10.0, 1.0, 10.0),
+               InvalidArgument);  // pd_full must be < 1
+}
+
+}  // namespace
+}  // namespace sparsedet

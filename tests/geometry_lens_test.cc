@@ -1,0 +1,104 @@
+#include "geometry/lens.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(CircleLensArea, FullOverlapAtZeroDistance) {
+  EXPECT_NEAR(CircleLensArea(0.0, 1.0), kPi, 1e-12);
+  EXPECT_NEAR(CircleLensArea(0.0, 1000.0), kPi * 1e6, 1e-3);
+}
+
+TEST(CircleLensArea, ZeroBeyondTwoRadii) {
+  EXPECT_DOUBLE_EQ(CircleLensArea(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(CircleLensArea(5.0, 1.0), 0.0);
+}
+
+TEST(CircleLensArea, KnownHalfwayValue) {
+  // d = r: A = 2r^2 acos(1/2) - (r/2) sqrt(3 r^2) = r^2 (2 pi/3 - sqrt(3)/2).
+  const double r = 3.0;
+  const double expected = r * r * (2.0 * kPi / 3.0 - std::sqrt(3.0) / 2.0);
+  EXPECT_NEAR(CircleLensArea(r, r), expected, 1e-10);
+}
+
+TEST(CircleLensArea, MonotoneDecreasingInDistance) {
+  const double r = 7.0;
+  double prev = CircleLensArea(0.0, r);
+  for (double d = 0.1; d < 2.0 * r; d += 0.1) {
+    const double cur = CircleLensArea(d, r);
+    EXPECT_LT(cur, prev) << "d = " << d;
+    prev = cur;
+  }
+}
+
+TEST(CircleLensArea, ScalesWithRadiusSquared) {
+  // A(c*d, c*r) = c^2 A(d, r).
+  const double a1 = CircleLensArea(0.7, 1.0);
+  const double a10 = CircleLensArea(7.0, 10.0);
+  EXPECT_NEAR(a10, 100.0 * a1, 1e-9 * a10);
+}
+
+TEST(CircleLensArea, ContinuousAtTouchingPoint) {
+  const double r = 2.0;
+  EXPECT_NEAR(CircleLensArea(2.0 * r - 1e-9, r), 0.0, 1e-5);
+}
+
+TEST(CircleLensArea, MatchesMonteCarloEstimate) {
+  // Estimate |disk(0,0,r) ∩ disk(d,0,r)| by grid sampling.
+  const double r = 1.0;
+  const double d = 0.8;
+  const int grid = 2000;
+  int inside = 0;
+  // Intersection fits in the box x in [d - r, r], y in [-r, r].
+  const double x0 = d - r;
+  const double x1 = r;
+  const double y0 = -r;
+  const double y1 = r;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      const double x = x0 + (x1 - x0) * (i + 0.5) / grid;
+      const double y = y0 + (y1 - y0) * (j + 0.5) / grid;
+      if (x * x + y * y <= r * r &&
+          (x - d) * (x - d) + y * y <= r * r) {
+        ++inside;
+      }
+    }
+  }
+  const double estimate =
+      (x1 - x0) * (y1 - y0) * static_cast<double>(inside) / (grid * grid);
+  EXPECT_NEAR(CircleLensArea(d, r), estimate, 2e-3);
+}
+
+TEST(CircleLensArea, RejectsNonPositiveRadius) {
+  EXPECT_THROW(CircleLensArea(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(CircleLensArea(1.0, -2.0), InvalidArgument);
+}
+
+TEST(CircleLensArea, RejectsNegativeDistance) {
+  EXPECT_THROW(CircleLensArea(-0.1, 1.0), InvalidArgument);
+}
+
+class LensSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LensSweep, BoundedByDiskArea) {
+  const double r = GetParam();
+  for (double frac = 0.0; frac <= 2.0; frac += 0.05) {
+    const double a = CircleLensArea(frac * r, r);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, kPi * r * r + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, LensSweep,
+                         ::testing::Values(0.5, 1.0, 10.0, 1000.0, 12345.6));
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,194 @@
+// Tests for the Eq. 6 / 8 / 10 region decomposition — the geometric heart
+// of the paper's analysis. The key invariants:
+//   * sum_i AreaH(i) = |DR| = 2 Rs V t + pi Rs^2
+//   * sum_i AreaB(i) = |body NEDR| = 2 Rs V t
+//   * sum_i AreaT(j, i) = 2 Rs V t for every tail step j
+//   * Region(i) sums over the whole window to |ARegion|
+//   * AreaH(i) = |DR(1) ∩ DR(i)| - |DR(1) ∩ DR(i+1)| matches a Monte-Carlo
+//     count of how many periods a random point is covered.
+#include "geometry/region_decomposition.h"
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/segment.h"
+
+namespace sparsedet {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(RegionDecomposition, MsMatchesDefinition) {
+  // ONR defaults, V = 10 m/s: 2*1000 / 600 -> ceil(3.33) = 4.
+  EXPECT_EQ(RegionDecomposition(1000.0, 10.0, 60.0).ms(), 4);
+  // V = 4 m/s: 2000 / 240 -> ceil(8.33) = 9.
+  EXPECT_EQ(RegionDecomposition(1000.0, 4.0, 60.0).ms(), 9);
+  // Exact division: 2000 / 500 = 4.
+  EXPECT_EQ(RegionDecomposition(1000.0, 500.0, 1.0).ms(), 4);
+  // Fast target, V*t >= 2*Rs: ms = 1.
+  EXPECT_EQ(RegionDecomposition(1000.0, 2500.0, 1.0).ms(), 1);
+}
+
+TEST(RegionDecomposition, HeadFirstSubareaIsBodyNedr) {
+  const RegionDecomposition d(1000.0, 10.0, 60.0);
+  EXPECT_NEAR(d.AreaH(1), 2.0 * 1000.0 * 600.0, 1e-6);
+}
+
+TEST(RegionDecomposition, HeadLastSubareaIsLens) {
+  const RegionDecomposition d(1000.0, 10.0, 60.0);
+  // AreaH(ms+1) = lens((ms-1) * Vt) around the shared boundary point.
+  const double expected =
+      2.0 * 1e6 * std::acos(3.0 * 600.0 / 2000.0) -
+      0.5 * 1800.0 * std::sqrt(4.0 * 1e6 - 1800.0 * 1800.0);
+  EXPECT_NEAR(d.AreaH(d.ms() + 1), expected, 1e-6);
+}
+
+TEST(RegionDecomposition, RejectsBadParameters) {
+  EXPECT_THROW(RegionDecomposition(0.0, 10.0, 60.0), InvalidArgument);
+  EXPECT_THROW(RegionDecomposition(1000.0, 0.0, 60.0), InvalidArgument);
+  EXPECT_THROW(RegionDecomposition(1000.0, 10.0, 0.0), InvalidArgument);
+}
+
+TEST(RegionDecomposition, IndexBoundsEnforced) {
+  const RegionDecomposition d(1000.0, 10.0, 60.0);
+  EXPECT_THROW(d.AreaH(0), InvalidArgument);
+  EXPECT_THROW(d.AreaH(d.ms() + 2), InvalidArgument);
+  EXPECT_THROW(d.AreaB(0), InvalidArgument);
+  EXPECT_THROW(d.AreaT(0, 1), InvalidArgument);
+  EXPECT_THROW(d.AreaT(1, d.ms() + 1), InvalidArgument);
+  EXPECT_THROW(d.SApproachRegions(d.ms()), InvalidArgument);
+}
+
+TEST(RegionDecomposition, StaticLimitNotRepresentable) {
+  // ms explodes as V*t -> 0; just confirm a slow target yields a large ms
+  // and the identities still hold.
+  const RegionDecomposition d(1000.0, 0.5, 60.0);
+  EXPECT_EQ(d.ms(), 67);
+  double sum = 0.0;
+  for (int i = 1; i <= d.ms() + 1; ++i) sum += d.AreaH(i);
+  EXPECT_NEAR(sum, d.DrArea(), d.DrArea() * 1e-12);
+}
+
+// ---- Parameterized identity sweep over (Rs, V, t). -----------------------
+
+class DecompositionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+ protected:
+  RegionDecomposition Decomp() const {
+    const auto [rs, v, t] = GetParam();
+    return RegionDecomposition(rs, v, t);
+  }
+};
+
+TEST_P(DecompositionSweep, AllSubareasNonNegative) {
+  const RegionDecomposition d = Decomp();
+  for (int i = 1; i <= d.ms() + 1; ++i) {
+    EXPECT_GE(d.AreaH(i), 0.0) << "AreaH(" << i << ")";
+    EXPECT_GE(d.AreaB(i), 0.0) << "AreaB(" << i << ")";
+  }
+  for (int j = 1; j <= d.ms(); ++j) {
+    for (int i = 1; i <= d.ms() + 1 - j; ++i) {
+      EXPECT_GE(d.AreaT(j, i), 0.0) << "AreaT(" << j << ", " << i << ")";
+    }
+  }
+}
+
+TEST_P(DecompositionSweep, HeadSubareasSumToDrArea) {
+  const RegionDecomposition d = Decomp();
+  double sum = 0.0;
+  for (int i = 1; i <= d.ms() + 1; ++i) sum += d.AreaH(i);
+  EXPECT_NEAR(sum, d.DrArea(), d.DrArea() * 1e-12);
+}
+
+TEST_P(DecompositionSweep, BodySubareasSumToNedrArea) {
+  const RegionDecomposition d = Decomp();
+  double sum = 0.0;
+  for (int i = 1; i <= d.ms() + 1; ++i) sum += d.AreaB(i);
+  EXPECT_NEAR(sum, d.BodyNedrArea(), d.DrArea() * 1e-12);
+}
+
+TEST_P(DecompositionSweep, TailSubareasSumToNedrAreaForEveryStep) {
+  const RegionDecomposition d = Decomp();
+  for (int j = 1; j <= d.ms(); ++j) {
+    double sum = 0.0;
+    for (int i = 1; i <= d.ms() + 1 - j; ++i) sum += d.AreaT(j, i);
+    EXPECT_NEAR(sum, d.BodyNedrArea(), d.DrArea() * 1e-12) << "j = " << j;
+  }
+}
+
+TEST_P(DecompositionSweep, SApproachRegionsSumToARegion) {
+  const RegionDecomposition d = Decomp();
+  for (int m : {d.ms() + 1, d.ms() + 5, 40}) {
+    if (m <= d.ms()) continue;
+    const std::vector<double> regions = d.SApproachRegions(m);
+    double sum = 0.0;
+    for (double r : regions) sum += r;
+    EXPECT_NEAR(sum, d.ARegionArea(m), d.ARegionArea(m) * 1e-12)
+        << "M = " << m;
+  }
+}
+
+TEST_P(DecompositionSweep, HeadAreasWeaklyOrderedTailLensSmallest) {
+  const RegionDecomposition d = Decomp();
+  // AreaH(i) = O(i) - O(i+1) with O convex decreasing in i, so the
+  // differences are non-increasing from i = 2 on (lens area is convex in d).
+  for (int i = 2; i < d.ms(); ++i) {
+    EXPECT_GE(d.AreaH(i) + 1e-9 * d.DrArea(), d.AreaH(i + 1))
+        << "i = " << i;
+  }
+}
+
+TEST_P(DecompositionSweep, MonteCarloCoverageCountMatchesAreaH) {
+  // Drop random points into the DR of period 1 and count how many of the
+  // first ms+1 period DRs cover each; the empirical split must match
+  // AreaH(i) / |DR|.
+  const auto [rs, v, t] = GetParam();
+  const RegionDecomposition d = Decomp();
+  const double vt = v * t;
+  const int ms = d.ms();
+
+  // Track along the x axis: period p covers segment [(p-1)vt, p*vt].
+  // Sample the DR of period 1 via rejection from its bounding box.
+  Rng rng(12345);
+  const Segment first({0.0, 0.0}, {vt, 0.0});
+  std::vector<int> counts(ms + 2, 0);
+  int inside = 0;
+  const int wanted = 200000;
+  while (inside < wanted) {
+    const Vec2 p{rng.Uniform(-rs, vt + rs), rng.Uniform(-rs, rs)};
+    if (!first.WithinDistance(p, rs)) continue;
+    ++inside;
+    int covered = 1;
+    for (int period = 2; period <= ms + 1; ++period) {
+      const Segment seg({(period - 1) * vt, 0.0}, {period * vt, 0.0});
+      if (seg.WithinDistance(p, rs)) {
+        ++covered;
+      } else {
+        break;  // coverage is consecutive for a straight track
+      }
+    }
+    ++counts[covered];
+  }
+  for (int i = 1; i <= ms + 1; ++i) {
+    const double expected = d.AreaH(i) / d.DrArea();
+    const double observed = static_cast<double>(counts[i]) / wanted;
+    EXPECT_NEAR(observed, expected, 0.01) << "AreaH(" << i << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, DecompositionSweep,
+    ::testing::Values(std::make_tuple(1000.0, 10.0, 60.0),  // ONR V=10
+                      std::make_tuple(1000.0, 4.0, 60.0),   // ONR V=4
+                      std::make_tuple(1000.0, 500.0, 1.0),  // exact division
+                      std::make_tuple(1000.0, 2500.0, 1.0),  // ms = 1
+                      std::make_tuple(50.0, 1.3, 7.0),
+                      std::make_tuple(3.0, 0.49, 1.0)));
+
+}  // namespace
+}  // namespace sparsedet

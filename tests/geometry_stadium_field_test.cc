@@ -1,0 +1,86 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "geometry/stadium.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Stadium, AreaMatchesFormula) {
+  const Stadium s(Segment({0, 0}, {600, 0}), 1000.0);
+  EXPECT_NEAR(s.Area(), 2.0 * 1000.0 * 600.0 + std::numbers::pi * 1e6, 1e-6);
+}
+
+TEST(Stadium, DegenerateAxisIsDisk) {
+  const Stadium s(Segment({5, 5}, {5, 5}), 2.0);
+  EXPECT_NEAR(s.Area(), std::numbers::pi * 4.0, 1e-12);
+  EXPECT_TRUE(s.Contains({6.9, 5.0}));
+  EXPECT_FALSE(s.Contains({7.1, 5.0}));
+}
+
+TEST(Stadium, ContainsRectanglePartAndCaps) {
+  const Stadium s(Segment({0, 0}, {10, 0}), 1.0);
+  EXPECT_TRUE(s.Contains({5.0, 0.99}));
+  EXPECT_FALSE(s.Contains({5.0, 1.01}));
+  EXPECT_TRUE(s.Contains({-0.9, 0.0}));   // left cap
+  EXPECT_TRUE(s.Contains({10.9, 0.0}));   // right cap
+  EXPECT_FALSE(s.Contains({-1.1, 0.0}));
+}
+
+TEST(Stadium, RejectsNonPositiveRadius) {
+  EXPECT_THROW(Stadium(Segment({0, 0}, {1, 0}), 0.0), InvalidArgument);
+}
+
+TEST(Field, AreaAndContains) {
+  const Field f(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(f.Area(), 5000.0);
+  EXPECT_TRUE(f.Contains({0.0, 0.0}));
+  EXPECT_TRUE(f.Contains({100.0, 50.0}));
+  EXPECT_FALSE(f.Contains({100.1, 25.0}));
+  EXPECT_FALSE(f.Contains({50.0, -0.1}));
+}
+
+TEST(Field, SquareFactory) {
+  const Field f = Field::Square(32000.0);
+  EXPECT_DOUBLE_EQ(f.width(), 32000.0);
+  EXPECT_DOUBLE_EQ(f.height(), 32000.0);
+  EXPECT_DOUBLE_EQ(f.Area(), 32000.0 * 32000.0);
+}
+
+TEST(Field, CenterIsMidpoint) {
+  const Field f(100.0, 60.0);
+  EXPECT_EQ(f.Center(), Vec2(50.0, 30.0));
+}
+
+TEST(Field, SamplePointAlwaysInside) {
+  const Field f(10.0, 3.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(f.Contains(f.SamplePoint(rng)));
+  }
+}
+
+TEST(Field, SamplePointCoversAllQuadrants) {
+  const Field f(2.0, 2.0);
+  Rng rng(11);
+  int quadrant_hits[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    const Vec2 p = f.SamplePoint(rng);
+    ++quadrant_hits[(p.x > 1.0 ? 1 : 0) + (p.y > 1.0 ? 2 : 0)];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(quadrant_hits[q], 800) << "quadrant " << q;  // ~1000 expected
+  }
+}
+
+TEST(Field, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Field(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Field(1.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,105 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -2.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, 0.0).DistanceTo({3.0, 4.0}), 5.0);
+}
+
+TEST(Vec2, FromAngle) {
+  const Vec2 right = Vec2::FromAngle(0.0);
+  EXPECT_NEAR(right.x, 1.0, 1e-15);
+  EXPECT_NEAR(right.y, 0.0, 1e-15);
+  const Vec2 up = Vec2::FromAngle(std::numbers::pi / 2.0);
+  EXPECT_NEAR(up.x, 0.0, 1e-15);
+  EXPECT_NEAR(up.y, 1.0, 1e-15);
+  EXPECT_NEAR(Vec2::FromAngle(1.234).Norm(), 1.0, 1e-15);
+}
+
+TEST(Segment, Length) {
+  EXPECT_DOUBLE_EQ(Segment({0, 0}, {3, 4}).Length(), 5.0);
+  EXPECT_DOUBLE_EQ(Segment({1, 1}, {1, 1}).Length(), 0.0);
+}
+
+TEST(Segment, ClosestPointInterior) {
+  const Segment s({0, 0}, {10, 0});
+  const Vec2 c = s.ClosestPointTo({4.0, 3.0});
+  EXPECT_NEAR(c.x, 4.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+}
+
+TEST(Segment, ClosestPointClampsToEndpoints) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_EQ(s.ClosestPointTo({-5.0, 2.0}), Vec2(0.0, 0.0));
+  EXPECT_EQ(s.ClosestPointTo({15.0, -2.0}), Vec2(10.0, 0.0));
+}
+
+TEST(Segment, DegenerateSegmentActsAsPoint) {
+  const Segment s({2, 3}, {2, 3});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 7.0}), 5.0);
+  EXPECT_TRUE(s.WithinDistance({2.0, 4.0}, 1.0));
+  EXPECT_FALSE(s.WithinDistance({2.0, 4.01}, 1.0));
+}
+
+TEST(Segment, DistancePerpendicular) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, -7.0}), 7.0);
+}
+
+TEST(Segment, DistanceBeyondEndpointIsEuclidean) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({13.0, 4.0}), 5.0);
+}
+
+TEST(Segment, WithinDistanceBoundaryInclusive) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_TRUE(s.WithinDistance({5.0, 2.0}, 2.0));
+  EXPECT_FALSE(s.WithinDistance({5.0, 2.0 + 1e-9}, 2.0));
+}
+
+TEST(Segment, DistanceToObliqueSegment) {
+  // Segment along y = x; point (0, 2) is sqrt(2) away.
+  const Segment s({0, 0}, {10, 10});
+  EXPECT_NEAR(s.DistanceTo({0.0, 2.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Segment, WithinDistanceMatchesBruteForceSampling) {
+  // Sampled min distance along the segment agrees with the closed form.
+  const Segment s({-3.0, 2.0}, {7.5, -1.25});
+  const Vec2 p{1.7, 4.3};
+  double best = 1e300;
+  for (int i = 0; i <= 100000; ++i) {
+    const double u = i / 100000.0;
+    best = std::min(best, (s.a + (s.b - s.a) * u).DistanceTo(p));
+  }
+  EXPECT_NEAR(s.DistanceTo(p), best, 1e-6);
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "linalg/matrix.h"
+#include "markov/chain.h"
+#include "markov/increment_chain.h"
+#include "prob/pmf.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(DenseMatrix, IdentityAndAccess) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.At(0, 1), 0.0);
+  EXPECT_THROW(id.At(3, 0), InvalidArgument);
+  EXPECT_THROW(DenseMatrix(0, 1), InvalidArgument);
+}
+
+TEST(DenseMatrix, MultiplyKnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5.0;
+  b(0, 1) = 6.0;
+  b(1, 0) = 7.0;
+  b(1, 1) = 8.0;
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, MultiplyDimensionMismatchRejected) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 2);
+  EXPECT_THROW(a.Multiply(b), InvalidArgument);
+}
+
+TEST(DenseMatrix, LeftApplyIsRowVectorTimesMatrix) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  const std::vector<double> v{2.0, 5.0};
+  const std::vector<double> out = m.LeftApply(v);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+  EXPECT_THROW(m.LeftApply({1.0}), InvalidArgument);
+}
+
+TEST(DenseMatrix, PowerMatchesRepeatedMultiply) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 0.5;
+  m(0, 1) = 0.5;
+  m(1, 0) = 0.25;
+  m(1, 1) = 0.75;
+  DenseMatrix expected = DenseMatrix::Identity(2);
+  for (int i = 0; i < 5; ++i) expected = expected.Multiply(m);
+  const DenseMatrix fast = m.Power(5);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(fast(r, c), expected(r, c), 1e-14);
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.Power(0)(0, 0), 1.0);
+  EXPECT_THROW(DenseMatrix(2, 3).Power(2), InvalidArgument);
+  EXPECT_THROW(m.Power(-1), InvalidArgument);
+}
+
+TEST(DenseMatrix, StochasticChecks) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 0.3;
+  m(0, 1) = 0.7;
+  m(1, 0) = 1.0;
+  EXPECT_TRUE(m.IsRowStochastic());
+  EXPECT_TRUE(m.RowSumsAtMostOne());
+  m(1, 0) = 0.4;  // sub-stochastic row
+  EXPECT_FALSE(m.IsRowStochastic());
+  EXPECT_TRUE(m.RowSumsAtMostOne());
+  m(0, 0) = -0.1;
+  EXPECT_FALSE(m.RowSumsAtMostOne());
+}
+
+TEST(IncrementMatrix, BuildsUpperShiftBand) {
+  const Pmf step({0.5, 0.3, 0.2});
+  const DenseMatrix t = BuildIncrementTransitionMatrix(step, 4, false);
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(t.At(0, 2), 0.2);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 3), 0.3);
+  // Truncated: row 3 keeps only the stay probability.
+  EXPECT_DOUBLE_EQ(t.At(3, 3), 0.5);
+}
+
+TEST(IncrementMatrix, SaturationFoldsIntoTopState) {
+  const Pmf step({0.5, 0.3, 0.2});
+  const DenseMatrix t = BuildIncrementTransitionMatrix(step, 3, true);
+  EXPECT_DOUBLE_EQ(t.At(2, 2), 1.0);            // 0.5 + 0.3 + 0.2
+  EXPECT_DOUBLE_EQ(t.At(1, 2), 0.5);            // 0.3 + 0.2
+  EXPECT_TRUE(t.IsRowStochastic());
+}
+
+TEST(IncrementPropagation, MatchesMatrixForm) {
+  const Pmf step({0.4, 0.35, 0.15, 0.1});
+  const std::size_t states = 12;
+  for (bool saturate : {false, true}) {
+    std::vector<double> dist(states, 0.0);
+    dist[0] = 1.0;
+    const MarkovChain chain(
+        BuildIncrementTransitionMatrix(step, states, saturate));
+    std::vector<double> via_matrix = chain.InitialAt(0);
+    std::vector<double> direct = dist;
+    for (int iter = 0; iter < 5; ++iter) {
+      via_matrix = chain.Propagate(via_matrix);
+      direct = PropagateIncrement(direct, step, saturate);
+    }
+    for (std::size_t s = 0; s < states; ++s) {
+      EXPECT_NEAR(via_matrix[s], direct[s], 1e-14)
+          << "state " << s << " saturate " << saturate;
+    }
+  }
+}
+
+TEST(IncrementPropagation, EquivalentToConvolution) {
+  // Propagating a delta through n increment steps equals step^(*n).
+  const Pmf step({0.6, 0.25, 0.15});
+  std::vector<double> dist(20, 0.0);
+  dist[0] = 1.0;
+  const std::vector<double> prop =
+      PropagateIncrementSteps(dist, step, 4, false);
+  const Pmf conv = step.ConvolvePower(4);
+  for (std::size_t s = 0; s < dist.size(); ++s) {
+    EXPECT_NEAR(prop[s], conv[s], 1e-14) << "state " << s;
+  }
+}
+
+TEST(MarkovChain, RejectsNonStochasticInput) {
+  DenseMatrix bad(2, 2);
+  bad(0, 0) = 0.8;
+  bad(0, 1) = 0.8;
+  EXPECT_THROW(MarkovChain{bad}, InvalidArgument);
+  EXPECT_THROW(MarkovChain{DenseMatrix(2, 3)}, InvalidArgument);
+}
+
+TEST(MarkovChain, PropagateStepsZeroIsIdentity) {
+  const Pmf step({0.5, 0.5});
+  const MarkovChain chain(BuildIncrementTransitionMatrix(step, 4, false));
+  const std::vector<double> init = chain.InitialAt(1);
+  const std::vector<double> out = chain.PropagateSteps(init, 0);
+  EXPECT_EQ(out, init);
+  EXPECT_THROW(chain.PropagateSteps(init, -1), InvalidArgument);
+  EXPECT_THROW(chain.InitialAt(9), InvalidArgument);
+}
+
+TEST(MarkovChain, AbsorbingTopStateHoldsMass) {
+  const Pmf step({0.0, 1.0});  // always +1
+  const MarkovChain chain(BuildIncrementTransitionMatrix(step, 3, true));
+  std::vector<double> dist = chain.InitialAt(0);
+  dist = chain.PropagateSteps(dist, 10);
+  EXPECT_NEAR(dist[2], 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace sparsedet

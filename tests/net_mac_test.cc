@@ -1,0 +1,78 @@
+#include "net/mac.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Mac, NoContentionIsOneSlotAtFullProbability) {
+  MacModel model;
+  model.p_tx = 0.999999;
+  EXPECT_NEAR(ExpectedSlotsPerHop(0, model), 1.0, 1e-4);
+}
+
+TEST(Mac, OptimalProbabilityMatchesClosedForm) {
+  // With c contenders and p = 1/(c+1):
+  // E[slots] = (c+1) / (1 - 1/(c+1))^c = (c+1) * ((c+1)/c)^c.
+  const MacModel model;  // p_tx <= 0 -> optimal
+  for (int c : {1, 2, 5, 10}) {
+    const double expected =
+        (c + 1.0) * std::pow((c + 1.0) / c, static_cast<double>(c));
+    EXPECT_NEAR(ExpectedSlotsPerHop(c, model), expected, 1e-9) << c;
+  }
+}
+
+TEST(Mac, OptimalApproachesESlotsForLargeC) {
+  // E[slots] / (c+1) -> e as c -> inf.
+  const MacModel model;
+  EXPECT_NEAR(ExpectedSlotsPerHop(100, model) / 101.0, std::numbers::e,
+              0.02);
+}
+
+TEST(Mac, LatencyGrowsWithContention) {
+  const MacModel model;
+  double prev = 0.0;
+  for (int c : {0, 2, 5, 10, 20}) {
+    const double cur = ExpectedHopLatency(c, model);
+    EXPECT_GT(cur, prev) << c;
+    prev = cur;
+  }
+}
+
+TEST(Mac, FixedProbabilityCanBeSuboptimal) {
+  MacModel fixed;
+  fixed.p_tx = 0.5;
+  const MacModel optimal;
+  // At c = 10 contenders, p = 0.5 is far worse than the optimum.
+  EXPECT_GT(ExpectedSlotsPerHop(10, fixed),
+            10.0 * ExpectedSlotsPerHop(10, optimal));
+}
+
+TEST(Mac, MeanHopLatencyAveragesOverDegrees) {
+  // A 3-node chain: degrees 1, 2, 1.
+  const Topology chain({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 15.0);
+  MacModel model;
+  model.slot_time = 1.0;
+  const double expected = (ExpectedHopLatency(1, model) * 2.0 +
+                           ExpectedHopLatency(2, model)) /
+                          3.0;
+  EXPECT_NEAR(MeanHopLatency(chain, model), expected, 1e-12);
+}
+
+TEST(Mac, RejectsBadInputs) {
+  MacModel model;
+  EXPECT_THROW(ExpectedSlotsPerHop(-1, model), InvalidArgument);
+  model.p_tx = 1.5;
+  EXPECT_THROW(ExpectedSlotsPerHop(1, model), InvalidArgument);
+  MacModel zero_slot;
+  zero_slot.slot_time = 0.0;
+  EXPECT_THROW(ExpectedHopLatency(1, zero_slot), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

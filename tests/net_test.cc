@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "net/delivery.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/deployment.h"
+
+namespace sparsedet {
+namespace {
+
+// A 1-D chain: nodes at x = 0, 10, 20, 30 with comm range 15.
+Topology Chain4() {
+  return Topology({{0, 0}, {10, 0}, {20, 0}, {30, 0}}, 15.0);
+}
+
+TEST(Topology, AdjacencyFromCommRange) {
+  const Topology t = Chain4();
+  EXPECT_EQ(t.Neighbors(0).size(), 1u);
+  EXPECT_EQ(t.Neighbors(1).size(), 2u);
+  EXPECT_EQ(t.Neighbors(0)[0], 1);
+  EXPECT_THROW(t.Neighbors(7), InvalidArgument);
+  EXPECT_THROW(Topology({}, 10.0), InvalidArgument);
+  EXPECT_THROW(Topology({{0, 0}}, 0.0), InvalidArgument);
+}
+
+TEST(Topology, HopCounts) {
+  const Topology t = Chain4();
+  const std::vector<int> d = t.HopCountsFrom(0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Topology, DisconnectedComponents) {
+  const Topology t({{0, 0}, {10, 0}, {100, 0}, {110, 0}}, 15.0);
+  EXPECT_FALSE(t.IsConnected());
+  EXPECT_EQ(t.ConnectedComponents().count, 2);
+  EXPECT_EQ(t.LargestComponentSize(), 2);
+  const std::vector<int> d = t.HopCountsFrom(0);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(Topology, SingleNodeIsConnected) {
+  const Topology t({{5, 5}}, 10.0);
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_EQ(t.LargestComponentSize(), 1);
+  EXPECT_DOUBLE_EQ(t.AverageDegree(), 0.0);
+}
+
+TEST(Topology, AverageDegreeOfChain) {
+  EXPECT_DOUBLE_EQ(Chain4().AverageDegree(), 6.0 / 4.0);
+}
+
+TEST(GreedyForward, DeliversAlongChain) {
+  const Topology t = Chain4();
+  const RouteResult r = GreedyForward(t, 0, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 3);
+  EXPECT_EQ(r.path, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GreedyForward, TrivialSelfRoute) {
+  const Topology t = Chain4();
+  const RouteResult r = GreedyForward(t, 2, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 0);
+}
+
+TEST(GreedyForward, DetectsVoid) {
+  // A "C" shape: greedy from the left tip toward the right tip has no
+  // strictly closer neighbor at the tip of the concavity... construct a
+  // simple void: src's only neighbor is farther from dst.
+  //   src(0,0) -- relay(-10,0), dst(25,0) unreachable greedily but
+  //   connected via relay2(-10,20), relay3(10,25)? Keep it minimal:
+  //   src connects only to a node that is farther from dst.
+  const Topology t(
+      {{0, 0}, {-10, 0}, {-10, 14}, {2, 20}, {14, 14}, {14, 0}}, 15.0);
+  const RouteResult r = GreedyForward(t, 0, 5);
+  // src(0,0) -> dst(14,0) is 14 > comm? dist(0,0)-(14,0) = 14 <= 15: they
+  // are neighbors, so this layout delivers directly. Assert delivery.
+  EXPECT_TRUE(r.delivered);
+}
+
+TEST(GreedyForward, StuckInVoidFlaggedWhenPathExists) {
+  // src at origin; dst far right; src's only neighbor is to the LEFT
+  // (farther from dst) but a multi-hop path exists through it.
+  const Topology t({{0, 0},      // 0 src
+                    {-8, 0},     // 1 relay (farther from dst)
+                    {-8, 10},    // 2
+                    {0, 18},     // 3
+                    {10, 18},    // 4
+                    {18, 10},    // 5
+                    {20, 0}},    // 6 dst (dist 20 from src, comm 12)
+                   12.0);
+  const RouteResult r = GreedyForward(t, 0, 6);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.stuck_in_void);
+  const RouteResult sp = ShortestPath(t, 0, 6);
+  EXPECT_TRUE(sp.delivered);
+  EXPECT_GE(sp.hops, 2);
+}
+
+TEST(ShortestPath, MinimalHops) {
+  const Topology t = Chain4();
+  const RouteResult r = ShortestPath(t, 0, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 3);
+  const RouteResult none =
+      ShortestPath(Topology({{0, 0}, {100, 0}}, 10.0), 0, 1);
+  EXPECT_FALSE(none.delivered);
+}
+
+TEST(ShortestPath, PathEndpointsCorrect) {
+  const Topology t = Chain4();
+  const RouteResult r = ShortestPath(t, 3, 0);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.path.front(), 3);
+  EXPECT_EQ(r.path.back(), 0);
+}
+
+TEST(Routing, RejectsBadIds) {
+  const Topology t = Chain4();
+  EXPECT_THROW(GreedyForward(t, -1, 0), InvalidArgument);
+  EXPECT_THROW(ShortestPath(t, 0, 9), InvalidArgument);
+  EXPECT_THROW(GreedyForward(t, 0, 1, 0), InvalidArgument);
+}
+
+TEST(Delivery, ChainStats) {
+  const Topology t = Chain4();
+  const DeliveryStats stats = EvaluateDelivery(t, /*base=*/0,
+                                               /*per_hop_latency=*/5.0,
+                                               /*period_length=*/60.0,
+                                               /*use_greedy=*/false);
+  EXPECT_EQ(stats.num_sources, 3);
+  EXPECT_DOUBLE_EQ(stats.delivered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_hops, 2.0);
+  EXPECT_EQ(stats.max_hops, 3);
+  EXPECT_DOUBLE_EQ(stats.max_latency, 15.0);
+  EXPECT_DOUBLE_EQ(stats.within_period_fraction, 1.0);
+}
+
+TEST(Delivery, TightPeriodBoundsWithinFraction) {
+  const Topology t = Chain4();
+  const DeliveryStats stats =
+      EvaluateDelivery(t, 0, /*per_hop_latency=*/5.0,
+                       /*period_length=*/10.0, /*use_greedy=*/false);
+  // Hops 1 and 2 fit within 10 s; 3 hops (15 s) does not.
+  EXPECT_NEAR(stats.within_period_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Delivery, OnrScaleDeploymentDeliversWithinOnePeriod) {
+  // The paper's claim (E10): 32 km field, 6 km comm range, max distance
+  // ~36 km (base station at the middle of an edge), around 6 hops, all
+  // within a 1-minute period.
+  const Field field = Field::Square(32000.0);
+  Rng rng(2024);
+  std::vector<Vec2> nodes = DeployUniform(field, 160, rng);
+  nodes.push_back({16000.0, 0.0});  // base station mid-edge (paper: ~36 km max)
+  const Topology t(std::move(nodes), 6000.0);
+  const DeliveryStats stats =
+      EvaluateDelivery(t, t.num_nodes() - 1, /*per_hop_latency=*/6.0,
+                       /*period_length=*/60.0, /*use_greedy=*/false);
+  EXPECT_GT(stats.delivered_fraction, 0.95);
+  EXPECT_LE(stats.max_hops, 10);
+  EXPECT_GT(stats.within_period_fraction, 0.9);
+}
+
+TEST(Delivery, RejectsBadArguments) {
+  const Topology t = Chain4();
+  EXPECT_THROW(EvaluateDelivery(t, 9, 1.0, 60.0, false), InvalidArgument);
+  EXPECT_THROW(EvaluateDelivery(t, 0, -1.0, 60.0, false), InvalidArgument);
+  EXPECT_THROW(EvaluateDelivery(t, 0, 1.0, 0.0, false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

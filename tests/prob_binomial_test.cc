@@ -1,0 +1,134 @@
+#include "prob/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "prob/combinatorics.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Combinatorics, LogFactorialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-10);
+}
+
+TEST(Combinatorics, LogFactorialLargeMatchesLgamma) {
+  EXPECT_NEAR(LogFactorial(500), std::lgamma(501.0), 1e-9);
+}
+
+TEST(Combinatorics, LogFactorialTableLgammaSeam) {
+  // Values on both sides of the internal table cutoff agree with lgamma.
+  for (int n : {126, 127, 128, 129}) {
+    EXPECT_NEAR(LogFactorial(n), std::lgamma(n + 1.0), 1e-9) << n;
+  }
+}
+
+TEST(Combinatorics, ChooseKnownValues) {
+  EXPECT_DOUBLE_EQ(Choose(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Choose(5, 5), 1.0);
+  EXPECT_NEAR(Choose(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(Choose(52, 5), 2598960.0, 1e-3);
+  EXPECT_NEAR(Choose(240, 3), 2275280.0, 1e-2);
+}
+
+TEST(Combinatorics, PascalRule) {
+  for (int n = 2; n <= 60; n += 7) {
+    for (int k = 1; k < n; k += 3) {
+      EXPECT_NEAR(Choose(n, k), Choose(n - 1, k - 1) + Choose(n - 1, k),
+                  1e-6 * Choose(n, k))
+          << n << " choose " << k;
+    }
+  }
+}
+
+TEST(Combinatorics, RejectsOutOfRange) {
+  EXPECT_THROW(LogFactorial(-1), InvalidArgument);
+  EXPECT_THROW(LogChoose(5, 6), InvalidArgument);
+  EXPECT_THROW(Choose(5, -1), InvalidArgument);
+}
+
+TEST(BinomialPmf, MatchesDirectComputation) {
+  // n = 4, p = 0.3: P(2) = 6 * 0.09 * 0.49 = 0.2646.
+  EXPECT_NEAR(BinomialPmf(4, 2, 0.3), 0.2646, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0, 0.3), std::pow(0.7, 4), 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 4, 0.3), std::pow(0.3, 4), 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, BeyondSupportIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(3, 4, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(0, 0, 0.5), 1.0);
+}
+
+TEST(BinomialPmf, StableForTinyP) {
+  // N = 240, p ~ 4e-3 (the ONR head-region scale): pmf must be positive
+  // and the vector must sum to 1.
+  const double p = 4.24e-3;
+  double sum = 0.0;
+  for (int k = 0; k <= 240; ++k) sum += BinomialPmf(240, k, p);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(BinomialPmf(240, 6, p), 0.0);
+}
+
+TEST(BinomialCdf, ComplementsSurvival) {
+  for (int k = -1; k <= 12; ++k) {
+    EXPECT_NEAR(BinomialCdf(12, k, 0.37) + BinomialSurvival(12, k + 1, 0.37),
+                1.0, 1e-12)
+        << "k = " << k;
+  }
+}
+
+TEST(BinomialCdf, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, 5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, 99, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialSurvival(5, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialSurvival(5, 6, 0.5), 0.0);
+}
+
+TEST(BinomialCdf, MonotoneInK) {
+  double prev = 0.0;
+  for (int k = 0; k <= 30; ++k) {
+    const double cur = BinomialCdf(30, k, 0.21);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(BinomialSurvival, KnownValue) {
+  // P[X >= 1] = 1 - (1-p)^n.
+  EXPECT_NEAR(BinomialSurvival(20, 1, 0.1), 1.0 - std::pow(0.9, 20), 1e-12);
+}
+
+TEST(BinomialPmfVector, SumsToOneAndTruncates) {
+  const auto full = BinomialPmfVector(17, 0.42);
+  EXPECT_EQ(full.size(), 18u);
+  double sum = 0.0;
+  for (double v : full) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  const auto trunc = BinomialPmfVector(17, 0.42, 5);
+  EXPECT_EQ(trunc.size(), 6u);
+  for (int k = 0; k <= 5; ++k) EXPECT_DOUBLE_EQ(trunc[k], full[k]);
+}
+
+TEST(Binomial, RejectsBadArguments) {
+  EXPECT_THROW(BinomialPmf(-1, 0, 0.5), InvalidArgument);
+  EXPECT_THROW(BinomialPmf(5, -1, 0.5), InvalidArgument);
+  EXPECT_THROW(BinomialPmf(5, 2, 1.5), InvalidArgument);
+  EXPECT_THROW(BinomialCdf(5, 2, -0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

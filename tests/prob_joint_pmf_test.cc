@@ -1,0 +1,116 @@
+#include "prob/joint_pmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(JointPmf, DeltaZeroHasUnitMassAtOrigin) {
+  const JointPmf j = JointPmf::DeltaZero(3, 2);
+  EXPECT_DOUBLE_EQ(j.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(j.TotalMass(), 1.0);
+}
+
+TEST(JointPmf, JointTailCountsQuadrant) {
+  JointPmf j(2, 2);
+  j.At(0, 0) = 0.1;
+  j.At(1, 1) = 0.2;
+  j.At(2, 1) = 0.3;
+  j.At(2, 2) = 0.4;
+  EXPECT_DOUBLE_EQ(j.JointTail(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(j.JointTail(2, 1), 0.7);
+  EXPECT_DOUBLE_EQ(j.JointTail(1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(j.JointTail(3, 0), 0.0);
+}
+
+TEST(JointPmf, MarginalsSumCorrectly) {
+  JointPmf j(2, 1);
+  j.At(0, 0) = 0.5;
+  j.At(1, 1) = 0.25;
+  j.At(2, 1) = 0.25;
+  const Pmf m = j.MarginalM();
+  EXPECT_DOUBLE_EQ(m[0], 0.5);
+  EXPECT_DOUBLE_EQ(m[1], 0.25);
+  EXPECT_DOUBLE_EQ(m[2], 0.25);
+  const Pmf n = j.MarginalN();
+  EXPECT_DOUBLE_EQ(n[0], 0.5);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+}
+
+TEST(JointPmf, ConvolveAddsComponentwise) {
+  JointPmf a(4, 2);
+  a.At(1, 1) = 1.0;
+  JointPmf b(4, 2);
+  b.At(2, 1) = 0.5;
+  b.At(0, 0) = 0.5;
+  const JointPmf c = a.ConvolveWith(b, false, false);
+  EXPECT_DOUBLE_EQ(c.At(3, 2), 0.5);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(c.TotalMass(), 1.0);
+}
+
+TEST(JointPmf, SaturationOnNodeAxis) {
+  JointPmf a(4, 2);
+  a.At(1, 2) = 1.0;  // already at the node cap
+  JointPmf b(4, 2);
+  b.At(1, 1) = 1.0;
+  const JointPmf c = a.ConvolveWith(b, false, /*saturate_n=*/true);
+  EXPECT_DOUBLE_EQ(c.At(2, 2), 1.0);  // node count pinned at the cap
+}
+
+TEST(JointPmf, TruncationOnNodeAxisDropsMass) {
+  JointPmf a(4, 2);
+  a.At(1, 2) = 1.0;
+  JointPmf b(4, 2);
+  b.At(1, 1) = 1.0;
+  const JointPmf c = a.ConvolveWith(b, false, /*saturate_n=*/false);
+  EXPECT_DOUBLE_EQ(c.TotalMass(), 0.0);
+}
+
+TEST(JointPmf, SaturationOnReportAxis) {
+  JointPmf a(2, 1);
+  a.At(2, 1) = 1.0;
+  JointPmf b(2, 1);
+  b.At(2, 1) = 1.0;
+  const JointPmf c = a.ConvolveWith(b, /*saturate_m=*/true,
+                                    /*saturate_n=*/true);
+  EXPECT_DOUBLE_EQ(c.At(2, 1), 1.0);
+}
+
+TEST(JointPmf, MarginalMMatchesScalarConvolution) {
+  // With the node axis saturating, the report marginal must equal the
+  // plain pmf convolution.
+  JointPmf a(6, 1);
+  a.At(0, 0) = 0.3;
+  a.At(1, 1) = 0.5;
+  a.At(2, 1) = 0.2;
+  const JointPmf sum = a.ConvolveWith(a, false, true);
+  const Pmf marginal = sum.MarginalM();
+  const Pmf scalar = Pmf({0.3, 0.5, 0.2}).ConvolveWith(Pmf({0.3, 0.5, 0.2}));
+  for (int m = 0; m <= 4; ++m) {
+    EXPECT_NEAR(marginal[m], scalar[m], 1e-15) << "m = " << m;
+  }
+}
+
+TEST(JointPmf, NormalizedRestoresUnitMass) {
+  JointPmf j(1, 1);
+  j.At(0, 0) = 0.2;
+  j.At(1, 1) = 0.2;
+  const JointPmf n = j.Normalized();
+  EXPECT_NEAR(n.TotalMass(), 1.0, 1e-15);
+  EXPECT_NEAR(n.At(1, 1), 0.5, 1e-15);
+}
+
+TEST(JointPmf, RejectsOutOfRangeAccess) {
+  JointPmf j(2, 2);
+  EXPECT_THROW(j.At(3, 0), InvalidArgument);
+  EXPECT_THROW(j.At(0, 3), InvalidArgument);
+  EXPECT_THROW(j.At(-1, 0), InvalidArgument);
+  EXPECT_THROW(JointPmf(-1, 0), InvalidArgument);
+  EXPECT_THROW(JointPmf(2, 2).Normalized(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

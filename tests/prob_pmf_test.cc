@@ -1,0 +1,147 @@
+#include "prob/pmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "prob/binomial.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Pmf, DefaultIsDeltaAtZero) {
+  const Pmf p;
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.TotalMass(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 0.0);
+}
+
+TEST(Pmf, DeltaAtValue) {
+  const Pmf p = Pmf::Delta(3);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p[3], 1.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(p.Variance(), 0.0);
+}
+
+TEST(Pmf, AccessBeyondSupportIsZero) {
+  const Pmf p({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(p[7], 0.0);
+}
+
+TEST(Pmf, TailAndHeadSums) {
+  const Pmf p({0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(p.TailSum(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.TailSum(2), 0.7);
+  EXPECT_DOUBLE_EQ(p.TailSum(4), 0.0);
+  EXPECT_DOUBLE_EQ(p.HeadSum(-1), 0.0);
+  EXPECT_DOUBLE_EQ(p.HeadSum(1), 0.3);
+  EXPECT_NEAR(p.HeadSum(2) + p.TailSum(3), 1.0, 1e-15);
+}
+
+TEST(Pmf, MeanAndVariance) {
+  const Pmf p({0.25, 0.5, 0.25});  // mean 1, var 0.5
+  EXPECT_DOUBLE_EQ(p.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Variance(), 0.5);
+}
+
+TEST(Pmf, ConvolveMatchesHandComputation) {
+  const Pmf a({0.5, 0.5});
+  const Pmf b({0.25, 0.75});
+  const Pmf c = a.ConvolveWith(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 0.125);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 0.375);
+}
+
+TEST(Pmf, ConvolveIsCommutative) {
+  const Pmf a({0.2, 0.3, 0.5});
+  const Pmf b({0.6, 0.1, 0.1, 0.2});
+  const Pmf ab = a.ConvolveWith(b);
+  const Pmf ba = b.ConvolveWith(a);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_NEAR(ab[i], ba[i], 1e-15);
+  }
+}
+
+TEST(Pmf, ConvolveTruncationDropsMass) {
+  const Pmf a({0.5, 0.5});
+  const Pmf c = a.ConvolveWith(a, /*max_value=*/1, /*saturate=*/false);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 0.25);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c.TotalMass(), 0.75);  // mass at 2 dropped
+}
+
+TEST(Pmf, ConvolveSaturationKeepsMass) {
+  const Pmf a({0.5, 0.5});
+  const Pmf c = a.ConvolveWith(a, /*max_value=*/1, /*saturate=*/true);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 0.25);
+  EXPECT_DOUBLE_EQ(c[1], 0.75);  // mass at 2 folded into the top state
+  EXPECT_DOUBLE_EQ(c.TotalMass(), 1.0);
+}
+
+TEST(Pmf, SaturatedTailIsExactForThresholdsBelowCap) {
+  // P[X >= k] must be identical with and without saturation while k <= cap.
+  const Pmf step({0.3, 0.4, 0.2, 0.1});
+  const Pmf full = step.ConvolvePower(6);
+  const Pmf sat = step.ConvolvePower(6, /*max_value=*/8, /*saturate=*/true);
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(full.TailSum(k), sat.TailSum(k), 1e-14) << "k = " << k;
+  }
+}
+
+TEST(Pmf, ConvolvePowerMatchesBinomial) {
+  // Bernoulli(p)^n == Binomial(n, p).
+  const double p = 0.37;
+  const Pmf bern({1.0 - p, p});
+  const Pmf sum = bern.ConvolvePower(9);
+  for (int k = 0; k <= 9; ++k) {
+    EXPECT_NEAR(sum[k], BinomialPmf(9, k, p), 1e-13) << "k = " << k;
+  }
+}
+
+TEST(Pmf, ConvolvePowerZeroIsDelta) {
+  const Pmf p({0.5, 0.5});
+  const Pmf z = p.ConvolvePower(0);
+  EXPECT_EQ(z.size(), 1u);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+}
+
+TEST(Pmf, ConvolvePowerBySquaringMatchesIterative) {
+  const Pmf step({0.1, 0.5, 0.4});
+  Pmf iterative = Pmf::Delta(0);
+  for (int i = 0; i < 7; ++i) iterative = iterative.ConvolveWith(step);
+  const Pmf fast = step.ConvolvePower(7);
+  ASSERT_EQ(iterative.size(), fast.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], iterative[i], 1e-13);
+  }
+}
+
+TEST(Pmf, NormalizedRestoresUnitMass) {
+  const Pmf p({0.1, 0.2, 0.1});
+  const Pmf n = p.Normalized();
+  EXPECT_NEAR(n.TotalMass(), 1.0, 1e-15);
+  EXPECT_NEAR(n[1], 0.5, 1e-15);
+}
+
+TEST(Pmf, TrimmedDropsTrailingZeros) {
+  const Pmf p({0.5, 0.5, 0.0, 0.0});
+  EXPECT_EQ(p.Trimmed().size(), 2u);
+  const Pmf zero({0.0, 0.0});
+  EXPECT_EQ(zero.Trimmed().size(), 1u);
+}
+
+TEST(Pmf, RejectsInvalidConstruction) {
+  EXPECT_THROW(Pmf(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(Pmf({0.5, -0.1}), InvalidArgument);
+  EXPECT_THROW(Pmf({0.0}).Normalized(), InvalidArgument);
+  EXPECT_THROW(Pmf::Delta(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

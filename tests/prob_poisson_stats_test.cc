@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "prob/binomial.h"
+#include "prob/poisson.h"
+#include "prob/stats.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(Poisson, KnownValues) {
+  EXPECT_NEAR(PoissonPmf(1.0, 0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1.0, 1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(Poisson, ZeroRate) {
+  EXPECT_DOUBLE_EQ(PoissonPmf(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonPmf(0.0, 3), 0.0);
+}
+
+TEST(Poisson, CdfSurvivalComplement) {
+  for (int k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(PoissonCdf(3.3, k) + PoissonSurvival(3.3, k + 1), 1.0, 1e-12);
+  }
+}
+
+TEST(Poisson, ApproximatesSparseBinomial) {
+  // Binomial(N, lambda/N) -> Poisson(lambda): the regime every region count
+  // in the paper lives in.
+  const double lambda = 0.28;
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(BinomialPmf(2400, k, lambda / 2400.0), PoissonPmf(lambda, k),
+                1e-4)
+        << "k = " << k;
+  }
+}
+
+TEST(Poisson, PmfVectorSumsBelowOne) {
+  const auto v = PoissonPmfVector(2.0, 40);
+  double sum = 0.0;
+  for (double p : v) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Poisson, RejectsBadArguments) {
+  EXPECT_THROW(PoissonPmf(-1.0, 0), InvalidArgument);
+  EXPECT_THROW(PoissonPmf(1.0, -1), InvalidArgument);
+  EXPECT_THROW(PoissonPmfVector(1.0, -1), InvalidArgument);
+}
+
+TEST(WilsonInterval, CentersOnPointEstimate) {
+  const ProportionEstimate est = WilsonInterval(500, 1000);
+  EXPECT_DOUBLE_EQ(est.point, 0.5);
+  EXPECT_LT(est.lo, 0.5);
+  EXPECT_GT(est.hi, 0.5);
+  EXPECT_NEAR(est.hi - 0.5, 0.5 - est.lo, 1e-12);  // symmetric at p = 1/2
+}
+
+TEST(WilsonInterval, KnownHalfWidthAt95) {
+  // p = 0.5, n = 1000, z = 1.96: half width ~ 0.0309.
+  const ProportionEstimate est = WilsonInterval(500, 1000, 1.96);
+  EXPECT_NEAR(est.hi - est.lo, 2.0 * 0.0309, 2e-3);
+}
+
+TEST(WilsonInterval, StaysInsideUnitInterval) {
+  const ProportionEstimate zero = WilsonInterval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const ProportionEstimate one = WilsonInterval(50, 50);
+  EXPECT_DOUBLE_EQ(one.hi, 1.0);
+  EXPECT_LT(one.lo, 1.0);
+}
+
+TEST(WilsonInterval, WiderAtHigherConfidence) {
+  const ProportionEstimate z95 = WilsonInterval(300, 1000, 1.96);
+  const ProportionEstimate z99 = WilsonInterval(300, 1000, 2.576);
+  EXPECT_GT(z99.hi - z99.lo, z95.hi - z95.lo);
+}
+
+TEST(WilsonInterval, RejectsBadArguments) {
+  EXPECT_THROW(WilsonInterval(1, 0), InvalidArgument);
+  EXPECT_THROW(WilsonInterval(-1, 10), InvalidArgument);
+  EXPECT_THROW(WilsonInterval(11, 10), InvalidArgument);
+  EXPECT_THROW(WilsonInterval(5, 10, 0.0), InvalidArgument);
+}
+
+TEST(MeanVarAccumulator, MatchesClosedForm) {
+  MeanVarAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_NEAR(acc.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(MeanVarAccumulator, SingleSampleHasZeroVariance) {
+  MeanVarAccumulator acc;
+  acc.Add(42.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 0.0);
+}
+
+TEST(MeanVarAccumulator, ShiftInvarianceOfVariance) {
+  MeanVarAccumulator a;
+  MeanVarAccumulator b;
+  for (double x : {0.1, 0.9, 0.4, 0.7, 0.2}) {
+    a.Add(x);
+    b.Add(x + 1e6);
+  }
+  EXPECT_NEAR(a.Variance(), b.Variance(), 1e-6);
+}
+
+}  // namespace
+}  // namespace sparsedet

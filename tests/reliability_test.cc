@@ -1,0 +1,164 @@
+// Tests for the failure-injection (node reliability) extension: the
+// analytical thinning and the simulator's per-node survival draws must
+// describe the same model.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/ms_approach.h"
+#include "core/s_approach.h"
+#include "prob/pmf.h"
+#include "sim/monte_carlo.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(PmfThinning, MixesWithDeltaAtZero) {
+  const Pmf p({0.2, 0.5, 0.3});
+  const Pmf thinned = p.ThinnedBy(0.6);
+  EXPECT_NEAR(thinned[0], 0.4 + 0.6 * 0.2, 1e-15);
+  EXPECT_NEAR(thinned[1], 0.6 * 0.5, 1e-15);
+  EXPECT_NEAR(thinned[2], 0.6 * 0.3, 1e-15);
+  EXPECT_NEAR(thinned.TotalMass(), 1.0, 1e-15);
+}
+
+TEST(PmfThinning, EdgesAreIdentityAndCollapse) {
+  const Pmf p({0.2, 0.8});
+  const Pmf same = p.ThinnedBy(1.0);
+  EXPECT_DOUBLE_EQ(same[0], 0.2);
+  EXPECT_DOUBLE_EQ(same[1], 0.8);
+  const Pmf dead = p.ThinnedBy(0.0);
+  EXPECT_DOUBLE_EQ(dead[0], 1.0);
+  EXPECT_DOUBLE_EQ(dead[1], 0.0);
+  EXPECT_THROW(p.ThinnedBy(-0.1), InvalidArgument);
+  EXPECT_THROW(p.ThinnedBy(1.1), InvalidArgument);
+}
+
+TEST(PmfThinning, PreservesSubStochasticMass) {
+  const Pmf p({0.1, 0.3});  // mass 0.4
+  const Pmf thinned = p.ThinnedBy(0.5);
+  EXPECT_NEAR(thinned.TotalMass(), 0.4, 1e-15);
+}
+
+TEST(PmfThinning, ScalesMeanLinearly) {
+  const Pmf p({0.2, 0.5, 0.3});
+  EXPECT_NEAR(p.ThinnedBy(0.7).Mean(), 0.7 * p.Mean(), 1e-15);
+}
+
+TEST(Reliability, ThinnedBinomialEqualsReducedRate) {
+  // Thinning Bernoulli(p)^n by q equals Bernoulli(q*p)^n.
+  const Pmf bern({0.4, 0.6});
+  const Pmf thinned_first = bern.ThinnedBy(0.5).ConvolvePower(8);
+  const Pmf reduced = Pmf({0.7, 0.3}).ConvolvePower(8);
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(thinned_first[k], reduced[k], 1e-13) << "k = " << k;
+  }
+}
+
+TEST(Reliability, ExactModelMatchesEquivalentMeanDensity) {
+  // A fleet of N nodes each alive w.p. q has the same per-sensor report law
+  // as... itself; the close cousin is a healthy fleet of q*N nodes. They
+  // are not identical (Binomial(N, q*a/S) vs Binomial(qN, a/S)) but must be
+  // very close at these densities.
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  p.target_speed = 10.0;
+  const double thinned = SApproachExactDetectionProbability(p, -1, 0.5);
+  SystemParams half = p;
+  half.num_nodes = 120;
+  const double healthy_half = SApproachExactDetectionProbability(half);
+  EXPECT_NEAR(thinned, healthy_half, 0.01);
+}
+
+TEST(Reliability, MsApproachMatchesExactUnderThinning) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  p.target_speed = 10.0;
+  for (double q : {1.0, 0.8, 0.5, 0.2}) {
+    MsApproachOptions opt;
+    opt.node_reliability = q;
+    const double analysis = MsApproachAnalyze(p, opt).detection_probability;
+    const double exact = SApproachExactDetectionProbability(p, -1, q);
+    EXPECT_NEAR(analysis, exact, 0.006) << "q = " << q;
+  }
+}
+
+TEST(Reliability, DetectionMonotoneInReliability) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 140;
+  double prev = -1.0;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    MsApproachOptions opt;
+    opt.node_reliability = q;
+    const double cur = MsApproachAnalyze(p, opt).detection_probability;
+    EXPECT_GT(cur, prev) << "q = " << q;
+    prev = cur;
+  }
+}
+
+TEST(Reliability, StageMassUnchangedByThinning) {
+  // Thinning keeps total stage mass (the cap accuracy) constant: dead
+  // sensors still occupy the region, they just report zero.
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  MsApproachOptions healthy;
+  MsApproachOptions frail;
+  frail.node_reliability = 0.3;
+  EXPECT_NEAR(MsApproachAnalyze(p, healthy).total_mass,
+              MsApproachAnalyze(p, frail).total_mass, 1e-12);
+}
+
+TEST(Reliability, SimulatorKillsNodesIndependently) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = 200;
+  config.node_reliability = 0.4;
+  const Rng base(5);
+  int alive = 0;
+  int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    Rng rng = base.Substream(i);
+    const TrialResult trial = RunTrial(config, rng);
+    ASSERT_EQ(trial.node_alive.size(), 200u);
+    for (bool a : trial.node_alive) alive += a ? 1 : 0;
+    // Dead nodes never report.
+    for (const SimReport& r : trial.reports) {
+      EXPECT_TRUE(trial.node_alive[r.node]);
+    }
+  }
+  const double observed = static_cast<double>(alive) / (200.0 * trials);
+  EXPECT_NEAR(observed, 0.4, 0.02);
+}
+
+TEST(Reliability, SimulationMatchesAnalysis) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 240;
+  p.target_speed = 10.0;
+  TrialConfig config;
+  config.params = p;
+  config.node_reliability = 0.6;
+  MonteCarloOptions mc;
+  mc.trials = 6000;
+  mc.z = 3.3;
+  const ProportionEstimate sim = EstimateDetectionProbability(config, mc);
+  const double exact = SApproachExactDetectionProbability(p, -1, 0.6);
+  EXPECT_GT(exact, sim.lo - 0.01);
+  EXPECT_LT(exact, sim.hi + 0.01);
+}
+
+TEST(Reliability, RejectsOutOfRange) {
+  SystemParams p = SystemParams::OnrDefaults();
+  MsApproachOptions opt;
+  opt.node_reliability = 1.5;
+  EXPECT_THROW(MsApproachAnalyze(p, opt), InvalidArgument);
+  EXPECT_THROW(SApproachExactDetectionProbability(p, -1, -0.5),
+               InvalidArgument);
+  TrialConfig config;
+  config.params = p;
+  config.node_reliability = 2.0;
+  Rng rng(1);
+  EXPECT_THROW(RunTrial(config, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

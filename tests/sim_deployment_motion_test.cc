@@ -1,0 +1,186 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/field.h"
+#include "sim/deployment.h"
+#include "sim/motion.h"
+
+namespace sparsedet {
+namespace {
+
+TEST(DeployUniform, CountAndContainment) {
+  const Field f = Field::Square(1000.0);
+  Rng rng(1);
+  const auto nodes = DeployUniform(f, 500, rng);
+  EXPECT_EQ(nodes.size(), 500u);
+  for (const Vec2& n : nodes) EXPECT_TRUE(f.Contains(n));
+  EXPECT_TRUE(DeployUniform(f, 0, rng).empty());
+  EXPECT_THROW(DeployUniform(f, -1, rng), InvalidArgument);
+}
+
+TEST(DeployUniform, Deterministic) {
+  const Field f = Field::Square(1000.0);
+  Rng a(7);
+  Rng b(7);
+  const auto n1 = DeployUniform(f, 50, a);
+  const auto n2 = DeployUniform(f, 50, b);
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(DeployJitteredGrid, CoversFieldEvenly) {
+  const Field f(1000.0, 1000.0);
+  Rng rng(3);
+  const auto nodes = DeployJitteredGrid(f, 100, 0.2, rng);
+  EXPECT_EQ(nodes.size(), 100u);
+  for (const Vec2& n : nodes) EXPECT_TRUE(f.Contains(n));
+  // Zero jitter: nodes on exact grid centers -> pairwise distinct.
+  Rng rng2(3);
+  const auto exact = DeployJitteredGrid(f, 16, 0.0, rng2);
+  EXPECT_NEAR(exact[0].x, 125.0, 1e-9);
+  EXPECT_NEAR(exact[0].y, 125.0, 1e-9);
+  EXPECT_THROW(DeployJitteredGrid(f, 0, 0.1, rng), InvalidArgument);
+  EXPECT_THROW(DeployJitteredGrid(f, 10, 0.6, rng), InvalidArgument);
+}
+
+TEST(StraightLineMotion, PathHasCorrectStepLengths) {
+  const Field f = Field::Square(32000.0);
+  Rng rng(5);
+  const StraightLineMotion motion;
+  const auto path = motion.SamplePath(f, 20, 600.0, rng);
+  ASSERT_EQ(path.size(), 21u);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_NEAR(path[i].DistanceTo(path[i - 1]), 600.0, 1e-9);
+  }
+}
+
+TEST(StraightLineMotion, PathIsCollinear) {
+  const Field f = Field::Square(32000.0);
+  Rng rng(5);
+  const StraightLineMotion motion;
+  const auto path = motion.SamplePath(f, 10, 600.0, rng);
+  const Vec2 dir = path[1] - path[0];
+  for (std::size_t i = 2; i < path.size(); ++i) {
+    EXPECT_NEAR(dir.Cross(path[i] - path[0]), 0.0, 1e-6);
+  }
+}
+
+TEST(StraightLineMotion, StartsInsideField) {
+  const Field f = Field::Square(1000.0);
+  Rng rng(11);
+  const StraightLineMotion motion;
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_TRUE(f.Contains(motion.SamplePath(f, 3, 100.0, rng)[0]));
+  }
+}
+
+TEST(StraightLineMotion, ReflectKeepsPathInside) {
+  const Field f = Field::Square(1000.0);
+  Rng rng(13);
+  const StraightLineMotion motion(BoundaryPolicy::kReflect);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto path = motion.SamplePath(f, 30, 300.0, rng);
+    for (const Vec2& p : path) {
+      EXPECT_TRUE(f.Contains(p)) << p.x << "," << p.y;
+    }
+  }
+}
+
+TEST(RandomWalkMotion, StepLengthPreservedWhileTurning) {
+  const Field f = Field::Square(32000.0);
+  Rng rng(17);
+  const RandomWalkMotion motion(std::numbers::pi / 4.0);
+  const auto path = motion.SamplePath(f, 20, 600.0, rng);
+  ASSERT_EQ(path.size(), 21u);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_NEAR(path[i].DistanceTo(path[i - 1]), 600.0, 1e-9);
+  }
+}
+
+TEST(RandomWalkMotion, TurnAngleBounded) {
+  const Field f = Field::Square(320000.0);
+  Rng rng(19);
+  const double max_turn = std::numbers::pi / 4.0;
+  const RandomWalkMotion motion(max_turn);
+  const auto path = motion.SamplePath(f, 50, 600.0, rng);
+  for (std::size_t i = 2; i < path.size(); ++i) {
+    const Vec2 d1 = path[i - 1] - path[i - 2];
+    const Vec2 d2 = path[i] - path[i - 1];
+    const double angle =
+        std::atan2(d1.Cross(d2), d1.Dot(d2));  // signed turn angle
+    EXPECT_LE(std::abs(angle), max_turn + 1e-9) << "step " << i;
+  }
+}
+
+TEST(RandomWalkMotion, ZeroTurnIsStraightLine) {
+  const Field f = Field::Square(32000.0);
+  Rng rng(23);
+  const RandomWalkMotion motion(0.0);
+  const auto path = motion.SamplePath(f, 10, 600.0, rng);
+  const Vec2 dir = path[1] - path[0];
+  for (std::size_t i = 2; i < path.size(); ++i) {
+    EXPECT_NEAR(dir.Cross(path[i] - path[0]), 0.0, 1e-6);
+  }
+}
+
+TEST(RandomWalkMotion, RejectsBadTurnBound) {
+  EXPECT_THROW(RandomWalkMotion(-0.1), InvalidArgument);
+  EXPECT_THROW(RandomWalkMotion(4.0), InvalidArgument);
+}
+
+TEST(WaypointMotion, FollowsLegsAtConstantSpeed) {
+  const WaypointMotion motion({{0.0, 0.0}, {1000.0, 0.0}, {1000.0, 1000.0}});
+  const Field f = Field::Square(2000.0);
+  Rng rng(29);
+  const auto path = motion.SamplePath(f, 4, 300.0, rng);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path[0], Vec2(0.0, 0.0));
+  EXPECT_EQ(path[1], Vec2(300.0, 0.0));
+  EXPECT_EQ(path[2], Vec2(600.0, 0.0));
+  EXPECT_EQ(path[3], Vec2(900.0, 0.0));
+  // Fourth step turns the corner: 100 m to the corner + 200 m up.
+  EXPECT_NEAR(path[4].x, 1000.0, 1e-9);
+  EXPECT_NEAR(path[4].y, 200.0, 1e-9);
+}
+
+TEST(WaypointMotion, IsDeterministic) {
+  const WaypointMotion motion({{0.0, 0.0}, {500.0, 500.0}});
+  const Field f = Field::Square(2000.0);
+  Rng a(1);
+  Rng b(2);
+  EXPECT_EQ(motion.SamplePath(f, 3, 100.0, a),
+            motion.SamplePath(f, 3, 100.0, b));
+}
+
+TEST(WaypointMotion, RejectsDegenerateRoutes) {
+  EXPECT_THROW(WaypointMotion({{0.0, 0.0}}), InvalidArgument);
+  EXPECT_THROW(WaypointMotion({{1.0, 1.0}, {1.0, 1.0}}), InvalidArgument);
+}
+
+TEST(VaryingSpeedMotion, StepLengthsWithinFactorRange) {
+  const Field f = Field::Square(32000.0);
+  Rng rng(31);
+  const VaryingSpeedMotion motion(0.5, 1.5);
+  const auto path = motion.SamplePath(f, 50, 600.0, rng);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const double len = path[i].DistanceTo(path[i - 1]);
+    EXPECT_GE(len, 0.5 * 600.0 - 1e-9);
+    EXPECT_LE(len, 1.5 * 600.0 + 1e-9);
+  }
+  EXPECT_THROW(VaryingSpeedMotion(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(VaryingSpeedMotion(1.5, 1.0), InvalidArgument);
+}
+
+TEST(MotionModels, RejectBadPathArguments) {
+  const Field f = Field::Square(1000.0);
+  Rng rng(1);
+  const StraightLineMotion motion;
+  EXPECT_THROW(motion.SamplePath(f, 0, 100.0, rng), InvalidArgument);
+  EXPECT_THROW(motion.SamplePath(f, 5, 0.0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

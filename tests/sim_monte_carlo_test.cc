@@ -1,0 +1,109 @@
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/ms_approach.h"
+
+namespace sparsedet {
+namespace {
+
+TrialConfig OnrConfig(int nodes, double speed) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = nodes;
+  config.params.target_speed = speed;
+  return config;
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResult) {
+  const TrialConfig config = OnrConfig(100, 10.0);
+  MonteCarloOptions one;
+  one.trials = 500;
+  one.threads = 1;
+  MonteCarloOptions many = one;
+  many.threads = 8;
+  const ProportionEstimate a = EstimateDetectionProbability(config, one);
+  const ProportionEstimate b = EstimateDetectionProbability(config, many);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+TEST(MonteCarlo, SeedChangesDrawsButNotDistribution) {
+  const TrialConfig config = OnrConfig(100, 10.0);
+  MonteCarloOptions s1;
+  s1.trials = 2000;
+  s1.seed = 1;
+  MonteCarloOptions s2 = s1;
+  s2.seed = 2;
+  const ProportionEstimate a = EstimateDetectionProbability(config, s1);
+  const ProportionEstimate b = EstimateDetectionProbability(config, s2);
+  EXPECT_NE(a.successes, b.successes);  // overwhelmingly likely
+  EXPECT_NEAR(a.point, b.point, 0.05);
+}
+
+TEST(MonteCarlo, AgreesWithAnalysisWithinInterval) {
+  const TrialConfig config = OnrConfig(140, 10.0);
+  MonteCarloOptions mc;
+  mc.trials = 6000;
+  mc.z = 3.3;  // ~99.9%
+  const ProportionEstimate est = EstimateDetectionProbability(config, mc);
+  const double analysis =
+      MsApproachAnalyze(config.params).detection_probability;
+  EXPECT_GT(analysis, est.lo - 0.01);
+  EXPECT_LT(analysis, est.hi + 0.01);
+}
+
+TEST(MonteCarlo, KNodeEstimateNeverExceedsBase) {
+  const TrialConfig config = OnrConfig(140, 10.0);
+  MonteCarloOptions mc;
+  mc.trials = 3000;
+  const ProportionEstimate base = EstimateDetectionProbability(config, mc);
+  const ProportionEstimate h3 =
+      EstimateKNodeDetectionProbability(config, 3, mc);
+  EXPECT_LE(h3.successes, base.successes);
+  const ProportionEstimate h1 =
+      EstimateKNodeDetectionProbability(config, 1, mc);
+  EXPECT_EQ(h1.successes, base.successes);  // h = 1 is the base rule
+}
+
+TEST(MonteCarlo, CustomPredicate) {
+  const TrialConfig config = OnrConfig(100, 10.0);
+  MonteCarloOptions mc;
+  mc.trials = 500;
+  const ProportionEstimate all = EstimateTrialProbability(
+      config, mc, [](const TrialResult&) { return true; });
+  EXPECT_EQ(all.successes, 500);
+  EXPECT_DOUBLE_EQ(all.point, 1.0);
+  const ProportionEstimate none = EstimateTrialProbability(
+      config, mc, [](const TrialResult&) { return false; });
+  EXPECT_EQ(none.successes, 0);
+}
+
+TEST(MonteCarlo, MeanReportsMatchesAnalyticalMean) {
+  const TrialConfig config = OnrConfig(120, 10.0);
+  MonteCarloOptions mc;
+  mc.trials = 4000;
+  const double mean = EstimateMeanReports(config, mc);
+  const double expected = config.params.num_nodes *
+                          config.params.detect_prob *
+                          config.params.window_periods *
+                          config.params.DrArea() /
+                          config.params.FieldArea();
+  // Reports within a trial are correlated (one crossing produces several),
+  // so the per-trial count is overdispersed; 0.3 is ~3 standard errors.
+  EXPECT_NEAR(mean, expected, 0.3);
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+  const TrialConfig config = OnrConfig(100, 10.0);
+  MonteCarloOptions mc;
+  mc.trials = 0;
+  EXPECT_THROW(EstimateDetectionProbability(config, mc), InvalidArgument);
+  MonteCarloOptions ok;
+  ok.trials = 10;
+  EXPECT_THROW(EstimateKNodeDetectionProbability(config, 0, ok),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sparsedet

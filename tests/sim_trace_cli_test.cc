@@ -1,0 +1,129 @@
+// Tests for trial trace export and the latency / trace CLI commands.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/trace_io.h"
+#include "sim/trial.h"
+
+namespace sparsedet {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  return lines;
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* suffix : {"_nodes.csv", "_path.csv", "_reports.csv"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+  const std::string prefix_ = "/tmp/sparsedet_trace_test";
+};
+
+TEST_F(TraceIoTest, WritesThreeConsistentCsvFiles) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = 80;
+  config.false_alarm_prob = 1e-3;
+  Rng rng(17);
+  const TrialResult trial = RunTrial(config, rng);
+
+  const TraceFiles files = SaveTrialTrace(trial, prefix_);
+  const std::string nodes = ReadFile(files.nodes_path);
+  const std::string path = ReadFile(files.path_path);
+  const std::string reports = ReadFile(files.reports_path);
+
+  EXPECT_EQ(CountLines(nodes), 81);    // header + one per node
+  EXPECT_EQ(CountLines(path), 22);     // header + 21 boundaries
+  EXPECT_EQ(CountLines(reports),
+            static_cast<int>(trial.reports.size()) + 1);
+  EXPECT_NE(nodes.find("node,x,y,alive"), std::string::npos);
+  EXPECT_NE(path.find("period_boundary,x,y"), std::string::npos);
+  EXPECT_NE(reports.find("period,node,x,y,false_alarm"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, DeadNodesMarkedInTrace) {
+  TrialConfig config;
+  config.params = SystemParams::OnrDefaults();
+  config.params.num_nodes = 50;
+  config.node_reliability = 0.5;
+  Rng rng(23);
+  const TrialResult trial = RunTrial(config, rng);
+  const TraceFiles files = SaveTrialTrace(trial, prefix_);
+  const std::string nodes = ReadFile(files.nodes_path);
+  // With q = 0.5 and 50 nodes, both alive flags almost surely appear.
+  EXPECT_NE(nodes.find(",1\n"), std::string::npos);
+  EXPECT_NE(nodes.find(",0\n"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsEmptyPrefix) {
+  TrialResult trial;
+  EXPECT_THROW(SaveTrialTrace(trial, ""), InvalidArgument);
+}
+
+int RunCli(std::vector<const char*> argv, std::string& out_text,
+           std::string& err_text) {
+  std::ostringstream out;
+  std::ostringstream err;
+  argv.insert(argv.begin(), "sparsedet");
+  const int code = cli::Run(static_cast<int>(argv.size()), argv.data(), out,
+                            err);
+  out_text = out.str();
+  err_text = err.str();
+  return code;
+}
+
+TEST(CliLatency, PrintsDistributionAndQuantiles) {
+  std::string out;
+  std::string err;
+  const int code = RunCli({"latency", "--nodes", "240"}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("L = 20"), std::string::npos);
+  EXPECT_NE(out.find("mean latency | detected"), std::string::npos);
+  EXPECT_NE(out.find("90th pct"), std::string::npos);
+}
+
+TEST(CliLatency, InvalidScenarioRejected) {
+  std::string out;
+  std::string err;
+  // M <= ms is outside the latency model's domain.
+  const int code =
+      RunCli({"latency", "--speed", "1", "--window", "20"}, out, err);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(CliTrace, WritesFilesAndSummarizes) {
+  std::string out;
+  std::string err;
+  const std::string prefix = "/tmp/sparsedet_cli_trace";
+  const int code = RunCli(
+      {"trace", "--nodes", "60", "--seed", "3", "--prefix", prefix.c_str()},
+      out,
+      err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("true reports"), std::string::npos);
+  EXPECT_FALSE(ReadFile(prefix + "_nodes.csv").empty());
+  for (const char* suffix : {"_nodes.csv", "_path.csv", "_reports.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sparsedet
