@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deployment.dir/bench/bench_ablation_deployment.cc.o"
+  "CMakeFiles/bench_ablation_deployment.dir/bench/bench_ablation_deployment.cc.o.d"
+  "bench/bench_ablation_deployment"
+  "bench/bench_ablation_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

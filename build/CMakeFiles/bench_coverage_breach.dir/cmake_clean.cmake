@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_breach.dir/bench/bench_coverage_breach.cc.o"
+  "CMakeFiles/bench_coverage_breach.dir/bench/bench_coverage_breach.cc.o.d"
+  "bench/bench_coverage_breach"
+  "bench/bench_coverage_breach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_breach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duty_cycle.dir/bench/bench_duty_cycle.cc.o"
+  "CMakeFiles/bench_duty_cycle.dir/bench/bench_duty_cycle.cc.o.d"
+  "bench/bench_duty_cycle"
+  "bench/bench_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dwell_sensing.dir/bench/bench_dwell_sensing.cc.o"
+  "CMakeFiles/bench_dwell_sensing.dir/bench/bench_dwell_sensing.cc.o.d"
+  "bench/bench_dwell_sensing"
+  "bench/bench_dwell_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dwell_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

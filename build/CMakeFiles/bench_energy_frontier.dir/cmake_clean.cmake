@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_frontier.dir/bench/bench_energy_frontier.cc.o"
+  "CMakeFiles/bench_energy_frontier.dir/bench/bench_energy_frontier.cc.o.d"
+  "bench/bench_energy_frontier"
+  "bench/bench_energy_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_alarms.dir/bench/bench_false_alarms.cc.o"
+  "CMakeFiles/bench_false_alarms.dir/bench/bench_false_alarms.cc.o.d"
+  "bench/bench_false_alarms"
+  "bench/bench_false_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_required_g.dir/bench/bench_fig8_required_g.cc.o"
+  "CMakeFiles/bench_fig8_required_g.dir/bench/bench_fig8_required_g.cc.o.d"
+  "bench/bench_fig8_required_g"
+  "bench/bench_fig8_required_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_required_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

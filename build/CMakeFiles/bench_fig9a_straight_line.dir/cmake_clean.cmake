@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_straight_line.dir/bench/bench_fig9a_straight_line.cc.o"
+  "CMakeFiles/bench_fig9a_straight_line.dir/bench/bench_fig9a_straight_line.cc.o.d"
+  "bench/bench_fig9a_straight_line"
+  "bench/bench_fig9a_straight_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_straight_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

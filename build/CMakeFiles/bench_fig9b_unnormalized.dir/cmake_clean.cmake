@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_unnormalized.dir/bench/bench_fig9b_unnormalized.cc.o"
+  "CMakeFiles/bench_fig9b_unnormalized.dir/bench/bench_fig9b_unnormalized.cc.o.d"
+  "bench/bench_fig9b_unnormalized"
+  "bench/bench_fig9b_unnormalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_unnormalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

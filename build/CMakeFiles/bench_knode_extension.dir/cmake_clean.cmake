@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knode_extension.dir/bench/bench_knode_extension.cc.o"
+  "CMakeFiles/bench_knode_extension.dir/bench/bench_knode_extension.cc.o.d"
+  "bench/bench_knode_extension"
+  "bench/bench_knode_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knode_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_preliminary.dir/bench/bench_m1_preliminary.cc.o"
+  "CMakeFiles/bench_m1_preliminary.dir/bench/bench_m1_preliminary.cc.o.d"
+  "bench/bench_m1_preliminary"
+  "bench/bench_m1_preliminary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_preliminary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mac_latency.dir/bench/bench_mac_latency.cc.o"
+  "CMakeFiles/bench_mac_latency.dir/bench/bench_mac_latency.cc.o.d"
+  "bench/bench_mac_latency"
+  "bench/bench_mac_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mac_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

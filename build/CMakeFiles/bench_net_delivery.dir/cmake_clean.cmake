@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_delivery.dir/bench/bench_net_delivery.cc.o"
+  "CMakeFiles/bench_net_delivery.dir/bench/bench_net_delivery.cc.o.d"
+  "bench/bench_net_delivery"
+  "bench/bench_net_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

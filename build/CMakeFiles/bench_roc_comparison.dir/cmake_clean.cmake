@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roc_comparison.dir/bench/bench_roc_comparison.cc.o"
+  "CMakeFiles/bench_roc_comparison.dir/bench/bench_roc_comparison.cc.o.d"
+  "bench/bench_roc_comparison"
+  "bench/bench_roc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sliding_window.cc" "CMakeFiles/bench_sliding_window.dir/bench/bench_sliding_window.cc.o" "gcc" "CMakeFiles/bench_sliding_window.dir/bench/bench_sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/sparsedet_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sparsedet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sparsedet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparsedet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sparsedet_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sparsedet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sparsedet_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sparsedet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sliding_window.dir/bench/bench_sliding_window.cc.o"
+  "CMakeFiles/bench_sliding_window.dir/bench/bench_sliding_window.cc.o.d"
+  "bench/bench_sliding_window"
+  "bench/bench_sliding_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

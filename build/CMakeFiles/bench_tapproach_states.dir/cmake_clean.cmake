@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tapproach_states.dir/bench/bench_tapproach_states.cc.o"
+  "CMakeFiles/bench_tapproach_states.dir/bench/bench_tapproach_states.cc.o.d"
+  "bench/bench_tapproach_states"
+  "bench/bench_tapproach_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tapproach_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

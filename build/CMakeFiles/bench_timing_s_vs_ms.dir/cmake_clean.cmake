@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_s_vs_ms.dir/bench/bench_timing_s_vs_ms.cc.o"
+  "CMakeFiles/bench_timing_s_vs_ms.dir/bench/bench_timing_s_vs_ms.cc.o.d"
+  "bench/bench_timing_s_vs_ms"
+  "bench/bench_timing_s_vs_ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_s_vs_ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

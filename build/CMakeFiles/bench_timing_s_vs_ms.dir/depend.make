@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_timing_s_vs_ms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_track_estimation.dir/bench/bench_track_estimation.cc.o"
+  "CMakeFiles/bench_track_estimation.dir/bench/bench_track_estimation.cc.o.d"
+  "bench/bench_track_estimation"
+  "bench/bench_track_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_track_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

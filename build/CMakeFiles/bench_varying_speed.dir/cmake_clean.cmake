@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_varying_speed.dir/bench/bench_varying_speed.cc.o"
+  "CMakeFiles/bench_varying_speed.dir/bench/bench_varying_speed.cc.o.d"
+  "bench/bench_varying_speed"
+  "bench/bench_varying_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_varying_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_patrol.dir/border_patrol.cpp.o"
+  "CMakeFiles/border_patrol.dir/border_patrol.cpp.o.d"
+  "border_patrol"
+  "border_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

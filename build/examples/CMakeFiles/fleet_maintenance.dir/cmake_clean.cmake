@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_maintenance.dir/fleet_maintenance.cpp.o"
+  "CMakeFiles/fleet_maintenance.dir/fleet_maintenance.cpp.o.d"
+  "fleet_maintenance"
+  "fleet_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

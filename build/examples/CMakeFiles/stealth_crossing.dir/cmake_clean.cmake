@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_crossing.dir/stealth_crossing.cpp.o"
+  "CMakeFiles/stealth_crossing.dir/stealth_crossing.cpp.o.d"
+  "stealth_crossing"
+  "stealth_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

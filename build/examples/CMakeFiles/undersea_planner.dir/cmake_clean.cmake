@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undersea_planner.dir/undersea_planner.cpp.o"
+  "CMakeFiles/undersea_planner.dir/undersea_planner.cpp.o.d"
+  "undersea_planner"
+  "undersea_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undersea_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet.dir/main.cc.o"
+  "CMakeFiles/sparsedet.dir/main.cc.o.d"
+  "sparsedet"
+  "sparsedet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

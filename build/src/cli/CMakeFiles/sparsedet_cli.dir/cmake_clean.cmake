@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_cli.dir/commands.cc.o"
+  "CMakeFiles/sparsedet_cli.dir/commands.cc.o.d"
+  "CMakeFiles/sparsedet_cli.dir/flags.cc.o"
+  "CMakeFiles/sparsedet_cli.dir/flags.cc.o.d"
+  "libsparsedet_cli.a"
+  "libsparsedet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_common.dir/json.cc.o"
+  "CMakeFiles/sparsedet_common.dir/json.cc.o.d"
+  "CMakeFiles/sparsedet_common.dir/parallel.cc.o"
+  "CMakeFiles/sparsedet_common.dir/parallel.cc.o.d"
+  "CMakeFiles/sparsedet_common.dir/rng.cc.o"
+  "CMakeFiles/sparsedet_common.dir/rng.cc.o.d"
+  "CMakeFiles/sparsedet_common.dir/table.cc.o"
+  "CMakeFiles/sparsedet_common.dir/table.cc.o.d"
+  "libsparsedet_common.a"
+  "libsparsedet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/sparsedet_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/energy_model.cc" "src/core/CMakeFiles/sparsedet_core.dir/energy_model.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/energy_model.cc.o.d"
+  "/root/repo/src/core/false_alarm_model.cc" "src/core/CMakeFiles/sparsedet_core.dir/false_alarm_model.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/false_alarm_model.cc.o.d"
+  "/root/repo/src/core/gated_fa_bound.cc" "src/core/CMakeFiles/sparsedet_core.dir/gated_fa_bound.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/gated_fa_bound.cc.o.d"
+  "/root/repo/src/core/knode_model.cc" "src/core/CMakeFiles/sparsedet_core.dir/knode_model.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/knode_model.cc.o.d"
+  "/root/repo/src/core/latency.cc" "src/core/CMakeFiles/sparsedet_core.dir/latency.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/latency.cc.o.d"
+  "/root/repo/src/core/ms_approach.cc" "src/core/CMakeFiles/sparsedet_core.dir/ms_approach.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/ms_approach.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/sparsedet_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/params.cc.o.d"
+  "/root/repo/src/core/region_pmf.cc" "src/core/CMakeFiles/sparsedet_core.dir/region_pmf.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/region_pmf.cc.o.d"
+  "/root/repo/src/core/s_approach.cc" "src/core/CMakeFiles/sparsedet_core.dir/s_approach.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/s_approach.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/sparsedet_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/single_period.cc" "src/core/CMakeFiles/sparsedet_core.dir/single_period.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/single_period.cc.o.d"
+  "/root/repo/src/core/t_approach.cc" "src/core/CMakeFiles/sparsedet_core.dir/t_approach.cc.o" "gcc" "src/core/CMakeFiles/sparsedet_core.dir/t_approach.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/sparsedet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sparsedet_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sparsedet_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sparsedet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_core.dir/analysis.cc.o"
+  "CMakeFiles/sparsedet_core.dir/analysis.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/energy_model.cc.o"
+  "CMakeFiles/sparsedet_core.dir/energy_model.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/false_alarm_model.cc.o"
+  "CMakeFiles/sparsedet_core.dir/false_alarm_model.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/gated_fa_bound.cc.o"
+  "CMakeFiles/sparsedet_core.dir/gated_fa_bound.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/knode_model.cc.o"
+  "CMakeFiles/sparsedet_core.dir/knode_model.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/latency.cc.o"
+  "CMakeFiles/sparsedet_core.dir/latency.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/ms_approach.cc.o"
+  "CMakeFiles/sparsedet_core.dir/ms_approach.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/params.cc.o"
+  "CMakeFiles/sparsedet_core.dir/params.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/region_pmf.cc.o"
+  "CMakeFiles/sparsedet_core.dir/region_pmf.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/s_approach.cc.o"
+  "CMakeFiles/sparsedet_core.dir/s_approach.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/sensitivity.cc.o"
+  "CMakeFiles/sparsedet_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/single_period.cc.o"
+  "CMakeFiles/sparsedet_core.dir/single_period.cc.o.d"
+  "CMakeFiles/sparsedet_core.dir/t_approach.cc.o"
+  "CMakeFiles/sparsedet_core.dir/t_approach.cc.o.d"
+  "libsparsedet_core.a"
+  "libsparsedet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_coverage.dir/coverage.cc.o"
+  "CMakeFiles/sparsedet_coverage.dir/coverage.cc.o.d"
+  "libsparsedet_coverage.a"
+  "libsparsedet_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

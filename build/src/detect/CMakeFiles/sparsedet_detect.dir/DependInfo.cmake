@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/cusum.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/cusum.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/cusum.cc.o.d"
+  "/root/repo/src/detect/instantaneous.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/instantaneous.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/instantaneous.cc.o.d"
+  "/root/repo/src/detect/kalman.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/kalman.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/kalman.cc.o.d"
+  "/root/repo/src/detect/system_fa.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/system_fa.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/system_fa.cc.o.d"
+  "/root/repo/src/detect/track_count.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_count.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_count.cc.o.d"
+  "/root/repo/src/detect/track_estimate.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_estimate.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_estimate.cc.o.d"
+  "/root/repo/src/detect/track_gate.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_gate.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/track_gate.cc.o.d"
+  "/root/repo/src/detect/transport.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/transport.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/transport.cc.o.d"
+  "/root/repo/src/detect/window_detector.cc" "src/detect/CMakeFiles/sparsedet_detect.dir/window_detector.cc.o" "gcc" "src/detect/CMakeFiles/sparsedet_detect.dir/window_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sparsedet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sparsedet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparsedet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sparsedet_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sparsedet_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sparsedet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sparsedet_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_detect.dir/cusum.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/cusum.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/instantaneous.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/instantaneous.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/kalman.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/kalman.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/system_fa.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/system_fa.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/track_count.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/track_count.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/track_estimate.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/track_estimate.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/track_gate.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/track_gate.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/transport.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/transport.cc.o.d"
+  "CMakeFiles/sparsedet_detect.dir/window_detector.cc.o"
+  "CMakeFiles/sparsedet_detect.dir/window_detector.cc.o.d"
+  "libsparsedet_detect.a"
+  "libsparsedet_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

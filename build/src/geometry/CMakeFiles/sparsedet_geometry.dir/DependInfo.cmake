@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/chord.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/chord.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/chord.cc.o.d"
+  "/root/repo/src/geometry/field.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/field.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/field.cc.o.d"
+  "/root/repo/src/geometry/lens.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/lens.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/lens.cc.o.d"
+  "/root/repo/src/geometry/region_decomposition.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/region_decomposition.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/region_decomposition.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/segment.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/segment.cc.o.d"
+  "/root/repo/src/geometry/stadium.cc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/stadium.cc.o" "gcc" "src/geometry/CMakeFiles/sparsedet_geometry.dir/stadium.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_geometry.dir/chord.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/chord.cc.o.d"
+  "CMakeFiles/sparsedet_geometry.dir/field.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/field.cc.o.d"
+  "CMakeFiles/sparsedet_geometry.dir/lens.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/lens.cc.o.d"
+  "CMakeFiles/sparsedet_geometry.dir/region_decomposition.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/region_decomposition.cc.o.d"
+  "CMakeFiles/sparsedet_geometry.dir/segment.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/segment.cc.o.d"
+  "CMakeFiles/sparsedet_geometry.dir/stadium.cc.o"
+  "CMakeFiles/sparsedet_geometry.dir/stadium.cc.o.d"
+  "libsparsedet_geometry.a"
+  "libsparsedet_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_linalg.dir/matrix.cc.o"
+  "CMakeFiles/sparsedet_linalg.dir/matrix.cc.o.d"
+  "libsparsedet_linalg.a"
+  "libsparsedet_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_markov.dir/chain.cc.o"
+  "CMakeFiles/sparsedet_markov.dir/chain.cc.o.d"
+  "CMakeFiles/sparsedet_markov.dir/increment_chain.cc.o"
+  "CMakeFiles/sparsedet_markov.dir/increment_chain.cc.o.d"
+  "libsparsedet_markov.a"
+  "libsparsedet_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sparsedet_markov.
+# This may be replaced when dependencies are built.

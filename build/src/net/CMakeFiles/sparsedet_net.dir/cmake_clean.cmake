@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_net.dir/delivery.cc.o"
+  "CMakeFiles/sparsedet_net.dir/delivery.cc.o.d"
+  "CMakeFiles/sparsedet_net.dir/mac.cc.o"
+  "CMakeFiles/sparsedet_net.dir/mac.cc.o.d"
+  "CMakeFiles/sparsedet_net.dir/routing.cc.o"
+  "CMakeFiles/sparsedet_net.dir/routing.cc.o.d"
+  "CMakeFiles/sparsedet_net.dir/topology.cc.o"
+  "CMakeFiles/sparsedet_net.dir/topology.cc.o.d"
+  "libsparsedet_net.a"
+  "libsparsedet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/binomial.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/binomial.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/binomial.cc.o.d"
+  "/root/repo/src/prob/combinatorics.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/combinatorics.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/combinatorics.cc.o.d"
+  "/root/repo/src/prob/gof.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/gof.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/gof.cc.o.d"
+  "/root/repo/src/prob/joint_pmf.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/joint_pmf.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/joint_pmf.cc.o.d"
+  "/root/repo/src/prob/pmf.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/pmf.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/pmf.cc.o.d"
+  "/root/repo/src/prob/poisson.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/poisson.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/poisson.cc.o.d"
+  "/root/repo/src/prob/stats.cc" "src/prob/CMakeFiles/sparsedet_prob.dir/stats.cc.o" "gcc" "src/prob/CMakeFiles/sparsedet_prob.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

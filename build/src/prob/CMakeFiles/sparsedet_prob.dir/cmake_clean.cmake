@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_prob.dir/binomial.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/binomial.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/combinatorics.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/combinatorics.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/gof.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/gof.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/joint_pmf.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/joint_pmf.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/pmf.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/pmf.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/poisson.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/poisson.cc.o.d"
+  "CMakeFiles/sparsedet_prob.dir/stats.cc.o"
+  "CMakeFiles/sparsedet_prob.dir/stats.cc.o.d"
+  "libsparsedet_prob.a"
+  "libsparsedet_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

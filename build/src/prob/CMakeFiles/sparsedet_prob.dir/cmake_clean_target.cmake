@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparsedet_prob.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/deployment.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/deployment.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/deployment.cc.o.d"
+  "/root/repo/src/sim/monte_carlo.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/monte_carlo.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/sim/motion.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/motion.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/motion.cc.o.d"
+  "/root/repo/src/sim/multi_target.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/multi_target.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/multi_target.cc.o.d"
+  "/root/repo/src/sim/sensing.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/sensing.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/sensing.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/trace_io.cc.o.d"
+  "/root/repo/src/sim/trial.cc" "src/sim/CMakeFiles/sparsedet_sim.dir/trial.cc.o" "gcc" "src/sim/CMakeFiles/sparsedet_sim.dir/trial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sparsedet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sparsedet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sparsedet_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sparsedet_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sparsedet_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedet_sim.dir/deployment.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/deployment.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/monte_carlo.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/motion.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/motion.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/multi_target.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/multi_target.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/sensing.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/sensing.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/trace_io.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/trace_io.cc.o.d"
+  "CMakeFiles/sparsedet_sim.dir/trial.cc.o"
+  "CMakeFiles/sparsedet_sim.dir/trial.cc.o.d"
+  "libsparsedet_sim.a"
+  "libsparsedet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/additional_coverage_test.cc" "tests/CMakeFiles/additional_coverage_test.dir/additional_coverage_test.cc.o" "gcc" "tests/CMakeFiles/additional_coverage_test.dir/additional_coverage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/sparsedet_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sparsedet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sparsedet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparsedet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sparsedet_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sparsedet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sparsedet_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sparsedet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparsedet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/sparsedet_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additional_coverage_test.dir/additional_coverage_test.cc.o"
+  "CMakeFiles/additional_coverage_test.dir/additional_coverage_test.cc.o.d"
+  "additional_coverage_test"
+  "additional_coverage_test.pdb"
+  "additional_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additional_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_json_test.dir/common_json_test.cc.o"
+  "CMakeFiles/common_json_test.dir/common_json_test.cc.o.d"
+  "common_json_test"
+  "common_json_test.pdb"
+  "common_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_energy_test.dir/core_energy_test.cc.o"
+  "CMakeFiles/core_energy_test.dir/core_energy_test.cc.o.d"
+  "core_energy_test"
+  "core_energy_test.pdb"
+  "core_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

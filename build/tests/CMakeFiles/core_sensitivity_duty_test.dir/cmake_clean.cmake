@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sensitivity_duty_test.dir/core_sensitivity_duty_test.cc.o"
+  "CMakeFiles/core_sensitivity_duty_test.dir/core_sensitivity_duty_test.cc.o.d"
+  "core_sensitivity_duty_test"
+  "core_sensitivity_duty_test.pdb"
+  "core_sensitivity_duty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sensitivity_duty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_cusum_test.dir/detect_cusum_test.cc.o"
+  "CMakeFiles/detect_cusum_test.dir/detect_cusum_test.cc.o.d"
+  "detect_cusum_test"
+  "detect_cusum_test.pdb"
+  "detect_cusum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_cusum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

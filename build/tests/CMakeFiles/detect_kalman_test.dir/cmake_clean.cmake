@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_kalman_test.dir/detect_kalman_test.cc.o"
+  "CMakeFiles/detect_kalman_test.dir/detect_kalman_test.cc.o.d"
+  "detect_kalman_test"
+  "detect_kalman_test.pdb"
+  "detect_kalman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_kalman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

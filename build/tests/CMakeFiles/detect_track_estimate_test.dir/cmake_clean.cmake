@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_track_estimate_test.dir/detect_track_estimate_test.cc.o"
+  "CMakeFiles/detect_track_estimate_test.dir/detect_track_estimate_test.cc.o.d"
+  "detect_track_estimate_test"
+  "detect_track_estimate_test.pdb"
+  "detect_track_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_track_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

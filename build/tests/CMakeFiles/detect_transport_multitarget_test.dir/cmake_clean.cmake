@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_transport_multitarget_test.dir/detect_transport_multitarget_test.cc.o"
+  "CMakeFiles/detect_transport_multitarget_test.dir/detect_transport_multitarget_test.cc.o.d"
+  "detect_transport_multitarget_test"
+  "detect_transport_multitarget_test.pdb"
+  "detect_transport_multitarget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_transport_multitarget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_chord_sensing_test.dir/geometry_chord_sensing_test.cc.o"
+  "CMakeFiles/geometry_chord_sensing_test.dir/geometry_chord_sensing_test.cc.o.d"
+  "geometry_chord_sensing_test"
+  "geometry_chord_sensing_test.pdb"
+  "geometry_chord_sensing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_chord_sensing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_values_test.dir/golden_values_test.cc.o"
+  "CMakeFiles/golden_values_test.dir/golden_values_test.cc.o.d"
+  "golden_values_test"
+  "golden_values_test.pdb"
+  "golden_values_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_mac_test.dir/net_mac_test.cc.o"
+  "CMakeFiles/net_mac_test.dir/net_mac_test.cc.o.d"
+  "net_mac_test"
+  "net_mac_test.pdb"
+  "net_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_gof_test.dir/prob_gof_test.cc.o"
+  "CMakeFiles/prob_gof_test.dir/prob_gof_test.cc.o.d"
+  "prob_gof_test"
+  "prob_gof_test.pdb"
+  "prob_gof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_gof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

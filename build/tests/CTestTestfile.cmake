@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/prob_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_markov_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_chord_sensing_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_transport_multitarget_test[1]_include.cmake")
+include("/root/repo/build/tests/common_json_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sensitivity_duty_test[1]_include.cmake")
+include("/root/repo/build/tests/prob_gof_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_track_estimate_test[1]_include.cmake")
+include("/root/repo/build/tests/core_energy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/core_gated_fa_bound_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/additional_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_cusum_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_kalman_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_values_test[1]_include.cmake")
