@@ -1,6 +1,8 @@
 #include "cli/commands.h"
 
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <numbers>
 
@@ -13,6 +15,7 @@
 #include "core/false_alarm_model.h"
 #include "core/latency.h"
 #include "core/ms_approach.h"
+#include "engine/engine.h"
 #include "sim/trace_io.h"
 #include "detect/system_fa.h"
 #include "sim/monte_carlo.h"
@@ -371,6 +374,65 @@ int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
   });
 }
 
+int CmdBatch(const std::vector<std::string>& args, std::istream& in,
+             std::ostream& out, std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    const std::string input = flags.GetString(
+        "input", "-", "JSONL request file, or - for stdin");
+    engine::EngineOptions options;
+    options.threads = static_cast<std::size_t>(
+        flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
+    options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
+        "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+    options.unordered = flags.GetBool(
+        "unordered", false, "emit completions immediately, tagged by id");
+    const int passes =
+        flags.GetInt("passes", 1, "process the input this many times");
+    const bool stats =
+        flags.GetBool("stats", true, "emit a final {\"stats\":...} line");
+    flags.Finish();
+    SPARSEDET_REQUIRE(passes >= 1, "--passes must be >= 1");
+    SPARSEDET_REQUIRE(input != "-" || passes == 1,
+                      "--passes > 1 requires a seekable --input file");
+
+    engine::BatchEngine batch_engine(options);
+    for (int pass = 0; pass < passes; ++pass) {
+      if (input == "-") {
+        batch_engine.RunBatch(in, out);
+      } else {
+        std::ifstream file(input);
+        SPARSEDET_REQUIRE(file.good(), "cannot open --input " + input);
+        batch_engine.RunBatch(file, out);
+      }
+    }
+    if (stats) batch_engine.WriteStatsLine(out);
+    return 0;
+  });
+}
+
+int CmdServe(const std::vector<std::string>& args, std::istream& in,
+             std::ostream& out, std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    engine::EngineOptions options;
+    options.threads = static_cast<std::size_t>(
+        flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
+    options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
+        "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+    const bool stats = flags.GetBool(
+        "stats", false, "emit a {\"stats\":...} line at end of stream");
+    flags.Finish();
+
+    engine::BatchEngine batch_engine(options);
+    batch_engine.Serve(in, out);
+    if (stats) batch_engine.WriteStatsLine(out);
+    return 0;
+  });
+}
+
 std::string Usage() {
   return
       "sparsedet — group based detection analysis for sparse sensor "
@@ -386,6 +448,8 @@ std::string Usage() {
       "  sweep      detection probability across one parameter\n"
       "  latency    first-passage (time-to-detection) distribution\n"
       "  trace      export one simulated trial as CSV\n"
+      "  batch      evaluate a JSONL request stream, then exit\n"
+      "  serve      long-running JSONL request loop on stdin/stdout\n"
       "\n"
       "scenario flags (all commands): --field-width --field-height --nodes\n"
       "  --rs --rc --pd --period --speed --window --k\n"
@@ -394,7 +458,11 @@ std::string Usage() {
       "--h\n"
       "plan: --target-detection --pf --max-fa --max-nodes\n"
       "fa: --pf --trials --max-k\n"
-      "sweep: --param --from --to --step [--trials --csv]\n";
+      "sweep: --param --from --to --step [--trials --csv]\n"
+      "batch: --input --threads --cache-capacity --unordered --passes "
+      "--stats\n"
+      "serve: --threads --cache-capacity --stats\n"
+      "(batch/serve request schema: docs/ENGINE.md)\n";
 }
 
 int Run(int argc, const char* const* argv, std::ostream& out,
@@ -414,6 +482,8 @@ int Run(int argc, const char* const* argv, std::ostream& out,
   if (command == "sweep") return CmdSweep(args, out, err);
   if (command == "latency") return CmdLatency(args, out, err);
   if (command == "trace") return CmdTrace(args, out, err);
+  if (command == "batch") return CmdBatch(args, std::cin, out, err);
+  if (command == "serve") return CmdServe(args, std::cin, out, err);
   if (command == "help" || command == "--help") {
     out << Usage();
     return 0;

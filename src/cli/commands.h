@@ -7,11 +7,14 @@
 //   sparsedet sweep    [scenario flags] --param <name> --from --to --step
 //   sparsedet latency  [scenario flags]          first-passage table
 //   sparsedet trace    [scenario flags] --prefix <path>  export one trial
+//   sparsedet batch    --input <file|-> [--threads --passes --unordered ...]
+//   sparsedet serve    [--threads --cache-capacity ...]   JSONL stdin loop
 //
 // Each command returns a process exit code and writes to `out` / `err`, so
 // tests can drive them directly.
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -37,6 +40,13 @@ int CmdLatency(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err);
 int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);
+// `batch` reads JSONL requests from --input (default "-": `in`, normally
+// stdin) and exits when drained; `serve` loops over `in` line-by-line with
+// per-request error isolation. Both write one JSON line per request.
+int CmdBatch(const std::vector<std::string>& args, std::istream& in,
+             std::ostream& out, std::ostream& err);
+int CmdServe(const std::vector<std::string>& args, std::istream& in,
+             std::ostream& out, std::ostream& err);
 
 // Full usage text.
 std::string Usage();

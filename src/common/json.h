@@ -1,21 +1,30 @@
-// Minimal JSON value tree + serializer, for machine-readable CLI output.
+// Minimal JSON value tree, serializer and strict parser, for the
+// machine-readable CLI output and the batch-engine request protocol.
 //
 // Only what the tooling needs: null, bool, finite numbers, strings, arrays
-// and objects (insertion-ordered). No parsing — sparsedet only emits JSON.
+// and objects (insertion-ordered). The parser is strict RFC-8259: one value
+// per input, no trailing garbage, no NaN/Inf, and every rejection carries a
+// line:column position so batch users can fix their request files.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
+
+#include "common/error.h"
 
 namespace sparsedet {
 
 class JsonValue {
  public:
+  using ArrayType = std::vector<JsonValue>;
+  using ObjectType = std::vector<std::pair<std::string, JsonValue>>;
+
   JsonValue() : value_(nullptr) {}                       // null
   JsonValue(bool b) : value_(b) {}                       // NOLINT(runtime/explicit)
   JsonValue(double d) : value_(d) {}                     // NOLINT
@@ -28,8 +37,26 @@ class JsonValue {
   static JsonValue Object();
 
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
   bool is_array() const { return std::holds_alternative<ArrayType>(value_); }
   bool is_object() const { return std::holds_alternative<ObjectType>(value_); }
+
+  // Scalar accessors; each requires the matching type.
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Container accessors. Size() requires an array or object; At() an array.
+  std::size_t Size() const;
+  const JsonValue& At(std::size_t index) const;
+  // Object lookup; nullptr when the key is absent. Requires is_object().
+  const JsonValue* Find(const std::string& key) const;
+  // Insertion-ordered fields; requires is_object().
+  const ObjectType& Fields() const;
+  // Elements; requires is_array().
+  const ArrayType& Items() const;
 
   // Array append; requires is_array().
   JsonValue& Append(JsonValue v);
@@ -42,11 +69,30 @@ class JsonValue {
   std::string ToString() const;
 
  private:
-  using ArrayType = std::vector<JsonValue>;
-  using ObjectType = std::vector<std::pair<std::string, JsonValue>>;
   std::variant<std::nullptr_t, bool, double, std::string, ArrayType,
                ObjectType>
       value_;
 };
+
+// Raised by ParseJson. `line` and `column` are 1-based positions into the
+// parsed text; what() already embeds them.
+class JsonParseError : public InvalidArgument {
+ public:
+  JsonParseError(const std::string& what, int line, int column)
+      : InvalidArgument(what), line_(line), column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+// Parses exactly one JSON value from `text` (surrounding whitespace is
+// allowed, anything else after the value is an error). Strict mode:
+// duplicate object keys, NaN/Infinity literals, numbers that overflow a
+// double, lone surrogates and control characters inside strings are all
+// rejected. Nesting is limited to 256 levels. Throws JsonParseError.
+JsonValue ParseJson(std::string_view text);
 
 }  // namespace sparsedet

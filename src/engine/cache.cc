@@ -1,0 +1,37 @@
+#include "engine/cache.h"
+
+#include "common/check.h"
+
+namespace sparsedet::engine {
+
+std::shared_ptr<const JsonValue> LruResultCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void LruResultCache::Put(const std::string& key,
+                         std::shared_ptr<const JsonValue> value) {
+  SPARSEDET_REQUIRE(value != nullptr, "cannot cache a null result");
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  entries_[key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace sparsedet::engine

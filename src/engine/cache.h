@@ -1,0 +1,55 @@
+// Bounded LRU cache for evaluated scenario results.
+//
+// The batch engine canonicalizes every work unit (one analyze / latency /
+// simulate request, or one sweep point) into a key string; identical units
+// across requests, passes and overlapping sweeps then share one evaluation.
+// The cache is deliberately NOT thread-safe: the engine performs every
+// lookup and insertion on its coordinator thread, in input order, so hit /
+// miss / eviction counters — and therefore the emitted stats line — are
+// byte-identical regardless of the worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/json.h"
+
+namespace sparsedet::engine {
+
+class LruResultCache {
+ public:
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  // capacity == 0 disables caching (every Get misses, Put is a no-op).
+  explicit LruResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached value and marks the entry most-recently-used, or
+  // nullptr on a miss. Updates the hit/miss counters.
+  std::shared_ptr<const JsonValue> Get(const std::string& key);
+
+  // Inserts (or refreshes) an entry, evicting least-recently-used entries
+  // until the size bound holds. Requires value != nullptr.
+  void Put(const std::string& key, std::shared_ptr<const JsonValue> value);
+
+  const Counters& counters() const { return counters_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const JsonValue>>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Counters counters_;
+};
+
+}  // namespace sparsedet::engine

@@ -1,0 +1,255 @@
+#include "engine/engine.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "engine/request.h"
+
+namespace sparsedet::engine {
+
+struct BatchEngine::PendingUnit {
+  std::string key;
+  std::shared_ptr<const JsonValue> result;  // set by the worker on success
+  std::string error;                        // set by the worker on failure
+  bool done = false;      // guarded by done_mutex_
+  bool inserted = false;  // coordinator-only: already in the cache
+};
+
+struct BatchEngine::PendingRequest {
+  JsonValue id;  // echoed in the response; defaults to the line number
+  int line = 0;
+  std::string parse_error;  // nonempty: request never got units
+  Request request;
+
+  // Each unit is either resolved from the cache at plan time or pending on
+  // the pool (possibly shared with other requests that need the same key).
+  struct UnitRef {
+    std::shared_ptr<PendingUnit> pending;
+    std::shared_ptr<const JsonValue> cached;
+  };
+  std::vector<UnitRef> units;
+};
+
+namespace {
+
+bool IsBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+JsonValue EngineStats::ToJson(const LruResultCache& cache) const {
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("capacity", static_cast<std::int64_t>(cache.capacity()))
+      .Set("size", static_cast<std::int64_t>(cache.size()))
+      .Set("hits", static_cast<std::int64_t>(cache.counters().hits))
+      .Set("misses", static_cast<std::int64_t>(cache.counters().misses))
+      .Set("coalesced", static_cast<std::int64_t>(coalesced))
+      .Set("evictions", static_cast<std::int64_t>(cache.counters().evictions));
+  JsonValue body = JsonValue::Object();
+  body.Set("requests", static_cast<std::int64_t>(requests))
+      .Set("ok", static_cast<std::int64_t>(ok))
+      .Set("errors", static_cast<std::int64_t>(errors))
+      .Set("units", static_cast<std::int64_t>(units))
+      .Set("cache", std::move(cache_json));
+  JsonValue json = JsonValue::Object();
+  json.Set("stats", std::move(body));
+  return json;
+}
+
+BatchEngine::BatchEngine(const EngineOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.threads) {}
+
+BatchEngine::~BatchEngine() = default;
+
+std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
+    const std::string& line, int line_number) {
+  auto pending = std::make_unique<PendingRequest>();
+  pending->line = line_number;
+  pending->id = JsonValue(line_number);
+  ++stats_.requests;
+  try {
+    const JsonValue json = ParseJson(line);
+    // Recover the caller's id even if validation below fails, so the error
+    // line is attributable.
+    if (json.is_object()) {
+      if (const JsonValue* id = json.Find("id");
+          id != nullptr && (id->is_string() || id->is_number())) {
+        pending->id = *id;
+      }
+    }
+    pending->request = ParseRequest(json, line_number);
+    pending->id = pending->request.id;
+
+    for (WorkUnit& unit : ExpandRequest(pending->request)) {
+      ++stats_.units;
+      PendingRequest::UnitRef ref;
+      const std::string key = CanonicalKey(unit);
+      if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+        ref.pending = it->second;
+        ++stats_.coalesced;
+      } else if (std::shared_ptr<const JsonValue> cached = cache_.Get(key)) {
+        ref.cached = std::move(cached);
+      } else {
+        auto slot = std::make_shared<PendingUnit>();
+        slot->key = key;
+        in_flight_.emplace(key, slot);
+        ref.pending = slot;
+        pool_.Submit([this, slot, unit = std::move(unit)] {
+          try {
+            slot->result = std::make_shared<JsonValue>(EvaluateUnit(unit));
+          } catch (const Error& e) {
+            slot->error = e.what();
+          } catch (const std::exception& e) {
+            slot->error = std::string("internal error: ") + e.what();
+          }
+          {
+            std::lock_guard<std::mutex> lock(done_mutex_);
+            slot->done = true;
+          }
+          done_cv_.notify_all();
+        });
+      }
+      pending->units.push_back(std::move(ref));
+    }
+  } catch (const Error& e) {
+    pending->parse_error = e.what();
+    pending->units.clear();
+  }
+  return pending;
+}
+
+void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
+  if (!request.parse_error.empty()) {
+    ++stats_.errors;
+    JsonValue response = JsonValue::Object();
+    if (!request.id.is_null()) response.Set("id", request.id);
+    response.Set("line", request.line).Set("error", request.parse_error);
+    out << response.ToString() << "\n";
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    for (const PendingRequest::UnitRef& ref : request.units) {
+      if (ref.pending) {
+        done_cv_.wait(lock, [&ref] { return ref.pending->done; });
+      }
+    }
+  }
+
+  std::string unit_error;
+  std::vector<const JsonValue*> results;
+  results.reserve(request.units.size());
+  for (const PendingRequest::UnitRef& ref : request.units) {
+    if (ref.cached) {
+      results.push_back(ref.cached.get());
+      continue;
+    }
+    PendingUnit& slot = *ref.pending;
+    if (!slot.error.empty()) {
+      unit_error = slot.error;
+      break;
+    }
+    // First emitter of a shared unit publishes it to the cache; this runs
+    // on the coordinator in emission order, keeping eviction deterministic.
+    if (!slot.inserted) {
+      cache_.Put(slot.key, slot.result);
+      slot.inserted = true;
+    }
+    results.push_back(slot.result.get());
+  }
+
+  JsonValue response = JsonValue::Object();
+  if (!unit_error.empty()) {
+    ++stats_.errors;
+    response.Set("id", request.id)
+        .Set("line", request.line)
+        .Set("error", unit_error);
+  } else {
+    ++stats_.ok;
+    response.Set("id", request.id)
+        .Set("op", OpName(request.request.op))
+        .Set("result", ComposeResponse(request.request, results));
+  }
+  out << response.ToString() << "\n";
+}
+
+void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
+                                bool streaming) {
+  std::string line;
+  int line_number = 0;
+  if (streaming) {
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (IsBlank(line)) continue;
+      std::unique_ptr<PendingRequest> request = PlanLine(line, line_number);
+      EmitRequest(*request, out);
+      out.flush();
+      in_flight_.clear();
+    }
+    return;
+  }
+
+  std::vector<std::unique_ptr<PendingRequest>> planned;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsBlank(line)) continue;
+    planned.push_back(PlanLine(line, line_number));
+  }
+  in_flight_.clear();  // emission takes over; new batches plan afresh
+
+  if (!options_.unordered) {
+    for (const std::unique_ptr<PendingRequest>& request : planned) {
+      EmitRequest(*request, out);
+    }
+    return;
+  }
+
+  // Unordered: emit each request as soon as its last unit completes.
+  auto ready = [](const PendingRequest& request) {
+    if (!request.parse_error.empty()) return true;
+    for (const PendingRequest::UnitRef& ref : request.units) {
+      if (ref.pending && !ref.pending->done) return false;
+    }
+    return true;
+  };
+  std::vector<bool> emitted(planned.size(), false);
+  std::size_t remaining = planned.size();
+  while (remaining > 0) {
+    std::size_t next = planned.size();
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&] {
+        for (std::size_t i = 0; i < planned.size(); ++i) {
+          if (!emitted[i] && ready(*planned[i])) {
+            next = i;
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+    EmitRequest(*planned[next], out);
+    emitted[next] = true;
+    --remaining;
+  }
+}
+
+void BatchEngine::RunBatch(std::istream& in, std::ostream& out) {
+  ProcessStream(in, out, /*streaming=*/false);
+}
+
+void BatchEngine::Serve(std::istream& in, std::ostream& out) {
+  ProcessStream(in, out, /*streaming=*/true);
+}
+
+void BatchEngine::WriteStatsLine(std::ostream& out) const {
+  out << stats_.ToJson(cache_).ToString() << "\n";
+}
+
+}  // namespace sparsedet::engine

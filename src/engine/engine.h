@@ -1,0 +1,106 @@
+// Batch evaluation engine: JSONL requests in, JSONL results out.
+//
+// The engine reads one JSON request per line (see request.h for the
+// schema), expands each into cacheable work units, deduplicates units
+// against a bounded LRU result cache *and* against identical units already
+// in flight, evaluates the remainder on a persistent worker pool, and
+// emits exactly one JSON response line per input line.
+//
+// Determinism contract (ordered mode, the default):
+//   * responses appear in input order;
+//   * every cache lookup and insertion happens on the coordinator thread
+//     in input order, so the hit/miss/eviction counters — and the entire
+//     output stream including the final stats line — are byte-identical
+//     across worker-thread counts.
+// Unordered mode trades that for latency: responses are emitted as soon as
+// they complete (each tagged with its request id), and the stats counters
+// remain deterministic but line order does not.
+//
+// Per-request error isolation: a malformed line or an invalid scenario
+// yields one {"id": ..., "error": ...} line; the engine itself never
+// throws for bad input and keeps processing the stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "engine/cache.h"
+#include "engine/worker_pool.h"
+
+namespace sparsedet::engine {
+
+struct EngineOptions {
+  std::size_t threads = 0;  // worker threads; 0 = hardware concurrency
+  std::size_t cache_capacity = 4096;  // LRU entries; 0 disables the cache
+  bool unordered = false;  // emit completions immediately, tagged by id
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t units = 0;      // work units after sweep expansion
+  std::uint64_t coalesced = 0;  // units joined to an identical in-flight unit
+
+  // {"stats": {..., "cache": {...}}} — the final line batch mode emits.
+  JsonValue ToJson(const LruResultCache& cache) const;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(const EngineOptions& options);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  // Drains `in`: plans every line, then emits every response. The cache
+  // and cumulative stats persist across calls, so a second pass over the
+  // same input reports hits instead of recomputing.
+  void RunBatch(std::istream& in, std::ostream& out);
+
+  // Long-running loop: one request line in, one response line out
+  // (flushed), until EOF. Sweeps still fan out across the pool.
+  void Serve(std::istream& in, std::ostream& out);
+
+  // Appends the {"stats": ...} line to `out`.
+  void WriteStatsLine(std::ostream& out) const;
+
+  const EngineStats& stats() const { return stats_; }
+  const LruResultCache& cache() const { return cache_; }
+
+ private:
+  struct PendingUnit;
+  struct PendingRequest;
+
+  // Parses + plans one input line into a pending request, submitting any
+  // newly needed evaluations to the pool. Coordinator thread only.
+  std::unique_ptr<PendingRequest> PlanLine(const std::string& line,
+                                           int line_number);
+  // Blocks until the request's units are done, then writes its response
+  // line and inserts newly computed results into the cache.
+  void EmitRequest(PendingRequest& request, std::ostream& out);
+  void ProcessStream(std::istream& in, std::ostream& out, bool streaming);
+
+  EngineOptions options_;
+  LruResultCache cache_;
+  WorkerPool pool_;
+  EngineStats stats_;
+
+  // Units planned but not yet handed to emission, keyed by canonical key;
+  // identical units join the same slot instead of recomputing.
+  std::unordered_map<std::string, std::shared_ptr<PendingUnit>> in_flight_;
+
+  // Completion signalling shared by all units.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace sparsedet::engine

@@ -1,0 +1,506 @@
+#include "engine/request.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numbers>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/analysis.h"
+#include "core/false_alarm_model.h"
+#include "core/latency.h"
+#include "sim/monte_carlo.h"
+
+namespace sparsedet::engine {
+namespace {
+
+// Maximum points one sweep may expand into; guards serve mode against a
+// request that would enqueue unbounded work.
+constexpr std::size_t kMaxSweepPoints = 100000;
+
+[[noreturn]] void FailKey(const std::string& section, const std::string& key,
+                          const std::string& message) {
+  std::ostringstream os;
+  os << "request field \"" << (section.empty() ? key : section + "." + key)
+     << "\": " << message;
+  throw InvalidArgument(os.str());
+}
+
+// Strict typed field extraction. Every section lists its allowed keys via
+// CheckKeys so a typo is named instead of silently ignored.
+void CheckKeys(const JsonValue& obj, const std::string& section,
+               const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : obj.Fields()) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << "unknown request field \""
+         << (section.empty() ? key : section + "." + key) << "\"";
+      throw InvalidArgument(os.str());
+    }
+  }
+}
+
+double GetNumber(const JsonValue& obj, const std::string& section,
+                 const std::string& key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailKey(section, key, "expected a number");
+  return v->AsDouble();
+}
+
+int GetInt(const JsonValue& obj, const std::string& section,
+           const std::string& key, int fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailKey(section, key, "expected an integer");
+  const double d = v->AsDouble();
+  if (d != std::floor(d) || d < std::numeric_limits<int>::min() ||
+      d > std::numeric_limits<int>::max()) {
+    FailKey(section, key, "expected an integer");
+  }
+  return static_cast<int>(d);
+}
+
+bool GetBool(const JsonValue& obj, const std::string& section,
+             const std::string& key, bool fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) FailKey(section, key, "expected true or false");
+  return v->AsBool();
+}
+
+std::string GetString(const JsonValue& obj, const std::string& section,
+                      const std::string& key, const std::string& fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) FailKey(section, key, "expected a string");
+  return v->AsString();
+}
+
+SystemParams ParseParams(const JsonValue& obj) {
+  CheckKeys(obj, "params",
+            {"field_width", "field_height", "nodes", "rs", "rc", "pd",
+             "period", "speed", "window", "k"});
+  SystemParams p = SystemParams::OnrDefaults();
+  p.field_width = GetNumber(obj, "params", "field_width", p.field_width);
+  p.field_height = GetNumber(obj, "params", "field_height", p.field_height);
+  p.num_nodes = GetInt(obj, "params", "nodes", p.num_nodes);
+  p.sensing_range = GetNumber(obj, "params", "rs", p.sensing_range);
+  p.comm_range = GetNumber(obj, "params", "rc", p.comm_range);
+  p.detect_prob = GetNumber(obj, "params", "pd", p.detect_prob);
+  p.period_length = GetNumber(obj, "params", "period", p.period_length);
+  p.target_speed = GetNumber(obj, "params", "speed", p.target_speed);
+  p.window_periods = GetInt(obj, "params", "window", p.window_periods);
+  p.threshold_reports = GetInt(obj, "params", "k", p.threshold_reports);
+  return p;
+}
+
+MsApproachOptions ParseOptions(const JsonValue& obj) {
+  CheckKeys(obj, "options", {"gh", "g", "normalize", "reliability"});
+  MsApproachOptions o;
+  o.gh = GetInt(obj, "options", "gh", o.gh);
+  o.g = GetInt(obj, "options", "g", o.g);
+  o.normalize = GetBool(obj, "options", "normalize", o.normalize);
+  o.node_reliability =
+      GetNumber(obj, "options", "reliability", o.node_reliability);
+  return o;
+}
+
+SimulateSpec ParseSim(const JsonValue& obj) {
+  CheckKeys(obj, "sim",
+            {"trials", "seed", "pf", "reliability", "h", "motion",
+             "geometry"});
+  SimulateSpec s;
+  s.trials = GetInt(obj, "sim", "trials", s.trials);
+  const double seed =
+      GetNumber(obj, "sim", "seed", static_cast<double>(s.seed));
+  if (seed < 0 || seed != std::floor(seed)) {
+    FailKey("sim", "seed", "expected a non-negative integer");
+  }
+  s.seed = static_cast<std::uint64_t>(seed);
+  s.false_alarm_prob = GetNumber(obj, "sim", "pf", s.false_alarm_prob);
+  s.node_reliability =
+      GetNumber(obj, "sim", "reliability", s.node_reliability);
+  s.distinct_nodes = GetInt(obj, "sim", "h", s.distinct_nodes);
+  s.motion = GetString(obj, "sim", "motion", s.motion);
+  s.geometry = GetString(obj, "sim", "geometry", s.geometry);
+  if (s.trials < 1) FailKey("sim", "trials", "expected >= 1");
+  if (s.distinct_nodes < 1) FailKey("sim", "h", "expected >= 1");
+  if (s.motion != "straight" && s.motion != "random-walk") {
+    FailKey("sim", "motion", "expected \"straight\" or \"random-walk\"");
+  }
+  if (s.geometry != "toroidal" && s.geometry != "planar") {
+    FailKey("sim", "geometry", "expected \"toroidal\" or \"planar\"");
+  }
+  return s;
+}
+
+SweepSpec ParseSweep(const JsonValue& obj) {
+  CheckKeys(obj, "sweep", {"param", "from", "to", "step"});
+  SweepSpec s;
+  s.param = GetString(obj, "sweep", "param", s.param);
+  s.from = GetNumber(obj, "sweep", "from", s.from);
+  s.to = GetNumber(obj, "sweep", "to", s.to);
+  s.step = GetNumber(obj, "sweep", "step", s.step);
+  if (s.param != "nodes" && s.param != "speed" && s.param != "k" &&
+      s.param != "window" && s.param != "rs" && s.param != "pd") {
+    FailKey("sweep", "param",
+            "expected one of nodes | speed | k | window | rs | pd");
+  }
+  if (!(s.step > 0.0)) FailKey("sweep", "step", "expected > 0");
+  if (s.to < s.from) FailKey("sweep", "to", "expected >= sweep.from");
+  return s;
+}
+
+FaSpec ParseFa(const JsonValue& obj) {
+  CheckKeys(obj, "fa", {"pf", "max_k"});
+  FaSpec f;
+  f.false_alarm_prob = GetNumber(obj, "fa", "pf", f.false_alarm_prob);
+  f.max_k = GetInt(obj, "fa", "max_k", f.max_k);
+  if (f.false_alarm_prob < 0.0 || f.false_alarm_prob > 1.0) {
+    FailKey("fa", "pf", "expected in [0, 1]");
+  }
+  if (f.max_k < 1) FailKey("fa", "max_k", "expected >= 1");
+  return f;
+}
+
+void ApplySweepValue(SystemParams& p, const std::string& param,
+                     double value) {
+  if (param == "nodes") {
+    p.num_nodes = static_cast<int>(value);
+  } else if (param == "speed") {
+    p.target_speed = value;
+  } else if (param == "k") {
+    p.threshold_reports = static_cast<int>(value);
+  } else if (param == "window") {
+    p.window_periods = static_cast<int>(value);
+  } else if (param == "rs") {
+    p.sensing_range = value;
+  } else {
+    SPARSEDET_CHECK(param == "pd", "unexpected sweep param " + param);
+    p.detect_prob = value;
+  }
+}
+
+// Shortest-round-trip number formatting, shared with the serializer so the
+// cache key for nodes=10 and nodes=10.0 is identical.
+std::string Num(double d) { return JsonValue(d).ToString(); }
+
+void AppendScenarioKey(std::ostream& os, const SystemParams& p) {
+  os << "|W=" << Num(p.field_width) << "|H=" << Num(p.field_height)
+     << "|N=" << p.num_nodes << "|Rs=" << Num(p.sensing_range)
+     << "|Rc=" << Num(p.comm_range) << "|Pd=" << Num(p.detect_prob)
+     << "|t=" << Num(p.period_length) << "|V=" << Num(p.target_speed)
+     << "|M=" << p.window_periods << "|k=" << p.threshold_reports;
+}
+
+void AppendOptionsKey(std::ostream& os, const MsApproachOptions& o) {
+  os << "|gh=" << o.gh << "|g=" << o.g << "|norm=" << (o.normalize ? 1 : 0)
+     << "|rel=" << Num(o.node_reliability);
+}
+
+JsonValue AnalyzeToJson(const SystemParams& params,
+                        const ScenarioReport& report) {
+  JsonValue json = JsonValue::Object();
+  json.Set("nodes", params.num_nodes)
+      .Set("speed_mps", params.target_speed)
+      .Set("k", params.threshold_reports)
+      .Set("window_periods", params.window_periods)
+      .Set("ms", report.ms)
+      .Set("detection_probability", report.detection_probability)
+      .Set("exact_detection_probability", report.exact_detection_probability)
+      .Set("unnormalized_detection_probability",
+           report.unnormalized_detection_probability)
+      .Set("predicted_accuracy", report.predicted_accuracy)
+      .Set("single_period_detection", report.single_period_detection)
+      .Set("instantaneous_detection", report.instantaneous_detection)
+      .Set("required_gh_99", report.required_caps_99.gh)
+      .Set("required_g_99", report.required_caps_99.g)
+      .Set("ms_states", report.ms_states)
+      .Set("t_approach_states", report.t_approach_states);
+  return json;
+}
+
+}  // namespace
+
+std::string OpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kAnalyze:
+      return "analyze";
+    case RequestOp::kSimulate:
+      return "simulate";
+    case RequestOp::kSweep:
+      return "sweep";
+    case RequestOp::kLatency:
+      return "latency";
+    case RequestOp::kFa:
+      return "fa";
+  }
+  return "?";
+}
+
+Request ParseRequest(const JsonValue& json, int default_id) {
+  SPARSEDET_REQUIRE(json.is_object(), "request must be a JSON object");
+  CheckKeys(json, "", {"id", "op", "params", "options", "sim", "sweep", "fa"});
+
+  Request request;
+  if (const JsonValue* id = json.Find("id")) {
+    if (!id->is_string() && !id->is_number()) {
+      FailKey("", "id", "expected a string or number");
+    }
+    request.id = *id;
+  } else {
+    request.id = JsonValue(default_id);
+  }
+
+  const JsonValue* op = json.Find("op");
+  if (op == nullptr) FailKey("", "op", "required field is missing");
+  if (!op->is_string()) FailKey("", "op", "expected a string");
+  const std::string& name = op->AsString();
+  if (name == "analyze") {
+    request.op = RequestOp::kAnalyze;
+  } else if (name == "simulate") {
+    request.op = RequestOp::kSimulate;
+  } else if (name == "sweep") {
+    request.op = RequestOp::kSweep;
+  } else if (name == "latency") {
+    request.op = RequestOp::kLatency;
+  } else if (name == "fa") {
+    request.op = RequestOp::kFa;
+  } else {
+    FailKey("", "op",
+            "expected one of analyze | simulate | sweep | latency | fa");
+  }
+
+  auto section = [&](const char* key, bool allowed) -> const JsonValue* {
+    const JsonValue* v = json.Find(key);
+    if (v == nullptr) return nullptr;
+    if (!allowed) {
+      FailKey("", key, "not valid for op \"" + name + "\"");
+    }
+    if (!v->is_object()) FailKey("", key, "expected an object");
+    return v;
+  };
+
+  if (const JsonValue* params = section("params", true)) {
+    request.params = ParseParams(*params);
+  }
+  const bool analytic = request.op == RequestOp::kAnalyze ||
+                        request.op == RequestOp::kSweep ||
+                        request.op == RequestOp::kLatency;
+  if (const JsonValue* options = section("options", analytic)) {
+    request.options = ParseOptions(*options);
+  }
+  if (const JsonValue* sim =
+          section("sim", request.op == RequestOp::kSimulate)) {
+    request.sim = ParseSim(*sim);
+  }
+  if (const JsonValue* sweep =
+          section("sweep", request.op == RequestOp::kSweep)) {
+    request.sweep = ParseSweep(*sweep);
+  }
+  if (const JsonValue* fa = section("fa", request.op == RequestOp::kFa)) {
+    request.fa = ParseFa(*fa);
+  }
+
+  request.params.Validate();
+  if (request.op == RequestOp::kSweep) {
+    SweepValues(request.sweep);  // validates the grid size
+  }
+  return request;
+}
+
+std::vector<double> SweepValues(const SweepSpec& spec) {
+  std::vector<double> values;
+  for (double value = spec.from; value <= spec.to + 1e-9;
+       value += spec.step) {
+    values.push_back(value);
+    SPARSEDET_REQUIRE(values.size() <= kMaxSweepPoints,
+                      "sweep expands to too many points");
+  }
+  return values;
+}
+
+std::vector<WorkUnit> ExpandRequest(const Request& request) {
+  std::vector<WorkUnit> units;
+  if (request.op == RequestOp::kSweep) {
+    for (double value : SweepValues(request.sweep)) {
+      WorkUnit unit;
+      unit.op = RequestOp::kSweep;
+      unit.sweep_point = true;
+      unit.params = request.params;
+      ApplySweepValue(unit.params, request.sweep.param, value);
+      unit.options = request.options;
+      units.push_back(std::move(unit));
+    }
+    return units;
+  }
+  WorkUnit unit;
+  unit.op = request.op;
+  unit.params = request.params;
+  unit.options = request.options;
+  unit.sim = request.sim;
+  unit.fa = request.fa;
+  units.push_back(std::move(unit));
+  return units;
+}
+
+std::string CanonicalKey(const WorkUnit& unit) {
+  std::ostringstream os;
+  switch (unit.op) {
+    case RequestOp::kAnalyze:
+      os << "analyze";
+      AppendScenarioKey(os, unit.params);
+      AppendOptionsKey(os, unit.options);
+      break;
+    case RequestOp::kSweep:  // one sweep point
+      os << "point";
+      AppendScenarioKey(os, unit.params);
+      AppendOptionsKey(os, unit.options);
+      break;
+    case RequestOp::kLatency:
+      os << "latency";
+      AppendScenarioKey(os, unit.params);
+      AppendOptionsKey(os, unit.options);
+      break;
+    case RequestOp::kFa:
+      os << "fa";
+      AppendScenarioKey(os, unit.params);
+      os << "|pf=" << Num(unit.fa.false_alarm_prob)
+         << "|maxk=" << unit.fa.max_k;
+      break;
+    case RequestOp::kSimulate:
+      os << "sim";
+      AppendScenarioKey(os, unit.params);
+      os << "|trials=" << unit.sim.trials << "|seed=" << unit.sim.seed
+         << "|pf=" << Num(unit.sim.false_alarm_prob)
+         << "|srel=" << Num(unit.sim.node_reliability)
+         << "|h=" << unit.sim.distinct_nodes << "|motion=" << unit.sim.motion
+         << "|geom=" << unit.sim.geometry;
+      break;
+  }
+  return os.str();
+}
+
+JsonValue EvaluateUnit(const WorkUnit& unit) {
+  switch (unit.op) {
+    case RequestOp::kAnalyze: {
+      const ScenarioReport report = AnalyzeScenario(unit.params, unit.options);
+      return AnalyzeToJson(unit.params, report);
+    }
+    case RequestOp::kSweep: {
+      JsonValue json = JsonValue::Object();
+      json.Set("detection_probability",
+               MsApproachAnalyze(unit.params, unit.options)
+                   .detection_probability);
+      return json;
+    }
+    case RequestOp::kLatency: {
+      const LatencyDistribution latency =
+          DetectionLatency(unit.params, unit.options);
+      JsonValue cdf = JsonValue::Array();
+      for (double p : latency.cdf) cdf.Append(p);
+      JsonValue json = JsonValue::Object();
+      json.Set("first_valid_prefix", latency.first_valid_prefix)
+          .Set("cdf", std::move(cdf));
+      if (!latency.cdf.empty() && latency.cdf.back() > 0.0) {
+        json.Set("mean_conditional_latency",
+                 latency.MeanConditionalLatency())
+            .Set("conditional_p90", latency.ConditionalQuantile(0.9));
+      } else {
+        json.Set("mean_conditional_latency", JsonValue())
+            .Set("conditional_p90", JsonValue());
+      }
+      return json;
+    }
+    case RequestOp::kFa: {
+      SystemParams params = unit.params;
+      JsonValue thresholds = JsonValue::Array();
+      for (int k = 1; k <= unit.fa.max_k; ++k) {
+        params.threshold_reports = k;
+        JsonValue row = JsonValue::Object();
+        row.Set("k", k).Set(
+            "count_only",
+            CountOnlySystemFaProbability(params, unit.fa.false_alarm_prob));
+        thresholds.Append(std::move(row));
+      }
+      JsonValue json = JsonValue::Object();
+      json.Set("expected_false_reports",
+               ExpectedFalseReportsPerWindow(unit.params,
+                                             unit.fa.false_alarm_prob))
+          .Set("thresholds", std::move(thresholds));
+      return json;
+    }
+    case RequestOp::kSimulate: {
+      TrialConfig config;
+      config.params = unit.params;
+      config.false_alarm_prob = unit.sim.false_alarm_prob;
+      config.node_reliability = unit.sim.node_reliability;
+      config.geometry = unit.sim.geometry == "planar"
+                            ? SensingGeometry::kPlanar
+                            : SensingGeometry::kToroidal;
+      std::unique_ptr<MotionModel> model;
+      if (unit.sim.motion == "random-walk") {
+        model = std::make_unique<RandomWalkMotion>(std::numbers::pi / 4.0);
+      } else {
+        model = std::make_unique<StraightLineMotion>();
+      }
+      config.motion = model.get();
+
+      MonteCarloOptions mc;
+      mc.trials = unit.sim.trials;
+      mc.seed = unit.sim.seed;
+      // The pool is the only parallelism: trials run inline so concurrent
+      // simulate units do not oversubscribe the machine. Estimates are
+      // bit-identical regardless (per-trial RNG substreams).
+      mc.threads = 1;
+      const ProportionEstimate est =
+          unit.sim.distinct_nodes > 1
+              ? EstimateKNodeDetectionProbability(config,
+                                                  unit.sim.distinct_nodes, mc)
+              : EstimateDetectionProbability(config, mc);
+      JsonValue json = JsonValue::Object();
+      json.Set("trials", est.trials)
+          .Set("detections", est.successes)
+          .Set("detection_probability", est.point)
+          .Set("ci_lo", est.lo)
+          .Set("ci_hi", est.hi);
+      return json;
+    }
+  }
+  throw InternalError("unhandled work unit op");
+}
+
+JsonValue ComposeResponse(const Request& request,
+                          const std::vector<const JsonValue*>& unit_results) {
+  SPARSEDET_CHECK(!unit_results.empty(), "request composed with no units");
+  if (request.op != RequestOp::kSweep) {
+    SPARSEDET_CHECK(unit_results.size() == 1,
+                    "non-sweep request must have exactly one unit");
+    return *unit_results[0];
+  }
+  const std::vector<double> values = SweepValues(request.sweep);
+  SPARSEDET_CHECK(values.size() == unit_results.size(),
+                  "sweep unit count mismatch");
+  JsonValue points = JsonValue::Array();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    JsonValue point = JsonValue::Object();
+    point.Set("value", values[i])
+        .Set("detection_probability",
+             *unit_results[i]->Find("detection_probability"));
+    points.Append(std::move(point));
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("param", request.sweep.param).Set("points", std::move(points));
+  return json;
+}
+
+}  // namespace sparsedet::engine

@@ -1,0 +1,110 @@
+// The batch-engine request protocol.
+//
+// One request per JSONL line:
+//
+//   {"id": "a1", "op": "analyze",
+//    "params":  {"nodes": 240, "speed": 10, ...},        // scenario
+//    "options": {"gh": 3, "g": 3, "normalize": true, "reliability": 1}}
+//
+// Ops: analyze | simulate | sweep | latency | fa. Op-specific sections:
+//   "sim":   {"trials", "seed", "pf", "reliability", "h", "motion",
+//             "geometry"}                                (op = simulate)
+//   "sweep": {"param", "from", "to", "step"}             (op = sweep)
+//   "fa":    {"pf", "max_k"}                             (op = fa)
+//
+// Parsing is strict: unknown keys, wrong types and out-of-domain scenario
+// parameters are all rejected with a message naming the offending key, so
+// a typo never silently evaluates the default scenario (mirroring the
+// FlagParser contract on the CLI side).
+//
+// A request expands into one or more *work units* — the engine's unit of
+// evaluation, deduplication and caching. analyze/simulate/latency/fa are
+// one unit each; a sweep becomes one unit per grid point, so overlapping
+// sweeps share point evaluations through the cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/ms_approach.h"
+#include "core/params.h"
+
+namespace sparsedet::engine {
+
+enum class RequestOp { kAnalyze, kSimulate, kSweep, kLatency, kFa };
+
+// Returns "analyze", "simulate", ...
+std::string OpName(RequestOp op);
+
+struct SimulateSpec {
+  int trials = 10000;
+  std::uint64_t seed = 20080617;
+  double false_alarm_prob = 0.0;
+  double node_reliability = 1.0;
+  int distinct_nodes = 1;  // "h": reports must come from >= h distinct nodes
+  std::string motion = "straight";     // straight | random-walk
+  std::string geometry = "toroidal";   // toroidal | planar
+};
+
+struct SweepSpec {
+  std::string param = "nodes";  // nodes | speed | k | window | rs | pd
+  double from = 60.0;
+  double to = 240.0;
+  double step = 20.0;
+};
+
+struct FaSpec {
+  double false_alarm_prob = 1e-3;
+  int max_k = 8;
+};
+
+struct Request {
+  JsonValue id;  // echoed verbatim in the response (string or number)
+  RequestOp op = RequestOp::kAnalyze;
+  SystemParams params;
+  MsApproachOptions options;
+  SimulateSpec sim;
+  SweepSpec sweep;
+  FaSpec fa;
+};
+
+// Parses and validates one request object. `default_id` is used when the
+// request carries no "id" field (the engine passes the 1-based input line
+// number). Throws InvalidArgument with a key-specific message.
+Request ParseRequest(const JsonValue& json, int default_id);
+
+// A single cacheable evaluation. For op == kSweep this is one grid point
+// (params carry the applied sweep value); other ops evaluate whole.
+struct WorkUnit {
+  RequestOp op = RequestOp::kAnalyze;
+  bool sweep_point = false;  // true: evaluate detection probability only
+  SystemParams params;
+  MsApproachOptions options;
+  SimulateSpec sim;
+  FaSpec fa;
+};
+
+// The sweep grid: from, from + step, ... up to `to` (inclusive, with the
+// same epsilon the CLI sweep uses).
+std::vector<double> SweepValues(const SweepSpec& spec);
+
+// Expands a request into its work units (>= 1, in deterministic order).
+std::vector<WorkUnit> ExpandRequest(const Request& request);
+
+// Canonical cache key: a stable string over every parameter the unit's
+// result depends on, with shortest-round-trip number formatting so 10 and
+// 10.0 canonicalize identically.
+std::string CanonicalKey(const WorkUnit& unit);
+
+// Evaluates one unit against core/sim. Pure: no shared state, safe to call
+// concurrently from pool workers. Throws sparsedet::Error on invalid
+// scenarios (the engine converts that into a per-request error line).
+JsonValue EvaluateUnit(const WorkUnit& unit);
+
+// Reassembles the response body from the unit results, in unit order.
+JsonValue ComposeResponse(const Request& request,
+                          const std::vector<const JsonValue*>& unit_results);
+
+}  // namespace sparsedet::engine

@@ -1,0 +1,53 @@
+// Persistent worker pool with a shared task queue.
+//
+// Unlike ParallelFor (which spawns one thread per call and partitions a
+// fixed index range), the pool keeps its workers alive for the engine's
+// lifetime and feeds them independent tasks as they arrive — the right
+// shape for a stream of heterogeneous requests where one expensive
+// simulate must not serialize a thousand cheap analyzes behind it.
+//
+// Tasks must not throw: the engine wraps every evaluation in its own
+// try/catch and records failures in the task's result slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparsedet::engine {
+
+class WorkerPool {
+ public:
+  // Spawns `threads` workers; 0 picks DefaultThreadCount().
+  explicit WorkerPool(std::size_t threads);
+  // Drains the queue, then joins every worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues a task; a worker picks it up as soon as one is free.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t active_tasks_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sparsedet::engine

@@ -1,3 +1,5 @@
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -253,6 +255,162 @@ TEST(Cli, SimulateKNodeRule) {
   RunCli({"simulate", "--trials", "400", "--h", "1"}, out1, err);
   RunCli({"simulate", "--trials", "400", "--h", "4"}, out2, err);
   EXPECT_NE(out1, out2);  // stricter rule must change the count
+}
+
+// ---- Hardening: every malformed invocation must fail loudly ---------------
+
+TEST(Cli, MalformedFlagValuesDiagnoseAndFailPerCommand) {
+  const std::vector<std::vector<const char*>> cases = {
+      {"simulate", "--trials", "abc"},
+      {"simulate", "--motion", "teleport"},
+      {"simulate", "--geometry", "spherical"},
+      {"sweep", "--step", "0"},
+      {"sweep", "--from", "100", "--to", "50"},
+      {"fa", "--max-k", "many"},
+      {"plan", "--target-detection", "1.5"},
+      {"latency", "--window", "oops"},
+      {"trace", "--seed", "x"},
+      {"batch", "--passes", "0"},
+      {"batch", "--threads", "lots"},
+      {"serve", "--cache-capacity", "big"},
+  };
+  for (const std::vector<const char*>& argv : cases) {
+    std::string out;
+    std::string err;
+    const int code = RunCli(argv, out, err);
+    EXPECT_EQ(code, 2) << "argv[0]=" << argv[0] << " err=" << err;
+    EXPECT_NE(err.find("error:"), std::string::npos) << "argv[0]=" << argv[0];
+  }
+}
+
+TEST(Cli, UnknownFlagFailsForEveryCommand) {
+  for (const char* command :
+       {"analyze", "simulate", "plan", "fa", "sweep", "latency", "trace",
+        "batch", "serve"}) {
+    std::string out;
+    std::string err;
+    const int code = RunCli({command, "--no-such-flag", "1"}, out, err);
+    EXPECT_EQ(code, 2) << command;
+    EXPECT_NE(err.find("unknown flag"), std::string::npos) << command;
+  }
+}
+
+TEST(Cli, UsageMentionsBatchAndServe) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunCli({"help"}, out, err), 0);
+  EXPECT_NE(out.find("batch"), std::string::npos);
+  EXPECT_NE(out.find("serve"), std::string::npos);
+}
+
+// ---- batch / serve --------------------------------------------------------
+
+class CliBatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteRequests(const std::string& text) {
+    std::ofstream file(path_);
+    file << text;
+  }
+
+  int RunBatch(std::vector<const char*> extra, std::string& out_text,
+               std::string& err_text) {
+    std::vector<std::string> args = {"--input", path_};
+    for (const char* a : extra) args.emplace_back(a);
+    std::istringstream in;
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = cli::CmdBatch(args, in, out, err);
+    out_text = out.str();
+    err_text = err.str();
+    return code;
+  }
+
+  // Per-test path: ctest may run cases from this fixture in parallel
+  // processes, so a shared fixed name would race.
+  const std::string path_ =
+      std::string("/tmp/sparsedet_cli_batch_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".jsonl";
+};
+
+TEST_F(CliBatchTest, EvaluatesFileAndEmitsStatsLine) {
+  WriteRequests(
+      R"({"id": "a", "op": "analyze", "params": {"nodes": 240}})"
+      "\n"
+      R"({"id": "b", "op": "analyze", "params": {"nodes": 240}})"
+      "\n");
+  std::string out;
+  std::string err;
+  const int code = RunBatch({}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(out.find("\"detection_probability\":0.978"), std::string::npos);
+  EXPECT_NE(out.find("\"stats\":"), std::string::npos);
+  EXPECT_NE(out.find("\"coalesced\":1"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, SecondPassReportsCacheHits) {
+  WriteRequests(
+      R"({"op": "analyze", "params": {"nodes": 120}})"
+      "\n");
+  std::string out;
+  std::string err;
+  const int code = RunBatch({"--passes", "2"}, out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("\"hits\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"misses\":1"), std::string::npos) << out;
+}
+
+TEST_F(CliBatchTest, ThreadCountDoesNotChangeOutput) {
+  WriteRequests(
+      R"({"op": "sweep", "sweep": {"param": "nodes", "from": 60, "to": 180, "step": 40}})"
+      "\n"
+      R"({"op": "latency"})"
+      "\n"
+      R"({"op": "analyze", "params": {"nodes": 90}})"
+      "\n");
+  std::string out1, out8, err;
+  EXPECT_EQ(RunBatch({"--threads", "1"}, out1, err), 0) << err;
+  EXPECT_EQ(RunBatch({"--threads", "8"}, out8, err), 0) << err;
+  EXPECT_EQ(out1, out8);
+}
+
+TEST_F(CliBatchTest, MissingInputFileIsUserError) {
+  std::string out;
+  std::string err;
+  std::istringstream in;
+  std::ostringstream os_out, os_err;
+  const int code = cli::CmdBatch({"--input", "/nonexistent/nope.jsonl"}, in,
+                                 os_out, os_err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(os_err.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, PassesOverStdinRejected) {
+  std::istringstream in;
+  std::ostringstream out, err;
+  const int code = cli::CmdBatch({"--passes", "2"}, in, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.str().find("seekable"), std::string::npos);
+}
+
+TEST(CliServe, AnswersRequestsFromStreamWithErrorIsolation) {
+  std::istringstream in(
+      R"({"id": 1, "op": "analyze", "params": {"nodes": 100}})"
+      "\n"
+      "not json\n"
+      R"({"id": 3, "op": "analyze", "params": {"nodes": 100}})"
+      "\n");
+  std::ostringstream out, err;
+  const int code = cli::CmdServe({"--stats", "true"}, in, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  int lines = 0;
+  for (char c : out.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);  // 2 results + 1 error + stats
+  EXPECT_NE(out.str().find("\"error\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"hits\":1"), std::string::npos);
 }
 
 }  // namespace

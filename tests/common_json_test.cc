@@ -83,5 +83,135 @@ TEST(Json, EmptyContainers) {
   EXPECT_EQ(JsonValue::Object().ToString(), "{}");
 }
 
+// ---- Parser ---------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null").is_null());
+  EXPECT_TRUE(ParseJson("true").AsBool());
+  EXPECT_FALSE(ParseJson("false").AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42").AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-0.5").AsDouble(), -0.5);
+  EXPECT_DOUBLE_EQ(ParseJson("1.25e2").AsDouble(), 125.0);
+  EXPECT_DOUBLE_EQ(ParseJson("2E-3").AsDouble(), 0.002);
+  EXPECT_EQ(ParseJson("\"hi\"").AsString(), "hi");
+  EXPECT_TRUE(ParseJson("  [1, 2]  ").is_array());
+}
+
+TEST(JsonParse, ContainersAndAccessors) {
+  const JsonValue v = ParseJson(R"({"a": [1, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Size(), 2u);
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->Size(), 2u);
+  EXPECT_DOUBLE_EQ(a->At(0).AsDouble(), 1.0);
+  EXPECT_TRUE(a->At(1).Find("b")->AsBool());
+  EXPECT_TRUE(v.Find("c")->is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, SerializeParseRoundTripIsIdentity) {
+  // parse(serialize(v)) must serialize back to the same bytes.
+  JsonValue inner = JsonValue::Object();
+  inner.Set("p", 0.9781389029463922).Set("n", 240).Set("tag", "a\"b\\c\nd");
+  JsonValue v = JsonValue::Array();
+  v.Append(std::move(inner)).Append(JsonValue()).Append(true).Append(-1e-12);
+  const std::string first = v.ToString();
+  const std::string second = ParseJson(first).ToString();
+  EXPECT_EQ(first, second);
+  const std::string third = ParseJson(second).ToString();
+  EXPECT_EQ(second, third);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n\t\r\b\f")").AsString(),
+            "a\"b\\c/d\n\t\r\b\f");
+  // \u escape decodes to UTF-8 (U+00E9).
+  EXPECT_EQ(ParseJson("\"A\\u00e9\"").AsString(), "A\xC3\xA9");
+  // Surrogate pair: U+1F600 decodes to 4-byte UTF-8.
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").AsString(),
+            "\xF0\x9F\x98\x80");
+  // Escaped control characters round-trip through the serializer.
+  EXPECT_EQ(JsonValue(ParseJson("\"\\u0001\"").AsString()).ToString(),
+            "\"\\u0001\"");
+}
+
+TEST(JsonParse, RejectsNanAndInfinity) {
+  EXPECT_THROW(ParseJson("NaN"), JsonParseError);
+  EXPECT_THROW(ParseJson("nan"), JsonParseError);
+  EXPECT_THROW(ParseJson("Infinity"), JsonParseError);
+  EXPECT_THROW(ParseJson("-Infinity"), JsonParseError);
+  EXPECT_THROW(ParseJson("[1, NaN]"), JsonParseError);
+  // Numbers that overflow a double are rejected, not silently inf.
+  EXPECT_THROW(ParseJson("1e999"), JsonParseError);
+  EXPECT_THROW(ParseJson("-1e999"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_THROW(ParseJson("{} x"), JsonParseError);
+  EXPECT_THROW(ParseJson("1 2"), JsonParseError);
+  EXPECT_THROW(ParseJson("[1],"), JsonParseError);
+  EXPECT_THROW(ParseJson(""), JsonParseError);
+  EXPECT_THROW(ParseJson("   "), JsonParseError);
+}
+
+TEST(JsonParse, RejectsMalformedSyntax) {
+  EXPECT_THROW(ParseJson("{\"a\":}"), JsonParseError);
+  EXPECT_THROW(ParseJson("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(ParseJson("[1,]"), JsonParseError);
+  EXPECT_THROW(ParseJson("[1 2]"), JsonParseError);
+  EXPECT_THROW(ParseJson("{unquoted: 1}"), JsonParseError);
+  EXPECT_THROW(ParseJson("'single'"), JsonParseError);
+  EXPECT_THROW(ParseJson("\"unterminated"), JsonParseError);
+  EXPECT_THROW(ParseJson("01"), JsonParseError);
+  EXPECT_THROW(ParseJson("1."), JsonParseError);
+  EXPECT_THROW(ParseJson(".5"), JsonParseError);
+  EXPECT_THROW(ParseJson("tru"), JsonParseError);
+  EXPECT_THROW(ParseJson("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW(ParseJson("\"lone\\ud800\""), JsonParseError);
+  EXPECT_THROW(ParseJson("\"ctrl\x01\""), JsonParseError);
+  EXPECT_THROW(ParseJson(R"({"a":1,"a":2})"), JsonParseError);
+}
+
+TEST(JsonParse, ErrorsCarryUsefulPositions) {
+  try {
+    ParseJson("{\n  \"a\": tru\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 8);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  try {
+    ParseJson("[1, 2] trailing");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 8);
+    EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonParse, DepthLimitPreventsStackOverflow) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW(ParseJson(deep), JsonParseError);
+  // 200 levels is within the documented limit.
+  std::string ok(200, '[');
+  ok += "1";
+  ok += std::string(200, ']');
+  EXPECT_NO_THROW(ParseJson(ok));
+}
+
+TEST(JsonParse, AccessorTypeMisuseRejected) {
+  EXPECT_THROW(ParseJson("1").AsString(), InvalidArgument);
+  EXPECT_THROW(ParseJson("\"s\"").AsDouble(), InvalidArgument);
+  EXPECT_THROW(ParseJson("null").AsBool(), InvalidArgument);
+  EXPECT_THROW(ParseJson("[1]").Find("k"), InvalidArgument);
+  EXPECT_THROW(ParseJson("{}").At(0), InvalidArgument);
+  EXPECT_THROW(ParseJson("[1]").At(1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace sparsedet
