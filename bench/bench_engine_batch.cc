@@ -9,10 +9,13 @@
 #include <sstream>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/json.h"
 #include "common/stopwatch.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 
 using namespace sparsedet;
 
@@ -37,6 +40,7 @@ struct RunResult {
   std::string output;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  obs::RegistrySnapshot metrics;
 };
 
 RunResult RunPasses(const std::string& workload, std::size_t threads,
@@ -52,10 +56,32 @@ RunResult RunPasses(const std::string& workload, std::size_t threads,
     batch_engine.RunBatch(in, out);
     result.output = out.str();  // keep the last pass for comparison
   }
-  result.seconds = watch.ElapsedSeconds();
+  result.seconds = bench::LapSeconds(watch);
   result.hits = batch_engine.cache().counters().hits;
   result.misses = batch_engine.cache().counters().misses;
+  result.metrics = batch_engine.MetricsSnapshot();
   return result;
+}
+
+// One JSON line per config: where each request's wall time went, from the
+// engine's phase histograms (queue-wait vs solve vs serialize, summed
+// across all units/requests of the run).
+JsonValue PhaseBreakdown(const std::string& label,
+                         const obs::RegistrySnapshot& snapshot) {
+  JsonValue phases = JsonValue::Object();
+  for (const obs::RegistrySnapshot::HistogramValue& h : snapshot.histograms) {
+    if (h.name != "sparsedet_phase_duration_ns" || h.labels.empty()) continue;
+    if (h.histogram.total == 0) continue;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", static_cast<std::int64_t>(h.histogram.total))
+        .Set("sum_ns", h.histogram.sum)
+        .Set("p50_ns", h.histogram.Quantile(0.5))
+        .Set("p99_ns", h.histogram.Quantile(0.99));
+    phases.Set(h.labels.front().second, std::move(entry));
+  }
+  JsonValue line = JsonValue::Object();
+  line.Set("config", label).Set("phases", std::move(phases));
+  return line;
 }
 
 }  // namespace
@@ -71,6 +97,7 @@ int main(int argc, char** argv) {
 
   Table table({"config", "requests", "seconds", "req/s", "hits", "misses"});
   std::string reference_output;
+  std::vector<JsonValue> breakdowns;
   for (const auto& [label, threads, passes] :
        {std::tuple<const char*, std::size_t, int>{"cold, 1 thread", 1, 1},
         {"cold, hw threads", 0, 1},
@@ -83,6 +110,7 @@ int main(int argc, char** argv) {
     table.AddNumber(n * passes / run.seconds, 0);
     table.AddInt(static_cast<int>(run.hits));
     table.AddInt(static_cast<int>(run.misses));
+    breakdowns.push_back(PhaseBreakdown(label, run.metrics));
     if (reference_output.empty()) {
       reference_output = run.output;
     } else if (run.output != reference_output) {
@@ -91,5 +119,9 @@ int main(int argc, char** argv) {
     }
   }
   bench::Emit(table, argc, argv);
+  std::cout << "per-phase breakdown (engine registry):\n";
+  for (const JsonValue& line : breakdowns) {
+    std::cout << line.ToString() << "\n";
+  }
   return 0;
 }

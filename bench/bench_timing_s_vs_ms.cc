@@ -80,17 +80,18 @@ void PrintProjection() {
   probe.literal_enumeration = true;
   Stopwatch sw;
   (void)SApproachAnalyze(p, probe);
-  const double probe_seconds = sw.ElapsedSeconds();
+  // Lap() yields this phase's nanoseconds and restarts the watch, so the
+  // M-S measurement below needs no explicit Restart().
+  const double probe_seconds = static_cast<double>(sw.Lap()) * 1e-9;
   const double scale = SApproachCostModel(p.Ms(), required_g) /
                        SApproachCostModel(p.Ms(), probe.cap);
   const double projected_seconds = probe_seconds * scale;
 
-  sw.Restart();
   MsApproachOptions ms_opt;
   ms_opt.gh = ms_caps.gh;
   ms_opt.g = ms_caps.g;
   (void)MsApproachAnalyze(p, ms_opt);
-  const double ms_seconds = sw.ElapsedSeconds();
+  const double ms_seconds = static_cast<double>(sw.Lap()) * 1e-9;
 
   std::printf(
       "\n== E5: Section 3.4.5 'many days vs 1 minute' projection ==\n"

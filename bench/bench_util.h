@@ -10,9 +10,17 @@
 #include <iostream>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "common/table.h"
 
 namespace sparsedet::bench {
+
+// This lap's interval as seconds. Stopwatch::Lap() returns integer
+// nanoseconds from a monotonic clock and restarts the watch, so calling
+// this between phases partitions a run without re-reading the clock twice.
+inline double LapSeconds(Stopwatch& watch) {
+  return static_cast<double>(watch.Lap()) * 1e-9;
+}
 
 inline void PrintHeader(const std::string& experiment_id,
                         const std::string& artifact,

@@ -16,6 +16,7 @@
 #include "core/latency.h"
 #include "core/ms_approach.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "sim/trace_io.h"
 #include "detect/system_fa.h"
 #include "sim/monte_carlo.h"
@@ -388,6 +389,10 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
         "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
     options.unordered = flags.GetBool(
         "unordered", false, "emit completions immediately, tagged by id");
+    options.trace = flags.GetBool(
+        "trace", false, "attach a \"trace\" span object to response lines");
+    options.trace_file = flags.GetString(
+        "trace-file", "", "write one span JSON line per request to this file");
     const int passes =
         flags.GetInt("passes", 1, "process the input this many times");
     const bool stats =
@@ -422,6 +427,10 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
         flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
     options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
         "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+    options.trace = flags.GetBool(
+        "trace", false, "attach a \"trace\" span object to response lines");
+    options.trace_file = flags.GetString(
+        "trace-file", "", "write one span JSON line per request to this file");
     const bool stats = flags.GetBool(
         "stats", false, "emit a {\"stats\":...} line at end of stream");
     flags.Finish();
@@ -429,6 +438,71 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
     engine::BatchEngine batch_engine(options);
     batch_engine.Serve(in, out);
     if (stats) batch_engine.WriteStatsLine(out);
+    return 0;
+  });
+}
+
+int CmdMetricsDump(const std::vector<std::string>& args, std::istream& in,
+                   std::ostream& out, std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    const std::string input = flags.GetString(
+        "input", "-", "metrics snapshot JSON(L) file, or - for stdin");
+    const std::string format = flags.GetString(
+        "format", "table", "output format: table | prometheus | json");
+    flags.Finish();
+    SPARSEDET_REQUIRE(
+        format == "table" || format == "prometheus" || format == "json",
+        "--format must be table, prometheus or json");
+
+    std::ifstream file;
+    std::istream* source = &in;
+    if (input != "-") {
+      file.open(input);
+      SPARSEDET_REQUIRE(file.good(), "cannot open --input " + input);
+      source = &file;
+    }
+
+    // Accept either a bare metrics object or any enclosing object with a
+    // "metrics" key ({"cmd":"stats"} responses). Scanning every line and
+    // keeping the last match means whole serve transcripts can be piped in
+    // unfiltered.
+    JsonValue metrics;
+    bool found = false;
+    std::string line;
+    while (std::getline(*source, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      JsonValue json;
+      try {
+        json = ParseJson(line);
+      } catch (const Error&) {
+        continue;
+      }
+      if (!json.is_object()) continue;
+      if (const JsonValue* nested = json.Find("metrics");
+          nested != nullptr && nested->is_object()) {
+        metrics = *nested;
+        found = true;
+      } else if (json.Find("counters") != nullptr ||
+                 json.Find("histograms") != nullptr) {
+        metrics = json;
+        found = true;
+      }
+    }
+    SPARSEDET_REQUIRE(found,
+                      "no metrics snapshot found in " +
+                          (input == "-" ? std::string("stdin") : input));
+
+    const obs::RegistrySnapshot snapshot =
+        obs::RegistrySnapshot::FromJson(metrics);
+    if (format == "prometheus") {
+      out << snapshot.ToPrometheus();
+    } else if (format == "json") {
+      out << snapshot.ToJson().ToString() << "\n";
+    } else {
+      snapshot.ToTable().PrintText(out);
+    }
     return 0;
   });
 }
@@ -450,6 +524,7 @@ std::string Usage() {
       "  trace      export one simulated trial as CSV\n"
       "  batch      evaluate a JSONL request stream, then exit\n"
       "  serve      long-running JSONL request loop on stdin/stdout\n"
+      "  metrics-dump  render a metrics snapshot as table/Prometheus/JSON\n"
       "\n"
       "scenario flags (all commands): --field-width --field-height --nodes\n"
       "  --rs --rc --pd --period --speed --window --k\n"
@@ -460,9 +535,11 @@ std::string Usage() {
       "fa: --pf --trials --max-k\n"
       "sweep: --param --from --to --step [--trials --csv]\n"
       "batch: --input --threads --cache-capacity --unordered --passes "
-      "--stats\n"
-      "serve: --threads --cache-capacity --stats\n"
-      "(batch/serve request schema: docs/ENGINE.md)\n";
+      "--stats --trace --trace-file\n"
+      "serve: --threads --cache-capacity --stats --trace --trace-file\n"
+      "metrics-dump: --input --format\n"
+      "(batch/serve request schema: docs/ENGINE.md; metrics + spans: "
+      "docs/OBSERVABILITY.md)\n";
 }
 
 int Run(int argc, const char* const* argv, std::ostream& out,
@@ -484,6 +561,9 @@ int Run(int argc, const char* const* argv, std::ostream& out,
   if (command == "trace") return CmdTrace(args, out, err);
   if (command == "batch") return CmdBatch(args, std::cin, out, err);
   if (command == "serve") return CmdServe(args, std::cin, out, err);
+  if (command == "metrics-dump") {
+    return CmdMetricsDump(args, std::cin, out, err);
+  }
   if (command == "help" || command == "--help") {
     out << Usage();
     return 0;

@@ -7,8 +7,10 @@
 //   sparsedet sweep    [scenario flags] --param <name> --from --to --step
 //   sparsedet latency  [scenario flags]          first-passage table
 //   sparsedet trace    [scenario flags] --prefix <path>  export one trial
-//   sparsedet batch    --input <file|-> [--threads --passes --unordered ...]
-//   sparsedet serve    [--threads --cache-capacity ...]   JSONL stdin loop
+//   sparsedet batch    --input <file|-> [--threads --passes --unordered
+//                       --trace --trace-file ...]
+//   sparsedet serve    [--threads --cache-capacity --trace ...]  JSONL loop
+//   sparsedet metrics-dump --input <file|-> [--format table|prometheus|json]
 //
 // Each command returns a process exit code and writes to `out` / `err`, so
 // tests can drive them directly.
@@ -47,6 +49,11 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
 int CmdServe(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
+// `metrics-dump` re-renders a metrics snapshot (a saved {"cmd":"stats"}
+// response, or any line of piped serve output carrying a "metrics" object)
+// as a table, Prometheus text exposition, or normalized JSON.
+int CmdMetricsDump(const std::vector<std::string>& args, std::istream& in,
+                   std::ostream& out, std::ostream& err);
 
 // Full usage text.
 std::string Usage();

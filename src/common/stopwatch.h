@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace sparsedet {
 
@@ -16,8 +17,22 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  // Nanoseconds since construction, the last Restart(), or the previous
+  // Lap() — whichever came last. Restarts the watch, so consecutive calls
+  // partition a run into per-phase intervals.
+  std::int64_t Lap() {
+    const Clock::time_point now = Clock::now();
+    const std::int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count();
+    start_ = now;
+    return ns;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Stopwatch intervals must come from a monotonic clock");
   Clock::time_point start_;
 };
 

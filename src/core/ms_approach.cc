@@ -7,11 +7,13 @@
 #include "geometry/region_decomposition.h"
 #include "markov/chain.h"
 #include "markov/increment_chain.h"
+#include "obs/timer.h"
 
 namespace sparsedet {
 namespace {
 
 RegionDecomposition Decompose(const SystemParams& params) {
+  obs::ObsTimer timer(obs::Phase::kRegionDecomposition);
   params.Validate();
   RegionDecomposition decomp(params.sensing_range, params.target_speed,
                              params.period_length);
@@ -46,14 +48,23 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
   // Stage pmfs. Head uses the full DR subareas AreaH(i); Body/Tail use the
   // crescent NEDR subareas AreaB(i) / AreaT(j, i).
   const double rel = options.node_reliability;
-  result.head_pmf =
-      CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
-  result.body_pmf =
-      CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
-  result.tail_pmfs.reserve(static_cast<std::size_t>(ms));
-  for (int j = 1; j <= ms; ++j) {
-    result.tail_pmfs.push_back(CappedRegionReportPmf(
-        n, s, decomp.AreaTVector(j), pd, options.g, rel));
+  {
+    obs::ObsTimer timer(obs::Phase::kMsHead);
+    result.head_pmf =
+        CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
+  }
+  {
+    obs::ObsTimer timer(obs::Phase::kMsBody);
+    result.body_pmf =
+        CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
+  }
+  {
+    obs::ObsTimer timer(obs::Phase::kMsTail);
+    result.tail_pmfs.reserve(static_cast<std::size_t>(ms));
+    for (int j = 1; j <= ms; ++j) {
+      result.tail_pmfs.push_back(CappedRegionReportPmf(
+          n, s, decomp.AreaTVector(j), pd, options.g, rel));
+    }
   }
 
   // Chain the stages: Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
@@ -65,24 +76,28 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
   std::vector<double> dist(num_states, 0.0);
   dist[0] = 1.0;  // u = [1 0 0 ... 0] (Eq. 11)
 
-  if (options.use_transition_matrices) {
-    const MarkovChain head(BuildIncrementTransitionMatrix(
-        result.head_pmf, num_states, /*saturate_top=*/false));
-    const MarkovChain body(BuildIncrementTransitionMatrix(
-        result.body_pmf, num_states, /*saturate_top=*/false));
-    dist = head.Propagate(dist);
-    dist = body.PropagateSteps(dist, m_periods - ms - 1);
-    for (const Pmf& tail : result.tail_pmfs) {
-      const MarkovChain chain(BuildIncrementTransitionMatrix(
-          tail, num_states, /*saturate_top=*/false));
-      dist = chain.Propagate(dist);
-    }
-  } else {
-    dist = PropagateIncrement(dist, result.head_pmf, /*saturate_top=*/false);
-    dist = PropagateIncrementSteps(dist, result.body_pmf,
-                                   m_periods - ms - 1, /*saturate_top=*/false);
-    for (const Pmf& tail : result.tail_pmfs) {
-      dist = PropagateIncrement(dist, tail, /*saturate_top=*/false);
+  {
+    obs::ObsTimer timer(obs::Phase::kMsPropagate);
+    if (options.use_transition_matrices) {
+      const MarkovChain head(BuildIncrementTransitionMatrix(
+          result.head_pmf, num_states, /*saturate_top=*/false));
+      const MarkovChain body(BuildIncrementTransitionMatrix(
+          result.body_pmf, num_states, /*saturate_top=*/false));
+      dist = head.Propagate(dist);
+      dist = body.PropagateSteps(dist, m_periods - ms - 1);
+      for (const Pmf& tail : result.tail_pmfs) {
+        const MarkovChain chain(BuildIncrementTransitionMatrix(
+            tail, num_states, /*saturate_top=*/false));
+        dist = chain.Propagate(dist);
+      }
+    } else {
+      dist = PropagateIncrement(dist, result.head_pmf,
+                                /*saturate_top=*/false);
+      dist = PropagateIncrementSteps(dist, result.body_pmf, m_periods - ms - 1,
+                                     /*saturate_top=*/false);
+      for (const Pmf& tail : result.tail_pmfs) {
+        dist = PropagateIncrement(dist, tail, /*saturate_top=*/false);
+      }
     }
   }
 

@@ -5,11 +5,13 @@
 #include "common/check.h"
 #include "core/region_pmf.h"
 #include "geometry/region_decomposition.h"
+#include "obs/timer.h"
 
 namespace sparsedet {
 namespace {
 
 std::vector<double> SRegions(const SystemParams& params) {
+  obs::ObsTimer timer(obs::Phase::kRegionDecomposition);
   params.Validate();
   const RegionDecomposition decomp(params.sensing_range, params.target_speed,
                                    params.period_length);
@@ -27,14 +29,17 @@ SApproachResult SApproachAnalyze(const SystemParams& params,
 
   SApproachResult result;
   result.ms = params.Ms();
-  result.report_distribution =
-      options.literal_enumeration
-          ? CappedRegionReportPmfLiteral(params.num_nodes, params.FieldArea(),
-                                         regions, params.detect_prob,
-                                         options.cap)
-          : CappedRegionReportPmf(params.num_nodes, params.FieldArea(),
-                                  regions, params.detect_prob, options.cap,
-                                  options.node_reliability);
+  {
+    obs::ObsTimer timer(obs::Phase::kSEnumeration);
+    result.report_distribution =
+        options.literal_enumeration
+            ? CappedRegionReportPmfLiteral(params.num_nodes,
+                                           params.FieldArea(), regions,
+                                           params.detect_prob, options.cap)
+            : CappedRegionReportPmf(params.num_nodes, params.FieldArea(),
+                                    regions, params.detect_prob, options.cap,
+                                    options.node_reliability);
+  }
   result.total_mass = result.report_distribution.TotalMass();
   result.predicted_accuracy = RegionCapAccuracy(
       params.num_nodes, params.FieldArea(), params.ARegionArea(), options.cap);
@@ -50,6 +55,7 @@ SApproachResult SApproachAnalyze(const SystemParams& params,
 Pmf SApproachExactDistribution(const SystemParams& params,
                                double node_reliability) {
   const std::vector<double> regions = SRegions(params);
+  obs::ObsTimer timer(obs::Phase::kSEnumeration);
   return ExactRegionReportPmf(params.num_nodes, params.FieldArea(), regions,
                               params.detect_prob, node_reliability);
 }

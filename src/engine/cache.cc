@@ -4,13 +4,30 @@
 
 namespace sparsedet::engine {
 
+LruResultCache::LruResultCache(std::size_t capacity)
+    : capacity_(capacity), owned_(std::make_unique<OwnedCounters>()) {
+  hits_ = &owned_->hits;
+  misses_ = &owned_->misses;
+  evictions_ = &owned_->evictions;
+  size_gauge_ = &owned_->size;
+}
+
+LruResultCache::LruResultCache(std::size_t capacity,
+                               obs::MetricsRegistry& registry)
+    : capacity_(capacity) {
+  hits_ = &registry.counter("engine_cache_hits_total");
+  misses_ = &registry.counter("engine_cache_misses_total");
+  evictions_ = &registry.counter("engine_cache_evictions_total");
+  size_gauge_ = &registry.gauge("engine_cache_size");
+}
+
 std::shared_ptr<const JsonValue> LruResultCache::Get(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++counters_.misses;
+    misses_->Inc();
     return nullptr;
   }
-  ++counters_.hits;
+  hits_->Inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -30,8 +47,13 @@ void LruResultCache::Put(const std::string& key,
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back().first);
     lru_.pop_back();
-    ++counters_.evictions;
+    evictions_->Inc();
   }
+  size_gauge_->Set(static_cast<std::int64_t>(entries_.size()));
+}
+
+LruResultCache::Counters LruResultCache::counters() const {
+  return {hits_->Value(), misses_->Value(), evictions_->Value()};
 }
 
 }  // namespace sparsedet::engine

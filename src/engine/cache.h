@@ -7,6 +7,11 @@
 // lookup and insertion on its coordinator thread, in input order, so hit /
 // miss / eviction counters — and therefore the emitted stats line — are
 // byte-identical regardless of the worker-thread count.
+//
+// Counters are registry-backed when a MetricsRegistry is supplied
+// (engine_cache_hits_total / _misses_total / _evictions_total plus the
+// engine_cache_size gauge), so a {"cmd":"stats"} snapshot sees them
+// mid-stream; a standalone cache owns private equivalents.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace sparsedet::engine {
 
@@ -29,7 +35,9 @@ class LruResultCache {
   };
 
   // capacity == 0 disables caching (every Get misses, Put is a no-op).
-  explicit LruResultCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit LruResultCache(std::size_t capacity);
+  // Same, but counters live in `registry` under the engine_cache_* names.
+  LruResultCache(std::size_t capacity, obs::MetricsRegistry& registry);
 
   // Returns the cached value and marks the entry most-recently-used, or
   // nullptr on a miss. Updates the hit/miss counters.
@@ -39,7 +47,7 @@ class LruResultCache {
   // until the size bound holds. Requires value != nullptr.
   void Put(const std::string& key, std::shared_ptr<const JsonValue> value);
 
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
 
@@ -49,7 +57,17 @@ class LruResultCache {
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  Counters counters_;
+
+  // Owned fallback counters for registry-less construction.
+  struct OwnedCounters {
+    obs::Counter hits, misses, evictions;
+    obs::Gauge size;
+  };
+  std::unique_ptr<OwnedCounters> owned_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Gauge* size_gauge_;
 };
 
 }  // namespace sparsedet::engine

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "engine/request.h"
+#include "obs/timer.h"
 
 namespace sparsedet::engine {
 
@@ -13,6 +14,10 @@ struct BatchEngine::PendingUnit {
   std::string key;
   std::shared_ptr<const JsonValue> result;  // set by the worker on success
   std::string error;                        // set by the worker on failure
+  // Written by the worker before it publishes `done` (so reading them
+  // after observing done under done_mutex_ is race-free).
+  std::int64_t queue_wait_ns = 0;
+  std::int64_t solve_ns = 0;
   bool done = false;      // guarded by done_mutex_
   bool inserted = false;  // coordinator-only: already in the cache
 };
@@ -22,6 +27,7 @@ struct BatchEngine::PendingRequest {
   int line = 0;
   std::string parse_error;  // nonempty: request never got units
   Request request;
+  obs::RequestSpan span;
 
   // Each unit is either resolved from the cache at plan time or pending on
   // the pool (possibly shared with other requests that need the same key).
@@ -29,7 +35,7 @@ struct BatchEngine::PendingRequest {
     std::shared_ptr<PendingUnit> pending;
     std::shared_ptr<const JsonValue> cached;
   };
-  std::vector<UnitRef> units;
+  std::vector<UnitRef> units;  // parallel to span.units
 };
 
 namespace {
@@ -59,19 +65,63 @@ JsonValue EngineStats::ToJson(const LruResultCache& cache) const {
   return json;
 }
 
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
+    : requests(&registry.counter("engine_requests_total")),
+      ok(&registry.counter("engine_responses_ok_total")),
+      errors(&registry.counter("engine_responses_error_total")),
+      units(&registry.counter("engine_units_total")),
+      coalesced(&registry.counter("engine_units_coalesced_total")),
+      queue_depth(&registry.gauge("engine_queue_depth")),
+      queue_wait(&registry.phase(obs::Phase::kQueueWait)),
+      cache_lookup(&registry.phase(obs::Phase::kCacheLookup)),
+      solve(&registry.phase(obs::Phase::kSolve)),
+      serialize(&registry.phase(obs::Phase::kSerialize)) {}
+
 BatchEngine::BatchEngine(const EngineOptions& options)
     : options_(options),
-      cache_(options.cache_capacity),
-      pool_(options.threads) {}
+      metrics_(registry_),
+      cache_(options.cache_capacity, registry_),
+      pool_(options.threads, metrics_.queue_depth) {
+  if (!options_.trace_file.empty()) {
+    trace_out_.open(options_.trace_file, std::ios::out | std::ios::trunc);
+    SPARSEDET_REQUIRE(trace_out_.good(),
+                      "cannot open trace file " + options_.trace_file);
+  }
+  // Solver phase timers (M-S stages, Region(i) decomposition, MC trials)
+  // reach this registry through the global install point.
+  obs::InstallGlobalRegistry(&registry_);
+}
 
-BatchEngine::~BatchEngine() = default;
+BatchEngine::~BatchEngine() { obs::UninstallGlobalRegistry(&registry_); }
+
+EngineStats BatchEngine::stats() const {
+  EngineStats stats;
+  stats.requests = metrics_.requests->Value();
+  stats.ok = metrics_.ok->Value();
+  stats.errors = metrics_.errors->Value();
+  stats.units = metrics_.units->Value();
+  stats.coalesced = metrics_.coalesced->Value();
+  return stats;
+}
+
+obs::RegistrySnapshot BatchEngine::MetricsSnapshot() const {
+  return registry_.Snapshot();
+}
+
+JsonValue BatchEngine::StatsSnapshotJson() const {
+  JsonValue json = stats().ToJson(cache_);
+  json.Set("metrics", MetricsSnapshot().ToJson());
+  return json;
+}
 
 std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
     const std::string& line, int line_number) {
   auto pending = std::make_unique<PendingRequest>();
   pending->line = line_number;
   pending->id = JsonValue(line_number);
-  ++stats_.requests;
+  pending->span.trace_id = next_trace_id_++;
+  pending->span.line = line_number;
+  metrics_.requests->Inc();
   try {
     const JsonValue json = ParseJson(line);
     // Recover the caller's id even if validation below fails, so the error
@@ -84,22 +134,41 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
     }
     pending->request = ParseRequest(json, line_number);
     pending->id = pending->request.id;
+    pending->span.op = OpName(pending->request.op);
 
     for (WorkUnit& unit : ExpandRequest(pending->request)) {
-      ++stats_.units;
+      metrics_.units->Inc();
       PendingRequest::UnitRef ref;
+      obs::RequestSpan::Unit unit_span;
       const std::string key = CanonicalKey(unit);
-      if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+
+      const std::int64_t lookup_start = obs::NowNanos();
+      const auto it = in_flight_.find(key);
+      const bool coalesced = it != in_flight_.end();
+      std::shared_ptr<const JsonValue> cached;
+      if (!coalesced) cached = cache_.Get(key);
+      const std::int64_t lookup_ns = obs::NowNanos() - lookup_start;
+      metrics_.cache_lookup->Record(lookup_ns);
+      pending->span.cache_lookup_ns += lookup_ns;
+
+      if (coalesced) {
         ref.pending = it->second;
-        ++stats_.coalesced;
-      } else if (std::shared_ptr<const JsonValue> cached = cache_.Get(key)) {
+        metrics_.coalesced->Inc();
+        unit_span.source = "coalesced";
+      } else if (cached != nullptr) {
         ref.cached = std::move(cached);
+        unit_span.source = "cache_hit";
       } else {
         auto slot = std::make_shared<PendingUnit>();
         slot->key = key;
         in_flight_.emplace(key, slot);
         ref.pending = slot;
-        pool_.Submit([this, slot, unit = std::move(unit)] {
+        unit_span.source = "computed";
+        const std::int64_t submitted_ns = obs::NowNanos();
+        pool_.Submit([this, slot, submitted_ns, unit = std::move(unit)] {
+          const std::int64_t started_ns = obs::NowNanos();
+          slot->queue_wait_ns = started_ns - submitted_ns;
+          metrics_.queue_wait->Record(slot->queue_wait_ns);
           try {
             slot->result = std::make_shared<JsonValue>(EvaluateUnit(unit));
           } catch (const Error& e) {
@@ -107,76 +176,130 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
           } catch (const std::exception& e) {
             slot->error = std::string("internal error: ") + e.what();
           }
+          slot->solve_ns = obs::NowNanos() - started_ns;
+          metrics_.solve->Record(slot->solve_ns);
           {
+            // Notify while holding the mutex: the coordinator may destroy
+            // this engine (and the condvar) as soon as it observes done, so
+            // the broadcast must complete before the waiter can re-acquire.
             std::lock_guard<std::mutex> lock(done_mutex_);
             slot->done = true;
+            done_cv_.notify_all();
           }
-          done_cv_.notify_all();
         });
       }
       pending->units.push_back(std::move(ref));
+      pending->span.units.push_back(std::move(unit_span));
     }
   } catch (const Error& e) {
     pending->parse_error = e.what();
     pending->units.clear();
+    pending->span.units.clear();
   }
   return pending;
 }
 
 void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
+  obs::RequestSpan& span = request.span;
+  span.request_id = request.id;
+  JsonValue response = JsonValue::Object();
+
   if (!request.parse_error.empty()) {
-    ++stats_.errors;
-    JsonValue response = JsonValue::Object();
+    metrics_.errors->Inc();
     if (!request.id.is_null()) response.Set("id", request.id);
     response.Set("line", request.line).Set("error", request.parse_error);
-    out << response.ToString() << "\n";
-    return;
-  }
-
-  {
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    for (const PendingRequest::UnitRef& ref : request.units) {
-      if (ref.pending) {
-        done_cv_.wait(lock, [&ref] { return ref.pending->done; });
+  } else {
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      for (const PendingRequest::UnitRef& ref : request.units) {
+        if (ref.pending) {
+          done_cv_.wait(lock, [&ref] { return ref.pending->done; });
+        }
       }
     }
+
+    // Copy the worker-side timings into the span (race-free: done was
+    // observed under done_mutex_ above).
+    for (std::size_t i = 0; i < request.units.size(); ++i) {
+      if (const auto& pending = request.units[i].pending) {
+        span.units[i].queue_wait_ns = pending->queue_wait_ns;
+        span.units[i].solve_ns = pending->solve_ns;
+        span.queue_wait_ns += pending->queue_wait_ns;
+        span.solve_ns += pending->solve_ns;
+      }
+    }
+
+    std::string unit_error;
+    std::vector<const JsonValue*> results;
+    results.reserve(request.units.size());
+    for (const PendingRequest::UnitRef& ref : request.units) {
+      if (ref.cached) {
+        results.push_back(ref.cached.get());
+        continue;
+      }
+      PendingUnit& slot = *ref.pending;
+      if (!slot.error.empty()) {
+        unit_error = slot.error;
+        break;
+      }
+      // First emitter of a shared unit publishes it to the cache; this runs
+      // on the coordinator in emission order, keeping eviction
+      // deterministic.
+      if (!slot.inserted) {
+        cache_.Put(slot.key, slot.result);
+        slot.inserted = true;
+      }
+      results.push_back(slot.result.get());
+    }
+
+    if (!unit_error.empty()) {
+      metrics_.errors->Inc();
+      response.Set("id", request.id)
+          .Set("line", request.line)
+          .Set("error", unit_error);
+    } else {
+      metrics_.ok->Inc();
+      response.Set("id", request.id)
+          .Set("op", OpName(request.request.op))
+          .Set("result", ComposeResponse(request.request, results));
+    }
   }
 
-  std::string unit_error;
-  std::vector<const JsonValue*> results;
-  results.reserve(request.units.size());
-  for (const PendingRequest::UnitRef& ref : request.units) {
-    if (ref.cached) {
-      results.push_back(ref.cached.get());
-      continue;
-    }
-    PendingUnit& slot = *ref.pending;
-    if (!slot.error.empty()) {
-      unit_error = slot.error;
-      break;
-    }
-    // First emitter of a shared unit publishes it to the cache; this runs
-    // on the coordinator in emission order, keeping eviction deterministic.
-    if (!slot.inserted) {
-      cache_.Put(slot.key, slot.result);
-      slot.inserted = true;
-    }
-    results.push_back(slot.result.get());
-  }
+  const std::int64_t serialize_start = obs::NowNanos();
+  std::string text = response.ToString();
+  span.serialize_ns = obs::NowNanos() - serialize_start;
+  metrics_.serialize->Record(span.serialize_ns);
 
-  JsonValue response = JsonValue::Object();
-  if (!unit_error.empty()) {
-    ++stats_.errors;
-    response.Set("id", request.id)
-        .Set("line", request.line)
-        .Set("error", unit_error);
+  if (options_.trace) {
+    response.Set("trace", span.ToJson());
+    text = response.ToString();
+  }
+  out << text << "\n";
+  if (trace_out_.is_open()) {
+    trace_out_ << span.ToFileJson().ToString() << "\n";
+    trace_out_.flush();
+  }
+}
+
+bool BatchEngine::MaybeHandleCommand(const std::string& line,
+                                     std::ostream& out) {
+  JsonValue json;
+  try {
+    json = ParseJson(line);
+  } catch (const Error&) {
+    return false;  // not even JSON; let the request path report it
+  }
+  if (!json.is_object()) return false;
+  const JsonValue* cmd = json.Find("cmd");
+  if (cmd == nullptr) return false;
+  if (cmd->is_string() && cmd->AsString() == "stats") {
+    out << StatsSnapshotJson().ToString() << "\n";
   } else {
-    ++stats_.ok;
-    response.Set("id", request.id)
-        .Set("op", OpName(request.request.op))
-        .Set("result", ComposeResponse(request.request, results));
+    JsonValue response = JsonValue::Object();
+    response.Set("error", "unknown cmd; expected \"stats\"");
+    out << response.ToString() << "\n";
   }
-  out << response.ToString() << "\n";
+  return true;
 }
 
 void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
@@ -187,6 +310,14 @@ void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
     while (std::getline(in, line)) {
       ++line_number;
       if (IsBlank(line)) continue;
+      // Cheap substring guard: only lines that could carry a "cmd" key pay
+      // for the extra parse. Requests never contain one (the strict parser
+      // rejects it as an unknown field).
+      if (line.find("\"cmd\"") != std::string::npos &&
+          MaybeHandleCommand(line, out)) {
+        out.flush();
+        continue;
+      }
       std::unique_ptr<PendingRequest> request = PlanLine(line, line_number);
       EmitRequest(*request, out);
       out.flush();
@@ -249,7 +380,7 @@ void BatchEngine::Serve(std::istream& in, std::ostream& out) {
 }
 
 void BatchEngine::WriteStatsLine(std::ostream& out) const {
-  out << stats_.ToJson(cache_).ToString() << "\n";
+  out << stats().ToJson(cache_).ToString() << "\n";
 }
 
 }  // namespace sparsedet::engine

@@ -19,10 +19,19 @@
 // Per-request error isolation: a malformed line or an invalid scenario
 // yields one {"id": ..., "error": ...} line; the engine itself never
 // throws for bad input and keeps processing the stream.
+//
+// Observability: every engine owns an obs::MetricsRegistry. All stats
+// counters live in it (incremented on the coordinator, so they stay
+// deterministic), the four engine phases (queue-wait / cache-lookup /
+// solve / serialize) and the solver stages record latency histograms into
+// it, and each request carries an obs::RequestSpan. Spans are emitted only
+// under options.trace / options.trace_file; serve mode answers a
+// {"cmd":"stats"} line in-stream with the full registry snapshot.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -33,6 +42,8 @@
 #include "common/json.h"
 #include "engine/cache.h"
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sparsedet::engine {
 
@@ -40,8 +51,11 @@ struct EngineOptions {
   std::size_t threads = 0;  // worker threads; 0 = hardware concurrency
   std::size_t cache_capacity = 4096;  // LRU entries; 0 disables the cache
   bool unordered = false;  // emit completions immediately, tagged by id
+  bool trace = false;      // attach a "trace" span object to response lines
+  std::string trace_file;  // JSONL span log path; empty = no span file
 };
 
+// Deterministic counter snapshot; the shape of the final stats line.
 struct EngineStats {
   std::uint64_t requests = 0;
   std::uint64_t ok = 0;
@@ -51,6 +65,23 @@ struct EngineStats {
 
   // {"stats": {..., "cache": {...}}} — the final line batch mode emits.
   JsonValue ToJson(const LruResultCache& cache) const;
+};
+
+// Handles into the engine's registry; resolved once at construction so the
+// hot path never takes the registry mutex.
+struct EngineMetrics {
+  explicit EngineMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* requests;
+  obs::Counter* ok;
+  obs::Counter* errors;
+  obs::Counter* units;
+  obs::Counter* coalesced;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait;
+  obs::Histogram* cache_lookup;
+  obs::Histogram* solve;
+  obs::Histogram* serialize;
 };
 
 class BatchEngine {
@@ -67,14 +98,21 @@ class BatchEngine {
   void RunBatch(std::istream& in, std::ostream& out);
 
   // Long-running loop: one request line in, one response line out
-  // (flushed), until EOF. Sweeps still fan out across the pool.
+  // (flushed), until EOF. Sweeps still fan out across the pool. A
+  // {"cmd":"stats"} line is answered with StatsSnapshotJson() instead of
+  // being treated as a request.
   void Serve(std::istream& in, std::ostream& out);
 
   // Appends the {"stats": ...} line to `out`.
   void WriteStatsLine(std::ostream& out) const;
 
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const;
   const LruResultCache& cache() const { return cache_; }
+
+  // Full registry snapshot (counters, gauges, phase histograms).
+  obs::RegistrySnapshot MetricsSnapshot() const;
+  // {"stats": {...}, "metrics": {...}} — the {"cmd":"stats"} response.
+  JsonValue StatsSnapshotJson() const;
 
  private:
   struct PendingUnit;
@@ -88,11 +126,19 @@ class BatchEngine {
   // line and inserts newly computed results into the cache.
   void EmitRequest(PendingRequest& request, std::ostream& out);
   void ProcessStream(std::istream& in, std::ostream& out, bool streaming);
+  // Streaming-mode command lines ({"cmd": ...}); true when handled.
+  bool MaybeHandleCommand(const std::string& line, std::ostream& out);
 
   EngineOptions options_;
+  // The registry outlives the cache (counter handles) and the pool
+  // (workers record into phase histograms until joined) — declaration
+  // order is load-bearing here.
+  obs::MetricsRegistry registry_;
+  EngineMetrics metrics_;
   LruResultCache cache_;
   WorkerPool pool_;
-  EngineStats stats_;
+  std::ofstream trace_out_;
+  std::uint64_t next_trace_id_ = 1;
 
   // Units planned but not yet handed to emission, keyed by canonical key;
   // identical units join the same slot instead of recomputing.

@@ -6,7 +6,8 @@
 
 namespace sparsedet::engine {
 
-WorkerPool::WorkerPool(std::size_t threads) {
+WorkerPool::WorkerPool(std::size_t threads, obs::Gauge* queue_depth_gauge)
+    : queue_depth_gauge_(queue_depth_gauge) {
   if (threads == 0) threads = DefaultThreadCount();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -27,8 +28,16 @@ void WorkerPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
+    }
   }
   work_available_.notify_one();
+}
+
+std::size_t WorkerPool::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void WorkerPool::Wait() {
@@ -47,6 +56,9 @@ void WorkerPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
+      }
       ++active_tasks_;
     }
     task();

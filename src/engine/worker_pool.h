@@ -18,12 +18,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sparsedet::engine {
 
 class WorkerPool {
  public:
-  // Spawns `threads` workers; 0 picks DefaultThreadCount().
-  explicit WorkerPool(std::size_t threads);
+  // Spawns `threads` workers; 0 picks DefaultThreadCount(). When given a
+  // gauge, the pool keeps it equal to the number of queued (not yet
+  // started) tasks, so a stats snapshot sees backlog in real time.
+  explicit WorkerPool(std::size_t threads,
+                      obs::Gauge* queue_depth_gauge = nullptr);
   // Drains the queue, then joins every worker.
   ~WorkerPool();
 
@@ -38,12 +43,16 @@ class WorkerPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  // Tasks submitted but not yet picked up by a worker.
+  std::size_t QueueDepth() const;
+
  private:
   void WorkerLoop();
 
+  obs::Gauge* queue_depth_gauge_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
   std::size_t active_tasks_ = 0;

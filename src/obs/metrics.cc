@@ -1,0 +1,461 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sparsedet::obs {
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  SPARSEDET_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) shard.counts[i].store(0);
+  }
+}
+
+void Histogram::Record(std::int64_t value) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+      snapshot.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snapshot.counts) snapshot.total += c;
+  return snapshot;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative >= rank) {
+      const double lo =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      // The overflow bucket has no finite upper edge; clamp to the last
+      // bound rather than invent one.
+      const double hi = i < bounds.size()
+                            ? static_cast<double>(bounds[i])
+                            : static_cast<double>(bounds.back());
+      const double fraction =
+          (rank - before) / static_cast<double>(counts[i]);
+      return lo + fraction * (hi - lo);
+    }
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+HistogramSnapshot HistogramSnapshot::Merge(const HistogramSnapshot& a,
+                                           const HistogramSnapshot& b) {
+  SPARSEDET_REQUIRE(a.bounds == b.bounds,
+                    "cannot merge histograms with different bounds");
+  HistogramSnapshot merged = a;
+  for (std::size_t i = 0; i < merged.counts.size(); ++i) {
+    merged.counts[i] += b.counts[i];
+  }
+  merged.total += b.total;
+  merged.sum += b.sum;
+  return merged;
+}
+
+std::vector<std::int64_t> DefaultLatencyBoundsNs() {
+  return {1'000,          5'000,         10'000,        50'000,
+          100'000,        500'000,       1'000'000,     5'000'000,
+          10'000'000,     50'000'000,    100'000'000,   500'000'000,
+          1'000'000'000,  5'000'000'000, 10'000'000'000};
+}
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kCacheLookup:
+      return "cache_lookup";
+    case Phase::kSolve:
+      return "solve";
+    case Phase::kSerialize:
+      return "serialize";
+    case Phase::kMsHead:
+      return "ms_head";
+    case Phase::kMsBody:
+      return "ms_body";
+    case Phase::kMsTail:
+      return "ms_tail";
+    case Phase::kMsPropagate:
+      return "ms_propagate";
+    case Phase::kSEnumeration:
+      return "s_enumeration";
+    case Phase::kRegionDecomposition:
+      return "region_decomposition";
+    case Phase::kMcTrials:
+      return "mc_trials";
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry() {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    phases_[i] = &histogram("sparsedet_phase_duration_ns",
+                            {{"phase", PhaseName(phase)}});
+  }
+}
+
+template <typename T>
+T* MetricsRegistry::FindOrNull(std::vector<Named<T>>& metrics,
+                               const std::string& name,
+                               const Labels& labels) {
+  for (Named<T>& named : metrics) {
+    if (named.name == name && named.labels == labels) {
+      return named.metric.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Counter* existing = FindOrNull(counters_, name, labels)) {
+    return *existing;
+  }
+  counters_.push_back({name, labels, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Gauge* existing = FindOrNull(gauges_, name, labels)) {
+    return *existing;
+  }
+  gauges_.push_back({name, labels, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Histogram* existing = FindOrNull(histograms_, name, labels)) {
+    return *existing;
+  }
+  histograms_.push_back(
+      {name, labels, std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().metric;
+}
+
+namespace {
+
+// Sort key: name, then labels lexicographically.
+template <typename T>
+bool IdentityLess(const T& a, const T& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Named<Counter>& named : counters_) {
+      snapshot.counters.push_back(
+          {named.name, named.labels, named.metric->Value()});
+    }
+    for (const Named<Gauge>& named : gauges_) {
+      snapshot.gauges.push_back(
+          {named.name, named.labels, named.metric->Value()});
+    }
+    for (const Named<Histogram>& named : histograms_) {
+      snapshot.histograms.push_back(
+          {named.name, named.labels, named.metric->Snapshot()});
+    }
+  }
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(),
+            IdentityLess<RegistrySnapshot::CounterValue>);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            IdentityLess<RegistrySnapshot::GaugeValue>);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+            IdentityLess<RegistrySnapshot::HistogramValue>);
+  return snapshot;
+}
+
+// ---- serialization --------------------------------------------------------
+
+namespace {
+
+JsonValue LabelsToJson(const Labels& labels) {
+  JsonValue json = JsonValue::Object();
+  for (const auto& [key, value] : labels) json.Set(key, value);
+  return json;
+}
+
+Labels LabelsFromJson(const JsonValue& json) {
+  SPARSEDET_REQUIRE(json.is_object(), "metric labels must be an object");
+  Labels labels;
+  for (const auto& [key, value] : json.Fields()) {
+    SPARSEDET_REQUIRE(value.is_string(), "label values must be strings");
+    labels.emplace_back(key, value.AsString());
+  }
+  return labels;
+}
+
+const JsonValue& Field(const JsonValue& json, const std::string& key) {
+  SPARSEDET_REQUIRE(json.is_object(), "expected a metric object");
+  const JsonValue* v = json.Find(key);
+  SPARSEDET_REQUIRE(v != nullptr, "metric object missing \"" + key + "\"");
+  return *v;
+}
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ',';
+    os << labels[i].first << "=\"" << EscapeLabelValue(labels[i].second)
+       << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+// Labels plus one extra entry (the histogram `le` bucket label).
+std::string RenderLabelsWith(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+void EmitTypeLineOnce(std::ostream& os, std::string& last_typed,
+                      const std::string& name, const char* type) {
+  if (name == last_typed) return;
+  os << "# TYPE " << name << ' ' << type << '\n';
+  last_typed = name;
+}
+
+std::string NumToString(double d) { return JsonValue(d).ToString(); }
+
+}  // namespace
+
+JsonValue RegistrySnapshot::ToJson() const {
+  JsonValue counters_json = JsonValue::Array();
+  for (const CounterValue& c : counters) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", c.name)
+        .Set("labels", LabelsToJson(c.labels))
+        .Set("value", static_cast<std::int64_t>(c.value));
+    counters_json.Append(std::move(entry));
+  }
+  JsonValue gauges_json = JsonValue::Array();
+  for (const GaugeValue& g : gauges) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", g.name)
+        .Set("labels", LabelsToJson(g.labels))
+        .Set("value", g.value);
+    gauges_json.Append(std::move(entry));
+  }
+  JsonValue histograms_json = JsonValue::Array();
+  for (const HistogramValue& h : histograms) {
+    JsonValue le = JsonValue::Array();
+    for (std::int64_t bound : h.histogram.bounds) le.Append(bound);
+    JsonValue bucket_counts = JsonValue::Array();
+    for (std::uint64_t c : h.histogram.counts) {
+      bucket_counts.Append(static_cast<std::int64_t>(c));
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", h.name)
+        .Set("labels", LabelsToJson(h.labels))
+        .Set("count", static_cast<std::int64_t>(h.histogram.total))
+        .Set("sum_ns", h.histogram.sum)
+        .Set("p50_ns", h.histogram.Quantile(0.5))
+        .Set("p90_ns", h.histogram.Quantile(0.9))
+        .Set("p99_ns", h.histogram.Quantile(0.99))
+        .Set("le", std::move(le))
+        .Set("bucket_counts", std::move(bucket_counts));
+    histograms_json.Append(std::move(entry));
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("counters", std::move(counters_json))
+      .Set("gauges", std::move(gauges_json))
+      .Set("histograms", std::move(histograms_json));
+  return json;
+}
+
+RegistrySnapshot RegistrySnapshot::FromJson(const JsonValue& json) {
+  SPARSEDET_REQUIRE(json.is_object(), "metrics snapshot must be an object");
+  RegistrySnapshot snapshot;
+  for (const JsonValue& entry : Field(json, "counters").Items()) {
+    snapshot.counters.push_back(
+        {Field(entry, "name").AsString(),
+         LabelsFromJson(Field(entry, "labels")),
+         static_cast<std::uint64_t>(Field(entry, "value").AsDouble())});
+  }
+  for (const JsonValue& entry : Field(json, "gauges").Items()) {
+    snapshot.gauges.push_back(
+        {Field(entry, "name").AsString(),
+         LabelsFromJson(Field(entry, "labels")),
+         static_cast<std::int64_t>(Field(entry, "value").AsDouble())});
+  }
+  for (const JsonValue& entry : Field(json, "histograms").Items()) {
+    HistogramValue h;
+    h.name = Field(entry, "name").AsString();
+    h.labels = LabelsFromJson(Field(entry, "labels"));
+    for (const JsonValue& bound : Field(entry, "le").Items()) {
+      h.histogram.bounds.push_back(
+          static_cast<std::int64_t>(bound.AsDouble()));
+    }
+    for (const JsonValue& count : Field(entry, "bucket_counts").Items()) {
+      h.histogram.counts.push_back(
+          static_cast<std::uint64_t>(count.AsDouble()));
+    }
+    SPARSEDET_REQUIRE(
+        h.histogram.counts.size() == h.histogram.bounds.size() + 1,
+        "histogram bucket_counts must have one more entry than le");
+    h.histogram.total =
+        static_cast<std::uint64_t>(Field(entry, "count").AsDouble());
+    h.histogram.sum =
+        static_cast<std::int64_t>(Field(entry, "sum_ns").AsDouble());
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+std::string RegistrySnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  std::string last_typed;
+  for (const CounterValue& c : counters) {
+    EmitTypeLineOnce(os, last_typed, c.name, "counter");
+    os << c.name << RenderLabels(c.labels) << ' ' << c.value << '\n';
+  }
+  for (const GaugeValue& g : gauges) {
+    EmitTypeLineOnce(os, last_typed, g.name, "gauge");
+    os << g.name << RenderLabels(g.labels) << ' ' << g.value << '\n';
+  }
+  for (const HistogramValue& h : histograms) {
+    EmitTypeLineOnce(os, last_typed, h.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.histogram.counts.size(); ++i) {
+      cumulative += h.histogram.counts[i];
+      const std::string le =
+          i < h.histogram.bounds.size()
+              ? NumToString(static_cast<double>(h.histogram.bounds[i]))
+              : "+Inf";
+      os << h.name << "_bucket" << RenderLabelsWith(h.labels, "le", le)
+         << ' ' << cumulative << '\n';
+    }
+    os << h.name << "_sum" << RenderLabels(h.labels) << ' '
+       << h.histogram.sum << '\n';
+    os << h.name << "_count" << RenderLabels(h.labels) << ' '
+       << h.histogram.total << '\n';
+  }
+  return os.str();
+}
+
+Table RegistrySnapshot::ToTable() const {
+  Table table({"metric", "labels", "type", "value/count", "sum_ms",
+               "p50_us", "p90_us", "p99_us"});
+  auto labels_cell = [](const Labels& labels) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << labels[i].first << '=' << labels[i].second;
+    }
+    return os.str();
+  };
+  for (const CounterValue& c : counters) {
+    table.BeginRow();
+    table.AddCell(c.name);
+    table.AddCell(labels_cell(c.labels));
+    table.AddCell("counter");
+    table.AddInt(static_cast<long long>(c.value));
+    table.AddCell("-");
+    table.AddCell("-");
+    table.AddCell("-");
+    table.AddCell("-");
+  }
+  for (const GaugeValue& g : gauges) {
+    table.BeginRow();
+    table.AddCell(g.name);
+    table.AddCell(labels_cell(g.labels));
+    table.AddCell("gauge");
+    table.AddInt(static_cast<long long>(g.value));
+    table.AddCell("-");
+    table.AddCell("-");
+    table.AddCell("-");
+    table.AddCell("-");
+  }
+  for (const HistogramValue& h : histograms) {
+    table.BeginRow();
+    table.AddCell(h.name);
+    table.AddCell(labels_cell(h.labels));
+    table.AddCell("histogram");
+    table.AddInt(static_cast<long long>(h.histogram.total));
+    table.AddNumber(static_cast<double>(h.histogram.sum) * 1e-6, 3);
+    table.AddNumber(h.histogram.Quantile(0.5) * 1e-3, 1);
+    table.AddNumber(h.histogram.Quantile(0.9) * 1e-3, 1);
+    table.AddNumber(h.histogram.Quantile(0.99) * 1e-3, 1);
+  }
+  return table;
+}
+
+}  // namespace sparsedet::obs

@@ -1,0 +1,222 @@
+// Dependency-free observability primitives: named counters, gauges and
+// fixed-bucket latency histograms behind a thread-safe registry.
+//
+// Hot-path contract: Inc() / Record() are a relaxed atomic add on a
+// per-thread, cache-line-padded shard — no locks, no false sharing — so
+// worker threads can instrument tight loops; Snapshot() merges the shards
+// on the reader's side. Metric creation/lookup takes a mutex, so callers
+// obtain handles once and keep them (see EngineMetrics, Phase).
+//
+// A snapshot serializes three ways: JSON (the engine's machine-readable
+// stats surface, round-trippable via FromJson), Prometheus text exposition
+// (for scraping), and a human-readable table (`sparsedet metrics-dump`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace sparsedet::obs {
+
+// Number of independent per-thread slots each metric keeps. Threads hash
+// onto shards; 16 covers the worker pools this engine runs with.
+inline constexpr std::size_t kShards = 16;
+
+// This thread's shard index, assigned round-robin on first use.
+std::size_t ThisThreadShard();
+
+// Label set attached to a metric, e.g. {{"phase", "ms_head"}}. Order is
+// part of the metric's identity and is preserved in every exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(std::uint64_t n = 1) {
+    slots_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Slot, kShards> slots_{};
+};
+
+// Point-in-time signed value (queue depth, cache size). Set/Add are rare
+// relative to counter increments, so a single atomic suffices.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Merged view of one histogram: `counts[i]` holds observations with
+// value <= bounds[i]; the final extra bucket holds the overflow.
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;   // ascending upper bounds (+Inf implied)
+  std::vector<std::uint64_t> counts;  // size bounds.size() + 1
+  std::uint64_t total = 0;
+  std::int64_t sum = 0;
+
+  // q in [0, 1]; linear interpolation inside the covering bucket. The
+  // overflow bucket clamps to the last finite bound; an empty histogram
+  // yields 0.
+  double Quantile(double q) const;
+
+  // Element-wise sum; both snapshots must share bounds. Associative and
+  // commutative, which is what makes shard merging order-independent.
+  static HistogramSnapshot Merge(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b);
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+// Fixed-bucket histogram; Record() is two relaxed atomic adds on this
+// thread's shard after a binary search over the (immutable) bounds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::int64_t value);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::int64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Exponential-ish 1us .. 10s bucket bounds in nanoseconds, the default for
+// every latency histogram in this codebase.
+std::vector<std::int64_t> DefaultLatencyBoundsNs();
+
+// The profiled phases. Engine phases first, then the solver stages the
+// paper's S-vs-M-S timing comparison (Section 5) attributes cost to.
+enum class Phase {
+  kQueueWait,    // submit -> worker pickup
+  kCacheLookup,  // canonical key + LRU probe, coordinator side
+  kSolve,        // one work-unit evaluation end to end
+  kSerialize,    // response line -> JSON text
+  kMsHead,       // M-S-approach Head-stage NEDR pmf
+  kMsBody,       // M-S-approach Body-stage NEDR pmf
+  kMsTail,       // M-S-approach Tail-stage NEDR pmfs
+  kMsPropagate,  // Markov propagation, Eq. 12
+  kSEnumeration,       // S-approach capped/exact enumeration
+  kRegionDecomposition,  // Region(i) / NEDR geometry decomposition
+  kMcTrials,     // Monte Carlo trial loop
+};
+inline constexpr std::size_t kNumPhases = 11;
+
+// Stable short name, e.g. "ms_head"; used as the `phase` label value.
+const char* PhaseName(Phase phase);
+
+// Point-in-time copy of every registered metric, sorted by name then
+// labels so every exposition is deterministic for deterministic values.
+struct RegistrySnapshot {
+  struct CounterValue {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    Labels labels;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Labels labels;
+    HistogramSnapshot histogram;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  // {"counters": [{"name", "labels", "value"}, ...], "gauges": [...],
+  //  "histograms": [{..., "le", "bucket_counts", "count", "sum_ns",
+  //                  "p50_ns", "p90_ns", "p99_ns"}, ...]}
+  JsonValue ToJson() const;
+  // Inverse of ToJson (quantiles are recomputed from the buckets). Throws
+  // InvalidArgument on malformed input.
+  static RegistrySnapshot FromJson(const JsonValue& json);
+
+  // Prometheus text exposition: one `# TYPE` line per metric name,
+  // cumulative `_bucket{le=...}` counts, label values escaped.
+  std::string ToPrometheus() const;
+
+  // Human-readable rendering for `sparsedet metrics-dump`.
+  Table ToTable() const;
+};
+
+// Owns every metric it hands out; handles stay valid for the registry's
+// lifetime. Lookup is mutex-guarded; the returned objects are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by (name, labels).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<std::int64_t> bounds =
+                           DefaultLatencyBoundsNs());
+
+  // The pre-registered per-phase latency histogram
+  // sparsedet_phase_duration_ns{phase=...}; lock-free array access, safe
+  // on the hot path.
+  Histogram& phase(Phase p) {
+    return *phases_[static_cast<std::size_t>(p)];
+  }
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+  template <typename T>
+  static T* FindOrNull(std::vector<Named<T>>& metrics,
+                       const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+  std::array<Histogram*, kNumPhases> phases_{};
+};
+
+}  // namespace sparsedet::obs

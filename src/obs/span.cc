@@ -1,0 +1,42 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace sparsedet::obs {
+
+JsonValue RequestSpan::ToJson() const {
+  JsonValue units_json = JsonValue::Array();
+  for (const Unit& unit : units) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("source", unit.source);
+    if (unit.source != "cache_hit") {
+      entry.Set("queue_wait_ns", unit.queue_wait_ns)
+          .Set("solve_ns", unit.solve_ns);
+    }
+    units_json.Append(std::move(entry));
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("trace_id", static_cast<std::int64_t>(trace_id))
+      .Set("cache_lookup_ns", cache_lookup_ns)
+      .Set("queue_wait_ns", queue_wait_ns)
+      .Set("solve_ns", solve_ns)
+      .Set("serialize_ns", serialize_ns)
+      .Set("units", std::move(units_json));
+  return json;
+}
+
+JsonValue RequestSpan::ToFileJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("trace_id", static_cast<std::int64_t>(trace_id));
+  if (!request_id.is_null()) json.Set("id", request_id);
+  if (!op.empty()) json.Set("op", op);
+  json.Set("line", line);
+  const JsonValue body = ToJson();
+  for (const auto& [key, value] : body.Fields()) {
+    if (key == "trace_id") continue;  // already first
+    json.Set(key, value);
+  }
+  return json;
+}
+
+}  // namespace sparsedet::obs

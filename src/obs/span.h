@@ -1,0 +1,48 @@
+// Per-request span records for the batch engine.
+//
+// Every engine request carries one RequestSpan: a deterministic trace id
+// (assigned at plan time, in input order) plus the nanosecond durations of
+// the four engine phases — queue-wait, cache-lookup, solve, serialize —
+// and one entry per work unit saying where its result came from
+// (cache_hit | computed | coalesced). Spans surface two ways: inline as a
+// "trace" object on the response line (--trace) and as one JSON line per
+// request in a trace file (--trace-file). Neither is on by default, so
+// the determinism contract of the plain output stream is untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace sparsedet::obs {
+
+struct RequestSpan {
+  // How a work unit's result was obtained.
+  struct Unit {
+    std::string source;  // "cache_hit" | "computed" | "coalesced"
+    std::int64_t queue_wait_ns = 0;  // 0 for cache hits
+    std::int64_t solve_ns = 0;       // 0 for cache hits
+  };
+
+  std::uint64_t trace_id = 0;
+  JsonValue request_id;  // echoed request id (null for unparseable lines)
+  std::string op;        // empty for unparseable lines
+  int line = 0;          // 1-based input line
+
+  std::int64_t cache_lookup_ns = 0;
+  std::int64_t queue_wait_ns = 0;  // summed over computed units
+  std::int64_t solve_ns = 0;       // summed over computed units
+  std::int64_t serialize_ns = 0;
+  std::vector<Unit> units;
+
+  // The inline "trace" object: trace_id, the four phase durations and the
+  // per-unit entries.
+  JsonValue ToJson() const;
+  // The trace-file record: ToJson() plus id / op / line so a span is
+  // attributable without joining against the response stream.
+  JsonValue ToFileJson() const;
+};
+
+}  // namespace sparsedet::obs

@@ -1,0 +1,26 @@
+#include "obs/timer.h"
+
+#include <atomic>
+
+namespace sparsedet::obs {
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+void InstallGlobalRegistry(MetricsRegistry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+void UninstallGlobalRegistry(MetricsRegistry* registry) {
+  MetricsRegistry* expected = registry;
+  g_registry.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+MetricsRegistry* GlobalRegistry() {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+}  // namespace sparsedet::obs

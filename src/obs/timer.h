@@ -1,0 +1,69 @@
+// Scoped phase timers and the process-wide registry install point.
+//
+// Core solvers must not depend on the engine, so they reach their metrics
+// through a single global pointer: the engine installs its registry for
+// the duration of a run, and every ObsTimer constructed while it is
+// installed records into the matching per-phase histogram. When no
+// registry is installed the timer is a no-op — it never reads the clock —
+// so library users and the paper-figure benches pay one relaxed atomic
+// load per instrumented scope and nothing else.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace sparsedet::obs {
+
+// Nanoseconds on the monotonic clock; the time base for every span and
+// phase histogram.
+inline std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Installs `registry` as the process-wide phase-timer sink. The caller
+// keeps ownership and must keep the registry alive until it uninstalls
+// (and any thread that may be inside an instrumented scope has finished).
+void InstallGlobalRegistry(MetricsRegistry* registry);
+
+// Clears the global sink, but only if `registry` is still the one
+// installed — two engines constructed in sequence each detach their own.
+void UninstallGlobalRegistry(MetricsRegistry* registry);
+
+// The installed registry, or nullptr.
+MetricsRegistry* GlobalRegistry();
+
+// Records the lifetime of a scope into a latency histogram.
+class ObsTimer {
+ public:
+  // Phase form, used inside core/sim: resolves through the global
+  // registry; a null registry makes the whole timer a no-op.
+  explicit ObsTimer(Phase phase) {
+    if (MetricsRegistry* registry = GlobalRegistry()) {
+      histogram_ = &registry->phase(phase);
+      start_ = NowNanos();
+    }
+  }
+
+  // Direct-handle form, used by the engine on its own histograms; a null
+  // histogram is a no-op.
+  explicit ObsTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = NowNanos();
+  }
+
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+  ~ObsTimer() {
+    if (histogram_ != nullptr) histogram_->Record(NowNanos() - start_);
+  }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace sparsedet::obs

@@ -24,10 +24,22 @@ const std::array<double, kTableSize>& LogFactorialTable() {
 
 }  // namespace
 
+double LogGamma(double x) {
+  SPARSEDET_REQUIRE(x > 0.0, "LogGamma requires x > 0");
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // lgamma() writes the global `signgam`, which races when engine workers
+  // evaluate PMFs concurrently; lgamma_r takes the sign as an out-param.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double LogFactorial(int n) {
   SPARSEDET_REQUIRE(n >= 0, "factorial of a negative number");
   if (n < kTableSize) return LogFactorialTable()[n];
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0);
 }
 
 double LogChoose(int n, int k) {

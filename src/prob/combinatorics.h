@@ -5,6 +5,10 @@
 
 namespace sparsedet {
 
+// ln Γ(x). Thread-safe: avoids the global `signgam` that glibc's lgamma()
+// writes (engine workers evaluate PMFs concurrently). Requires x > 0.
+double LogGamma(double x);
+
 // ln(n!). Requires n >= 0. Exact table for small n, lgamma beyond.
 double LogFactorial(int n);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "prob/combinatorics.h"
 
 namespace sparsedet {
 namespace {
@@ -18,7 +19,7 @@ double GammaPSeries(double s, double x) {
     sum += term;
     if (term < sum * 1e-16) break;
   }
-  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+  return sum * std::exp(-x + s * std::log(x) - LogGamma(s));
 }
 
 // Upper regularized incomplete gamma Q(s, x) by continued fraction
@@ -41,7 +42,7 @@ double GammaQContinuedFraction(double s, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < 1e-16) break;
   }
-  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+  return std::exp(-x + s * std::log(x) - LogGamma(s)) * h;
 }
 
 }  // namespace

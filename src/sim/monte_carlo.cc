@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/timer.h"
 
 namespace sparsedet {
 
@@ -16,16 +17,19 @@ ProportionEstimate EstimateTrialProbability(
 
   const Rng base(options.seed);
   std::atomic<std::int64_t> successes{0};
-  ParallelFor(
-      static_cast<std::size_t>(options.trials),
-      [&](std::size_t i) {
-        Rng rng = base.Substream(i);
-        const TrialResult trial = RunTrial(config, rng);
-        if (accept(trial)) {
-          successes.fetch_add(1, std::memory_order_relaxed);
-        }
-      },
-      options.threads);
+  {
+    obs::ObsTimer timer(obs::Phase::kMcTrials);
+    ParallelFor(
+        static_cast<std::size_t>(options.trials),
+        [&](std::size_t i) {
+          Rng rng = base.Substream(i);
+          const TrialResult trial = RunTrial(config, rng);
+          if (accept(trial)) {
+            successes.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        options.threads);
+  }
   return WilsonInterval(successes.load(), options.trials, options.z);
 }
 
@@ -54,6 +58,7 @@ double EstimateMeanReports(const TrialConfig& config,
   config.params.Validate();
   const Rng base(options.seed);
   std::atomic<std::int64_t> total{0};
+  obs::ObsTimer timer(obs::Phase::kMcTrials);
   ParallelFor(
       static_cast<std::size_t>(options.trials),
       [&](std::size_t i) {

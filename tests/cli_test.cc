@@ -396,6 +396,80 @@ TEST_F(CliBatchTest, PassesOverStdinRejected) {
   EXPECT_NE(err.str().find("seekable"), std::string::npos);
 }
 
+TEST_F(CliBatchTest, TraceFlagAttachesSpansToResponses) {
+  WriteRequests(
+      R"({"id": "t1", "op": "analyze", "params": {"nodes": 80}})"
+      "\n"
+      R"({"id": "t2", "op": "analyze", "params": {"nodes": 80}})"
+      "\n");
+  std::string plain, traced, err;
+  EXPECT_EQ(RunBatch({}, plain, err), 0) << err;
+  EXPECT_EQ(plain.find("\"trace\":"), std::string::npos);
+  // Two passes: within a pass the duplicate request coalesces; the second
+  // pass is served from the cache, so both provenances show up.
+  EXPECT_EQ(RunBatch({"--trace", "true", "--passes", "2"}, traced, err), 0)
+      << err;
+  EXPECT_NE(traced.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(traced.find("\"trace_id\":1"), std::string::npos);
+  EXPECT_NE(traced.find("\"source\":\"coalesced\""), std::string::npos);
+  EXPECT_NE(traced.find("\"source\":\"cache_hit\""), std::string::npos);
+}
+
+TEST(CliServe, StatsCommandSnapshotFeedsMetricsDump) {
+  // A serve session whose transcript is then re-rendered by metrics-dump,
+  // the way an operator would pipe the two commands together.
+  std::istringstream in(
+      R"({"id": 1, "op": "analyze", "params": {"nodes": 100}})"
+      "\n"
+      R"({"id": 2, "op": "analyze", "params": {"nodes": 100}})"
+      "\n"
+      R"({"cmd": "stats"})"
+      "\n");
+  std::ostringstream serve_out, serve_err;
+  ASSERT_EQ(cli::CmdServe({}, in, serve_out, serve_err), 0)
+      << serve_err.str();
+  EXPECT_NE(serve_out.str().find("\"metrics\":"), std::string::npos);
+
+  std::istringstream table_in(serve_out.str());
+  std::ostringstream table_out, table_err;
+  ASSERT_EQ(cli::CmdMetricsDump({}, table_in, table_out, table_err), 0)
+      << table_err.str();
+  EXPECT_NE(table_out.str().find("engine_cache_hits_total"),
+            std::string::npos);
+  EXPECT_NE(table_out.str().find("sparsedet_phase_duration_ns"),
+            std::string::npos);
+  EXPECT_NE(table_out.str().find("phase=solve"), std::string::npos);
+
+  std::istringstream prom_in(serve_out.str());
+  std::ostringstream prom_out, prom_err;
+  ASSERT_EQ(cli::CmdMetricsDump({"--format", "prometheus"}, prom_in,
+                                prom_out, prom_err),
+            0)
+      << prom_err.str();
+  EXPECT_NE(prom_out.str().find("# TYPE engine_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom_out.str().find("engine_cache_hits_total 1"),
+            std::string::npos);
+  EXPECT_NE(
+      prom_out.str().find(
+          "sparsedet_phase_duration_ns_bucket{phase=\"solve\",le="),
+      std::string::npos);
+}
+
+TEST(CliMetricsDump, RejectsInputWithoutSnapshot) {
+  std::istringstream in("{\"not\": \"metrics\"}\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::CmdMetricsDump({}, in, out, err), 2);
+  EXPECT_NE(err.str().find("no metrics snapshot"), std::string::npos);
+}
+
+TEST(CliMetricsDump, RejectsUnknownFormat) {
+  std::istringstream in;
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::CmdMetricsDump({"--format", "xml"}, in, out, err), 2);
+  EXPECT_NE(err.str().find("--format"), std::string::npos);
+}
+
 TEST(CliServe, AnswersRequestsFromStreamWithErrorIsolation) {
   std::istringstream in(
       R"({"id": 1, "op": "analyze", "params": {"nodes": 100}})"

@@ -159,6 +159,19 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
 }
 
+TEST(Stopwatch, LapReturnsNanosAndRestarts) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  const std::int64_t first = sw.Lap();
+  EXPECT_GT(first, 0);  // the loop above took measurable time
+  // Lap restarted the watch: the second lap measures only its own
+  // interval, so consecutive laps partition the run.
+  const std::int64_t second = sw.Lap();
+  EXPECT_GE(second, 0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
 TEST(Table, PrintsAlignedText) {
   Table t({"name", "value"});
   t.BeginRow();

@@ -3,6 +3,7 @@
 // contracts of BatchEngine.
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "engine/engine.h"
 #include "engine/request.h"
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
 
 namespace sparsedet::engine {
 namespace {
@@ -403,6 +405,190 @@ TEST(BatchEngine, SimulateMatchesDirectEvaluationAndIsDeterministic) {
   EngineOptions four;
   four.threads = 4;
   EXPECT_EQ(RunBatchText(batch, one), RunBatchText(batch, four));
+}
+
+// ---- Observability --------------------------------------------------------
+
+TEST(BatchEngine, ServeAnswersStatsCommandInStream) {
+  EngineOptions options;
+  options.threads = 2;
+  BatchEngine engine(options);
+  // The same request twice: the second is a cache hit, which the in-stream
+  // stats snapshot must report without ending the session.
+  std::istringstream in(
+      R"({"id": "q1", "op": "analyze", "params": {"nodes": 120}})"
+      "\n"
+      R"({"id": "q2", "op": "analyze", "params": {"nodes": 120}})"
+      "\n"
+      R"({"cmd": "stats"})"
+      "\n"
+      R"({"id": "q3", "op": "analyze", "params": {"nodes": 120}})"
+      "\n");
+  std::ostringstream out;
+  engine.Serve(in, out);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+
+  const JsonValue snapshot = ParseJson(lines[2]);
+  const JsonValue* stats = snapshot.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->Find("requests")->ToString(), "2");
+  EXPECT_EQ(stats->Find("cache")->Find("hits")->ToString(), "1");
+  EXPECT_EQ(stats->Find("cache")->Find("misses")->ToString(), "1");
+
+  // The full registry rides along: engine counters, the queue-depth gauge
+  // and per-phase latency histograms.
+  const JsonValue* metrics = snapshot.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool saw_queue_depth = false;
+  for (const JsonValue& gauge : metrics->Find("gauges")->Items()) {
+    if (gauge.Find("name")->AsString() == "engine_queue_depth") {
+      saw_queue_depth = true;
+    }
+  }
+  EXPECT_TRUE(saw_queue_depth);
+  bool saw_solve_samples = false;
+  for (const JsonValue& histogram : metrics->Find("histograms")->Items()) {
+    if (histogram.Find("name")->AsString() != "sparsedet_phase_duration_ns") {
+      continue;
+    }
+    ASSERT_NE(histogram.Find("p50_ns"), nullptr);
+    ASSERT_NE(histogram.Find("p90_ns"), nullptr);
+    ASSERT_NE(histogram.Find("p99_ns"), nullptr);
+    if (histogram.Find("labels")->Find("phase")->AsString() == "solve" &&
+        histogram.Find("count")->ToString() == "1") {
+      saw_solve_samples = true;  // one computed unit so far
+    }
+  }
+  EXPECT_TRUE(saw_solve_samples);
+
+  // The stream keeps serving after the command, and the cmd line did not
+  // touch the request counters.
+  EXPECT_EQ(ParseJson(lines[3]).Find("id")->AsString(), "q3");
+  EXPECT_EQ(engine.stats().requests, 3u);
+}
+
+TEST(BatchEngine, ServeRejectsUnknownCommands) {
+  EngineOptions options;
+  options.threads = 1;
+  BatchEngine engine(options);
+  std::istringstream in(R"({"cmd": "selfdestruct"})"
+                        "\n");
+  std::ostringstream out;
+  engine.Serve(in, out);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(ParseJson(lines[0]).Find("error"), nullptr);
+  EXPECT_EQ(engine.stats().requests, 0u);
+}
+
+TEST(BatchEngine, TraceObjectAppearsOnlyWhenEnabled) {
+  const std::string batch =
+      R"({"id": "a", "op": "analyze", "params": {"nodes": 100}})"
+      "\n"
+      R"({"id": "b", "op": "analyze", "params": {"nodes": 100}})"
+      "\n";
+  EngineOptions plain;
+  plain.threads = 2;
+  for (const std::string& line :
+       Lines(RunBatchText(batch, plain, /*with_stats=*/false))) {
+    EXPECT_EQ(ParseJson(line).Find("trace"), nullptr);
+  }
+
+  EngineOptions traced = plain;
+  traced.trace = true;
+  const std::vector<std::string> lines =
+      Lines(RunBatchText(batch, traced, /*with_stats=*/false));
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue first = ParseJson(lines[0]);
+  const JsonValue* first_trace = first.Find("trace");
+  ASSERT_NE(first_trace, nullptr);
+  EXPECT_EQ(first_trace->Find("trace_id")->ToString(), "1");
+  EXPECT_EQ(
+      first_trace->Find("units")->Items()[0].Find("source")->AsString(),
+      "computed");
+  // Both requests are planned before either is emitted, so the duplicate
+  // joins the in-flight unit rather than hitting the cache.
+  const JsonValue second = ParseJson(lines[1]);
+  EXPECT_EQ(second.Find("trace")->Find("trace_id")->ToString(), "2");
+  EXPECT_EQ(second.Find("trace")
+                ->Find("units")
+                ->Items()[0]
+                .Find("source")
+                ->AsString(),
+            "coalesced");
+}
+
+TEST(BatchEngine, TraceDisabledKeepsOutputByteIdentical) {
+  EngineOptions plain;
+  plain.threads = 2;
+  EngineOptions with_file = plain;
+  with_file.trace_file = testing::TempDir() + "sparsedet_spans_test.jsonl";
+  // The span file is a side channel: the response stream (stats line
+  // included) must not change byte for byte when only the file is on.
+  EXPECT_EQ(RunBatchText(kMixedBatch, plain),
+            RunBatchText(kMixedBatch, with_file));
+}
+
+TEST(BatchEngine, TraceFileRecordsCacheHitsOnSecondPass) {
+  const std::string path = testing::TempDir() + "sparsedet_trace_test.jsonl";
+  EngineOptions options;
+  options.threads = 2;
+  options.trace_file = path;
+  {
+    BatchEngine engine(options);
+    for (int pass = 0; pass < 2; ++pass) {
+      std::istringstream in(
+          R"({"id": "p", "op": "analyze", "params": {"nodes": 90}})"
+          "\n");
+      std::ostringstream out;
+      engine.RunBatch(in, out);
+    }
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::vector<std::string> spans;
+  std::string line;
+  while (std::getline(file, line)) spans.push_back(line);
+  ASSERT_EQ(spans.size(), 2u);
+  const JsonValue first = ParseJson(spans[0]);
+  EXPECT_EQ(first.Find("trace_id")->ToString(), "1");
+  EXPECT_EQ(first.Find("id")->AsString(), "p");
+  EXPECT_EQ(first.Find("op")->AsString(), "analyze");
+  EXPECT_EQ(
+      first.Find("units")->Items()[0].Find("source")->AsString(),
+      "computed");
+  EXPECT_EQ(ParseJson(spans[1])
+                .Find("units")
+                ->Items()[0]
+                .Find("source")
+                ->AsString(),
+            "cache_hit");
+}
+
+TEST(BatchEngine, MetricsSnapshotCountsPhaseSamples) {
+  EngineOptions options;
+  options.threads = 2;
+  BatchEngine engine(options);
+  std::istringstream in(kMixedBatch);
+  std::ostringstream out;
+  engine.RunBatch(in, out);
+  const obs::RegistrySnapshot snapshot = engine.MetricsSnapshot();
+
+  std::uint64_t solve_samples = 0;
+  std::uint64_t ms_head_samples = 0;
+  for (const obs::RegistrySnapshot::HistogramValue& h : snapshot.histograms) {
+    if (h.name != "sparsedet_phase_duration_ns" || h.labels.empty()) continue;
+    if (h.labels.front().second == "solve") {
+      solve_samples = h.histogram.total;
+    } else if (h.labels.front().second == "ms_head") {
+      ms_head_samples = h.histogram.total;
+    }
+  }
+  // Every computed unit passes through the solve phase, and the analyze /
+  // sweep units drive the M-S solver's Head stage underneath.
+  EXPECT_EQ(solve_samples, engine.cache().counters().misses);
+  EXPECT_GT(ms_head_samples, 0u);
 }
 
 }  // namespace

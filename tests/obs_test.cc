@@ -1,0 +1,262 @@
+// Unit tests for the observability primitives in src/obs: sharded
+// counters/histograms, quantile math, snapshot serialization (JSON
+// round-trip, Prometheus text exposition) and the scoped phase timers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timer.h"
+
+namespace sparsedet::obs {
+namespace {
+
+TEST(Counter, SumsIncrementsAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncrements);
+}
+
+TEST(Counter, IncByN) {
+  Counter counter;
+  counter.Inc(5);
+  counter.Inc();
+  EXPECT_EQ(counter.Value(), 6u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(Histogram, QuantilesFromKnownBucketFills) {
+  Histogram histogram({100, 200, 300});
+  for (int i = 0; i < 10; ++i) histogram.Record(50);   // bucket (0, 100]
+  for (int i = 0; i < 10; ++i) histogram.Record(150);  // bucket (100, 200]
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.total, 20u);
+  EXPECT_EQ(snapshot.sum, 10 * 50 + 10 * 150);
+  EXPECT_EQ(snapshot.counts, (std::vector<std::uint64_t>{10, 10, 0, 0}));
+
+  // rank = q * total, linearly interpolated within the covering bucket:
+  // p25 -> rank 5, halfway through (0, 100]; p50 -> rank 10, its top edge;
+  // p90 -> rank 18, 80% through (100, 200].
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.25), 50.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.9), 180.0);
+}
+
+TEST(Histogram, EmptyHistogramQuantileIsZero) {
+  Histogram histogram({100, 200, 300});
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.total, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, OverflowBucketClampsToLastBound) {
+  Histogram histogram({100, 200, 300});
+  histogram.Record(5'000);  // beyond every finite bound
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.counts.back(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 300.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 300.0);
+}
+
+TEST(Histogram, RecordsFromManyThreads) {
+  Histogram histogram(DefaultLatencyBoundsNs());
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kRecords; ++i) histogram.Record(1'000 * (t + 1));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.total, kThreads * kRecords);
+  std::int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += 1'000 * (t + 1);
+  EXPECT_EQ(snapshot.sum, expected_sum * kRecords);
+}
+
+HistogramSnapshot MakeSnapshot(std::vector<std::uint64_t> counts,
+                               std::int64_t sum) {
+  HistogramSnapshot s;
+  s.bounds = {100, 200, 300};
+  s.counts = std::move(counts);
+  for (std::uint64_t c : s.counts) s.total += c;
+  s.sum = sum;
+  return s;
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  const HistogramSnapshot a = MakeSnapshot({1, 2, 3, 4}, 900);
+  const HistogramSnapshot b = MakeSnapshot({5, 0, 1, 0}, 420);
+  const HistogramSnapshot c = MakeSnapshot({0, 7, 0, 2}, 1800);
+  const HistogramSnapshot left =
+      HistogramSnapshot::Merge(HistogramSnapshot::Merge(a, b), c);
+  const HistogramSnapshot right =
+      HistogramSnapshot::Merge(a, HistogramSnapshot::Merge(b, c));
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left.total, a.total + b.total + c.total);
+  EXPECT_EQ(left.sum, a.sum + b.sum + c.sum);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  const HistogramSnapshot a = MakeSnapshot({1, 2, 3, 4}, 900);
+  HistogramSnapshot b = a;
+  b.bounds = {1, 2, 3};
+  EXPECT_THROW(HistogramSnapshot::Merge(a, b), Error);
+}
+
+TEST(Registry, FindOrCreateReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("hits", {{"op", "analyze"}});
+  Counter& b = registry.counter("hits", {{"op", "analyze"}});
+  Counter& other = registry.counter("hits", {{"op", "sweep"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST(Registry, SnapshotJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("requests_total").Inc(42);
+  registry.gauge("queue_depth").Set(-3);
+  registry.phase(Phase::kSolve).Record(1'500);
+  registry.phase(Phase::kSolve).Record(900'000);
+
+  const JsonValue json = registry.Snapshot().ToJson();
+  const RegistrySnapshot parsed = RegistrySnapshot::FromJson(json);
+  // FromJson recomputes the quantiles from the buckets, so a second
+  // serialization must reproduce the first byte for byte.
+  EXPECT_EQ(parsed.ToJson().ToString(), json.ToString());
+}
+
+TEST(Registry, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(RegistrySnapshot::FromJson(JsonValue("nope")), Error);
+  EXPECT_THROW(RegistrySnapshot::FromJson(JsonValue::Object()), Error);
+}
+
+TEST(Prometheus, OneTypeLinePerMetricName) {
+  MetricsRegistry registry;
+  registry.counter("ops_total", {{"op", "analyze"}}).Inc(2);
+  registry.counter("ops_total", {{"op", "sweep"}}).Inc(3);
+  const std::string text = registry.Snapshot().ToPrometheus();
+
+  std::size_t type_lines = 0;
+  for (std::size_t pos = text.find("# TYPE ops_total counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE ops_total counter", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("ops_total{op=\"analyze\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ops_total{op=\"sweep\"} 3"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("weird_total", {{"path", "a\\b\"c\nd"}}).Inc();
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("weird_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat_ns", {}, {100, 200});
+  h.Record(50);
+  h.Record(150);
+  h.Record(9'999);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"100\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"200\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum 10199"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 3"), std::string::npos);
+}
+
+TEST(ObsTimer, NoOpWithoutGlobalRegistry) {
+  ASSERT_EQ(GlobalRegistry(), nullptr);
+  { ObsTimer timer(Phase::kSolve); }  // must not crash or record anywhere
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.phase(Phase::kSolve).Snapshot().total, 0u);
+}
+
+TEST(ObsTimer, RecordsIntoInstalledRegistry) {
+  MetricsRegistry registry;
+  InstallGlobalRegistry(&registry);
+  { ObsTimer timer(Phase::kMsHead); }
+  UninstallGlobalRegistry(&registry);
+  EXPECT_EQ(GlobalRegistry(), nullptr);
+  EXPECT_EQ(registry.phase(Phase::kMsHead).Snapshot().total, 1u);
+  { ObsTimer timer(Phase::kMsHead); }  // after uninstall: no-op again
+  EXPECT_EQ(registry.phase(Phase::kMsHead).Snapshot().total, 1u);
+}
+
+TEST(ObsTimer, UninstallOnlyDetachesOwnRegistry) {
+  MetricsRegistry first;
+  MetricsRegistry second;
+  InstallGlobalRegistry(&first);
+  InstallGlobalRegistry(&second);
+  UninstallGlobalRegistry(&first);  // stale: must not clobber `second`
+  EXPECT_EQ(GlobalRegistry(), &second);
+  UninstallGlobalRegistry(&second);
+  EXPECT_EQ(GlobalRegistry(), nullptr);
+}
+
+TEST(ObsTimer, DirectHandleFormRecordsOneSample) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("direct_ns");
+  { ObsTimer timer(&histogram); }
+  { ObsTimer timer(static_cast<Histogram*>(nullptr)); }  // no-op
+  EXPECT_EQ(histogram.Snapshot().total, 1u);
+}
+
+TEST(RequestSpan, CacheHitUnitsOmitTimings) {
+  RequestSpan span;
+  span.trace_id = 9;
+  span.units.push_back({"cache_hit", 0, 0});
+  span.units.push_back({"computed", 11, 22});
+  const JsonValue json = span.ToJson();
+  const JsonValue& units = *json.Find("units");
+  EXPECT_EQ(units.Items()[0].Find("queue_wait_ns"), nullptr);
+  ASSERT_NE(units.Items()[1].Find("solve_ns"), nullptr);
+  EXPECT_EQ(units.Items()[1].Find("solve_ns")->AsDouble(), 22.0);
+}
+
+TEST(RequestSpan, FileJsonCarriesAttribution) {
+  RequestSpan span;
+  span.trace_id = 3;
+  span.request_id = JsonValue("r1");
+  span.op = "analyze";
+  span.line = 7;
+  const JsonValue json = span.ToFileJson();
+  EXPECT_EQ(json.Find("id")->AsString(), "r1");
+  EXPECT_EQ(json.Find("op")->AsString(), "analyze");
+  EXPECT_EQ(json.Find("line")->AsDouble(), 7.0);
+  EXPECT_EQ(json.Find("trace_id")->AsDouble(), 3.0);
+}
+
+}  // namespace
+}  // namespace sparsedet::obs
