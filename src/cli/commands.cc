@@ -393,6 +393,18 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
         "trace", false, "attach a \"trace\" span object to response lines");
     options.trace_file = flags.GetString(
         "trace-file", "", "write one span JSON line per request to this file");
+    options.max_queue = static_cast<std::size_t>(flags.GetInt(
+        "max-queue", 0, "reject requests past this pool backlog (0 = off)"));
+    options.max_line_bytes = static_cast<std::size_t>(flags.GetInt(
+        "max-line-bytes", 1 << 20, "reject longer input lines (0 = off)"));
+    options.retry.max_attempts = flags.GetInt(
+        "retry-max", 3, "attempts per unit under transient faults");
+    options.retry.base_delay_ms = flags.GetInt(
+        "retry-base-ms", 1, "base backoff delay between retries");
+    options.watchdog_stuck_ms = flags.GetInt(
+        "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
+    options.fault_config = flags.GetString(
+        "fault-inject", "", "FaultInjector JSON config (testing)");
     const int passes =
         flags.GetInt("passes", 1, "process the input this many times");
     const bool stats =
@@ -431,6 +443,18 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
         "trace", false, "attach a \"trace\" span object to response lines");
     options.trace_file = flags.GetString(
         "trace-file", "", "write one span JSON line per request to this file");
+    options.max_queue = static_cast<std::size_t>(flags.GetInt(
+        "max-queue", 0, "reject requests past this pool backlog (0 = off)"));
+    options.max_line_bytes = static_cast<std::size_t>(flags.GetInt(
+        "max-line-bytes", 1 << 20, "reject longer input lines (0 = off)"));
+    options.retry.max_attempts = flags.GetInt(
+        "retry-max", 3, "attempts per unit under transient faults");
+    options.retry.base_delay_ms = flags.GetInt(
+        "retry-base-ms", 1, "base backoff delay between retries");
+    options.watchdog_stuck_ms = flags.GetInt(
+        "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
+    options.fault_config = flags.GetString(
+        "fault-inject", "", "FaultInjector JSON config (testing)");
     const bool stats = flags.GetBool(
         "stats", false, "emit a {\"stats\":...} line at end of stream");
     flags.Finish();

@@ -195,11 +195,10 @@ std::string JsonValue::ToString() const {
 
 namespace {
 
-constexpr int kMaxNestingDepth = 256;
-
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   JsonValue ParseDocument() {
     SkipWhitespace();
@@ -263,7 +262,7 @@ class Parser {
   }
 
   JsonValue ParseValue(int depth) {
-    if (depth > kMaxNestingDepth) Fail("nesting too deep");
+    if (depth > max_depth_) Fail("nesting too deep");
     if (AtEnd()) Fail("unexpected end of input");
     switch (Peek()) {
       case 'n':
@@ -474,13 +473,17 @@ class Parser {
   }
 
   std::string_view text_;
+  int max_depth_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-JsonValue ParseJson(std::string_view text) {
-  Parser parser(text);
+JsonValue ParseJson(std::string_view text, int max_depth) {
+  if (max_depth < 1) {
+    throw InvalidArgument("ParseJson max_depth must be >= 1");
+  }
+  Parser parser(text, max_depth);
   return parser.ParseDocument();
 }
 

@@ -88,11 +88,18 @@ class JsonParseError : public InvalidArgument {
   int column_;
 };
 
+// Default nesting cap for ParseJson. Callers facing untrusted input (the
+// engine's request path) pass a smaller `max_depth` so a deeply nested
+// document is rejected before it can drive unbounded recursion/allocation.
+constexpr int kDefaultMaxJsonDepth = 256;
+
 // Parses exactly one JSON value from `text` (surrounding whitespace is
 // allowed, anything else after the value is an error). Strict mode:
 // duplicate object keys, NaN/Infinity literals, numbers that overflow a
 // double, lone surrogates and control characters inside strings are all
-// rejected. Nesting is limited to 256 levels. Throws JsonParseError.
-JsonValue ParseJson(std::string_view text);
+// rejected. Nesting beyond `max_depth` levels (>= 1) is rejected. Throws
+// JsonParseError.
+JsonValue ParseJson(std::string_view text,
+                    int max_depth = kDefaultMaxJsonDepth);
 
 }  // namespace sparsedet

@@ -8,6 +8,7 @@
 #include "markov/chain.h"
 #include "markov/increment_chain.h"
 #include "obs/timer.h"
+#include "resilience/cancel.h"
 
 namespace sparsedet {
 namespace {
@@ -53,11 +54,13 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
     result.head_pmf =
         CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
   }
+  resilience::CancellationPoint();
   {
     obs::ObsTimer timer(obs::Phase::kMsBody);
     result.body_pmf =
         CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
   }
+  resilience::CancellationPoint();
   {
     obs::ObsTimer timer(obs::Phase::kMsTail);
     result.tail_pmfs.reserve(static_cast<std::size_t>(ms));
@@ -66,6 +69,7 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
           n, s, decomp.AreaTVector(j), pd, options.g, rel));
     }
   }
+  resilience::CancellationPoint();
 
   // Chain the stages: Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
   // The state space 0 .. M*Z is large enough that no transition can

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "prob/binomial.h"
+#include "resilience/cancel.h"
 
 namespace sparsedet {
 namespace {
@@ -84,6 +85,7 @@ Pmf CappedRegionReportPmf(int num_nodes, double field_area,
       static_cast<std::size_t>(effective_cap) * max_periods + 1, 0.0);
   Pmf n_fold = Pmf::Delta(0);  // conditional^0
   for (int n = 0; n <= effective_cap; ++n) {
+    resilience::CancellationPoint();
     const double p_n = BinomialPmf(num_nodes, n, p_in);
     for (std::size_t m = 0; m < n_fold.size(); ++m) {
       out[m] += p_n * n_fold[m];
@@ -106,6 +108,7 @@ void EnumerateLiteral(const std::vector<double>& area_over_s,
     out[reports_so_far] += weight;
     return;
   }
+  resilience::CancellationPoint();
   for (std::size_t region = 0; region < area_over_s.size(); ++region) {
     const double w_region = weight * area_over_s[region];
     if (w_region == 0.0) continue;
@@ -216,6 +219,7 @@ JointPmf CappedRegionJointPmf(int num_nodes, double field_area,
   JointPmf out(max_m, max_n);
   JointPmf n_fold = JointPmf::DeltaZero(max_m, max_n);
   for (int n = 0; n <= effective_cap; ++n) {
+    resilience::CancellationPoint();
     const double p_n = BinomialPmf(num_nodes, n, p_in);
     for (int m = 0; m <= max_m; ++m) {
       for (int nn = 0; nn <= max_n; ++nn) {

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
+#include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,10 +16,15 @@ struct BatchEngine::PendingUnit {
   std::string key;
   std::shared_ptr<const JsonValue> result;  // set by the worker on success
   std::string error;                        // set by the worker on failure
+  std::string error_code;  // structured category for resilience failures
+  // The owning request's token when it carries a deadline; per-attempt
+  // tokens chain off it so cancelling the request stops every attempt.
+  std::shared_ptr<resilience::CancelToken> request_token;
   // Written by the worker before it publishes `done` (so reading them
   // after observing done under done_mutex_ is race-free).
   std::int64_t queue_wait_ns = 0;
   std::int64_t solve_ns = 0;
+  int attempts = 1;
   bool done = false;      // guarded by done_mutex_
   bool inserted = false;  // coordinator-only: already in the cache
 };
@@ -26,8 +33,11 @@ struct BatchEngine::PendingRequest {
   JsonValue id;  // echoed in the response; defaults to the line number
   int line = 0;
   std::string parse_error;  // nonempty: request never got units
+  std::string plan_error_code;  // structured code for plan-time rejections
   Request request;
   obs::RequestSpan span;
+  // Set when the request carries a deadline; cancelled on expiry.
+  std::shared_ptr<resilience::CancelToken> token;
 
   // Each unit is either resolved from the cache at plan time or pending on
   // the pool (possibly shared with other requests that need the same key).
@@ -42,6 +52,45 @@ namespace {
 
 bool IsBlank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+// getline with an allocation bound: keeps at most `max_bytes` of the line,
+// consumes (and drops) the rest, and reports the truncation. 0 disables
+// the bound. Matches std::getline semantics otherwise, including a final
+// line without a trailing newline.
+bool BoundedGetline(std::istream& in, std::string& line,
+                    std::size_t max_bytes, bool* truncated) {
+  *truncated = false;
+  if (max_bytes == 0) return static_cast<bool>(std::getline(in, line));
+  line.clear();
+  std::streambuf* buf = in.rdbuf();
+  constexpr int kEof = std::char_traits<char>::eof();
+  int ch = buf->sbumpc();
+  if (ch == kEof) {
+    in.setstate(std::ios::eofbit | std::ios::failbit);
+    return false;
+  }
+  while (ch != kEof && ch != '\n') {
+    if (line.size() < max_bytes) {
+      line.push_back(static_cast<char>(ch));
+    } else {
+      *truncated = true;
+    }
+    ch = buf->sbumpc();
+  }
+  if (ch == kEof) in.setstate(std::ios::eofbit);
+  return true;
+}
+
+WorkerPoolOptions MakePoolOptions(const EngineOptions& options,
+                                  const EngineMetrics& metrics) {
+  WorkerPoolOptions pool;
+  pool.threads = options.threads;
+  pool.queue_depth_gauge = metrics.queue_depth;
+  pool.respawns_counter = metrics.worker_respawns;
+  pool.watchdog_cancels_counter = metrics.watchdog_cancels;
+  pool.stuck_after_ms = options.watchdog_stuck_ms;
+  return pool;
 }
 
 }  // namespace
@@ -75,13 +124,28 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
       queue_wait(&registry.phase(obs::Phase::kQueueWait)),
       cache_lookup(&registry.phase(obs::Phase::kCacheLookup)),
       solve(&registry.phase(obs::Phase::kSolve)),
-      serialize(&registry.phase(obs::Phase::kSerialize)) {}
+      serialize(&registry.phase(obs::Phase::kSerialize)),
+      deadline_exceeded(&registry.counter("engine_deadline_exceeded_total")),
+      degraded(&registry.counter("engine_degraded_total")),
+      cancelled_units(&registry.counter("engine_cancelled_units_total")),
+      retries(&registry.counter("engine_unit_retries_total")),
+      worker_aborts(&registry.counter("engine_worker_aborts_total")),
+      worker_respawns(&registry.counter("engine_worker_respawns_total")),
+      watchdog_cancels(&registry.counter("engine_watchdog_cancels_total")),
+      overloaded(&registry.counter("engine_overloaded_total")),
+      rejected_lines(&registry.counter("engine_rejected_lines_total")),
+      injected_faults(&registry.counter("engine_injected_faults_total")) {}
 
 BatchEngine::BatchEngine(const EngineOptions& options)
     : options_(options),
       metrics_(registry_),
       cache_(options.cache_capacity, registry_),
-      pool_(options.threads, metrics_.queue_depth) {
+      pool_(MakePoolOptions(options, metrics_)) {
+  if (!options_.fault_config.empty()) {
+    injector_ = std::make_unique<resilience::FaultInjector>(
+        resilience::ParseFaultInjectorConfig(options_.fault_config),
+        [this](const char*) { metrics_.injected_faults->Inc(); });
+  }
   if (!options_.trace_file.empty()) {
     trace_out_.open(options_.trace_file, std::ios::out | std::ios::trunc);
     SPARSEDET_REQUIRE(trace_out_.good(),
@@ -123,7 +187,7 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
   pending->span.line = line_number;
   metrics_.requests->Inc();
   try {
-    const JsonValue json = ParseJson(line);
+    const JsonValue json = ParseJson(line, options_.max_json_depth);
     // Recover the caller's id even if validation below fails, so the error
     // line is attributable.
     if (json.is_object()) {
@@ -135,15 +199,42 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
     pending->request = ParseRequest(json, line_number);
     pending->id = pending->request.id;
     pending->span.op = OpName(pending->request.op);
+    pending->span.deadline_ms = pending->request.deadline_ms;
+    if (pending->request.deadline_ms > 0) {
+      pending->token = std::make_shared<resilience::CancelToken>(
+          resilience::Deadline::AfterMillis(pending->request.deadline_ms));
+    }
 
-    for (WorkUnit& unit : ExpandRequest(pending->request)) {
+    std::vector<WorkUnit> expanded = ExpandRequest(pending->request);
+
+    // Backpressure: checked before any unit is admitted, so a rejected
+    // request contributes nothing to the unit/cache counters.
+    if (options_.max_queue > 0 &&
+        pool_.QueueDepth() + expanded.size() > options_.max_queue) {
+      metrics_.overloaded->Inc();
+      pending->parse_error =
+          "engine overloaded: " + std::to_string(expanded.size()) +
+          " unit(s) would exceed max queue depth " +
+          std::to_string(options_.max_queue);
+      pending->plan_error_code = "overloaded";
+      pending->span.outcome = "overloaded";
+      return pending;
+    }
+
+    // A request under a deadline keeps to itself: its units still consult
+    // the cache, but they neither join in-flight units nor register as
+    // coalescing targets — cancelling a shared unit would fail an innocent
+    // request that coalesced onto it.
+    const bool isolated = pending->token != nullptr;
+
+    for (WorkUnit& unit : expanded) {
       metrics_.units->Inc();
       PendingRequest::UnitRef ref;
       obs::RequestSpan::Unit unit_span;
       const std::string key = CanonicalKey(unit);
 
       const std::int64_t lookup_start = obs::NowNanos();
-      const auto it = in_flight_.find(key);
+      const auto it = isolated ? in_flight_.end() : in_flight_.find(key);
       const bool coalesced = it != in_flight_.end();
       std::shared_ptr<const JsonValue> cached;
       if (!coalesced) cached = cache_.Get(key);
@@ -161,32 +252,11 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
       } else {
         auto slot = std::make_shared<PendingUnit>();
         slot->key = key;
-        in_flight_.emplace(key, slot);
+        slot->request_token = pending->token;
+        if (!isolated) in_flight_.emplace(key, slot);
         ref.pending = slot;
         unit_span.source = "computed";
-        const std::int64_t submitted_ns = obs::NowNanos();
-        pool_.Submit([this, slot, submitted_ns, unit = std::move(unit)] {
-          const std::int64_t started_ns = obs::NowNanos();
-          slot->queue_wait_ns = started_ns - submitted_ns;
-          metrics_.queue_wait->Record(slot->queue_wait_ns);
-          try {
-            slot->result = std::make_shared<JsonValue>(EvaluateUnit(unit));
-          } catch (const Error& e) {
-            slot->error = e.what();
-          } catch (const std::exception& e) {
-            slot->error = std::string("internal error: ") + e.what();
-          }
-          slot->solve_ns = obs::NowNanos() - started_ns;
-          metrics_.solve->Record(slot->solve_ns);
-          {
-            // Notify while holding the mutex: the coordinator may destroy
-            // this engine (and the condvar) as soon as it observes done, so
-            // the broadcast must complete before the waiter can re-acquire.
-            std::lock_guard<std::mutex> lock(done_mutex_);
-            slot->done = true;
-            done_cv_.notify_all();
-          }
-        });
+        SubmitUnit(slot, std::move(unit), /*attempt=*/1);
       }
       pending->units.push_back(std::move(ref));
       pending->span.units.push_back(std::move(unit_span));
@@ -199,69 +269,256 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
   return pending;
 }
 
+std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::RejectedLine(
+    int line_number, std::string message, std::string code) {
+  auto pending = std::make_unique<PendingRequest>();
+  pending->line = line_number;
+  pending->id = JsonValue(line_number);
+  pending->span.trace_id = next_trace_id_++;
+  pending->span.line = line_number;
+  pending->span.outcome = code;
+  pending->parse_error = std::move(message);
+  pending->plan_error_code = std::move(code);
+  metrics_.requests->Inc();
+  metrics_.rejected_lines->Inc();
+  return pending;
+}
+
+void BatchEngine::SubmitUnit(const std::shared_ptr<PendingUnit>& slot,
+                             WorkUnit unit, int attempt) {
+  const std::int64_t submitted_ns = obs::NowNanos();
+  // A per-attempt token chains off the request token (deadline) and gives
+  // the watchdog a per-task cancellation target. No token at all when both
+  // features are off — the default path allocates nothing.
+  std::shared_ptr<resilience::CancelToken> token;
+  if (slot->request_token != nullptr || options_.watchdog_stuck_ms > 0) {
+    token = std::make_shared<resilience::CancelToken>(resilience::Deadline(),
+                                                      slot->request_token);
+  }
+  pool_.Submit(
+      [this, slot, token, attempt, submitted_ns,
+       unit = std::move(unit)]() mutable {
+        RunUnit(slot, token, std::move(unit), attempt, submitted_ns);
+      },
+      token);
+}
+
+void BatchEngine::RunUnit(const std::shared_ptr<PendingUnit>& slot,
+                          const std::shared_ptr<resilience::CancelToken>& token,
+                          WorkUnit unit, int attempt,
+                          std::int64_t submitted_ns) {
+  if (attempt > 1) {
+    std::this_thread::sleep_for(options_.retry.Delay(
+        attempt - 1, std::hash<std::string>{}(slot->key)));
+  }
+  const std::int64_t started_ns = obs::NowNanos();
+  slot->queue_wait_ns = started_ns - submitted_ns;
+  metrics_.queue_wait->Record(slot->queue_wait_ns);
+  slot->attempts = attempt;
+
+  bool publish = true;
+  bool propagate_abort = false;
+  try {
+    resilience::ScopedCancelScope scope(token.get());
+    if (injector_ != nullptr) injector_->OnEvaluate();
+    resilience::CancellationPoint();  // the deadline may already be past
+    slot->result = std::make_shared<JsonValue>(EvaluateUnit(unit));
+  } catch (const resilience::Cancelled& e) {
+    metrics_.cancelled_units->Inc();
+    if (e.reason() == resilience::CancelReason::kWatchdog &&
+        options_.retry.ShouldRetry(attempt)) {
+      // Stuck (not deadline-expired): worth another try on a fresh token.
+      metrics_.retries->Inc();
+      publish = false;
+      SubmitUnit(slot, std::move(unit), attempt + 1);
+    } else {
+      slot->error = e.what();
+      slot->error_code = e.reason() == resilience::CancelReason::kDeadline
+                             ? "deadline_exceeded"
+                             : (e.reason() == resilience::CancelReason::kWatchdog
+                                    ? "watchdog_cancelled"
+                                    : "cancelled");
+    }
+  } catch (const resilience::WorkerAbort& e) {
+    metrics_.worker_aborts->Inc();
+    if (options_.retry.ShouldRetry(attempt)) {
+      metrics_.retries->Inc();
+      publish = false;
+      SubmitUnit(slot, std::move(unit), attempt + 1);
+    } else {
+      slot->error = std::string(e.what()) + " (retries exhausted)";
+      slot->error_code = "worker_aborted";
+    }
+    // Either way this worker thread dies; the retry (if any) runs on a
+    // surviving or respawned worker.
+    propagate_abort = true;
+  } catch (const resilience::Transient& e) {
+    if (options_.retry.ShouldRetry(attempt)) {
+      metrics_.retries->Inc();
+      publish = false;
+      SubmitUnit(slot, std::move(unit), attempt + 1);
+    } else {
+      slot->error = std::string(e.what()) + " (retries exhausted)";
+      slot->error_code = "retries_exhausted";
+    }
+  } catch (const Error& e) {
+    slot->error = e.what();
+  } catch (const std::exception& e) {
+    slot->error = std::string("internal error: ") + e.what();
+  }
+  slot->solve_ns = obs::NowNanos() - started_ns;
+  metrics_.solve->Record(slot->solve_ns);
+  if (publish) {
+    // Notify while holding the mutex: the coordinator may destroy this
+    // engine (and the condvar) as soon as it observes done, so the
+    // broadcast must complete before the waiter can re-acquire.
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    slot->done = true;
+    done_cv_.notify_all();
+  }
+  if (propagate_abort) {
+    throw resilience::WorkerAbort("worker crashed evaluating " + slot->key);
+  }
+}
+
 void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
   obs::RequestSpan& span = request.span;
   span.request_id = request.id;
   JsonValue response = JsonValue::Object();
 
+  // On deadline expiry: try the cheap closed-form fallback if asked for it,
+  // otherwise report a structured deadline error. Returns true once a
+  // response has been built.
+  const auto try_degrade = [&]() -> bool {
+    if (!request.request.degrade ||
+        request.request.op != RequestOp::kAnalyze) {
+      return false;
+    }
+    try {
+      JsonValue result = DegradedAnalyzeResult(request.request.params);
+      metrics_.degraded->Inc();
+      metrics_.ok->Inc();
+      span.outcome = "degraded";
+      response.Set("id", request.id)
+          .Set("op", OpName(request.request.op))
+          .Set("degraded", true)
+          .Set("result", std::move(result));
+      return true;
+    } catch (const Error&) {
+      return false;  // even the fallback rejected the scenario
+    }
+  };
+
   if (!request.parse_error.empty()) {
     metrics_.errors->Inc();
     if (!request.id.is_null()) response.Set("id", request.id);
     response.Set("line", request.line).Set("error", request.parse_error);
+    if (!request.plan_error_code.empty()) {
+      response.Set("error_code", request.plan_error_code);
+    }
   } else {
+    bool deadline_hit = false;
     {
       std::unique_lock<std::mutex> lock(done_mutex_);
-      for (const PendingRequest::UnitRef& ref : request.units) {
-        if (ref.pending) {
-          done_cv_.wait(lock, [&ref] { return ref.pending->done; });
+      if (request.token == nullptr) {
+        for (const PendingRequest::UnitRef& ref : request.units) {
+          if (ref.pending) {
+            done_cv_.wait(lock, [&ref] { return ref.pending->done; });
+          }
+        }
+      } else {
+        const auto expires = request.token->deadline().time_point();
+        for (const PendingRequest::UnitRef& ref : request.units) {
+          if (!ref.pending) continue;
+          if (!done_cv_.wait_until(lock, expires,
+                                   [&ref] { return ref.pending->done; })) {
+            deadline_hit = true;
+            break;
+          }
         }
       }
     }
 
-    // Copy the worker-side timings into the span (race-free: done was
-    // observed under done_mutex_ above).
-    for (std::size_t i = 0; i < request.units.size(); ++i) {
-      if (const auto& pending = request.units[i].pending) {
-        span.units[i].queue_wait_ns = pending->queue_wait_ns;
-        span.units[i].solve_ns = pending->solve_ns;
-        span.queue_wait_ns += pending->queue_wait_ns;
-        span.solve_ns += pending->solve_ns;
+    if (deadline_hit) {
+      // Tell the workers to stop burning CPU on this request; the
+      // cancellation points inside the solvers pick it up.
+      request.token->Cancel(resilience::CancelReason::kDeadline);
+      metrics_.deadline_exceeded->Inc();
+      span.outcome = "deadline_exceeded";
+      // The slots may still be written by workers that have not yet hit a
+      // cancellation point — read none of them. That also guarantees
+      // nothing from a timed-out request ever reaches the result cache.
+      if (!try_degrade()) {
+        metrics_.errors->Inc();
+        response.Set("id", request.id)
+            .Set("line", request.line)
+            .Set("error",
+                 "deadline exceeded after " +
+                     std::to_string(request.request.deadline_ms) + " ms")
+            .Set("error_code", "deadline_exceeded");
       }
-    }
-
-    std::string unit_error;
-    std::vector<const JsonValue*> results;
-    results.reserve(request.units.size());
-    for (const PendingRequest::UnitRef& ref : request.units) {
-      if (ref.cached) {
-        results.push_back(ref.cached.get());
-        continue;
-      }
-      PendingUnit& slot = *ref.pending;
-      if (!slot.error.empty()) {
-        unit_error = slot.error;
-        break;
-      }
-      // First emitter of a shared unit publishes it to the cache; this runs
-      // on the coordinator in emission order, keeping eviction
-      // deterministic.
-      if (!slot.inserted) {
-        cache_.Put(slot.key, slot.result);
-        slot.inserted = true;
-      }
-      results.push_back(slot.result.get());
-    }
-
-    if (!unit_error.empty()) {
-      metrics_.errors->Inc();
-      response.Set("id", request.id)
-          .Set("line", request.line)
-          .Set("error", unit_error);
     } else {
-      metrics_.ok->Inc();
-      response.Set("id", request.id)
-          .Set("op", OpName(request.request.op))
-          .Set("result", ComposeResponse(request.request, results));
+      // Copy the worker-side timings into the span (race-free: done was
+      // observed under done_mutex_ above).
+      for (std::size_t i = 0; i < request.units.size(); ++i) {
+        if (const auto& pending = request.units[i].pending) {
+          span.units[i].queue_wait_ns = pending->queue_wait_ns;
+          span.units[i].solve_ns = pending->solve_ns;
+          span.units[i].attempts = pending->attempts;
+          span.queue_wait_ns += pending->queue_wait_ns;
+          span.solve_ns += pending->solve_ns;
+        }
+      }
+
+      std::string unit_error;
+      std::string unit_error_code;
+      std::vector<const JsonValue*> results;
+      results.reserve(request.units.size());
+      for (const PendingRequest::UnitRef& ref : request.units) {
+        if (ref.cached) {
+          results.push_back(ref.cached.get());
+          continue;
+        }
+        PendingUnit& slot = *ref.pending;
+        if (!slot.error.empty()) {
+          // Failed or cancelled units are never published to the cache.
+          unit_error = slot.error;
+          unit_error_code = slot.error_code;
+          break;
+        }
+        // First emitter of a shared unit publishes it to the cache; this
+        // runs on the coordinator in emission order, keeping eviction
+        // deterministic.
+        if (!slot.inserted) {
+          cache_.Put(slot.key, slot.result);
+          slot.inserted = true;
+        }
+        results.push_back(slot.result.get());
+      }
+
+      if (!unit_error.empty()) {
+        if (!unit_error_code.empty()) span.outcome = unit_error_code;
+        if (unit_error_code == "deadline_exceeded") {
+          metrics_.deadline_exceeded->Inc();
+        }
+        if (unit_error_code == "deadline_exceeded" && try_degrade()) {
+          // A worker observed the deadline before the coordinator did
+          // (unordered mode); same fallback applies.
+        } else {
+          metrics_.errors->Inc();
+          response.Set("id", request.id)
+              .Set("line", request.line)
+              .Set("error", unit_error);
+          if (!unit_error_code.empty()) {
+            response.Set("error_code", unit_error_code);
+          }
+        }
+      } else {
+        metrics_.ok->Inc();
+        response.Set("id", request.id)
+            .Set("op", OpName(request.request.op))
+            .Set("result", ComposeResponse(request.request, results));
+      }
     }
   }
 
@@ -285,7 +542,7 @@ bool BatchEngine::MaybeHandleCommand(const std::string& line,
                                      std::ostream& out) {
   JsonValue json;
   try {
-    json = ParseJson(line);
+    json = ParseJson(line, options_.max_json_depth);
   } catch (const Error&) {
     return false;  // not even JSON; let the request path report it
   }
@@ -306,9 +563,22 @@ void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
                                 bool streaming) {
   std::string line;
   int line_number = 0;
+  bool truncated = false;
+  const auto reject_long_line = [this](int number) {
+    return RejectedLine(
+        number,
+        "input line exceeds max_line_bytes (" +
+            std::to_string(options_.max_line_bytes) + ")",
+        "line_too_long");
+  };
   if (streaming) {
-    while (std::getline(in, line)) {
+    while (BoundedGetline(in, line, options_.max_line_bytes, &truncated)) {
       ++line_number;
+      if (truncated) {
+        EmitRequest(*reject_long_line(line_number), out);
+        out.flush();
+        continue;
+      }
       if (IsBlank(line)) continue;
       // Cheap substring guard: only lines that could carry a "cmd" key pay
       // for the extra parse. Requests never contain one (the strict parser
@@ -327,8 +597,12 @@ void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
   }
 
   std::vector<std::unique_ptr<PendingRequest>> planned;
-  while (std::getline(in, line)) {
+  while (BoundedGetline(in, line, options_.max_line_bytes, &truncated)) {
     ++line_number;
+    if (truncated) {
+      planned.push_back(reject_long_line(line_number));
+      continue;
+    }
     if (IsBlank(line)) continue;
     planned.push_back(PlanLine(line, line_number));
   }

@@ -41,9 +41,13 @@
 
 #include "common/json.h"
 #include "engine/cache.h"
+#include "engine/request.h"
 #include "engine/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "resilience/cancel.h"
+#include "resilience/fault_injection.h"
+#include "resilience/retry.h"
 
 namespace sparsedet::engine {
 
@@ -53,6 +57,16 @@ struct EngineOptions {
   bool unordered = false;  // emit completions immediately, tagged by id
   bool trace = false;      // attach a "trace" span object to response lines
   std::string trace_file;  // JSONL span log path; empty = no span file
+
+  // Resilience. The defaults either disable a feature or bound only
+  // pathological inputs, so output for well-formed streams is unchanged.
+  std::size_t max_queue = 0;  // reject requests whose units would push the
+                              // pool backlog past this; 0 = unbounded
+  std::size_t max_line_bytes = 1 << 20;  // reject longer input lines; 0 = off
+  int max_json_depth = 64;  // nesting cap for request lines
+  resilience::RetryPolicy retry;  // transient-fault retry schedule
+  std::int64_t watchdog_stuck_ms = 0;  // cancel units stuck longer; 0 = off
+  std::string fault_config;  // FaultInjector JSON (testing); "" = disabled
 };
 
 // Deterministic counter snapshot; the shape of the final stats line.
@@ -82,6 +96,17 @@ struct EngineMetrics {
   obs::Histogram* cache_lookup;
   obs::Histogram* solve;
   obs::Histogram* serialize;
+  // Resilience events (all zero when the features are off).
+  obs::Counter* deadline_exceeded;
+  obs::Counter* degraded;
+  obs::Counter* cancelled_units;
+  obs::Counter* retries;
+  obs::Counter* worker_aborts;
+  obs::Counter* worker_respawns;
+  obs::Counter* watchdog_cancels;
+  obs::Counter* overloaded;
+  obs::Counter* rejected_lines;
+  obs::Counter* injected_faults;
 };
 
 class BatchEngine {
@@ -122,20 +147,40 @@ class BatchEngine {
   // newly needed evaluations to the pool. Coordinator thread only.
   std::unique_ptr<PendingRequest> PlanLine(const std::string& line,
                                            int line_number);
+  // A pending request that never parses: oversized line, overload.
+  std::unique_ptr<PendingRequest> RejectedLine(int line_number,
+                                               std::string message,
+                                               std::string code);
   // Blocks until the request's units are done, then writes its response
   // line and inserts newly computed results into the cache.
   void EmitRequest(PendingRequest& request, std::ostream& out);
   void ProcessStream(std::istream& in, std::ostream& out, bool streaming);
   // Streaming-mode command lines ({"cmd": ...}); true when handled.
   bool MaybeHandleCommand(const std::string& line, std::ostream& out);
+  // Hands one evaluation attempt for `unit` to the pool. Attempt 1 comes
+  // from the coordinator; retries resubmit from the failing worker.
+  void SubmitUnit(const std::shared_ptr<PendingUnit>& slot, WorkUnit unit,
+                  int attempt);
+  // The worker-side body of one attempt: fault injection, cancellation
+  // scope, evaluation, retry-or-publish.
+  void RunUnit(const std::shared_ptr<PendingUnit>& slot,
+               const std::shared_ptr<resilience::CancelToken>& token,
+               WorkUnit unit, int attempt, std::int64_t submitted_ns);
 
   EngineOptions options_;
   // The registry outlives the cache (counter handles) and the pool
   // (workers record into phase histograms until joined) — declaration
-  // order is load-bearing here.
+  // order is load-bearing here. The injector sits between cache and pool
+  // for the same reason: workers call into it until the pool is joined.
   obs::MetricsRegistry registry_;
   EngineMetrics metrics_;
   LruResultCache cache_;
+  std::unique_ptr<resilience::FaultInjector> injector_;
+  // Completion signalling shared by all units. Declared before the pool:
+  // a worker abandoned by a deadline may broadcast on done_cv_ right up
+  // until the pool's destructor joins it, so the condvar must die later.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
   WorkerPool pool_;
   std::ofstream trace_out_;
   std::uint64_t next_trace_id_ = 1;
@@ -143,10 +188,6 @@ class BatchEngine {
   // Units planned but not yet handed to emission, keyed by canonical key;
   // identical units join the same slot instead of recomputing.
   std::unordered_map<std::string, std::shared_ptr<PendingUnit>> in_flight_;
-
-  // Completion signalling shared by all units.
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
 };
 
 }  // namespace sparsedet::engine

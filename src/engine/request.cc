@@ -10,6 +10,8 @@
 #include "core/analysis.h"
 #include "core/false_alarm_model.h"
 #include "core/latency.h"
+#include "core/s_approach.h"
+#include "core/single_period.h"
 #include "sim/monte_carlo.h"
 
 namespace sparsedet::engine {
@@ -117,7 +119,7 @@ MsApproachOptions ParseOptions(const JsonValue& obj) {
 SimulateSpec ParseSim(const JsonValue& obj) {
   CheckKeys(obj, "sim",
             {"trials", "seed", "pf", "reliability", "h", "motion",
-             "geometry"});
+             "geometry", "death", "loss"});
   SimulateSpec s;
   s.trials = GetInt(obj, "sim", "trials", s.trials);
   const double seed =
@@ -132,6 +134,14 @@ SimulateSpec ParseSim(const JsonValue& obj) {
   s.distinct_nodes = GetInt(obj, "sim", "h", s.distinct_nodes);
   s.motion = GetString(obj, "sim", "motion", s.motion);
   s.geometry = GetString(obj, "sim", "geometry", s.geometry);
+  s.node_death_prob = GetNumber(obj, "sim", "death", s.node_death_prob);
+  s.report_loss_prob = GetNumber(obj, "sim", "loss", s.report_loss_prob);
+  if (s.node_death_prob < 0.0 || s.node_death_prob > 1.0) {
+    FailKey("sim", "death", "expected in [0, 1]");
+  }
+  if (s.report_loss_prob < 0.0 || s.report_loss_prob > 1.0) {
+    FailKey("sim", "loss", "expected in [0, 1]");
+  }
   if (s.trials < 1) FailKey("sim", "trials", "expected >= 1");
   if (s.distinct_nodes < 1) FailKey("sim", "h", "expected >= 1");
   if (s.motion != "straight" && s.motion != "random-walk") {
@@ -249,7 +259,9 @@ std::string OpName(RequestOp op) {
 
 Request ParseRequest(const JsonValue& json, int default_id) {
   SPARSEDET_REQUIRE(json.is_object(), "request must be a JSON object");
-  CheckKeys(json, "", {"id", "op", "params", "options", "sim", "sweep", "fa"});
+  CheckKeys(json, "",
+            {"id", "op", "params", "options", "sim", "sweep", "fa",
+             "deadline_ms", "degrade"});
 
   Request request;
   if (const JsonValue* id = json.Find("id")) {
@@ -310,6 +322,14 @@ Request ParseRequest(const JsonValue& json, int default_id) {
   if (const JsonValue* fa = section("fa", request.op == RequestOp::kFa)) {
     request.fa = ParseFa(*fa);
   }
+
+  const double deadline = GetNumber(json, "", "deadline_ms", 0.0);
+  if (deadline < 0.0 || deadline != std::floor(deadline) ||
+      deadline > 9.0e15) {
+    FailKey("", "deadline_ms", "expected a non-negative integer");
+  }
+  request.deadline_ms = static_cast<std::int64_t>(deadline);
+  request.degrade = GetBool(json, "", "degrade", false);
 
   request.params.Validate();
   if (request.op == RequestOp::kSweep) {
@@ -384,7 +404,9 @@ std::string CanonicalKey(const WorkUnit& unit) {
          << "|pf=" << Num(unit.sim.false_alarm_prob)
          << "|srel=" << Num(unit.sim.node_reliability)
          << "|h=" << unit.sim.distinct_nodes << "|motion=" << unit.sim.motion
-         << "|geom=" << unit.sim.geometry;
+         << "|geom=" << unit.sim.geometry
+         << "|death=" << Num(unit.sim.node_death_prob)
+         << "|loss=" << Num(unit.sim.report_loss_prob);
       break;
   }
   return os.str();
@@ -444,6 +466,8 @@ JsonValue EvaluateUnit(const WorkUnit& unit) {
       config.params = unit.params;
       config.false_alarm_prob = unit.sim.false_alarm_prob;
       config.node_reliability = unit.sim.node_reliability;
+      config.node_death_prob = unit.sim.node_death_prob;
+      config.report_loss_prob = unit.sim.report_loss_prob;
       config.geometry = unit.sim.geometry == "planar"
                             ? SensingGeometry::kPlanar
                             : SensingGeometry::kToroidal;
@@ -500,6 +524,31 @@ JsonValue ComposeResponse(const Request& request,
   }
   JsonValue json = JsonValue::Object();
   json.Set("param", request.sweep.param).Set("points", std::move(points));
+  return json;
+}
+
+JsonValue DegradedAnalyzeResult(const SystemParams& params) {
+  JsonValue json = JsonValue::Object();
+  json.Set("nodes", params.num_nodes)
+      .Set("k", params.threshold_reports)
+      .Set("window_periods", params.window_periods)
+      .Set("single_period_detection",
+           SinglePeriodDetectionProbability(params));
+  try {
+    SApproachOptions options;
+    options.cap = 1;
+    const SApproachResult s = SApproachAnalyze(params, options);
+    json.Set("detection_probability", s.detection_probability)
+        .Set("eta_s", s.predicted_accuracy)
+        .Set("degraded_mode", "s_approach_g1");
+  } catch (const Error&) {
+    // The S-approach needs M > ms; outside that regime the M = 1 closed
+    // form is the only cheap answer (a lower bound, with no eta_S).
+    json.Set("detection_probability",
+             SinglePeriodDetectionProbability(params))
+        .Set("eta_s", JsonValue())
+        .Set("degraded_mode", "single_period");
+  }
   return json;
 }
 

@@ -46,6 +46,8 @@ struct SimulateSpec {
   int distinct_nodes = 1;  // "h": reports must come from >= h distinct nodes
   std::string motion = "straight";     // straight | random-walk
   std::string geometry = "toroidal";   // toroidal | planar
+  double node_death_prob = 0.0;   // "death": per-period node death process
+  double report_loss_prob = 0.0;  // "loss": i.i.d. report transport loss
 };
 
 struct SweepSpec {
@@ -68,6 +70,12 @@ struct Request {
   SimulateSpec sim;
   SweepSpec sweep;
   FaSpec fa;
+  // Wall-clock budget for the whole request; 0 = none. Not part of any
+  // cache key — it bounds the computation, it does not change the result.
+  std::int64_t deadline_ms = 0;
+  // On deadline expiry, fall back to the cheap closed forms (analyze only)
+  // instead of failing; the response is tagged "degraded": true.
+  bool degrade = false;
 };
 
 // Parses and validates one request object. `default_id` is used when the
@@ -106,5 +114,11 @@ JsonValue EvaluateUnit(const WorkUnit& unit);
 // Reassembles the response body from the unit results, in unit order.
 JsonValue ComposeResponse(const Request& request,
                           const std::vector<const JsonValue*>& unit_results);
+
+// The graceful-degradation fallback for an analyze request whose deadline
+// expired: the M = 1 closed form (Eqs. 1-2) plus a reduced-G S-approach
+// (G = 1) with its achieved accuracy eta_S. Cheap by construction — no
+// M-S chain propagation, one convolution at most.
+JsonValue DegradedAnalyzeResult(const SystemParams& params);
 
 }  // namespace sparsedet::engine

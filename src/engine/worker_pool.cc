@@ -1,19 +1,37 @@
 #include "engine/worker_pool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/timer.h"
+#include "resilience/fault_injection.h"
 
 namespace sparsedet::engine {
 
-WorkerPool::WorkerPool(std::size_t threads, obs::Gauge* queue_depth_gauge)
-    : queue_depth_gauge_(queue_depth_gauge) {
+WorkerPool::WorkerPool(const WorkerPoolOptions& options)
+    : queue_depth_gauge_(options.queue_depth_gauge),
+      respawns_counter_(options.respawns_counter),
+      watchdog_cancels_counter_(options.watchdog_cancels_counter),
+      stuck_after_ms_(options.stuck_after_ms) {
+  std::size_t threads = options.threads;
   if (threads == 0) threads = DefaultThreadCount();
+  active_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
+
+WorkerPool::WorkerPool(std::size_t threads, obs::Gauge* queue_depth_gauge)
+    : WorkerPool([&] {
+        WorkerPoolOptions options;
+        options.threads = threads;
+        options.queue_depth_gauge = queue_depth_gauge;
+        return options;
+      }()) {}
 
 WorkerPool::~WorkerPool() {
   {
@@ -21,13 +39,36 @@ WorkerPool::~WorkerPool() {
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  watchdog_wakeup_.notify_all();
+  // The watchdog is joined first: it is the only other toucher of
+  // workers_, so the join loop below owns the vector outright.
+  if (watchdog_.joinable()) watchdog_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // If the last worker crashed after the watchdog exited, its queued work
+  // (e.g. a retry it resubmitted on the way down) has no thread left; run
+  // the remainder inline so the drain guarantee holds.
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn();
+    } catch (const resilience::WorkerAbort&) {
+    }
+  }
 }
 
-void WorkerPool::Submit(std::function<void()> task) {
+void WorkerPool::Submit(std::function<void()> task,
+                        std::shared_ptr<resilience::CancelToken> token) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::move(token)});
     if (queue_depth_gauge_ != nullptr) {
       queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
     }
@@ -40,15 +81,20 @@ std::size_t WorkerPool::QueueDepth() const {
   return queue_.size();
 }
 
+std::uint64_t WorkerPool::respawn_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return respawns_;
+}
+
 void WorkerPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock,
                  [this] { return queue_.empty() && active_tasks_ == 0; });
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(std::size_t index) {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -60,13 +106,76 @@ void WorkerPool::WorkerLoop() {
         queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
       }
       ++active_tasks_;
+      active_[index] =
+          ActiveSlot{task.token, obs::NowNanos(), /*busy=*/true};
     }
-    task();
+    bool aborted = false;
+    try {
+      task.fn();
+    } catch (const resilience::WorkerAbort&) {
+      aborted = true;
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      active_[index] = ActiveSlot{};
       --active_tasks_;
       if (queue_.empty() && active_tasks_ == 0) all_idle_.notify_all();
+      if (aborted) dead_workers_.push_back(index);
     }
+    if (aborted) {
+      // This thread is "crashed": tell the watchdog to respawn the slot
+      // and exit without touching the queue again.
+      watchdog_wakeup_.notify_all();
+      return;
+    }
+  }
+}
+
+void WorkerPool::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stuck_after_ms_ > 0) {
+      // Poll: stuck-task detection needs periodic clock checks even when
+      // nothing notifies.
+      watchdog_wakeup_.wait_for(
+          lock, std::chrono::milliseconds(
+                    std::max<std::int64_t>(5, stuck_after_ms_ / 4)));
+    } else {
+      watchdog_wakeup_.wait(lock, [this] {
+        return shutting_down_ || !dead_workers_.empty();
+      });
+    }
+
+    while (!dead_workers_.empty()) {
+      const std::size_t index = dead_workers_.back();
+      dead_workers_.pop_back();
+      std::thread crashed = std::move(workers_[index]);
+      lock.unlock();
+      // The crashed thread is on its way out of WorkerLoop and never
+      // re-takes the mutex, so this join is prompt.
+      if (crashed.joinable()) crashed.join();
+      std::thread fresh([this, index] { WorkerLoop(index); });
+      lock.lock();
+      workers_[index] = std::move(fresh);
+      ++respawns_;
+      if (respawns_counter_ != nullptr) respawns_counter_->Inc();
+    }
+
+    if (stuck_after_ms_ > 0 && !shutting_down_) {
+      const std::int64_t now = obs::NowNanos();
+      const std::int64_t limit_ns = stuck_after_ms_ * 1'000'000;
+      for (ActiveSlot& slot : active_) {
+        if (slot.busy && slot.token != nullptr &&
+            now - slot.start_ns > limit_ns && !slot.token->IsCancelled()) {
+          slot.token->Cancel(resilience::CancelReason::kWatchdog);
+          if (watchdog_cancels_counter_ != nullptr) {
+            watchdog_cancels_counter_->Inc();
+          }
+        }
+      }
+    }
+
+    if (shutting_down_ && dead_workers_.empty()) return;
   }
 }
 

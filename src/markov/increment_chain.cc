@@ -1,6 +1,7 @@
 #include "markov/increment_chain.h"
 
 #include "common/check.h"
+#include "resilience/cancel.h"
 
 namespace sparsedet {
 
@@ -31,6 +32,7 @@ std::vector<double> PropagateIncrement(const std::vector<double>& dist,
   const std::size_t top = dist.size() - 1;
   std::vector<double> out(dist.size(), 0.0);
   for (std::size_t s = 0; s < dist.size(); ++s) {
+    resilience::CancellationPoint();
     const double a = dist[s];
     if (a == 0.0) continue;
     for (std::size_t m = 0; m < step.size(); ++m) {
@@ -53,6 +55,7 @@ std::vector<double> PropagateIncrementSteps(const std::vector<double>& dist,
   SPARSEDET_REQUIRE(steps >= 0, "step count must be >= 0");
   std::vector<double> cur = dist;
   for (int i = 0; i < steps; ++i) {
+    resilience::CancellationPoint();
     cur = PropagateIncrement(cur, step, saturate_top);
   }
   return cur;

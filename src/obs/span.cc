@@ -13,11 +13,14 @@ JsonValue RequestSpan::ToJson() const {
       entry.Set("queue_wait_ns", unit.queue_wait_ns)
           .Set("solve_ns", unit.solve_ns);
     }
+    if (unit.attempts > 1) entry.Set("attempts", unit.attempts);
     units_json.Append(std::move(entry));
   }
   JsonValue json = JsonValue::Object();
-  json.Set("trace_id", static_cast<std::int64_t>(trace_id))
-      .Set("cache_lookup_ns", cache_lookup_ns)
+  json.Set("trace_id", static_cast<std::int64_t>(trace_id));
+  if (deadline_ms > 0) json.Set("deadline_ms", deadline_ms);
+  if (!outcome.empty()) json.Set("outcome", outcome);
+  json.Set("cache_lookup_ns", cache_lookup_ns)
       .Set("queue_wait_ns", queue_wait_ns)
       .Set("solve_ns", solve_ns)
       .Set("serialize_ns", serialize_ns)

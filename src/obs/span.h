@@ -24,12 +24,17 @@ struct RequestSpan {
     std::string source;  // "cache_hit" | "computed" | "coalesced"
     std::int64_t queue_wait_ns = 0;  // 0 for cache hits
     std::int64_t solve_ns = 0;       // 0 for cache hits
+    int attempts = 1;  // evaluation attempts (> 1 after transient retries)
   };
 
   std::uint64_t trace_id = 0;
   JsonValue request_id;  // echoed request id (null for unparseable lines)
   std::string op;        // empty for unparseable lines
   int line = 0;          // 1-based input line
+  // Resilience annotations; defaults are omitted from the JSON so traces
+  // from runs without deadlines/faults are byte-identical to older ones.
+  std::int64_t deadline_ms = 0;  // request deadline; 0 = none
+  std::string outcome;  // "" (ok) | "deadline_exceeded" | "degraded" | ...
 
   std::int64_t cache_lookup_ns = 0;
   std::int64_t queue_wait_ns = 0;  // summed over computed units

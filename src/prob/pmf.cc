@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "resilience/cancel.h"
 
 namespace sparsedet {
 
@@ -70,6 +71,7 @@ Pmf Pmf::ConvolveWith(const Pmf& other, int max_value, bool saturate) const {
                     : std::min(full, static_cast<std::size_t>(max_value) + 1);
   std::vector<double> out(out_size, 0.0);
   for (std::size_t i = 0; i < mass_.size(); ++i) {
+    resilience::CancellationPoint();
     if (mass_[i] == 0.0) continue;
     for (std::size_t j = 0; j < other.mass_.size(); ++j) {
       const std::size_t k = i + j;

@@ -1,0 +1,149 @@
+#include "resilience/fault_injection.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace sparsedet::resilience {
+namespace {
+
+[[noreturn]] void FailConfigKey(const std::string& key,
+                                const std::string& message) {
+  std::ostringstream os;
+  os << "fault-injection config field \"" << key << "\": " << message;
+  throw InvalidArgument(os.str());
+}
+
+double GetConfigNumber(const JsonValue& obj, const std::string& key,
+                       double fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailConfigKey(key, "expected a number");
+  return v->AsDouble();
+}
+
+std::int64_t GetConfigInt(const JsonValue& obj, const std::string& key,
+                          std::int64_t fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailConfigKey(key, "expected an integer");
+  const double d = v->AsDouble();
+  if (d != std::floor(d) || std::abs(d) > 9.0e15) {
+    FailConfigKey(key, "expected an integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+double GetConfigProb(const JsonValue& obj, const std::string& key) {
+  const double p = GetConfigNumber(obj, key, 0.0);
+  if (p < 0.0 || p > 1.0) FailConfigKey(key, "expected in [0, 1]");
+  return p;
+}
+
+int GetConfigEvery(const JsonValue& obj, const std::string& key) {
+  const std::int64_t every = GetConfigInt(obj, key, 0);
+  if (every < 0 || every > std::numeric_limits<int>::max()) {
+    FailConfigKey(key, "expected >= 0");
+  }
+  return static_cast<int>(every);
+}
+
+}  // namespace
+
+FaultInjectorConfig ParseFaultInjectorConfig(const std::string& text) {
+  const JsonValue json = ParseJson(text);
+  if (!json.is_object()) {
+    throw InvalidArgument("fault-injection config must be a JSON object");
+  }
+  static const char* const kAllowed[] = {
+      "seed",      "fail_every", "abort_every", "delay_every", "fail_prob",
+      "abort_prob", "delay_prob", "delay_ms",    "max_faults"};
+  for (const auto& [key, value] : json.Fields()) {
+    bool known = false;
+    for (const char* allowed : kAllowed) {
+      if (key == allowed) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) FailConfigKey(key, "unknown field");
+  }
+
+  FaultInjectorConfig config;
+  const std::int64_t seed =
+      GetConfigInt(json, "seed", static_cast<std::int64_t>(config.seed));
+  if (seed < 0) FailConfigKey("seed", "expected >= 0");
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.fail_every = GetConfigEvery(json, "fail_every");
+  config.abort_every = GetConfigEvery(json, "abort_every");
+  config.delay_every = GetConfigEvery(json, "delay_every");
+  config.fail_prob = GetConfigProb(json, "fail_prob");
+  config.abort_prob = GetConfigProb(json, "abort_prob");
+  config.delay_prob = GetConfigProb(json, "delay_prob");
+  config.delay_ms = GetConfigInt(json, "delay_ms", config.delay_ms);
+  if (config.delay_ms < 0) FailConfigKey("delay_ms", "expected >= 0");
+  config.max_faults = GetConfigInt(json, "max_faults", config.max_faults);
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config, Hook hook)
+    : config_(config),
+      hook_(std::move(hook)),
+      budget_(config.max_faults),
+      rng_(config.seed) {}
+
+bool FaultInjector::Triggered(std::uint64_t call, int every, double prob) {
+  if (every > 0 && call % static_cast<std::uint64_t>(every) == 0) return true;
+  if (prob > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    return rng_.Bernoulli(prob);
+  }
+  return false;
+}
+
+bool FaultInjector::TakeBudget() {
+  if (config_.max_faults < 0) return true;
+  // Decrement optimistically; a result below zero means the budget was
+  // already spent.
+  return budget_.fetch_sub(1, std::memory_order_relaxed) > 0;
+}
+
+void FaultInjector::OnEvaluate() {
+  const std::uint64_t call =
+      calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (Triggered(call, config_.delay_every, config_.delay_prob) &&
+      TakeBudget()) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_("delay");
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+    return;
+  }
+  if (Triggered(call, config_.abort_every, config_.abort_prob) &&
+      TakeBudget()) {
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_("abort");
+    throw WorkerAbort("injected fault: worker abort (call " +
+                      std::to_string(call) + ")");
+  }
+  if (Triggered(call, config_.fail_every, config_.fail_prob) &&
+      TakeBudget()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_("fail");
+    throw Transient("injected fault: transient solver failure (call " +
+                    std::to_string(call) + ")");
+  }
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  Counts counts;
+  counts.failures = failures_.load(std::memory_order_relaxed);
+  counts.aborts = aborts_.load(std::memory_order_relaxed);
+  counts.delays = delays_.load(std::memory_order_relaxed);
+  return counts;
+}
+
+}  // namespace sparsedet::resilience

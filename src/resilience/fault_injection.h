@@ -1,0 +1,108 @@
+// Deterministic fault injection for exercising recovery paths.
+//
+// A FaultInjector sits at a well-defined site (the engine calls
+// OnEvaluate() at the start of every work-unit evaluation attempt) and,
+// per its config, injects one of three faults:
+//   * a latency spike (sleep delay_ms),
+//   * a solver exception (throw Transient — the retryable failure class),
+//   * a worker crash (throw WorkerAbort — kills the pool thread; the
+//     watchdog respawns it).
+//
+// Two trigger styles compose: counter-based ("every Nth call"), which is
+// fully deterministic under a single worker thread and the backbone of the
+// CI fault-smoke job, and probability-based, seeded so a given seed always
+// injects the same schedule per call sequence. `max_faults` bounds the
+// total injected so recovery tests terminate by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace sparsedet::resilience {
+
+// A retryable injected failure ("the solver threw"). Catching code treats
+// it like any transient backend error: retry with backoff, then give up.
+class Transient : public Error {
+ public:
+  explicit Transient(const std::string& what) : Error(what) {}
+};
+
+// An injected worker crash. Deliberately escapes the engine's evaluation
+// guard so the pool thread running the task dies (the WorkerPool watchdog
+// joins and respawns it). Derives from Error, so catch sites that must not
+// swallow it have to list it first — both sites that may see one do.
+class WorkerAbort : public Error {
+ public:
+  explicit WorkerAbort(const std::string& what) : Error(what) {}
+};
+
+struct FaultInjectorConfig {
+  std::uint64_t seed = 20080617;
+  // Counter triggers: fire on every Nth OnEvaluate() call (0 = off).
+  int fail_every = 0;   // throw Transient
+  int abort_every = 0;  // throw WorkerAbort
+  int delay_every = 0;  // sleep delay_ms
+  // Probabilistic triggers, drawn from `seed` (0 = off).
+  double fail_prob = 0.0;
+  double abort_prob = 0.0;
+  double delay_prob = 0.0;
+  std::int64_t delay_ms = 5;
+  // Total faults to inject across all kinds; < 0 = unbounded. A bound makes
+  // "the batch eventually succeeds" deterministic in tests.
+  std::int64_t max_faults = -1;
+};
+
+// Parses {"seed":..., "fail_every":..., ...} strictly: unknown keys, wrong
+// types and out-of-domain values are rejected with InvalidArgument naming
+// the key. An empty object disables every fault.
+FaultInjectorConfig ParseFaultInjectorConfig(const std::string& text);
+
+class FaultInjector {
+ public:
+  struct Counts {
+    std::uint64_t failures = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t delays = 0;
+  };
+
+  // `hook`, when set, is called with "fail" | "abort" | "delay" as each
+  // fault is injected (before the throw/sleep) — the engine uses it to
+  // count injections in its metrics registry without this library
+  // depending on obs.
+  using Hook = std::function<void(const char* kind)>;
+
+  explicit FaultInjector(const FaultInjectorConfig& config,
+                         Hook hook = nullptr);
+
+  // The injection site. May sleep, throw Transient, or throw WorkerAbort
+  // (checked in that order; at most one fault fires per call).
+  void OnEvaluate();
+
+  Counts counts() const;
+
+ private:
+  // Decides one trigger: counter match on `every` or a seeded draw against
+  // `prob`. `call` is the 1-based OnEvaluate sequence number.
+  bool Triggered(std::uint64_t call, int every, double prob);
+  // Consumes one unit of max_faults; false when the budget is spent.
+  bool TakeBudget();
+
+  FaultInjectorConfig config_;
+  Hook hook_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::int64_t> budget_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace sparsedet::resilience

@@ -1,0 +1,33 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sparsedet::resilience {
+
+std::chrono::milliseconds RetryPolicy::Delay(int retry,
+                                             std::uint64_t salt) const {
+  SPARSEDET_REQUIRE(retry >= 1, "retry number must be >= 1");
+  SPARSEDET_REQUIRE(base_delay_ms >= 0 && max_delay_ms >= 0,
+                    "retry delays must be >= 0");
+  SPARSEDET_REQUIRE(jitter >= 0.0 && jitter <= 1.0,
+                    "retry jitter must be in [0, 1]");
+  if (base_delay_ms == 0) return std::chrono::milliseconds(0);
+
+  // base * 2^(retry-1), saturating well before overflow.
+  double delay = static_cast<double>(base_delay_ms);
+  for (int i = 1; i < retry && delay < 2.0 * max_delay_ms; ++i) delay *= 2.0;
+  delay = std::min(delay, static_cast<double>(max_delay_ms));
+
+  std::uint64_t state = salt ^ (0x9e3779b97f4a7c15ULL *
+                                static_cast<std::uint64_t>(retry));
+  const std::uint64_t bits = SplitMix64Next(state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 - jitter + 2.0 * jitter * unit;
+  const auto ms = static_cast<std::int64_t>(delay * factor);
+  return std::chrono::milliseconds(std::max<std::int64_t>(0, ms));
+}
+
+}  // namespace sparsedet::resilience

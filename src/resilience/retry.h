@@ -1,0 +1,36 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// The policy is a plain value: callers count attempts themselves and ask
+// ShouldRetry / Delay. Jitter is derived from a splitmix64 hash of
+// (salt, attempt) rather than a shared RNG so two engines retrying the
+// same unit produce the same schedule — randomness in a component whose
+// whole point is reproducible failure handling would be self-defeating.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sparsedet::resilience {
+
+struct RetryPolicy {
+  // Total evaluation attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  std::int64_t base_delay_ms = 1;
+  std::int64_t max_delay_ms = 250;
+  // Each delay is scaled by a deterministic factor in [1 - jitter,
+  // 1 + jitter]; must be in [0, 1].
+  double jitter = 0.25;
+
+  // True when another attempt is allowed after `attempts_made` have run.
+  bool ShouldRetry(int attempts_made) const {
+    return attempts_made < max_attempts;
+  }
+
+  // Backoff before retry number `retry` (1-based: the delay between the
+  // first failure and the second attempt is Delay(1, ...)). Exponential in
+  // `retry`, capped at max_delay_ms, jittered deterministically by `salt`
+  // (e.g. a hash of the work-unit key).
+  std::chrono::milliseconds Delay(int retry, std::uint64_t salt = 0) const;
+};
+
+}  // namespace sparsedet::resilience

@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/timer.h"
+#include "resilience/cancel.h"
 
 namespace sparsedet {
 
@@ -17,11 +18,18 @@ ProportionEstimate EstimateTrialProbability(
 
   const Rng base(options.seed);
   std::atomic<std::int64_t> successes{0};
+  // The cancel token lives in a thread-local; re-install it inside the
+  // ParallelFor body so worker threads inherit the caller's token and a
+  // timed-out estimate stops burning CPU mid-run (ParallelFor rethrows the
+  // resulting Cancelled on this thread).
+  const resilience::CancelToken* cancel = resilience::CurrentCancelToken();
   {
     obs::ObsTimer timer(obs::Phase::kMcTrials);
     ParallelFor(
         static_cast<std::size_t>(options.trials),
         [&](std::size_t i) {
+          resilience::ScopedCancelScope scope(cancel);
+          resilience::CancellationPoint();
           Rng rng = base.Substream(i);
           const TrialResult trial = RunTrial(config, rng);
           if (accept(trial)) {
@@ -58,10 +66,13 @@ double EstimateMeanReports(const TrialConfig& config,
   config.params.Validate();
   const Rng base(options.seed);
   std::atomic<std::int64_t> total{0};
+  const resilience::CancelToken* cancel = resilience::CurrentCancelToken();
   obs::ObsTimer timer(obs::Phase::kMcTrials);
   ParallelFor(
       static_cast<std::size_t>(options.trials),
       [&](std::size_t i) {
+        resilience::ScopedCancelScope scope(cancel);
+        resilience::CancellationPoint();
         Rng rng = base.Substream(i);
         const TrialResult trial = RunTrial(config, rng);
         total.fetch_add(trial.total_true_reports, std::memory_order_relaxed);

@@ -53,14 +53,29 @@ struct TrialConfig {
   // probability; asleep nodes neither sense nor false-alarm that period.
   // Analytically equivalent to scaling Pd and pf by the duty cycle.
   double duty_cycle = 1.0;
+  // Per-period node death process: at the start of each period every node
+  // still alive dies independently with this probability and stays dead
+  // for the rest of the window (battery exhaustion / destruction). 0 = off
+  // (the paper's model). Composes with node_reliability, which kills a
+  // node for the whole window up front.
+  double node_death_prob = 0.0;
+  // I.i.d. report transport loss: each generated report (true or false
+  // alarm) is dropped before reaching the base station with this
+  // probability. 0 = off.
+  double report_loss_prob = 0.0;
 };
 
 struct TrialResult {
   std::vector<SimReport> reports;       // ordered by period
   std::vector<bool> node_alive;         // failure-injection outcome per node
+  // Per-node period at whose start the node died (M = survived the whole
+  // window). Empty when node_death_prob == 0 — the death process draws no
+  // randomness then, keeping existing seeds reproducible.
+  std::vector<int> death_period;
   std::vector<int> true_reports_per_period;  // size M
   int total_true_reports = 0;
   int distinct_true_nodes = 0;
+  int lost_reports = 0;  // reports dropped by report_loss_prob
   std::vector<Vec2> node_positions;
   std::vector<Vec2> target_path;  // M + 1 period-boundary positions
 };

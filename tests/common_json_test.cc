@@ -213,5 +213,45 @@ TEST(JsonParse, AccessorTypeMisuseRejected) {
   EXPECT_THROW(ParseJson("[1]").At(1), InvalidArgument);
 }
 
+TEST(JsonParse, MaxDepthParameterIsEnforced) {
+  EXPECT_NO_THROW(ParseJson("[[[1]]]", 3));
+  EXPECT_THROW(ParseJson("[[[[1]]]]", 3), JsonParseError);
+  EXPECT_NO_THROW(ParseJson(R"({"a":{"b":1}})", 2));
+  EXPECT_THROW(ParseJson(R"({"a":{"b":{"c":1}}})", 2), JsonParseError);
+  // Scalars sit at depth 0 and always parse.
+  EXPECT_NO_THROW(ParseJson("42", 1));
+  EXPECT_THROW(ParseJson("42", 0), InvalidArgument);
+  EXPECT_THROW(ParseJson("42", -1), InvalidArgument);
+}
+
+// Fuzz-style sweep: every truncation and every single-byte mutation of a
+// representative request line must either parse or throw JsonParseError —
+// never crash, hang, or escape with a different exception type.
+TEST(JsonParse, MalformedInputSweepNeverCrashes) {
+  const std::string seed =
+      R"({"id":"a1","op":"sweep","params":{"nodes":240,"speed":10.5},)"
+      R"("sweep":{"param":"nodes","from":60,"to":240,"step":20},)"
+      R"("flags":[true,false,null,-1e-3,"A\n"]})";
+  const auto check = [](const std::string& text) {
+    try {
+      (void)ParseJson(text);
+    } catch (const JsonParseError&) {
+      // expected for malformed variants
+    }
+  };
+  for (std::size_t cut = 0; cut <= seed.size(); ++cut) {
+    check(seed.substr(0, cut));
+  }
+  const char mutations[] = {'\0', '"', '{', '}', '[', ']', ',',
+                            ':',  ' ', 'x', '9', '\\', '\n'};
+  for (std::size_t pos = 0; pos < seed.size(); ++pos) {
+    for (char m : mutations) {
+      std::string mutated = seed;
+      mutated[pos] = m;
+      check(mutated);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sparsedet

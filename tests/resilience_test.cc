@@ -1,0 +1,280 @@
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "resilience/cancel.h"
+#include "resilience/fault_injection.h"
+#include "resilience/retry.h"
+
+namespace sparsedet::resilience {
+namespace {
+
+TEST(Deadline, DefaultIsUnset) {
+  const Deadline d;
+  EXPECT_FALSE(d.set());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), std::int64_t{1} << 40);
+}
+
+TEST(Deadline, AfterMillisExpires) {
+  const Deadline past = Deadline::AfterMillis(0);
+  EXPECT_TRUE(past.set());
+  EXPECT_TRUE(past.Expired());
+  EXPECT_EQ(past.RemainingMillis(), 0);
+
+  const Deadline future = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.RemainingMillis(), 59000);
+}
+
+TEST(CancelToken, CancelLatchesFirstReason) {
+  CancelToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  token.Cancel(CancelReason::kUser);
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kUser);
+  token.Cancel(CancelReason::kShutdown);  // first reason wins
+  EXPECT_EQ(token.reason(), CancelReason::kUser);
+  EXPECT_THROW(token.ThrowIfCancelled(), Cancelled);
+}
+
+TEST(CancelToken, ChildObservesParentCancellation) {
+  auto parent = std::make_shared<CancelToken>(Deadline());
+  const CancelToken child(Deadline(), parent);
+  EXPECT_FALSE(child.IsCancelled());
+  parent->Cancel(CancelReason::kWatchdog);
+  EXPECT_TRUE(child.IsCancelled());
+  EXPECT_EQ(child.reason(), CancelReason::kWatchdog);
+  try {
+    child.ThrowIfCancelled();
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kWatchdog);
+  }
+}
+
+TEST(CancelToken, ExpiredDeadlineLatchesOnThrowCheck) {
+  const CancelToken token(Deadline::AfterMillis(0));
+  // Flag-only checks do not read the clock...
+  EXPECT_FALSE(token.IsCancelled());
+  // ...but ThrowIfCancelled latches the expiry into the flag.
+  EXPECT_THROW(token.ThrowIfCancelled(), Cancelled);
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelToken, EffectiveDeadlineIsSoonestInChain) {
+  auto parent =
+      std::make_shared<CancelToken>(Deadline::AfterMillis(10));
+  const CancelToken child(Deadline::AfterMillis(60000), parent);
+  const Deadline effective = child.EffectiveDeadline();
+  ASSERT_TRUE(effective.set());
+  EXPECT_LE(effective.RemainingMillis(), 10);
+}
+
+TEST(CancellationPoint, NoOpWithoutInstalledToken) {
+  EXPECT_EQ(CurrentCancelToken(), nullptr);
+  EXPECT_NO_THROW(CancellationPoint());
+  EXPECT_FALSE(CancellationRequested());
+}
+
+TEST(CancellationPoint, ThrowsOnceTokenCancelled) {
+  CancelToken token;
+  ScopedCancelScope scope(&token);
+  EXPECT_EQ(CurrentCancelToken(), &token);
+  EXPECT_NO_THROW(CancellationPoint());
+  token.Cancel(CancelReason::kUser);
+  EXPECT_TRUE(CancellationRequested());
+  EXPECT_THROW(CancellationPoint(), Cancelled);
+}
+
+TEST(CancellationPoint, DeadlineExpiryIsNoticedWithinAmortizationWindow) {
+  const CancelToken token(Deadline::AfterMillis(0));
+  ScopedCancelScope scope(&token);
+  // The clock is consulted every ~64 calls; well within 256 iterations the
+  // expired deadline must surface.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 256; ++i) CancellationPoint();
+      },
+      Cancelled);
+}
+
+TEST(ScopedCancelScope, ScopesNestAndRestore) {
+  CancelToken outer;
+  CancelToken inner;
+  {
+    ScopedCancelScope a(&outer);
+    EXPECT_EQ(CurrentCancelToken(), &outer);
+    {
+      ScopedCancelScope b(&inner);
+      EXPECT_EQ(CurrentCancelToken(), &inner);
+    }
+    EXPECT_EQ(CurrentCancelToken(), &outer);
+  }
+  EXPECT_EQ(CurrentCancelToken(), nullptr);
+}
+
+TEST(RetryPolicy, ShouldRetryCountsTotalAttempts) {
+  const RetryPolicy policy{.max_attempts = 3};
+  EXPECT_TRUE(policy.ShouldRetry(1));
+  EXPECT_TRUE(policy.ShouldRetry(2));
+  EXPECT_FALSE(policy.ShouldRetry(3));
+  const RetryPolicy none{.max_attempts = 1};
+  EXPECT_FALSE(none.ShouldRetry(1));
+}
+
+TEST(RetryPolicy, DelayGrowsExponentiallyAndCaps) {
+  const RetryPolicy policy{
+      .max_attempts = 10, .base_delay_ms = 4, .max_delay_ms = 20,
+      .jitter = 0.0};
+  EXPECT_EQ(policy.Delay(1).count(), 4);
+  EXPECT_EQ(policy.Delay(2).count(), 8);
+  EXPECT_EQ(policy.Delay(3).count(), 16);
+  EXPECT_EQ(policy.Delay(4).count(), 20);  // capped
+  EXPECT_EQ(policy.Delay(9).count(), 20);
+}
+
+TEST(RetryPolicy, JitterStaysInBoundsAndIsDeterministic) {
+  const RetryPolicy policy{
+      .max_attempts = 10, .base_delay_ms = 100, .max_delay_ms = 100,
+      .jitter = 0.25};
+  for (std::uint64_t salt = 0; salt < 32; ++salt) {
+    const auto delay = policy.Delay(2, salt);
+    EXPECT_GE(delay.count(), 75) << "salt " << salt;
+    EXPECT_LE(delay.count(), 125) << "salt " << salt;
+    EXPECT_EQ(delay.count(), policy.Delay(2, salt).count());
+  }
+  // Different salts should not all collapse to one value.
+  bool varies = false;
+  for (std::uint64_t salt = 1; salt < 32 && !varies; ++salt) {
+    varies = policy.Delay(2, salt) != policy.Delay(2, 0);
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(FaultInjectorConfig, ParsesAllKeys) {
+  const FaultInjectorConfig config = ParseFaultInjectorConfig(
+      R"({"seed":7,"fail_every":2,"abort_every":3,"delay_every":4,)"
+      R"("fail_prob":0.5,"abort_prob":0.25,"delay_prob":0.125,)"
+      R"("delay_ms":9,"max_faults":11})");
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.fail_every, 2);
+  EXPECT_EQ(config.abort_every, 3);
+  EXPECT_EQ(config.delay_every, 4);
+  EXPECT_EQ(config.fail_prob, 0.5);
+  EXPECT_EQ(config.abort_prob, 0.25);
+  EXPECT_EQ(config.delay_prob, 0.125);
+  EXPECT_EQ(config.delay_ms, 9);
+  EXPECT_EQ(config.max_faults, 11);
+}
+
+TEST(FaultInjectorConfig, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(ParseFaultInjectorConfig(R"({"typo_every":2})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseFaultInjectorConfig(R"({"fail_prob":1.5})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseFaultInjectorConfig(R"({"fail_every":-1})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseFaultInjectorConfig("not json"), InvalidArgument);
+  EXPECT_THROW(ParseFaultInjectorConfig("[]"), InvalidArgument);
+}
+
+TEST(FaultInjector, CounterTriggersAreDeterministic) {
+  FaultInjectorConfig config;
+  config.fail_every = 3;
+  FaultInjector injector(config);
+  int failures = 0;
+  for (int call = 1; call <= 12; ++call) {
+    try {
+      injector.OnEvaluate();
+    } catch (const Transient&) {
+      ++failures;
+      EXPECT_EQ(call % 3, 0) << "fault off-schedule at call " << call;
+    }
+  }
+  EXPECT_EQ(failures, 4);
+  EXPECT_EQ(injector.counts().failures, 4u);
+}
+
+TEST(FaultInjector, AtMostOneFaultPerCallDelayWinsOverAbortOverFail) {
+  FaultInjectorConfig config;
+  config.fail_every = 1;
+  config.abort_every = 1;
+  config.delay_every = 1;
+  config.delay_ms = 0;
+  FaultInjector injector(config);
+  // delay is checked first, so no call ever throws.
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(injector.OnEvaluate());
+  EXPECT_EQ(injector.counts().delays, 5u);
+  EXPECT_EQ(injector.counts().failures, 0u);
+  EXPECT_EQ(injector.counts().aborts, 0u);
+}
+
+TEST(FaultInjector, MaxFaultsBudgetStopsInjection) {
+  FaultInjectorConfig config;
+  config.fail_every = 1;
+  config.max_faults = 2;
+  FaultInjector injector(config);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      injector.OnEvaluate();
+    } catch (const Transient&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 2);
+}
+
+TEST(FaultInjector, AbortsThrowWorkerAbortAndHookObservesKinds) {
+  FaultInjectorConfig config;
+  config.abort_every = 2;
+  std::vector<std::string> kinds;
+  FaultInjector injector(config,
+                         [&](const char* kind) { kinds.push_back(kind); });
+  EXPECT_NO_THROW(injector.OnEvaluate());
+  EXPECT_THROW(injector.OnEvaluate(), WorkerAbort);
+  EXPECT_NO_THROW(injector.OnEvaluate());
+  EXPECT_THROW(injector.OnEvaluate(), WorkerAbort);
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], "abort");
+  EXPECT_EQ(kinds[1], "abort");
+  EXPECT_EQ(injector.counts().aborts, 2u);
+}
+
+TEST(FaultInjector, SeededProbabilisticScheduleIsReproducible) {
+  FaultInjectorConfig config;
+  config.fail_prob = 0.5;
+  config.seed = 42;
+  const auto schedule = [&config] {
+    FaultInjector injector(config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        injector.OnEvaluate();
+      } catch (const Transient&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  const std::vector<bool> first = schedule();
+  EXPECT_EQ(first, schedule());
+  // With p = 0.5 over 64 calls, both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+}  // namespace
+}  // namespace sparsedet::resilience

@@ -172,5 +172,117 @@ TEST(RunTrial, RejectsBadFalseAlarmRate) {
   EXPECT_THROW(RunNoTargetTrial(config, rng), InvalidArgument);
 }
 
+TEST(RunTrial, RejectsBadDeathAndLossProbabilities) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  config.node_death_prob = -0.1;
+  Rng rng(1);
+  EXPECT_THROW(RunTrial(config, rng), InvalidArgument);
+  config.node_death_prob = 0.0;
+  config.report_loss_prob = 1.1;
+  EXPECT_THROW(RunTrial(config, rng), InvalidArgument);
+  EXPECT_THROW(RunNoTargetTrial(config, rng), InvalidArgument);
+}
+
+TEST(RunTrial, CertainDeathInFirstPeriodSilencesEveryNode) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  config.node_death_prob = 1.0;
+  config.false_alarm_prob = 0.2;
+  Rng rng(7);
+  const TrialResult result = RunTrial(config, rng);
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.total_true_reports, 0);
+  ASSERT_EQ(result.death_period.size(),
+            static_cast<std::size_t>(config.params.num_nodes));
+  for (int period : result.death_period) EXPECT_EQ(period, 0);
+}
+
+TEST(RunTrial, CertainReportLossDropsEverything) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  config.params.detect_prob = 1.0;
+  config.report_loss_prob = 1.0;
+  config.false_alarm_prob = 0.2;
+  Rng rng(7);
+  const TrialResult result = RunTrial(config, rng);
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.total_true_reports, 0);
+  EXPECT_EQ(result.distinct_true_nodes, 0);
+  EXPECT_GT(result.lost_reports, 0);
+}
+
+TEST(RunTrial, DeathProcessDisabledDrawsNoExtraRandomness) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  Rng a(99);
+  Rng b(99);
+  const TrialResult plain = RunTrial(config, a);
+  config.node_death_prob = 0.0;  // explicit off must not shift the stream
+  config.report_loss_prob = 0.0;
+  const TrialResult same = RunTrial(config, b);
+  ASSERT_EQ(plain.reports.size(), same.reports.size());
+  EXPECT_TRUE(plain.death_period.empty());
+  EXPECT_EQ(plain.total_true_reports, same.total_true_reports);
+}
+
+TEST(RunTrial, LossBookkeepingStaysConsistent) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  config.report_loss_prob = 0.4;
+  config.false_alarm_prob = 0.05;
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const TrialResult result = RunTrial(config, rng);
+    int true_reports = 0;
+    for (const SimReport& report : result.reports) {
+      if (!report.is_false_alarm) ++true_reports;
+    }
+    EXPECT_EQ(true_reports, result.total_true_reports);
+    int per_period_sum = 0;
+    for (int count : result.true_reports_per_period) per_period_sum += count;
+    EXPECT_EQ(per_period_sum, result.total_true_reports);
+    EXPECT_LE(result.distinct_true_nodes, result.total_true_reports);
+  }
+}
+
+// Detection probability must degrade monotonically in both fault
+// processes (within Monte-Carlo noise; the tolerances below are several
+// standard errors wide at 2000 trials).
+double DetectionRate(double death, double loss, int trials) {
+  TrialConfig config;
+  config.params = SmallScenario();
+  config.node_death_prob = death;
+  config.report_loss_prob = loss;
+  const int k = config.params.threshold_reports;
+  const Rng base(20080617);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = base.Substream(static_cast<std::size_t>(t));
+    if (RunTrial(config, rng).total_true_reports >= k) ++hits;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+TEST(RunTrial, DetectionDegradesMonotonicallyWithNodeDeath) {
+  const int trials = 2000;
+  const double p0 = DetectionRate(0.0, 0.0, trials);
+  const double p1 = DetectionRate(0.2, 0.0, trials);
+  const double p2 = DetectionRate(0.5, 0.0, trials);
+  EXPECT_GE(p0, p1 - 0.04);
+  EXPECT_GE(p1, p2 - 0.04);
+  EXPECT_GT(p0, p2);  // the effect itself must be visible end to end
+}
+
+TEST(RunTrial, DetectionDegradesMonotonicallyWithReportLoss) {
+  const int trials = 2000;
+  const double p0 = DetectionRate(0.0, 0.0, trials);
+  const double p1 = DetectionRate(0.0, 0.3, trials);
+  const double p2 = DetectionRate(0.0, 0.7, trials);
+  EXPECT_GE(p0, p1 - 0.04);
+  EXPECT_GE(p1, p2 - 0.04);
+  EXPECT_GT(p0, p2);
+}
+
 }  // namespace
 }  // namespace sparsedet
