@@ -1,14 +1,19 @@
 // E27 — batch engine throughput (scaling extension; no paper artifact).
-// Measures the request-evaluation engine end to end: a synthetic JSONL
-// workload of analytical requests over a parameter grid, evaluated cold
-// (every unit computed), warm (second pass, served from the LRU cache) and
-// across worker-thread counts. The determinism contract means every
-// configuration must produce byte-identical result streams — verified here
-// on real workloads, not just in unit tests.
+// Measures the request-evaluation engine end to end on a parameter-sweep
+// workload: k-sweeps over overlapping (nodes, speed) scenarios, the shape
+// where the cross-request memo cache pays — every unit of one k-sweep
+// shares the same stage pmfs and propagated distribution, and nearby
+// requests share Region(i) sub-pmfs. Configs cover no-cache baseline,
+// cold and warm memo cache, and solver-thread scaling. The determinism
+// contract means every configuration must produce byte-identical result
+// streams — verified here on real workloads, not just in unit tests.
+//
+// Output ends with one "BENCH_JSON {...}" line (wall time, memo hit rate,
+// speedup vs the threads=1 no-cache baseline) that CI collects into the
+// BENCH_*.json perf-trajectory artifact.
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,50 +21,68 @@
 #include "common/stopwatch.h"
 #include "engine/engine.h"
 #include "obs/metrics.h"
+#include "prob/memo_cache.h"
 
 using namespace sparsedet;
 
 namespace {
 
-// n analyze requests over a nodes x speed grid; ~25% of the scenarios
-// repeat, the way overlapping parameter studies do in practice.
-std::string MakeWorkload(int n) {
+// n/8 k-sweep requests over a nodes x speed grid with ~25% repeated
+// scenarios (overlapping parameter studies), each expanding into 8 analyze
+// units that differ only in the report threshold k.
+std::string MakeSweepWorkload(int n) {
   std::ostringstream os;
-  for (int i = 0; i < n; ++i) {
-    const int slot = i % (3 * n / 4 == 0 ? 1 : 3 * n / 4);
+  const int requests = n / 8;
+  for (int i = 0; i < requests; ++i) {
+    const int slot = i % (3 * requests / 4 == 0 ? 1 : 3 * requests / 4);
     const int nodes = 60 + 20 * (slot % 12);
     const int speed = 6 + 2 * (slot / 12 % 5);
-    os << "{\"id\": " << i << ", \"op\": \"analyze\", \"params\": {\"nodes\": "
-       << nodes << ", \"speed\": " << speed << "}}\n";
+    os << "{\"id\": " << i << ", \"op\": \"sweep\", \"params\": {\"nodes\": "
+       << nodes << ", \"speed\": " << speed
+       << "}, \"sweep\": {\"param\": \"k\", \"from\": 1, \"to\": 8, "
+          "\"step\": 1}}\n";
   }
   return os.str();
 }
 
+struct ConfigSpec {
+  const char* label;
+  std::size_t solver_threads;
+  std::size_t memo_entries;
+  bool clear_memo;  // start this config from a cold memo cache
+};
+
 struct RunResult {
   double seconds = 0.0;
   std::string output;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
   obs::RegistrySnapshot metrics;
 };
 
-RunResult RunPasses(const std::string& workload, std::size_t threads,
-                    int passes) {
+RunResult RunConfig(const std::string& workload, const ConfigSpec& spec) {
+  if (spec.clear_memo) prob::MemoCache::Global().Clear();
+  const prob::MemoCacheStats before = prob::MemoCache::Global().Stats();
+
   engine::EngineOptions options;
-  options.threads = threads;
+  options.threads = 1;  // isolate solver-side effects from pool scaling
+  options.cache_capacity = 0;  // no result cache: every request solves
+  options.solver_threads = spec.solver_threads;
+  options.memo_cache_entries = spec.memo_entries;
   engine::BatchEngine batch_engine(options);
+
   RunResult result;
   Stopwatch watch;
-  for (int pass = 0; pass < passes; ++pass) {
-    std::istringstream in(workload);
-    std::ostringstream out;
-    batch_engine.RunBatch(in, out);
-    result.output = out.str();  // keep the last pass for comparison
-  }
+  std::istringstream in(workload);
+  std::ostringstream out;
+  batch_engine.RunBatch(in, out);
   result.seconds = bench::LapSeconds(watch);
-  result.hits = batch_engine.cache().counters().hits;
-  result.misses = batch_engine.cache().counters().misses;
+  result.output = out.str();
   result.metrics = batch_engine.MetricsSnapshot();
+
+  const prob::MemoCacheStats after = prob::MemoCache::Global().Stats();
+  result.memo_hits = after.hits - before.hits;
+  result.memo_misses = after.misses - before.misses;
   return result;
 }
 
@@ -89,28 +112,60 @@ JsonValue PhaseBreakdown(const std::string& label,
 int main(int argc, char** argv) {
   bench::PrintHeader(
       "E27", "Batch engine throughput",
-      "JSONL analyze workload (overlapping parameter grid) through the\n"
-      "batch engine: cold vs cache-warm passes, 1 vs hardware threads.");
+      "JSONL k-sweep workload (overlapping parameter grid) through the\n"
+      "batch engine: no-cache baseline vs cold/warm memo cache vs solver\n"
+      "threads; result cache off so every request exercises the solver.");
 
-  const int n = 400;
-  const std::string workload = MakeWorkload(n);
+  const int n = 400;  // total analyze units after sweep expansion
+  const std::string workload = MakeSweepWorkload(n);
 
-  Table table({"config", "requests", "seconds", "req/s", "hits", "misses"});
+  const std::vector<ConfigSpec> configs = {
+      {"1 thread, memo off", 1, 0, true},
+      {"1 thread, memo cold", 1, 4096, true},
+      {"1 thread, memo warm", 1, 4096, false},
+      {"hw threads, memo warm", 0, 4096, false},
+  };
+
+  Table table({"config", "units", "seconds", "units/s", "memo hits",
+               "memo misses"});
   std::string reference_output;
   std::vector<JsonValue> breakdowns;
-  for (const auto& [label, threads, passes] :
-       {std::tuple<const char*, std::size_t, int>{"cold, 1 thread", 1, 1},
-        {"cold, hw threads", 0, 1},
-        {"cold+warm pass", 0, 2}}) {
-    const RunResult run = RunPasses(workload, threads, passes);
+  JsonValue bench_configs = JsonValue::Array();
+  double baseline_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double warm_hit_rate = 0.0;
+  for (const ConfigSpec& spec : configs) {
+    const RunResult run = RunConfig(workload, spec);
     table.BeginRow();
-    table.AddCell(label);
-    table.AddInt(n * passes);
+    table.AddCell(spec.label);
+    table.AddInt(n);
     table.AddNumber(run.seconds, 3);
-    table.AddNumber(n * passes / run.seconds, 0);
-    table.AddInt(static_cast<int>(run.hits));
-    table.AddInt(static_cast<int>(run.misses));
-    breakdowns.push_back(PhaseBreakdown(label, run.metrics));
+    table.AddNumber(n / run.seconds, 0);
+    table.AddInt(static_cast<int>(run.memo_hits));
+    table.AddInt(static_cast<int>(run.memo_misses));
+    breakdowns.push_back(PhaseBreakdown(spec.label, run.metrics));
+
+    const double lookups =
+        static_cast<double>(run.memo_hits + run.memo_misses);
+    const double hit_rate =
+        lookups > 0.0 ? static_cast<double>(run.memo_hits) / lookups : 0.0;
+    if (std::string(spec.label) == "1 thread, memo off") {
+      baseline_seconds = run.seconds;
+    }
+    if (std::string(spec.label) == "1 thread, memo warm") {
+      warm_seconds = run.seconds;
+      warm_hit_rate = hit_rate;
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("config", spec.label)
+        .Set("units", n)
+        .Set("seconds", run.seconds)
+        .Set("units_per_s", n / run.seconds)
+        .Set("memo_hits", static_cast<std::int64_t>(run.memo_hits))
+        .Set("memo_misses", static_cast<std::int64_t>(run.memo_misses))
+        .Set("memo_hit_rate", hit_rate);
+    bench_configs.Append(std::move(entry));
+
     if (reference_output.empty()) {
       reference_output = run.output;
     } else if (run.output != reference_output) {
@@ -122,6 +177,21 @@ int main(int argc, char** argv) {
   std::cout << "per-phase breakdown (engine registry):\n";
   for (const JsonValue& line : breakdowns) {
     std::cout << line.ToString() << "\n";
+  }
+
+  const double speedup =
+      warm_seconds > 0.0 ? baseline_seconds / warm_seconds : 0.0;
+  JsonValue bench_json = JsonValue::Object();
+  bench_json.Set("bench", "engine_batch")
+      .Set("units", n)
+      .Set("configs", std::move(bench_configs))
+      .Set("warm_memo_hit_rate", warm_hit_rate)
+      .Set("speedup_warm_memo_vs_threads1", speedup);
+  std::cout << "BENCH_JSON " << bench_json.ToString() << "\n";
+  if (speedup < 2.0) {
+    std::cerr << "PERF REGRESSION: warm-memo speedup " << speedup
+              << "x is below the 2x acceptance bar\n";
+    return 1;
   }
   return 0;
 }

@@ -1,15 +1,20 @@
 // Micro performance suite (google-benchmark): regression guard for the
 // hot paths — geometry decomposition, stage pmf construction, the full
-// M-S analysis, one Monte-Carlo trial, gating and track fitting. Not a
-// paper experiment; keeps the library honest as it evolves.
+// M-S analysis, the memo-cache hit/key paths, ParallelFor dispatch, one
+// Monte-Carlo trial, gating and track fitting. Not a paper experiment;
+// keeps the library honest as it evolves.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/ms_approach.h"
 #include "core/region_pmf.h"
 #include "detect/track_estimate.h"
 #include "detect/track_gate.h"
 #include "geometry/region_decomposition.h"
+#include "prob/memo_cache.h"
 #include "prob/pmf.h"
 #include "sim/trial.h"
 
@@ -24,6 +29,19 @@ SystemParams Onr(int nodes, double speed) {
   return p;
 }
 
+// Disables the process-wide memo cache for one benchmark's scope so the
+// compute benchmarks keep measuring computation, not the cache hit path.
+class ScopedMemoOff {
+ public:
+  ScopedMemoOff() : prev_(prob::MemoCache::Global().capacity()) {
+    prob::MemoCache::Global().SetCapacity(0);
+  }
+  ~ScopedMemoOff() { prob::MemoCache::Global().SetCapacity(prev_); }
+
+ private:
+  std::size_t prev_;
+};
+
 void BM_RegionDecomposition(benchmark::State& state) {
   const double speed = static_cast<double>(state.range(0));
   for (auto _ : state) {
@@ -33,6 +51,7 @@ void BM_RegionDecomposition(benchmark::State& state) {
 BENCHMARK(BM_RegionDecomposition)->Arg(10)->Arg(4)->Arg(1);
 
 void BM_CappedRegionPmf(benchmark::State& state) {
+  const ScopedMemoOff memo_off;
   const RegionDecomposition decomp(1000.0, 10.0, 60.0);
   const int cap = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -41,6 +60,43 @@ void BM_CappedRegionPmf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CappedRegionPmf)->Arg(3)->Arg(6)->Arg(12);
+
+// Same call served from a warm memo cache: the cost of one canonical key
+// build + sharded lookup + Pmf copy-out. The gap to BM_CappedRegionPmf is
+// what each sweep point saves.
+void BM_CappedRegionPmfMemoHit(benchmark::State& state) {
+  const RegionDecomposition decomp(1000.0, 10.0, 60.0);
+  prob::MemoCache::Global().SetCapacity(4096);
+  CappedRegionReportPmf(240, 32000.0 * 32000.0, decomp.area_h(), 0.9, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CappedRegionReportPmf(
+        240, 32000.0 * 32000.0, decomp.area_h(), 0.9, 6));
+  }
+}
+BENCHMARK(BM_CappedRegionPmfMemoHit);
+
+void BM_MemoKeyBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    prob::MemoKey key("bench/key");
+    key.AddInt(240).AddDouble(32000.0 * 32000.0).AddDouble(0.9).AddInt(6);
+    benchmark::DoNotOptimize(key.bytes().size());
+  }
+}
+BENCHMARK(BM_MemoKeyBuild);
+
+// Dispatch + join cost of the work-stealing loop on a trivial body, per
+// worker count; the floor any parallelized hot path must amortize.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    ParallelFor(
+        1024, [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); },
+        threads);
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_PmfConvolvePower(benchmark::State& state) {
   const Pmf step({0.4, 0.3, 0.2, 0.1});
@@ -52,12 +108,25 @@ void BM_PmfConvolvePower(benchmark::State& state) {
 BENCHMARK(BM_PmfConvolvePower)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_FullMsAnalysis(benchmark::State& state) {
+  const ScopedMemoOff memo_off;
   const SystemParams p = Onr(240, state.range(0) == 0 ? 10.0 : 4.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(MsApproachAnalyze(p).detection_probability);
   }
 }
 BENCHMARK(BM_FullMsAnalysis)->Arg(0)->Arg(1);
+
+// The same analysis with a warm memo: the per-point cost of a k-sweep
+// after the first threshold (tail sum + result assembly only).
+void BM_FullMsAnalysisMemoHit(benchmark::State& state) {
+  const SystemParams p = Onr(240, 10.0);
+  prob::MemoCache::Global().SetCapacity(4096);
+  MsApproachAnalyze(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MsApproachAnalyze(p).detection_probability);
+  }
+}
+BENCHMARK(BM_FullMsAnalysisMemoHit);
 
 void BM_SingleTrial(benchmark::State& state) {
   TrialConfig config;

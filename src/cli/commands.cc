@@ -387,6 +387,12 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
         flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
     options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
         "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+    options.solver_threads = static_cast<std::size_t>(flags.GetInt(
+        "solver-threads", 1,
+        "intra-solve ParallelFor width per unit (0 = hardware)"));
+    options.memo_cache_entries = static_cast<std::size_t>(flags.GetInt(
+        "memo-cache-entries", 4096,
+        "solver memo-cache entries shared across requests (0 disables)"));
     options.unordered = flags.GetBool(
         "unordered", false, "emit completions immediately, tagged by id");
     options.trace = flags.GetBool(
@@ -439,6 +445,12 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
         flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
     options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
         "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+    options.solver_threads = static_cast<std::size_t>(flags.GetInt(
+        "solver-threads", 1,
+        "intra-solve ParallelFor width per unit (0 = hardware)"));
+    options.memo_cache_entries = static_cast<std::size_t>(flags.GetInt(
+        "memo-cache-entries", 4096,
+        "solver memo-cache entries shared across requests (0 disables)"));
     options.trace = flags.GetBool(
         "trace", false, "attach a \"trace\" span object to response lines");
     options.trace_file = flags.GetString(
@@ -558,9 +570,11 @@ std::string Usage() {
       "plan: --target-detection --pf --max-fa --max-nodes\n"
       "fa: --pf --trials --max-k\n"
       "sweep: --param --from --to --step [--trials --csv]\n"
-      "batch: --input --threads --cache-capacity --unordered --passes "
-      "--stats --trace --trace-file\n"
-      "serve: --threads --cache-capacity --stats --trace --trace-file\n"
+      "batch: --input --threads --solver-threads --cache-capacity "
+      "--memo-cache-entries --unordered --passes --stats --trace "
+      "--trace-file\n"
+      "serve: --threads --solver-threads --cache-capacity "
+      "--memo-cache-entries --stats --trace --trace-file\n"
       "metrics-dump: --input --format\n"
       "(batch/serve request schema: docs/ENGINE.md; metrics + spans: "
       "docs/OBSERVABILITY.md)\n";

@@ -1,11 +1,30 @@
-// Minimal data-parallel helper for embarrassingly parallel loops
-// (Monte-Carlo trials, parameter sweeps).
+// Data-parallel helper for embarrassingly parallel loops (Monte-Carlo
+// trials, per-NEDR stage pmfs, parameter sweeps).
 //
-// ParallelFor partitions [0, n) into contiguous chunks, one per worker
-// thread, and runs `body(i)` for every index. Results must be written to
-// pre-sized storage indexed by `i`; the helper itself performs no
-// synchronization beyond joining the workers. Exceptions thrown by `body`
-// are captured and rethrown (the first one) on the calling thread.
+// ParallelFor runs `body(i)` for every i in [0, n) on up to `threads`
+// workers using chunked work stealing: the index range is split into one
+// contiguous shard per worker (good locality), workers claim small chunks
+// from their own shard, and a worker whose shard is exhausted steals the
+// upper half of the fullest remaining shard. Uneven per-index costs (tail
+// NEDR pmfs shrink with j; Monte-Carlo trials vary with the track drawn)
+// therefore cannot leave workers idle behind one long static partition.
+//
+// Contracts:
+//   * Results must be written to pre-sized storage indexed by `i` (or
+//     accumulated commutatively); the helper performs no synchronization
+//     beyond joining the workers, and callers that reduce must do so in
+//     deterministic index order so output is byte-identical for any thread
+//     count.
+//   * The calling thread participates as worker 0, and no more workers are
+//     spawned than there are chunks of work: ceil(n / grain) - 1 spawned
+//     threads at most, zero when the loop fits in one chunk.
+//   * Exceptions thrown by `body` are captured (first one wins, guarded by
+//     a mutex — no racy exception_ptr writes) and rethrown on the calling
+//     thread after all workers have stopped.
+//   * Cancellation-aware: the caller's resilience::CancelToken (if any) is
+//     re-installed inside every worker and checked via CancellationPoint()
+//     between chunks, so a timed-out solve stops burning CPU on every
+//     worker and the Cancelled exception surfaces on the calling thread.
 #pragma once
 
 #include <cstddef>
@@ -13,13 +32,36 @@
 
 namespace sparsedet {
 
-// Number of workers ParallelFor uses when `threads == 0`:
-// std::thread::hardware_concurrency(), at least 1.
+// Number of workers ParallelFor uses when no explicit count and no solver
+// default is configured: std::thread::hardware_concurrency(), at least 1.
 std::size_t DefaultThreadCount();
 
-// Runs body(i) for all i in [0, n). `threads == 0` picks the default;
-// `threads == 1` runs inline (useful for debugging and determinism tests —
-// though results must not depend on thread count by construction).
+// Process-wide default worker count for ParallelFor calls with
+// `threads == 0` (the "--solver-threads" knob). 0 restores the hardware
+// default. Set once at startup / engine construction; reads are lock-free.
+// Returns the previous setting so scoped owners (BatchEngine) can restore.
+std::size_t SetSolverThreads(std::size_t threads);
+
+// The resolved default: the configured solver-thread count, or
+// DefaultThreadCount() when unconfigured. Always >= 1.
+std::size_t SolverThreads();
+
+struct ParallelOptions {
+  // Worker count; 0 uses SolverThreads(), 1 runs inline on the caller.
+  std::size_t threads = 0;
+  // Minimum indices per claimed chunk. Raise for very cheap bodies so the
+  // per-chunk claim cost (one brief mutex acquisition) amortizes.
+  std::size_t grain = 1;
+};
+
+// Runs body(i) for all i in [0, n).
+void ParallelFor(std::size_t n, const ParallelOptions& options,
+                 const std::function<void(std::size_t)>& body);
+
+// Shorthand keeping the original signature: `threads == 0` picks the
+// solver default; `threads == 1` runs inline (useful for debugging and
+// determinism tests — though results must not depend on thread count by
+// construction).
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                  std::size_t threads = 0);
 

@@ -1,17 +1,42 @@
 #include "core/ms_approach.h"
 
 #include <cmath>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/region_pmf.h"
 #include "geometry/region_decomposition.h"
 #include "markov/chain.h"
 #include "markov/increment_chain.h"
 #include "obs/timer.h"
+#include "prob/memo_cache.h"
 #include "resilience/cancel.h"
 
 namespace sparsedet {
 namespace {
+
+// Everything MsApproachAnalyze derives that does not depend on the report
+// threshold k or on normalization. Cached as one memo entry so a k-sweep
+// (the common batch shape: one curve per threshold) reuses the full stage
+// and propagation work and only re-evaluates the tail sum.
+struct MsSolveCore {
+  Pmf head_pmf;
+  Pmf body_pmf;
+  std::vector<Pmf> tail_pmfs;
+  Pmf report_distribution;
+};
+
+std::size_t MsSolveCoreHeapBytes(const MsSolveCore& core) {
+  std::size_t bytes = (core.head_pmf.size() + core.body_pmf.size() +
+                       core.report_distribution.size()) *
+                      sizeof(double);
+  for (const Pmf& tail : core.tail_pmfs) bytes += tail.size() * sizeof(double);
+  return bytes;
+}
 
 RegionDecomposition Decompose(const SystemParams& params) {
   obs::ObsTimer timer(obs::Phase::kRegionDecomposition);
@@ -34,78 +59,111 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
   SPARSEDET_REQUIRE(
       options.node_reliability >= 0.0 && options.node_reliability <= 1.0,
       "node reliability must be in [0, 1]");
-  const RegionDecomposition decomp = Decompose(params);
-  const int ms = decomp.ms();
-  const int m_periods = params.window_periods;
-  const double s = params.FieldArea();
-  const double pd = params.detect_prob;
-  const int n = params.num_nodes;
+  const auto compute_core = [&]() -> MsSolveCore {
+    const RegionDecomposition decomp = Decompose(params);
+    const int ms = decomp.ms();
+    const int m_periods = params.window_periods;
+    const double s = params.FieldArea();
+    const double pd = params.detect_prob;
+    const int n = params.num_nodes;
+    const double rel = options.node_reliability;
+
+    // Stage pmfs. Head uses the full DR subareas AreaH(i); Body/Tail use
+    // the crescent NEDR subareas AreaB(i) / AreaT(j, i). The ms + 2 stages
+    // are independent, so they run under work stealing; each lands in its
+    // own slot, which keeps the result identical for any thread count.
+    MsSolveCore core;
+    std::vector<Pmf> stages(static_cast<std::size_t>(ms) + 2);
+    ParallelFor(stages.size(), [&](std::size_t t) {
+      if (t == 0) {
+        obs::ObsTimer timer(obs::Phase::kMsHead);
+        stages[0] =
+            CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
+      } else if (t == 1) {
+        obs::ObsTimer timer(obs::Phase::kMsBody);
+        stages[1] =
+            CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
+      } else {
+        obs::ObsTimer timer(obs::Phase::kMsTail);
+        stages[t] = CappedRegionReportPmf(
+            n, s, decomp.AreaTVector(static_cast<int>(t) - 1), pd, options.g,
+            rel);
+      }
+    });
+    core.head_pmf = std::move(stages[0]);
+    core.body_pmf = std::move(stages[1]);
+    core.tail_pmfs.reserve(static_cast<std::size_t>(ms));
+    for (int j = 1; j <= ms; ++j) {
+      core.tail_pmfs.push_back(std::move(stages[static_cast<std::size_t>(j) + 1]));
+    }
+    resilience::CancellationPoint();
+
+    // Chain the stages: Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
+    // The state space 0 .. M*Z is large enough that no transition can
+    // overflow it (Head adds <= Z, each of the other M-1 stages adds
+    // <= (ms+1)*g <= Z), so saturation never triggers; we still keep the
+    // boundary behavior explicit.
+    const std::size_t num_states =
+        static_cast<std::size_t>(m_periods * (ms + 1) * options.gh + 1);
+    std::vector<double> dist(num_states, 0.0);
+    dist[0] = 1.0;  // u = [1 0 0 ... 0] (Eq. 11)
+
+    {
+      obs::ObsTimer timer(obs::Phase::kMsPropagate);
+      if (options.use_transition_matrices) {
+        const MarkovChain head(BuildIncrementTransitionMatrix(
+            core.head_pmf, num_states, /*saturate_top=*/false));
+        const MarkovChain body(BuildIncrementTransitionMatrix(
+            core.body_pmf, num_states, /*saturate_top=*/false));
+        dist = head.Propagate(dist);
+        dist = body.PropagateSteps(dist, m_periods - ms - 1);
+        for (const Pmf& tail : core.tail_pmfs) {
+          const MarkovChain chain(BuildIncrementTransitionMatrix(
+              tail, num_states, /*saturate_top=*/false));
+          dist = chain.Propagate(dist);
+        }
+      } else {
+        dist = PropagateIncrement(dist, core.head_pmf,
+                                  /*saturate_top=*/false);
+        dist = PropagateIncrementSteps(dist, core.body_pmf, m_periods - ms - 1,
+                                       /*saturate_top=*/false);
+        for (const Pmf& tail : core.tail_pmfs) {
+          dist = PropagateIncrement(dist, tail, /*saturate_top=*/false);
+        }
+      }
+    }
+    core.report_distribution = Pmf(std::move(dist));
+    return core;
+  };
+
+  // Everything up to the tail sum is independent of k/normalize, so it is
+  // shared across the threshold sweep via the process-wide memo cache.
+  prob::MemoKey key("core/ms_solve_core");
+  key.AddDouble(params.field_width)
+      .AddDouble(params.field_height)
+      .AddInt(params.num_nodes)
+      .AddDouble(params.sensing_range)
+      .AddDouble(params.detect_prob)
+      .AddDouble(params.period_length)
+      .AddDouble(params.target_speed)
+      .AddInt(params.window_periods)
+      .AddInt(options.gh)
+      .AddInt(options.g)
+      .AddDouble(options.node_reliability)
+      .AddBool(options.use_transition_matrices);
+  const std::shared_ptr<const MsSolveCore> core =
+      prob::MemoCache::Global().GetOrCompute<MsSolveCore>(
+          key, compute_core, MsSolveCoreHeapBytes);
 
   MsApproachResult result;
-  result.ms = ms;
-  result.z = (ms + 1) * options.gh;
-  result.num_states = m_periods * result.z + 1;
-
-  // Stage pmfs. Head uses the full DR subareas AreaH(i); Body/Tail use the
-  // crescent NEDR subareas AreaB(i) / AreaT(j, i).
-  const double rel = options.node_reliability;
-  {
-    obs::ObsTimer timer(obs::Phase::kMsHead);
-    result.head_pmf =
-        CappedRegionReportPmf(n, s, decomp.area_h(), pd, options.gh, rel);
-  }
-  resilience::CancellationPoint();
-  {
-    obs::ObsTimer timer(obs::Phase::kMsBody);
-    result.body_pmf =
-        CappedRegionReportPmf(n, s, decomp.area_b(), pd, options.g, rel);
-  }
-  resilience::CancellationPoint();
-  {
-    obs::ObsTimer timer(obs::Phase::kMsTail);
-    result.tail_pmfs.reserve(static_cast<std::size_t>(ms));
-    for (int j = 1; j <= ms; ++j) {
-      result.tail_pmfs.push_back(CappedRegionReportPmf(
-          n, s, decomp.AreaTVector(j), pd, options.g, rel));
-    }
-  }
-  resilience::CancellationPoint();
-
-  // Chain the stages: Result = u TH TB^(M-ms-1) prod_j TTj (Eq. 12).
-  // The state space 0 .. M*Z is large enough that no transition can
-  // overflow it (Head adds <= Z, each of the other M-1 stages adds
-  // <= (ms+1)*g <= Z), so saturation never triggers; we still keep the
-  // boundary behavior explicit.
-  const std::size_t num_states = static_cast<std::size_t>(result.num_states);
-  std::vector<double> dist(num_states, 0.0);
-  dist[0] = 1.0;  // u = [1 0 0 ... 0] (Eq. 11)
-
-  {
-    obs::ObsTimer timer(obs::Phase::kMsPropagate);
-    if (options.use_transition_matrices) {
-      const MarkovChain head(BuildIncrementTransitionMatrix(
-          result.head_pmf, num_states, /*saturate_top=*/false));
-      const MarkovChain body(BuildIncrementTransitionMatrix(
-          result.body_pmf, num_states, /*saturate_top=*/false));
-      dist = head.Propagate(dist);
-      dist = body.PropagateSteps(dist, m_periods - ms - 1);
-      for (const Pmf& tail : result.tail_pmfs) {
-        const MarkovChain chain(BuildIncrementTransitionMatrix(
-            tail, num_states, /*saturate_top=*/false));
-        dist = chain.Propagate(dist);
-      }
-    } else {
-      dist = PropagateIncrement(dist, result.head_pmf,
-                                /*saturate_top=*/false);
-      dist = PropagateIncrementSteps(dist, result.body_pmf, m_periods - ms - 1,
-                                     /*saturate_top=*/false);
-      for (const Pmf& tail : result.tail_pmfs) {
-        dist = PropagateIncrement(dist, tail, /*saturate_top=*/false);
-      }
-    }
-  }
-
-  result.report_distribution = Pmf(std::move(dist));
+  // One tail stage per NEDR crescent, so the count recovers decomp.ms().
+  result.ms = static_cast<int>(core->tail_pmfs.size());
+  result.z = (result.ms + 1) * options.gh;
+  result.num_states = params.window_periods * result.z + 1;
+  result.head_pmf = core->head_pmf;
+  result.body_pmf = core->body_pmf;
+  result.tail_pmfs = core->tail_pmfs;
+  result.report_distribution = core->report_distribution;
   result.total_mass = result.report_distribution.TotalMass();
   result.predicted_accuracy = MsPredictedAccuracy(params, options.gh,
                                                   options.g);

@@ -4,11 +4,29 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "prob/binomial.h"
+#include "prob/memo_cache.h"
 #include "resilience/cancel.h"
 
 namespace sparsedet {
 namespace {
+
+// Canonical memo key for a region-pmf call site: every argument that can
+// change the result goes in, doubles bit-exact. The tag separates call
+// sites so identical parameter tuples never alias across functions.
+prob::MemoKey RegionKey(std::string_view tag, int num_nodes, double field_area,
+                        const std::vector<double>& areas, double pd) {
+  prob::MemoKey key(tag);
+  key.AddInt(num_nodes)
+      .AddDouble(field_area)
+      .AddDouble(pd)
+      .AddInt(static_cast<std::int64_t>(areas.size()));
+  for (double a : areas) key.AddDouble(a);
+  return key;
+}
+
+std::size_t PmfHeapBytes(const Pmf& pmf) { return pmf.size() * sizeof(double); }
 
 double CheckAreas(const std::vector<double>& areas, double field_area,
                   double pd) {
@@ -41,9 +59,11 @@ Pmf ConditionalSensorReportPmf(const std::vector<double>& areas, double pd) {
   return Pmf(std::move(mass));
 }
 
-Pmf ExactRegionReportPmf(int num_nodes, double field_area,
-                         const std::vector<double>& areas, double pd,
-                         double node_reliability) {
+namespace {
+
+Pmf ComputeExactRegionReportPmf(int num_nodes, double field_area,
+                                const std::vector<double>& areas, double pd,
+                                double node_reliability) {
   SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
   SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
   SPARSEDET_REQUIRE(node_reliability >= 0.0 && node_reliability <= 1.0,
@@ -66,9 +86,14 @@ Pmf ExactRegionReportPmf(int num_nodes, double field_area,
   return Pmf(per).ThinnedBy(node_reliability).ConvolvePower(num_nodes);
 }
 
-Pmf CappedRegionReportPmf(int num_nodes, double field_area,
-                          const std::vector<double>& areas, double pd,
-                          int cap, double node_reliability) {
+// The convolution chain below accumulates strictly in n order; it stays
+// sequential on purpose so the floating-point association — and therefore
+// every golden value — is independent of the thread count. Parallelism and
+// reuse come from the memo cache wrapper and from the callers (the M-S
+// stages run these calls concurrently).
+Pmf ComputeCappedRegionReportPmf(int num_nodes, double field_area,
+                                 const std::vector<double>& areas, double pd,
+                                 int cap, double node_reliability) {
   SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
   SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
   SPARSEDET_REQUIRE(cap >= 0, "cap must be >= 0");
@@ -93,6 +118,38 @@ Pmf CappedRegionReportPmf(int num_nodes, double field_area,
     if (n < effective_cap) n_fold = n_fold.ConvolveWith(conditional);
   }
   return Pmf(std::move(out));
+}
+
+}  // namespace
+
+Pmf ExactRegionReportPmf(int num_nodes, double field_area,
+                         const std::vector<double>& areas, double pd,
+                         double node_reliability) {
+  prob::MemoKey key =
+      RegionKey("core/exact_region_pmf", num_nodes, field_area, areas, pd);
+  key.AddDouble(node_reliability);
+  return *prob::MemoCache::Global().GetOrCompute<Pmf>(
+      key,
+      [&] {
+        return ComputeExactRegionReportPmf(num_nodes, field_area, areas, pd,
+                                           node_reliability);
+      },
+      PmfHeapBytes);
+}
+
+Pmf CappedRegionReportPmf(int num_nodes, double field_area,
+                          const std::vector<double>& areas, double pd,
+                          int cap, double node_reliability) {
+  prob::MemoKey key =
+      RegionKey("core/capped_region_pmf", num_nodes, field_area, areas, pd);
+  key.AddInt(cap).AddDouble(node_reliability);
+  return *prob::MemoCache::Global().GetOrCompute<Pmf>(
+      key,
+      [&] {
+        return ComputeCappedRegionReportPmf(num_nodes, field_area, areas, pd,
+                                            cap, node_reliability);
+      },
+      PmfHeapBytes);
 }
 
 namespace {
@@ -124,9 +181,11 @@ void EnumerateLiteral(const std::vector<double>& area_over_s,
 
 }  // namespace
 
-Pmf CappedRegionReportPmfLiteral(int num_nodes, double field_area,
-                                 const std::vector<double>& areas, double pd,
-                                 int cap) {
+namespace {
+
+Pmf ComputeCappedRegionReportPmfLiteral(int num_nodes, double field_area,
+                                        const std::vector<double>& areas,
+                                        double pd, int cap) {
   SPARSEDET_REQUIRE(num_nodes >= 0, "node count must be >= 0");
   SPARSEDET_REQUIRE(field_area > 0.0, "field area must be positive");
   SPARSEDET_REQUIRE(cap >= 0, "cap must be >= 0");
@@ -143,23 +202,54 @@ Pmf CappedRegionReportPmfLiteral(int num_nodes, double field_area,
     report_pmfs[i] = BinomialPmfVector(static_cast<int>(i) + 1, pd);
   }
 
-  std::vector<double> out(
-      static_cast<std::size_t>(effective_cap) * max_periods + 1, 0.0);
+  const std::size_t out_size =
+      static_cast<std::size_t>(effective_cap) * max_periods + 1;
+  // The per-depth enumerations are independent and wildly uneven (cost
+  // grows as areas.size()^n), so run them under work stealing; the final
+  // accumulation below walks depths in index order, which keeps the
+  // floating-point association — and hence the bits — identical to the
+  // sequential loop for every thread count.
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(effective_cap) + 1);
+  ParallelFor(partials.size(), [&](std::size_t n) {
+    std::vector<double> partial(out_size, 0.0);
+    EnumerateLiteral(area_over_s, report_pmfs, static_cast<int>(n), 0, 1.0,
+                     partial);
+    partials[n] = std::move(partial);
+  });
+
+  std::vector<double> out(out_size, 0.0);
   for (int n = 0; n <= effective_cap; ++n) {
     // pS{(n)(R1..Rn)} = C(N, n) (1 - A/S)^(N-n) prod Region(R_i)/S; the
     // leading factor is shared by every tuple of this depth. Note
     // C(N, n) (1 - A/S)^(N-n) (A/S)^n = BinomialPmf(N, n, A/S) and the
-    // enumeration below multiplies in exactly (A/S)^n via the region
+    // enumeration above multiplies in exactly (A/S)^n via the region
     // weights, so scale by BinomialPmf / (A/S)^n for stability.
     double scale = BinomialPmf(num_nodes, n, p_in);
     for (int d = 0; d < n; ++d) scale /= p_in;
-    std::vector<double> partial(out.size(), 0.0);
-    EnumerateLiteral(area_over_s, report_pmfs, n, 0, 1.0, partial);
+    const std::vector<double>& partial = partials[n];
     for (std::size_t m = 0; m < out.size(); ++m) {
       out[m] += scale * partial[m];
     }
   }
   return Pmf(std::move(out));
+}
+
+}  // namespace
+
+Pmf CappedRegionReportPmfLiteral(int num_nodes, double field_area,
+                                 const std::vector<double>& areas, double pd,
+                                 int cap) {
+  prob::MemoKey key = RegionKey("core/capped_region_pmf_literal", num_nodes,
+                                field_area, areas, pd);
+  key.AddInt(cap);
+  return *prob::MemoCache::Global().GetOrCompute<Pmf>(
+      key,
+      [&] {
+        return ComputeCappedRegionReportPmfLiteral(num_nodes, field_area,
+                                                   areas, pd, cap);
+      },
+      PmfHeapBytes);
 }
 
 double RegionCapAccuracy(int num_nodes, double field_area, double region_area,

@@ -1,23 +1,38 @@
 #include "core/s_approach.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "core/region_pmf.h"
 #include "geometry/region_decomposition.h"
 #include "obs/timer.h"
+#include "prob/memo_cache.h"
 
 namespace sparsedet {
 namespace {
 
+// The subarea decomposition depends on four scalars only and repeats for
+// every sweep point that varies N, Pd, or k, so it is memoized
+// process-wide. The report-pmf calls downstream have their own memos.
 std::vector<double> SRegions(const SystemParams& params) {
   obs::ObsTimer timer(obs::Phase::kRegionDecomposition);
   params.Validate();
-  const RegionDecomposition decomp(params.sensing_range, params.target_speed,
-                                   params.period_length);
-  SPARSEDET_REQUIRE(params.window_periods > decomp.ms(),
-                    "the S-approach requires M > ms");
-  return decomp.SApproachRegions(params.window_periods);
+  prob::MemoKey key("core/s_regions");
+  key.AddDouble(params.sensing_range)
+      .AddDouble(params.target_speed)
+      .AddDouble(params.period_length)
+      .AddInt(params.window_periods);
+  return *prob::MemoCache::Global().GetOrCompute<std::vector<double>>(
+      key,
+      [&] {
+        const RegionDecomposition decomp(
+            params.sensing_range, params.target_speed, params.period_length);
+        SPARSEDET_REQUIRE(params.window_periods > decomp.ms(),
+                          "the S-approach requires M > ms");
+        return decomp.SApproachRegions(params.window_periods);
+      },
+      [](const std::vector<double>& v) { return v.size() * sizeof(double); });
 }
 
 }  // namespace

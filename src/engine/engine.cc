@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "engine/request.h"
 #include "obs/timer.h"
+#include "prob/memo_cache.h"
 
 namespace sparsedet::engine {
 
@@ -134,13 +136,21 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
       watchdog_cancels(&registry.counter("engine_watchdog_cancels_total")),
       overloaded(&registry.counter("engine_overloaded_total")),
       rejected_lines(&registry.counter("engine_rejected_lines_total")),
-      injected_faults(&registry.counter("engine_injected_faults_total")) {}
+      injected_faults(&registry.counter("engine_injected_faults_total")),
+      memo_hits(&registry.gauge("solver_memo_hits")),
+      memo_misses(&registry.gauge("solver_memo_misses")),
+      memo_entries(&registry.gauge("solver_memo_entries")),
+      memo_bytes(&registry.gauge("solver_memo_bytes")),
+      memo_evictions(&registry.gauge("solver_memo_evictions")) {}
 
 BatchEngine::BatchEngine(const EngineOptions& options)
     : options_(options),
+      prev_solver_threads_(SetSolverThreads(options.solver_threads)),
       metrics_(registry_),
       cache_(options.cache_capacity, registry_),
       pool_(MakePoolOptions(options, metrics_)) {
+  prev_memo_capacity_ = prob::MemoCache::Global().capacity();
+  prob::MemoCache::Global().SetCapacity(options_.memo_cache_entries);
   if (!options_.fault_config.empty()) {
     injector_ = std::make_unique<resilience::FaultInjector>(
         resilience::ParseFaultInjectorConfig(options_.fault_config),
@@ -156,7 +166,11 @@ BatchEngine::BatchEngine(const EngineOptions& options)
   obs::InstallGlobalRegistry(&registry_);
 }
 
-BatchEngine::~BatchEngine() { obs::UninstallGlobalRegistry(&registry_); }
+BatchEngine::~BatchEngine() {
+  obs::UninstallGlobalRegistry(&registry_);
+  SetSolverThreads(prev_solver_threads_);
+  prob::MemoCache::Global().SetCapacity(prev_memo_capacity_);
+}
 
 EngineStats BatchEngine::stats() const {
   EngineStats stats;
@@ -169,11 +183,36 @@ EngineStats BatchEngine::stats() const {
 }
 
 obs::RegistrySnapshot BatchEngine::MetricsSnapshot() const {
+  // Mirror the process-wide memo cache into the gauges so every snapshot
+  // rendering (metrics-dump, Prometheus, {"cmd":"stats"}) sees it.
+  const prob::MemoCacheStats memo = prob::MemoCache::Global().Stats();
+  metrics_.memo_hits->Set(static_cast<std::int64_t>(memo.hits));
+  metrics_.memo_misses->Set(static_cast<std::int64_t>(memo.misses));
+  metrics_.memo_entries->Set(static_cast<std::int64_t>(memo.entries));
+  metrics_.memo_bytes->Set(static_cast<std::int64_t>(memo.bytes));
+  metrics_.memo_evictions->Set(static_cast<std::int64_t>(memo.evictions));
   return registry_.Snapshot();
 }
 
 JsonValue BatchEngine::StatsSnapshotJson() const {
   JsonValue json = stats().ToJson(cache_);
+  // The memo block lives here (the {"cmd":"stats"} response) and NOT in
+  // the batch stats line: its hit/miss split depends on which worker won
+  // each compute race, and the stats line is pinned byte-identical across
+  // thread counts.
+  const prob::MemoCacheStats memo = prob::MemoCache::Global().Stats();
+  JsonValue memo_json = JsonValue::Object();
+  memo_json
+      .Set("capacity", static_cast<std::int64_t>(memo.capacity_entries))
+      .Set("entries", static_cast<std::int64_t>(memo.entries))
+      .Set("bytes", static_cast<std::int64_t>(memo.bytes))
+      .Set("hits", static_cast<std::int64_t>(memo.hits))
+      .Set("misses", static_cast<std::int64_t>(memo.misses))
+      .Set("inserts", static_cast<std::int64_t>(memo.inserts))
+      .Set("evictions", static_cast<std::int64_t>(memo.evictions))
+      .Set("skipped_inserts",
+           static_cast<std::int64_t>(memo.skipped_inserts));
+  json.Set("memo_cache", std::move(memo_json));
   json.Set("metrics", MetricsSnapshot().ToJson());
   return json;
 }

@@ -54,6 +54,17 @@ namespace sparsedet::engine {
 struct EngineOptions {
   std::size_t threads = 0;  // worker threads; 0 = hardware concurrency
   std::size_t cache_capacity = 4096;  // LRU entries; 0 disables the cache
+  // Intra-solve ParallelFor width per work unit ("--solver-threads").
+  // Defaults to 1: the pool already saturates the machine with one unit
+  // per worker, so nested parallelism only helps when requests are scarce.
+  // 0 = hardware concurrency. Installed process-wide for the engine's
+  // lifetime and restored on destruction.
+  std::size_t solver_threads = 1;
+  // Capacity of the process-wide solver memo cache in entries
+  // ("--memo-cache-entries"); 0 disables memoization. Installed at
+  // construction, restored on destruction; the cached values themselves
+  // persist across engines (they are keyed, immutable, and request-free).
+  std::size_t memo_cache_entries = 4096;
   bool unordered = false;  // emit completions immediately, tagged by id
   bool trace = false;      // attach a "trace" span object to response lines
   std::string trace_file;  // JSONL span log path; empty = no span file
@@ -107,6 +118,17 @@ struct EngineMetrics {
   obs::Counter* overloaded;
   obs::Counter* rejected_lines;
   obs::Counter* injected_faults;
+  // Solver memo-cache mirrors, refreshed at snapshot time. Gauges (not
+  // counters) because the underlying cache is process-global: workers from
+  // any engine, or none, may have moved it since the last snapshot. They
+  // are deliberately absent from the batch stats line — hit/miss totals
+  // depend on worker interleaving, and that line must stay byte-identical
+  // across thread counts.
+  obs::Gauge* memo_hits;
+  obs::Gauge* memo_misses;
+  obs::Gauge* memo_entries;
+  obs::Gauge* memo_bytes;
+  obs::Gauge* memo_evictions;
 };
 
 class BatchEngine {
@@ -168,6 +190,9 @@ class BatchEngine {
                WorkUnit unit, int attempt, std::int64_t submitted_ns);
 
   EngineOptions options_;
+  // Process-wide settings displaced by this engine, restored in ~BatchEngine.
+  std::size_t prev_solver_threads_ = 0;
+  std::size_t prev_memo_capacity_ = 0;
   // The registry outlives the cache (counter handles) and the pool
   // (workers record into phase histograms until joined) — declaration
   // order is load-bearing here. The injector sits between cache and pool

@@ -482,10 +482,11 @@ JsonValue EvaluateUnit(const WorkUnit& unit) {
       MonteCarloOptions mc;
       mc.trials = unit.sim.trials;
       mc.seed = unit.sim.seed;
-      // The pool is the only parallelism: trials run inline so concurrent
-      // simulate units do not oversubscribe the machine. Estimates are
-      // bit-identical regardless (per-trial RNG substreams).
-      mc.threads = 1;
+      // Trial batches follow the --solver-threads setting (engine default
+      // 1, so the pool stays the only parallelism unless the operator opts
+      // in). Estimates are bit-identical regardless (per-trial RNG
+      // substreams with a deterministic success count).
+      mc.threads = 0;
       const ProportionEstimate est =
           unit.sim.distinct_nodes > 1
               ? EstimateKNodeDetectionProbability(config,

@@ -18,17 +18,14 @@ ProportionEstimate EstimateTrialProbability(
 
   const Rng base(options.seed);
   std::atomic<std::int64_t> successes{0};
-  // The cancel token lives in a thread-local; re-install it inside the
-  // ParallelFor body so worker threads inherit the caller's token and a
-  // timed-out estimate stops burning CPU mid-run (ParallelFor rethrows the
-  // resulting Cancelled on this thread).
-  const resilience::CancelToken* cancel = resilience::CurrentCancelToken();
+  // ParallelFor re-installs the caller's cancel token inside every worker
+  // and checks it between chunks; the extra per-trial CancellationPoint
+  // keeps the deadline granularity at one trial even for large chunks.
   {
     obs::ObsTimer timer(obs::Phase::kMcTrials);
     ParallelFor(
         static_cast<std::size_t>(options.trials),
         [&](std::size_t i) {
-          resilience::ScopedCancelScope scope(cancel);
           resilience::CancellationPoint();
           Rng rng = base.Substream(i);
           const TrialResult trial = RunTrial(config, rng);
@@ -66,12 +63,10 @@ double EstimateMeanReports(const TrialConfig& config,
   config.params.Validate();
   const Rng base(options.seed);
   std::atomic<std::int64_t> total{0};
-  const resilience::CancelToken* cancel = resilience::CurrentCancelToken();
   obs::ObsTimer timer(obs::Phase::kMcTrials);
   ParallelFor(
       static_cast<std::size_t>(options.trials),
       [&](std::size_t i) {
-        resilience::ScopedCancelScope scope(cancel);
         resilience::CancellationPoint();
         Rng rng = base.Substream(i);
         const TrialResult trial = RunTrial(config, rng);

@@ -17,6 +17,7 @@
 #include "engine/request.h"
 #include "engine/worker_pool.h"
 #include "obs/metrics.h"
+#include "prob/memo_cache.h"
 
 namespace sparsedet::engine {
 namespace {
@@ -567,6 +568,9 @@ TEST(BatchEngine, TraceFileRecordsCacheHitsOnSecondPass) {
 }
 
 TEST(BatchEngine, MetricsSnapshotCountsPhaseSamples) {
+  // The solver memo cache is process-wide; start cold so the analyze units
+  // actually drive the M-S stages (a memo hit skips them by design).
+  prob::MemoCache::Global().Clear();
   EngineOptions options;
   options.threads = 2;
   BatchEngine engine(options);

@@ -1,0 +1,225 @@
+// Unit tests for the process-wide solver memo cache: canonical key
+// encoding (injective, bit-exact for doubles), hit/miss/LRU accounting,
+// capacity handling, the no-insert-under-cancellation rule, and
+// concurrent GetOrCompute coalescing onto one resident value.
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prob/memo_cache.h"
+#include "resilience/cancel.h"
+
+namespace sparsedet::prob {
+namespace {
+
+TEST(MemoKey, FieldsAreTaggedAndInjective) {
+  // The same raw payload bytes through different field types must yield
+  // different keys — type tags prevent cross-type aliasing.
+  MemoKey as_int("t");
+  as_int.AddInt(1);
+  MemoKey as_bool("t");
+  as_bool.AddBool(true);
+  EXPECT_NE(as_int.bytes(), as_bool.bytes());
+
+  // Field boundaries matter: (12, 3) != (1, 23) even though the digit
+  // stream is identical.
+  MemoKey a("t");
+  a.AddInt(12).AddInt(3);
+  MemoKey b("t");
+  b.AddInt(1).AddInt(23);
+  EXPECT_NE(a.bytes(), b.bytes());
+
+  // The tag participates in the key.
+  MemoKey tag_x("x");
+  tag_x.AddInt(7);
+  MemoKey tag_y("y");
+  tag_y.AddInt(7);
+  EXPECT_NE(tag_x.bytes(), tag_y.bytes());
+}
+
+TEST(MemoKey, DoublesAreBitExact) {
+  // Keys use the IEEE-754 bit pattern, not a formatted value: values that
+  // differ in the last ulp must produce different keys, and +0.0 / -0.0
+  // (different bit patterns) must not alias.
+  const double x = 0.1;
+  const double y = std::nextafter(x, 1.0);
+  MemoKey kx("t");
+  kx.AddDouble(x);
+  MemoKey ky("t");
+  ky.AddDouble(y);
+  EXPECT_NE(kx.bytes(), ky.bytes());
+
+  MemoKey pz("t");
+  pz.AddDouble(0.0);
+  MemoKey nz("t");
+  nz.AddDouble(-0.0);
+  EXPECT_NE(pz.bytes(), nz.bytes());
+
+  // Identical values encode identically (keys are deterministic).
+  MemoKey kx2("t");
+  kx2.AddDouble(x);
+  EXPECT_EQ(kx.bytes(), kx2.bytes());
+}
+
+MemoKey Key(int i) {
+  MemoKey key("test/key");
+  key.AddInt(i);
+  return key;
+}
+
+TEST(MemoCache, HitAndMissAccounting) {
+  MemoCache cache(64);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 42;
+  };
+  const std::shared_ptr<const int> first = cache.GetOrCompute<int>(Key(1), compute);
+  const std::shared_ptr<const int> second = cache.GetOrCompute<int>(Key(1), compute);
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(computes, 1) << "second call must be served from the cache";
+  EXPECT_EQ(first.get(), second.get()) << "hits share the resident value";
+
+  const MemoCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.bytes, sizeof(int));
+}
+
+TEST(MemoCache, EvictsLeastRecentlyUsedWithinShard) {
+  // Keys built from the same tag with consecutive ints spread across
+  // shards, so exercise eviction with a single-entry-per-shard capacity:
+  // inserting two keys that land in the same shard must evict the older.
+  MemoCache cache(1);  // per-shard capacity clamps to 1
+  std::size_t evictions_before = cache.Stats().evictions;
+  // Insert enough distinct keys that some shard sees at least two.
+  for (int i = 0; i < 64; ++i) {
+    cache.GetOrCompute<int>(Key(i), [i] { return i; });
+  }
+  const MemoCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, evictions_before);
+  EXPECT_LE(stats.entries, 16u) << "at most one resident entry per shard";
+  EXPECT_EQ(stats.inserts, 64u);
+}
+
+TEST(MemoCache, CapacityZeroDisablesResidency) {
+  MemoCache cache(0);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 7;
+  };
+  EXPECT_EQ(*cache.GetOrCompute<int>(Key(1), compute), 7);
+  EXPECT_EQ(*cache.GetOrCompute<int>(Key(1), compute), 7);
+  EXPECT_EQ(computes, 2) << "disabled cache computes every time";
+  const MemoCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(MemoCache, SetCapacityShrinksResidentEntries) {
+  MemoCache cache(256);
+  for (int i = 0; i < 128; ++i) {
+    cache.GetOrCompute<int>(Key(i), [i] { return i; });
+  }
+  ASSERT_GT(cache.Stats().entries, 16u);
+  cache.SetCapacity(16);  // one entry per shard
+  EXPECT_LE(cache.Stats().entries, 16u);
+  cache.SetCapacity(0);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(MemoCache, NoInsertWhileCancellationTokenInstalled) {
+  // The determinism/correctness rule for deadline-bounded solves: a solve
+  // that may be abandoned mid-way must never publish partial state. With a
+  // cancel token installed the value is computed and returned but NOT made
+  // resident, and the skip is counted.
+  MemoCache cache(64);
+  const resilience::CancelToken token;
+  {
+    const resilience::ScopedCancelScope scope(&token);
+    EXPECT_EQ(*cache.GetOrCompute<int>(Key(1), [] { return 9; }), 9);
+  }
+  MemoCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.inserts, 0u);
+  EXPECT_EQ(stats.skipped_inserts, 1u);
+
+  // The same key computed outside any cancel scope becomes resident.
+  EXPECT_EQ(*cache.GetOrCompute<int>(Key(1), [] { return 9; }), 9);
+  stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(MemoCache, ConcurrentGetOrComputeSharesOneResidentValue) {
+  MemoCache cache(64);
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  std::vector<std::shared_ptr<const std::string>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        results[t] = cache.GetOrCompute<std::string>(Key(1), [&] {
+          computes.fetch_add(1);
+          return std::string("value");
+        });
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  // Racing computes are allowed (compute runs outside the shard lock), but
+  // every caller must end up observing the same correct value, and exactly
+  // one insert wins residency.
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, "value");
+  }
+  EXPECT_GE(computes.load(), 1);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(MemoCache, ClearResetsEntriesAndBytes) {
+  MemoCache cache(64);
+  cache.GetOrCompute<int>(Key(1), [] { return 1; });
+  cache.GetOrCompute<int>(Key(2), [] { return 2; });
+  ASSERT_EQ(cache.Stats().entries, 2u);
+  cache.Clear();
+  const MemoCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(MemoCache, BytesOfCallbackFeedsAccounting) {
+  MemoCache cache(64);
+  const std::function<std::size_t(const std::vector<double>&)> bytes_of =
+      [](const std::vector<double>& v) { return v.size() * sizeof(double); };
+  cache.GetOrCompute<std::vector<double>>(
+      Key(1), [] { return std::vector<double>(100, 0.5); }, bytes_of);
+  EXPECT_GE(cache.Stats().bytes, 100 * sizeof(double));
+}
+
+TEST(MemoCache, GlobalIsSharedAndResettable) {
+  MemoCache& global = MemoCache::Global();
+  const std::size_t previous = global.capacity();
+  global.SetCapacity(32);
+  global.Clear();
+  global.GetOrCompute<int>(Key(123456), [] { return 5; });
+  EXPECT_GE(global.Stats().entries, 1u);
+  global.Clear();
+  global.SetCapacity(previous);
+}
+
+}  // namespace
+}  // namespace sparsedet::prob

@@ -2,6 +2,7 @@
 // algebraic laws of the probability machinery, geometric invariants of the
 // decomposition, and routing invariants on random deployments. Each TEST_P
 // runs the property on a distinct random instance.
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -190,6 +191,69 @@ TEST_P(ModelLaws, DetectionProbabilityWithinUnitIntervalAndMonotoneInK) {
     EXPECT_LE(prob, prev + 1e-9) << "k = " << k;
     prev = prob;
   }
+}
+
+TEST_P(ModelLaws, DetectionProbabilityMonotoneInNodes) {
+  Rng rng(GetParam() * 40503u);
+  SystemParams p = SystemParams::OnrDefaults();
+  p.target_speed = rng.Uniform(2.0, 30.0);
+  p.detect_prob = 0.3 + 0.7 * rng.UniformDouble();
+  if (p.window_periods <= p.Ms()) p.window_periods = p.Ms() + 5;
+  double prev = -1.0;
+  for (int n = 40; n <= 400; n += 60) {
+    p.num_nodes = n;
+    const double prob = MsApproachAnalyze(p).detection_probability;
+    EXPECT_GE(prob, prev - 1e-9) << "N = " << n;
+    prev = prob;
+  }
+}
+
+TEST_P(ModelLaws, DetectionProbabilityMonotoneInDetectProb) {
+  Rng rng(GetParam() * 69497u);
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 50 + static_cast<int>(rng.UniformInt(300));
+  p.target_speed = rng.Uniform(2.0, 30.0);
+  if (p.window_periods <= p.Ms()) p.window_periods = p.Ms() + 5;
+  double prev = -1.0;
+  for (double pd = 0.1; pd <= 1.0 + 1e-9; pd += 0.15) {
+    p.detect_prob = std::min(pd, 1.0);
+    const double prob = MsApproachAnalyze(p).detection_probability;
+    EXPECT_GE(prob, prev - 1e-9) << "Pd = " << pd;
+    prev = prob;
+  }
+}
+
+TEST_P(ModelLaws, DetectionProbabilityMonotoneInWindowPeriods) {
+  // A longer observation window can only add detection opportunities.
+  Rng rng(GetParam() * 93911u);
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = 50 + static_cast<int>(rng.UniformInt(300));
+  p.target_speed = rng.Uniform(2.0, 20.0);
+  p.detect_prob = 0.3 + 0.7 * rng.UniformDouble();
+  double prev = -1.0;
+  for (int m = p.Ms() + 2; m <= p.Ms() + 26; m += 6) {
+    p.window_periods = m;
+    const double prob = MsApproachAnalyze(p).detection_probability;
+    EXPECT_GE(prob, prev - 1e-9) << "M = " << m;
+    prev = prob;
+  }
+}
+
+TEST_P(ModelLaws, ExactRegionPmfMassIsOneTo1e12) {
+  // Every pmf produced by the (memoized, parallelized) exact convolution
+  // path is a true probability distribution to near machine precision.
+  Rng rng(GetParam() * 48271u);
+  const RegionDecomposition d(rng.Uniform(200.0, 2000.0),
+                              rng.Uniform(1.0, 20.0), 60.0);
+  const double field = 32000.0 * 32000.0;
+  const int n = 20 + static_cast<int>(rng.UniformInt(300));
+  const double pd = rng.UniformDouble();
+  const double reliability = 0.5 + 0.5 * rng.UniformDouble();
+  EXPECT_NEAR(ExactRegionReportPmf(n, field, d.area_h(), pd).TotalMass(), 1.0,
+              1e-12);
+  EXPECT_NEAR(
+      ExactRegionReportPmf(n, field, d.area_h(), pd, reliability).TotalMass(),
+      1.0, 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelLaws, ::testing::Range(1, 13));
