@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <csignal>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -7,6 +8,8 @@
 #include <numbers>
 
 #include "cli/flags.h"
+#include "common/framing.h"
+#include "server/tcp_server.h"
 #include "common/check.h"
 #include "common/json.h"
 #include "common/table.h"
@@ -65,6 +68,47 @@ MsApproachOptions ParseMsOptions(FlagParser& flags) {
   opt.node_reliability = flags.GetDouble(
       "reliability", opt.node_reliability, "node survival probability");
   return opt;
+}
+
+// Engine flags shared by batch / serve / serve-tcp, so the three
+// front-ends cannot drift apart in what they accept.
+engine::EngineOptions ParseEngineOptions(FlagParser& flags) {
+  engine::EngineOptions options;
+  options.threads = static_cast<std::size_t>(
+      flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
+  options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
+      "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
+  options.solver_threads = static_cast<std::size_t>(flags.GetInt(
+      "solver-threads", 1,
+      "intra-solve ParallelFor width per unit (0 = hardware)"));
+  options.memo_cache_entries = static_cast<std::size_t>(flags.GetInt(
+      "memo-cache-entries", 4096,
+      "solver memo-cache entries shared across requests (0 disables)"));
+  options.trace = flags.GetBool(
+      "trace", false, "attach a \"trace\" span object to response lines");
+  options.trace_file = flags.GetString(
+      "trace-file", "", "write one span JSON line per request to this file");
+  options.max_queue = static_cast<std::size_t>(flags.GetInt(
+      "max-queue", 0, "reject requests past this pool backlog (0 = off)"));
+  options.max_line_bytes = static_cast<std::size_t>(flags.GetInt(
+      "max-line-bytes", 1 << 20, "reject longer input lines (0 = off)"));
+  options.retry.max_attempts = flags.GetInt(
+      "retry-max", 3, "attempts per unit under transient faults");
+  options.retry.base_delay_ms = flags.GetInt(
+      "retry-base-ms", 1, "base backoff delay between retries");
+  options.watchdog_stuck_ms = flags.GetInt(
+      "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
+  options.fault_config = flags.GetString(
+      "fault-inject", "", "FaultInjector JSON config (testing)");
+  return options;
+}
+
+// SIGTERM/SIGINT target for serve-tcp. RequestDrain() is async-signal-safe
+// (a single eventfd write), so this handler is too.
+server::TcpServer* g_drain_target = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_drain_target != nullptr) g_drain_target->RequestDrain();
 }
 
 int Guard(std::ostream& err, const std::function<int()>& body) {
@@ -382,35 +426,9 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
     FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
     const std::string input = flags.GetString(
         "input", "-", "JSONL request file, or - for stdin");
-    engine::EngineOptions options;
-    options.threads = static_cast<std::size_t>(
-        flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
-    options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
-        "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
-    options.solver_threads = static_cast<std::size_t>(flags.GetInt(
-        "solver-threads", 1,
-        "intra-solve ParallelFor width per unit (0 = hardware)"));
-    options.memo_cache_entries = static_cast<std::size_t>(flags.GetInt(
-        "memo-cache-entries", 4096,
-        "solver memo-cache entries shared across requests (0 disables)"));
+    engine::EngineOptions options = ParseEngineOptions(flags);
     options.unordered = flags.GetBool(
         "unordered", false, "emit completions immediately, tagged by id");
-    options.trace = flags.GetBool(
-        "trace", false, "attach a \"trace\" span object to response lines");
-    options.trace_file = flags.GetString(
-        "trace-file", "", "write one span JSON line per request to this file");
-    options.max_queue = static_cast<std::size_t>(flags.GetInt(
-        "max-queue", 0, "reject requests past this pool backlog (0 = off)"));
-    options.max_line_bytes = static_cast<std::size_t>(flags.GetInt(
-        "max-line-bytes", 1 << 20, "reject longer input lines (0 = off)"));
-    options.retry.max_attempts = flags.GetInt(
-        "retry-max", 3, "attempts per unit under transient faults");
-    options.retry.base_delay_ms = flags.GetInt(
-        "retry-base-ms", 1, "base backoff delay between retries");
-    options.watchdog_stuck_ms = flags.GetInt(
-        "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
-    options.fault_config = flags.GetString(
-        "fault-inject", "", "FaultInjector JSON config (testing)");
     const int passes =
         flags.GetInt("passes", 1, "process the input this many times");
     const bool stats =
@@ -440,40 +458,74 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
   return Guard(err, [&] {
     const std::vector<const char*> argv = ToArgv(args);
     FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
-    engine::EngineOptions options;
-    options.threads = static_cast<std::size_t>(
-        flags.GetInt("threads", 0, "worker threads (0 = hardware)"));
-    options.cache_capacity = static_cast<std::size_t>(flags.GetInt(
-        "cache-capacity", 4096, "LRU result-cache entries (0 disables)"));
-    options.solver_threads = static_cast<std::size_t>(flags.GetInt(
-        "solver-threads", 1,
-        "intra-solve ParallelFor width per unit (0 = hardware)"));
-    options.memo_cache_entries = static_cast<std::size_t>(flags.GetInt(
-        "memo-cache-entries", 4096,
-        "solver memo-cache entries shared across requests (0 disables)"));
-    options.trace = flags.GetBool(
-        "trace", false, "attach a \"trace\" span object to response lines");
-    options.trace_file = flags.GetString(
-        "trace-file", "", "write one span JSON line per request to this file");
-    options.max_queue = static_cast<std::size_t>(flags.GetInt(
-        "max-queue", 0, "reject requests past this pool backlog (0 = off)"));
-    options.max_line_bytes = static_cast<std::size_t>(flags.GetInt(
-        "max-line-bytes", 1 << 20, "reject longer input lines (0 = off)"));
-    options.retry.max_attempts = flags.GetInt(
-        "retry-max", 3, "attempts per unit under transient faults");
-    options.retry.base_delay_ms = flags.GetInt(
-        "retry-base-ms", 1, "base backoff delay between retries");
-    options.watchdog_stuck_ms = flags.GetInt(
-        "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
-    options.fault_config = flags.GetString(
-        "fault-inject", "", "FaultInjector JSON config (testing)");
+    engine::EngineOptions options = ParseEngineOptions(flags);
     const bool stats = flags.GetBool(
         "stats", false, "emit a {\"stats\":...} line at end of stream");
     flags.Finish();
 
     engine::BatchEngine batch_engine(options);
-    batch_engine.Serve(in, out);
+    if (&out == &std::cout) {
+      // A real serving stdout must survive EINTR and partial write(2)s
+      // (std::cout's streambuf silently drops the unwritten tail), so route
+      // responses through the fd-level writer shared with the TCP server.
+      std::signal(SIGPIPE, SIG_IGN);
+      out.flush();
+      framing::FdWriterBuf fd_buf(1);
+      std::ostream fd_out(&fd_buf);
+      batch_engine.Serve(in, fd_out);
+      if (stats) batch_engine.WriteStatsLine(fd_out);
+      fd_out.flush();
+    } else {
+      batch_engine.Serve(in, out);
+      if (stats) batch_engine.WriteStatsLine(out);
+    }
+    return 0;
+  });
+}
+
+int CmdServeTcp(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+    engine::EngineOptions options = ParseEngineOptions(flags);
+    server::TcpServerOptions sopts;
+    sopts.host = flags.GetString("host", "127.0.0.1", "listen address");
+    sopts.port = flags.GetInt(
+        "port", 0, "TCP port (0 = ephemeral; the bound port is printed)");
+    sopts.max_connections = static_cast<std::size_t>(flags.GetInt(
+        "max-connections", 64, "reject connections past this count"));
+    sopts.tenant_qps = flags.GetDouble(
+        "tenant-qps", 0.0,
+        "per-tenant admitted requests/sec (0 = unlimited)");
+    sopts.tenant_burst = flags.GetDouble(
+        "tenant-burst", 0.0,
+        "per-tenant token-bucket burst (0 = max(1, tenant-qps))");
+    sopts.idle_timeout_ms = flags.GetInt(
+        "idle-timeout-ms", 0, "close silent connections after this (0 = off)");
+    sopts.memo_snapshot_path = flags.GetString(
+        "memo-snapshot", "",
+        "memo-cache snapshot file: load on start, save on drain");
+    const bool stats = flags.GetBool(
+        "stats", true, "emit a final {\"stats\":...} line after drain");
+    flags.Finish();
+    sopts.max_line_bytes = options.max_line_bytes;
+
+    engine::BatchEngine batch_engine(options);
+    server::TcpServer server(batch_engine, sopts);
+    std::signal(SIGPIPE, SIG_IGN);
+    g_drain_target = &server;
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    server.Start();
+    out << "{\"listening\":{\"host\":\"" << sopts.host
+        << "\",\"port\":" << server.port() << "}}" << std::endl;
+    server.Run();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_drain_target = nullptr;
     if (stats) batch_engine.WriteStatsLine(out);
+    out.flush();
     return 0;
   });
 }
@@ -560,6 +612,7 @@ std::string Usage() {
       "  trace      export one simulated trial as CSV\n"
       "  batch      evaluate a JSONL request stream, then exit\n"
       "  serve      long-running JSONL request loop on stdin/stdout\n"
+      "  serve-tcp  concurrent TCP JSONL server with admission control\n"
       "  metrics-dump  render a metrics snapshot as table/Prometheus/JSON\n"
       "\n"
       "scenario flags (all commands): --field-width --field-height --nodes\n"
@@ -575,9 +628,11 @@ std::string Usage() {
       "--trace-file\n"
       "serve: --threads --solver-threads --cache-capacity "
       "--memo-cache-entries --stats --trace --trace-file\n"
+      "serve-tcp: serve flags plus --host --port --max-connections\n"
+      "  --tenant-qps --tenant-burst --idle-timeout-ms --memo-snapshot\n"
       "metrics-dump: --input --format\n"
-      "(batch/serve request schema: docs/ENGINE.md; metrics + spans: "
-      "docs/OBSERVABILITY.md)\n";
+      "(batch/serve request schema: docs/ENGINE.md; TCP serving: "
+      "docs/SERVING.md;\n metrics + spans: docs/OBSERVABILITY.md)\n";
 }
 
 int Run(int argc, const char* const* argv, std::ostream& out,
@@ -599,6 +654,7 @@ int Run(int argc, const char* const* argv, std::ostream& out,
   if (command == "trace") return CmdTrace(args, out, err);
   if (command == "batch") return CmdBatch(args, std::cin, out, err);
   if (command == "serve") return CmdServe(args, std::cin, out, err);
+  if (command == "serve-tcp") return CmdServeTcp(args, out, err);
   if (command == "metrics-dump") {
     return CmdMetricsDump(args, std::cin, out, err);
   }

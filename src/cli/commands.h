@@ -10,6 +10,9 @@
 //   sparsedet batch    --input <file|-> [--threads --passes --unordered
 //                       --trace --trace-file ...]
 //   sparsedet serve    [--threads --cache-capacity --trace ...]  JSONL loop
+//   sparsedet serve-tcp [serve flags --host --port --max-connections
+//                       --tenant-qps --tenant-burst --idle-timeout-ms
+//                       --memo-snapshot]           concurrent TCP server
 //   sparsedet metrics-dump --input <file|-> [--format table|prometheus|json]
 //
 // Each command returns a process exit code and writes to `out` / `err`, so
@@ -49,6 +52,11 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
 int CmdServe(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
+// `serve-tcp` runs the epoll TCP front-end (src/server/) until SIGTERM or
+// SIGINT triggers a graceful drain; prints a {"listening":...} line with
+// the bound port first, and a final {"stats":...} line after drain.
+int CmdServeTcp(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 // `metrics-dump` re-renders a metrics snapshot (a saved {"cmd":"stats"}
 // response, or any line of piped serve output carrying a "metrics" object)
 // as a table, Prometheus text exposition, or normalized JSON.

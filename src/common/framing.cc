@@ -1,0 +1,161 @@
+#include "common/framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace sparsedet::framing {
+
+LineDecoder::LineDecoder(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {}
+
+void LineDecoder::Feed(const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      buffer_.push_back('\n');
+      truncated_lines_.push_back(dropping_);
+      dropping_ = false;
+      partial_kept_ = 0;
+      continue;
+    }
+    if (dropping_) continue;
+    if (max_line_bytes_ != 0 && partial_kept_ >= max_line_bytes_) {
+      dropping_ = true;
+      continue;
+    }
+    buffer_.push_back(c);
+    ++partial_kept_;
+  }
+}
+
+bool LineDecoder::Next(std::string* line, bool* truncated) {
+  *truncated = false;
+  // Scan only bytes not yet examined; Feed appends, so earlier bytes are
+  // known newline-free.
+  const std::size_t nl = buffer_.find('\n', scan_pos_);
+  if (nl == std::string::npos) {
+    scan_pos_ = buffer_.size();
+    return false;
+  }
+  line->assign(buffer_, 0, nl);
+  buffer_.erase(0, nl + 1);
+  scan_pos_ = 0;
+  *truncated = truncated_lines_.front();
+  truncated_lines_.erase(truncated_lines_.begin());
+  return true;
+}
+
+bool LineDecoder::has_partial() const {
+  // Bytes after the last newline (or any dropped tail) form a partial.
+  return partial_kept_ > 0 || dropping_;
+}
+
+bool ReadBoundedLine(std::istream& in, std::string& line,
+                     std::size_t max_bytes, bool* truncated) {
+  *truncated = false;
+  if (max_bytes == 0) return static_cast<bool>(std::getline(in, line));
+  line.clear();
+  std::streambuf* buf = in.rdbuf();
+  constexpr int kEof = std::char_traits<char>::eof();
+  int ch = buf->sbumpc();
+  if (ch == kEof) {
+    in.setstate(std::ios::eofbit | std::ios::failbit);
+    return false;
+  }
+  while (ch != kEof && ch != '\n') {
+    if (line.size() < max_bytes) {
+      line.push_back(static_cast<char>(ch));
+    } else {
+      *truncated = true;
+    }
+    ch = buf->sbumpc();
+  }
+  if (ch == kEof) in.setstate(std::ios::eofbit);
+  return true;
+}
+
+namespace {
+
+bool IsSocket(int fd) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return false;
+  return S_ISSOCK(st.st_mode);
+}
+
+ssize_t WriteOnce(int fd, const char* data, std::size_t n, bool is_socket) {
+  // MSG_NOSIGNAL turns a dead-peer SIGPIPE into a plain EPIPE error the
+  // caller can handle; plain files/pipes take the write() path.
+  return is_socket ? ::send(fd, data, n, MSG_NOSIGNAL)
+                   : ::write(fd, data, n);
+}
+
+}  // namespace
+
+bool WriteAllFd(int fd, const char* data, std::size_t n) {
+  const bool is_socket = IsSocket(fd);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = WriteOnce(fd, data + done, n - done, is_socket);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;  // 0 or a non-retryable error: the sink is gone
+  }
+  return true;
+}
+
+WriteResult WriteSomeFd(int fd, const char* data, std::size_t n) {
+  WriteResult result;
+  const bool is_socket = IsSocket(fd);
+  while (result.written < n) {
+    const ssize_t w =
+        WriteOnce(fd, data + result.written, n - result.written, is_socket);
+    if (w > 0) {
+      result.written += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      result.would_block = true;
+      return result;
+    }
+    result.error = true;
+    return result;
+  }
+  return result;
+}
+
+FdWriterBuf::FdWriterBuf(int fd, std::size_t buffer_bytes)
+    : fd_(fd), buffer_(buffer_bytes > 0 ? buffer_bytes : 1) {
+  setp(buffer_.data(), buffer_.data() + buffer_.size());
+}
+
+FdWriterBuf::~FdWriterBuf() { FlushBuffer(); }
+
+bool FdWriterBuf::FlushBuffer() {
+  const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+  if (pending > 0 && !failed_) {
+    if (!WriteAllFd(fd_, pbase(), pending)) failed_ = true;
+  }
+  setp(buffer_.data(), buffer_.data() + buffer_.size());
+  return !failed_;
+}
+
+int FdWriterBuf::overflow(int ch) {
+  if (!FlushBuffer()) return traits_type::eof();
+  if (ch != traits_type::eof()) {
+    *pptr() = static_cast<char>(ch);
+    pbump(1);
+  }
+  return ch == traits_type::eof() ? 0 : ch;
+}
+
+int FdWriterBuf::sync() { return FlushBuffer() ? 0 : -1; }
+
+}  // namespace sparsedet::framing

@@ -1,0 +1,116 @@
+// JSONL framing and fd-level write utilities shared by every serving
+// front-end (the stdio `serve` loop and the TCP server).
+//
+// Three concerns live here so the two transports cannot drift apart:
+//
+//   * LineDecoder — incremental splitting of an arbitrary byte stream into
+//     newline-terminated frames with the same max-line-bytes semantics the
+//     engine's bounded getline enforces: an oversized line keeps its first
+//     `max_line_bytes` bytes, is flagged truncated, and the excess is
+//     dropped (never buffered), so a hostile peer cannot balloon memory.
+//   * ReadBoundedLine — the istream flavor of the same contract, used by
+//     the stdio path (moved here from the engine so there is exactly one
+//     implementation of the bound).
+//   * WriteAllFd / WriteSomeFd / FdWriterBuf — EINTR- and partial-write-
+//     correct fd writers. WriteAllFd loops a blocking fd to completion;
+//     WriteSomeFd is the non-blocking single-shot used by the TCP event
+//     loop (reports would-block distinctly from error); FdWriterBuf is a
+//     std::streambuf over WriteAllFd so stream-based code (the stdio serve
+//     loop) gets the same guarantees through operator<<.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+namespace sparsedet::framing {
+
+// Incremental newline splitter with an allocation bound.
+class LineDecoder {
+ public:
+  // `max_line_bytes` caps the bytes kept per line; 0 disables the bound.
+  explicit LineDecoder(std::size_t max_line_bytes);
+
+  // Appends raw bytes from the transport. Bytes beyond the per-line cap
+  // are counted but not stored.
+  void Feed(const char* data, std::size_t n);
+
+  // Pops the next complete line (without its '\n') into `*line`; sets
+  // `*truncated` when the line exceeded the cap (the returned prefix is
+  // the first max_line_bytes bytes). Returns false when no complete line
+  // is buffered yet.
+  bool Next(std::string* line, bool* truncated);
+
+  // A partial (unterminated) line is sitting in the buffer — used by idle
+  // policing to spot slow writers that trickle a frame forever.
+  bool has_partial() const;
+
+  // Bytes currently buffered (bounded by completed lines + one capped
+  // partial; dropped oversize bytes never count).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;        // undelivered bytes, oldest first
+  std::size_t scan_pos_ = 0;  // next byte to scan for '\n'
+  // The in-progress (last, unterminated) line exceeded the cap and its
+  // tail is being dropped until the next newline.
+  bool dropping_ = false;
+  // Completed-line truncation flags, oldest first (parallel to the
+  // newline-terminated lines currently in buffer_).
+  std::vector<bool> truncated_lines_;
+  std::size_t partial_kept_ = 0;  // bytes of the current partial line kept
+};
+
+// getline with the same allocation bound as LineDecoder: keeps at most
+// `max_bytes` of the line, consumes (and drops) the rest, and reports the
+// truncation. 0 disables the bound. Matches std::getline semantics
+// otherwise, including a final line without a trailing newline.
+bool ReadBoundedLine(std::istream& in, std::string& line,
+                     std::size_t max_bytes, bool* truncated);
+
+// Writes all `n` bytes to a blocking fd, retrying on EINTR and short
+// writes. Returns true on success, false on a real write error. Sockets
+// are written with MSG_NOSIGNAL so a closed peer surfaces as EPIPE, not a
+// process-killing SIGPIPE.
+bool WriteAllFd(int fd, const char* data, std::size_t n);
+
+// One write attempt against a non-blocking fd.
+struct WriteResult {
+  std::size_t written = 0;
+  bool would_block = false;  // EAGAIN/EWOULDBLOCK: retry when writable
+  bool error = false;        // connection is dead (EPIPE, ECONNRESET, ...)
+};
+WriteResult WriteSomeFd(int fd, const char* data, std::size_t n);
+
+// std::streambuf over WriteAllFd: buffered, EINTR/partial-write safe, and
+// sync() (stream flush) pushes every buffered byte to the fd before
+// returning, so `out.flush()` after the final response is a hard
+// guarantee, not a hint.
+class FdWriterBuf : public std::streambuf {
+ public:
+  explicit FdWriterBuf(int fd, std::size_t buffer_bytes = 1 << 16);
+  ~FdWriterBuf() override;
+
+  FdWriterBuf(const FdWriterBuf&) = delete;
+  FdWriterBuf& operator=(const FdWriterBuf&) = delete;
+
+  // True once any write has failed; subsequent output is discarded (the
+  // stdio serve loop treats a dead stdout like EOF).
+  bool failed() const { return failed_; }
+
+ protected:
+  int overflow(int ch) override;
+  int sync() override;
+
+ private:
+  bool FlushBuffer();
+
+  int fd_;
+  std::vector<char> buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace sparsedet::framing

@@ -14,6 +14,10 @@ namespace {
 
 std::atomic<std::size_t> g_solver_threads{0};
 
+// See SetParallelDispatchThresholdNs(); 100 us default per BENCH_PR5.json.
+constexpr std::size_t kDefaultDispatchThresholdNs = 100000;
+std::atomic<std::size_t> g_dispatch_threshold_ns{kDefaultDispatchThresholdNs};
+
 // One contiguous sub-range of [0, n) owned by a worker. Workers claim
 // chunks from their own shard under its mutex; thieves split off the upper
 // half under the same mutex, so `next`/`end` never race.
@@ -124,9 +128,26 @@ std::size_t SolverThreads() {
   return configured == 0 ? DefaultThreadCount() : configured;
 }
 
+std::size_t SetParallelDispatchThresholdNs(std::size_t ns) {
+  return g_dispatch_threshold_ns.exchange(
+      ns == 0 ? kDefaultDispatchThresholdNs : ns, std::memory_order_relaxed);
+}
+
+std::size_t ParallelDispatchThresholdNs() {
+  return g_dispatch_threshold_ns.load(std::memory_order_relaxed);
+}
+
 void ParallelFor(std::size_t n, const ParallelOptions& options,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  // Size-aware serial guard: when the caller can estimate per-index cost
+  // and the whole loop is cheaper than the measured dispatch overhead,
+  // forking can only lose — run inline.
+  if (options.work_ns_hint > 0 &&
+      n < ParallelDispatchThresholdNs() / options.work_ns_hint) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   const std::size_t grain = std::max<std::size_t>(1, options.grain);
   const std::size_t requested =
       options.threads == 0 ? SolverThreads() : options.threads;

@@ -46,12 +46,29 @@ std::size_t SetSolverThreads(std::size_t threads);
 // DefaultThreadCount() when unconfigured. Always >= 1.
 std::size_t SolverThreads();
 
+// Minimum estimated total work (in nanoseconds) below which a ParallelFor
+// call with a cost hint runs inline instead of spawning workers. The
+// default (100 us) sits above the measured 9.6-74 us dispatch cost
+// (BENCH_PR5.json BM_ParallelForDispatch), so a loop only forks when the
+// parallel upside can actually repay the spawn/join overhead. Returns the
+// previous threshold; 0 restores the default. Intended for tests and
+// calibration, not per-call tuning.
+std::size_t SetParallelDispatchThresholdNs(std::size_t ns);
+std::size_t ParallelDispatchThresholdNs();
+
 struct ParallelOptions {
   // Worker count; 0 uses SolverThreads(), 1 runs inline on the caller.
   std::size_t threads = 0;
   // Minimum indices per claimed chunk. Raise for very cheap bodies so the
   // per-chunk claim cost (one brief mutex acquisition) amortizes.
   std::size_t grain = 1;
+  // Rough per-index cost estimate in nanoseconds; 0 = unknown. When given,
+  // the loop stays serial whenever n * work_ns_hint falls below the
+  // dispatch threshold — tiny paper-sized solves then skip the 9.6-74 us
+  // spawn/join cost entirely. Results are byte-identical either way (the
+  // ParallelFor contract already requires thread-count independence), so
+  // the hint only ever changes speed, never output.
+  std::size_t work_ns_hint = 0;
 };
 
 // Runs body(i) for all i in [0, n).

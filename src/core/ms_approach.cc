@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "common/parallel.h"
 #include "core/region_pmf.h"
 #include "geometry/region_decomposition.h"
@@ -14,6 +15,7 @@
 #include "markov/increment_chain.h"
 #include "obs/timer.h"
 #include "prob/memo_cache.h"
+#include "prob/memo_snapshot.h"
 #include "resilience/cancel.h"
 
 namespace sparsedet {
@@ -37,6 +39,61 @@ std::size_t MsSolveCoreHeapBytes(const MsSolveCore& core) {
   for (const Pmf& tail : core.tail_pmfs) bytes += tail.size() * sizeof(double);
   return bytes;
 }
+
+// Snapshot codec: each stage pmf mass vector bit-exact, tails prefixed by
+// their count.
+void EncodeStagePmf(std::string* out, const Pmf& pmf) {
+  prob::MemoAppendU64(out, pmf.size());
+  for (double m : pmf.mass()) prob::MemoAppendDouble(out, m);
+}
+
+Pmf DecodeStagePmf(prob::MemoDecoder* dec) {
+  const std::uint64_t n = dec->ReadU64();
+  if (n * 8 > dec->remaining()) {
+    throw Error("ms_solve_core codec: truncated pmf");
+  }
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  for (double& m : mass) m = dec->ReadDouble();
+  return Pmf(std::move(mass));
+}
+
+const bool kMsSolveCoreCodecRegistered = [] {
+  prob::MemoCodec codec;
+  codec.encode = [](const void* value) {
+    const auto& core = *static_cast<const MsSolveCore*>(value);
+    std::string out;
+    EncodeStagePmf(&out, core.head_pmf);
+    EncodeStagePmf(&out, core.body_pmf);
+    prob::MemoAppendU64(&out, core.tail_pmfs.size());
+    for (const Pmf& tail : core.tail_pmfs) EncodeStagePmf(&out, tail);
+    EncodeStagePmf(&out, core.report_distribution);
+    return out;
+  };
+  codec.decode = [](std::string_view encoded,
+                    std::size_t* bytes) -> std::shared_ptr<const void> {
+    prob::MemoDecoder dec(encoded);
+    MsSolveCore core;
+    core.head_pmf = DecodeStagePmf(&dec);
+    core.body_pmf = DecodeStagePmf(&dec);
+    const std::uint64_t tails = dec.ReadU64();
+    if (tails > dec.remaining() / 8) {
+      throw Error("ms_solve_core codec: tail count too large");
+    }
+    core.tail_pmfs.reserve(static_cast<std::size_t>(tails));
+    for (std::uint64_t j = 0; j < tails; ++j) {
+      core.tail_pmfs.push_back(DecodeStagePmf(&dec));
+    }
+    core.report_distribution = DecodeStagePmf(&dec);
+    if (dec.remaining() != 0) {
+      throw Error("ms_solve_core codec: trailing bytes");
+    }
+    auto out = std::make_shared<const MsSolveCore>(std::move(core));
+    *bytes = sizeof(MsSolveCore) + MsSolveCoreHeapBytes(*out);
+    return out;
+  };
+  prob::RegisterMemoCodec("core/ms_solve_core", codec);
+  return true;
+}();
 
 RegionDecomposition Decompose(const SystemParams& params) {
   obs::ObsTimer timer(obs::Phase::kRegionDecomposition);
@@ -74,7 +131,17 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
     // own slot, which keeps the result identical for any thread count.
     MsSolveCore core;
     std::vector<Pmf> stages(static_cast<std::size_t>(ms) + 2);
-    ParallelFor(stages.size(), [&](std::size_t t) {
+    // Rough per-stage cost: each capped PMF is a convolution chain over
+    // ~areas.size() regions with support O(cap) — calibrated against
+    // BM_CappedRegionPmf (~2.5 us at paper sizes). Paper-sized solves stay
+    // under the dispatch threshold and run serial; large (N, gh) scenarios
+    // blow well past it and keep the work-stealing fan-out.
+    ParallelOptions stage_opts;
+    stage_opts.work_ns_hint =
+        30 * static_cast<std::size_t>(ms + 1) *
+        static_cast<std::size_t>(options.gh + 1) *
+        static_cast<std::size_t>(options.gh + 1);
+    ParallelFor(stages.size(), stage_opts, [&](std::size_t t) {
       if (t == 0) {
         obs::ObsTimer timer(obs::Phase::kMsHead);
         stages[0] =

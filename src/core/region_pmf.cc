@@ -4,9 +4,11 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "common/parallel.h"
 #include "prob/binomial.h"
 #include "prob/memo_cache.h"
+#include "prob/memo_snapshot.h"
 #include "resilience/cancel.h"
 
 namespace sparsedet {
@@ -27,6 +29,39 @@ prob::MemoKey RegionKey(std::string_view tag, int num_nodes, double field_area,
 }
 
 std::size_t PmfHeapBytes(const Pmf& pmf) { return pmf.size() * sizeof(double); }
+
+// Snapshot codec: a Pmf is exactly its mass vector, stored bit-exact, so a
+// restored entry is indistinguishable from a freshly computed one.
+std::string EncodePmf(const void* value) {
+  const Pmf& pmf = *static_cast<const Pmf*>(value);
+  std::string out;
+  prob::MemoAppendU64(&out, pmf.size());
+  for (double m : pmf.mass()) prob::MemoAppendDouble(&out, m);
+  return out;
+}
+
+std::shared_ptr<const void> DecodePmf(std::string_view encoded,
+                                      std::size_t* bytes) {
+  prob::MemoDecoder dec(encoded);
+  const std::uint64_t n = dec.ReadU64();
+  if (n * 8 != dec.remaining()) {
+    throw Error("pmf codec: length mismatch");
+  }
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  for (double& m : mass) m = dec.ReadDouble();
+  auto pmf = std::make_shared<const Pmf>(std::move(mass));
+  // Mirror the charge GetOrCompute applies at the original insert site.
+  *bytes = sizeof(Pmf) + PmfHeapBytes(*pmf);
+  return pmf;
+}
+
+const bool kPmfCodecsRegistered = [] {
+  prob::MemoCodec codec{EncodePmf, DecodePmf};
+  prob::RegisterMemoCodec("core/exact_region_pmf", codec);
+  prob::RegisterMemoCodec("core/capped_region_pmf", codec);
+  prob::RegisterMemoCodec("core/capped_region_pmf_literal", codec);
+  return true;
+}();
 
 double CheckAreas(const std::vector<double>& areas, double field_area,
                   double pd) {
@@ -211,7 +246,19 @@ Pmf ComputeCappedRegionReportPmfLiteral(int num_nodes, double field_area,
   // sequential loop for every thread count.
   std::vector<std::vector<double>> partials(
       static_cast<std::size_t>(effective_cap) + 1);
-  ParallelFor(partials.size(), [&](std::size_t n) {
+  // The depth-n enumeration visits ~areas.size()^n tuples; the deepest
+  // depth dominates, so the mean per-item cost is ~total / (cap + 1).
+  // Below the dispatch threshold the whole enumeration is cheaper than
+  // spawning workers and runs inline.
+  double est_total_ns = 5.0;
+  for (int d = 0; d < effective_cap; ++d) {
+    est_total_ns *= static_cast<double>(areas.size());
+    if (est_total_ns > 1e12) break;  // saturate; definitely parallel
+  }
+  ParallelOptions enum_opts;
+  enum_opts.work_ns_hint = static_cast<std::size_t>(
+      est_total_ns / static_cast<double>(partials.size())) + 1;
+  ParallelFor(partials.size(), enum_opts, [&](std::size_t n) {
     std::vector<double> partial(out_size, 0.0);
     EnumerateLiteral(area_over_s, report_pmfs, static_cast<int>(n), 0, 1.0,
                      partial);

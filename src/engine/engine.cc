@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/framing.h"
 #include "common/parallel.h"
 #include "engine/request.h"
 #include "obs/timer.h"
@@ -56,32 +58,10 @@ bool IsBlank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
-// getline with an allocation bound: keeps at most `max_bytes` of the line,
-// consumes (and drops) the rest, and reports the truncation. 0 disables
-// the bound. Matches std::getline semantics otherwise, including a final
-// line without a trailing newline.
-bool BoundedGetline(std::istream& in, std::string& line,
-                    std::size_t max_bytes, bool* truncated) {
-  *truncated = false;
-  if (max_bytes == 0) return static_cast<bool>(std::getline(in, line));
-  line.clear();
-  std::streambuf* buf = in.rdbuf();
-  constexpr int kEof = std::char_traits<char>::eof();
-  int ch = buf->sbumpc();
-  if (ch == kEof) {
-    in.setstate(std::ios::eofbit | std::ios::failbit);
-    return false;
-  }
-  while (ch != kEof && ch != '\n') {
-    if (line.size() < max_bytes) {
-      line.push_back(static_cast<char>(ch));
-    } else {
-      *truncated = true;
-    }
-    ch = buf->sbumpc();
-  }
-  if (ch == kEof) in.setstate(std::ios::eofbit);
-  return true;
+std::int64_t NowUnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 WorkerPoolOptions MakePoolOptions(const EngineOptions& options,
@@ -141,7 +121,11 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
       memo_misses(&registry.gauge("solver_memo_misses")),
       memo_entries(&registry.gauge("solver_memo_entries")),
       memo_bytes(&registry.gauge("solver_memo_bytes")),
-      memo_evictions(&registry.gauge("solver_memo_evictions")) {}
+      memo_evictions(&registry.gauge("solver_memo_evictions")),
+      memo_restored(&registry.gauge("solver_memo_restored")),
+      memo_snapshot_entries(&registry.gauge("solver_memo_snapshot_entries")),
+      memo_snapshot_bytes(&registry.gauge("solver_memo_snapshot_bytes")),
+      memo_snapshot_age_ms(&registry.gauge("solver_memo_snapshot_age_ms")) {}
 
 BatchEngine::BatchEngine(const EngineOptions& options)
     : options_(options),
@@ -167,6 +151,7 @@ BatchEngine::BatchEngine(const EngineOptions& options)
 }
 
 BatchEngine::~BatchEngine() {
+  StopAsync();
   obs::UninstallGlobalRegistry(&registry_);
   SetSolverThreads(prev_solver_threads_);
   prob::MemoCache::Global().SetCapacity(prev_memo_capacity_);
@@ -191,11 +176,26 @@ obs::RegistrySnapshot BatchEngine::MetricsSnapshot() const {
   metrics_.memo_entries->Set(static_cast<std::int64_t>(memo.entries));
   metrics_.memo_bytes->Set(static_cast<std::int64_t>(memo.bytes));
   metrics_.memo_evictions->Set(static_cast<std::int64_t>(memo.evictions));
+  metrics_.memo_restored->Set(static_cast<std::int64_t>(memo.restored));
+  metrics_.memo_snapshot_entries->Set(
+      static_cast<std::int64_t>(memo.snapshot_entries));
+  metrics_.memo_snapshot_bytes->Set(
+      static_cast<std::int64_t>(memo.snapshot_bytes));
+  metrics_.memo_snapshot_age_ms->Set(
+      memo.snapshot_loaded_unix_ms > 0
+          ? NowUnixMillis() - memo.snapshot_loaded_unix_ms
+          : 0);
   return registry_.Snapshot();
 }
 
 JsonValue BatchEngine::StatsSnapshotJson() const {
-  JsonValue json = stats().ToJson(cache_);
+  JsonValue json;
+  {
+    // The result cache is coordinator-state; the async emitter may be
+    // publishing into it concurrently.
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    json = stats().ToJson(cache_);
+  }
   // The memo block lives here (the {"cmd":"stats"} response) and NOT in
   // the batch stats line: its hit/miss split depends on which worker won
   // each compute race, and the stats line is pinned byte-identical across
@@ -211,14 +211,23 @@ JsonValue BatchEngine::StatsSnapshotJson() const {
       .Set("inserts", static_cast<std::int64_t>(memo.inserts))
       .Set("evictions", static_cast<std::int64_t>(memo.evictions))
       .Set("skipped_inserts",
-           static_cast<std::int64_t>(memo.skipped_inserts));
+           static_cast<std::int64_t>(memo.skipped_inserts))
+      .Set("restored", static_cast<std::int64_t>(memo.restored));
+  if (memo.snapshot_loaded_unix_ms > 0) {
+    JsonValue snap = JsonValue::Object();
+    snap.Set("entries", static_cast<std::int64_t>(memo.snapshot_entries))
+        .Set("bytes", static_cast<std::int64_t>(memo.snapshot_bytes))
+        .Set("age_ms", NowUnixMillis() - memo.snapshot_loaded_unix_ms);
+    memo_json.Set("snapshot", std::move(snap));
+  }
   json.Set("memo_cache", std::move(memo_json));
   json.Set("metrics", MetricsSnapshot().ToJson());
   return json;
 }
 
 std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
-    const std::string& line, int line_number) {
+    const std::string& line, int line_number,
+    std::shared_ptr<const resilience::CancelToken> parent) {
   auto pending = std::make_unique<PendingRequest>();
   pending->line = line_number;
   pending->id = JsonValue(line_number);
@@ -241,7 +250,15 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
     pending->span.deadline_ms = pending->request.deadline_ms;
     if (pending->request.deadline_ms > 0) {
       pending->token = std::make_shared<resilience::CancelToken>(
-          resilience::Deadline::AfterMillis(pending->request.deadline_ms));
+          resilience::Deadline::AfterMillis(pending->request.deadline_ms),
+          parent);
+    } else if (parent != nullptr) {
+      // No deadline, but the submitter wants a cancellation handle (e.g.
+      // cancel-on-disconnect). The chained token inherits the parent's
+      // memo-insert permission, so a connection token created with
+      // allow_memo_inserts keeps warming the solver memo cache.
+      pending->token = std::make_shared<resilience::CancelToken>(
+          resilience::Deadline(), parent);
     }
 
     std::vector<WorkUnit> expanded = ExpandRequest(pending->request);
@@ -372,11 +389,20 @@ void BatchEngine::RunUnit(const std::shared_ptr<PendingUnit>& slot,
       SubmitUnit(slot, std::move(unit), attempt + 1);
     } else {
       slot->error = e.what();
-      slot->error_code = e.reason() == resilience::CancelReason::kDeadline
-                             ? "deadline_exceeded"
-                             : (e.reason() == resilience::CancelReason::kWatchdog
-                                    ? "watchdog_cancelled"
-                                    : "cancelled");
+      switch (e.reason()) {
+        case resilience::CancelReason::kDeadline:
+          slot->error_code = "deadline_exceeded";
+          break;
+        case resilience::CancelReason::kWatchdog:
+          slot->error_code = "watchdog_cancelled";
+          break;
+        case resilience::CancelReason::kDisconnect:
+          slot->error_code = "disconnected";
+          break;
+        default:
+          slot->error_code = "cancelled";
+          break;
+      }
     }
   } catch (const resilience::WorkerAbort& e) {
     metrics_.worker_aborts->Inc();
@@ -420,7 +446,7 @@ void BatchEngine::RunUnit(const std::shared_ptr<PendingUnit>& slot,
   }
 }
 
-void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
+std::string BatchEngine::RenderRequest(PendingRequest& request) {
   obs::RequestSpan& span = request.span;
   span.request_id = request.id;
   JsonValue response = JsonValue::Object();
@@ -459,14 +485,20 @@ void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
     bool deadline_hit = false;
     {
       std::unique_lock<std::mutex> lock(done_mutex_);
-      if (request.token == nullptr) {
+      // A token without a deadline (cancel-on-disconnect) gets the plain
+      // wait: cancellation makes its workers publish done with an error,
+      // so the wait still terminates.
+      const resilience::Deadline deadline =
+          request.token != nullptr ? request.token->EffectiveDeadline()
+                                   : resilience::Deadline();
+      if (!deadline.set()) {
         for (const PendingRequest::UnitRef& ref : request.units) {
           if (ref.pending) {
             done_cv_.wait(lock, [&ref] { return ref.pending->done; });
           }
         }
       } else {
-        const auto expires = request.token->deadline().time_point();
+        const auto expires = deadline.time_point();
         for (const PendingRequest::UnitRef& ref : request.units) {
           if (!ref.pending) continue;
           if (!done_cv_.wait_until(lock, expires,
@@ -513,26 +545,39 @@ void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
       std::string unit_error_code;
       std::vector<const JsonValue*> results;
       results.reserve(request.units.size());
-      for (const PendingRequest::UnitRef& ref : request.units) {
-        if (ref.cached) {
-          results.push_back(ref.cached.get());
-          continue;
+      {
+        std::lock_guard<std::mutex> plan_lock(plan_mutex_);
+        for (const PendingRequest::UnitRef& ref : request.units) {
+          if (ref.cached) {
+            results.push_back(ref.cached.get());
+            continue;
+          }
+          PendingUnit& slot = *ref.pending;
+          if (!slot.error.empty()) {
+            // Failed or cancelled units are never published to the cache.
+            unit_error = slot.error;
+            unit_error_code = slot.error_code;
+            break;
+          }
+          // First emitter of a shared unit publishes it to the cache; this
+          // runs on the emitter in emission order (the coordinator in the
+          // sync paths), keeping eviction deterministic.
+          if (!slot.inserted) {
+            cache_.Put(slot.key, slot.result);
+            slot.inserted = true;
+          }
+          results.push_back(slot.result.get());
         }
-        PendingUnit& slot = *ref.pending;
-        if (!slot.error.empty()) {
-          // Failed or cancelled units are never published to the cache.
-          unit_error = slot.error;
-          unit_error_code = slot.error_code;
-          break;
+        // Release this request's in-flight registrations: async mode plans
+        // concurrently with emission, so they are not cleared wholesale the
+        // way the sync paths do (there the map is already empty here).
+        for (const PendingRequest::UnitRef& ref : request.units) {
+          if (!ref.pending) continue;
+          auto it = in_flight_.find(ref.pending->key);
+          if (it != in_flight_.end() && it->second == ref.pending) {
+            in_flight_.erase(it);
+          }
         }
-        // First emitter of a shared unit publishes it to the cache; this
-        // runs on the coordinator in emission order, keeping eviction
-        // deterministic.
-        if (!slot.inserted) {
-          cache_.Put(slot.key, slot.result);
-          slot.inserted = true;
-        }
-        results.push_back(slot.result.get());
       }
 
       if (!unit_error.empty()) {
@@ -570,15 +615,19 @@ void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
     response.Set("trace", span.ToJson());
     text = response.ToString();
   }
-  out << text << "\n";
   if (trace_out_.is_open()) {
     trace_out_ << span.ToFileJson().ToString() << "\n";
     trace_out_.flush();
   }
+  return text;
 }
 
-bool BatchEngine::MaybeHandleCommand(const std::string& line,
-                                     std::ostream& out) {
+void BatchEngine::EmitRequest(PendingRequest& request, std::ostream& out) {
+  out << RenderRequest(request) << "\n";
+}
+
+bool BatchEngine::HandleCommandLine(const std::string& line,
+                                    std::string* response) {
   JsonValue json;
   try {
     json = ParseJson(line, options_.max_json_depth);
@@ -589,12 +638,20 @@ bool BatchEngine::MaybeHandleCommand(const std::string& line,
   const JsonValue* cmd = json.Find("cmd");
   if (cmd == nullptr) return false;
   if (cmd->is_string() && cmd->AsString() == "stats") {
-    out << StatsSnapshotJson().ToString() << "\n";
+    *response = StatsSnapshotJson().ToString();
   } else {
-    JsonValue response = JsonValue::Object();
-    response.Set("error", "unknown cmd; expected \"stats\"");
-    out << response.ToString() << "\n";
+    JsonValue error = JsonValue::Object();
+    error.Set("error", "unknown cmd; expected \"stats\"");
+    *response = error.ToString();
   }
+  return true;
+}
+
+bool BatchEngine::MaybeHandleCommand(const std::string& line,
+                                     std::ostream& out) {
+  std::string response;
+  if (!HandleCommandLine(line, &response)) return false;
+  out << response << "\n";
   return true;
 }
 
@@ -611,7 +668,7 @@ void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
         "line_too_long");
   };
   if (streaming) {
-    while (BoundedGetline(in, line, options_.max_line_bytes, &truncated)) {
+    while (framing::ReadBoundedLine(in, line, options_.max_line_bytes, &truncated)) {
       ++line_number;
       if (truncated) {
         EmitRequest(*reject_long_line(line_number), out);
@@ -636,7 +693,7 @@ void BatchEngine::ProcessStream(std::istream& in, std::ostream& out,
   }
 
   std::vector<std::unique_ptr<PendingRequest>> planned;
-  while (BoundedGetline(in, line, options_.max_line_bytes, &truncated)) {
+  while (framing::ReadBoundedLine(in, line, options_.max_line_bytes, &truncated)) {
     ++line_number;
     if (truncated) {
       planned.push_back(reject_long_line(line_number));
@@ -690,6 +747,97 @@ void BatchEngine::RunBatch(std::istream& in, std::ostream& out) {
 
 void BatchEngine::Serve(std::istream& in, std::ostream& out) {
   ProcessStream(in, out, /*streaming=*/true);
+}
+
+void BatchEngine::StartAsync() {
+  if (emitter_.joinable()) return;
+  async_stop_ = false;
+  emitter_ = std::thread([this] { EmitterLoop(); });
+}
+
+void BatchEngine::SubmitLineAsync(
+    const std::string& line, int line_number,
+    std::shared_ptr<const resilience::CancelToken> parent, bool oversized,
+    ResponseCallback done) {
+  AsyncItem item;
+  item.done = std::move(done);
+  if (oversized) {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    item.request = RejectedLine(
+        line_number,
+        "input line exceeds max_line_bytes (" +
+            std::to_string(options_.max_line_bytes) + ")",
+        "line_too_long");
+  } else {
+    // Command lines are classified here but rendered at emission, so a
+    // pipelined {"cmd":"stats"} reflects every request submitted before it.
+    bool is_command = false;
+    if (line.find("\"cmd\"") != std::string::npos) {
+      try {
+        const JsonValue json = ParseJson(line, options_.max_json_depth);
+        is_command = json.is_object() && json.Find("cmd") != nullptr;
+      } catch (const Error&) {
+        is_command = false;
+      }
+    }
+    if (is_command) {
+      item.command_line = line;
+    } else {
+      std::lock_guard<std::mutex> lock(plan_mutex_);
+      item.request = PlanLine(line, line_number, std::move(parent));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(async_mutex_);
+    ++async_pending_;
+    async_queue_.push_back(std::move(item));
+  }
+  async_cv_.notify_all();
+}
+
+void BatchEngine::EmitterLoop() {
+  for (;;) {
+    AsyncItem item;
+    {
+      std::unique_lock<std::mutex> lock(async_mutex_);
+      async_cv_.wait(lock,
+                     [this] { return async_stop_ || !async_queue_.empty(); });
+      if (async_queue_.empty()) return;  // stopped and fully drained
+      item = std::move(async_queue_.front());
+      async_queue_.pop_front();
+    }
+    std::string text;
+    if (item.request != nullptr) {
+      text = RenderRequest(*item.request);
+    } else if (!HandleCommandLine(item.command_line, &text)) {
+      // Unreachable: SubmitLineAsync only queues lines that classified as
+      // commands, and classification and handling parse identically.
+      JsonValue error = JsonValue::Object();
+      error.Set("error", "internal: command line failed to parse");
+      text = error.ToString();
+    }
+    if (item.done) item.done(std::move(text));
+    {
+      std::lock_guard<std::mutex> lock(async_mutex_);
+      --async_pending_;
+    }
+    async_cv_.notify_all();
+  }
+}
+
+void BatchEngine::DrainAsync() {
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  async_cv_.wait(lock, [this] { return async_pending_ == 0; });
+}
+
+void BatchEngine::StopAsync() {
+  if (!emitter_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(async_mutex_);
+    async_stop_ = true;
+  }
+  async_cv_.notify_all();
+  emitter_.join();
 }
 
 void BatchEngine::WriteStatsLine(std::ostream& out) const {

@@ -31,12 +31,15 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <fstream>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/json.h"
@@ -129,6 +132,12 @@ struct EngineMetrics {
   obs::Gauge* memo_entries;
   obs::Gauge* memo_bytes;
   obs::Gauge* memo_evictions;
+  // Disk-snapshot provenance (serve-tcp --memo-snapshot): entries/bytes
+  // restored at startup and the snapshot's age, all zero when none loaded.
+  obs::Gauge* memo_restored;
+  obs::Gauge* memo_snapshot_entries;
+  obs::Gauge* memo_snapshot_bytes;
+  obs::Gauge* memo_snapshot_age_ms;
 };
 
 class BatchEngine {
@@ -161,24 +170,68 @@ class BatchEngine {
   // {"stats": {...}, "metrics": {...}} — the {"cmd":"stats"} response.
   JsonValue StatsSnapshotJson() const;
 
+  // The engine's registry, for front-ends that register their own
+  // counters (connections, tenants, drain) alongside the engine's.
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  // ---- Out-of-band submission (the TCP front-end) ----
+  //
+  // The async API decouples planning from emission so many connections can
+  // feed one engine concurrently. SubmitLineAsync plans the line
+  // immediately (on the caller's thread, serialized by an internal mutex)
+  // and enqueues it on a global FIFO; a dedicated emitter thread renders
+  // responses in FIFO order — which preserves both the per-submitter
+  // response order and the coordinator-thread cache-op ordering the
+  // determinism contract requires — and hands each rendered line (no
+  // trailing newline) to its callback. Callbacks run on the emitter
+  // thread and must not block or re-enter the engine.
+  //
+  // `parent` (optional) chains under every token the request creates, so
+  // cancelling it — e.g. on client disconnect — stops the request's units
+  // at their next cancellation point. Command lines ({"cmd":...}) are
+  // answered in FIFO position, reflecting all earlier submissions.
+  using ResponseCallback = std::function<void(std::string response)>;
+  void StartAsync();
+  void SubmitLineAsync(const std::string& line, int line_number,
+                       std::shared_ptr<const resilience::CancelToken> parent,
+                       bool oversized, ResponseCallback done);
+  // Blocks until every submitted line has been rendered and called back.
+  void DrainAsync();
+  // DrainAsync + stop the emitter thread. StartAsync may be called again.
+  void StopAsync();
+
+  // Streaming command lines ({"cmd": ...}); true when handled, with the
+  // response (no trailing newline) in `*response`.
+  bool HandleCommandLine(const std::string& line, std::string* response);
+
  private:
   struct PendingUnit;
   struct PendingRequest;
+  struct AsyncItem {
+    std::unique_ptr<PendingRequest> request;  // null: a command line
+    std::string command_line;
+    ResponseCallback done;
+  };
 
   // Parses + plans one input line into a pending request, submitting any
-  // newly needed evaluations to the pool. Coordinator thread only.
-  std::unique_ptr<PendingRequest> PlanLine(const std::string& line,
-                                           int line_number);
+  // newly needed evaluations to the pool. Callers hold plan_mutex_ (the
+  // sync paths are single-threaded and satisfy that trivially).
+  std::unique_ptr<PendingRequest> PlanLine(
+      const std::string& line, int line_number,
+      std::shared_ptr<const resilience::CancelToken> parent = nullptr);
   // A pending request that never parses: oversized line, overload.
   std::unique_ptr<PendingRequest> RejectedLine(int line_number,
                                                std::string message,
                                                std::string code);
-  // Blocks until the request's units are done, then writes its response
-  // line and inserts newly computed results into the cache.
+  // Blocks until the request's units are done, inserts newly computed
+  // results into the cache, and returns the rendered response line (no
+  // trailing newline).
+  std::string RenderRequest(PendingRequest& request);
   void EmitRequest(PendingRequest& request, std::ostream& out);
   void ProcessStream(std::istream& in, std::ostream& out, bool streaming);
   // Streaming-mode command lines ({"cmd": ...}); true when handled.
   bool MaybeHandleCommand(const std::string& line, std::ostream& out);
+  void EmitterLoop();
   // Hands one evaluation attempt for `unit` to the pool. Attempt 1 comes
   // from the coordinator; retries resubmit from the failing worker.
   void SubmitUnit(const std::shared_ptr<PendingUnit>& slot, WorkUnit unit,
@@ -213,6 +266,20 @@ class BatchEngine {
   // Units planned but not yet handed to emission, keyed by canonical key;
   // identical units join the same slot instead of recomputing.
   std::unordered_map<std::string, std::shared_ptr<PendingUnit>> in_flight_;
+
+  // Serializes the coordinator-side state (PlanLine, the emitter's cache
+  // publication, in_flight_, next_trace_id_, stats rendering) when the
+  // async API is in use. The sync paths run single-threaded and pay one
+  // uncontended lock per request.
+  mutable std::mutex plan_mutex_;
+
+  // Async emission: a global FIFO drained by one emitter thread.
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::deque<AsyncItem> async_queue_;
+  std::size_t async_pending_ = 0;  // queued + currently rendering
+  bool async_stop_ = false;
+  std::thread emitter_;
 };
 
 }  // namespace sparsedet::engine

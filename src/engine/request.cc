@@ -261,7 +261,7 @@ Request ParseRequest(const JsonValue& json, int default_id) {
   SPARSEDET_REQUIRE(json.is_object(), "request must be a JSON object");
   CheckKeys(json, "",
             {"id", "op", "params", "options", "sim", "sweep", "fa",
-             "deadline_ms", "degrade"});
+             "tenant", "deadline_ms", "degrade"});
 
   Request request;
   if (const JsonValue* id = json.Find("id")) {
@@ -322,6 +322,8 @@ Request ParseRequest(const JsonValue& json, int default_id) {
   if (const JsonValue* fa = section("fa", request.op == RequestOp::kFa)) {
     request.fa = ParseFa(*fa);
   }
+
+  request.tenant = GetString(json, "", "tenant", "");
 
   const double deadline = GetNumber(json, "", "deadline_ms", 0.0);
   if (deadline < 0.0 || deadline != std::floor(deadline) ||

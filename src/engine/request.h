@@ -70,6 +70,10 @@ struct Request {
   SimulateSpec sim;
   SweepSpec sweep;
   FaSpec fa;
+  // Admission-control identity for the TCP front-end's per-tenant quotas;
+  // empty = the default tenant. Not part of any cache key — it routes the
+  // request, it does not change the result.
+  std::string tenant;
   // Wall-clock budget for the whole request; 0 = none. Not part of any
   // cache key — it bounds the computation, it does not change the result.
   std::int64_t deadline_ms = 0;

@@ -1,0 +1,272 @@
+#include "prob/memo_snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "prob/memo_cache.h"
+
+namespace sparsedet::prob {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'D', 'M', 'E', 'M', 'O', '\x01'};
+constexpr std::uint32_t kVersion = 1;
+
+void AppendFixed32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendFixed64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Cursor over an in-memory snapshot image; every read is bounds-checked so
+// a truncated or corrupt file turns into Error, never UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t ReadFixed32() {
+    std::uint32_t v = 0;
+    const std::string_view raw = Take(4, "u32");
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(raw[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t ReadFixed64() {
+    std::uint64_t v = 0;
+    const std::string_view raw = Take(8, "u64");
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(raw[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view Take(std::size_t n, const char* what) {
+    if (n > data_.size() - pos_) {
+      throw Error(std::string("memo snapshot truncated reading ") + what);
+    }
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+struct CodecRegistry {
+  std::mutex mutex;
+  std::map<std::string, MemoCodec> codecs;
+};
+
+CodecRegistry& Registry() {
+  static CodecRegistry* registry = new CodecRegistry();  // leaked: static-
+  return *registry;  // destruction order vs. registrars is a non-problem
+}
+
+bool FindCodec(const std::string& tag, MemoCodec* out) {
+  CodecRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.codecs.find(tag);
+  if (it == registry.codecs.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::int64_t NowUnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void MemoAppendU64(std::string* out, std::uint64_t v) {
+  AppendFixed64(out, v);
+}
+
+void MemoAppendDouble(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendFixed64(out, bits);
+}
+
+std::uint64_t MemoDecoder::ReadU64() {
+  if (remaining() < 8) throw Error("memo codec: truncated value");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double MemoDecoder::ReadDouble() {
+  const std::uint64_t bits = ReadU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void RegisterMemoCodec(const std::string& tag, MemoCodec codec) {
+  CodecRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.codecs[tag] = std::move(codec);
+}
+
+std::string MemoKeyTag(std::string_view key_bytes) {
+  // MemoKey bytes start with [8-byte LE tag length][tag bytes].
+  if (key_bytes.size() < 8) return std::string();
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(static_cast<unsigned char>(key_bytes[i]))
+           << (8 * i);
+  }
+  if (len > key_bytes.size() - 8) return std::string();
+  return std::string(key_bytes.substr(8, len));
+}
+
+MemoSnapshotInfo SaveMemoSnapshot(MemoCache& cache, const std::string& path) {
+  MemoSnapshotInfo info;
+  std::string payload;
+  std::uint64_t entry_count = 0;
+  cache.ForEach([&](const std::string& key,
+                    const std::shared_ptr<const void>& value,
+                    std::size_t /*bytes*/) {
+    MemoCodec codec;
+    if (!FindCodec(MemoKeyTag(key), &codec)) {
+      ++info.skipped;
+      return;
+    }
+    const std::string encoded = codec.encode(value.get());
+    AppendFixed64(&payload, key.size());
+    payload.append(key);
+    AppendFixed64(&payload, encoded.size());
+    payload.append(encoded);
+    ++entry_count;
+  });
+
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  AppendFixed32(&header, kVersion);
+  AppendFixed64(&header, entry_count);
+  AppendFixed64(&header, payload.size());
+  AppendFixed64(&header, Fnv1a(payload));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("memo snapshot: cannot open " + tmp + " for writing");
+    }
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw Error("memo snapshot: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("memo snapshot: rename " + tmp + " -> " + path + " failed");
+  }
+  info.entries = entry_count;
+  info.bytes = header.size() + payload.size();
+  return info;
+}
+
+MemoSnapshotInfo LoadMemoSnapshot(MemoCache& cache, const std::string& path) {
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw Error("memo snapshot: cannot open " + path);
+    }
+    std::vector<char> buf(1 << 16);
+    while (in.read(buf.data(), static_cast<std::streamsize>(buf.size())) ||
+           in.gcount() > 0) {
+      image.append(buf.data(), static_cast<std::size_t>(in.gcount()));
+    }
+  }
+
+  ByteReader reader(image);
+  const std::string_view magic = reader.Take(sizeof(kMagic), "magic");
+  if (magic != std::string_view(kMagic, sizeof(kMagic))) {
+    throw Error("memo snapshot: bad magic in " + path);
+  }
+  const std::uint32_t version = reader.ReadFixed32();
+  if (version != kVersion) {
+    throw Error("memo snapshot: unsupported version " +
+                std::to_string(version) + " in " + path);
+  }
+  const std::uint64_t entry_count = reader.ReadFixed64();
+  const std::uint64_t payload_size = reader.ReadFixed64();
+  const std::uint64_t checksum = reader.ReadFixed64();
+  if (payload_size != reader.remaining()) {
+    throw Error("memo snapshot: payload size mismatch in " + path);
+  }
+  const std::string_view payload =
+      reader.Take(static_cast<std::size_t>(payload_size), "payload");
+  if (Fnv1a(payload) != checksum) {
+    throw Error("memo snapshot: checksum mismatch in " + path);
+  }
+
+  MemoSnapshotInfo info;
+  info.bytes = image.size();
+  ByteReader entries(payload);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint64_t key_len = entries.ReadFixed64();
+    const std::string key(
+        entries.Take(static_cast<std::size_t>(key_len), "key"));
+    const std::uint64_t val_len = entries.ReadFixed64();
+    const std::string_view encoded =
+        entries.Take(static_cast<std::size_t>(val_len), "value");
+    MemoCodec codec;
+    if (!FindCodec(MemoKeyTag(key), &codec)) {
+      ++info.skipped;  // snapshot from a binary with more codecs: skip
+      continue;
+    }
+    std::size_t bytes = 0;
+    std::shared_ptr<const void> value = codec.decode(encoded, &bytes);
+    cache.RestoreEntry(key, std::move(value), bytes);
+    ++info.entries;
+  }
+  if (entries.remaining() != 0) {
+    throw Error("memo snapshot: trailing bytes after entries in " + path);
+  }
+  cache.NoteSnapshotLoaded(info.entries, info.bytes, NowUnixMillis());
+  return info;
+}
+
+}  // namespace sparsedet::prob

@@ -1,0 +1,100 @@
+// Disk snapshot/restore for the process-wide MemoCache.
+//
+// A serve process accumulates most of its value in the memo cache: the
+// per-region PMFs and convolution chains that make warm requests ~1000x
+// faster than cold ones. Restarting the server throws that away. The
+// snapshot writes every resident memo entry to disk on drain and reloads
+// it on start, so a restarted server answers its first batch at warm-cache
+// speed.
+//
+// Format (all integers little-endian fixed width):
+//   [8]  magic   "SPDMEMO\x01"
+//   [4]  version (currently 1)
+//   [8]  entry_count
+//   [8]  payload_size           (bytes of the entries section)
+//   [8]  payload FNV-1a checksum
+//   then entry_count entries:
+//   [8]  key_len   [key_len]  key bytes (the MemoKey canonical encoding)
+//   [8]  val_len   [val_len]  value bytes (per-tag codec output)
+//
+// Values are type-erased in the cache, so each memoized call site
+// registers a codec for its MemoKey tag (the tag is recoverable from the
+// key bytes). Entries whose tag has no registered codec are skipped on
+// save and on load — a snapshot written by a newer binary degrades to a
+// partial warm-up instead of an error.
+//
+// Saves are atomic: written to `<path>.tmp` then renamed over `<path>`, so
+// a crash mid-save never corrupts the previous snapshot. Loads verify
+// magic, version, and checksum and throw common::Error (sparsedet::Error)
+// on any mismatch; callers decide whether a bad snapshot is fatal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sparsedet::prob {
+
+class MemoCache;
+
+struct MemoCodec {
+  // Serializes the (type-erased) cached value. The pointer is the T* the
+  // call site inserted; the codec knows its concrete type from the tag.
+  std::function<std::string(const void*)> encode;
+  // Parses a value previously produced by encode. Returns the restored
+  // value and the byte estimate to charge the cache (mirror the bytes_of
+  // estimator used at the original insert site). Throws Error on malformed
+  // input.
+  std::function<std::shared_ptr<const void>(std::string_view encoded,
+                                            std::size_t* bytes)>
+      decode;
+};
+
+// Registers the codec for a MemoKey tag. Call once per tag, typically from
+// a static registrar next to the memoized call site. Re-registering a tag
+// replaces the codec (last wins), which keeps tests simple.
+void RegisterMemoCodec(const std::string& tag, MemoCodec codec);
+
+// Shared primitives for codec implementations: fixed-width little-endian
+// integers and bit-exact doubles, matching the container format.
+void MemoAppendU64(std::string* out, std::uint64_t v);
+void MemoAppendDouble(std::string* out, double v);
+
+// Bounds-checked cursor over an encoded value; throws Error on truncation.
+class MemoDecoder {
+ public:
+  explicit MemoDecoder(std::string_view data) : data_(data) {}
+
+  std::uint64_t ReadU64();
+  double ReadDouble();
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// Extracts the constructor tag from MemoKey canonical bytes; empty on
+// malformed input.
+std::string MemoKeyTag(std::string_view key_bytes);
+
+struct MemoSnapshotInfo {
+  std::uint64_t entries = 0;  // entries written/restored (codec-covered)
+  std::uint64_t skipped = 0;  // entries without a codec, skipped
+  std::uint64_t bytes = 0;    // snapshot file size in bytes
+};
+
+// Writes every codec-covered entry of `cache` to `path` atomically.
+// Throws Error on I/O failure.
+MemoSnapshotInfo SaveMemoSnapshot(MemoCache& cache, const std::string& path);
+
+// Restores a snapshot previously written by SaveMemoSnapshot into `cache`
+// and records it via NoteSnapshotLoaded. Throws Error when the file cannot
+// be read, fails checksum/magic/version verification, or an entry is
+// malformed.
+MemoSnapshotInfo LoadMemoSnapshot(MemoCache& cache, const std::string& path);
+
+}  // namespace sparsedet::prob

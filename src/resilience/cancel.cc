@@ -41,6 +41,8 @@ const char* CancelReasonName(CancelReason reason) {
       return "shutdown";
     case CancelReason::kUser:
       return "user";
+    case CancelReason::kDisconnect:
+      return "disconnect";
   }
   return "?";
 }

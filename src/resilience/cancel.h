@@ -50,10 +50,11 @@ class Deadline {
 
 enum class CancelReason : int {
   kNone = 0,
-  kDeadline,  // the token's (or an ancestor's) deadline expired
-  kWatchdog,  // the worker-pool watchdog declared the task stuck
-  kShutdown,  // the owning component is tearing down
-  kUser,      // explicit external cancellation
+  kDeadline,    // the token's (or an ancestor's) deadline expired
+  kWatchdog,    // the worker-pool watchdog declared the task stuck
+  kShutdown,    // the owning component is tearing down
+  kUser,        // explicit external cancellation
+  kDisconnect,  // the network peer that asked for the work went away
 };
 
 // "deadline", "watchdog", ... for error messages and span fields.
@@ -73,9 +74,24 @@ class Cancelled : public Error {
 class CancelToken {
  public:
   CancelToken() = default;
+  // `allow_memo_inserts` marks a token that exists purely so completed
+  // work can be abandoned (e.g. a network connection token cancelled on
+  // disconnect), not to bound computation time. Solves running under such
+  // a token may still populate the solver memo cache: a compute that
+  // *finishes* under it is a pure function of its key and therefore just
+  // as valid as an uncancelled one, while a compute interrupted mid-way
+  // throws Cancelled and never produces a value to insert. Deadline-
+  // bearing tokens always forbid inserts (the PR 5 structural guarantee),
+  // and the permission only survives chaining if every ancestor grants it.
   explicit CancelToken(Deadline deadline,
-                       std::shared_ptr<const CancelToken> parent = nullptr)
-      : deadline_(deadline), parent_(std::move(parent)) {}
+                       std::shared_ptr<const CancelToken> parent = nullptr,
+                       bool allow_memo_inserts = false)
+      : deadline_(deadline),
+        parent_(std::move(parent)),
+        memo_inserts_allowed_(
+            !deadline.set() &&
+            (parent_ != nullptr ? parent_->memo_inserts_allowed_
+                                : allow_memo_inserts)) {}
 
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
@@ -90,6 +106,9 @@ class CancelToken {
   CancelReason reason() const;
 
   const Deadline& deadline() const { return deadline_; }
+  // True when work completed under this token may populate the solver
+  // memo cache; see the constructor comment.
+  bool memo_inserts_allowed() const { return memo_inserts_allowed_; }
   // The soonest deadline along the ancestor chain; unset if none carries
   // one.
   Deadline EffectiveDeadline() const;
@@ -104,6 +123,7 @@ class CancelToken {
   mutable std::atomic<int> reason_{0};
   Deadline deadline_;
   std::shared_ptr<const CancelToken> parent_;
+  bool memo_inserts_allowed_ = false;
 };
 
 // Installs `token` as the current thread's cancellation target for the

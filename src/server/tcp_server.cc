@@ -1,0 +1,525 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/framing.h"
+#include "common/json.h"
+#include "prob/memo_cache.h"
+#include "prob/memo_snapshot.h"
+#include "resilience/cancel.h"
+
+namespace sparsedet::server {
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct TcpServer::Conn {
+  explicit Conn(std::size_t max_line_bytes) : decoder(max_line_bytes) {}
+
+  // Event-loop-thread state.
+  int fd = -1;
+  int id = 0;
+  framing::LineDecoder decoder;
+  std::shared_ptr<resilience::CancelToken> token;
+  std::int64_t last_activity_ns = 0;
+  int line_number = 0;        // 1-based input line counter (engine ids)
+  std::uint64_t next_seq = 0;  // next sequence number to assign
+  bool want_write = false;     // EPOLLOUT registered
+  bool read_open = true;       // false after EOF or drain
+
+  // Requests admitted to the engine whose callback has not yet fired.
+  std::atomic<int> pending{0};
+
+  // Shared with the engine emitter thread (response delivery).
+  std::mutex mutex;
+  std::uint64_t next_emit = 0;  // next sequence number to append to outbuf
+  std::map<std::uint64_t, std::string> ready;  // out-of-order responses
+  std::string outbuf;
+  bool closed = false;
+};
+
+TcpServer::TcpServer(engine::BatchEngine& engine,
+                     const TcpServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      governor_(options.tenant_qps, options.tenant_burst),
+      connections_total_(
+          &engine.registry().counter("server_connections_total")),
+      connections_rejected_(
+          &engine.registry().counter("server_connections_rejected_total")),
+      idle_closed_(&engine.registry().counter("server_idle_closed_total")),
+      disconnects_(&engine.registry().counter("server_disconnects_total")),
+      requests_total_(&engine.registry().counter("server_requests_total")),
+      responses_total_(&engine.registry().counter("server_responses_total")),
+      tenant_rejected_(
+          &engine.registry().counter("server_tenant_rejected_total")),
+      connections_active_(&engine.registry().gauge("server_connections_active")),
+      drain_state_(&engine.registry().gauge("server_drain_state")) {}
+
+TcpServer::~TcpServer() {
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw Error("serve-tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("serve-tcp: invalid host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error("serve-tcp: cannot bind " + options_.host + ":" +
+                std::to_string(options_.port) + " (" +
+                std::strerror(errno) + ")");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    throw Error("serve-tcp: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || epoll_fd_ < 0) {
+    throw Error("serve-tcp: eventfd/epoll setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  if (!options_.memo_snapshot_path.empty()) {
+    try {
+      const prob::MemoSnapshotInfo info = prob::LoadMemoSnapshot(
+          prob::MemoCache::Global(), options_.memo_snapshot_path);
+      std::fprintf(stderr,
+                   "serve-tcp: restored %llu memo entries (%llu bytes) from "
+                   "%s\n",
+                   static_cast<unsigned long long>(info.entries),
+                   static_cast<unsigned long long>(info.bytes),
+                   options_.memo_snapshot_path.c_str());
+    } catch (const Error& e) {
+      // A missing or stale snapshot is a cold start, not a failure.
+      std::fprintf(stderr, "serve-tcp: memo snapshot not loaded: %s\n",
+                   e.what());
+    }
+  }
+  engine_.StartAsync();
+  drain_state_->Set(0);
+}
+
+void TcpServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    // write(2) is async-signal-safe; the eventfd wakes the loop.
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void TcpServer::WakeLoop() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpServer::Run() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      drain_state_->Set(1);
+      // Stop accepting and stop reading; admitted work runs to completion.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      for (auto& [fd, conn] : conns_) {
+        conn->read_open = false;
+        UpdateWriteInterest(conn, conn->want_write);
+      }
+    }
+    if (draining_ && outstanding_.load(std::memory_order_acquire) == 0) {
+      bool all_flushed = true;
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const std::shared_ptr<Conn> conn = it->second;
+        ++it;
+        FlushConn(conn);  // may erase conn from conns_
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (!conn->outbuf.empty() || !conn->ready.empty()) {
+          all_flushed = false;
+        }
+      }
+      if (all_flushed) break;
+    }
+
+    int timeout_ms = 1000;
+    if (options_.idle_timeout_ms > 0) {
+      timeout_ms = static_cast<int>(
+          std::min<std::int64_t>(options_.idle_timeout_ms, 500));
+    }
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("serve-tcp: epoll_wait failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        Accept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drainv = 0;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        // The emitter delivered responses; flush any conn with output.
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          auto conn = it->second;  // FlushConn may erase from conns_
+          ++it;
+          FlushConn(conn);
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      const std::shared_ptr<Conn> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(conn, /*disconnect=*/true);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+    }
+    if (options_.idle_timeout_ms > 0) CloseIdleConns(NowNs());
+  }
+
+  // Drained: close remaining sockets, persist the memo snapshot.
+  for (auto& [fd, conn] : conns_) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->closed = true;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+  }
+  conns_.clear();
+  connections_active_->Set(0);
+  engine_.DrainAsync();
+  if (!options_.memo_snapshot_path.empty()) {
+    try {
+      const prob::MemoSnapshotInfo info = prob::SaveMemoSnapshot(
+          prob::MemoCache::Global(), options_.memo_snapshot_path);
+      std::fprintf(stderr,
+                   "serve-tcp: saved %llu memo entries (%llu bytes) to %s\n",
+                   static_cast<unsigned long long>(info.entries),
+                   static_cast<unsigned long long>(info.bytes),
+                   options_.memo_snapshot_path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "serve-tcp: memo snapshot not saved: %s\n",
+                   e.what());
+    }
+  }
+  drain_state_->Set(2);
+}
+
+void TcpServer::Accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient accept error
+    if (draining_) {
+      ::close(fd);
+      continue;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // 429-style structured rejection on the wire before closing; the
+      // socket is fresh, so one best-effort write is all it gets.
+      JsonValue response = JsonValue::Object();
+      response.Set("error", "too many connections")
+          .Set("error_code", "max_connections");
+      const std::string text = response.ToString() + "\n";
+      framing::WriteAllFd(fd, text.data(), text.size());
+      ::close(fd);
+      connections_rejected_->Inc();
+      continue;
+    }
+    auto conn = std::make_shared<Conn>(options_.max_line_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity_ns = NowNs();
+    if (options_.cancel_on_disconnect) {
+      // No deadline, and memo inserts stay allowed: a disconnect abandons
+      // the response, it does not invalidate completed sub-results.
+      conn->token = std::make_shared<resilience::CancelToken>(
+          resilience::Deadline(), nullptr, /*allow_memo_inserts=*/true);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_.emplace(fd, std::move(conn));
+    connections_total_->Inc();
+    connections_active_->Set(static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  if (!conn->read_open) return;
+  char buf[1 << 16];
+  bool eof = false;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->last_activity_ns = NowNs();
+      conn->decoder.Feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn, /*disconnect=*/true);
+    return;
+  }
+  ProcessLines(conn);
+  if (eof) {
+    conn->read_open = false;
+    if (conn->pending.load(std::memory_order_acquire) > 0) {
+      // The peer went away with responses still owed: abandon the work.
+      CloseConn(conn, /*disconnect=*/true);
+      return;
+    }
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      done = conn->outbuf.empty() && conn->ready.empty();
+    }
+    if (done) CloseConn(conn, /*disconnect=*/false);
+    // Otherwise FlushConn closes it once the last response is written.
+  }
+}
+
+void TcpServer::ProcessLines(const std::shared_ptr<Conn>& conn) {
+  std::string line;
+  bool truncated = false;
+  while (conn->decoder.Next(&line, &truncated)) {
+    if (!truncated && IsBlank(line)) continue;
+    const std::uint64_t seq = conn->next_seq++;
+    ++conn->line_number;
+    requests_total_->Inc();
+
+    // Admission control wants the tenant, which needs a parse; malformed
+    // and command lines skip the quota (the engine reports the former, the
+    // latter is an operator path). The line is parsed again at plan time —
+    // acceptable: admission happens once per request, solves dominate.
+    if (!truncated && governor_.enabled()) {
+      bool rejected = false;
+      try {
+        const JsonValue json = ParseJson(line, /*max_depth=*/64);
+        if (json.is_object() && json.Find("cmd") == nullptr) {
+          std::string tenant;
+          if (const JsonValue* t = json.Find("tenant");
+              t != nullptr && t->is_string()) {
+            tenant = t->AsString();
+          }
+          if (!governor_.Admit(tenant, NowNs())) {
+            JsonValue response = JsonValue::Object();
+            if (const JsonValue* id = json.Find("id");
+                id != nullptr && (id->is_string() || id->is_number())) {
+              response.Set("id", *id);
+            } else {
+              response.Set("id", conn->line_number);
+            }
+            response.Set("error", "tenant quota exceeded")
+                .Set("error_code", "quota_exceeded");
+            if (!tenant.empty()) response.Set("tenant", tenant);
+            tenant_rejected_->Inc();
+            DeliverResponse(conn, seq, response.ToString());
+            rejected = true;
+          }
+        }
+      } catch (const Error&) {
+        // Not valid JSON: fall through, the engine renders the parse error.
+      }
+      if (rejected) continue;
+    }
+
+    conn->pending.fetch_add(1, std::memory_order_acq_rel);
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    const std::shared_ptr<Conn> owner = conn;
+    engine_.SubmitLineAsync(
+        line, conn->line_number, conn->token, truncated,
+        [this, owner, seq](std::string text) {
+          DeliverResponse(owner, seq, std::move(text));
+          owner->pending.fetch_sub(1, std::memory_order_acq_rel);
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          WakeLoop();
+        });
+  }
+}
+
+void TcpServer::DeliverResponse(const std::shared_ptr<Conn>& conn,
+                                std::uint64_t seq, std::string&& text) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;  // disconnected: drop the response
+    conn->ready.emplace(seq, std::move(text));
+    // Append every now-contiguous response in sequence order, so pipelined
+    // responses leave in exactly the order the requests arrived.
+    for (auto it = conn->ready.find(conn->next_emit);
+         it != conn->ready.end(); it = conn->ready.find(conn->next_emit)) {
+      conn->outbuf += it->second;
+      conn->outbuf += '\n';
+      conn->ready.erase(it);
+      ++conn->next_emit;
+      responses_total_->Inc();
+    }
+  }
+  WakeLoop();
+}
+
+void TcpServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  FlushConn(conn);
+}
+
+void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  bool close_dead = false;
+  bool close_done = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    while (!conn->outbuf.empty()) {
+      const framing::WriteResult result = framing::WriteSomeFd(
+          conn->fd, conn->outbuf.data(), conn->outbuf.size());
+      if (result.written > 0) {
+        conn->last_activity_ns = NowNs();
+        conn->outbuf.erase(0, result.written);
+      }
+      if (result.error) {
+        close_dead = true;
+        break;
+      }
+      if (result.would_block) break;
+    }
+    if (!close_dead) {
+      const bool want = !conn->outbuf.empty();
+      if (want != conn->want_write) UpdateWriteInterest(conn, want);
+      close_done = !conn->read_open && conn->outbuf.empty() &&
+                   conn->ready.empty() &&
+                   conn->pending.load(std::memory_order_acquire) == 0;
+    }
+  }
+  if (close_dead) {
+    CloseConn(conn, /*disconnect=*/true);
+  } else if (close_done) {
+    CloseConn(conn, /*disconnect=*/false);
+  }
+}
+
+void TcpServer::UpdateWriteInterest(const std::shared_ptr<Conn>& conn,
+                                    bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->want_write = want_write;
+}
+
+void TcpServer::CloseIdleConns(std::int64_t now_ns) {
+  const std::int64_t limit_ns = options_.idle_timeout_ms * 1000000;
+  std::vector<std::shared_ptr<Conn>> idle;
+  for (auto& [fd, conn] : conns_) {
+    if (conn->pending.load(std::memory_order_acquire) > 0) continue;
+    bool has_output;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      has_output = !conn->outbuf.empty() || !conn->ready.empty();
+    }
+    if (has_output) continue;
+    // Covers true silence and slowloris trickles alike: a connection that
+    // has not completed a request in `idle_timeout_ms` is evicted even if
+    // it dribbles a byte of a partial frame now and then — activity is
+    // only refreshed by reads, and a perpetual partial line never makes
+    // progress, so the decoder's has_partial() state ages out with it.
+    if (now_ns - conn->last_activity_ns > limit_ns &&
+        !conn->decoder.has_partial()) {
+      idle.push_back(conn);
+    } else if (now_ns - conn->last_activity_ns > 2 * limit_ns) {
+      idle.push_back(conn);  // partial frame but no progress: slowloris
+    }
+  }
+  for (const auto& conn : idle) {
+    idle_closed_->Inc();
+    CloseConn(conn, /*disconnect=*/true);
+  }
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
+                          bool disconnect) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  if (disconnect && conn->token != nullptr) {
+    // Stops this connection's in-flight solves at their next cancellation
+    // point; the engine reports them "disconnected" and never caches them.
+    conn->token->Cancel(resilience::CancelReason::kDisconnect);
+  }
+  if (disconnect) disconnects_->Inc();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  connections_active_->Set(static_cast<std::int64_t>(conns_.size()));
+}
+
+}  // namespace sparsedet::server

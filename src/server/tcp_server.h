@@ -1,0 +1,139 @@
+// Network-native serve mode: a concurrent TCP front-end for BatchEngine.
+//
+// The server speaks exactly the stdio `serve` protocol — one JSONL request
+// per line, one JSONL response per line, {"cmd":"stats"} answered
+// in-stream — over any number of concurrent connections, each of which
+// may pipeline requests without waiting for responses. Responses on a
+// connection always come back in that connection's request order, byte-
+// identical to what the stdio loop would have produced for the same lines
+// (server-side admission rejections aside, which stdio has no analog for).
+//
+// Architecture: one epoll event-loop thread owns every socket. Inbound
+// bytes run through framing::LineDecoder (bounded, hostile-input safe);
+// each complete line is assigned a per-connection sequence number and
+// either rejected at admission (tenant quota — see token_bucket.h) or
+// planned into the engine via BatchEngine::SubmitLineAsync, whose
+// callback delivers the rendered response on the engine's emitter thread.
+// A per-connection reorder buffer merges engine responses with
+// server-side rejections in sequence order; the event loop is woken
+// through an eventfd and performs all socket writes (non-blocking,
+// EPOLLOUT-driven), so the emitter thread never blocks on a slow client.
+//
+// Cancellation: each connection owns a CancelToken (created with
+// allow_memo_inserts, so serving still warms the solver memo cache). On
+// disconnect the token is cancelled with CancelReason::kDisconnect, which
+// stops that connection's in-flight solves at their next cancellation
+// point; their results are dropped, never cached.
+//
+// Drain: RequestDrain() (async-signal-safe; call it from SIGTERM/SIGINT
+// handlers) makes Run() stop accepting, stop reading, flush every
+// in-flight response to its socket, persist the memo-cache snapshot when
+// configured, and return. Already-admitted requests complete normally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "server/token_bucket.h"
+
+namespace sparsedet::server {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the bound port back via port()
+  std::size_t max_connections = 64;  // excess connections are rejected
+  double tenant_qps = 0.0;    // per-tenant admission rate; 0 = unlimited
+  double tenant_burst = 0.0;  // bucket capacity; 0 = max(1, tenant_qps)
+  std::int64_t idle_timeout_ms = 0;  // close silent connections; 0 = off
+  // Per-line byte bound, mirroring EngineOptions::max_line_bytes so both
+  // transports reject the same inputs.
+  std::size_t max_line_bytes = 1 << 20;
+  // Memo-cache snapshot file: loaded (if present) by Start(), written
+  // atomically when Run() drains. Empty = disabled.
+  std::string memo_snapshot_path;
+  bool cancel_on_disconnect = true;
+};
+
+class TcpServer {
+ public:
+  // The engine must outlive the server. The server registers its own
+  // server_* counters in engine.registry(), so they show up in
+  // {"cmd":"stats"} responses alongside the engine's.
+  TcpServer(engine::BatchEngine& engine, const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds + listens, loads the memo snapshot when configured, and starts
+  // the engine's emitter thread. Throws Error on bind/listen failure.
+  void Start();
+
+  // The bound port (after Start()); useful with options.port == 0.
+  int port() const { return port_; }
+
+  // Runs the event loop until RequestDrain(); returns after every
+  // in-flight response is flushed and the snapshot (if configured) is
+  // written.
+  void Run();
+
+  // Async-signal-safe drain trigger (one write(2) to an eventfd).
+  void RequestDrain();
+
+ private:
+  struct Conn;
+
+  void Accept();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  // Feeds decoded lines into admission + the engine.
+  void ProcessLines(const std::shared_ptr<Conn>& conn);
+  // Stashes a response for `seq` and appends every now-contiguous response
+  // to the connection's outbound buffer. Called from the event loop (local
+  // rejections) and the engine emitter thread (engine responses).
+  void DeliverResponse(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
+                       std::string&& text);
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn, bool disconnect);
+  void UpdateWriteInterest(const std::shared_ptr<Conn>& conn,
+                           bool want_write);
+  void CloseIdleConns(std::int64_t now_ns);
+  void WakeLoop();
+
+  engine::BatchEngine& engine_;
+  TcpServerOptions options_;
+  TenantGovernor governor_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: emitter-thread delivery + drain requests
+  int port_ = 0;
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+
+  // Responses admitted to the engine but not yet called back. Drain
+  // completes when this reaches zero and every outbuf is flushed.
+  std::atomic<std::uint64_t> outstanding_{0};
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // by fd
+  int next_conn_id_ = 1;
+
+  // server_* metric handles (registered in the engine's registry).
+  obs::Counter* connections_total_;
+  obs::Counter* connections_rejected_;
+  obs::Counter* idle_closed_;
+  obs::Counter* disconnects_;
+  obs::Counter* requests_total_;
+  obs::Counter* responses_total_;
+  obs::Counter* tenant_rejected_;
+  obs::Gauge* connections_active_;
+  obs::Gauge* drain_state_;  // 0 = serving, 1 = draining, 2 = drained
+};
+
+}  // namespace sparsedet::server

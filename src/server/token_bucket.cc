@@ -1,0 +1,42 @@
+#include "server/token_bucket.h"
+
+#include <algorithm>
+
+namespace sparsedet::server {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst),
+      tokens_(burst),
+      last_refill_ns_(0) {}
+
+bool TokenBucket::TryAcquire(std::int64_t now_ns) {
+  if (!primed_) {
+    // First call anchors the refill clock; the bucket starts full.
+    last_refill_ns_ = now_ns;
+    primed_ = true;
+  }
+  if (now_ns > last_refill_ns_) {
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+    last_refill_ns_ = now_ns;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+TenantGovernor::TenantGovernor(double qps, double burst)
+    : qps_(qps), burst_(burst > 0.0 ? burst : std::max(1.0, qps)) {}
+
+bool TenantGovernor::Admit(const std::string& tenant, std::int64_t now_ns) {
+  if (!enabled()) return true;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(tenant, TokenBucket(qps_, burst_)).first;
+  }
+  return it->second.TryAcquire(now_ns);
+}
+
+}  // namespace sparsedet::server

@@ -1,0 +1,61 @@
+// Per-tenant admission control for the TCP front-end.
+//
+// Each tenant (the request's "tenant" field; empty = the default tenant)
+// gets a token bucket refilled at `qps` tokens per second with capacity
+// `burst`. A request consumes one token; an empty bucket means a
+// 429-style structured rejection before the request ever reaches the
+// engine, so one chatty tenant cannot crowd out the others even when the
+// shared `--max-queue` backpressure has headroom left.
+//
+// Buckets are created lazily on first sight of a tenant and never
+// expire — the tenant universe is assumed small (it is an operator-
+// assigned routing label, not user input).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sparsedet::server {
+
+class TokenBucket {
+ public:
+  // `rate_per_sec` tokens accrue continuously up to `burst`. The bucket
+  // starts full.
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Consumes one token if available; `now_ns` is a monotonic clock reading
+  // supplied by the caller (keeps the bucket testable without sleeping).
+  bool TryAcquire(std::int64_t now_ns);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  std::int64_t last_refill_ns_;
+  bool primed_ = false;
+};
+
+class TenantGovernor {
+ public:
+  // qps <= 0 disables admission control (every request admitted). burst <=
+  // 0 defaults to max(1, qps).
+  TenantGovernor(double qps, double burst);
+
+  bool enabled() const { return qps_ > 0.0; }
+
+  // True when `tenant` may proceed at `now_ns`. Single-threaded (the
+  // event-loop thread owns admission).
+  bool Admit(const std::string& tenant, std::int64_t now_ns);
+
+  std::size_t tenant_count() const { return buckets_.size(); }
+
+ private:
+  double qps_;
+  double burst_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace sparsedet::server

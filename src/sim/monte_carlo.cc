@@ -1,5 +1,6 @@
 #include "sim/monte_carlo.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/check.h"
@@ -9,6 +10,19 @@
 #include "resilience/cancel.h"
 
 namespace sparsedet {
+namespace {
+
+// Per-trial cost estimate for the ParallelFor serial guard: a trial
+// deploys N sensors and checks each against the track every period, so
+// cost scales with N * M (~15 ns per sensor-period on the CI hardware).
+// Only trial counts so small that the whole run is cheaper than thread
+// dispatch end up serial.
+std::size_t TrialCostHintNs(const TrialConfig& config) {
+  return 15 * static_cast<std::size_t>(std::max(1, config.params.num_nodes)) *
+         static_cast<std::size_t>(std::max(1, config.params.window_periods));
+}
+
+}  // namespace
 
 ProportionEstimate EstimateTrialProbability(
     const TrialConfig& config, const MonteCarloOptions& options,
@@ -23,8 +37,11 @@ ProportionEstimate EstimateTrialProbability(
   // keeps the deadline granularity at one trial even for large chunks.
   {
     obs::ObsTimer timer(obs::Phase::kMcTrials);
+    ParallelOptions opts;
+    opts.threads = options.threads;
+    opts.work_ns_hint = TrialCostHintNs(config);
     ParallelFor(
-        static_cast<std::size_t>(options.trials),
+        static_cast<std::size_t>(options.trials), opts,
         [&](std::size_t i) {
           resilience::CancellationPoint();
           Rng rng = base.Substream(i);
@@ -32,8 +49,7 @@ ProportionEstimate EstimateTrialProbability(
           if (accept(trial)) {
             successes.fetch_add(1, std::memory_order_relaxed);
           }
-        },
-        options.threads);
+        });
   }
   return WilsonInterval(successes.load(), options.trials, options.z);
 }
@@ -64,15 +80,17 @@ double EstimateMeanReports(const TrialConfig& config,
   const Rng base(options.seed);
   std::atomic<std::int64_t> total{0};
   obs::ObsTimer timer(obs::Phase::kMcTrials);
+  ParallelOptions opts;
+  opts.threads = options.threads;
+  opts.work_ns_hint = TrialCostHintNs(config);
   ParallelFor(
-      static_cast<std::size_t>(options.trials),
+      static_cast<std::size_t>(options.trials), opts,
       [&](std::size_t i) {
         resilience::CancellationPoint();
         Rng rng = base.Substream(i);
         const TrialResult trial = RunTrial(config, rng);
         total.fetch_add(trial.total_true_reports, std::memory_order_relaxed);
-      },
-      options.threads);
+      });
   return static_cast<double>(total.load()) /
          static_cast<double>(options.trials);
 }

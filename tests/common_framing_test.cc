@@ -1,0 +1,192 @@
+// Unit tests for the shared JSONL framing layer: LineDecoder's bounded
+// incremental splitting (the hostile-input contract both serve transports
+// rely on), ReadBoundedLine's getline-compatible semantics, and the
+// EINTR/partial-write-safe fd writers.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/framing.h"
+
+namespace sparsedet::framing {
+namespace {
+
+TEST(LineDecoder, SplitsCompleteLines) {
+  LineDecoder decoder(1024);
+  decoder.Feed("alpha\nbeta\n", 11);
+  std::string line;
+  bool truncated = true;
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "alpha");
+  EXPECT_FALSE(truncated);
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "beta");
+  EXPECT_FALSE(decoder.Next(&line, &truncated));
+}
+
+TEST(LineDecoder, ReassemblesSplitFrames) {
+  // A frame arriving one byte at a time (slow or adversarial writer) must
+  // come out identical to one delivered in a single read.
+  LineDecoder decoder(1024);
+  const std::string frame = "{\"id\":1,\"op\":\"analyze\"}";
+  std::string line;
+  bool truncated = false;
+  for (char c : frame) {
+    decoder.Feed(&c, 1);
+    EXPECT_FALSE(decoder.Next(&line, &truncated));
+  }
+  EXPECT_TRUE(decoder.has_partial());
+  decoder.Feed("\n", 1);
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, frame);
+  EXPECT_FALSE(truncated);
+  EXPECT_FALSE(decoder.has_partial());
+}
+
+TEST(LineDecoder, OversizedLineIsTruncatedNotBuffered) {
+  // Bytes past the cap are dropped on the floor: buffered_bytes() stays
+  // bounded no matter how much an attacker streams without a newline.
+  const std::size_t cap = 16;
+  LineDecoder decoder(cap);
+  const std::string flood(1000, 'x');
+  decoder.Feed(flood.data(), flood.size());
+  EXPECT_LE(decoder.buffered_bytes(), cap);
+  EXPECT_TRUE(decoder.has_partial());
+  decoder.Feed("\n", 1);
+  std::string line;
+  bool truncated = false;
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(line, std::string(cap, 'x'));
+}
+
+TEST(LineDecoder, RecoversAfterOversizedLine) {
+  LineDecoder decoder(8);
+  const std::string input = std::string(100, 'a') + "\nok\n";
+  decoder.Feed(input.data(), input.size());
+  std::string line;
+  bool truncated = false;
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_TRUE(truncated);
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(truncated);
+}
+
+TEST(LineDecoder, ZeroCapDisablesBound) {
+  LineDecoder decoder(0);
+  const std::string big(100000, 'y');
+  decoder.Feed(big.data(), big.size());
+  decoder.Feed("\n", 1);
+  std::string line;
+  bool truncated = true;
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line.size(), big.size());
+  EXPECT_FALSE(truncated);
+}
+
+TEST(LineDecoder, BlankLinesComeThrough) {
+  LineDecoder decoder(64);
+  decoder.Feed("\n\nz\n", 4);
+  std::string line;
+  bool truncated = false;
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(decoder.Next(&line, &truncated));
+  EXPECT_EQ(line, "z");
+}
+
+TEST(ReadBoundedLine, MatchesGetlineSemantics) {
+  std::istringstream in("one\ntwo\nlast-no-newline");
+  std::string line;
+  bool truncated = true;
+  ASSERT_TRUE(ReadBoundedLine(in, line, 100, &truncated));
+  EXPECT_EQ(line, "one");
+  EXPECT_FALSE(truncated);
+  ASSERT_TRUE(ReadBoundedLine(in, line, 100, &truncated));
+  EXPECT_EQ(line, "two");
+  ASSERT_TRUE(ReadBoundedLine(in, line, 100, &truncated));
+  EXPECT_EQ(line, "last-no-newline");
+  EXPECT_FALSE(ReadBoundedLine(in, line, 100, &truncated));
+}
+
+TEST(ReadBoundedLine, TruncatesAndConsumesOversizedLine) {
+  std::istringstream in(std::string(50, 'q') + "\nnext\n");
+  std::string line;
+  bool truncated = false;
+  ASSERT_TRUE(ReadBoundedLine(in, line, 10, &truncated));
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(line, std::string(10, 'q'));
+  // The oversized tail was consumed, not left for the next read.
+  ASSERT_TRUE(ReadBoundedLine(in, line, 10, &truncated));
+  EXPECT_EQ(line, "next");
+  EXPECT_FALSE(truncated);
+}
+
+TEST(WriteAllFd, WritesEverythingThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload(1 << 18, 'p');  // larger than the pipe buffer
+  std::string received;
+  std::thread reader([&] {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+      received.append(buf, static_cast<std::size_t>(n));
+    }
+  });
+  EXPECT_TRUE(WriteAllFd(fds[1], payload.data(), payload.size()));
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FdWriterBuf, StreamWritesReachTheFdOnFlush) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  FdWriterBuf buf(fds[1]);
+  std::ostream out(&buf);
+  out << "{\"id\":1}" << "\n";
+  out.flush();
+  EXPECT_FALSE(buf.failed());
+  char rbuf[64];
+  const ssize_t n = ::read(fds[0], rbuf, sizeof(rbuf));
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(rbuf, static_cast<std::size_t>(n)), "{\"id\":1}\n");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FdWriterBuf, FailureIsStickyNotFatal) {
+  // MSG_NOSIGNAL only covers sockets; a broken pipe still raises SIGPIPE,
+  // which serving front-ends ignore (as CmdServe/CmdServeTcp do).
+  ::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // reader gone: writes will hit EPIPE
+  FdWriterBuf buf(fds[1]);
+  std::ostream out(&buf);
+  const std::string big(1 << 18, 'z');
+  out << big;
+  out.flush();
+  EXPECT_TRUE(buf.failed());
+  // Further writes are discarded quietly — no signal, no throw.
+  out << "more";
+  out.flush();
+  EXPECT_TRUE(buf.failed());
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace sparsedet::framing

@@ -1,0 +1,192 @@
+// Unit tests for the memo-cache disk snapshot: roundtrip fidelity (values,
+// byte charges, restored counter), graceful skipping of tags without a
+// registered codec, and hard rejection of corrupted files (bad magic,
+// flipped payload bytes, truncation) — a damaged snapshot must never
+// poison the cache.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "prob/memo_cache.h"
+#include "prob/memo_snapshot.h"
+
+namespace sparsedet::prob {
+namespace {
+
+constexpr char kTag[] = "test/snapshot_vec";
+
+// Registers a vector<double> codec for kTag once for the whole binary.
+const bool kCodecRegistered = [] {
+  MemoCodec codec;
+  codec.encode = [](const void* value) {
+    const auto& vec = *static_cast<const std::vector<double>*>(value);
+    std::string out;
+    MemoAppendU64(&out, vec.size());
+    for (double d : vec) MemoAppendDouble(&out, d);
+    return out;
+  };
+  codec.decode = [](std::string_view encoded, std::size_t* bytes) {
+    MemoDecoder dec(encoded);
+    const std::uint64_t n = dec.ReadU64();
+    auto vec = std::make_shared<std::vector<double>>();
+    vec->reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) vec->push_back(dec.ReadDouble());
+    *bytes = sizeof(std::vector<double>) + n * sizeof(double);
+    return std::shared_ptr<const void>(
+        std::static_pointer_cast<const void>(vec));
+  };
+  RegisterMemoCodec(kTag, std::move(codec));
+  return true;
+}();
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+MemoKey KeyFor(int i, const char* tag = kTag) {
+  MemoKey key(tag);
+  key.AddInt(i);
+  return key;
+}
+
+void FillCache(MemoCache& cache, int entries) {
+  for (int i = 0; i < entries; ++i) {
+    cache.GetOrCompute<std::vector<double>>(
+        KeyFor(i),
+        [i] {
+          return std::vector<double>{static_cast<double>(i), 0.5 * i, -1.25};
+        },
+        [](const std::vector<double>& v) { return v.size() * sizeof(double); });
+  }
+}
+
+TEST(MemoSnapshot, RoundtripRestoresValuesAndStats) {
+  const std::string path = TempPath("memo_roundtrip.snap");
+  MemoCache source(64);
+  FillCache(source, 10);
+
+  const MemoSnapshotInfo saved = SaveMemoSnapshot(source, path);
+  EXPECT_EQ(saved.entries, 10u);
+  EXPECT_EQ(saved.skipped, 0u);
+  EXPECT_GT(saved.bytes, 0u);
+
+  MemoCache restored_cache(64);
+  const MemoSnapshotInfo loaded = LoadMemoSnapshot(restored_cache, path);
+  EXPECT_EQ(loaded.entries, 10u);
+
+  const MemoCacheStats stats = restored_cache.Stats();
+  EXPECT_EQ(stats.restored, 10u);
+  EXPECT_EQ(stats.inserts, 0u);  // restores are not inserts
+  EXPECT_EQ(stats.entries, 10u);
+  EXPECT_EQ(stats.snapshot_entries, 10u);
+  EXPECT_GT(stats.snapshot_loaded_unix_ms, 0);
+
+  // Every restored value is a hit with the original contents.
+  for (int i = 0; i < 10; ++i) {
+    bool computed = false;
+    auto value = restored_cache.GetOrCompute<std::vector<double>>(
+        KeyFor(i), [&computed] {
+          computed = true;
+          return std::vector<double>{};
+        });
+    EXPECT_FALSE(computed) << "entry " << i << " missed after restore";
+    ASSERT_EQ(value->size(), 3u);
+    EXPECT_EQ((*value)[0], static_cast<double>(i));
+    EXPECT_EQ((*value)[1], 0.5 * i);
+    EXPECT_EQ((*value)[2], -1.25);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MemoSnapshot, UnregisteredTagsAreSkippedOnSave) {
+  const std::string path = TempPath("memo_skip.snap");
+  MemoCache source(64);
+  FillCache(source, 3);
+  // An entry whose tag has no codec must not break the save.
+  source.GetOrCompute<int>(KeyFor(0, "test/no_codec"), [] { return 42; });
+
+  const MemoSnapshotInfo saved = SaveMemoSnapshot(source, path);
+  EXPECT_EQ(saved.entries, 3u);
+  EXPECT_EQ(saved.skipped, 1u);
+
+  MemoCache restored(64);
+  EXPECT_EQ(LoadMemoSnapshot(restored, path).entries, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(MemoSnapshot, MissingFileThrows) {
+  MemoCache cache(64);
+  EXPECT_THROW(LoadMemoSnapshot(cache, TempPath("does_not_exist.snap")),
+               Error);
+}
+
+class MemoSnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("memo_corrupt.snap");
+    MemoCache source(64);
+    FillCache(source, 5);
+    SaveMemoSnapshot(source, path_);
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 40u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteBack(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(MemoSnapshotCorruption, BadMagicRejected) {
+  std::string bad = bytes_;
+  bad[0] ^= 0x5a;
+  WriteBack(bad);
+  MemoCache cache(64);
+  EXPECT_THROW(LoadMemoSnapshot(cache, path_), Error);
+  EXPECT_EQ(cache.Stats().restored, 0u);
+}
+
+TEST_F(MemoSnapshotCorruption, FlippedPayloadByteFailsChecksum) {
+  std::string bad = bytes_;
+  bad[bad.size() - 3] ^= 0x01;  // inside the entries payload
+  WriteBack(bad);
+  MemoCache cache(64);
+  EXPECT_THROW(LoadMemoSnapshot(cache, path_), Error);
+}
+
+TEST_F(MemoSnapshotCorruption, TruncatedFileRejected) {
+  WriteBack(bytes_.substr(0, bytes_.size() / 2));
+  MemoCache cache(64);
+  EXPECT_THROW(LoadMemoSnapshot(cache, path_), Error);
+}
+
+TEST_F(MemoSnapshotCorruption, TrailingGarbageRejected) {
+  WriteBack(bytes_ + "extra");
+  MemoCache cache(64);
+  EXPECT_THROW(LoadMemoSnapshot(cache, path_), Error);
+}
+
+TEST(MemoSnapshot, SaveIsAtomicNoTmpLeftBehind) {
+  const std::string path = TempPath("memo_atomic.snap");
+  MemoCache source(64);
+  FillCache(source, 2);
+  SaveMemoSnapshot(source, path);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());  // renamed over the target, not left behind
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sparsedet::prob

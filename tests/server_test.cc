@@ -1,0 +1,446 @@
+// End-to-end tests for the TCP serve front-end: request/response over real
+// sockets, pipelined in-order delivery, hostile framing (oversized lines,
+// byte-at-a-time frames, slowloris), mid-request disconnect cancellation,
+// per-tenant admission control, the connection cap, in-stream stats, and
+// the drain-time memo snapshot roundtrip.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "prob/memo_cache.h"
+#include "server/tcp_server.h"
+#include "server/token_bucket.h"
+
+namespace sparsedet::server {
+namespace {
+
+// A server plus its event-loop thread; drains and joins on destruction.
+class TestServer {
+ public:
+  explicit TestServer(TcpServerOptions options = {},
+                      engine::EngineOptions engine_options = {}) {
+    engine_options.threads = 2;
+    engine_ = std::make_unique<engine::BatchEngine>(engine_options);
+    server_ = std::make_unique<TcpServer>(*engine_, options);
+    server_->Start();
+    loop_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~TestServer() { Stop(); }
+
+  void Stop() {
+    if (loop_.joinable()) {
+      server_->RequestDrain();
+      loop_.join();
+    }
+  }
+
+  int port() const { return server_->port(); }
+
+  std::uint64_t CounterValue(const std::string& name) {
+    const obs::RegistrySnapshot snapshot = engine_->MetricsSnapshot();
+    for (const auto& c : snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  }
+
+ private:
+  std::unique_ptr<engine::BatchEngine> engine_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread loop_;
+};
+
+// Blocking client socket with a 10s receive timeout and a buffered line
+// reader, so a wedged server fails a test instead of hanging it.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+    timeval tv{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  ~Client() { Close(); }
+
+  bool connected() const { return connected_; }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool Send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return Send(line + "\n"); }
+
+  // Reads one '\n'-terminated line; returns false on EOF/timeout.
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return false;
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  // True when the peer closed the connection (read returns 0).
+  bool WaitForEof() {
+    char buf[256];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::int64_t IdOf(const std::string& response) {
+  const JsonValue json = ParseJson(response);
+  const JsonValue* id = json.Find("id");
+  return id != nullptr ? static_cast<std::int64_t>(id->AsDouble()) : -1;
+}
+
+TEST(TcpServer, AnswersARequest) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"id":7,"op":"analyze"})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 7);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
+}
+
+TEST(TcpServer, PipelinedResponsesArriveInRequestOrder) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    burst += R"({"id":)" + std::to_string(i) +
+             R"(,"op":"analyze","params":{"nodes":)" +
+             std::to_string(60 + 20 * (i % 6)) + "}}\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  for (int i = 0; i < n; ++i) {
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response)) << "response " << i;
+    EXPECT_EQ(IdOf(response), i);
+  }
+}
+
+TEST(TcpServer, ConcurrentConnectionsEachGetTheirOwnStream) {
+  TestServer server;
+  const int conns = 8;
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(conns, false);
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([c, port = server.port(), &ok] {
+      Client client(port);
+      if (!client.connected()) return;
+      for (int i = 0; i < 5; ++i) {
+        const std::int64_t id = c * 100 + i;
+        if (!client.SendLine(R"({"id":)" + std::to_string(id) +
+                             R"(,"op":"analyze"})")) {
+          return;
+        }
+        std::string response;
+        if (!client.ReadLine(&response) || IdOf(response) != id) return;
+      }
+      ok[c] = true;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < conns; ++c) EXPECT_TRUE(ok[c]) << "connection " << c;
+}
+
+TEST(TcpServer, OversizedLineRejectedAndConnectionSurvives) {
+  TcpServerOptions options;
+  options.max_line_bytes = 256;
+  engine::EngineOptions engine_options;
+  engine_options.max_line_bytes = 256;
+  TestServer server(options, engine_options);
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(std::string(5000, 'x')));
+  ASSERT_TRUE(client.SendLine(R"({"id":1,"op":"analyze"})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("line_too_long"), std::string::npos);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 1);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
+}
+
+TEST(TcpServer, ByteAtATimeFramesAreReassembled) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string frame = R"({"id":3,"op":"analyze"})" "\n";
+  for (char c : frame) {
+    ASSERT_TRUE(client.Send(std::string(1, c)));
+  }
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 3);
+}
+
+TEST(TcpServer, IdleConnectionIsClosed) {
+  TcpServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer server(options);
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+  EXPECT_GE(server.CounterValue("server_idle_closed_total"), 1u);
+}
+
+TEST(TcpServer, SlowlorisPartialFrameIsClosed) {
+  TcpServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer server(options);
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A partial frame trickled in but never completed: the server must give
+  // it the doubled grace period, then cut it off.
+  ASSERT_TRUE(client.Send(R"({"id":99,"op":)"));
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+  EXPECT_GE(server.CounterValue("server_idle_closed_total"), 1u);
+}
+
+TEST(TcpServer, MidRequestDisconnectCancelsWithoutCaching) {
+  prob::MemoCache::Global().Clear();
+  const prob::MemoCacheStats before = prob::MemoCache::Global().Stats();
+  {
+    engine::EngineOptions engine_options;
+    // Every evaluate sleeps 300ms before the first cancellation point, so
+    // the disconnect always lands mid-request.
+    engine_options.fault_config =
+        R"({"delay_every":1,"delay_ms":300,"max_faults":1})";
+    TestServer server({}, engine_options);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendLine(R"({"id":1,"op":"analyze"})"));
+    // Wait for the server to admit the request (it then sleeps in the
+    // injected delay), so the close lands mid-solve.
+    for (int i = 0;
+         i < 500 && server.CounterValue("server_requests_total") < 1; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(server.CounterValue("server_requests_total"), 1u);
+    client.Close();  // abandon the in-flight request
+    for (int i = 0;
+         i < 500 && server.CounterValue("server_disconnects_total") < 1; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    server.Stop();  // drain waits for the cancelled unit to settle
+    EXPECT_GE(server.CounterValue("server_disconnects_total"), 1u);
+  }
+  const prob::MemoCacheStats after = prob::MemoCache::Global().Stats();
+  EXPECT_EQ(after.inserts - before.inserts, 0u)
+      << "a disconnected request must not warm the memo cache";
+}
+
+TEST(TcpServer, TenantQuotaRejectsAndCounts) {
+  TcpServerOptions options;
+  options.tenant_qps = 1.0;
+  options.tenant_burst = 1.0;
+  TestServer server(options);
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    burst += R"({"id":)" + std::to_string(i) +
+             R"(,"op":"analyze","tenant":"acme"})" "\n";
+  }
+  // A different tenant has its own bucket and must not be throttled by
+  // acme's burst.
+  burst += R"({"id":10,"op":"analyze","tenant":"zed"})" "\n";
+  ASSERT_TRUE(client.Send(burst));
+
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 0);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_EQ(IdOf(response), i);
+    EXPECT_NE(response.find("quota_exceeded"), std::string::npos);
+    EXPECT_NE(response.find("acme"), std::string::npos);
+  }
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 10);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
+
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"stats"})"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("server_tenant_rejected_total"), std::string::npos);
+  server.Stop();
+  EXPECT_EQ(server.CounterValue("server_tenant_rejected_total"), 2u);
+}
+
+TEST(TcpServer, ConnectionCapRejectsTheOverflow) {
+  TcpServerOptions options;
+  options.max_connections = 1;
+  TestServer server(options);
+  Client first(server.port());
+  ASSERT_TRUE(first.connected());
+  // The first connection must be established server-side before the second
+  // arrives, or the kernel may queue both before a single Accept() pass.
+  std::string response;
+  ASSERT_TRUE(first.SendLine(R"({"id":1,"op":"analyze"})"));
+  ASSERT_TRUE(first.ReadLine(&response));
+
+  Client second(server.port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.ReadLine(&response));
+  EXPECT_NE(response.find("max_connections"), std::string::npos);
+  EXPECT_TRUE(second.WaitForEof());
+
+  // The first connection keeps working.
+  ASSERT_TRUE(first.SendLine(R"({"id":2,"op":"analyze"})"));
+  ASSERT_TRUE(first.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 2);
+  server.Stop();
+  EXPECT_GE(server.CounterValue("server_connections_rejected_total"), 1u);
+}
+
+TEST(TcpServer, StatsCommandAnswersInStream) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"id":1,"op":"analyze"})"));
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"stats"})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 1);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"stats\""), std::string::npos);
+  // The pipelined stats line reflects the request submitted before it and
+  // carries the server's own counters.
+  EXPECT_NE(response.find("\"requests\":1"), std::string::npos);
+  EXPECT_NE(response.find("server_connections_active"), std::string::npos);
+}
+
+TEST(TcpServer, DrainPersistsSnapshotAndRestartRestoresIt) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "server_drain_memo.snap";
+  std::remove(path.c_str());
+  prob::MemoCache::Global().Clear();
+
+  TcpServerOptions options;
+  options.memo_snapshot_path = path;
+  {
+    TestServer server(options);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(
+        client.SendLine(R"({"id":1,"op":"analyze","params":{"nodes":73}})"));
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_NE(response.find("\"result\""), std::string::npos);
+  }  // drain writes the snapshot
+
+  const prob::MemoCacheStats cold = prob::MemoCache::Global().Stats();
+  ASSERT_GT(cold.entries, 0u);
+  prob::MemoCache::Global().Clear();
+
+  {
+    TestServer server(options);  // Start() loads the snapshot
+    const prob::MemoCacheStats restored = prob::MemoCache::Global().Stats();
+    EXPECT_EQ(restored.restored, cold.entries);
+    EXPECT_GT(restored.snapshot_entries, 0u);
+
+    // The same scenario now solves entirely from restored memo entries.
+    const prob::MemoCacheStats before = prob::MemoCache::Global().Stats();
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(
+        client.SendLine(R"({"id":2,"op":"analyze","params":{"nodes":73}})"));
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_NE(response.find("\"result\""), std::string::npos);
+    const prob::MemoCacheStats after = prob::MemoCache::Global().Stats();
+    EXPECT_EQ(after.misses - before.misses, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TokenBucket, RefillsAtTheConfiguredRate) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/2.0);
+  std::int64_t now = 0;
+  EXPECT_TRUE(bucket.TryAcquire(now));  // starts full: 2 tokens
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+  now += 100'000'000;  // 100ms at 10/s = 1 token
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+  now += 10'000'000'000;  // a long pause refills to burst, not beyond
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+TEST(TenantGovernor, DisabledWhenQpsIsZero) {
+  TenantGovernor governor(/*qps=*/0.0, /*burst=*/0.0);
+  EXPECT_FALSE(governor.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(governor.Admit("anyone", i));
+  }
+}
+
+TEST(TenantGovernor, TenantsHaveIndependentBuckets) {
+  TenantGovernor governor(/*qps=*/1.0, /*burst=*/1.0);
+  ASSERT_TRUE(governor.enabled());
+  EXPECT_TRUE(governor.Admit("a", 0));
+  EXPECT_FALSE(governor.Admit("a", 0));
+  EXPECT_TRUE(governor.Admit("b", 0));  // unaffected by a's exhaustion
+}
+
+}  // namespace
+}  // namespace sparsedet::server
