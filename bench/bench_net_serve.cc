@@ -12,15 +12,21 @@
 //     snapshot) and a full memo Clear(), a restarted server must answer a
 //     first batch of repeat scenarios with zero memo misses.
 //
+// Phase 1 also scrapes the out-of-band admin plane (/metrics, /healthz,
+// /statusz, /tracez) continuously while the data plane is saturated;
+// every scrape must answer 200 with a non-empty body, and /metrics must
+// carry the server latency split and the SLO burn-rate gauges.
+//
 // Output ends with one "BENCH_JSON {...}" line (throughput, p50/p99,
-// identity + warm-start verdicts) that CI collects into the BENCH_PR6.json
-// perf-trajectory artifact. Exits non-zero when either guarantee fails.
+// identity + warm-start + admin-scrape verdicts) that CI collects into
+// the perf-trajectory artifact. Exits non-zero when any guarantee fails.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -131,7 +137,37 @@ engine::EngineOptions MakeEngineOptions() {
   options.cache_capacity = 4096;
   options.solver_threads = 1;
   options.memo_cache_entries = 4096;
+  // SLO tracking on, so the admin scrape below sees the burn-rate gauges
+  // under load (the gauges never touch response bytes, so phase 2's
+  // byte-identity check is unaffected).
+  options.slo.availability = 0.999;
+  options.slo.p99_ms = 30'000;
   return options;
+}
+
+// One admin-plane scrape: blocking HTTP GET against the admin port.
+// Returns the response body; empty on connect failure, read failure or a
+// non-200 status.
+std::string AdminGet(int port, const std::string& path) {
+  const int fd = ConnectTo(port);
+  if (fd < 0) return "";
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+  if (!framing::WriteAllFd(fd, request.data(), request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string raw;
+  char buf[1 << 14];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 200", 0) != 0) return "";
+  const std::size_t split = raw.find("\r\n\r\n");
+  return split == std::string::npos ? "" : raw.substr(split + 4);
 }
 
 double Quantile(std::vector<double>& sorted, double q) {
@@ -177,17 +213,44 @@ int main(int argc, char** argv) {
 
   prob::MemoCache::Global().Clear();
 
-  // --- Phase 1: cold serve under concurrent pipelined load. -------------
+  // --- Phase 1: cold serve under concurrent pipelined load, with the
+  // admin plane scraped out-of-band the whole time. ----------------------
   server::TcpServerOptions sopts;
   sopts.memo_snapshot_path = snapshot_path;
   sopts.max_connections = kConnections + 4;
+  sopts.admin_port = 0;
   double seconds = 0.0;
   std::vector<ClientResult> results(kConnections);
+  std::uint64_t admin_scrapes = 0;
+  std::uint64_t admin_scrape_failures = 0;
   {
     engine::BatchEngine batch_engine(MakeEngineOptions());
     server::TcpServer server(batch_engine, sopts);
     server.Start();
     std::thread loop([&] { server.Run(); });
+
+    // Rotates through the four endpoints while the data plane is
+    // saturated; every scrape must come back 200 with a non-empty body,
+    // and /metrics must carry the latency split and the SLO gauges.
+    std::atomic<bool> stop_scraper{false};
+    std::thread scraper([&, admin_port = server.admin_port()] {
+      const std::string paths[] = {"/metrics", "/healthz", "/statusz",
+                                   "/tracez"};
+      for (std::uint64_t i = 0; !stop_scraper.load(std::memory_order_relaxed);
+           ++i) {
+        const std::string& path = paths[i % 4];
+        const std::string body = AdminGet(admin_port, path);
+        ++admin_scrapes;
+        const bool ok =
+            !body.empty() &&
+            (path != "/metrics" ||
+             (body.find("server_request_us_bucket") != std::string::npos &&
+              body.find("server_queue_wait_us_bucket") != std::string::npos &&
+              body.find("slo_burn_rate") != std::string::npos));
+        if (!ok) ++admin_scrape_failures;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
 
     Stopwatch watch;
     std::vector<std::thread> clients;
@@ -199,8 +262,14 @@ int main(int argc, char** argv) {
     for (std::thread& t : clients) t.join();
     seconds = bench::LapSeconds(watch);
 
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
     server.RequestDrain();  // drains in-flight work, writes the snapshot
     loop.join();
+  }
+  if (admin_scrapes == 0 || admin_scrape_failures != 0) {
+    std::cerr << "FAIL: admin plane under load: " << admin_scrape_failures
+              << " failed scrapes of " << admin_scrapes << "\n";
   }
 
   std::vector<double> latencies;
@@ -305,6 +374,9 @@ int main(int argc, char** argv) {
       .Set("p50_us", p50_us)
       .Set("p99_us", p99_us)
       .Set("byte_identical_vs_stdio", identical)
+      .Set("admin_scrapes", static_cast<std::int64_t>(admin_scrapes))
+      .Set("admin_scrape_failures",
+           static_cast<std::int64_t>(admin_scrape_failures))
       .Set("memo_entries_after_cold",
            static_cast<std::int64_t>(cold_stats.entries))
       .Set("snapshot_restored_entries", static_cast<std::int64_t>(restored))
@@ -312,5 +384,8 @@ int main(int argc, char** argv) {
       .Set("warm_first_batch_seconds", warm_seconds);
   std::cout << "BENCH_JSON " << bench_json.ToString() << "\n";
 
-  return (identical && warm_misses == 0) ? 0 : 1;
+  return (identical && warm_misses == 0 && admin_scrapes > 0 &&
+          admin_scrape_failures == 0)
+             ? 0
+             : 1;
 }

@@ -19,6 +19,7 @@
 #include "core/latency.h"
 #include "core/ms_approach.h"
 #include "engine/engine.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "sim/trace_io.h"
 #include "detect/system_fa.h"
@@ -100,7 +101,31 @@ engine::EngineOptions ParseEngineOptions(FlagParser& flags) {
       "watchdog-stuck-ms", 0, "cancel units stuck longer (0 = off)");
   options.fault_config = flags.GetString(
       "fault-inject", "", "FaultInjector JSON config (testing)");
+  options.slo.availability = flags.GetDouble(
+      "slo-availability", 0.0,
+      "availability objective, e.g. 0.999 (0 = no availability SLO)");
+  options.slo.p99_ms = flags.GetInt(
+      "slo-p99-ms", 0, "p99 latency objective in ms (0 = no latency SLO)");
+  options.slo.window_s = flags.GetInt(
+      "slo-window-s", 300, "rolling SLO window in seconds");
   return options;
+}
+
+// Structured-log flags shared by the long-running front-ends. Configures
+// the process-wide logger; with no flags given this re-applies the
+// defaults (stderr, info, 50 lines per event per second).
+void ConfigureLogging(FlagParser& flags) {
+  obs::LogOptions log;
+  log.path = flags.GetString(
+      "log-file", "", "structured JSONL log file (empty = stderr)");
+  const std::string level = flags.GetString(
+      "log-level", "info", "minimum log level: debug|info|warn|error");
+  SPARSEDET_REQUIRE(obs::ParseLogLevel(level, &log.min_level),
+                    "--log-level must be debug, info, warn or error");
+  log.max_per_key_per_sec = static_cast<std::uint64_t>(flags.GetInt(
+      "log-rate-limit", 50,
+      "max lines per (component, event) per second (0 = unlimited)"));
+  obs::StructuredLog::Global().Configure(log);
 }
 
 // SIGTERM/SIGINT target for serve-tcp. RequestDrain() is async-signal-safe
@@ -506,6 +531,13 @@ int CmdServeTcp(const std::vector<std::string>& args, std::ostream& out,
     sopts.memo_snapshot_path = flags.GetString(
         "memo-snapshot", "",
         "memo-cache snapshot file: load on start, save on drain");
+    sopts.admin_port = flags.GetInt(
+        "admin-port", -1,
+        "admin HTTP port for /metrics /healthz /statusz /tracez "
+        "(-1 = off, 0 = ephemeral)");
+    sopts.admin_host =
+        flags.GetString("admin-host", "127.0.0.1", "admin listen address");
+    ConfigureLogging(flags);
     const bool stats = flags.GetBool(
         "stats", true, "emit a final {\"stats\":...} line after drain");
     flags.Finish();
@@ -519,7 +551,11 @@ int CmdServeTcp(const std::vector<std::string>& args, std::ostream& out,
     std::signal(SIGINT, HandleDrainSignal);
     server.Start();
     out << "{\"listening\":{\"host\":\"" << sopts.host
-        << "\",\"port\":" << server.port() << "}}" << std::endl;
+        << "\",\"port\":" << server.port();
+    if (server.admin_port() >= 0) {
+      out << ",\"admin_port\":" << server.admin_port();
+    }
+    out << "}}" << std::endl;
     server.Run();
     std::signal(SIGTERM, SIG_DFL);
     std::signal(SIGINT, SIG_DFL);
@@ -630,6 +666,11 @@ std::string Usage() {
       "--memo-cache-entries --stats --trace --trace-file\n"
       "serve-tcp: serve flags plus --host --port --max-connections\n"
       "  --tenant-qps --tenant-burst --idle-timeout-ms --memo-snapshot\n"
+      "  --admin-port --admin-host (HTTP /metrics /healthz /statusz "
+      "/tracez)\n"
+      "  --log-file --log-level --log-rate-limit (structured JSONL log)\n"
+      "batch/serve/serve-tcp SLO flags: --slo-availability --slo-p99-ms "
+      "--slo-window-s\n"
       "metrics-dump: --input --format\n"
       "(batch/serve request schema: docs/ENGINE.md; TCP serving: "
       "docs/SERVING.md;\n metrics + spans: docs/OBSERVABILITY.md)\n";

@@ -1,0 +1,11 @@
+// Build identity surfaced by /statusz and `sparsedet --version`-style
+// output. Bump the version when the wire protocol or response schema
+// changes shape.
+#pragma once
+
+namespace sparsedet {
+
+inline constexpr const char* kVersion = "1.0.0";
+inline constexpr const char* kBuildName = "sparsedet";
+
+}  // namespace sparsedet

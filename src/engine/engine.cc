@@ -36,6 +36,7 @@ struct BatchEngine::PendingUnit {
 struct BatchEngine::PendingRequest {
   JsonValue id;  // echoed in the response; defaults to the line number
   int line = 0;
+  std::int64_t planned_ns = 0;  // plan-time stamp; end-to-end latency base
   std::string parse_error;  // nonempty: request never got units
   std::string plan_error_code;  // structured code for plan-time rejections
   Request request;
@@ -132,9 +133,13 @@ BatchEngine::BatchEngine(const EngineOptions& options)
       prev_solver_threads_(SetSolverThreads(options.solver_threads)),
       metrics_(registry_),
       cache_(options.cache_capacity, registry_),
-      pool_(MakePoolOptions(options, metrics_)) {
+      pool_(MakePoolOptions(options, metrics_)),
+      trace_ring_(options.trace_ring_capacity) {
   prev_memo_capacity_ = prob::MemoCache::Global().capacity();
   prob::MemoCache::Global().SetCapacity(options_.memo_cache_entries);
+  if (options_.slo.enabled()) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo, &registry_);
+  }
   if (!options_.fault_config.empty()) {
     injector_ = std::make_unique<resilience::FaultInjector>(
         resilience::ParseFaultInjectorConfig(options_.fault_config),
@@ -185,7 +190,36 @@ obs::RegistrySnapshot BatchEngine::MetricsSnapshot() const {
       memo.snapshot_loaded_unix_ms > 0
           ? NowUnixMillis() - memo.snapshot_loaded_unix_ms
           : 0);
+  if (slo_ != nullptr) slo_->Publish(obs::NowNanos());
   return registry_.Snapshot();
+}
+
+JsonValue BatchEngine::OptionsJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("threads", static_cast<std::int64_t>(pool_.thread_count()))
+      .Set("solver_threads",
+           static_cast<std::int64_t>(options_.solver_threads))
+      .Set("cache_capacity",
+           static_cast<std::int64_t>(options_.cache_capacity))
+      .Set("memo_cache_entries",
+           static_cast<std::int64_t>(options_.memo_cache_entries))
+      .Set("unordered", options_.unordered)
+      .Set("trace", options_.trace)
+      .Set("max_queue", static_cast<std::int64_t>(options_.max_queue))
+      .Set("max_line_bytes",
+           static_cast<std::int64_t>(options_.max_line_bytes))
+      .Set("max_json_depth", options_.max_json_depth)
+      .Set("watchdog_stuck_ms", options_.watchdog_stuck_ms)
+      .Set("retry_max", options_.retry.max_attempts)
+      .Set("trace_ring_capacity",
+           static_cast<std::int64_t>(options_.trace_ring_capacity));
+  JsonValue slo = JsonValue::Object();
+  slo.Set("enabled", options_.slo.enabled())
+      .Set("availability", options_.slo.availability)
+      .Set("p99_ms", options_.slo.p99_ms)
+      .Set("window_s", options_.slo.window_s);
+  json.Set("slo", std::move(slo));
+  return json;
 }
 
 JsonValue BatchEngine::StatsSnapshotJson() const {
@@ -231,6 +265,7 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
   auto pending = std::make_unique<PendingRequest>();
   pending->line = line_number;
   pending->id = JsonValue(line_number);
+  pending->planned_ns = obs::NowNanos();
   pending->span.trace_id = next_trace_id_++;
   pending->span.line = line_number;
   metrics_.requests->Inc();
@@ -330,6 +365,7 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::RejectedLine(
   auto pending = std::make_unique<PendingRequest>();
   pending->line = line_number;
   pending->id = JsonValue(line_number);
+  pending->planned_ns = obs::NowNanos();
   pending->span.trace_id = next_trace_id_++;
   pending->span.line = line_number;
   pending->span.outcome = code;
@@ -618,6 +654,32 @@ std::string BatchEngine::RenderRequest(PendingRequest& request) {
   if (trace_out_.is_open()) {
     trace_out_ << span.ToFileJson().ToString() << "\n";
     trace_out_.flush();
+  }
+
+  // Observability fan-out: every rendered request lands in the /tracez
+  // ring, the SLO window (when configured), and the front-end's hook.
+  // None of these touch `text`, so the output stream stays byte-identical.
+  {
+    const std::int64_t done_ns = obs::NowNanos();
+    obs::CompletedSpan completed;
+    completed.trace_id = span.trace_id;
+    completed.id = request.id.is_string() ? request.id.AsString()
+                                          : request.id.ToString();
+    completed.op = span.op;
+    completed.ok = response.Find("error") == nullptr;
+    if (!completed.ok) {
+      if (const JsonValue* code = response.Find("error_code")) {
+        completed.error_code = code->AsString();
+      }
+    }
+    completed.queue_wait_ns = span.queue_wait_ns;
+    completed.solve_ns = span.solve_ns;
+    completed.total_ns = done_ns - request.planned_ns;
+    trace_ring_.Record(completed);
+    if (slo_ != nullptr) {
+      slo_->Record(completed.ok, completed.total_ns, done_ns);
+    }
+    if (completion_hook_) completion_hook_(completed);
   }
   return text;
 }

@@ -47,7 +47,9 @@
 #include "engine/request.h"
 #include "engine/worker_pool.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/span.h"
+#include "obs/tracez.h"
 #include "resilience/cancel.h"
 #include "resilience/fault_injection.h"
 #include "resilience/retry.h"
@@ -81,6 +83,14 @@ struct EngineOptions {
   resilience::RetryPolicy retry;  // transient-fault retry schedule
   std::int64_t watchdog_stuck_ms = 0;  // cancel units stuck longer; 0 = off
   std::string fault_config;  // FaultInjector JSON (testing); "" = disabled
+
+  // SLO objectives ("--slo-availability" / "--slo-p99-ms"). Disabled by
+  // default; when enabled the tracker's gauges join the registry, so the
+  // default-registry snapshot — and the determinism contract around it —
+  // is untouched for existing invocations.
+  obs::SloOptions slo;
+  // Capacity of the completed-span ring behind /tracez.
+  std::size_t trace_ring_capacity = obs::TraceRing::kDefaultCapacity;
 };
 
 // Deterministic counter snapshot; the shape of the final stats line.
@@ -174,6 +184,23 @@ class BatchEngine {
   // counters (connections, tenants, drain) alongside the engine's.
   obs::MetricsRegistry& registry() { return registry_; }
 
+  // The completed-span ring behind the admin plane's /tracez. Always
+  // recording (it never touches the output stream or the registry).
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
+  // The SLO tracker, or null unless options.slo enabled one.
+  obs::SloTracker* slo() { return slo_.get(); }
+
+  // Called at the end of every rendered request (the emitter thread in
+  // async mode, the coordinator in the sync paths) with the request's
+  // flattened span. Install before traffic starts; the hook must not
+  // block or re-enter the engine. Front-ends use it to feed their own
+  // histograms (server_queue_wait_us / server_solve_us).
+  using CompletionHook = std::function<void(const obs::CompletedSpan&)>;
+  void SetCompletionHook(CompletionHook hook) { completion_hook_ = std::move(hook); }
+
+  // Effective engine configuration as JSON, for /statusz.
+  JsonValue OptionsJson() const;
+
   // ---- Out-of-band submission (the TCP front-end) ----
   //
   // The async API decouples planning from emission so many connections can
@@ -262,6 +289,9 @@ class BatchEngine {
   WorkerPool pool_;
   std::ofstream trace_out_;
   std::uint64_t next_trace_id_ = 1;
+  obs::TraceRing trace_ring_;
+  std::unique_ptr<obs::SloTracker> slo_;  // null unless options.slo enabled
+  CompletionHook completion_hook_;        // set before traffic, or never
 
   // Units planned but not yet handed to emission, keyed by canonical key;
   // identical units join the same slot instead of recomputing.

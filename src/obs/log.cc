@@ -1,0 +1,163 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/error.h"
+
+namespace sparsedet::obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+StructuredLog::StructuredLog() = default;
+
+StructuredLog::~StructuredLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StructuredLog& StructuredLog::Global() {
+  static StructuredLog* instance = new StructuredLog();
+  return *instance;
+}
+
+void StructuredLog::Configure(const LogOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::FILE* next = nullptr;
+  if (!options.path.empty()) {
+    next = std::fopen(options.path.c_str(), "w");
+    SPARSEDET_REQUIRE(next != nullptr,
+                      "cannot open --log-file " + options.path);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = next;
+  options_ = options;
+  budgets_.clear();
+}
+
+void StructuredLog::SetClockForTest(std::function<std::int64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+std::int64_t StructuredLog::NowMillisLocked() {
+  std::int64_t now =
+      clock_ ? clock_()
+             : std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+  // A stepped-back wall clock must not make the transcript non-monotone.
+  if (now < last_ts_ms_) now = last_ts_ms_;
+  last_ts_ms_ = now;
+  return now;
+}
+
+void StructuredLog::Write(LogLevel level, std::string_view component,
+                          std::string_view event, JsonValue fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(level) < static_cast<int>(options_.min_level)) return;
+
+  const std::int64_t ts_ms = NowMillisLocked();
+  std::uint64_t resumed_after = 0;
+  if (options_.max_per_key_per_sec > 0) {
+    std::string key;
+    key.reserve(component.size() + 1 + event.size());
+    key.append(component).push_back('/');
+    key.append(event);
+    KeyBudget& budget = budgets_[std::move(key)];
+    const std::int64_t second = ts_ms / 1000;
+    if (budget.second != second) {
+      budget.second = second;
+      budget.emitted = 0;
+    }
+    if (budget.emitted >= options_.max_per_key_per_sec) {
+      ++budget.suppressed;
+      ++suppressed_total_;
+      return;
+    }
+    ++budget.emitted;
+    resumed_after = budget.suppressed;
+    budget.suppressed = 0;
+  }
+
+  JsonValue line = JsonValue::Object();
+  line.Set("ts_ms", ts_ms)
+      .Set("seq", static_cast<std::int64_t>(seq_++))
+      .Set("level", LogLevelName(level))
+      .Set("component", std::string(component))
+      .Set("event", std::string(event));
+  if (resumed_after > 0) {
+    line.Set("suppressed", static_cast<std::int64_t>(resumed_after));
+  }
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.Fields()) line.Set(key, value);
+  }
+  const std::string text = line.ToString() + "\n";
+  std::FILE* sink = file_ != nullptr ? file_ : stderr;
+  std::fwrite(text.data(), 1, text.size(), sink);
+  std::fflush(sink);
+  ++written_;
+}
+
+std::uint64_t StructuredLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+std::uint64_t StructuredLog::lines_suppressed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_total_;
+}
+
+void LogDebug(std::string_view component, std::string_view event,
+              JsonValue fields) {
+  StructuredLog::Global().Write(LogLevel::kDebug, component, event,
+                                std::move(fields));
+}
+
+void LogInfo(std::string_view component, std::string_view event,
+             JsonValue fields) {
+  StructuredLog::Global().Write(LogLevel::kInfo, component, event,
+                                std::move(fields));
+}
+
+void LogWarn(std::string_view component, std::string_view event,
+             JsonValue fields) {
+  StructuredLog::Global().Write(LogLevel::kWarn, component, event,
+                                std::move(fields));
+}
+
+void LogError(std::string_view component, std::string_view event,
+              JsonValue fields) {
+  StructuredLog::Global().Write(LogLevel::kError, component, event,
+                                std::move(fields));
+}
+
+}  // namespace sparsedet::obs

@@ -100,6 +100,12 @@ std::vector<std::int64_t> DefaultLatencyBoundsNs() {
           1'000'000'000,  5'000'000'000, 10'000'000'000};
 }
 
+std::vector<std::int64_t> DefaultLatencyBoundsUs() {
+  std::vector<std::int64_t> bounds = DefaultLatencyBoundsNs();
+  for (std::int64_t& b : bounds) b /= 1'000;
+  return bounds;
+}
+
 const char* PhaseName(Phase phase) {
   switch (phase) {
     case Phase::kQueueWait:
@@ -293,8 +299,6 @@ void EmitTypeLineOnce(std::ostream& os, std::string& last_typed,
   last_typed = name;
 }
 
-std::string NumToString(double d) { return JsonValue(d).ToString(); }
-
 }  // namespace
 
 JsonValue RegistrySnapshot::ToJson() const {
@@ -319,8 +323,12 @@ JsonValue RegistrySnapshot::ToJson() const {
     JsonValue le = JsonValue::Array();
     for (std::int64_t bound : h.histogram.bounds) le.Append(bound);
     JsonValue bucket_counts = JsonValue::Array();
+    JsonValue cumulative_counts = JsonValue::Array();
+    std::uint64_t running = 0;
     for (std::uint64_t c : h.histogram.counts) {
       bucket_counts.Append(static_cast<std::int64_t>(c));
+      running += c;
+      cumulative_counts.Append(static_cast<std::int64_t>(running));
     }
     JsonValue entry = JsonValue::Object();
     entry.Set("name", h.name)
@@ -331,7 +339,8 @@ JsonValue RegistrySnapshot::ToJson() const {
         .Set("p90_ns", h.histogram.Quantile(0.9))
         .Set("p99_ns", h.histogram.Quantile(0.99))
         .Set("le", std::move(le))
-        .Set("bucket_counts", std::move(bucket_counts));
+        .Set("bucket_counts", std::move(bucket_counts))
+        .Set("cumulative_counts", std::move(cumulative_counts));
     histograms_json.Append(std::move(entry));
   }
   JsonValue json = JsonValue::Object();
@@ -396,10 +405,11 @@ std::string RegistrySnapshot::ToPrometheus() const {
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.histogram.counts.size(); ++i) {
       cumulative += h.histogram.counts[i];
-      const std::string le =
-          i < h.histogram.bounds.size()
-              ? NumToString(static_cast<double>(h.histogram.bounds[i]))
-              : "+Inf";
+      // Bounds are integral; render them without scientific notation so
+      // scrapers see le="10000000000", not le="1e+10".
+      const std::string le = i < h.histogram.bounds.size()
+                                 ? std::to_string(h.histogram.bounds[i])
+                                 : "+Inf";
       os << h.name << "_bucket" << RenderLabelsWith(h.labels, "le", le)
          << ' ' << cumulative << '\n';
     }

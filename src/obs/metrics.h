@@ -119,6 +119,10 @@ class Histogram {
 // every latency histogram in this codebase.
 std::vector<std::int64_t> DefaultLatencyBoundsNs();
 
+// The same shape in microseconds (1us .. 10s), for the server-side
+// end-to-end histograms whose values are recorded in us.
+std::vector<std::int64_t> DefaultLatencyBoundsUs();
+
 // The profiled phases. Engine phases first, then the solver stages the
 // paper's S-vs-M-S timing comparison (Section 5) attributes cost to.
 enum class Phase {
@@ -162,8 +166,12 @@ struct RegistrySnapshot {
   std::vector<HistogramValue> histograms;
 
   // {"counters": [{"name", "labels", "value"}, ...], "gauges": [...],
-  //  "histograms": [{..., "le", "bucket_counts", "count", "sum_ns",
-  //                  "p50_ns", "p90_ns", "p99_ns"}, ...]}
+  //  "histograms": [{..., "le", "bucket_counts", "cumulative_counts",
+  //                  "count", "sum_ns", "p50_ns", "p90_ns", "p99_ns"}, ...]}
+  // `cumulative_counts[i]` is the Prometheus-style running total of
+  // observations <= le[i] (last entry = +Inf = count); it is derived from
+  // `bucket_counts` and ignored by FromJson, so the two expositions can
+  // never disagree.
   JsonValue ToJson() const;
   // Inverse of ToJson (quantiles are recomputed from the buckets). Throws
   // InvalidArgument on malformed input.

@@ -1,0 +1,122 @@
+#include "obs/slo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet::obs {
+
+SloTracker::SloTracker(const SloOptions& options, MetricsRegistry* registry)
+    : options_(options) {
+  SPARSEDET_REQUIRE(options_.window_s > 0, "--slo-window-s must be positive");
+  SPARSEDET_REQUIRE(options_.availability >= 0.0 &&
+                        options_.availability < 1.0,
+                    "--slo-availability must be in [0, 1)");
+  SPARSEDET_REQUIRE(options_.p99_ms >= 0, "--slo-p99-ms must be >= 0");
+  buckets_.resize(static_cast<std::size_t>(options_.window_s));
+  if (registry == nullptr) return;
+  if (options_.availability > 0.0) {
+    availability_burn_gauge_ =
+        &registry->gauge("slo_burn_rate", {{"slo", "availability"}});
+    availability_budget_gauge_ = &registry->gauge(
+        "slo_error_budget_remaining_ppm", {{"slo", "availability"}});
+  }
+  if (options_.p99_ms > 0) {
+    latency_burn_gauge_ =
+        &registry->gauge("slo_burn_rate", {{"slo", "latency_p99"}});
+    latency_budget_gauge_ = &registry->gauge(
+        "slo_error_budget_remaining_ppm", {{"slo", "latency_p99"}});
+  }
+  window_requests_gauge_ = &registry->gauge("slo_window_requests");
+  window_errors_gauge_ = &registry->gauge("slo_window_errors");
+  window_slow_gauge_ = &registry->gauge("slo_window_slow");
+}
+
+void SloTracker::Record(bool ok, std::int64_t latency_ns,
+                        std::int64_t now_ns) {
+  const std::int64_t second = now_ns / 1'000'000'000;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket =
+      buckets_[static_cast<std::size_t>(second % options_.window_s)];
+  if (bucket.second != second) {
+    bucket = Bucket{};
+    bucket.second = second;
+  }
+  ++bucket.requests;
+  if (!ok) ++bucket.errors;
+  if (options_.p99_ms > 0 && latency_ns > options_.p99_ms * 1'000'000) {
+    ++bucket.slow;
+  }
+}
+
+SloTracker::Window SloTracker::SnapshotLocked(std::int64_t now_ns) const {
+  const std::int64_t second = now_ns / 1'000'000'000;
+  Window window;
+  for (const Bucket& bucket : buckets_) {
+    // A live bucket covers one of the last window_s seconds; anything
+    // older is a stale slot awaiting reuse.
+    if (bucket.second < 0 || bucket.second > second ||
+        bucket.second <= second - options_.window_s) {
+      continue;
+    }
+    window.requests += bucket.requests;
+    window.errors += bucket.errors;
+    window.slow += bucket.slow;
+  }
+  if (window.requests > 0) {
+    const double total = static_cast<double>(window.requests);
+    if (options_.availability > 0.0) {
+      window.availability_burn =
+          (static_cast<double>(window.errors) / total) /
+          (1.0 - options_.availability);
+    }
+    if (options_.p99_ms > 0) {
+      window.latency_burn =
+          (static_cast<double>(window.slow) / total) / 0.01;
+    }
+  }
+  return window;
+}
+
+SloTracker::Window SloTracker::Snapshot(std::int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SnapshotLocked(now_ns);
+}
+
+void SloTracker::Publish(std::int64_t now_ns) {
+  if (window_requests_gauge_ == nullptr) return;
+  const Window window = Snapshot(now_ns);
+  auto milli = [](double x) {
+    return static_cast<std::int64_t>(std::llround(x * 1'000.0));
+  };
+  auto budget_ppm = [](double burn) {
+    return static_cast<std::int64_t>(std::llround((1.0 - burn) * 1e6));
+  };
+  if (availability_burn_gauge_ != nullptr) {
+    availability_burn_gauge_->Set(milli(window.availability_burn));
+    availability_budget_gauge_->Set(budget_ppm(window.availability_burn));
+  }
+  if (latency_burn_gauge_ != nullptr) {
+    latency_burn_gauge_->Set(milli(window.latency_burn));
+    latency_budget_gauge_->Set(budget_ppm(window.latency_burn));
+  }
+  window_requests_gauge_->Set(static_cast<std::int64_t>(window.requests));
+  window_errors_gauge_->Set(static_cast<std::int64_t>(window.errors));
+  window_slow_gauge_->Set(static_cast<std::int64_t>(window.slow));
+}
+
+JsonValue SloTracker::StatusJson(std::int64_t now_ns) const {
+  const Window window = Snapshot(now_ns);
+  JsonValue json = JsonValue::Object();
+  json.Set("availability", options_.availability)
+      .Set("p99_ms", options_.p99_ms)
+      .Set("window_s", options_.window_s)
+      .Set("requests", static_cast<std::int64_t>(window.requests))
+      .Set("errors", static_cast<std::int64_t>(window.errors))
+      .Set("slow", static_cast<std::int64_t>(window.slow))
+      .Set("availability_burn", window.availability_burn)
+      .Set("latency_burn", window.latency_burn);
+  return json;
+}
+
+}  // namespace sparsedet::obs

@@ -1,0 +1,114 @@
+// Rolling-window SLO tracking: availability and tail-latency objectives
+// with Prometheus-style error-budget and burn-rate gauges.
+//
+// The tracker keeps one bucket per wall-clock second over a configurable
+// window (default 5 minutes) and folds every completed request into the
+// bucket for its completion second. From the window it derives, per
+// objective:
+//
+//   burn rate       = (bad fraction observed) / (bad fraction allowed)
+//                     — 1.0 means the error budget is being consumed at
+//                     exactly the sustainable pace; 10.0 means the whole
+//                     budget would be gone in window/10;
+//   budget remaining = 1 - burn, i.e. the fraction of the window's budget
+//                     still unspent (negative when the objective is
+//                     already violated over the window).
+//
+// For `--slo-availability A`, the allowed bad fraction is (1 - A) and a
+// request is bad when it completed with an error. For `--slo-p99-ms L`,
+// the allowed bad fraction is 0.01 (it is a p99 objective) and a request
+// is bad when it took longer than L milliseconds.
+//
+// Because the registry's Gauge is integral, burn rates are published in
+// milli-units (burn x1000) and budgets in ppm:
+//
+//   slo_burn_rate{slo="availability"}               round(burn * 1000)
+//   slo_burn_rate{slo="latency_p99"}                round(burn * 1000)
+//   slo_error_budget_remaining_ppm{slo=...}         round((1-burn) * 1e6)
+//   slo_window_requests / slo_window_errors / slo_window_slow
+//
+// Record() is mutex-guarded (one cheap fold per completed request, far off
+// the solver hot path); Publish() recomputes the window sums and stores
+// the gauges, and is called from the engine's stats/metrics snapshot path
+// so /metrics and {"cmd":"stats"} always expose fresh values.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace sparsedet::obs {
+
+struct SloOptions {
+  // Availability objective in (0, 1), e.g. 0.999; 0 disables the
+  // availability SLO.
+  double availability = 0.0;
+  // p99 latency objective in milliseconds; 0 disables the latency SLO.
+  std::int64_t p99_ms = 0;
+  // Rolling window length in seconds.
+  std::int64_t window_s = 300;
+
+  bool enabled() const { return availability > 0.0 || p99_ms > 0; }
+};
+
+class SloTracker {
+ public:
+  // `registry` may be null (tests that only exercise the math); when set,
+  // the gauges above are registered immediately so they appear in every
+  // snapshot from the first scrape on.
+  SloTracker(const SloOptions& options, MetricsRegistry* registry);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Folds one completed request into the bucket for `now_ns / 1e9`.
+  void Record(bool ok, std::int64_t latency_ns, std::int64_t now_ns);
+
+  // Window sums + derived rates at `now_ns`. Burn rates are 0 over an
+  // empty window (no traffic consumes no budget).
+  struct Window {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slow = 0;
+    double availability_burn = 0.0;
+    double latency_burn = 0.0;
+  };
+  Window Snapshot(std::int64_t now_ns) const;
+
+  // Recomputes the window and stores every gauge. No-op without a
+  // registry.
+  void Publish(std::int64_t now_ns);
+
+  // {"availability":..,"p99_ms":..,"window_s":..,"requests":..,
+  //  "errors":..,"slow":..,"availability_burn":..,"latency_burn":..}
+  JsonValue StatusJson(std::int64_t now_ns) const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::int64_t second = -1;  // wall second this bucket currently covers
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slow = 0;
+  };
+  Window SnapshotLocked(std::int64_t now_ns) const;
+
+  const SloOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Bucket> buckets_;  // ring keyed by second % window_s
+
+  // Registered gauges; null without a registry.
+  Gauge* availability_burn_gauge_ = nullptr;
+  Gauge* latency_burn_gauge_ = nullptr;
+  Gauge* availability_budget_gauge_ = nullptr;
+  Gauge* latency_budget_gauge_ = nullptr;
+  Gauge* window_requests_gauge_ = nullptr;
+  Gauge* window_errors_gauge_ = nullptr;
+  Gauge* window_slow_gauge_ = nullptr;
+};
+
+}  // namespace sparsedet::obs

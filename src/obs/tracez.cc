@@ -1,0 +1,88 @@
+#include "obs/tracez.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sparsedet::obs {
+
+JsonValue CompletedSpan::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("trace_id", static_cast<std::int64_t>(trace_id))
+      .Set("id", id)
+      .Set("op", op)
+      .Set("ok", ok);
+  if (!error_code.empty()) json.Set("error_code", error_code);
+  json.Set("queue_wait_ns", queue_wait_ns)
+      .Set("solve_ns", solve_ns)
+      .Set("total_ns", total_ns);
+  return json;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  recent_.reserve(capacity_);
+  slowest_.reserve(capacity_ + 1);
+}
+
+void TraceRing::Record(CompletedSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (recent_.size() < capacity_) {
+    recent_.push_back(span);
+  } else {
+    recent_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+  // Keep slowest_ sorted slowest-first; upper_bound places equal durations
+  // after the existing ones, so ties keep the earlier span ahead.
+  if (slowest_.size() == capacity_ &&
+      span.total_ns <= slowest_.back().total_ns) {
+    return;
+  }
+  const auto pos = std::upper_bound(
+      slowest_.begin(), slowest_.end(), span.total_ns,
+      [](std::int64_t ns, const CompletedSpan& s) { return ns > s.total_ns; });
+  slowest_.insert(pos, std::move(span));
+  if (slowest_.size() > capacity_) slowest_.pop_back();
+}
+
+std::vector<CompletedSpan> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CompletedSpan> out;
+  out.reserve(recent_.size());
+  // next_ is the oldest slot once the ring has wrapped; walk backwards
+  // from the newest.
+  const std::size_t n = recent_.size();
+  if (n == 0) return out;
+  const std::size_t newest =
+      n < capacity_ ? n - 1 : (next_ + capacity_ - 1) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(recent_[(newest + n - i) % n]);
+  }
+  return out;
+}
+
+std::vector<CompletedSpan> TraceRing::Slowest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slowest_;
+}
+
+JsonValue TraceRing::ToJson() const {
+  JsonValue recent = JsonValue::Array();
+  for (const CompletedSpan& span : Recent()) recent.Append(span.ToJson());
+  JsonValue slowest = JsonValue::Array();
+  for (const CompletedSpan& span : Slowest()) slowest.Append(span.ToJson());
+  JsonValue json = JsonValue::Object();
+  json.Set("capacity", static_cast<std::int64_t>(capacity_))
+      .Set("recorded", static_cast<std::int64_t>(recorded()))
+      .Set("recent", std::move(recent))
+      .Set("slowest", std::move(slowest));
+  return json;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+}  // namespace sparsedet::obs

@@ -1,0 +1,76 @@
+// Fixed-size in-memory ring of recently completed request spans, the
+// backing store for the admin plane's /tracez endpoint.
+//
+// Two views, both bounded:
+//
+//   recent  — the last `capacity` completed spans in completion order
+//             (a circular buffer; the oldest span is evicted first);
+//   slowest — the `capacity` slowest spans seen since startup, ordered
+//             slowest-first (so a latency spike an hour ago is still
+//             inspectable after the recent ring has turned over).
+//
+// Record() takes one short mutex hold per completed request — a handful of
+// integer moves, no allocation beyond the span's own strings — which is
+// noise next to a solve. Rendering is snapshot-then-serialize, so a scrape
+// never blocks the data path for longer than the copy.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace sparsedet::obs {
+
+// One completed request, flattened for /tracez. `id` is the request id in
+// display form (the string value for string ids, JSON text otherwise);
+// `error_code` is empty for successful (including degraded) requests.
+struct CompletedSpan {
+  std::uint64_t trace_id = 0;
+  std::string id;
+  std::string op;
+  bool ok = true;
+  std::string error_code;
+  std::int64_t queue_wait_ns = 0;
+  std::int64_t solve_ns = 0;
+  std::int64_t total_ns = 0;
+
+  JsonValue ToJson() const;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(CompletedSpan span);
+
+  // Completion-ordered, newest first.
+  std::vector<CompletedSpan> Recent() const;
+  // Duration-ordered, slowest first; ties break toward the earlier span.
+  std::vector<CompletedSpan> Slowest() const;
+
+  // {"capacity":N,"recorded":M,"recent":[...],"slowest":[...]}
+  JsonValue ToJson() const;
+
+  std::size_t capacity() const { return capacity_; }
+  // Lifetime count of recorded spans (recorded - capacity have been
+  // evicted from the recent ring).
+  std::uint64_t recorded() const;
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t recorded_ = 0;
+  std::vector<CompletedSpan> recent_;  // circular; next_ is the write slot
+  std::size_t next_ = 0;
+  std::vector<CompletedSpan> slowest_;  // kept sorted slowest-first
+};
+
+}  // namespace sparsedet::obs

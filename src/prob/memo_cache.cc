@@ -115,6 +115,19 @@ MemoCacheStats MemoCache::Stats() const {
   return stats;
 }
 
+std::vector<MemoShardStats> MemoCache::ShardStats() {
+  std::vector<MemoShardStats> out;
+  out.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    MemoShardStats s;
+    s.entries = shard.lru.size();
+    for (const Entry& entry : shard.lru) s.bytes += entry.bytes;
+    out.push_back(s);
+  }
+  return out;
+}
+
 void MemoCache::ForEach(
     const std::function<void(const std::string&,
                              const std::shared_ptr<const void>&, std::size_t)>&

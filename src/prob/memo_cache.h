@@ -88,6 +88,13 @@ struct MemoCacheStats {
   std::int64_t snapshot_loaded_unix_ms = 0;
 };
 
+// Per-shard occupancy, for the admin plane's /statusz (a skewed shard is
+// the first symptom of a bad key distribution).
+struct MemoShardStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
 class MemoCache {
  public:
   static constexpr std::size_t kDefaultCapacityEntries = 4096;
@@ -105,6 +112,8 @@ class MemoCache {
 
   void Clear();
   MemoCacheStats Stats() const;
+  // One entry per shard, in shard order. Takes each shard mutex briefly.
+  std::vector<MemoShardStats> ShardStats();
 
   // Snapshot plumbing (prob/memo_snapshot.h drives these). ForEach visits
   // every resident entry shard by shard, LRU first within a shard, without

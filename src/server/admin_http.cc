@@ -1,0 +1,165 @@
+#include "server/admin_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "common/framing.h"
+
+namespace sparsedet::server {
+namespace {
+
+// An admin request is one short GET line plus a handful of headers.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(const AdminHttpOptions& options)
+    : options_(options) {}
+
+AdminHttpServer::~AdminHttpServer() { Stop(); }
+
+void AdminHttpServer::Handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void AdminHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw Error("admin: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("admin: invalid host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error("admin: cannot bind " + options_.host + ":" +
+                std::to_string(options_.port) + " (" + std::strerror(errno) +
+                ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) throw Error("admin: listen() failed");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void AdminHttpServer::Stop() {
+  if (listen_fd_ >= 0) {
+    // shutdown() kicks the blocking accept() out; the thread sees the
+    // error, checks the closed listener, and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminHttpServer::Serve() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (Stop) or hard failure
+    }
+    HandleClient(fd);
+    ::close(fd);
+  }
+}
+
+std::string AdminHttpServer::RenderResponse(const AdminResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void AdminHttpServer::HandleClient(int fd) {
+  // A client that dribbles or stalls must not wedge the admin thread.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // timeout, reset, or EOF before the headers ended
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  AdminResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view line =
+      line_end == std::string::npos
+          ? std::string_view()
+          : std::string_view(request).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (line.substr(0, sp1) != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string_view query;
+    if (const std::size_t q = target.find('?');
+        q != std::string_view::npos) {
+      query = target.substr(q + 1);
+      target = target.substr(0, q);
+    }
+    const auto it = handlers_.find(std::string(target));
+    if (it == handlers_.end()) {
+      response.status = 404;
+      response.body = "no such endpoint\n";
+    } else {
+      response = it->second(query);
+    }
+  }
+
+  const std::string out = RenderResponse(response);
+  framing::WriteAllFd(fd, out.data(), out.size());
+}
+
+}  // namespace sparsedet::server

@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 admin server for the out-of-band observability plane.
+//
+// Deliberately tiny: GET-only, Connection: close, one dedicated thread
+// handling requests serially. That is the right shape for an admin
+// surface — a scraper hits it every few seconds, a human a few times a
+// day — and it keeps the server fully independent of the data plane: a
+// saturated epoll loop, a full engine queue, or a draining listener never
+// delays a /metrics scrape, because the admin thread shares nothing with
+// them but the (lock-free or briefly-locked) state the handlers read.
+//
+// Handlers are registered per exact path before Start() and run on the
+// admin thread; they must be thread-safe against the data plane and fast
+// (they hold the accept loop). Unknown paths get 404, non-GET methods 405,
+// malformed requests 400.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace sparsedet::server {
+
+struct AdminHttpOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read back via port()
+};
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminHttpServer {
+ public:
+  explicit AdminHttpServer(const AdminHttpOptions& options);
+  // Stops the thread and closes the listener.
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  // `query` is the raw query string (no leading '?'; empty when absent).
+  using Handler = std::function<AdminResponse(std::string_view query)>;
+  // Register before Start(); exact-match on the request path.
+  void Handle(const std::string& path, Handler handler);
+
+  // Binds + listens + launches the serving thread. Throws Error on
+  // bind/listen failure.
+  void Start();
+  // Idempotent; joins the serving thread. In-flight requests finish.
+  void Stop();
+
+  int port() const { return port_; }
+
+  // Exposed for tests: status line reason phrases and response framing.
+  static std::string RenderResponse(const AdminResponse& response);
+
+ private:
+  void Serve();
+  void HandleClient(int fd);
+
+  AdminHttpOptions options_;
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace sparsedet::server

@@ -17,6 +17,8 @@
 #include "common/error.h"
 #include "common/framing.h"
 #include "common/json.h"
+#include "common/version.h"
+#include "obs/log.h"
 #include "prob/memo_cache.h"
 #include "prob/memo_snapshot.h"
 #include "resilience/cancel.h"
@@ -82,9 +84,30 @@ TcpServer::TcpServer(engine::BatchEngine& engine,
       tenant_rejected_(
           &engine.registry().counter("server_tenant_rejected_total")),
       connections_active_(&engine.registry().gauge("server_connections_active")),
-      drain_state_(&engine.registry().gauge("server_drain_state")) {}
+      drain_state_(&engine.registry().gauge("server_drain_state")),
+      request_us_(&engine.registry().histogram(
+          "server_request_us", {}, obs::DefaultLatencyBoundsUs())),
+      queue_wait_us_(&engine.registry().histogram(
+          "server_queue_wait_us", {}, obs::DefaultLatencyBoundsUs())),
+      solve_us_(&engine.registry().histogram(
+          "server_solve_us", {}, obs::DefaultLatencyBoundsUs())) {
+  // Split the end-to-end latency the completion hook reports into queue
+  // wait vs solve: BENCH_PR6's ~280 ms p50 at 32 pipelined connections is
+  // indistinguishable from slow solves without this split.
+  engine_.SetCompletionHook([this](const obs::CompletedSpan& span) {
+    request_us_->Record(span.total_ns / 1000);
+    queue_wait_us_->Record(span.queue_wait_ns / 1000);
+    solve_us_->Record(span.solve_ns / 1000);
+  });
+}
 
 TcpServer::~TcpServer() {
+  // The admin thread serves handlers that read `this`; stop it before any
+  // other teardown. Likewise the completion hook captures `this` and runs
+  // on the engine's emitter thread, which the engine keeps past our
+  // lifetime — detach it.
+  admin_.reset();
+  engine_.SetCompletionHook(nullptr);
   for (auto& [fd, conn] : conns_) {
     std::lock_guard<std::mutex> lock(conn->mutex);
     conn->closed = true;
@@ -138,20 +161,28 @@ void TcpServer::Start() {
     try {
       const prob::MemoSnapshotInfo info = prob::LoadMemoSnapshot(
           prob::MemoCache::Global(), options_.memo_snapshot_path);
-      std::fprintf(stderr,
-                   "serve-tcp: restored %llu memo entries (%llu bytes) from "
-                   "%s\n",
-                   static_cast<unsigned long long>(info.entries),
-                   static_cast<unsigned long long>(info.bytes),
-                   options_.memo_snapshot_path.c_str());
+      obs::LogInfo("server", "snapshot_restored",
+                   JsonValue::Object()
+                       .Set("path", options_.memo_snapshot_path)
+                       .Set("entries", static_cast<std::int64_t>(info.entries))
+                       .Set("bytes", static_cast<std::int64_t>(info.bytes)));
     } catch (const Error& e) {
       // A missing or stale snapshot is a cold start, not a failure.
-      std::fprintf(stderr, "serve-tcp: memo snapshot not loaded: %s\n",
-                   e.what());
+      obs::LogWarn("server", "snapshot_not_loaded",
+                   JsonValue::Object()
+                       .Set("path", options_.memo_snapshot_path)
+                       .Set("reason", std::string(e.what())));
     }
   }
   engine_.StartAsync();
   drain_state_->Set(0);
+  start_ns_ = NowNs();
+  if (options_.admin_port >= 0) StartAdmin();
+  obs::LogInfo("server", "started",
+               JsonValue::Object()
+                   .Set("host", options_.host)
+                   .Set("port", port_)
+                   .Set("admin_port", admin_port()));
 }
 
 void TcpServer::RequestDrain() {
@@ -173,7 +204,14 @@ void TcpServer::Run() {
   for (;;) {
     if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
       draining_ = true;
+      // /healthz must report draining before the listener closes, so a
+      // balancer polling it never routes to a port about to disappear.
       drain_state_->Set(1);
+      obs::LogInfo("server", "drain_started",
+                   JsonValue::Object().Set(
+                       "outstanding", static_cast<std::int64_t>(
+                                          outstanding_.load(
+                                              std::memory_order_acquire))));
       // Stop accepting and stop reading; admitted work runs to completion.
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       ::close(listen_fd_);
@@ -256,17 +294,20 @@ void TcpServer::Run() {
     try {
       const prob::MemoSnapshotInfo info = prob::SaveMemoSnapshot(
           prob::MemoCache::Global(), options_.memo_snapshot_path);
-      std::fprintf(stderr,
-                   "serve-tcp: saved %llu memo entries (%llu bytes) to %s\n",
-                   static_cast<unsigned long long>(info.entries),
-                   static_cast<unsigned long long>(info.bytes),
-                   options_.memo_snapshot_path.c_str());
+      obs::LogInfo("server", "snapshot_saved",
+                   JsonValue::Object()
+                       .Set("path", options_.memo_snapshot_path)
+                       .Set("entries", static_cast<std::int64_t>(info.entries))
+                       .Set("bytes", static_cast<std::int64_t>(info.bytes)));
     } catch (const Error& e) {
-      std::fprintf(stderr, "serve-tcp: memo snapshot not saved: %s\n",
-                   e.what());
+      obs::LogError("server", "snapshot_not_saved",
+                    JsonValue::Object()
+                        .Set("path", options_.memo_snapshot_path)
+                        .Set("reason", std::string(e.what())));
     }
   }
   drain_state_->Set(2);
+  obs::LogInfo("server", "drained");
 }
 
 void TcpServer::Accept() {
@@ -501,6 +542,125 @@ void TcpServer::CloseIdleConns(std::int64_t now_ns) {
     idle_closed_->Inc();
     CloseConn(conn, /*disconnect=*/true);
   }
+}
+
+void TcpServer::StartAdmin() {
+  AdminHttpOptions admin_options;
+  admin_options.host = options_.admin_host;
+  admin_options.port = options_.admin_port;
+  admin_ = std::make_unique<AdminHttpServer>(admin_options);
+
+  // Prometheus text exposition, the same rendering `metrics-dump` prints.
+  admin_->Handle("/metrics", [this](std::string_view) {
+    AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = engine_.MetricsSnapshot().ToPrometheus();
+    return response;
+  });
+
+  // Liveness by default (200 as long as the process can answer, with the
+  // drain state in the body); readiness with ?ready (503 once draining,
+  // the signal a balancer uses to stop routing here).
+  admin_->Handle("/healthz", [this](std::string_view query) {
+    const std::int64_t state = drain_state_->Value();
+    const char* status =
+        state == 0 ? "serving" : (state == 1 ? "draining" : "drained");
+    AdminResponse response;
+    response.content_type = "application/json";
+    if (query == "ready" && state != 0) response.status = 503;
+    JsonValue body = JsonValue::Object();
+    body.Set("status", status).Set("ok", state == 0);
+    response.body = body.ToString() + "\n";
+    return response;
+  });
+
+  admin_->Handle("/statusz", [this](std::string_view) {
+    AdminResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson().ToString() + "\n";
+    return response;
+  });
+
+  admin_->Handle("/tracez", [this](std::string_view) {
+    AdminResponse response;
+    response.content_type = "application/json";
+    response.body = engine_.trace_ring().ToJson().ToString() + "\n";
+    return response;
+  });
+
+  admin_->Start();
+}
+
+JsonValue TcpServer::StatuszJson() const {
+  JsonValue build = JsonValue::Object();
+  build.Set("name", kBuildName).Set("version", kVersion);
+
+  JsonValue server = JsonValue::Object();
+  server
+      .Set("max_connections",
+           static_cast<std::int64_t>(options_.max_connections))
+      .Set("tenant_qps", options_.tenant_qps)
+      .Set("tenant_burst", options_.tenant_burst)
+      .Set("idle_timeout_ms", options_.idle_timeout_ms)
+      .Set("max_line_bytes",
+           static_cast<std::int64_t>(options_.max_line_bytes))
+      .Set("memo_snapshot_path", options_.memo_snapshot_path)
+      .Set("cancel_on_disconnect", options_.cancel_on_disconnect);
+
+  const prob::MemoCacheStats memo = prob::MemoCache::Global().Stats();
+  JsonValue memo_json = JsonValue::Object();
+  memo_json
+      .Set("capacity", static_cast<std::int64_t>(memo.capacity_entries))
+      .Set("entries", static_cast<std::int64_t>(memo.entries))
+      .Set("bytes", static_cast<std::int64_t>(memo.bytes))
+      .Set("snapshot_age_ms",
+           memo.snapshot_loaded_unix_ms > 0
+               ? std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                         .count() -
+                     memo.snapshot_loaded_unix_ms
+               : -1);
+  JsonValue shards = JsonValue::Array();
+  for (const prob::MemoShardStats& shard :
+       prob::MemoCache::Global().ShardStats()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("entries", static_cast<std::int64_t>(shard.entries))
+        .Set("bytes", static_cast<std::int64_t>(shard.bytes));
+    shards.Append(std::move(entry));
+  }
+  memo_json.Set("shards", std::move(shards));
+
+  JsonValue log_json = JsonValue::Object();
+  log_json
+      .Set("lines_written",
+           static_cast<std::int64_t>(obs::StructuredLog::Global()
+                                         .lines_written()))
+      .Set("lines_suppressed",
+           static_cast<std::int64_t>(obs::StructuredLog::Global()
+                                         .lines_suppressed()));
+
+  JsonValue json = JsonValue::Object();
+  json.Set("build", std::move(build))
+      .Set("uptime_ms", (NowNs() - start_ns_) / 1'000'000)
+      .Set("host", options_.host)
+      .Set("port", port_)
+      .Set("admin_port", admin_ != nullptr ? admin_->port() : -1)
+      .Set("drain_state", drain_state_->Value())
+      .Set("connections_active", connections_active_->Value())
+      .Set("engine", engine_.OptionsJson())
+      .Set("server", std::move(server))
+      .Set("tenants", governor_.StateJson())
+      .Set("memo_cache", std::move(memo_json))
+      .Set("log", std::move(log_json));
+  obs::SloTracker* slo = engine_.slo();
+  if (slo != nullptr) {
+    json.Set("slo", slo->StatusJson(NowNs()));
+  } else {
+    JsonValue off = JsonValue::Object();
+    off.Set("enabled", false);
+    json.Set("slo", std::move(off));
+  }
+  return json;
 }
 
 void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,

@@ -40,6 +40,7 @@
 #include <unordered_map>
 
 #include "engine/engine.h"
+#include "server/admin_http.h"
 #include "server/token_bucket.h"
 
 namespace sparsedet::server {
@@ -58,6 +59,12 @@ struct TcpServerOptions {
   // atomically when Run() drains. Empty = disabled.
   std::string memo_snapshot_path;
   bool cancel_on_disconnect = true;
+
+  // Out-of-band admin plane (admin_http.h): /metrics, /healthz, /statusz,
+  // /tracez on a dedicated thread, reachable while the data plane is
+  // saturated or draining. -1 = disabled (the default); 0 = ephemeral.
+  int admin_port = -1;
+  std::string admin_host = "127.0.0.1";
 };
 
 class TcpServer {
@@ -77,6 +84,8 @@ class TcpServer {
 
   // The bound port (after Start()); useful with options.port == 0.
   int port() const { return port_; }
+  // The bound admin port (after Start()); -1 when the admin plane is off.
+  int admin_port() const { return admin_ != nullptr ? admin_->port() : -1; }
 
   // Runs the event loop until RequestDrain(); returns after every
   // in-flight response is flushed and the snapshot (if configured) is
@@ -105,10 +114,14 @@ class TcpServer {
                            bool want_write);
   void CloseIdleConns(std::int64_t now_ns);
   void WakeLoop();
+  void StartAdmin();
+  JsonValue StatuszJson() const;
 
   engine::BatchEngine& engine_;
   TcpServerOptions options_;
   TenantGovernor governor_;
+  std::unique_ptr<AdminHttpServer> admin_;
+  std::int64_t start_ns_ = 0;  // Start() stamp; /statusz uptime base
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -134,6 +147,11 @@ class TcpServer {
   obs::Counter* tenant_rejected_;
   obs::Gauge* connections_active_;
   obs::Gauge* drain_state_;  // 0 = serving, 1 = draining, 2 = drained
+  // End-to-end latency split (microsecond buckets), fed by the engine's
+  // completion hook: plan -> response, submit -> worker pickup, solve.
+  obs::Histogram* request_us_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* solve_us_;
 };
 
 }  // namespace sparsedet::server

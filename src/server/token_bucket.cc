@@ -32,11 +32,46 @@ TenantGovernor::TenantGovernor(double qps, double burst)
 
 bool TenantGovernor::Admit(const std::string& tenant, std::int64_t now_ns) {
   if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = buckets_.find(tenant);
   if (it == buckets_.end()) {
-    it = buckets_.emplace(tenant, TokenBucket(qps_, burst_)).first;
+    it = buckets_.emplace(tenant, TenantState(TokenBucket(qps_, burst_)))
+             .first;
   }
-  return it->second.TryAcquire(now_ns);
+  TenantState& state = it->second;
+  const bool admitted = state.bucket.TryAcquire(now_ns);
+  if (admitted) {
+    ++state.admitted;
+  } else {
+    ++state.rejected;
+  }
+  return admitted;
+}
+
+std::size_t TenantGovernor::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+JsonValue TenantGovernor::StateJson() const {
+  JsonValue tenants = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, state] : buckets_) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("tenant", name)
+          .Set("tokens", state.bucket.tokens())
+          .Set("admitted", static_cast<std::int64_t>(state.admitted))
+          .Set("rejected", static_cast<std::int64_t>(state.rejected));
+      tenants.Append(std::move(entry));
+    }
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("enabled", enabled())
+      .Set("qps", qps_)
+      .Set("burst", burst_)
+      .Set("tenants", std::move(tenants));
+  return json;
 }
 
 }  // namespace sparsedet::server

@@ -14,7 +14,10 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+
+#include "common/json.h"
 
 namespace sparsedet::server {
 
@@ -46,16 +49,31 @@ class TenantGovernor {
 
   bool enabled() const { return qps_ > 0.0; }
 
-  // True when `tenant` may proceed at `now_ns`. Single-threaded (the
-  // event-loop thread owns admission).
+  // True when `tenant` may proceed at `now_ns`. The event-loop thread owns
+  // admission; the internal mutex only exists so the admin plane can read
+  // bucket state concurrently (StateJson below).
   bool Admit(const std::string& tenant, std::int64_t now_ns);
 
-  std::size_t tenant_count() const { return buckets_.size(); }
+  std::size_t tenant_count() const;
+
+  // Per-tenant bucket state for /statusz:
+  // {"enabled":..,"qps":..,"burst":..,"tenants":[
+  //   {"tenant":"..","tokens":..,"admitted":..,"rejected":..}, ...]}
+  // Tenants appear in name order (std::map), so the rendering is stable.
+  JsonValue StateJson() const;
 
  private:
+  struct TenantState {
+    explicit TenantState(const TokenBucket& b) : bucket(b) {}
+    TokenBucket bucket;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
   double qps_;
   double burst_;
-  std::map<std::string, TokenBucket> buckets_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantState> buckets_;
 };
 
 }  // namespace sparsedet::server

@@ -1,0 +1,344 @@
+// End-to-end tests for the out-of-band admin plane: the minimal HTTP
+// server itself (framing, dispatch, error statuses) and the four
+// endpoints TcpServer mounts on it — /metrics exposition, drain-aware
+// /healthz, the /statusz snapshot, and the /tracez span ring — including
+// their behavior while the data plane is draining.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "server/admin_http.h"
+#include "server/tcp_server.h"
+
+namespace sparsedet::server {
+namespace {
+
+// One blocking HTTP exchange: sends `raw` verbatim, reads to EOF
+// (the server always answers Connection: close).
+std::string RawExchange(int port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::send(fd, raw.data(), raw.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+HttpResult Get(int port, const std::string& target) {
+  const std::string raw = RawExchange(
+      port, "GET " + target + " HTTP/1.1\r\nHost: admin\r\n\r\n");
+  HttpResult result;
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) {
+    result.status = std::stoi(raw.substr(9, 3));
+  }
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) result.body = raw.substr(split + 4);
+  return result;
+}
+
+TEST(AdminHttpServer, DispatchesByPathAndPassesTheQuery) {
+  AdminHttpServer server(AdminHttpOptions{});
+  std::string seen_query = "<unset>";
+  server.Handle("/ping", [&seen_query](std::string_view query) {
+    seen_query = std::string(query);
+    AdminResponse response;
+    response.body = "pong\n";
+    return response;
+  });
+  server.Start();
+
+  HttpResult result = Get(server.port(), "/ping");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "pong\n");
+  EXPECT_EQ(seen_query, "");
+
+  result = Get(server.port(), "/ping?verbose=1");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(seen_query, "verbose=1");
+
+  EXPECT_EQ(Get(server.port(), "/nope").status, 404);
+  server.Stop();
+}
+
+TEST(AdminHttpServer, RejectsNonGetAndMalformedRequests) {
+  AdminHttpServer server(AdminHttpOptions{});
+  server.Handle("/x", [](std::string_view) { return AdminResponse{}; });
+  server.Start();
+  const std::string post = RawExchange(
+      server.port(), "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405", 0), 0u) << post;
+  const std::string garbage = RawExchange(server.port(), "???\r\n\r\n");
+  EXPECT_EQ(garbage.rfind("HTTP/1.1 400", 0), 0u) << garbage;
+  server.Stop();
+}
+
+TEST(AdminHttpServer, RenderResponseFramesContentLength) {
+  AdminResponse response;
+  response.status = 503;
+  response.content_type = "application/json";
+  response.body = "{}\n";
+  const std::string out = AdminHttpServer::RenderResponse(response);
+  EXPECT_EQ(out,
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 3\r\n"
+            "Connection: close\r\n\r\n{}\n");
+}
+
+// TcpServer with the admin plane mounted, plus a data-plane client.
+class AdminTestServer {
+ public:
+  explicit AdminTestServer(engine::EngineOptions engine_options = {}) {
+    engine_options.threads = 2;
+    engine_ = std::make_unique<engine::BatchEngine>(engine_options);
+    TcpServerOptions options;
+    options.admin_port = 0;
+    server_ = std::make_unique<TcpServer>(*engine_, options);
+    server_->Start();
+    loop_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~AdminTestServer() { Join(); }
+
+  void Join() {
+    if (loop_.joinable()) {
+      server_->RequestDrain();
+      loop_.join();
+    }
+  }
+
+  TcpServer& server() { return *server_; }
+  int port() const { return server_->port(); }
+  int admin_port() const { return server_->admin_port(); }
+
+  // Sends one analyze request and waits for its response line.
+  void RunOneRequest(int id) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    timeval tv{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const std::string line =
+        R"({"id":)" + std::to_string(id) + R"(,"op":"analyze"})" "\n";
+    ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    std::string response;
+    char buf[4096];
+    while (response.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("\"result\""), std::string::npos) << response;
+  }
+
+ private:
+  std::unique_ptr<engine::BatchEngine> engine_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread loop_;
+};
+
+TEST(AdminPlane, MetricsExposesServerHistogramsAfterTraffic) {
+  AdminTestServer server;
+  ASSERT_GT(server.admin_port(), 0);
+  server.RunOneRequest(1);
+
+  const HttpResult result = Get(server.admin_port(), "/metrics");
+  EXPECT_EQ(result.status, 200);
+  ASSERT_FALSE(result.body.empty());
+  // The end-to-end latency split is present and populated.
+  EXPECT_NE(result.body.find("# TYPE server_request_us histogram"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("server_queue_wait_us_count"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("server_solve_us_count"), std::string::npos);
+  EXPECT_NE(result.body.find("server_request_us_count 1"),
+            std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(result.body.find("engine_requests_total 1"), std::string::npos);
+}
+
+TEST(AdminPlane, HealthzReportsServingThenDrainingThenDrained) {
+  engine::EngineOptions engine_options;
+  // Hold the one in-flight solve for ~400ms so the drain window is
+  // observable from the admin thread.
+  engine_options.fault_config =
+      R"({"delay_every":1,"delay_ms":400,"max_faults":1})";
+  auto server = std::make_unique<AdminTestServer>(engine_options);
+  const int admin_port = server->admin_port();
+  ASSERT_GT(admin_port, 0);
+
+  HttpResult health = Get(admin_port, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"serving\""), std::string::npos);
+  EXPECT_EQ(Get(admin_port, "/healthz?ready").status, 200);
+
+  // Submit a request that sits in the injected 400ms delay, then drain.
+  std::thread request([&server] { server->RunOneRequest(7); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->server().RequestDrain();
+
+  // While the in-flight solve finishes: liveness stays 200 and reports
+  // draining; readiness flips to 503 so balancers stop routing here.
+  bool saw_draining = false;
+  for (int i = 0; i < 100 && !saw_draining; ++i) {
+    health = Get(admin_port, "/healthz");
+    if (health.body.find("\"status\":\"draining\"") != std::string::npos) {
+      saw_draining = true;
+      EXPECT_EQ(health.status, 200);
+      EXPECT_NE(health.body.find("\"ok\":false"), std::string::npos);
+      EXPECT_EQ(Get(admin_port, "/healthz?ready").status, 503);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(saw_draining)
+      << "/healthz never reported draining while a request was in flight";
+
+  request.join();
+  server->Join();  // Run() has returned; the admin plane still answers
+  health = Get(admin_port, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"drained\""), std::string::npos);
+  EXPECT_EQ(Get(admin_port, "/healthz?ready").status, 503);
+}
+
+TEST(AdminPlane, StatuszCarriesBuildEngineCacheAndTenantState) {
+  AdminTestServer server;
+  server.RunOneRequest(3);
+
+  const HttpResult result = Get(server.admin_port(), "/statusz");
+  EXPECT_EQ(result.status, 200);
+  const JsonValue json = ParseJson(result.body);
+
+  const JsonValue* build = json.Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->Find("name")->AsString(), "sparsedet");
+  EXPECT_FALSE(build->Find("version")->AsString().empty());
+  EXPECT_GE(json.Find("uptime_ms")->AsDouble(), 0.0);
+  EXPECT_EQ(static_cast<int>(json.Find("drain_state")->AsDouble()), 0);
+  EXPECT_EQ(static_cast<int>(json.Find("port")->AsDouble()),
+            server.port());
+
+  const JsonValue* engine = json.Find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->Find("threads")->AsDouble(), 0.0);
+  ASSERT_NE(engine->Find("slo"), nullptr);
+
+  const JsonValue* cache = json.Find("memo_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->Find("entries")->AsDouble(), 0.0)
+      << "the analyze request must have warmed the memo cache";
+  ASSERT_NE(cache->Find("shards"), nullptr);
+  EXPECT_FALSE(cache->Find("shards")->Items().empty());
+  double shard_entries = 0;
+  for (const JsonValue& shard : cache->Find("shards")->Items()) {
+    shard_entries += shard.Find("entries")->AsDouble();
+  }
+  EXPECT_EQ(shard_entries, cache->Find("entries")->AsDouble());
+
+  const JsonValue* tenants = json.Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  EXPECT_FALSE(tenants->Find("enabled")->AsBool());
+
+  const JsonValue* slo = json.Find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_FALSE(slo->Find("enabled")->AsBool());
+
+  ASSERT_NE(json.Find("log"), nullptr);
+}
+
+TEST(AdminPlane, TracezReturnsRecentAndSlowestSpans) {
+  AdminTestServer server;
+  for (int i = 1; i <= 3; ++i) server.RunOneRequest(i);
+
+  const HttpResult result = Get(server.admin_port(), "/tracez");
+  EXPECT_EQ(result.status, 200);
+  const JsonValue json = ParseJson(result.body);
+  EXPECT_EQ(static_cast<int>(json.Find("recorded")->AsDouble()), 3);
+  const auto& recent = json.Find("recent")->Items();
+  ASSERT_EQ(recent.size(), 3u);
+  // Completion order, newest first.
+  EXPECT_EQ(recent[0].Find("id")->AsString(), "3");
+  EXPECT_EQ(recent[2].Find("id")->AsString(), "1");
+  for (const JsonValue& span : recent) {
+    EXPECT_EQ(span.Find("op")->AsString(), "analyze");
+    EXPECT_TRUE(span.Find("ok")->AsBool());
+    EXPECT_GT(span.Find("total_ns")->AsDouble(), 0.0);
+    EXPECT_GE(span.Find("solve_ns")->AsDouble(), 0.0);
+  }
+  EXPECT_EQ(json.Find("slowest")->Items().size(), 3u);
+}
+
+TEST(AdminPlane, SloGaugesReachTheMetricsEndpointWhenEnabled) {
+  engine::EngineOptions engine_options;
+  engine_options.slo.availability = 0.999;
+  engine_options.slo.p99_ms = 30'000;  // nothing here is slower than 30s
+  auto server = std::make_unique<AdminTestServer>(engine_options);
+  server->RunOneRequest(1);
+
+  const HttpResult result = Get(server->admin_port(), "/metrics");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("slo_burn_rate{slo=\"availability\"} 0"),
+            std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("slo_burn_rate{slo=\"latency_p99\"} 0"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("slo_window_requests 1"), std::string::npos);
+  EXPECT_NE(
+      result.body.find("slo_error_budget_remaining_ppm{slo=\"availability\"}"
+                       " 1000000"),
+      std::string::npos);
+}
+
+TEST(AdminPlane, DisabledByDefault) {
+  engine::EngineOptions engine_options;
+  engine_options.threads = 2;
+  engine::BatchEngine engine(engine_options);
+  TcpServer server(engine, TcpServerOptions{});
+  server.Start();
+  std::thread loop([&server] { server.Run(); });
+  EXPECT_EQ(server.admin_port(), -1);
+  server.RequestDrain();
+  loop.join();
+}
+
+}  // namespace
+}  // namespace sparsedet::server

@@ -1,0 +1,351 @@
+// Tests for the admin-plane observability primitives: structured-log rate
+// limiting under an injected clock, SLO burn-rate math against
+// hand-computed windows, the /tracez ring's eviction and ordering rules,
+// and the cumulative-bucket JSON/Prometheus exposition contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/tracez.h"
+
+namespace sparsedet::obs {
+namespace {
+
+std::vector<JsonValue> ReadJsonl(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(ParseJson(line));
+  }
+  return lines;
+}
+
+double Num(const JsonValue& json, const std::string& key) {
+  const JsonValue* value = json.Find(key);
+  EXPECT_NE(value, nullptr) << "missing key " << key;
+  return value != nullptr ? value->AsDouble() : 0.0;
+}
+
+TEST(StructuredLog, RateLimiterIsDeterministicUnderInjectedClock) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "obs_plane_log_rate.jsonl";
+  StructuredLog log;
+  LogOptions options;
+  options.path = path;
+  options.max_per_key_per_sec = 2;
+  log.Configure(options);
+  std::int64_t now_ms = 10'000;
+  log.SetClockForTest([&now_ms] { return now_ms; });
+
+  // Five lines inside one wall second: two emitted, three suppressed.
+  for (int i = 0; i < 5; ++i) {
+    log.Write(LogLevel::kInfo, "server", "burst",
+              JsonValue::Object().Set("i", i));
+  }
+  // The next second's first line carries the suppressed count.
+  now_ms = 11'000;
+  log.Write(LogLevel::kInfo, "server", "burst", JsonValue::Object());
+  // A different (component, event) key has its own budget.
+  log.Write(LogLevel::kInfo, "server", "other", JsonValue::Object());
+
+  EXPECT_EQ(log.lines_written(), 4u);
+  EXPECT_EQ(log.lines_suppressed(), 3u);
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_EQ(lines.size(), 4u);
+  std::int64_t last_seq = -1;
+  for (const JsonValue& line : lines) {
+    EXPECT_EQ(line.Find("level")->AsString(), "info");
+    EXPECT_EQ(line.Find("component")->AsString(), "server");
+    const std::int64_t seq = static_cast<std::int64_t>(Num(line, "seq"));
+    EXPECT_GT(seq, last_seq) << "seq must be strictly monotonic";
+    last_seq = seq;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(Num(lines[0], "ts_ms")), 10'000);
+  EXPECT_EQ(static_cast<std::int64_t>(Num(lines[2], "ts_ms")), 11'000);
+  EXPECT_EQ(lines[0].Find("suppressed"), nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(Num(lines[2], "suppressed")), 3);
+  EXPECT_EQ(lines[3].Find("event")->AsString(), "other");
+  EXPECT_EQ(lines[3].Find("suppressed"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(StructuredLog, MinLevelFiltersWithoutCountingAsSuppressed) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "obs_plane_log_level.jsonl";
+  StructuredLog log;
+  LogOptions options;
+  options.path = path;
+  options.min_level = LogLevel::kWarn;
+  log.Configure(options);
+  log.SetClockForTest([] { return std::int64_t{1'000}; });
+
+  log.Write(LogLevel::kDebug, "engine", "noise");
+  log.Write(LogLevel::kInfo, "engine", "noise");
+  log.Write(LogLevel::kError, "engine", "failure");
+
+  EXPECT_EQ(log.lines_written(), 1u);
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].Find("level")->AsString(), "error");
+  EXPECT_EQ(lines[0].Find("event")->AsString(), "failure");
+  std::remove(path.c_str());
+}
+
+TEST(StructuredLog, TimestampsNeverRegress) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "obs_plane_log_clock.jsonl";
+  StructuredLog log;
+  LogOptions options;
+  options.path = path;
+  log.Configure(options);
+  std::int64_t now_ms = 5'000;
+  log.SetClockForTest([&now_ms] { return now_ms; });
+
+  log.Write(LogLevel::kInfo, "server", "a");
+  now_ms = 4'000;  // the wall clock stepped backwards
+  log.Write(LogLevel::kInfo, "server", "b");
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(static_cast<std::int64_t>(Num(lines[0], "ts_ms")), 5'000);
+  EXPECT_EQ(static_cast<std::int64_t>(Num(lines[1], "ts_ms")), 5'000);
+  std::remove(path.c_str());
+}
+
+TEST(LogLevel, ParseAcceptsKnownNamesOnly) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+TEST(SloTracker, BurnRatesMatchAHandComputedWindow) {
+  SloOptions options;
+  options.availability = 0.99;  // allowed bad fraction: 0.01
+  options.p99_ms = 10;          // allowed slow fraction: 0.01
+  options.window_s = 60;
+  SloTracker tracker(options, nullptr);
+
+  // 100 requests in one second: 2 errors, 5 slower than 10ms.
+  const std::int64_t base_ns = 1'000'000'000'000;  // second 1000
+  for (int i = 0; i < 100; ++i) {
+    const bool ok = i >= 2;
+    const std::int64_t latency_ns =
+        i < 5 ? 20'000'000 : 1'000'000;  // 20ms vs 1ms
+    tracker.Record(ok, latency_ns, base_ns + i * 1'000);
+  }
+
+  const SloTracker::Window window = tracker.Snapshot(base_ns);
+  EXPECT_EQ(window.requests, 100u);
+  EXPECT_EQ(window.errors, 2u);
+  EXPECT_EQ(window.slow, 5u);
+  // availability burn = (2/100) / (1 - 0.99) = 2.0 (up to the rounding in
+  // the 1 - 0.99 budget itself)
+  EXPECT_NEAR(window.availability_burn, 2.0, 1e-12);
+  // latency burn = (5/100) / 0.01 = 5.0
+  EXPECT_NEAR(window.latency_burn, 5.0, 1e-12);
+}
+
+TEST(SloTracker, BucketsAgeOutOfTheRollingWindow) {
+  SloOptions options;
+  options.availability = 0.999;
+  options.window_s = 30;
+  SloTracker tracker(options, nullptr);
+
+  const std::int64_t t0 = 50'000'000'000;  // second 50
+  tracker.Record(false, 1'000'000, t0);
+  tracker.Record(true, 1'000'000, t0);
+
+  SloTracker::Window inside = tracker.Snapshot(t0 + 29'000'000'000);
+  EXPECT_EQ(inside.requests, 2u);
+  EXPECT_EQ(inside.errors, 1u);
+
+  // 31 seconds later the second-50 bucket is outside [now-30, now].
+  SloTracker::Window outside = tracker.Snapshot(t0 + 31'000'000'000);
+  EXPECT_EQ(outside.requests, 0u);
+  EXPECT_DOUBLE_EQ(outside.availability_burn, 0.0)
+      << "an empty window must not report budget burn";
+}
+
+TEST(SloTracker, PublishStoresMilliBurnAndPpmBudgetGauges) {
+  SloOptions options;
+  options.availability = 0.99;
+  options.p99_ms = 10;
+  options.window_s = 60;
+  MetricsRegistry registry;
+  SloTracker tracker(options, &registry);
+
+  const std::int64_t base_ns = 2'000'000'000'000;
+  for (int i = 0; i < 100; ++i) {
+    tracker.Record(i >= 2, i < 5 ? 20'000'000 : 1'000'000, base_ns);
+  }
+  tracker.Publish(base_ns);
+
+  auto gauge = [&registry](const std::string& name,
+                           const std::string& slo) -> std::int64_t {
+    const RegistrySnapshot snapshot = registry.Snapshot();
+    for (const auto& g : snapshot.gauges) {
+      if (g.name != name) continue;
+      if (!slo.empty() &&
+          (g.labels.empty() || g.labels.front().second != slo)) {
+        continue;
+      }
+      return g.value;
+    }
+    ADD_FAILURE() << "gauge " << name << "{slo=" << slo << "} not found";
+    return -1;
+  };
+  EXPECT_EQ(gauge("slo_burn_rate", "availability"), 2'000);
+  EXPECT_EQ(gauge("slo_burn_rate", "latency_p99"), 5'000);
+  EXPECT_EQ(gauge("slo_error_budget_remaining_ppm", "availability"),
+            -1'000'000);  // burn 2.0 -> budget -100%
+  EXPECT_EQ(gauge("slo_error_budget_remaining_ppm", "latency_p99"),
+            -4'000'000);
+  EXPECT_EQ(gauge("slo_window_requests", ""), 100);
+  EXPECT_EQ(gauge("slo_window_errors", ""), 2);
+  EXPECT_EQ(gauge("slo_window_slow", ""), 5);
+
+  // The burn-rate gauges reach the Prometheus exposition with their labels.
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("slo_burn_rate{slo=\"availability\"} 2000"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("slo_burn_rate{slo=\"latency_p99\"} 5000"),
+            std::string::npos);
+}
+
+TEST(SloTracker, RejectsInvalidObjectives) {
+  MetricsRegistry registry;
+  SloOptions bad_window;
+  bad_window.window_s = 0;
+  EXPECT_THROW(SloTracker(bad_window, &registry), Error);
+  SloOptions bad_availability;
+  bad_availability.availability = 1.0;
+  EXPECT_THROW(SloTracker(bad_availability, &registry), Error);
+}
+
+CompletedSpan MakeSpan(const std::string& id, std::int64_t total_ns,
+                       bool ok = true) {
+  CompletedSpan span;
+  span.id = id;
+  span.op = "analyze";
+  span.ok = ok;
+  if (!ok) span.error_code = "solver_failed";
+  span.total_ns = total_ns;
+  span.solve_ns = total_ns / 2;
+  span.queue_wait_ns = total_ns / 4;
+  return span;
+}
+
+TEST(TraceRing, RecentEvictsOldestAndOrdersNewestFirst) {
+  TraceRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    ring.Record(MakeSpan("r" + std::to_string(i), i * 100));
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  const std::vector<CompletedSpan> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id, "r5");
+  EXPECT_EQ(recent[1].id, "r4");
+  EXPECT_EQ(recent[2].id, "r3");  // r1 and r2 were evicted in order
+}
+
+TEST(TraceRing, SlowestSurvivesRingTurnoverAndBreaksTiesEarlier) {
+  TraceRing ring(3);
+  ring.Record(MakeSpan("spike", 1'000'000));  // the early latency spike
+  for (int i = 0; i < 10; ++i) {
+    ring.Record(MakeSpan("fast" + std::to_string(i), 100 + i));
+  }
+  ring.Record(MakeSpan("tie_a", 500'000));
+  ring.Record(MakeSpan("tie_b", 500'000));
+
+  // The spike left the recent ring long ago but leads the slowest list.
+  const std::vector<CompletedSpan> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id, "tie_b");
+  const std::vector<CompletedSpan> slowest = ring.Slowest();
+  ASSERT_EQ(slowest.size(), 3u);
+  EXPECT_EQ(slowest[0].id, "spike");
+  EXPECT_EQ(slowest[1].id, "tie_a");  // equal durations keep arrival order
+  EXPECT_EQ(slowest[2].id, "tie_b");
+}
+
+TEST(TraceRing, ToJsonCarriesBothViewsAndErrorCodes) {
+  TraceRing ring(4);
+  ring.Record(MakeSpan("ok1", 200));
+  ring.Record(MakeSpan("bad", 900, /*ok=*/false));
+  const JsonValue json = ring.ToJson();
+  EXPECT_EQ(static_cast<std::int64_t>(Num(json, "capacity")), 4);
+  EXPECT_EQ(static_cast<std::int64_t>(Num(json, "recorded")), 2);
+  const JsonValue& recent = *json.Find("recent");
+  ASSERT_EQ(recent.Items().size(), 2u);
+  EXPECT_EQ(recent.Items()[0].Find("id")->AsString(), "bad");
+  EXPECT_FALSE(recent.Items()[0].Find("ok")->AsBool());
+  EXPECT_EQ(recent.Items()[0].Find("error_code")->AsString(),
+            "solver_failed");
+  EXPECT_EQ(recent.Items()[1].Find("error_code"), nullptr)
+      << "successful spans must omit error_code";
+  const JsonValue& slowest = *json.Find("slowest");
+  ASSERT_EQ(slowest.Items().size(), 2u);
+  EXPECT_EQ(slowest.Items()[0].Find("id")->AsString(), "bad");
+}
+
+TEST(Exposition, JsonCarriesCumulativeCountsDerivedFromBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat_us", {}, {100, 200});
+  h.Record(50);
+  h.Record(150);
+  h.Record(150);
+  h.Record(5'000);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  const JsonValue json = snapshot.ToJson();
+  const JsonValue& hist = json.Find("histograms")->Items().front();
+  const auto& buckets = hist.Find("bucket_counts")->Items();
+  const auto& cumulative = hist.Find("cumulative_counts")->Items();
+  ASSERT_EQ(buckets.size(), 3u);
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_EQ(static_cast<int>(buckets[0].AsDouble()), 1);
+  EXPECT_EQ(static_cast<int>(buckets[1].AsDouble()), 2);
+  EXPECT_EQ(static_cast<int>(buckets[2].AsDouble()), 1);
+  EXPECT_EQ(static_cast<int>(cumulative[0].AsDouble()), 1);
+  EXPECT_EQ(static_cast<int>(cumulative[1].AsDouble()), 3);
+  EXPECT_EQ(static_cast<int>(cumulative[2].AsDouble()), 4);
+
+  // cumulative_counts is derived, so the JSON round-trip (which ignores
+  // it) regenerates an identical exposition.
+  const RegistrySnapshot parsed = RegistrySnapshot::FromJson(json);
+  EXPECT_EQ(parsed.ToJson().ToString(), json.ToString());
+  EXPECT_EQ(parsed.ToPrometheus(), snapshot.ToPrometheus());
+}
+
+TEST(Exposition, PrometheusLeLabelsAreIntegersNotScientific) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("big_us", {}, DefaultLatencyBoundsUs());
+  h.Record(1);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("le=\"1\""), std::string::npos) << text;
+  EXPECT_NE(text.find("le=\"10000000\""), std::string::npos)
+      << "10s bound must render as a plain integer";
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(text.find("e+0"), std::string::npos)
+      << "le labels must not use scientific notation:\n"
+      << text;
+}
+
+}  // namespace
+}  // namespace sparsedet::obs

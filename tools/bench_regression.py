@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench artifact against the committed perf baseline.
+
+CI runs the Release benches and collects their BENCH_JSON lines into
+bench_ci.json (one JSON object per line). This tool compares the fresh
+numbers against the newest committed BENCH_PR<N>.json in the repo root and
+fails (exit 1) when a guarded throughput metric regressed by more than the
+allowed fraction (default 20%):
+
+  * net_serve.requests_per_s        — TCP serve-mode sustained throughput
+  * engine_batch max units_per_s    — best batch-engine config
+
+Only relative regressions fail the build: CI machines are slower and
+noisier than the machines that produced the baseline, so the gate is a
+ratio against the baseline recorded in-tree, not an absolute bar.
+
+Usage:
+  tools/bench_regression.py --fresh bench_ci.json [--baseline BENCH_PR6.json]
+      [--threshold 0.20] [--repo-root .]
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def load_fresh(path):
+    """Parses a fresh artifact: JSONL of BENCH_JSON objects, or a single
+    JSON object/BENCH_PR-style document."""
+    text = Path(path).read_text()
+    benches = {}
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        if "bench" in doc:
+            benches[doc["bench"]] = doc
+        else:  # BENCH_PR-style: named sections
+            for value in doc.values():
+                if isinstance(value, dict) and "bench" in value:
+                    benches[value["bench"]] = value
+        return benches
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        benches[obj["bench"]] = obj
+    return benches
+
+
+def find_baseline(repo_root):
+    """The highest-numbered committed BENCH_PR<N>.json."""
+    best, best_n = None, -1
+    for path in Path(repo_root).glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match and int(match.group(1)) > best_n:
+            best, best_n = path, int(match.group(1))
+    return best
+
+
+def metric_net_serve(benches):
+    bench = benches.get("net_serve")
+    return None if bench is None else float(bench["requests_per_s"])
+
+
+def metric_engine_batch(benches):
+    bench = benches.get("engine_batch")
+    if bench is None:
+        return None
+    rates = [float(c["units_per_s"]) for c in bench.get("configs", [])]
+    return max(rates) if rates else None
+
+
+METRICS = [
+    ("net_serve.requests_per_s", metric_net_serve),
+    ("engine_batch.max_units_per_s", metric_engine_batch),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="fresh artifact (bench_ci.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file; default: newest BENCH_PR*.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed fractional drop (default 0.20)")
+    parser.add_argument("--repo-root", default=".",
+                        help="where to look for BENCH_PR*.json")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline or find_baseline(args.repo_root)
+    if baseline_path is None:
+        print("bench-regression: no committed BENCH_PR*.json baseline; "
+              "nothing to compare against")
+        return 0
+    fresh = load_fresh(args.fresh)
+    baseline = load_fresh(baseline_path)
+    print(f"bench-regression: {args.fresh} vs {baseline_path} "
+          f"(threshold {args.threshold:.0%})")
+
+    failures = 0
+    for name, extract in METRICS:
+        base = extract(baseline)
+        now = extract(fresh)
+        if base is None:
+            print(f"  {name:32} SKIP (not in baseline)")
+            continue
+        if now is None:
+            print(f"  {name:32} FAIL (missing from fresh artifact)")
+            failures += 1
+            continue
+        ratio = now / base
+        verdict = "ok" if ratio >= 1.0 - args.threshold else "REGRESSED"
+        print(f"  {name:32} {base:12.1f} -> {now:12.1f}  "
+              f"({ratio - 1.0:+.1%})  {verdict}")
+        if verdict != "ok":
+            failures += 1
+
+    if failures:
+        print(f"bench-regression: {failures} metric(s) regressed more than "
+              f"{args.threshold:.0%}")
+        return 1
+    print("bench-regression: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
