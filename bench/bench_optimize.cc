@@ -1,0 +1,197 @@
+// E28 — inverse deployment optimizer throughput (scaling extension; no
+// paper artifact). Runs the two studies the optimizer exists for, end to
+// end through the batch engine:
+//
+//   * an E9-style fleet-sizing study — the smallest N meeting a P_D floor
+//     over a (N, k) grid plus step-halving refinement, and
+//   * an E24-style energy study — the energy-vs-P_D Pareto frontier over
+//     a (N, duty) grid under a false-alarm-driven drain model.
+//
+// Configs cover cold vs warm solver memo cache and solver-thread scaling.
+// The optimizer's determinism contract (byte-identical results regardless
+// of thread count or cache temperature) is enforced on this real workload:
+// any divergence fails the bench.
+//
+// Output ends with one "BENCH_JSON {...}" line (candidates/s per config,
+// warm speedup, frontier size) that CI collects into the BENCH_*.json
+// perf-trajectory artifact.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+#include "opt/backend.h"
+#include "opt/optimizer.h"
+#include "opt/spec.h"
+#include "prob/memo_cache.h"
+
+using namespace sparsedet;
+
+namespace {
+
+// Fleet sizing: min nodes with P_D >= 0.9 over N in 60..240 x k in 2..9,
+// two refinement rounds — 296 coarse candidates plus neighborhoods.
+opt::OptimizeSpec SizingSpec() {
+  opt::OptimizeSpec spec;
+  spec.objective = opt::Objective::kMinNodes;
+  spec.min_detection = 0.9;
+  spec.nodes.set = true;
+  spec.nodes.from = 60;
+  spec.nodes.to = 240;
+  spec.nodes.step = 5;
+  spec.k.set = true;
+  spec.k.from = 2;
+  spec.k.to = 9;
+  spec.k.step = 1;
+  spec.refine_rounds = 2;
+  return spec;
+}
+
+// Energy frontier: drain vs detection over N in 60..240 x duty 0.2..1.0
+// with a 1e-3 per-period false alarm probability feeding the report rate.
+opt::OptimizeSpec FrontierSpec() {
+  opt::OptimizeSpec spec;
+  spec.objective = opt::Objective::kMinEnergy;
+  spec.mode = opt::SearchMode::kFrontier;
+  spec.min_detection = 0.5;
+  spec.pf = 0.001;
+  spec.max_fa = 0.5;
+  spec.nodes.set = true;
+  spec.nodes.from = 60;
+  spec.nodes.to = 240;
+  spec.nodes.step = 20;
+  spec.duty.set = true;
+  spec.duty.from = 0.2;
+  spec.duty.to = 1.0;
+  spec.duty.step = 0.1;
+  return spec;
+}
+
+struct ConfigSpec {
+  const char* label;
+  std::size_t solver_threads;
+  bool clear_memo;  // start this config from a cold memo cache
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::int64_t evaluated = 0;
+  std::int64_t frontier_size = 0;
+  std::string output;  // both results concatenated, the determinism probe
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+RunResult RunConfig(const ConfigSpec& spec) {
+  if (spec.clear_memo) prob::MemoCache::Global().Clear();
+  const prob::MemoCacheStats before = prob::MemoCache::Global().Stats();
+
+  engine::EngineOptions options;
+  options.threads = 0;  // the pool is how the optimizer fans out
+  options.solver_threads = spec.solver_threads;
+  engine::BatchEngine engine(options);
+  opt::SyncEngineBackend backend(engine);
+
+  RunResult result;
+  Stopwatch watch;
+  for (const opt::OptimizeSpec& study : {SizingSpec(), FrontierSpec()}) {
+    opt::Optimizer optimizer(study, backend, &engine.registry());
+    const JsonValue run = optimizer.Run();
+    result.evaluated +=
+        static_cast<std::int64_t>(run.Find("evaluated")->AsDouble());
+    if (const JsonValue* frontier = run.Find("frontier")) {
+      result.frontier_size = static_cast<std::int64_t>(frontier->Size());
+    }
+    result.output += run.ToString();
+    result.output += '\n';
+  }
+  result.seconds = bench::LapSeconds(watch);
+
+  const prob::MemoCacheStats after = prob::MemoCache::Global().Stats();
+  result.memo_hits = after.hits - before.hits;
+  result.memo_misses = after.misses - before.misses;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E28", "Inverse deployment optimizer",
+      "Fleet-sizing (min N at P_D >= 0.9, refine x2) and energy-frontier\n"
+      "studies through `optimize`: coarse grid + refinement fanned out over\n"
+      "the batch engine, cold vs warm solver memo, solver-thread scaling.\n"
+      "Results must be byte-identical across every configuration.");
+
+  const std::vector<ConfigSpec> configs = {
+      {"memo cold, solver x1", 1, true},
+      {"memo warm, solver x1", 1, false},
+      {"memo warm, solver hw", 0, false},
+  };
+
+  Table table({"config", "candidates", "seconds", "candidates/s",
+               "memo hits", "memo misses"});
+  std::string reference_output;
+  JsonValue bench_configs = JsonValue::Array();
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double best_rate = 0.0;
+  std::int64_t frontier_size = 0;
+  for (const ConfigSpec& spec : configs) {
+    const RunResult run = RunConfig(spec);
+    const double rate = static_cast<double>(run.evaluated) / run.seconds;
+    table.BeginRow();
+    table.AddCell(spec.label);
+    table.AddInt(static_cast<int>(run.evaluated));
+    table.AddNumber(run.seconds, 3);
+    table.AddNumber(rate, 0);
+    table.AddInt(static_cast<int>(run.memo_hits));
+    table.AddInt(static_cast<int>(run.memo_misses));
+
+    if (std::string(spec.label) == "memo cold, solver x1") {
+      cold_seconds = run.seconds;
+    }
+    if (std::string(spec.label) == "memo warm, solver x1") {
+      warm_seconds = run.seconds;
+    }
+    best_rate = std::max(best_rate, rate);
+    frontier_size = run.frontier_size;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("config", spec.label)
+        .Set("candidates", run.evaluated)
+        .Set("seconds", run.seconds)
+        .Set("candidates_per_s", rate)
+        .Set("memo_hits", static_cast<std::int64_t>(run.memo_hits))
+        .Set("memo_misses", static_cast<std::int64_t>(run.memo_misses));
+    bench_configs.Append(std::move(entry));
+
+    if (reference_output.empty()) {
+      reference_output = run.output;
+    } else if (run.output != reference_output) {
+      std::cerr << "DETERMINISM VIOLATION: optimizer output differs "
+                   "between configs\n";
+      return 1;
+    }
+  }
+  bench::Emit(table, argc, argv);
+
+  const double warm_speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  JsonValue bench_json = JsonValue::Object();
+  bench_json.Set("bench", "optimize")
+      .Set("configs", std::move(bench_configs))
+      .Set("candidates_per_s", best_rate)
+      .Set("frontier_size", frontier_size)
+      .Set("speedup_warm_vs_cold", warm_speedup);
+  std::cout << "BENCH_JSON " << bench_json.ToString() << "\n";
+  if (frontier_size == 0) {
+    std::cerr << "SANITY FAILURE: the energy study produced an empty "
+                 "frontier\n";
+    return 1;
+  }
+  return 0;
+}

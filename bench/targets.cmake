@@ -46,3 +46,7 @@ target_link_libraries(bench_engine_batch PRIVATE sparsedet_engine)
 sparsedet_bench(bench_net_serve)
 target_link_libraries(bench_net_serve PRIVATE sparsedet_server
                                               sparsedet_engine)
+
+sparsedet_bench(bench_optimize)
+target_link_libraries(bench_optimize PRIVATE sparsedet_opt
+                                             sparsedet_engine)

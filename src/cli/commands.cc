@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 #include <numbers>
+#include <sstream>
 
 #include "cli/flags.h"
 #include "common/framing.h"
@@ -20,6 +21,11 @@
 #include "core/ms_approach.h"
 #include "engine/engine.h"
 #include "obs/log.h"
+#include "opt/backend.h"
+#include "opt/optimizer.h"
+#include "opt/spec.h"
+#include "prob/memo_cache.h"
+#include "prob/memo_snapshot.h"
 #include "obs/metrics.h"
 #include "sim/trace_io.h"
 #include "detect/system_fa.h"
@@ -126,6 +132,47 @@ void ConfigureLogging(FlagParser& flags) {
       "log-rate-limit", 50,
       "max lines per (component, event) per second (0 = unlimited)"));
   obs::StructuredLog::Global().Configure(log);
+}
+
+// One optimizer search axis as a "from:to[:step]" flag (step defaults to
+// 1). An absent flag leaves the axis unset: fixed at the scenario value.
+opt::AxisSpec ParseAxisFlag(FlagParser& flags, const std::string& name,
+                            const std::string& help) {
+  const std::string text = flags.GetString(name, "", help);
+  opt::AxisSpec axis;
+  if (text.empty()) return axis;
+  std::vector<double> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    const std::string piece =
+        colon == std::string::npos ? text.substr(start)
+                                   : text.substr(start, colon - start);
+    std::size_t used = 0;
+    double value = 0.0;
+    bool ok = !piece.empty();
+    if (ok) {
+      try {
+        value = std::stod(piece, &used);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    SPARSEDET_REQUIRE(ok && used == piece.size(),
+                      "--" + name + " must be from:to[:step], got \"" + text +
+                          "\"");
+    parts.push_back(value);
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  SPARSEDET_REQUIRE(parts.size() == 2 || parts.size() == 3,
+                    "--" + name + " must be from:to[:step], got \"" + text +
+                        "\"");
+  axis.set = true;
+  axis.from = parts[0];
+  axis.to = parts[1];
+  axis.step = parts.size() == 3 ? parts[2] : 1.0;
+  return axis;
 }
 
 // SIGTERM/SIGINT target for serve-tcp. RequestDrain() is async-signal-safe
@@ -489,6 +536,16 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
     flags.Finish();
 
     engine::BatchEngine batch_engine(options);
+    // {"cmd":"optimize"} lines run the inverse-deployment optimizer with
+    // the serve engine as its inner-solve backend. The hook runs
+    // synchronously between requests (the streaming loop holds no engine
+    // state across lines), so the re-entrant RunBatch is safe.
+    opt::SyncEngineBackend optimize_backend(batch_engine);
+    batch_engine.RegisterCommand(
+        "optimize", [&batch_engine, &optimize_backend](const JsonValue& cmd) {
+          return opt::HandleOptimizeCommand(cmd, optimize_backend,
+                                            &batch_engine.registry());
+        });
     if (&out == &std::cout) {
       // A real serving stdout must survive EINTR and partial write(2)s
       // (std::cout's streambuf silently drops the unwritten tail), so route
@@ -503,6 +560,156 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
     } else {
       batch_engine.Serve(in, out);
       if (stats) batch_engine.WriteStatsLine(out);
+    }
+    return 0;
+  });
+}
+
+int CmdOptimize(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+
+    // Spec-building flags. All of them are consumed unconditionally (the
+    // FlagParser contract), then rejected below if --spec names a file.
+    opt::OptimizeSpec spec;
+    spec.params = ParseScenario(flags);
+    spec.options = ParseMsOptions(flags);
+    const std::string objective = flags.GetString(
+        "objective", "min_nodes",
+        "optimization objective: min_nodes | min_energy | max_detection");
+    const std::string mode = flags.GetString(
+        "mode", "optimize", "search mode: optimize | frontier");
+    spec.min_detection = flags.GetDouble(
+        "min-detection", spec.min_detection,
+        "feasibility floor on the window detection probability");
+    spec.pf = flags.GetDouble(
+        "pf", spec.pf, "per-node per-awake-period false alarm probability");
+    spec.max_fa = flags.GetDouble(
+        "max-fa", spec.max_fa,
+        "cap on P[system false alarm per window] (1 = unconstrained)");
+    spec.min_lifetime_days = flags.GetDouble(
+        "min-lifetime-days", spec.min_lifetime_days,
+        "feasibility floor on the battery lifetime");
+    spec.nodes =
+        ParseAxisFlag(flags, "search-nodes", "fleet-size axis from:to[:step]");
+    spec.k = ParseAxisFlag(flags, "search-k", "threshold axis from:to[:step]");
+    spec.window = ParseAxisFlag(flags, "search-window",
+                                "decision-window axis from:to[:step]");
+    spec.period = ParseAxisFlag(flags, "search-period",
+                                "sensing-period axis from:to[:step]");
+    spec.duty =
+        ParseAxisFlag(flags, "search-duty", "duty-cycle axis from:to[:step]");
+    spec.energy.battery_joules = flags.GetDouble(
+        "battery", spec.energy.battery_joules, "battery budget in joules");
+    spec.energy.sense_cost_per_period =
+        flags.GetDouble("sense-cost", spec.energy.sense_cost_per_period,
+                        "joules per awake sensing period");
+    spec.energy.idle_cost_per_period = flags.GetDouble(
+        "idle-cost", spec.energy.idle_cost_per_period,
+        "joules per asleep period");
+    spec.energy.tx_cost_per_report_hop = flags.GetDouble(
+        "tx-cost", spec.energy.tx_cost_per_report_hop,
+        "joules to transmit one report one hop");
+    spec.energy.rx_cost_per_report_hop = flags.GetDouble(
+        "rx-cost", spec.energy.rx_cost_per_report_hop,
+        "joules to receive one report one hop");
+    spec.mean_hops = flags.GetDouble(
+        "hops", spec.mean_hops, "mean route length to the base station");
+    spec.refine_rounds = flags.GetInt(
+        "refine-rounds", spec.refine_rounds,
+        "step-halving local refinement rounds after the coarse sweep");
+
+    const std::string spec_path = flags.GetString(
+        "spec", "", "optimize spec JSON file (replaces spec-building flags)");
+    const int deadline_ms = flags.GetInt(
+        "deadline-ms", 0,
+        "wall-clock budget; expiry yields a degraded partial result");
+    const std::string memo_snapshot = flags.GetString(
+        "memo-snapshot", "",
+        "memo-cache snapshot file: load before the search, save after");
+    engine::EngineOptions options = ParseEngineOptions(flags);
+    flags.Finish();
+
+    if (objective == "min_nodes") {
+      spec.objective = opt::Objective::kMinNodes;
+    } else if (objective == "min_energy") {
+      spec.objective = opt::Objective::kMinEnergy;
+    } else if (objective == "max_detection") {
+      spec.objective = opt::Objective::kMaxDetection;
+    } else {
+      throw InvalidArgument(
+          "--objective must be min_nodes, min_energy or max_detection");
+    }
+    if (mode == "optimize") {
+      spec.mode = opt::SearchMode::kOptimize;
+    } else if (mode == "frontier") {
+      spec.mode = opt::SearchMode::kFrontier;
+    } else {
+      throw InvalidArgument("--mode must be optimize or frontier");
+    }
+    spec.deadline_ms = deadline_ms;
+
+    opt::OptimizeSpec parsed;
+    if (!spec_path.empty()) {
+      static const char* kSpecFlags[] = {
+          "field-width", "field-height", "nodes",        "rs",
+          "rc",          "pd",           "period",       "speed",
+          "window",      "k",            "gh",           "g",
+          "normalize",   "reliability",  "objective",    "mode",
+          "min-detection", "pf",         "max-fa",       "min-lifetime-days",
+          "search-nodes", "search-k",    "search-window", "search-period",
+          "search-duty", "battery",      "sense-cost",   "idle-cost",
+          "tx-cost",     "rx-cost",      "hops",         "refine-rounds"};
+      for (const char* name : kSpecFlags) {
+        SPARSEDET_REQUIRE(!flags.Provided(name),
+                          std::string("--") + name +
+                              " conflicts with --spec (the file is the "
+                              "whole spec)");
+      }
+      std::ifstream file(spec_path);
+      SPARSEDET_REQUIRE(file.good(), "cannot open --spec " + spec_path);
+      std::ostringstream text;
+      text << file.rdbuf();
+      parsed = opt::ParseOptimizeSpec(ParseJson(text.str()));
+      if (flags.Provided("deadline-ms")) {
+        SPARSEDET_REQUIRE(deadline_ms >= 0, "--deadline-ms must be >= 0");
+        parsed.deadline_ms = deadline_ms;
+      }
+    } else {
+      // One parse path: flag-built specs round-trip through the canonical
+      // JSON so they get exactly the file-spec validation (domains, grid
+      // cap) and nothing can drift.
+      parsed = opt::ParseOptimizeSpec(opt::SpecToJson(spec));
+    }
+
+    if (!memo_snapshot.empty()) {
+      try {
+        prob::LoadMemoSnapshot(prob::MemoCache::Global(), memo_snapshot);
+      } catch (const Error&) {
+        // A missing or stale snapshot is a cold start, not a failure.
+      }
+    }
+
+    engine::BatchEngine batch_engine(options);
+    opt::SyncEngineBackend backend(batch_engine);
+    opt::Optimizer optimizer(parsed, backend, &batch_engine.registry());
+    const JsonValue result = optimizer.Run();
+    opt::WriteOptimizeOutput(result, out);
+    out.flush();
+
+    if (!memo_snapshot.empty()) {
+      prob::SaveMemoSnapshot(prob::MemoCache::Global(), memo_snapshot);
+    }
+
+    // Degraded (deadline) partials still exit 0 — the result says so; a
+    // search that ran to completion and found nothing feasible exits 1.
+    const JsonValue* feasible = result.Find("feasible");
+    const JsonValue* degraded = result.Find("degraded");
+    if (feasible != nullptr && feasible->AsDouble() == 0.0 &&
+        degraded != nullptr && !degraded->AsBool()) {
+      return 1;
     }
     return 0;
   });
@@ -647,6 +854,7 @@ std::string Usage() {
       "  latency    first-passage (time-to-detection) distribution\n"
       "  trace      export one simulated trial as CSV\n"
       "  batch      evaluate a JSONL request stream, then exit\n"
+      "  optimize   inverse search: cheapest deployment meeting constraints\n"
       "  serve      long-running JSONL request loop on stdin/stdout\n"
       "  serve-tcp  concurrent TCP JSONL server with admission control\n"
       "  metrics-dump  render a metrics snapshot as table/Prometheus/JSON\n"
@@ -662,6 +870,11 @@ std::string Usage() {
       "batch: --input --threads --solver-threads --cache-capacity "
       "--memo-cache-entries --unordered --passes --stats --trace "
       "--trace-file\n"
+      "optimize: --spec <file> | (--objective --mode --min-detection --pf\n"
+      "  --max-fa --min-lifetime-days --search-nodes/k/window/period/duty\n"
+      "  (from:to[:step]) --battery --sense-cost --idle-cost --tx-cost\n"
+      "  --rx-cost --hops --refine-rounds) [--deadline-ms --memo-snapshot\n"
+      "  + engine flags] (docs/OPTIMIZER.md)\n"
       "serve: --threads --solver-threads --cache-capacity "
       "--memo-cache-entries --stats --trace --trace-file\n"
       "serve-tcp: serve flags plus --host --port --max-connections\n"
@@ -694,6 +907,7 @@ int Run(int argc, const char* const* argv, std::ostream& out,
   if (command == "latency") return CmdLatency(args, out, err);
   if (command == "trace") return CmdTrace(args, out, err);
   if (command == "batch") return CmdBatch(args, std::cin, out, err);
+  if (command == "optimize") return CmdOptimize(args, out, err);
   if (command == "serve") return CmdServe(args, std::cin, out, err);
   if (command == "serve-tcp") return CmdServeTcp(args, out, err);
   if (command == "metrics-dump") {

@@ -9,6 +9,8 @@
 //   sparsedet trace    [scenario flags] --prefix <path>  export one trial
 //   sparsedet batch    --input <file|-> [--threads --passes --unordered
 //                       --trace --trace-file ...]
+//   sparsedet optimize --spec <file> | [--objective --mode --search-* ...]
+//                       inverse deployment search (docs/OPTIMIZER.md)
 //   sparsedet serve    [--threads --cache-capacity --trace ...]  JSONL loop
 //   sparsedet serve-tcp [serve flags --host --port --max-connections
 //                       --tenant-qps --tenant-burst --idle-timeout-ms
@@ -50,6 +52,15 @@ int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
 // per-request error isolation. Both write one JSON line per request.
 int CmdBatch(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
+// `optimize` runs the inverse-deployment search (src/opt/): a constrained
+// sweep-and-refine over (N, k, M, t, duty) with the batch engine as its
+// inner-solve backend. The spec comes from --spec <file> or from
+// spec-building flags; output is one JSON result line (frontier mode: one
+// line per frontier point plus a summary). Exit 1 = the search completed
+// and nothing was feasible; a deadline partial still exits 0, tagged
+// "degraded": true.
+int CmdOptimize(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 int CmdServe(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
 // `serve-tcp` runs the epoll TCP front-end (src/server/) until SIGTERM or

@@ -701,12 +701,23 @@ bool BatchEngine::HandleCommandLine(const std::string& line,
   if (cmd == nullptr) return false;
   if (cmd->is_string() && cmd->AsString() == "stats") {
     *response = StatsSnapshotJson().ToString();
+  } else if (cmd->is_string() &&
+             command_hooks_.count(cmd->AsString()) != 0) {
+    *response = command_hooks_.at(cmd->AsString())(json).ToString();
   } else {
+    std::string expected = "\"stats\"";
+    for (const auto& [name, hook] : command_hooks_) {
+      expected += ", \"" + name + "\"";
+    }
     JsonValue error = JsonValue::Object();
-    error.Set("error", "unknown cmd; expected \"stats\"");
+    error.Set("error", "unknown cmd; expected " + expected);
     *response = error.ToString();
   }
   return true;
+}
+
+void BatchEngine::RegisterCommand(const std::string& name, CommandHook hook) {
+  command_hooks_[name] = std::move(hook);
 }
 
 bool BatchEngine::MaybeHandleCommand(const std::string& line,

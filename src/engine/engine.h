@@ -35,6 +35,7 @@
 #include <fstream>
 #include <functional>
 #include <istream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -231,6 +232,16 @@ class BatchEngine {
   // response (no trailing newline) in `*response`.
   bool HandleCommandLine(const std::string& line, std::string* response);
 
+  // Front-end extension point for additional {"cmd": ...} command types
+  // (the optimizer's "optimize"): the hook receives the parsed command
+  // object and returns the response object. Hooks run synchronously on the
+  // thread that called HandleCommandLine and may take as long as they
+  // need — the stdio serve loop is idle between requests; the TCP
+  // front-end routes long-running commands off the event loop itself.
+  // Install before traffic starts; "stats" is not overridable.
+  using CommandHook = std::function<JsonValue(const JsonValue& command)>;
+  void RegisterCommand(const std::string& name, CommandHook hook);
+
  private:
   struct PendingUnit;
   struct PendingRequest;
@@ -292,6 +303,7 @@ class BatchEngine {
   obs::TraceRing trace_ring_;
   std::unique_ptr<obs::SloTracker> slo_;  // null unless options.slo enabled
   CompletionHook completion_hook_;        // set before traffic, or never
+  std::map<std::string, CommandHook> command_hooks_;  // sorted: error text
 
   // Units planned but not yet handed to emission, keyed by canonical key;
   // identical units join the same slot instead of recomputing.

@@ -241,6 +241,14 @@ JsonValue AnalyzeToJson(const SystemParams& params,
 
 }  // namespace
 
+SystemParams ParseParamsSection(const JsonValue& obj) {
+  return ParseParams(obj);
+}
+
+MsApproachOptions ParseOptionsSection(const JsonValue& obj) {
+  return ParseOptions(obj);
+}
+
 std::string OpName(RequestOp op) {
   switch (op) {
     case RequestOp::kAnalyze:

@@ -87,6 +87,13 @@ struct Request {
 // number). Throws InvalidArgument with a key-specific message.
 Request ParseRequest(const JsonValue& json, int default_id);
 
+// The "params" / "options" section parsers, exported so other request
+// schemas embedding a scenario (the optimizer's spec) share one strict
+// parse instead of drifting. Both throw InvalidArgument naming the
+// offending key.
+SystemParams ParseParamsSection(const JsonValue& obj);
+MsApproachOptions ParseOptionsSection(const JsonValue& obj);
+
 // A single cacheable evaluation. For op == kSweep this is one grid point
 // (params carry the applied sweep value); other ops evaluate whole.
 struct WorkUnit {

@@ -1,0 +1,71 @@
+#include "opt/backend.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/error.h"
+
+namespace sparsedet::opt {
+namespace {
+
+std::vector<JsonValue> ParseResponses(const std::vector<std::string>& raw,
+                                      std::size_t expected) {
+  SPARSEDET_CHECK(raw.size() == expected,
+                  "engine returned a different number of responses than "
+                  "requests submitted");
+  std::vector<JsonValue> responses;
+  responses.reserve(raw.size());
+  for (const std::string& line : raw) {
+    responses.push_back(ParseJson(line));
+  }
+  return responses;
+}
+
+}  // namespace
+
+std::vector<JsonValue> SyncEngineBackend::Solve(
+    const std::vector<std::string>& lines) {
+  std::ostringstream in_text;
+  for (const std::string& line : lines) in_text << line << '\n';
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  engine_.RunBatch(in, out);
+
+  std::vector<std::string> raw;
+  raw.reserve(lines.size());
+  std::istringstream out_lines(out.str());
+  std::string line;
+  while (std::getline(out_lines, line)) {
+    if (!line.empty()) raw.push_back(line);
+  }
+  return ParseResponses(raw, lines.size());
+}
+
+std::vector<JsonValue> AsyncEngineBackend::Solve(
+    const std::vector<std::string>& lines) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::string> raw(lines.size());
+  std::size_t done = 0;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    engine_.SubmitLineAsync(
+        lines[i], static_cast<int>(i) + 1, parent_, /*oversized=*/false,
+        [&, i](std::string response) {
+          // Emitter thread: store and signal, nothing that can block.
+          std::lock_guard<std::mutex> lock(mutex);
+          raw[i] = std::move(response);
+          ++done;
+          if (done == lines.size()) cv.notify_one();
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done == lines.size(); });
+  }
+  return ParseResponses(raw, lines.size());
+}
+
+}  // namespace sparsedet::opt

@@ -1,0 +1,166 @@
+// The inverse-deployment optimizer.
+//
+// Search shape (the sweep-and-refine idiom): enumerate the spec's coarse
+// grid over (N, k, M, t, duty) in deterministic order, evaluate it in
+// fixed-size batches of inner solves fanned out through a SolveBackend,
+// filter by the detection / false-alarm / lifetime constraints, then run
+// `refine_rounds` of local refinement around the incumbent — each round
+// halves every set axis's step and evaluates the +/- neighborhood, so the
+// optimum is located to sub-grid resolution without paying for a fine
+// global grid. Frontier mode skips refinement and instead reports the
+// non-dominated set over (energy drain minimized, detection maximized).
+//
+// Division of labor per candidate: the detection probability is the
+// expensive part and goes through the engine (pooled workers + result
+// cache + solver memo cache); the false-alarm bound and the energy report
+// are closed forms computed locally, so constraint checks never occupy a
+// worker.
+//
+// Determinism contract (matching the engine's): the search order, batch
+// boundaries, tie-breaking and output composition depend only on the spec,
+// never on thread count or cache temperature, so a given spec produces
+// byte-identical results at --solver-threads 1 or 8, cold or warm memo.
+//
+// Deadlines: spec.deadline_ms is enforced *between* batches — inner solves
+// never carry deadline tokens (those forbid solver memo inserts, and
+// warming that cache is the optimizer's whole economy). Expiry mid-search
+// yields a valid partial result tagged "degraded": true; the worst-case
+// overrun is one batch, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.h"
+#include "core/energy_model.h"
+#include "obs/metrics.h"
+#include "opt/backend.h"
+#include "opt/spec.h"
+#include "resilience/cancel.h"
+
+namespace sparsedet::opt {
+
+// Number of candidates per inner-solve batch: large enough to saturate the
+// engine's worker pool, small enough that the between-batch deadline check
+// bounds overrun tightly.
+inline constexpr std::size_t kSolveBatchSize = 256;
+
+struct OptimizerHooks {
+  // Invoked before each inner-solve batch with its candidate count. The
+  // TCP front-end applies per-tenant admission here (blocking until the
+  // tenant's bucket admits the batch). Returning false stops the search
+  // with a partial degraded result, exactly like a deadline expiry;
+  // throwing resilience::Cancelled aborts the run.
+  std::function<bool(std::size_t batch_size,
+                     const resilience::Deadline& deadline)>
+      admit;
+  // Optional external cancellation (e.g. a connection token), checked
+  // between batches; cancellation aborts the run with Cancelled.
+  std::shared_ptr<const resilience::CancelToken> cancel;
+};
+
+// opt_* handles in a metrics registry, resolved once so the search loop
+// never takes the registry mutex.
+struct OptMetrics {
+  explicit OptMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* runs;
+  obs::Counter* candidates;
+  obs::Counter* batches;
+  obs::Counter* feasible;
+  obs::Counter* invalid;
+  obs::Counter* solve_errors;
+  obs::Counter* refine_rounds;
+  obs::Counter* deadline_partial;
+  obs::Gauge* active;
+  obs::Gauge* last_evaluated;
+  obs::Gauge* last_frontier;
+  // Per-iteration (inner-solve batch) latency, split by search phase.
+  obs::Histogram* sweep_batch_us;
+  obs::Histogram* refine_batch_us;
+};
+
+class Optimizer {
+ public:
+  // `registry` (optional) receives opt_* counters/gauges and per-iteration
+  // latency histograms; pass the engine's so they surface in /statusz and
+  // {"cmd":"stats"}. `hooks` wires admission and cancellation.
+  Optimizer(const OptimizeSpec& spec, SolveBackend& backend,
+            obs::MetricsRegistry* registry = nullptr,
+            OptimizerHooks hooks = {});
+
+  // Runs the search to completion (or deadline) and returns the result
+  // object:
+  //
+  //   {"objective": ..., "mode": ..., "degraded": false,
+  //    "grid": 480, "evaluated": 480, "feasible": 123, "invalid": 0,
+  //    "solve_errors": 0, "batches": 2, "refine_rounds": 2,
+  //    "best": {candidate} | null,
+  //    "frontier": [{candidate}, ...]}        // frontier mode only
+  //
+  // where each candidate object carries nodes/k/window/period/duty plus
+  // detection_probability, system_fa, drain_per_period, lifetime_days and
+  // objective_value. Throws resilience::Cancelled when hooks.cancel fires
+  // and InvalidArgument/Error for spec-level failures.
+  JsonValue Run();
+
+ private:
+  struct Eval {
+    Candidate candidate;
+    double detection = 0.0;
+    double system_fa = 0.0;
+    EnergyReport energy;
+    bool feasible = false;
+  };
+
+  // False = stop the search now (deadline expired / admission refused),
+  // with whatever has been evaluated so far as the partial result.
+  bool KeepGoing();
+  bool EvaluateBatch(const std::vector<Candidate>& batch, bool refining);
+  // The +/- step/2^round neighborhood of `center` over the set axes,
+  // deduplicated against everything already evaluated.
+  std::vector<Candidate> Neighborhood(const Candidate& center,
+                                      int round) const;
+  double ObjectiveValue(const Eval& e) const;
+  // Strict deterministic "a is a better optimum than b" (both feasible).
+  bool Better(const Eval& a, const Eval& b) const;
+  const Eval* CurrentBest() const;
+  JsonValue EvalJson(const Eval& e) const;
+
+  OptimizeSpec spec_;
+  SolveBackend& backend_;
+  OptimizerHooks hooks_;
+  std::unique_ptr<OptMetrics> metrics_;  // null without a registry
+  resilience::Deadline deadline_;
+
+  std::vector<Eval> evaluated_;
+  std::unordered_set<std::string> seen_;
+  std::uint64_t next_id_ = 1;
+  std::size_t invalid_ = 0;
+  std::size_t solve_errors_ = 0;
+  std::uint64_t batches_ = 0;
+  int refine_rounds_done_ = 0;
+  bool degraded_ = false;
+};
+
+// Handles one {"cmd": "optimize", "id": ..., "spec": {...}} command object
+// (serve and serve-tcp). Returns the response object: the echoed id plus
+// either {"result": <Optimizer::Run() output>} or {"error", "error_code"}.
+// Never throws — cancellation and spec errors become structured error
+// responses, matching the engine's per-request error isolation.
+JsonValue HandleOptimizeCommand(const JsonValue& command,
+                                SolveBackend& backend,
+                                obs::MetricsRegistry* registry,
+                                const OptimizerHooks& hooks = {});
+
+// CLI rendering: mode "optimize" prints the result as one JSON line; mode
+// "frontier" prints one JSON line per frontier point followed by a summary
+// line where the frontier array is replaced by "frontier_size".
+void WriteOptimizeOutput(const JsonValue& result, std::ostream& out);
+
+}  // namespace sparsedet::opt

@@ -1,0 +1,416 @@
+#include "opt/spec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "engine/request.h"
+
+namespace sparsedet::opt {
+namespace {
+
+[[noreturn]] void FailKey(const std::string& section, const std::string& key,
+                          const std::string& message) {
+  std::ostringstream os;
+  os << "spec field \"" << (section.empty() ? key : section + "." + key)
+     << "\": " << message;
+  throw InvalidArgument(os.str());
+}
+
+// Strict typed field extraction, the request.cc idiom: every section lists
+// its allowed keys so a typo is named instead of silently ignored.
+void CheckKeys(const JsonValue& obj, const std::string& section,
+               const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : obj.Fields()) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << "unknown spec field \""
+         << (section.empty() ? key : section + "." + key) << "\"";
+      throw InvalidArgument(os.str());
+    }
+  }
+}
+
+double GetNumber(const JsonValue& obj, const std::string& section,
+                 const std::string& key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailKey(section, key, "expected a number");
+  return v->AsDouble();
+}
+
+double RequireNumber(const JsonValue& obj, const std::string& section,
+                     const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) FailKey(section, key, "required");
+  if (!v->is_number()) FailKey(section, key, "expected a number");
+  return v->AsDouble();
+}
+
+int GetInt(const JsonValue& obj, const std::string& section,
+           const std::string& key, int fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) FailKey(section, key, "expected an integer");
+  const double d = v->AsDouble();
+  if (d != std::floor(d) || std::abs(d) > 1e9) {
+    FailKey(section, key, "expected an integer");
+  }
+  return static_cast<int>(d);
+}
+
+std::string GetString(const JsonValue& obj, const std::string& section,
+                      const std::string& key, const std::string& fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) FailKey(section, key, "expected a string");
+  return v->AsString();
+}
+
+AxisSpec ParseAxis(const JsonValue& obj, const std::string& section) {
+  if (!obj.is_object()) FailKey("search", section, "expected an object");
+  CheckKeys(obj, "search." + section, {"from", "to", "step"});
+  AxisSpec axis;
+  axis.set = true;
+  axis.from = RequireNumber(obj, "search." + section, "from");
+  axis.to = RequireNumber(obj, "search." + section, "to");
+  axis.step = GetNumber(obj, "search." + section, "step", 1.0);
+  if (!(axis.step > 0.0)) FailKey("search." + section, "step", "expected > 0");
+  if (axis.to < axis.from) {
+    FailKey("search." + section, "to", "expected >= from");
+  }
+  return axis;
+}
+
+JsonValue AxisToJson(const AxisSpec& axis) {
+  JsonValue json = JsonValue::Object();
+  json.Set("from", axis.from).Set("to", axis.to).Set("step", axis.step);
+  return json;
+}
+
+}  // namespace
+
+std::string ObjectiveName(Objective objective) {
+  switch (objective) {
+    case Objective::kMinNodes:
+      return "min_nodes";
+    case Objective::kMinEnergy:
+      return "min_energy";
+    case Objective::kMaxDetection:
+      return "max_detection";
+  }
+  return "?";
+}
+
+std::string SearchModeName(SearchMode mode) {
+  return mode == SearchMode::kFrontier ? "frontier" : "optimize";
+}
+
+std::size_t AxisSpec::Count() const {
+  if (!set) return 1;
+  return Values().size();
+}
+
+std::vector<double> AxisSpec::Values() const {
+  std::vector<double> values;
+  if (!set) return values;
+  // The sweep grid's inclusive-upper-bound epsilon, so an optimizer axis
+  // and an engine sweep over the same range enumerate identical points.
+  for (double v = from; v <= to + 1e-9; v += step) values.push_back(v);
+  return values;
+}
+
+std::size_t OptimizeSpec::GridSize() const {
+  return nodes.Count() * k.Count() * window.Count() * period.Count() *
+         duty.Count();
+}
+
+OptimizeSpec ParseOptimizeSpec(const JsonValue& json) {
+  if (!json.is_object()) {
+    throw InvalidArgument("optimize spec must be a JSON object");
+  }
+  CheckKeys(json, "",
+            {"objective", "mode", "constraints", "search", "params",
+             "options", "energy", "refine_rounds", "deadline_ms"});
+
+  OptimizeSpec spec;
+  const std::string objective =
+      GetString(json, "", "objective", "min_nodes");
+  if (objective == "min_nodes") {
+    spec.objective = Objective::kMinNodes;
+  } else if (objective == "min_energy") {
+    spec.objective = Objective::kMinEnergy;
+  } else if (objective == "max_detection") {
+    spec.objective = Objective::kMaxDetection;
+  } else {
+    FailKey("", "objective",
+            "expected \"min_nodes\", \"min_energy\" or \"max_detection\"");
+  }
+  const std::string mode = GetString(json, "", "mode", "optimize");
+  if (mode == "optimize") {
+    spec.mode = SearchMode::kOptimize;
+  } else if (mode == "frontier") {
+    spec.mode = SearchMode::kFrontier;
+  } else {
+    FailKey("", "mode", "expected \"optimize\" or \"frontier\"");
+  }
+
+  if (const JsonValue* constraints = json.Find("constraints")) {
+    if (!constraints->is_object()) {
+      FailKey("", "constraints", "expected an object");
+    }
+    CheckKeys(*constraints, "constraints",
+              {"min_detection", "pf", "max_fa", "min_lifetime_days"});
+    spec.min_detection = GetNumber(*constraints, "constraints",
+                                   "min_detection", spec.min_detection);
+    spec.pf = GetNumber(*constraints, "constraints", "pf", spec.pf);
+    spec.max_fa =
+        GetNumber(*constraints, "constraints", "max_fa", spec.max_fa);
+    spec.min_lifetime_days = GetNumber(
+        *constraints, "constraints", "min_lifetime_days",
+        spec.min_lifetime_days);
+    if (spec.min_detection < 0.0 || spec.min_detection > 1.0) {
+      FailKey("constraints", "min_detection", "expected in [0, 1]");
+    }
+    if (spec.pf < 0.0 || spec.pf > 1.0) {
+      FailKey("constraints", "pf", "expected in [0, 1]");
+    }
+    if (spec.max_fa < 0.0 || spec.max_fa > 1.0) {
+      FailKey("constraints", "max_fa", "expected in [0, 1]");
+    }
+    if (spec.min_lifetime_days < 0.0) {
+      FailKey("constraints", "min_lifetime_days", "expected >= 0");
+    }
+  }
+
+  if (const JsonValue* search = json.Find("search")) {
+    if (!search->is_object()) FailKey("", "search", "expected an object");
+    CheckKeys(*search, "search", {"nodes", "k", "window", "period", "duty"});
+    if (const JsonValue* axis = search->Find("nodes")) {
+      spec.nodes = ParseAxis(*axis, "nodes");
+      if (spec.nodes.from < 1.0) FailKey("search.nodes", "from", "expected >= 1");
+    }
+    if (const JsonValue* axis = search->Find("k")) {
+      spec.k = ParseAxis(*axis, "k");
+      if (spec.k.from < 1.0) FailKey("search.k", "from", "expected >= 1");
+    }
+    if (const JsonValue* axis = search->Find("window")) {
+      spec.window = ParseAxis(*axis, "window");
+      if (spec.window.from < 1.0) {
+        FailKey("search.window", "from", "expected >= 1");
+      }
+    }
+    if (const JsonValue* axis = search->Find("period")) {
+      spec.period = ParseAxis(*axis, "period");
+      if (!(spec.period.from > 0.0)) {
+        FailKey("search.period", "from", "expected > 0");
+      }
+    }
+    if (const JsonValue* axis = search->Find("duty")) {
+      spec.duty = ParseAxis(*axis, "duty");
+      if (!(spec.duty.from > 0.0)) {
+        FailKey("search.duty", "from", "expected > 0");
+      }
+      if (spec.duty.to > 1.0) FailKey("search.duty", "to", "expected <= 1");
+    }
+  }
+
+  if (const JsonValue* params = json.Find("params")) {
+    if (!params->is_object()) FailKey("", "params", "expected an object");
+    spec.params = engine::ParseParamsSection(*params);
+  }
+  if (const JsonValue* options = json.Find("options")) {
+    if (!options->is_object()) FailKey("", "options", "expected an object");
+    spec.options = engine::ParseOptionsSection(*options);
+  }
+
+  if (const JsonValue* energy = json.Find("energy")) {
+    if (!energy->is_object()) FailKey("", "energy", "expected an object");
+    CheckKeys(*energy, "energy",
+              {"battery", "sense", "idle", "tx", "rx", "hops"});
+    spec.energy.battery_joules =
+        GetNumber(*energy, "energy", "battery", spec.energy.battery_joules);
+    spec.energy.sense_cost_per_period = GetNumber(
+        *energy, "energy", "sense", spec.energy.sense_cost_per_period);
+    spec.energy.idle_cost_per_period = GetNumber(
+        *energy, "energy", "idle", spec.energy.idle_cost_per_period);
+    spec.energy.tx_cost_per_report_hop = GetNumber(
+        *energy, "energy", "tx", spec.energy.tx_cost_per_report_hop);
+    spec.energy.rx_cost_per_report_hop = GetNumber(
+        *energy, "energy", "rx", spec.energy.rx_cost_per_report_hop);
+    spec.mean_hops = GetNumber(*energy, "energy", "hops", spec.mean_hops);
+    spec.energy.Validate();
+    if (!(spec.mean_hops >= 0.0)) {
+      FailKey("energy", "hops", "expected >= 0");
+    }
+  }
+
+  spec.refine_rounds = GetInt(json, "", "refine_rounds", spec.refine_rounds);
+  if (spec.refine_rounds < 0 || spec.refine_rounds > 16) {
+    FailKey("", "refine_rounds", "expected in [0, 16]");
+  }
+  const double deadline =
+      GetNumber(json, "", "deadline_ms",
+                static_cast<double>(spec.deadline_ms));
+  if (deadline < 0.0 || deadline != std::floor(deadline)) {
+    FailKey("", "deadline_ms", "expected a non-negative integer");
+  }
+  spec.deadline_ms = static_cast<std::int64_t>(deadline);
+
+  if (spec.GridSize() > kMaxGridCandidates) {
+    std::ostringstream os;
+    os << "spec field \"search\": grid has " << spec.GridSize()
+       << " candidates, max " << kMaxGridCandidates;
+    throw InvalidArgument(os.str());
+  }
+  // The fixed scenario must itself be valid; per-candidate overrides are
+  // re-validated (and invalid combinations dropped) during enumeration.
+  spec.params.Validate();
+  return spec;
+}
+
+JsonValue SpecToJson(const OptimizeSpec& spec) {
+  JsonValue constraints = JsonValue::Object();
+  constraints.Set("min_detection", spec.min_detection)
+      .Set("pf", spec.pf)
+      .Set("max_fa", spec.max_fa)
+      .Set("min_lifetime_days", spec.min_lifetime_days);
+
+  JsonValue search = JsonValue::Object();
+  if (spec.nodes.set) search.Set("nodes", AxisToJson(spec.nodes));
+  if (spec.k.set) search.Set("k", AxisToJson(spec.k));
+  if (spec.window.set) search.Set("window", AxisToJson(spec.window));
+  if (spec.period.set) search.Set("period", AxisToJson(spec.period));
+  if (spec.duty.set) search.Set("duty", AxisToJson(spec.duty));
+
+  JsonValue params = JsonValue::Object();
+  params.Set("field_width", spec.params.field_width)
+      .Set("field_height", spec.params.field_height)
+      .Set("nodes", spec.params.num_nodes)
+      .Set("rs", spec.params.sensing_range)
+      .Set("rc", spec.params.comm_range)
+      .Set("pd", spec.params.detect_prob)
+      .Set("period", spec.params.period_length)
+      .Set("speed", spec.params.target_speed)
+      .Set("window", spec.params.window_periods)
+      .Set("k", spec.params.threshold_reports);
+
+  JsonValue options = JsonValue::Object();
+  options.Set("gh", spec.options.gh)
+      .Set("g", spec.options.g)
+      .Set("normalize", spec.options.normalize)
+      .Set("reliability", spec.options.node_reliability);
+
+  JsonValue energy = JsonValue::Object();
+  energy.Set("battery", spec.energy.battery_joules)
+      .Set("sense", spec.energy.sense_cost_per_period)
+      .Set("idle", spec.energy.idle_cost_per_period)
+      .Set("tx", spec.energy.tx_cost_per_report_hop)
+      .Set("rx", spec.energy.rx_cost_per_report_hop)
+      .Set("hops", spec.mean_hops);
+
+  JsonValue json = JsonValue::Object();
+  json.Set("objective", ObjectiveName(spec.objective))
+      .Set("mode", SearchModeName(spec.mode))
+      .Set("constraints", std::move(constraints))
+      .Set("search", std::move(search))
+      .Set("params", std::move(params))
+      .Set("options", std::move(options))
+      .Set("energy", std::move(energy))
+      .Set("refine_rounds", spec.refine_rounds)
+      .Set("deadline_ms", spec.deadline_ms);
+  return json;
+}
+
+bool CandidateLess(const Candidate& a, const Candidate& b) {
+  if (a.nodes != b.nodes) return a.nodes < b.nodes;
+  if (a.k != b.k) return a.k < b.k;
+  if (a.window != b.window) return a.window < b.window;
+  if (a.period != b.period) return a.period < b.period;
+  return a.duty < b.duty;
+}
+
+std::string CandidateKey(const Candidate& c) {
+  // Bit-exact doubles: two candidates share a key only when they are the
+  // same grid point, the memo-cache keying discipline.
+  std::ostringstream os;
+  os << c.nodes << '|' << c.k << '|' << c.window << '|'
+     << std::bit_cast<std::uint64_t>(c.period) << '|'
+     << std::bit_cast<std::uint64_t>(c.duty);
+  return os.str();
+}
+
+SystemParams CandidateParams(const OptimizeSpec& spec, const Candidate& c) {
+  SystemParams p = spec.params;
+  p.num_nodes = c.nodes;
+  p.threshold_reports = c.k;
+  p.window_periods = c.window;
+  p.period_length = c.period;
+  // E20 duty-cycling equivalence: an awake fraction d is analytically a
+  // per-period report probability of d * Pd.
+  p.detect_prob = spec.params.detect_prob * c.duty;
+  return p;
+}
+
+std::vector<Candidate> CoarseGrid(const OptimizeSpec& spec,
+                                  std::size_t* invalid) {
+  const std::vector<double> nodes =
+      spec.nodes.set ? spec.nodes.Values()
+                     : std::vector<double>{
+                           static_cast<double>(spec.params.num_nodes)};
+  const std::vector<double> ks =
+      spec.k.set ? spec.k.Values()
+                 : std::vector<double>{
+                       static_cast<double>(spec.params.threshold_reports)};
+  const std::vector<double> windows =
+      spec.window.set ? spec.window.Values()
+                      : std::vector<double>{
+                            static_cast<double>(spec.params.window_periods)};
+  const std::vector<double> periods =
+      spec.period.set ? spec.period.Values()
+                      : std::vector<double>{spec.params.period_length};
+  const std::vector<double> duties =
+      spec.duty.set ? spec.duty.Values() : std::vector<double>{1.0};
+
+  std::size_t dropped = 0;
+  std::vector<Candidate> grid;
+  grid.reserve(nodes.size() * ks.size() * windows.size() * periods.size() *
+               duties.size());
+  for (double n : nodes) {
+    for (double k : ks) {
+      for (double m : windows) {
+        for (double t : periods) {
+          for (double d : duties) {
+            Candidate c;
+            c.nodes = static_cast<int>(n);
+            c.k = static_cast<int>(k);
+            c.window = static_cast<int>(m);
+            c.period = t;
+            c.duty = d > 1.0 ? 1.0 : d;
+            try {
+              CandidateParams(spec, c).Validate();
+            } catch (const Error&) {
+              ++dropped;
+              continue;
+            }
+            grid.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  if (invalid != nullptr) *invalid = dropped;
+  return grid;
+}
+
+}  // namespace sparsedet::opt

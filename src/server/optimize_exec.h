@@ -1,0 +1,94 @@
+// Off-loop execution of {"cmd": "optimize"} commands for the TCP server.
+//
+// An optimize command runs thousands of inner solves and takes seconds to
+// minutes — three orders of magnitude past anything else on the command
+// path. The stdio serve loop can afford to run it inline (the engine is
+// idle between its lines); the TCP server cannot run it on either of its
+// threads: on the event loop it would freeze every connection for the
+// whole search, and on the engine's emitter thread it would deadlock —
+// the optimizer blocks waiting for inner-solve callbacks that fire on that
+// very thread.
+//
+// So optimize commands get a dedicated executor: one worker thread and a
+// FIFO job queue. Jobs run through AsyncEngineBackend (inner solves
+// interleave with regular connection traffic on the shared engine, all
+// against the shared memo cache) under the submitting connection's cancel
+// token, so a disconnect aborts the search between batches. Per-tenant
+// admission is applied per inner-solve *batch* via the optimizer's admit
+// hook — one governor token per batch, the same bucket that gates the
+// tenant's regular requests — so a tenant's optimize run and its plain
+// traffic share one quota.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "resilience/cancel.h"
+#include "server/token_bucket.h"
+
+namespace sparsedet::server {
+
+class OptimizeExecutor {
+ public:
+  // Both references must outlive the executor. Registers opt_server_*
+  // metrics in the engine's registry.
+  OptimizeExecutor(engine::BatchEngine& engine, TenantGovernor& governor);
+  ~OptimizeExecutor();
+
+  OptimizeExecutor(const OptimizeExecutor&) = delete;
+  OptimizeExecutor& operator=(const OptimizeExecutor&) = delete;
+
+  void Start();
+  // Drains the queue (every submitted job still gets its callback), then
+  // joins the worker. Idempotent.
+  void Stop();
+
+  using Done = std::function<void(std::string response)>;
+  // Enqueues one parsed {"cmd":"optimize"} command. `cancel` (optional)
+  // aborts the search between inner-solve batches — pass the connection
+  // token so a disconnect stops paying for an answer nobody will read.
+  // `done` runs on the executor thread with the rendered response line (no
+  // trailing newline) and must not block.
+  void Submit(JsonValue command, std::string tenant,
+              std::shared_ptr<const resilience::CancelToken> cancel,
+              Done done);
+
+  // {"jobs_total", "queue_depth", "running"} for /statusz.
+  JsonValue StatuszJson() const;
+
+ private:
+  struct Job {
+    JsonValue command;
+    std::string tenant;
+    std::shared_ptr<const resilience::CancelToken> cancel;
+    Done done;
+  };
+
+  void Loop();
+  std::string RunJob(Job& job);
+
+  engine::BatchEngine& engine_;
+  TenantGovernor& governor_;
+
+  obs::Counter* jobs_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* running_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+}  // namespace sparsedet::server

@@ -107,6 +107,9 @@ TcpServer::~TcpServer() {
   // on the engine's emitter thread, which the engine keeps past our
   // lifetime — detach it.
   admin_.reset();
+  // The executor's done callbacks touch outstanding_ and the wake fd; its
+  // worker must be gone before members are torn down.
+  optimize_exec_.reset();
   engine_.SetCompletionHook(nullptr);
   for (auto& [fd, conn] : conns_) {
     std::lock_guard<std::mutex> lock(conn->mutex);
@@ -175,6 +178,8 @@ void TcpServer::Start() {
     }
   }
   engine_.StartAsync();
+  optimize_exec_ = std::make_unique<OptimizeExecutor>(engine_, governor_);
+  optimize_exec_->Start();
   drain_state_->Set(0);
   start_ns_ = NowNs();
   if (options_.admin_port >= 0) StartAdmin();
@@ -289,6 +294,9 @@ void TcpServer::Run() {
   }
   conns_.clear();
   connections_active_->Set(0);
+  // outstanding_ hit zero, so the executor's queue is empty and idle; Stop
+  // joins its worker before the engine stops emitting.
+  if (optimize_exec_ != nullptr) optimize_exec_->Stop();
   engine_.DrainAsync();
   if (!options_.memo_snapshot_path.empty()) {
     try {
@@ -397,6 +405,46 @@ void TcpServer::ProcessLines(const std::shared_ptr<Conn>& conn) {
     const std::uint64_t seq = conn->next_seq++;
     ++conn->line_number;
     requests_total_->Inc();
+
+    // {"cmd":"optimize"} runs for seconds-to-minutes and its inner solves
+    // complete on the engine's emitter thread, so it can run on neither of
+    // our threads — route it to the executor, holding the connection's
+    // sequence slot and the server's outstanding count exactly like an
+    // engine request so pipelining order and drain both account for it.
+    // Tenant quota applies per inner-solve batch inside the executor
+    // instead of once here. Same cheap substring guard the engine uses.
+    if (!truncated && optimize_exec_ != nullptr &&
+        line.find("\"cmd\"") != std::string::npos) {
+      bool routed = false;
+      try {
+        JsonValue json = ParseJson(line, /*max_depth=*/64);
+        const JsonValue* cmd =
+            json.is_object() ? json.Find("cmd") : nullptr;
+        if (cmd != nullptr && cmd->is_string() &&
+            cmd->AsString() == "optimize") {
+          std::string tenant;
+          if (const JsonValue* t = json.Find("tenant");
+              t != nullptr && t->is_string()) {
+            tenant = t->AsString();
+          }
+          conn->pending.fetch_add(1, std::memory_order_acq_rel);
+          outstanding_.fetch_add(1, std::memory_order_acq_rel);
+          const std::shared_ptr<Conn> owner = conn;
+          optimize_exec_->Submit(
+              std::move(json), std::move(tenant), conn->token,
+              [this, owner, seq](std::string text) {
+                DeliverResponse(owner, seq, std::move(text));
+                owner->pending.fetch_sub(1, std::memory_order_acq_rel);
+                outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+                WakeLoop();
+              });
+          routed = true;
+        }
+      } catch (const Error&) {
+        // Not valid JSON: fall through, the engine renders the parse error.
+      }
+      if (routed) continue;
+    }
 
     // Admission control wants the tenant, which needs a parse; malformed
     // and command lines skip the quota (the engine reports the former, the
@@ -651,6 +699,9 @@ JsonValue TcpServer::StatuszJson() const {
       .Set("server", std::move(server))
       .Set("tenants", governor_.StateJson())
       .Set("memo_cache", std::move(memo_json))
+      .Set("optimize", optimize_exec_ != nullptr
+                           ? optimize_exec_->StatuszJson()
+                           : JsonValue::Object().Set("running", 0))
       .Set("log", std::move(log_json));
   obs::SloTracker* slo = engine_.slo();
   if (slo != nullptr) {

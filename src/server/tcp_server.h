@@ -41,6 +41,7 @@
 
 #include "engine/engine.h"
 #include "server/admin_http.h"
+#include "server/optimize_exec.h"
 #include "server/token_bucket.h"
 
 namespace sparsedet::server {
@@ -120,6 +121,9 @@ class TcpServer {
   engine::BatchEngine& engine_;
   TcpServerOptions options_;
   TenantGovernor governor_;
+  // {"cmd":"optimize"} worker (see optimize_exec.h): created by Start(),
+  // drained after the data plane drains, stopped before teardown.
+  std::unique_ptr<OptimizeExecutor> optimize_exec_;
   std::unique_ptr<AdminHttpServer> admin_;
   std::int64_t start_ns_ = 0;  // Start() stamp; /statusz uptime base
 

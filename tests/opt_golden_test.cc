@@ -1,0 +1,96 @@
+// Golden pins for one full optimize run: the winning configuration, the
+// search accounting, and byte-identity of the entire result across engine
+// configurations. These values are part of the optimizer's determinism
+// contract — an intentional change to the search must update them
+// consciously.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "opt/backend.h"
+#include "opt/optimizer.h"
+#include "opt/spec.h"
+#include "prob/memo_cache.h"
+
+namespace sparsedet::opt {
+namespace {
+
+// The reference study: min-nodes over N in 60..160 step 20, k in 3..6,
+// P_D >= 0.8 on the paper's default scenario, two refinement rounds.
+OptimizeSpec GoldenSpec() {
+  OptimizeSpec spec;
+  spec.min_detection = 0.8;
+  spec.nodes.set = true;
+  spec.nodes.from = 60;
+  spec.nodes.to = 160;
+  spec.nodes.step = 20;
+  spec.k.set = true;
+  spec.k.from = 3;
+  spec.k.to = 6;
+  spec.k.step = 1;
+  spec.refine_rounds = 2;
+  return spec;
+}
+
+JsonValue RunGolden(std::size_t threads, std::size_t solver_threads) {
+  engine::EngineOptions options;
+  options.threads = threads;
+  options.solver_threads = solver_threads;
+  engine::BatchEngine engine(options);
+  SyncEngineBackend backend(engine);
+  Optimizer optimizer(GoldenSpec(), backend, &engine.registry());
+  return optimizer.Run();
+}
+
+TEST(OptGolden, ReferenceStudyPinsTheWinningConfiguration) {
+  const JsonValue result = RunGolden(2, 1);
+
+  // Search accounting: one batch covers the whole 24-point coarse grid,
+  // then each refinement round adds one neighborhood batch — 3 batches
+  // and 32 evaluations in total.
+  EXPECT_EQ(result.Find("objective")->AsString(), "min_nodes");
+  EXPECT_EQ(result.Find("mode")->AsString(), "optimize");
+  EXPECT_FALSE(result.Find("degraded")->AsBool());
+  EXPECT_EQ(result.Find("grid")->AsDouble(), 24.0);
+  EXPECT_EQ(result.Find("evaluated")->AsDouble(), 32.0);
+  EXPECT_EQ(result.Find("feasible")->AsDouble(), 15.0);
+  EXPECT_EQ(result.Find("invalid")->AsDouble(), 0.0);
+  EXPECT_EQ(result.Find("solve_errors")->AsDouble(), 0.0);
+  EXPECT_EQ(result.Find("batches")->AsDouble(), 3.0);
+  EXPECT_EQ(result.Find("refine_rounds")->AsDouble(), 2.0);
+
+  // The winner: refinement walks the coarse optimum (N=100) down through
+  // 90 to 85, the smallest fleet on this grid resolution with P_D >= 0.8.
+  const JsonValue* best = result.Find("best");
+  ASSERT_TRUE(best != nullptr && best->is_object());
+  EXPECT_EQ(best->Find("nodes")->AsDouble(), 85.0);
+  EXPECT_EQ(best->Find("k")->AsDouble(), 3.0);
+  EXPECT_EQ(best->Find("window")->AsDouble(), 20.0);
+  EXPECT_EQ(best->Find("period")->AsDouble(), 60.0);
+  EXPECT_EQ(best->Find("duty")->AsDouble(), 1.0);
+  EXPECT_NEAR(best->Find("detection_probability")->AsDouble(),
+              0.8053126837917022, 1e-12);
+  EXPECT_EQ(best->Find("system_fa")->AsDouble(), 0.0);  // pf = 0
+  EXPECT_NEAR(best->Find("drain_per_period")->AsDouble(), 0.5, 1e-12);
+  EXPECT_NEAR(best->Find("lifetime_days")->AsDouble(), 277.77777777777777,
+              1e-9);
+  EXPECT_EQ(best->Find("objective_value")->AsDouble(), 85.0);
+}
+
+TEST(OptGolden, ResultBytesIdenticalAcrossEngineConfigurations) {
+  prob::MemoCache::Global().Clear();
+  const std::string cold_serial = RunGolden(1, 1).ToString();
+  const std::string warm_parallel = RunGolden(4, 8).ToString();
+  prob::MemoCache::Global().Clear();
+  const std::string cold_parallel = RunGolden(8, 2).ToString();
+  EXPECT_EQ(cold_serial, warm_parallel);
+  EXPECT_EQ(cold_serial, cold_parallel);
+  // And the bytes pin the winner directly.
+  EXPECT_NE(cold_serial.find("\"nodes\":85,\"k\":3"), std::string::npos)
+      << cold_serial;
+}
+
+}  // namespace
+}  // namespace sparsedet::opt

@@ -1,0 +1,247 @@
+// OptimizeSpec parsing: strict keys, domain checks, axis enumeration, the
+// grid cap, canonical round-trips, and the candidate-grid determinism the
+// optimizer's byte-identity contract rests on.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "opt/spec.h"
+
+namespace sparsedet::opt {
+namespace {
+
+OptimizeSpec ParseText(const std::string& text) {
+  return ParseOptimizeSpec(ParseJson(text));
+}
+
+TEST(AxisSpec, UnsetAxisHasOneImplicitValue) {
+  AxisSpec axis;
+  EXPECT_FALSE(axis.set);
+  EXPECT_EQ(axis.Count(), 1u);
+  EXPECT_TRUE(axis.Values().empty());  // the fixed scenario value is used
+}
+
+TEST(AxisSpec, EnumeratesInclusiveUpperBound) {
+  AxisSpec axis;
+  axis.set = true;
+  axis.from = 60;
+  axis.to = 160;
+  axis.step = 20;
+  EXPECT_EQ(axis.Values(),
+            (std::vector<double>{60, 80, 100, 120, 140, 160}));
+  EXPECT_EQ(axis.Count(), 6u);
+}
+
+TEST(AxisSpec, FractionalStepReachesEndpointThroughEpsilon) {
+  AxisSpec axis;
+  axis.set = true;
+  axis.from = 0.2;
+  axis.to = 1.0;
+  axis.step = 0.2;
+  // 0.2 + 4*0.2 lands near 1.0 with float error; the sweep-grid epsilon
+  // must still include the endpoint.
+  EXPECT_EQ(axis.Count(), 5u);
+}
+
+TEST(ParseOptimizeSpec, DefaultsMatchTheStructDefaults) {
+  const OptimizeSpec spec = ParseText("{}");
+  EXPECT_EQ(spec.objective, Objective::kMinNodes);
+  EXPECT_EQ(spec.mode, SearchMode::kOptimize);
+  EXPECT_DOUBLE_EQ(spec.min_detection, 0.9);
+  EXPECT_DOUBLE_EQ(spec.pf, 0.0);
+  EXPECT_DOUBLE_EQ(spec.max_fa, 1.0);
+  EXPECT_EQ(spec.refine_rounds, 2);
+  EXPECT_EQ(spec.deadline_ms, 0);
+  EXPECT_EQ(spec.GridSize(), 1u);  // every axis fixed at the scenario value
+}
+
+TEST(ParseOptimizeSpec, ParsesAFullSpec) {
+  const OptimizeSpec spec = ParseText(R"({
+    "objective": "min_energy", "mode": "frontier",
+    "constraints": {"min_detection": 0.8, "pf": 0.001, "max_fa": 0.05,
+                    "min_lifetime_days": 30},
+    "search": {"nodes": {"from": 60, "to": 120, "step": 20},
+               "duty": {"from": 0.2, "to": 1.0, "step": 0.2}},
+    "params": {"nodes": 100},
+    "energy": {"battery": 1e5, "hops": 3.5},
+    "refine_rounds": 1, "deadline_ms": 250})");
+  EXPECT_EQ(spec.objective, Objective::kMinEnergy);
+  EXPECT_EQ(spec.mode, SearchMode::kFrontier);
+  EXPECT_DOUBLE_EQ(spec.min_detection, 0.8);
+  EXPECT_DOUBLE_EQ(spec.pf, 0.001);
+  EXPECT_DOUBLE_EQ(spec.max_fa, 0.05);
+  EXPECT_DOUBLE_EQ(spec.min_lifetime_days, 30);
+  EXPECT_TRUE(spec.nodes.set);
+  EXPECT_TRUE(spec.duty.set);
+  EXPECT_FALSE(spec.k.set);
+  EXPECT_DOUBLE_EQ(spec.energy.battery_joules, 1e5);
+  EXPECT_DOUBLE_EQ(spec.mean_hops, 3.5);
+  EXPECT_EQ(spec.refine_rounds, 1);
+  EXPECT_EQ(spec.deadline_ms, 250);
+  EXPECT_EQ(spec.GridSize(), 4u * 5u);
+}
+
+TEST(ParseOptimizeSpec, RejectsUnknownKeysNamingThem) {
+  try {
+    ParseText(R"({"objektive": "min_nodes"})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("objektive"), std::string::npos);
+  }
+  EXPECT_THROW(ParseText(R"({"constraints": {"min_detect": 0.9}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"search": {"node": {"from": 1, "to": 2}}})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 1, "to": 2, "by": 1}}})"),
+      InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"energy": {"batery": 1}})"), InvalidArgument);
+}
+
+TEST(ParseOptimizeSpec, RejectsOutOfDomainValues) {
+  EXPECT_THROW(ParseText(R"({"objective": "fewest"})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"mode": "sweep"})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"constraints": {"min_detection": 1.5}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"constraints": {"pf": -0.1}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"constraints": {"min_lifetime_days": -1}})"),
+               InvalidArgument);
+  // Axis domain: step > 0, to >= from, duty within (0, 1].
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 60, "to": 120, "step": 0}}})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 120, "to": 60}}})"),
+      InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"search": {"nodes": {"from": 0, "to": 10}}})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"duty": {"from": 0.5, "to": 1.5, "step": 0.5}}})"),
+      InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"refine_rounds": -1})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"refine_rounds": 17})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"deadline_ms": -5})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"deadline_ms": 1.5})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"("min_nodes")"), InvalidArgument);  // not an object
+}
+
+TEST(ParseOptimizeSpec, RejectsGridsPastTheCap) {
+  // 1000 * 101 * 10 > kMaxGridCandidates.
+  EXPECT_THROW(ParseText(R"({
+    "search": {"nodes":  {"from": 1, "to": 1000},
+               "window": {"from": 20, "to": 120},
+               "k":      {"from": 1, "to": 10}}})"),
+               InvalidArgument);
+}
+
+TEST(SpecToJson, RoundTripsThroughTheParser) {
+  const std::string text = R"({
+    "objective": "max_detection", "mode": "optimize",
+    "constraints": {"min_detection": 0.7, "pf": 0.002, "max_fa": 0.1,
+                    "min_lifetime_days": 10},
+    "search": {"nodes": {"from": 80, "to": 160, "step": 40},
+               "k": {"from": 3, "to": 5, "step": 1}},
+    "energy": {"battery": 5e4},
+    "refine_rounds": 3, "deadline_ms": 100})";
+  const OptimizeSpec spec = ParseText(text);
+  const JsonValue canonical = SpecToJson(spec);
+  const OptimizeSpec reparsed = ParseOptimizeSpec(canonical);
+  // Canonical form is a fixed point: one more round-trip is byte-identical.
+  EXPECT_EQ(SpecToJson(reparsed).ToString(), canonical.ToString());
+  EXPECT_EQ(reparsed.objective, spec.objective);
+  EXPECT_EQ(reparsed.GridSize(), spec.GridSize());
+  EXPECT_EQ(reparsed.deadline_ms, spec.deadline_ms);
+}
+
+TEST(Candidate, LessIsLexicographicOverAllFiveAxes) {
+  const Candidate base{100, 5, 20, 60.0, 1.0};
+  Candidate other = base;
+  EXPECT_FALSE(CandidateLess(base, other));
+  other.duty = 0.5;
+  EXPECT_TRUE(CandidateLess(other, base));
+  other = base;
+  other.nodes = 99;
+  other.duty = 2.0;  // outranked by the nodes difference
+  EXPECT_TRUE(CandidateLess(other, base));
+  other = base;
+  other.k = 6;
+  EXPECT_TRUE(CandidateLess(base, other));
+}
+
+TEST(Candidate, KeyIsInjectiveOverDistinctGridPoints) {
+  std::unordered_set<std::string> keys;
+  for (int n : {60, 80}) {
+    for (int k : {3, 4}) {
+      for (double duty : {0.5, 1.0}) {
+        keys.insert(CandidateKey(Candidate{n, k, 20, 60.0, duty}));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 8u);
+  EXPECT_EQ(CandidateKey(Candidate{60, 3, 20, 60.0, 1.0}),
+            CandidateKey(Candidate{60, 3, 20, 60.0, 1.0}));
+}
+
+TEST(Candidate, ParamsApplyTheDutyScaledDetectProb) {
+  OptimizeSpec spec;
+  spec.params.detect_prob = 0.9;
+  const Candidate c{120, 4, 30, 45.0, 0.5};
+  const SystemParams p = CandidateParams(spec, c);
+  EXPECT_EQ(p.num_nodes, 120);
+  EXPECT_EQ(p.threshold_reports, 4);
+  EXPECT_EQ(p.window_periods, 30);
+  EXPECT_DOUBLE_EQ(p.period_length, 45.0);
+  EXPECT_DOUBLE_EQ(p.detect_prob, 0.45);  // E20: d * Pd
+}
+
+TEST(CoarseGrid, EnumeratesInCandidateLessOrder) {
+  OptimizeSpec spec;
+  spec.nodes.set = true;
+  spec.nodes.from = 60;
+  spec.nodes.to = 100;
+  spec.nodes.step = 20;
+  spec.k.set = true;
+  spec.k.from = 3;
+  spec.k.to = 4;
+  std::size_t invalid = 0;
+  const std::vector<Candidate> grid = CoarseGrid(spec, &invalid);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(invalid, 0u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_TRUE(CandidateLess(grid[i - 1], grid[i])) << "position " << i;
+  }
+  EXPECT_EQ(grid.front().nodes, 60);
+  EXPECT_EQ(grid.front().k, 3);
+  EXPECT_EQ(grid.back().nodes, 100);
+  EXPECT_EQ(grid.back().k, 4);
+}
+
+TEST(CoarseGrid, DropsAndCountsInvalidCombinations) {
+  OptimizeSpec spec;
+  // k must not exceed N * M (the maximum possible report count); the
+  // combinations that violate it are dropped, not fatal.
+  spec.nodes.set = true;
+  spec.nodes.from = 1;
+  spec.nodes.to = 2;
+  spec.window.set = true;
+  spec.window.from = 1;
+  spec.window.to = 1;
+  spec.k.set = true;
+  spec.k.from = 2;
+  spec.k.to = 3;
+  std::size_t invalid = 0;
+  const std::vector<Candidate> grid = CoarseGrid(spec, &invalid);
+  EXPECT_EQ(grid.size(), 1u);  // only (N=2, k=2) satisfies k <= N * M
+  EXPECT_EQ(invalid, 3u);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid[0].nodes, 2);
+  EXPECT_EQ(grid[0].k, 2);
+}
+
+}  // namespace
+}  // namespace sparsedet::opt

@@ -1,8 +1,9 @@
 // End-to-end tests for the TCP serve front-end: request/response over real
 // sockets, pipelined in-order delivery, hostile framing (oversized lines,
 // byte-at-a-time frames, slowloris), mid-request disconnect cancellation,
-// per-tenant admission control, the connection cap, in-stream stats, and
-// the drain-time memo snapshot roundtrip.
+// per-tenant admission control, the connection cap, in-stream stats, the
+// drain-time memo snapshot roundtrip, and off-loop {"cmd":"optimize"}
+// execution.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -20,6 +21,8 @@
 
 #include "common/json.h"
 #include "engine/engine.h"
+#include "opt/backend.h"
+#include "opt/optimizer.h"
 #include "prob/memo_cache.h"
 #include "server/tcp_server.h"
 #include "server/token_bucket.h"
@@ -409,6 +412,82 @@ TEST(TcpServer, DrainPersistsSnapshotAndRestartRestoresIt) {
     EXPECT_EQ(after.misses - before.misses, 0u);
   }
   std::remove(path.c_str());
+}
+
+// The optimize command a few tests share: the golden reference study
+// (min nodes, N in 60..160 step 20, k in 3..6, P_D >= 0.8).
+std::string OptimizeCommandLine(int id) {
+  return R"({"cmd":"optimize","id":)" + std::to_string(id) +
+         R"(,"spec":{"constraints":{"min_detection":0.8},)"
+         R"("search":{"nodes":{"from":60,"to":160,"step":20},)"
+         R"("k":{"from":3,"to":6}}}})";
+}
+
+TEST(TcpServer, OptimizeCommandAnswersOffLoopInStreamOrder) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Pipeline a solve, the optimize run, and another solve: the executor
+  // must hold the optimize response's sequence slot so the stream stays in
+  // request order even though the search runs on its own thread.
+  ASSERT_TRUE(client.SendLine(R"({"id":1,"op":"analyze"})"));
+  ASSERT_TRUE(client.SendLine(OptimizeCommandLine(2)));
+  ASSERT_TRUE(client.SendLine(R"({"id":3,"op":"analyze"})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 1);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 2);
+  EXPECT_NE(response.find("\"result\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"nodes\":85,\"k\":3"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"degraded\":false"), std::string::npos);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 3);
+  server.Stop();
+  EXPECT_EQ(server.CounterValue("opt_server_jobs_total"), 1u);
+  EXPECT_EQ(server.CounterValue("opt_runs_total"), 1u);
+  EXPECT_GT(server.CounterValue("opt_candidates_total"), 0u);
+}
+
+TEST(TcpServer, OptimizeResponseMatchesTheStdioHandler) {
+  // The same command through a standalone engine + SyncEngineBackend (what
+  // stdio serve runs) must produce byte-identical response text — the
+  // transport must not leak into the result.
+  std::string expected;
+  {
+    engine::EngineOptions options;
+    options.threads = 2;
+    engine::BatchEngine engine(options);
+    opt::SyncEngineBackend backend(engine);
+    expected = opt::HandleOptimizeCommand(ParseJson(OptimizeCommandLine(4)),
+                                          backend, &engine.registry())
+                   .ToString();
+  }
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(OptimizeCommandLine(4)));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, expected);
+}
+
+TEST(TcpServer, OptimizeErrorIsStructuredAndTheConnectionSurvives) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Missing "spec": a structured error response, not a dropped connection.
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"optimize","id":9})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 9);
+  EXPECT_NE(response.find("\"error\""), std::string::npos);
+  EXPECT_NE(response.find("spec"), std::string::npos);
+  ASSERT_TRUE(client.SendLine(R"({"id":10,"op":"analyze"})"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 10);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
 }
 
 TEST(TokenBucket, RefillsAtTheConfiguredRate) {
