@@ -72,6 +72,21 @@ double ExtractDetection(const JsonValue& response) {
   return detection->AsDouble();
 }
 
+// The engine's structured error vocabulary for a cancelled optimize run,
+// so clients branch on the same codes for both request kinds.
+const char* CancelErrorCode(resilience::CancelReason reason) {
+  switch (reason) {
+    case resilience::CancelReason::kDeadline:
+      return "deadline_exceeded";
+    case resilience::CancelReason::kWatchdog:
+      return "watchdog_cancelled";
+    case resilience::CancelReason::kDisconnect:
+      return "disconnected";
+    default:
+      return "cancelled";
+  }
+}
+
 // Decrements opt_active on every exit path, exception-safe.
 struct ActiveGuard {
   explicit ActiveGuard(obs::Gauge* gauge) : gauge_(gauge) {
@@ -415,10 +430,16 @@ JsonValue HandleOptimizeCommand(const JsonValue& command,
     Optimizer optimizer(spec, backend, registry, hooks);
     response.Set("result", optimizer.Run());
   } catch (const resilience::Cancelled& e) {
-    response.Set("error", std::string("optimize cancelled: ") +
-                              resilience::CancelReasonName(e.reason()));
+    response
+        .Set("error", std::string("optimize cancelled: ") +
+                          resilience::CancelReasonName(e.reason()))
+        .Set("error_code", CancelErrorCode(e.reason()));
+  } catch (const InvalidArgument& e) {
+    response.Set("error", std::string(e.what()))
+        .Set("error_code", "invalid_argument");
   } catch (const Error& e) {
-    response.Set("error", std::string(e.what()));
+    response.Set("error", std::string(e.what()))
+        .Set("error_code", "internal");
   }
   return response;
 }

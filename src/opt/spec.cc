@@ -77,7 +77,13 @@ std::string GetString(const JsonValue& obj, const std::string& section,
   return v->AsString();
 }
 
-AxisSpec ParseAxis(const JsonValue& obj, const std::string& section) {
+// Everything here is reachable from an untrusted {"cmd":"optimize"}
+// network request, so the axis must be provably small *before* any vector
+// is materialized: endpoints bounded, the step guaranteed to advance the
+// iterate in double precision (a sub-ulp step would loop forever), and the
+// closed-form count checked against the grid cap.
+AxisSpec ParseAxis(const JsonValue& obj, const std::string& section,
+                   bool integer) {
   if (!obj.is_object()) FailKey("search", section, "expected an object");
   CheckKeys(obj, "search." + section, {"from", "to", "step"});
   AxisSpec axis;
@@ -85,9 +91,35 @@ AxisSpec ParseAxis(const JsonValue& obj, const std::string& section) {
   axis.from = RequireNumber(obj, "search." + section, "from");
   axis.to = RequireNumber(obj, "search." + section, "to");
   axis.step = GetNumber(obj, "search." + section, "step", 1.0);
-  if (!(axis.step > 0.0)) FailKey("search." + section, "step", "expected > 0");
+  if (!std::isfinite(axis.from) || std::abs(axis.from) > 1e9) {
+    FailKey("search." + section, "from", "expected finite in [-1e9, 1e9]");
+  }
+  if (!std::isfinite(axis.to) || std::abs(axis.to) > 1e9) {
+    FailKey("search." + section, "to", "expected finite in [-1e9, 1e9]");
+  }
+  if (!std::isfinite(axis.step) || !(axis.step > 0.0)) {
+    FailKey("search." + section, "step", "expected > 0");
+  }
   if (axis.to < axis.from) {
     FailKey("search." + section, "to", "expected >= from");
+  }
+  if (integer) {
+    if (axis.from != std::floor(axis.from)) {
+      FailKey("search." + section, "from", "expected an integer");
+    }
+    if (axis.step != std::floor(axis.step)) {
+      FailKey("search." + section, "step", "expected an integer");
+    }
+  }
+  if (axis.from + axis.step == axis.from ||
+      axis.to + axis.step == axis.to) {
+    FailKey("search." + section, "step",
+            "too small to advance the axis at this magnitude");
+  }
+  if (axis.Count() > kMaxGridCandidates) {
+    std::ostringstream os;
+    os << "axis expands to more than " << kMaxGridCandidates << " values";
+    FailKey("search." + section, "step", os.str());
   }
   return axis;
 }
@@ -118,7 +150,15 @@ std::string SearchModeName(SearchMode mode) {
 
 std::size_t AxisSpec::Count() const {
   if (!set) return 1;
-  return Values().size();
+  // Closed form of the Values() loop count (largest i with
+  // from + i * step <= to + 1e-9), so grid-size checks never materialize
+  // the axis.
+  const double count = std::floor((to - from + 1e-9) / step) + 1.0;
+  if (!(count >= 1.0)) return 1;
+  constexpr double kSizeMax =
+      static_cast<double>(std::numeric_limits<std::size_t>::max());
+  if (count >= kSizeMax) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(count);
 }
 
 std::vector<double> AxisSpec::Values() const {
@@ -126,13 +166,30 @@ std::vector<double> AxisSpec::Values() const {
   if (!set) return values;
   // The sweep grid's inclusive-upper-bound epsilon, so an optimizer axis
   // and an engine sweep over the same range enumerate identical points.
-  for (double v = from; v <= to + 1e-9; v += step) values.push_back(v);
+  for (double v = from; v <= to + 1e-9; v += step) {
+    values.push_back(v);
+    // Defense in depth behind the ParseAxis closed-form cap: an axis built
+    // outside the parser must still never allocate unbounded memory or
+    // spin on a step too small to advance v.
+    if (values.size() > kMaxGridCandidates) {
+      throw InvalidArgument("axis expands to too many values");
+    }
+  }
   return values;
 }
 
 std::size_t OptimizeSpec::GridSize() const {
-  return nodes.Count() * k.Count() * window.Count() * period.Count() *
-         duty.Count();
+  // Saturating product: five axes each at the per-axis cap would overflow
+  // a naive size_t multiply.
+  std::size_t total = 1;
+  for (std::size_t count : {nodes.Count(), k.Count(), window.Count(),
+                            period.Count(), duty.Count()}) {
+    if (total > std::numeric_limits<std::size_t>::max() / count) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    total *= count;
+  }
+  return total;
 }
 
 OptimizeSpec ParseOptimizeSpec(const JsonValue& json) {
@@ -197,27 +254,27 @@ OptimizeSpec ParseOptimizeSpec(const JsonValue& json) {
     if (!search->is_object()) FailKey("", "search", "expected an object");
     CheckKeys(*search, "search", {"nodes", "k", "window", "period", "duty"});
     if (const JsonValue* axis = search->Find("nodes")) {
-      spec.nodes = ParseAxis(*axis, "nodes");
+      spec.nodes = ParseAxis(*axis, "nodes", /*integer=*/true);
       if (spec.nodes.from < 1.0) FailKey("search.nodes", "from", "expected >= 1");
     }
     if (const JsonValue* axis = search->Find("k")) {
-      spec.k = ParseAxis(*axis, "k");
+      spec.k = ParseAxis(*axis, "k", /*integer=*/true);
       if (spec.k.from < 1.0) FailKey("search.k", "from", "expected >= 1");
     }
     if (const JsonValue* axis = search->Find("window")) {
-      spec.window = ParseAxis(*axis, "window");
+      spec.window = ParseAxis(*axis, "window", /*integer=*/true);
       if (spec.window.from < 1.0) {
         FailKey("search.window", "from", "expected >= 1");
       }
     }
     if (const JsonValue* axis = search->Find("period")) {
-      spec.period = ParseAxis(*axis, "period");
+      spec.period = ParseAxis(*axis, "period", /*integer=*/false);
       if (!(spec.period.from > 0.0)) {
         FailKey("search.period", "from", "expected > 0");
       }
     }
     if (const JsonValue* axis = search->Find("duty")) {
-      spec.duty = ParseAxis(*axis, "duty");
+      spec.duty = ParseAxis(*axis, "duty", /*integer=*/false);
       if (!(spec.duty.from > 0.0)) {
         FailKey("search.duty", "from", "expected > 0");
       }
@@ -262,7 +319,10 @@ OptimizeSpec ParseOptimizeSpec(const JsonValue& json) {
   const double deadline =
       GetNumber(json, "", "deadline_ms",
                 static_cast<double>(spec.deadline_ms));
-  if (deadline < 0.0 || deadline != std::floor(deadline)) {
+  // The 9.0e15 bound matches the engine request parser: every accepted
+  // value is exactly representable in int64_t, so the cast below is safe.
+  if (deadline < 0.0 || deadline != std::floor(deadline) ||
+      deadline > 9.0e15) {
     FailKey("", "deadline_ms", "expected a non-negative integer");
   }
   spec.deadline_ms = static_cast<std::int64_t>(deadline);

@@ -29,7 +29,10 @@
 //
 // Axis semantics: an absent axis is fixed at the value in "params" (duty
 // at 1.0). A present axis enumerates from, from+step, ... up to `to`
-// inclusive. Duty cycling maps onto the solver analytically (validated by
+// inclusive. Endpoints are bounded to +/-1e9, the integer axes (nodes, k,
+// window) require integral from/step, and each axis is capped at
+// kMaxGridCandidates values — all checked in closed form at parse time,
+// so a hostile range is rejected before anything is materialized. Duty cycling maps onto the solver analytically (validated by
 // experiment E20): an awake fraction d scales the per-period report
 // probability to d * Pd — so every duty point reuses the same analytical
 // solve family, and therefore the same solver memo entries, as a plain

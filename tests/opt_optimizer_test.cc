@@ -380,6 +380,8 @@ TEST(HandleOptimizeCommand, ErrorsAreStructuredNotThrown) {
   JsonValue r1 = HandleOptimizeCommand(missing_spec, backend, nullptr);
   ASSERT_NE(r1.Find("error"), nullptr);
   EXPECT_NE(r1.Find("error")->AsString().find("spec"), std::string::npos);
+  ASSERT_NE(r1.Find("error_code"), nullptr);
+  EXPECT_EQ(r1.Find("error_code")->AsString(), "invalid_argument");
   ASSERT_NE(r1.Find("id"), nullptr);  // id echoed even on error
   EXPECT_EQ(r1.Find("id")->AsString(), "a");
 
@@ -402,6 +404,8 @@ TEST(HandleOptimizeCommand, ErrorsAreStructuredNotThrown) {
 
   JsonValue r4 = HandleOptimizeCommand(JsonValue("text"), backend, nullptr);
   ASSERT_NE(r4.Find("error"), nullptr);
+  ASSERT_NE(r4.Find("error_code"), nullptr);
+  EXPECT_EQ(r4.Find("error_code")->AsString(), "invalid_argument");
 }
 
 TEST(HandleOptimizeCommand, CancellationBecomesAnErrorResponse) {
@@ -420,6 +424,8 @@ TEST(HandleOptimizeCommand, CancellationBecomesAnErrorResponse) {
             std::string::npos);
   EXPECT_NE(response.Find("error")->AsString().find("user"),
             std::string::npos);
+  ASSERT_NE(response.Find("error_code"), nullptr);
+  EXPECT_EQ(response.Find("error_code")->AsString(), "cancelled");
 }
 
 TEST(WriteOptimizeOutput, FrontierModeEmitsOneLinePerPointPlusSummary) {

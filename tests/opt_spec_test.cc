@@ -45,6 +45,19 @@ TEST(AxisSpec, FractionalStepReachesEndpointThroughEpsilon) {
   // 0.2 + 4*0.2 lands near 1.0 with float error; the sweep-grid epsilon
   // must still include the endpoint.
   EXPECT_EQ(axis.Count(), 5u);
+  // Count() is closed-form and Values() iterates; they must agree.
+  EXPECT_EQ(axis.Values().size(), axis.Count());
+}
+
+TEST(AxisSpec, ValuesRefusesToMaterializeAnUnboundedAxis) {
+  // Built by hand (the parser rejects this earlier): a step below one ulp
+  // of `from` never advances the iterate, which must throw, not spin.
+  AxisSpec axis;
+  axis.set = true;
+  axis.from = 1e9;
+  axis.to = 1e9;
+  axis.step = 1e-12;
+  EXPECT_THROW(axis.Values(), InvalidArgument);
 }
 
 TEST(ParseOptimizeSpec, DefaultsMatchTheStructDefaults) {
@@ -127,7 +140,45 @@ TEST(ParseOptimizeSpec, RejectsOutOfDomainValues) {
   EXPECT_THROW(ParseText(R"({"refine_rounds": 17})"), InvalidArgument);
   EXPECT_THROW(ParseText(R"({"deadline_ms": -5})"), InvalidArgument);
   EXPECT_THROW(ParseText(R"({"deadline_ms": 1.5})"), InvalidArgument);
+  // Integral but unrepresentable in int64_t: must be rejected, not cast.
+  EXPECT_THROW(ParseText(R"({"deadline_ms": 1e300})"), InvalidArgument);
   EXPECT_THROW(ParseText(R"("min_nodes")"), InvalidArgument);  // not an object
+}
+
+TEST(ParseOptimizeSpec, RejectsIntegerAxesWithFractionalFromOrStep) {
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 1, "to": 5, "step": 0.5}}})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"k": {"from": 1.5, "to": 5}}})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"window": {"from": 2, "to": 8, "step": 1.5}}})"),
+      InvalidArgument);
+  // duty and period stay real-valued.
+  EXPECT_NO_THROW(
+      ParseText(R"({"search": {"duty": {"from": 0.2, "to": 1, "step": 0.2}}})"));
+  EXPECT_NO_THROW(
+      ParseText(R"({"search": {"period": {"from": 30, "to": 60, "step": 7.5}}})"));
+}
+
+TEST(ParseOptimizeSpec, RejectsHostileAxesBeforeMaterializing) {
+  // These must fail fast on arithmetic alone — a materializing parser
+  // would OOM (1e12 values) or never return (sub-ulp step).
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 1, "to": 1e12}}})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"nodes": {"from": 1, "to": 1e9}}})"),
+      InvalidArgument);  // in-bounds endpoints, but 1e9 values > the cap
+  EXPECT_THROW(
+      ParseText(
+          R"({"search": {"period": {"from": 1e9, "to": 1e9, "step": 1e-9}}})"),
+      InvalidArgument);  // step below one ulp of the endpoints
+  EXPECT_THROW(
+      ParseText(
+          R"({"search": {"period": {"from": 1, "to": 1e6, "step": 0.001}}})"),
+      InvalidArgument);  // ~1e9 values from a small-magnitude range
 }
 
 TEST(ParseOptimizeSpec, RejectsGridsPastTheCap) {

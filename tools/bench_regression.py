@@ -15,10 +15,12 @@ Only relative regressions fail the build: CI machines are slower and
 noisier than the machines that produced the baseline, so the gate is a
 ratio against the baseline recorded in-tree, not an absolute bar.
 
-A missing baseline, a bench absent from either artifact, or an absent
-metric key is a SKIP with a notice (exit 0), never a traceback: older
-baselines predate newer benches, and a bench that failed to run already
-failed its own CI step.
+A missing baseline, or a metric absent from the *baseline*, is a SKIP
+with a notice (exit 0), never a traceback: older baselines predate newer
+benches. A metric present in the baseline but absent from the *fresh*
+artifact is a failure — CI runs every guarded bench, so a metric that
+stops being emitted (bench dropped from the workflow, metric key renamed)
+is lost coverage, not a benign skip.
 
 Usage:
   tools/bench_regression.py --fresh bench_ci.json [--baseline BENCH_PR6.json]
@@ -137,7 +139,9 @@ def main():
             print(f"  {name:32} SKIP (not in baseline)")
             continue
         if now is None:
-            print(f"  {name:32} SKIP (missing from fresh artifact)")
+            print(f"  {name:32} MISSING (baseline {base:.1f}, absent from "
+                  f"fresh artifact — lost bench coverage)")
+            failures += 1
             continue
         ratio = now / base
         verdict = "ok" if ratio >= 1.0 - args.threshold else "REGRESSED"
@@ -148,7 +152,7 @@ def main():
 
     if failures:
         print(f"bench-regression: {failures} metric(s) regressed more than "
-              f"{args.threshold:.0%}")
+              f"{args.threshold:.0%} or went missing")
         return 1
     print("bench-regression: within budget")
     return 0
