@@ -1,0 +1,177 @@
+// E29 — self-healing adaptation throughput (robustness extension; no
+// paper artifact). Runs the closed-loop study the adapt subsystem exists
+// for, end to end through the batch engine: a fleet decays epoch by epoch
+// while the controller re-tunes (k, M) over a candidate grid to hold a
+// detection floor under a false-alarm cap, with a per-epoch Monte-Carlo
+// validation pass against the analytical prediction.
+//
+// Configs cover cold vs warm solver memo cache and solver-thread scaling.
+// The adaptation loop's determinism contract (byte-identical results
+// regardless of thread count or cache temperature) is enforced on this
+// real workload: any divergence fails the bench.
+//
+// Output ends with one "BENCH_JSON {...}" line (epochs/s per config, warm
+// speedup, retune count) that CI collects into the BENCH_*.json
+// perf-trajectory artifact.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adapt/adapt.h"
+#include "adapt/spec.h"
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+#include "opt/backend.h"
+#include "prob/memo_cache.h"
+
+using namespace sparsedet;
+
+namespace {
+
+// The acceptance-style scenario at bench weight: 120 nodes decaying to
+// ~60% survival over eight epochs, a 6 x 9 (k, window) candidate grid
+// re-evaluated at every epoch's estimated population, and 400 validation
+// trials per epoch. Fixed seed — the run is a pure function of this text.
+constexpr const char* kStudy = R"({
+  "mode": "closed_loop",
+  "params": {"nodes": 120},
+  "failure": {"mean_lifetime_s": 25000},
+  "horizon_epochs": 8, "epoch_periods": 20,
+  "constraints": {"min_detection": 0.85, "pf": 0.00005, "max_fa": 0.05},
+  "search": {"k": {"from": 1, "to": 6},
+             "window": {"from": 8, "to": 24, "step": 2}},
+  "sim": {"seed": 11, "trials": 400}})";
+
+struct ConfigSpec {
+  const char* label;
+  std::size_t solver_threads;
+  bool clear_memo;  // start this config from a cold memo cache
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::int64_t epochs = 0;
+  std::int64_t retunes = 0;
+  bool held = false;
+  std::string output;  // the determinism probe
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+RunResult RunConfig(const ConfigSpec& spec) {
+  if (spec.clear_memo) prob::MemoCache::Global().Clear();
+  const prob::MemoCacheStats before = prob::MemoCache::Global().Stats();
+
+  engine::EngineOptions options;
+  options.threads = 0;  // the pool is how the loop fans candidates out
+  options.solver_threads = spec.solver_threads;
+  engine::BatchEngine engine(options);
+  opt::SyncEngineBackend backend(engine);
+  const adapt::AdaptSpec study = adapt::ParseAdaptSpec(ParseJson(kStudy));
+
+  RunResult result;
+  Stopwatch watch;
+  const JsonValue run = adapt::AdaptRun(study, backend, &engine.registry());
+  result.seconds = bench::LapSeconds(watch);
+
+  result.epochs = static_cast<std::int64_t>(run.Find("epochs_run")->AsDouble());
+  result.retunes = static_cast<std::int64_t>(run.Find("retunes")->AsDouble());
+  result.held = run.Find("held")->AsBool();
+  result.output = run.ToString();
+
+  const prob::MemoCacheStats after = prob::MemoCache::Global().Stats();
+  result.memo_hits = after.hits - before.hits;
+  result.memo_misses = after.misses - before.misses;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "E29", "Self-healing adaptation loop",
+      "Closed-loop (k, M) re-tuning through `adapt`: a decaying fleet, a\n"
+      "candidate grid re-solved per epoch at the estimated population, and\n"
+      "Monte-Carlo validation — cold vs warm solver memo, solver-thread\n"
+      "scaling. Results must be byte-identical across every configuration.");
+
+  const std::vector<ConfigSpec> configs = {
+      {"memo cold, solver x1", 1, true},
+      {"memo warm, solver x1", 1, false},
+      {"memo warm, solver hw", 0, false},
+  };
+
+  Table table({"config", "epochs", "retunes", "seconds", "epochs/s",
+               "memo hits", "memo misses"});
+  std::string reference_output;
+  JsonValue bench_configs = JsonValue::Array();
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double best_rate = 0.0;
+  std::int64_t retunes = 0;
+  bool held = false;
+  for (const ConfigSpec& spec : configs) {
+    const RunResult run = RunConfig(spec);
+    const double rate = static_cast<double>(run.epochs) / run.seconds;
+    table.BeginRow();
+    table.AddCell(spec.label);
+    table.AddInt(static_cast<int>(run.epochs));
+    table.AddInt(static_cast<int>(run.retunes));
+    table.AddNumber(run.seconds, 3);
+    table.AddNumber(rate, 1);
+    table.AddInt(static_cast<int>(run.memo_hits));
+    table.AddInt(static_cast<int>(run.memo_misses));
+
+    if (std::string(spec.label) == "memo cold, solver x1") {
+      cold_seconds = run.seconds;
+    }
+    if (std::string(spec.label) == "memo warm, solver x1") {
+      warm_seconds = run.seconds;
+    }
+    best_rate = std::max(best_rate, rate);
+    retunes = run.retunes;
+    held = run.held;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("config", spec.label)
+        .Set("epochs", run.epochs)
+        .Set("seconds", run.seconds)
+        .Set("epochs_per_s", rate)
+        .Set("memo_hits", static_cast<std::int64_t>(run.memo_hits))
+        .Set("memo_misses", static_cast<std::int64_t>(run.memo_misses));
+    bench_configs.Append(std::move(entry));
+
+    if (reference_output.empty()) {
+      reference_output = run.output;
+    } else if (run.output != reference_output) {
+      std::cerr << "DETERMINISM VIOLATION: adaptation output differs "
+                   "between configs\n";
+      return 1;
+    }
+  }
+  bench::Emit(table, argc, argv);
+
+  const double warm_speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  JsonValue bench_json = JsonValue::Object();
+  bench_json.Set("bench", "adapt")
+      .Set("configs", std::move(bench_configs))
+      .Set("epochs_per_s", best_rate)
+      .Set("retunes", retunes)
+      .Set("held", held)
+      .Set("speedup_warm_vs_cold", warm_speedup);
+  std::cout << "BENCH_JSON " << bench_json.ToString() << "\n";
+  if (retunes == 0) {
+    std::cerr << "SANITY FAILURE: the decaying fleet never forced a "
+                 "retune\n";
+    return 1;
+  }
+  if (!held) {
+    std::cerr << "SANITY FAILURE: the adaptive loop failed to hold its "
+                 "floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -50,3 +50,7 @@ target_link_libraries(bench_net_serve PRIVATE sparsedet_server
 sparsedet_bench(bench_optimize)
 target_link_libraries(bench_optimize PRIVATE sparsedet_opt
                                              sparsedet_engine)
+
+sparsedet_bench(bench_adapt)
+target_link_libraries(bench_adapt PRIVATE sparsedet_adapt
+                                          sparsedet_engine)

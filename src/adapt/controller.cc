@@ -1,0 +1,95 @@
+#include "adapt/controller.h"
+
+#include "common/check.h"
+
+namespace sparsedet::adapt {
+namespace {
+
+bool Feasible(const ControllerConfig& c, const CandidateEval& e) {
+  return e.detection >= c.min_detection && e.system_fa <= c.max_fa;
+}
+
+bool Comfortable(const ControllerConfig& c, const CandidateEval& e) {
+  return e.detection >= c.min_detection + c.margin &&
+         e.system_fa <= c.max_fa;
+}
+
+}  // namespace
+
+bool CheaperSetting(const CandidateEval& a, const CandidateEval& b) {
+  if (a.window != b.window) return a.window < b.window;
+  return a.k > b.k;
+}
+
+AdaptController::AdaptController(const ControllerConfig& config,
+                                 int initial_k, int initial_window)
+    : config_(config), k_(initial_k), window_(initial_window) {}
+
+Decision AdaptController::Decide(const std::vector<CandidateEval>& evals) {
+  SPARSEDET_REQUIRE(!evals.empty(), "controller needs >= 1 candidate");
+
+  const CandidateEval* incumbent = nullptr;
+  const CandidateEval* best_feasible = nullptr;     // min cost, feasible
+  const CandidateEval* best_comfortable = nullptr;  // min cost, margin clear
+  const CandidateEval* best_capped = nullptr;       // max detection, fa <= cap
+  const CandidateEval* best_any = nullptr;          // max detection overall
+  for (const CandidateEval& e : evals) {
+    if (e.k == k_ && e.window == window_) incumbent = &e;
+    if (Feasible(config_, e) &&
+        (best_feasible == nullptr || CheaperSetting(e, *best_feasible))) {
+      best_feasible = &e;
+    }
+    if (Comfortable(config_, e) &&
+        (best_comfortable == nullptr ||
+         CheaperSetting(e, *best_comfortable))) {
+      best_comfortable = &e;
+    }
+    if (e.system_fa <= config_.max_fa &&
+        (best_capped == nullptr || e.detection > best_capped->detection)) {
+      best_capped = &e;
+    }
+    if (best_any == nullptr || e.detection > best_any->detection) {
+      best_any = &e;
+    }
+  }
+
+  const CandidateEval* chosen = nullptr;
+  bool feasible = true;
+  if (incumbent != nullptr && Feasible(config_, *incumbent)) {
+    chosen = incumbent;
+    // A settled, passing incumbent moves only for a strictly cheaper
+    // setting with margin to spare — estimator noise that nudges a
+    // borderline candidate across the floor cannot flip the loop.
+    if (dwell_ >= config_.min_dwell_epochs && best_comfortable != nullptr &&
+        CheaperSetting(*best_comfortable, *incumbent)) {
+      chosen = best_comfortable;
+    }
+  } else if (best_comfortable != nullptr) {
+    chosen = best_comfortable;
+  } else if (best_feasible != nullptr) {
+    chosen = best_feasible;
+  } else {
+    // Nothing meets the floor: degrade predictably to the best detection
+    // the FA cap allows (or the best outright if the cap excludes all).
+    chosen = best_capped != nullptr ? best_capped : best_any;
+    feasible = false;
+  }
+
+  Decision d;
+  d.k = chosen->k;
+  d.window = chosen->window;
+  d.feasible = feasible && Feasible(config_, *chosen);
+  d.retuned = chosen->k != k_ || chosen->window != window_;
+  d.detection = chosen->detection;
+  d.system_fa = chosen->system_fa;
+  if (d.retuned) {
+    k_ = chosen->k;
+    window_ = chosen->window;
+    dwell_ = 0;
+  } else if (dwell_ < (1 << 20)) {
+    ++dwell_;
+  }
+  return d;
+}
+
+}  // namespace sparsedet::adapt

@@ -1,0 +1,81 @@
+// The (k, M) adaptation controller.
+//
+// Each epoch the controller sees the analytical evaluation of every
+// candidate setting at the current population estimate and picks the one
+// to run next epoch. The cost order is deliberate: a *shorter* window is
+// cheaper (faster decisions, less report buffering), and within a window a
+// *larger* k is cheaper (more false-alarm headroom at no detection cost we
+// have not already paid). "Cheapest feasible" under this order is exactly
+// the paper's sizing recipe, re-run against the live population.
+//
+// Hysteresis keeps the loop from thrashing on estimator noise:
+//   * a feasible incumbent is kept for at least min_dwell_epochs after a
+//     switch, and after that is abandoned only for a *strictly cheaper*
+//     candidate that clears the floor with `margin` to spare;
+//   * an infeasible incumbent is replaced immediately (holding a failing
+//     setting to respect dwell would be backwards) by the cheapest
+//     feasible candidate, preferring margin-clearing ones;
+//   * when nothing is feasible the controller degrades predictably: the
+//     maximum-detection candidate under the FA cap, flagged infeasible.
+//
+// Monotonicity (the property tests' contract): the controller abandons a
+// chosen k only when the detection floor forces it — with a fixed window,
+// the chosen k is the largest one meeting the floor, so as sensors die the
+// sequence of chosen k values never decreases except when P_D demands it.
+#pragma once
+
+#include <vector>
+
+namespace sparsedet::adapt {
+
+struct ControllerConfig {
+  double min_detection = 0.9;
+  double max_fa = 1.0;
+  double margin = 0.02;      // feasibility slack required to switch settings
+  int min_dwell_epochs = 1;  // epochs a feasible incumbent is held
+};
+
+// One candidate setting evaluated at the current population estimate.
+struct CandidateEval {
+  int k = 0;
+  int window = 0;
+  double detection = 0.0;
+  double system_fa = 0.0;
+};
+
+struct Decision {
+  int k = 0;
+  int window = 0;
+  bool feasible = false;  // the chosen setting meets floor and FA cap
+  bool retuned = false;   // the setting changed this epoch
+  double detection = 0.0;
+  double system_fa = 0.0;
+};
+
+// Strict deterministic "a is cheaper than b": shorter window first, then
+// larger k.
+bool CheaperSetting(const CandidateEval& a, const CandidateEval& b);
+
+class AdaptController {
+ public:
+  AdaptController(const ControllerConfig& config, int initial_k,
+                  int initial_window);
+
+  // Picks next epoch's setting from this epoch's evaluations (at least
+  // one required). Deterministic: depends only on the config, the
+  // incumbent state and the evaluation list.
+  Decision Decide(const std::vector<CandidateEval>& evals);
+
+  int k() const { return k_; }
+  int window() const { return window_; }
+
+ private:
+  ControllerConfig config_;
+  int k_;
+  int window_;
+  // Epochs since the last switch; starts saturated so the first decision
+  // may freely move off the spec's initial setting.
+  int dwell_ = 1 << 20;
+};
+
+}  // namespace sparsedet::adapt

@@ -1,0 +1,54 @@
+#include "adapt/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sparsedet::adapt {
+
+LivePopulationEstimator::LivePopulationEstimator(double report_prob,
+                                                 int window_capacity,
+                                                 double z)
+    : q_(report_prob), capacity_(window_capacity), z_(z) {
+  SPARSEDET_REQUIRE(q_ > 0.0 && q_ <= 1.0,
+                    "estimator report probability must be in (0, 1]");
+  SPARSEDET_REQUIRE(capacity_ >= 1, "estimator needs >= 1 window");
+  SPARSEDET_REQUIRE(z_ > 0.0, "estimator z must be > 0");
+}
+
+void LivePopulationEstimator::Observe(double reports, int periods) {
+  SPARSEDET_REQUIRE(reports >= 0.0, "report count must be >= 0");
+  SPARSEDET_REQUIRE(periods >= 1, "window must span >= 1 period");
+  windows_.push_back(Window{reports, periods});
+  while (static_cast<int>(windows_.size()) > capacity_) {
+    windows_.pop_front();
+  }
+}
+
+void LivePopulationEstimator::Age(double ratio) {
+  SPARSEDET_REQUIRE(ratio >= 0.0 && ratio <= 1.0,
+                    "survival ratio must be in [0, 1]");
+  for (Window& w : windows_) w.reports *= ratio;
+}
+
+PopulationEstimate LivePopulationEstimator::Estimate() const {
+  SPARSEDET_REQUIRE(HasData(), "estimate requires at least one observation");
+  double sum_reports = 0.0;
+  double sum_periods = 0.0;
+  for (const Window& w : windows_) {
+    sum_reports += w.reports;
+    sum_periods += w.periods;
+  }
+  const double denom = q_ * sum_periods;
+  const double half = z_ * std::sqrt(sum_reports + z_ * z_ / 4.0);
+  const double center = sum_reports + z_ * z_ / 2.0;
+  PopulationEstimate est;
+  est.live = sum_reports / denom;
+  est.lo = std::max(0.0, (center - half) / denom);
+  est.hi = (center + half) / denom;
+  est.windows = static_cast<int>(windows_.size());
+  return est;
+}
+
+}  // namespace sparsedet::adapt

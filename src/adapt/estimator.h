@@ -1,0 +1,69 @@
+// Live-population estimation from quiescent report counts.
+//
+// A base station cannot poll dead sensors, but it *can* count the reports
+// it receives. With no target present every live node emits a report each
+// period with probability q (its false-alarm rate pf, thinned by transport
+// loss), so the count over an epoch of P periods from A live nodes is
+// Binomial(A * P, q) with mean A * P * q. Method of moments inverts that:
+//
+//   A_hat = sum(reports) / (q * sum(periods))
+//
+// over a sliding window of recent epochs. Because the population decays
+// while the window accumulates, older counts overestimate the present:
+// Age(ratio) multiplies every stored count by the one-step model survival
+// ratio S(t_e) / S(t_{e-1}) before each new observation, re-expressing the
+// history in present-population units.
+//
+// Confidence bounds come from the score interval for a Poisson-like count
+// (exact enough at the small q this channel runs at):
+//
+//   [sum(R) + z^2/2 -+ z * sqrt(sum(R) + z^2/4)] / (q * sum(periods))
+//
+// which stays sane at zero observed reports (lo = 0, hi > 0) where the
+// naive Wald interval collapses.
+#pragma once
+
+#include <deque>
+
+namespace sparsedet::adapt {
+
+struct PopulationEstimate {
+  double live = 0.0;  // method-of-moments point estimate
+  double lo = 0.0;    // score-interval confidence bounds at the given z
+  double hi = 0.0;
+  int windows = 0;    // epochs contributing to the estimate
+};
+
+class LivePopulationEstimator {
+ public:
+  // `report_prob` is q, the per-node per-period probability that a
+  // quiescent report is received (pf thinned by transport loss); must be
+  // in (0, 1]. `window_capacity` epochs are retained. `z` sets the
+  // confidence level (z = 3 covers ~99.7%).
+  LivePopulationEstimator(double report_prob, int window_capacity, double z);
+
+  // Records one epoch's received report count over `periods` periods.
+  void Observe(double reports, int periods);
+
+  // Decays every stored count by `ratio` (the one-step survival ratio),
+  // re-expressing history in present-population units. Call once per
+  // epoch, before Observe.
+  void Age(double ratio);
+
+  bool HasData() const { return !windows_.empty(); }
+
+  PopulationEstimate Estimate() const;
+
+ private:
+  struct Window {
+    double reports = 0.0;
+    int periods = 0;
+  };
+
+  double q_;
+  int capacity_;
+  double z_;
+  std::deque<Window> windows_;
+};
+
+}  // namespace sparsedet::adapt

@@ -1,0 +1,127 @@
+// The self-healing detection subsystem's problem specification.
+//
+// An AdaptSpec describes a *degrading* deployment and how to keep it
+// meeting its detection floor: a failure model (exponential/Weibull node
+// death plus report loss), a horizon of adaptation epochs, the (k, M)
+// search axes the controller may retune over, the constraint envelope
+// (min_detection, pf, max_fa) and the estimator/controller knobs.
+//
+// One spec per JSON object:
+//
+//   {"mode": "analyze",                  // analyze | closed_loop
+//    "params":  {... fixed scenario, engine "params" schema ...},
+//    "options": {... M-S solver options, engine "options" schema ...},
+//    "failure": {"model": "exponential", // exponential | weibull
+//                "mean_lifetime_s": 4e5, "shape": 1.0, "report_loss": 0.0},
+//    "horizon_epochs": 12,
+//    "epoch_periods": 0,                 // 0 = one decision window (M)
+//    "constraints": {"min_detection": 0.9, "pf": 1e-3, "max_fa": 1.0},
+//    "search": {"k":      {"from": 1, "to": 10, "step": 1},
+//               "window": {"from": 10, "to": 40, "step": 5}},
+//    "controller": {"margin": 0.02, "min_dwell_epochs": 1},
+//    "estimator":  {"source": "oracle",  // oracle | reports
+//                   "windows": 4, "z": 3.0},
+//    "sim": {"seed": 20080617, "trials": 0},
+//    "deadline_ms": 0}
+//
+// Modes: "analyze" propagates the *expected* survival curve through the
+// controller (the AnalyzeDegrading view — reliability thinning, no
+// randomness); "closed_loop" realizes one seeded failure trajectory and
+// runs the controller against it, optionally validating each epoch's
+// chosen setting by Monte Carlo (sim.trials > 0).
+//
+// Parsing is strict (unknown keys and wrong types are rejected with a
+// message naming the offending key), mirroring the optimizer spec so a
+// typo never silently adapts the default scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "core/ms_approach.h"
+#include "core/params.h"
+#include "core/survival.h"
+#include "opt/spec.h"
+
+namespace sparsedet::adapt {
+
+enum class AdaptMode { kAnalyze, kClosedLoop };
+
+// "analyze" / "closed_loop".
+std::string AdaptModeName(AdaptMode mode);
+
+struct AdaptSpec {
+  AdaptMode mode = AdaptMode::kAnalyze;
+
+  // Fixed scenario baseline + solver options (engine request schema).
+  SystemParams params = SystemParams::OnrDefaults();
+  MsApproachOptions options;
+
+  // The failure process the deployment degrades under.
+  SensorFailureModel failure;
+
+  // Adaptation cadence: the controller re-decides every epoch_periods
+  // sensing periods (0 = one decision window, params.window_periods) for
+  // horizon_epochs epochs.
+  int horizon_epochs = 8;
+  int epoch_periods = 0;
+
+  // Constraint envelope. `pf` is the per-node per-period false alarm
+  // probability: it feeds the count-only system-FA bound *and* is the
+  // quiescent report rate the live-population estimator observes.
+  double min_detection = 0.9;
+  double pf = 0.0;
+  double max_fa = 1.0;
+
+  // Search axes the controller retunes over; an absent axis pins that
+  // knob at the scenario value.
+  opt::AxisSpec k;
+  opt::AxisSpec window;
+
+  // Hysteresis: switch away from a *feasible* incumbent only after
+  // min_dwell_epochs epochs, and only to a strictly cheaper setting that
+  // clears the floor by `margin`.
+  double margin = 0.02;
+  int min_dwell_epochs = 1;
+
+  // Live-population estimator: "oracle" reads the true alive count (the
+  // analysis view); "reports" runs method-of-moments on the quiescent
+  // report counts of the last `windows` epochs at confidence z.
+  bool estimate_from_reports = false;
+  int estimator_windows = 4;
+  double estimator_z = 3.0;
+
+  // Closed-loop realization: trajectory + estimator seed, and per-epoch
+  // Monte-Carlo validation trials (0 = skip validation).
+  std::uint64_t sim_seed = 20080617;
+  int sim_trials = 0;
+
+  // Wall-clock budget for the whole run; 0 = none. Expiry yields a valid
+  // partial result tagged "degraded": true, never a hang — enforced
+  // between inner-solve batches, exactly like the optimizer.
+  std::int64_t deadline_ms = 0;
+
+  int EpochPeriods() const {
+    return epoch_periods > 0 ? epoch_periods : params.window_periods;
+  }
+
+  // Candidates evaluated per epoch (product of the two axis counts).
+  std::size_t EpochGridSize() const;
+};
+
+// Longest horizon a spec may request; with the per-epoch grid cap this
+// bounds total inner solves the same way kMaxGridCandidates bounds the
+// optimizer, so serve mode never accepts unbounded work.
+inline constexpr int kMaxHorizonEpochs = 512;
+
+// Parses and validates one spec object. Throws InvalidArgument with a
+// key-specific message on unknown keys, type mismatches, out-of-domain
+// values, or a horizon x grid product larger than opt::kMaxGridCandidates.
+AdaptSpec ParseAdaptSpec(const JsonValue& json);
+
+// The spec as canonical JSON (round-trips through ParseAdaptSpec); echoed
+// in results so a stored adaptation trace is self-describing.
+JsonValue SpecToJson(const AdaptSpec& spec);
+
+}  // namespace sparsedet::adapt

@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <cmath>
 #include <csignal>
 #include <fstream>
 #include <functional>
@@ -8,6 +9,8 @@
 #include <numbers>
 #include <sstream>
 
+#include "adapt/adapt.h"
+#include "adapt/spec.h"
 #include "cli/flags.h"
 #include "common/framing.h"
 #include "server/tcp_server.h"
@@ -546,6 +549,13 @@ int CmdServe(const std::vector<std::string>& args, std::istream& in,
           return opt::HandleOptimizeCommand(cmd, optimize_backend,
                                             &batch_engine.registry());
         });
+    // {"cmd":"adapt"} runs the self-healing adaptation loop on the same
+    // synchronous backend; like optimize, the hook runs between requests.
+    batch_engine.RegisterCommand(
+        "adapt", [&batch_engine, &optimize_backend](const JsonValue& cmd) {
+          return adapt::HandleAdaptCommand(cmd, optimize_backend,
+                                           &batch_engine.registry());
+        });
     if (&out == &std::cout) {
       // A real serving stdout must survive EINTR and partial write(2)s
       // (std::cout's streambuf silently drops the unwritten tail), so route
@@ -715,6 +725,177 @@ int CmdOptimize(const std::vector<std::string>& args, std::ostream& out,
   });
 }
 
+int CmdAdapt(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  return Guard(err, [&] {
+    const std::vector<const char*> argv = ToArgv(args);
+    FlagParser flags(static_cast<int>(argv.size()), argv.data(), 0);
+
+    // Spec-building flags. All of them are consumed unconditionally (the
+    // FlagParser contract), then rejected below if --spec names a file.
+    adapt::AdaptSpec spec;
+    spec.params = ParseScenario(flags);
+    spec.options = ParseMsOptions(flags);
+    const std::string mode = flags.GetString(
+        "mode", "analyze", "adaptation mode: analyze | closed_loop");
+    const std::string failure_model = flags.GetString(
+        "failure-model", "exponential",
+        "per-node lifetime family: exponential | weibull");
+    spec.failure.mean_lifetime_s = flags.GetDouble(
+        "mean-lifetime-s", spec.failure.mean_lifetime_s,
+        "mean node lifetime in seconds (0 = immortal)");
+    spec.failure.weibull_shape = flags.GetDouble(
+        "shape", spec.failure.weibull_shape,
+        "Weibull shape (1 = exponential; >1 wear-out)");
+    spec.failure.report_loss_prob = flags.GetDouble(
+        "report-loss", spec.failure.report_loss_prob,
+        "i.i.d. report transport loss probability");
+    spec.horizon_epochs = flags.GetInt(
+        "horizon-epochs", spec.horizon_epochs,
+        "adaptation epochs to run the controller for");
+    spec.epoch_periods = flags.GetInt(
+        "epoch-periods", spec.epoch_periods,
+        "sensing periods per epoch (0 = one decision window)");
+    spec.min_detection = flags.GetDouble(
+        "min-detection", spec.min_detection,
+        "detection floor the controller must hold");
+    spec.pf = flags.GetDouble(
+        "pf", spec.pf,
+        "per-node per-period false alarm probability (and the quiescent "
+        "report rate the estimator observes)");
+    spec.max_fa = flags.GetDouble(
+        "max-fa", spec.max_fa,
+        "cap on P[system false alarm per window] (1 = unconstrained)");
+    spec.k = ParseAxisFlag(flags, "search-k", "threshold axis from:to[:step]");
+    spec.window = ParseAxisFlag(flags, "search-window",
+                                "decision-window axis from:to[:step]");
+    spec.margin = flags.GetDouble(
+        "margin", spec.margin,
+        "feasibility slack required before switching settings");
+    spec.min_dwell_epochs = flags.GetInt(
+        "min-dwell", spec.min_dwell_epochs,
+        "epochs a feasible setting is held before switching");
+    const std::string estimator = flags.GetString(
+        "estimator", "oracle",
+        "live-population source: oracle | reports");
+    spec.estimator_windows = flags.GetInt(
+        "estimator-windows", spec.estimator_windows,
+        "epochs of report counts the estimator retains");
+    spec.estimator_z = flags.GetDouble(
+        "estimator-z", spec.estimator_z,
+        "confidence multiplier for the population bounds");
+    const double seed = flags.GetDouble(
+        "seed", static_cast<double>(spec.sim_seed),
+        "closed-loop trajectory / estimator / validation seed");
+    spec.sim_trials = flags.GetInt(
+        "trials", spec.sim_trials,
+        "per-epoch Monte-Carlo validation trials (0 = skip)");
+
+    const std::string spec_path = flags.GetString(
+        "spec", "", "adapt spec JSON file (replaces spec-building flags)");
+    const int deadline_ms = flags.GetInt(
+        "deadline-ms", 0,
+        "wall-clock budget; expiry yields a degraded partial result");
+    const std::string memo_snapshot = flags.GetString(
+        "memo-snapshot", "",
+        "memo-cache snapshot file: load before the run, save after");
+    engine::EngineOptions options = ParseEngineOptions(flags);
+    flags.Finish();
+
+    if (mode == "analyze") {
+      spec.mode = adapt::AdaptMode::kAnalyze;
+    } else if (mode == "closed_loop") {
+      spec.mode = adapt::AdaptMode::kClosedLoop;
+    } else {
+      throw InvalidArgument("--mode must be analyze or closed_loop");
+    }
+    if (failure_model == "exponential") {
+      spec.failure.kind = FailureKind::kExponential;
+    } else if (failure_model == "weibull") {
+      spec.failure.kind = FailureKind::kWeibull;
+    } else {
+      throw InvalidArgument(
+          "--failure-model must be exponential or weibull");
+    }
+    if (estimator == "oracle") {
+      spec.estimate_from_reports = false;
+    } else if (estimator == "reports") {
+      spec.estimate_from_reports = true;
+    } else {
+      throw InvalidArgument("--estimator must be oracle or reports");
+    }
+    SPARSEDET_REQUIRE(seed >= 0 && seed == std::floor(seed) && seed <= 9.0e15,
+                      "--seed must be a non-negative integer");
+    spec.sim_seed = static_cast<std::uint64_t>(seed);
+    spec.deadline_ms = deadline_ms;
+
+    adapt::AdaptSpec parsed;
+    if (!spec_path.empty()) {
+      static const char* kSpecFlags[] = {
+          "field-width",  "field-height",      "nodes",
+          "rs",           "rc",                "pd",
+          "period",       "speed",             "window",
+          "k",            "gh",                "g",
+          "normalize",    "reliability",       "mode",
+          "failure-model", "mean-lifetime-s",  "shape",
+          "report-loss",  "horizon-epochs",    "epoch-periods",
+          "min-detection", "pf",               "max-fa",
+          "search-k",     "search-window",     "margin",
+          "min-dwell",    "estimator",         "estimator-windows",
+          "estimator-z",  "seed",              "trials"};
+      for (const char* name : kSpecFlags) {
+        SPARSEDET_REQUIRE(!flags.Provided(name),
+                          std::string("--") + name +
+                              " conflicts with --spec (the file is the "
+                              "whole spec)");
+      }
+      std::ifstream file(spec_path);
+      SPARSEDET_REQUIRE(file.good(), "cannot open --spec " + spec_path);
+      std::ostringstream text;
+      text << file.rdbuf();
+      parsed = adapt::ParseAdaptSpec(ParseJson(text.str()));
+      if (flags.Provided("deadline-ms")) {
+        SPARSEDET_REQUIRE(deadline_ms >= 0, "--deadline-ms must be >= 0");
+        parsed.deadline_ms = deadline_ms;
+      }
+    } else {
+      // One parse path: flag-built specs round-trip through the canonical
+      // JSON so they get exactly the file-spec validation (domains, caps)
+      // and nothing can drift.
+      parsed = adapt::ParseAdaptSpec(adapt::SpecToJson(spec));
+    }
+
+    if (!memo_snapshot.empty()) {
+      try {
+        prob::LoadMemoSnapshot(prob::MemoCache::Global(), memo_snapshot);
+      } catch (const Error&) {
+        // A missing or stale snapshot is a cold start, not a failure.
+      }
+    }
+
+    engine::BatchEngine batch_engine(options);
+    opt::SyncEngineBackend backend(batch_engine);
+    const JsonValue result =
+        adapt::AdaptRun(parsed, backend, &batch_engine.registry());
+    adapt::WriteAdaptOutput(result, out);
+    out.flush();
+
+    if (!memo_snapshot.empty()) {
+      prob::SaveMemoSnapshot(prob::MemoCache::Global(), memo_snapshot);
+    }
+
+    // Degraded (deadline) partials still exit 0 — the result says so; a
+    // loop that ran to completion and could not hold the floor exits 1.
+    const JsonValue* held = result.Find("held");
+    const JsonValue* degraded = result.Find("degraded");
+    if (held != nullptr && !held->AsBool() && degraded != nullptr &&
+        !degraded->AsBool()) {
+      return 1;
+    }
+    return 0;
+  });
+}
+
 int CmdServeTcp(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err) {
   return Guard(err, [&] {
@@ -855,6 +1036,7 @@ std::string Usage() {
       "  trace      export one simulated trial as CSV\n"
       "  batch      evaluate a JSONL request stream, then exit\n"
       "  optimize   inverse search: cheapest deployment meeting constraints\n"
+      "  adapt      self-healing loop: retune k/M as sensors die\n"
       "  serve      long-running JSONL request loop on stdin/stdout\n"
       "  serve-tcp  concurrent TCP JSONL server with admission control\n"
       "  metrics-dump  render a metrics snapshot as table/Prometheus/JSON\n"
@@ -875,6 +1057,13 @@ std::string Usage() {
       "  (from:to[:step]) --battery --sense-cost --idle-cost --tx-cost\n"
       "  --rx-cost --hops --refine-rounds) [--deadline-ms --memo-snapshot\n"
       "  + engine flags] (docs/OPTIMIZER.md)\n"
+      "adapt: --spec <file> | (--mode analyze|closed_loop --failure-model\n"
+      "  exponential|weibull --mean-lifetime-s --shape --report-loss\n"
+      "  --horizon-epochs --epoch-periods --min-detection --pf --max-fa\n"
+      "  --search-k/window (from:to[:step]) --margin --min-dwell\n"
+      "  --estimator oracle|reports --estimator-windows --estimator-z\n"
+      "  --seed --trials) [--deadline-ms --memo-snapshot + engine flags]\n"
+      "  (docs/RESILIENCE.md)\n"
       "serve: --threads --solver-threads --cache-capacity "
       "--memo-cache-entries --stats --trace --trace-file\n"
       "serve-tcp: serve flags plus --host --port --max-connections\n"
@@ -908,6 +1097,7 @@ int Run(int argc, const char* const* argv, std::ostream& out,
   if (command == "trace") return CmdTrace(args, out, err);
   if (command == "batch") return CmdBatch(args, std::cin, out, err);
   if (command == "optimize") return CmdOptimize(args, out, err);
+  if (command == "adapt") return CmdAdapt(args, out, err);
   if (command == "serve") return CmdServe(args, std::cin, out, err);
   if (command == "serve-tcp") return CmdServeTcp(args, out, err);
   if (command == "metrics-dump") {

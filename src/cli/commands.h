@@ -11,6 +11,8 @@
 //                       --trace --trace-file ...]
 //   sparsedet optimize --spec <file> | [--objective --mode --search-* ...]
 //                       inverse deployment search (docs/OPTIMIZER.md)
+//   sparsedet adapt    --spec <file> | [--mode --failure-model --search-*
+//                       --min-detection ...]   self-healing k/M retune loop
 //   sparsedet serve    [--threads --cache-capacity --trace ...]  JSONL loop
 //   sparsedet serve-tcp [serve flags --host --port --max-connections
 //                       --tenant-qps --tenant-burst --idle-timeout-ms
@@ -61,6 +63,15 @@ int CmdBatch(const std::vector<std::string>& args, std::istream& in,
 // "degraded": true.
 int CmdOptimize(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err);
+// `adapt` runs the self-healing loop (src/adapt/): per epoch it thins the
+// fleet by the configured failure model, (optionally) re-estimates the live
+// population from quiescent report counts, and retunes (k, M) over the
+// search axes to the cheapest setting holding --min-detection under the FA
+// cap. Output is one JSON line per epoch plus a summary. Exit 1 = the loop
+// ran to completion and some epoch had no feasible setting; a deadline
+// partial still exits 0, tagged "degraded": true.
+int CmdAdapt(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
 int CmdServe(const std::vector<std::string>& args, std::istream& in,
              std::ostream& out, std::ostream& err);
 // `serve-tcp` runs the epoll TCP front-end (src/server/) until SIGTERM or

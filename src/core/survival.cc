@@ -1,0 +1,101 @@
+#include "core/survival.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/false_alarm_model.h"
+
+namespace sparsedet {
+
+const char* FailureKindName(FailureKind kind) {
+  return kind == FailureKind::kWeibull ? "weibull" : "exponential";
+}
+
+namespace {
+
+// Weibull scale lambda for a given mean: mean = lambda * Gamma(1 + 1/shape).
+double WeibullScale(double mean, double shape) {
+  return mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+}  // namespace
+
+void SensorFailureModel::Validate() const {
+  SPARSEDET_REQUIRE(std::isfinite(mean_lifetime_s) && mean_lifetime_s >= 0.0,
+                    "mean_lifetime_s must be finite and >= 0");
+  SPARSEDET_REQUIRE(std::isfinite(weibull_shape) && weibull_shape > 0.0,
+                    "weibull shape must be finite and > 0");
+  SPARSEDET_REQUIRE(
+      std::isfinite(report_loss_prob) && report_loss_prob >= 0.0 &&
+          report_loss_prob < 1.0,
+      "report_loss_prob must be in [0, 1)");
+}
+
+double SensorFailureModel::SurvivalAt(double t_seconds) const {
+  if (mean_lifetime_s <= 0.0 || t_seconds <= 0.0) return 1.0;
+  if (kind == FailureKind::kExponential || weibull_shape == 1.0) {
+    return std::exp(-t_seconds / mean_lifetime_s);
+  }
+  const double scale = WeibullScale(mean_lifetime_s, weibull_shape);
+  return std::exp(-std::pow(t_seconds / scale, weibull_shape));
+}
+
+double SensorFailureModel::LifetimeFromUniform(double u) const {
+  if (mean_lifetime_s <= 0.0) return std::numeric_limits<double>::infinity();
+  // -ln(1-u) is an Exp(1) sample; u in [0, 1) keeps it finite.
+  const double e = -std::log1p(-u);
+  if (kind == FailureKind::kExponential || weibull_shape == 1.0) {
+    return mean_lifetime_s * e;
+  }
+  const double scale = WeibullScale(mean_lifetime_s, weibull_shape);
+  return scale * std::pow(e, 1.0 / weibull_shape);
+}
+
+double SensorFailureModel::EffectiveDetectProb(double pd) const {
+  return pd * (1.0 - report_loss_prob);
+}
+
+std::vector<DegradingEpoch> AnalyzeDegrading(const SystemParams& params,
+                                             const MsApproachOptions& options,
+                                             const SensorFailureModel& model,
+                                             int horizon_epochs,
+                                             int epoch_periods, double pf) {
+  SPARSEDET_REQUIRE(horizon_epochs >= 1, "horizon_epochs must be >= 1");
+  SPARSEDET_REQUIRE(epoch_periods >= 1, "epoch_periods must be >= 1");
+  SPARSEDET_REQUIRE(std::isfinite(pf) && pf >= 0.0 && pf <= 1.0,
+                    "pf must be in [0, 1]");
+  params.Validate();
+  model.Validate();
+
+  SystemParams epoch_params = params;
+  epoch_params.detect_prob = model.EffectiveDetectProb(params.detect_prob);
+
+  std::vector<DegradingEpoch> rows;
+  rows.reserve(static_cast<std::size_t>(horizon_epochs));
+  for (int e = 0; e < horizon_epochs; ++e) {
+    DegradingEpoch row;
+    row.epoch = e;
+    row.time_s = static_cast<double>(e) * epoch_periods * params.period_length;
+    row.survival = model.SurvivalAt(row.time_s);
+    row.expected_live = row.survival * params.num_nodes;
+
+    MsApproachOptions epoch_options = options;
+    epoch_options.node_reliability = options.node_reliability * row.survival;
+    row.detection_probability =
+        MsApproachAnalyze(epoch_params, epoch_options).detection_probability;
+
+    if (pf > 0.0) {
+      // A dead node emits neither true nor false reports, and a lost report
+      // is lost whatever triggered it — the count-only FA bound sees the
+      // same thinning the detection side does.
+      const double pf_eff =
+          row.survival * pf * (1.0 - model.report_loss_prob);
+      row.system_fa = CountOnlySystemFaProbability(epoch_params, pf_eff);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sparsedet

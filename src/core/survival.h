@@ -1,0 +1,88 @@
+// Time-varying effective population: sensor-survival models and the
+// epoch-wise degrading analysis.
+//
+// The paper fixes a population of N healthy sensors for the whole
+// deployment; a long-running deployment does not get that luxury — nodes
+// exhaust batteries or are destroyed, and reports are lost in transit.
+// This header restates the analysis for a population that *decays*: a
+// per-node lifetime distribution (exponential or Weibull, the two standard
+// hardware-mortality models) induces a survival probability S(t), and each
+// analysis epoch evaluates the M-S solver against the thinned population.
+//
+// Two equivalences make this exact rather than heuristic:
+//   * random per-node survival with probability s is a binomial thinning
+//     of the report counts — precisely what MsApproachOptions::
+//     node_reliability already implements (region_pmf.cc ThinnedBy), so a
+//     degraded epoch reuses the solver (and its memo-cache entries)
+//     unchanged;
+//   * i.i.d. report-transport loss with probability l scales the
+//     per-period report probability to Pd * (1 - l), the same family of
+//     solves as a detect-probability sweep.
+#pragma once
+
+#include <vector>
+
+#include "core/ms_approach.h"
+#include "core/params.h"
+
+namespace sparsedet {
+
+enum class FailureKind { kExponential, kWeibull };
+
+// "exponential" / "weibull".
+const char* FailureKindName(FailureKind kind);
+
+// Per-node mortality plus report transport loss. Both lifetime families
+// are parameterized by the *mean* lifetime so operators state one number;
+// the Weibull scale is derived as mean / Gamma(1 + 1/shape). shape > 1
+// models wear-out (deaths cluster around the mean), shape < 1 infant
+// mortality, shape == 1 reduces exactly to the exponential.
+struct SensorFailureModel {
+  FailureKind kind = FailureKind::kExponential;
+  double mean_lifetime_s = 0.0;  // 0 = immortal population (paper model)
+  double weibull_shape = 1.0;
+  double report_loss_prob = 0.0;
+
+  // Throws InvalidArgument unless mean_lifetime_s >= 0, weibull_shape > 0
+  // and report_loss_prob in [0, 1).
+  void Validate() const;
+
+  // S(t) = P[node still alive at time t]. 1.0 for the immortal model.
+  double SurvivalAt(double t_seconds) const;
+
+  // Inverse-CDF lifetime sample from a uniform draw u in [0, 1) —
+  // exponential: -mean * ln(1-u); Weibull: scale * (-ln(1-u))^(1/shape).
+  // The sim's seeded failure trajectories flow through this so analysis
+  // and simulation share one definition of the failure process.
+  double LifetimeFromUniform(double u) const;
+
+  // Per-period report probability after transport loss: pd * (1 - loss).
+  double EffectiveDetectProb(double pd) const;
+};
+
+// One epoch of the degrading analysis.
+struct DegradingEpoch {
+  int epoch = 0;
+  double time_s = 0.0;         // epoch start time
+  double survival = 1.0;       // S(time_s)
+  double expected_live = 0.0;  // N * S(time_s)
+  double detection_probability = 0.0;  // M-S solve on the thinned population
+  double system_fa = 0.0;  // count-only bound at the thinned report rate
+};
+
+// Propagates the survival process through the M-S solver epoch by epoch:
+// epoch e starts at t = e * epoch_periods * period_length, and its solve
+// is the scenario with node_reliability scaled by S(t) and detect_prob by
+// (1 - report_loss). `pf` (per-node per-period false alarm probability)
+// feeds the count-only system-FA bound, thinned the same way. Consecutive
+// epochs differ only in the reliability scalar, so region tables and solve
+// cores shared across epochs come out of the process-wide memo cache.
+// Requires horizon_epochs >= 1 and epoch_periods >= 1.
+std::vector<DegradingEpoch> AnalyzeDegrading(const SystemParams& params,
+                                             const MsApproachOptions& options,
+                                             const SensorFailureModel& model,
+                                             int horizon_epochs,
+                                             int epoch_periods,
+                                             double pf = 0.0);
+
+}  // namespace sparsedet

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "adapt/adapt.h"
 #include "obs/log.h"
 #include "opt/backend.h"
 #include "opt/optimizer.h"
@@ -48,6 +49,10 @@ void OptimizeExecutor::Stop() {
   started_ = false;
 }
 
+void OptimizeExecutor::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
 void OptimizeExecutor::Submit(
     JsonValue command, std::string tenant,
     std::shared_ptr<const resilience::CancelToken> cancel, Done done) {
@@ -88,13 +93,15 @@ std::string OptimizeExecutor::RunJob(Job& job) {
   // One governor token per inner-solve batch, from the same bucket that
   // admits the tenant's regular requests. The wait loop polls so a
   // disconnect or deadline mid-wait still resolves: cancellation throws
-  // (caught by HandleOptimizeCommand into an error response), deadline
-  // expiry returns false (a degraded partial result).
+  // (caught by the command handler into an error response), deadline
+  // expiry returns false (a degraded partial result). A server drain
+  // refuses outright: the job winds down to a partial within one batch.
   const std::string tenant = job.tenant;
   hooks.admit = [this, tenant, cancel = job.cancel](
                     std::size_t batch_size,
                     const resilience::Deadline& deadline) {
     (void)batch_size;
+    if (draining_.load(std::memory_order_acquire)) return false;
     if (!governor_.enabled()) return true;
     while (!governor_.Admit(tenant, NowNs())) {
       if (cancel != nullptr) cancel->ThrowIfCancelled();
@@ -103,10 +110,27 @@ std::string OptimizeExecutor::RunJob(Job& job) {
     }
     return true;
   };
-  const JsonValue response = opt::HandleOptimizeCommand(
-      job.command, backend, &engine_.registry(), hooks);
+  const JsonValue* cmd =
+      job.command.is_object() ? job.command.Find("cmd") : nullptr;
+  const bool is_adapt =
+      cmd != nullptr && cmd->is_string() && cmd->AsString() == "adapt";
+  JsonValue response =
+      is_adapt ? adapt::HandleAdaptCommand(job.command, backend,
+                                           &engine_.registry(), hooks)
+               : opt::HandleOptimizeCommand(job.command, backend,
+                                            &engine_.registry(), hooks);
+  // A response rendered during a SIGTERM drain is a partial by decree,
+  // whatever the run itself thinks: tag it so clients never mistake a
+  // drained answer for a complete one.
+  if (draining_.load(std::memory_order_acquire)) {
+    if (const JsonValue* result = response.Find("result")) {
+      JsonValue patched = *result;
+      patched.Set("degraded", true);
+      response.Set("result", std::move(patched));
+    }
+  }
   if (const JsonValue* error = response.Find("error")) {
-    obs::LogWarn("optimize", "job_failed",
+    obs::LogWarn(is_adapt ? "adapt" : "optimize", "job_failed",
                  JsonValue::Object().Set("error", *error));
   }
   return response.ToString();

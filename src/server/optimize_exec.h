@@ -1,25 +1,34 @@
-// Off-loop execution of {"cmd": "optimize"} commands for the TCP server.
+// Off-loop execution of the long commands — {"cmd": "optimize"} and
+// {"cmd": "adapt"} — for the TCP server.
 //
-// An optimize command runs thousands of inner solves and takes seconds to
-// minutes — three orders of magnitude past anything else on the command
-// path. The stdio serve loop can afford to run it inline (the engine is
-// idle between its lines); the TCP server cannot run it on either of its
-// threads: on the event loop it would freeze every connection for the
-// whole search, and on the engine's emitter thread it would deadlock —
-// the optimizer blocks waiting for inner-solve callbacks that fire on that
-// very thread.
+// A long command runs hundreds-to-thousands of inner solves and takes
+// seconds to minutes — orders of magnitude past anything else on the
+// command path. The stdio serve loop can afford to run it inline (the
+// engine is idle between its lines); the TCP server cannot run it on
+// either of its threads: on the event loop it would freeze every
+// connection for the whole run, and on the engine's emitter thread it
+// would deadlock — the run blocks waiting for inner-solve callbacks that
+// fire on that very thread.
 //
-// So optimize commands get a dedicated executor: one worker thread and a
-// FIFO job queue. Jobs run through AsyncEngineBackend (inner solves
-// interleave with regular connection traffic on the shared engine, all
-// against the shared memo cache) under the submitting connection's cancel
-// token, so a disconnect aborts the search between batches. Per-tenant
-// admission is applied per inner-solve *batch* via the optimizer's admit
-// hook — one governor token per batch, the same bucket that gates the
-// tenant's regular requests — so a tenant's optimize run and its plain
-// traffic share one quota.
+// So long commands get a dedicated executor: one worker thread and a FIFO
+// job queue. Jobs run through AsyncEngineBackend (inner solves interleave
+// with regular connection traffic on the shared engine, all against the
+// shared memo cache) under the submitting connection's cancel token, so a
+// disconnect aborts the run between batches. Per-tenant admission is
+// applied per inner-solve *batch* via the shared admit hook — one governor
+// token per batch, the same bucket that gates the tenant's regular
+// requests — so a tenant's long command and its plain traffic share one
+// quota.
+//
+// Drain: when the server starts a SIGTERM drain it calls BeginDrain().
+// From that point the admit hook refuses every further batch, so running
+// and queued jobs wind down to valid *partial* results within one batch,
+// and every response rendered during the drain is tagged
+// "degraded": true — a drained answer must never be mistaken for a
+// complete one.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,12 +61,18 @@ class OptimizeExecutor {
   // joins the worker. Idempotent.
   void Stop();
 
+  // Flags a server drain in progress: every subsequent inner-solve batch
+  // is refused (jobs finish as degraded partials within one batch) and
+  // every response rendered from now on carries "degraded": true. One-way;
+  // safe to call from any thread.
+  void BeginDrain();
+
   using Done = std::function<void(std::string response)>;
-  // Enqueues one parsed {"cmd":"optimize"} command. `cancel` (optional)
-  // aborts the search between inner-solve batches — pass the connection
-  // token so a disconnect stops paying for an answer nobody will read.
-  // `done` runs on the executor thread with the rendered response line (no
-  // trailing newline) and must not block.
+  // Enqueues one parsed {"cmd":"optimize"} or {"cmd":"adapt"} command.
+  // `cancel` (optional) aborts the run between inner-solve batches — pass
+  // the connection token so a disconnect stops paying for an answer nobody
+  // will read. `done` runs on the executor thread with the rendered
+  // response line (no trailing newline) and must not block.
   void Submit(JsonValue command, std::string tenant,
               std::shared_ptr<const resilience::CancelToken> cancel,
               Done done);
@@ -82,6 +97,8 @@ class OptimizeExecutor {
   obs::Counter* jobs_total_;
   obs::Gauge* queue_depth_;
   obs::Gauge* running_;
+
+  std::atomic<bool> draining_{false};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

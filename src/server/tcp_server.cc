@@ -217,6 +217,12 @@ void TcpServer::Run() {
                        "outstanding", static_cast<std::int64_t>(
                                           outstanding_.load(
                                               std::memory_order_acquire))));
+      // Long commands in flight wind down to degraded partials within one
+      // inner-solve batch, and every response they render from here on is
+      // tagged degraded — it flushes before the final stats line because
+      // the loop below only exits once outstanding_ is zero and all
+      // connection buffers are empty.
+      if (optimize_exec_ != nullptr) optimize_exec_->BeginDrain();
       // Stop accepting and stop reading; admitted work runs to completion.
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       ::close(listen_fd_);
@@ -406,13 +412,14 @@ void TcpServer::ProcessLines(const std::shared_ptr<Conn>& conn) {
     ++conn->line_number;
     requests_total_->Inc();
 
-    // {"cmd":"optimize"} runs for seconds-to-minutes and its inner solves
-    // complete on the engine's emitter thread, so it can run on neither of
-    // our threads — route it to the executor, holding the connection's
-    // sequence slot and the server's outstanding count exactly like an
-    // engine request so pipelining order and drain both account for it.
-    // Tenant quota applies per inner-solve batch inside the executor
-    // instead of once here. Same cheap substring guard the engine uses.
+    // {"cmd":"optimize"} / {"cmd":"adapt"} run for seconds-to-minutes and
+    // their inner solves complete on the engine's emitter thread, so they
+    // can run on neither of our threads — route them to the executor,
+    // holding the connection's sequence slot and the server's outstanding
+    // count exactly like an engine request so pipelining order and drain
+    // both account for them. Tenant quota applies per inner-solve batch
+    // inside the executor instead of once here. Same cheap substring guard
+    // the engine uses.
     if (!truncated && optimize_exec_ != nullptr &&
         line.find("\"cmd\"") != std::string::npos) {
       bool routed = false;
@@ -421,7 +428,7 @@ void TcpServer::ProcessLines(const std::shared_ptr<Conn>& conn) {
         const JsonValue* cmd =
             json.is_object() ? json.Find("cmd") : nullptr;
         if (cmd != nullptr && cmd->is_string() &&
-            cmd->AsString() == "optimize") {
+            (cmd->AsString() == "optimize" || cmd->AsString() == "adapt")) {
           std::string tenant;
           if (const JsonValue* t = json.Find("tenant");
               t != nullptr && t->is_string()) {
@@ -702,6 +709,7 @@ JsonValue TcpServer::StatuszJson() const {
       .Set("optimize", optimize_exec_ != nullptr
                            ? optimize_exec_->StatuszJson()
                            : JsonValue::Object().Set("running", 0))
+      .Set("adapt", AdaptStatuszJson())
       .Set("log", std::move(log_json));
   obs::SloTracker* slo = engine_.slo();
   if (slo != nullptr) {
@@ -712,6 +720,32 @@ JsonValue TcpServer::StatuszJson() const {
     json.Set("slo", std::move(off));
   }
   return json;
+}
+
+JsonValue TcpServer::AdaptStatuszJson() const {
+  // The self-healing loop's deployment-health view: how many adapt runs
+  // and epochs this process has served, and the live-population / setting
+  // gauges as of the most recent epoch. Reads the shared adapt_* handles
+  // (creating zero-valued ones if no adapt command has run yet).
+  obs::MetricsRegistry& registry = engine_.registry();
+  JsonValue obj = JsonValue::Object();
+  obj.Set("runs_total",
+          static_cast<std::int64_t>(
+              registry.counter("adapt_runs_total").Value()))
+      .Set("epochs_total",
+           static_cast<std::int64_t>(
+               registry.counter("adapt_epochs_total").Value()))
+      .Set("retunes_total",
+           static_cast<std::int64_t>(
+               registry.counter("adapt_retunes_total").Value()))
+      .Set("active", registry.gauge("adapt_active").Value())
+      .Set("live_population",
+           registry.gauge("adapt_live_population").Value())
+      .Set("estimated_population",
+           registry.gauge("adapt_estimated_population").Value())
+      .Set("current_k", registry.gauge("adapt_current_k").Value())
+      .Set("current_window", registry.gauge("adapt_current_window").Value());
+  return obj;
 }
 
 void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,

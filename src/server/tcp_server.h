@@ -117,12 +117,14 @@ class TcpServer {
   void WakeLoop();
   void StartAdmin();
   JsonValue StatuszJson() const;
+  JsonValue AdaptStatuszJson() const;
 
   engine::BatchEngine& engine_;
   TcpServerOptions options_;
   TenantGovernor governor_;
-  // {"cmd":"optimize"} worker (see optimize_exec.h): created by Start(),
-  // drained after the data plane drains, stopped before teardown.
+  // {"cmd":"optimize"} / {"cmd":"adapt"} worker (see optimize_exec.h):
+  // created by Start(), drained after the data plane drains, stopped
+  // before teardown.
   std::unique_ptr<OptimizeExecutor> optimize_exec_;
   std::unique_ptr<AdminHttpServer> admin_;
   std::int64_t start_ns_ = 0;  // Start() stamp; /statusz uptime base

@@ -1,0 +1,41 @@
+#include "sim/closed_loop.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sparsedet {
+
+FailureTrajectory::FailureTrajectory(int n, const SensorFailureModel& model,
+                                     std::uint64_t seed) {
+  SPARSEDET_REQUIRE(n >= 1, "trajectory needs at least one node");
+  model.Validate();
+  Rng base(seed);
+  lifetimes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Rng node = base.Substream(static_cast<std::uint64_t>(i));
+    lifetimes_.push_back(model.LifetimeFromUniform(node.UniformDouble()));
+  }
+}
+
+int FailureTrajectory::AliveAt(double t_seconds) const {
+  int alive = 0;
+  for (double life : lifetimes_) {
+    if (life > t_seconds) ++alive;
+  }
+  return alive;
+}
+
+int QuiescentReportCount(int alive, int periods, double q_eff, Rng& rng) {
+  SPARSEDET_REQUIRE(alive >= 0, "alive must be >= 0");
+  SPARSEDET_REQUIRE(periods >= 0, "periods must be >= 0");
+  const double q = std::clamp(q_eff, 0.0, 1.0);
+  const long slots = static_cast<long>(alive) * periods;
+  int count = 0;
+  for (long s = 0; s < slots; ++s) {
+    if (rng.Bernoulli(q)) ++count;
+  }
+  return count;
+}
+
+}  // namespace sparsedet

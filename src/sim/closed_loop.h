@@ -1,0 +1,50 @@
+// Seeded sensor-failure trajectories and the quiescent report counts that
+// feed the live-population estimator.
+//
+// A FailureTrajectory realizes the SensorFailureModel once: each of the N
+// nodes draws a lifetime through its own Rng substream, so the trajectory
+// is a pure function of (n, model, seed) — independent of thread count,
+// call order, or how many epochs are later inspected. The closed-loop
+// adapt scenario walks AliveAt() epoch by epoch while the controller only
+// ever sees the report-count observable, exactly as a base station would.
+//
+// QuiescentReportCount models the estimator's input channel: with no
+// target present, every live node independently emits a report each period
+// with probability q (its false-alarm/heartbeat rate) and the report
+// survives transport with probability 1 - loss. The count over one epoch
+// is Binomial(alive * periods, q_eff), sampled with a per-epoch substream
+// so the whole closed loop stays byte-identical across schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/survival.h"
+
+namespace sparsedet {
+
+// Per-node lifetimes drawn from `model` — one substream per node index.
+class FailureTrajectory {
+ public:
+  // Requires n >= 1 and a validated model.
+  FailureTrajectory(int n, const SensorFailureModel& model,
+                    std::uint64_t seed);
+
+  // Number of nodes still alive at time t (lifetime > t).
+  int AliveAt(double t_seconds) const;
+
+  int size() const { return static_cast<int>(lifetimes_.size()); }
+  const std::vector<double>& lifetimes() const { return lifetimes_; }
+
+ private:
+  std::vector<double> lifetimes_;
+};
+
+// One epoch's quiescent (target-absent) report count: Binomial draw with
+// alive * periods slots at success probability q_eff = q * (1 - loss).
+// `rng` should be a fresh per-epoch substream; probabilities are clamped
+// to [0, 1]. Requires alive >= 0 and periods >= 0.
+int QuiescentReportCount(int alive, int periods, double q_eff, Rng& rng);
+
+}  // namespace sparsedet

@@ -1,0 +1,160 @@
+// AdaptSpec parsing: strict keys, domain checks, the horizon x grid cap,
+// the reports-estimator pf requirement, and canonical round-trips.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adapt/spec.h"
+#include "common/error.h"
+#include "common/json.h"
+
+namespace sparsedet::adapt {
+namespace {
+
+AdaptSpec ParseText(const std::string& text) {
+  return ParseAdaptSpec(ParseJson(text));
+}
+
+TEST(ParseAdaptSpec, DefaultsMatchTheStructDefaults) {
+  const AdaptSpec spec = ParseText("{}");
+  EXPECT_EQ(spec.mode, AdaptMode::kAnalyze);
+  EXPECT_EQ(spec.horizon_epochs, 8);
+  EXPECT_EQ(spec.epoch_periods, 0);
+  EXPECT_EQ(spec.EpochPeriods(), spec.params.window_periods);
+  EXPECT_DOUBLE_EQ(spec.min_detection, 0.9);
+  EXPECT_DOUBLE_EQ(spec.pf, 0.0);
+  EXPECT_DOUBLE_EQ(spec.max_fa, 1.0);
+  EXPECT_FALSE(spec.k.set);
+  EXPECT_FALSE(spec.window.set);
+  EXPECT_EQ(spec.EpochGridSize(), 1u);
+  EXPECT_FALSE(spec.estimate_from_reports);
+  EXPECT_EQ(spec.sim_trials, 0);
+  EXPECT_EQ(spec.deadline_ms, 0);
+}
+
+TEST(ParseAdaptSpec, ParsesAFullSpec) {
+  const AdaptSpec spec = ParseText(R"({
+    "mode": "closed_loop",
+    "params": {"nodes": 90, "window": 15, "k": 4},
+    "failure": {"model": "weibull", "mean_lifetime_s": 40000,
+                "shape": 2.0, "report_loss": 0.1},
+    "horizon_epochs": 6, "epoch_periods": 30,
+    "constraints": {"min_detection": 0.85, "pf": 0.001, "max_fa": 0.05},
+    "search": {"k": {"from": 1, "to": 8},
+               "window": {"from": 10, "to": 20, "step": 5}},
+    "controller": {"margin": 0.05, "min_dwell_epochs": 2},
+    "estimator": {"source": "reports", "windows": 6, "z": 2.5},
+    "sim": {"seed": 99, "trials": 500},
+    "deadline_ms": 1000})");
+  EXPECT_EQ(spec.mode, AdaptMode::kClosedLoop);
+  EXPECT_EQ(spec.params.num_nodes, 90);
+  EXPECT_EQ(spec.failure.kind, FailureKind::kWeibull);
+  EXPECT_DOUBLE_EQ(spec.failure.mean_lifetime_s, 40000.0);
+  EXPECT_DOUBLE_EQ(spec.failure.weibull_shape, 2.0);
+  EXPECT_DOUBLE_EQ(spec.failure.report_loss_prob, 0.1);
+  EXPECT_EQ(spec.horizon_epochs, 6);
+  EXPECT_EQ(spec.EpochPeriods(), 30);
+  EXPECT_DOUBLE_EQ(spec.min_detection, 0.85);
+  EXPECT_DOUBLE_EQ(spec.max_fa, 0.05);
+  EXPECT_EQ(spec.EpochGridSize(), 8u * 3u);
+  EXPECT_DOUBLE_EQ(spec.margin, 0.05);
+  EXPECT_EQ(spec.min_dwell_epochs, 2);
+  EXPECT_TRUE(spec.estimate_from_reports);
+  EXPECT_EQ(spec.estimator_windows, 6);
+  EXPECT_DOUBLE_EQ(spec.estimator_z, 2.5);
+  EXPECT_EQ(spec.sim_seed, 99u);
+  EXPECT_EQ(spec.sim_trials, 500);
+  EXPECT_EQ(spec.deadline_ms, 1000);
+}
+
+TEST(ParseAdaptSpec, RejectsUnknownKeysEverywhere) {
+  EXPECT_THROW(ParseText(R"({"bogus": 1})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"failure": {"bogus": 1}})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"constraints": {"bogus": 1}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"search": {"nodes": {"from": 1, "to": 2}}})"),
+               InvalidArgument);  // adapt retunes k/M only, never N
+  EXPECT_THROW(ParseText(R"({"controller": {"bogus": 1}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"estimator": {"bogus": 1}})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"sim": {"bogus": 1}})"), InvalidArgument);
+}
+
+TEST(ParseAdaptSpec, RejectsOutOfDomainValues) {
+  EXPECT_THROW(ParseText(R"({"mode": "frontier"})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"failure": {"model": "uniform"}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"failure": {"mean_lifetime_s": -1}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"failure": {"report_loss": 1.0}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"horizon_epochs": 0})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"horizon_epochs": 100000})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"constraints": {"min_detection": 1.5}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"controller": {"margin": -0.1}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"estimator": {"windows": 0}})"),
+               InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"estimator": {"z": 0}})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"sim": {"seed": 1.5}})"), InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"sim": {"trials": -1}})"), InvalidArgument);
+}
+
+TEST(ParseAdaptSpec, RejectsHostileAxes) {
+  // The optimizer's hostile-axis hardening applies verbatim: NaN bounds,
+  // inverted ranges and sub-ulp steps must be caught at parse time.
+  EXPECT_THROW(ParseText(R"({"search": {"k": {"from": 5, "to": 1}}})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      ParseText(R"({"search": {"k": {"from": 1, "to": 8, "step": 0}}})"),
+      InvalidArgument);
+  EXPECT_THROW(ParseText(R"({"search": {"k": {"from": 0, "to": 8}}})"),
+               InvalidArgument);  // k >= 1
+  EXPECT_THROW(
+      ParseText(R"({"search": {"k": {"from": 1.5, "to": 8}}})"),
+      InvalidArgument);  // integer axis
+}
+
+TEST(ParseAdaptSpec, CapsHorizonTimesGrid) {
+  // 512 epochs x (100 k x 40 windows) = 2,048,000 > kMaxGridCandidates.
+  EXPECT_THROW(ParseText(R"({
+    "horizon_epochs": 512,
+    "search": {"k": {"from": 1, "to": 100},
+               "window": {"from": 10, "to": 400, "step": 10}}})"),
+               InvalidArgument);
+}
+
+TEST(ParseAdaptSpec, ReportsEstimatorRequiresAReportChannel) {
+  // With pf == 0 quiescent sensors never report, so there is nothing to
+  // estimate from; the parser must say so rather than divide by zero.
+  try {
+    ParseText(R"({"estimator": {"source": "reports"}})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("oracle"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecToJson, RoundTripsThroughTheParser) {
+  const std::string text = R"({
+    "mode": "closed_loop",
+    "params": {"nodes": 120},
+    "failure": {"model": "weibull", "mean_lifetime_s": 30000, "shape": 1.5},
+    "horizon_epochs": 4,
+    "constraints": {"min_detection": 0.8, "pf": 0.0001},
+    "search": {"k": {"from": 1, "to": 6}},
+    "estimator": {"source": "reports", "windows": 3},
+    "sim": {"seed": 7, "trials": 100}})";
+  const AdaptSpec spec = ParseText(text);
+  const AdaptSpec reparsed = ParseAdaptSpec(SpecToJson(spec));
+  EXPECT_EQ(SpecToJson(spec).ToString(), SpecToJson(reparsed).ToString());
+  EXPECT_EQ(reparsed.mode, AdaptMode::kClosedLoop);
+  EXPECT_EQ(reparsed.params.num_nodes, 120);
+  EXPECT_EQ(reparsed.failure.kind, FailureKind::kWeibull);
+  EXPECT_EQ(reparsed.sim_seed, 7u);
+}
+
+}  // namespace
+}  // namespace sparsedet::adapt

@@ -1,0 +1,212 @@
+// Sensor-survival models and the epoch-wise degrading analysis: the
+// closed-form survival curves, inverse-CDF lifetime sampling, the
+// report-loss thinning equivalence, and AnalyzeDegrading's agreement with
+// plain MsApproachAnalyze at matching reliability scalars.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/false_alarm_model.h"
+#include "core/ms_approach.h"
+#include "core/params.h"
+#include "core/survival.h"
+
+namespace sparsedet {
+namespace {
+
+SystemParams Scenario() {
+  SystemParams p;  // the ONR defaults; k/M small enough to solve fast
+  p.threshold_reports = 3;
+  p.window_periods = 10;
+  return p;
+}
+
+TEST(SensorFailureModel, ImmortalByDefault) {
+  SensorFailureModel model;
+  model.Validate();
+  EXPECT_DOUBLE_EQ(model.SurvivalAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.SurvivalAt(1e9), 1.0);
+  EXPECT_TRUE(std::isinf(model.LifetimeFromUniform(0.5)));
+}
+
+TEST(SensorFailureModel, ExponentialSurvivalCurve) {
+  SensorFailureModel model;
+  model.mean_lifetime_s = 1000.0;
+  model.Validate();
+  EXPECT_DOUBLE_EQ(model.SurvivalAt(0.0), 1.0);
+  EXPECT_NEAR(model.SurvivalAt(1000.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(model.SurvivalAt(2000.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(SensorFailureModel, WeibullShapeOneIsExponential) {
+  SensorFailureModel weibull;
+  weibull.kind = FailureKind::kWeibull;
+  weibull.mean_lifetime_s = 700.0;
+  weibull.weibull_shape = 1.0;
+  SensorFailureModel expo;
+  expo.mean_lifetime_s = 700.0;
+  for (double t : {0.0, 100.0, 700.0, 3000.0}) {
+    EXPECT_NEAR(weibull.SurvivalAt(t), expo.SurvivalAt(t), 1e-12) << t;
+  }
+  for (double u : {0.0, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(weibull.LifetimeFromUniform(u), expo.LifetimeFromUniform(u),
+                1e-9 * (1.0 + expo.LifetimeFromUniform(u)))
+        << u;
+  }
+}
+
+TEST(SensorFailureModel, WeibullWearOutClustersDeathsAroundTheMean) {
+  // shape > 1: early survival is higher than exponential, late survival
+  // lower — deaths concentrate near the mean lifetime.
+  SensorFailureModel weibull;
+  weibull.kind = FailureKind::kWeibull;
+  weibull.mean_lifetime_s = 1000.0;
+  weibull.weibull_shape = 3.0;
+  SensorFailureModel expo;
+  expo.mean_lifetime_s = 1000.0;
+  EXPECT_GT(weibull.SurvivalAt(200.0), expo.SurvivalAt(200.0));
+  EXPECT_LT(weibull.SurvivalAt(2500.0), expo.SurvivalAt(2500.0));
+}
+
+TEST(SensorFailureModel, LifetimeInvertsTheSurvivalFunction) {
+  // S(LifetimeFromUniform(u)) == 1 - u for both families: the sim's
+  // sampled trajectories realize exactly the analytical decay curve.
+  for (double shape : {1.0, 0.7, 2.5}) {
+    SensorFailureModel model;
+    model.kind = FailureKind::kWeibull;
+    model.mean_lifetime_s = 500.0;
+    model.weibull_shape = shape;
+    for (double u : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+      EXPECT_NEAR(model.SurvivalAt(model.LifetimeFromUniform(u)), 1.0 - u,
+                  1e-10)
+          << "shape=" << shape << " u=" << u;
+    }
+  }
+}
+
+TEST(SensorFailureModel, EffectiveDetectProbThinsByReportLoss) {
+  SensorFailureModel model;
+  model.report_loss_prob = 0.25;
+  EXPECT_DOUBLE_EQ(model.EffectiveDetectProb(0.8), 0.6);
+  model.report_loss_prob = 0.0;
+  EXPECT_DOUBLE_EQ(model.EffectiveDetectProb(0.8), 0.8);
+}
+
+TEST(SensorFailureModel, ValidateRejectsBadDomains) {
+  SensorFailureModel model;
+  model.mean_lifetime_s = -1.0;
+  EXPECT_THROW(model.Validate(), InvalidArgument);
+  model.mean_lifetime_s = 100.0;
+  model.weibull_shape = 0.0;
+  EXPECT_THROW(model.Validate(), InvalidArgument);
+  model.weibull_shape = 1.0;
+  model.report_loss_prob = 1.0;  // loss == 1 leaves no report channel
+  EXPECT_THROW(model.Validate(), InvalidArgument);
+}
+
+TEST(AnalyzeDegrading, EpochZeroMatchesThePlainAnalysis) {
+  const SystemParams params = Scenario();
+  SensorFailureModel model;
+  model.mean_lifetime_s = 50000.0;
+  const MsApproachOptions options;
+  const std::vector<DegradingEpoch> epochs =
+      AnalyzeDegrading(params, options, model, /*horizon_epochs=*/3,
+                       /*epoch_periods=*/params.window_periods);
+  ASSERT_EQ(epochs.size(), 3u);
+  // t = 0: survival 1, so the epoch solve IS the paper's analysis.
+  EXPECT_DOUBLE_EQ(epochs[0].survival, 1.0);
+  EXPECT_DOUBLE_EQ(epochs[0].expected_live,
+                   static_cast<double>(params.num_nodes));
+  const MsApproachResult plain = MsApproachAnalyze(params, options);
+  EXPECT_DOUBLE_EQ(epochs[0].detection_probability,
+                   plain.detection_probability);
+}
+
+TEST(AnalyzeDegrading, EpochsMatchReliabilityScaledSolves) {
+  // Epoch e must equal a plain solve with node_reliability = S(t_e):
+  // the degrading analysis is the reliability hook applied over time, not
+  // a separate approximation.
+  const SystemParams params = Scenario();
+  SensorFailureModel model;
+  model.mean_lifetime_s = 40000.0;
+  const MsApproachOptions options;
+  const int epoch_periods = params.window_periods;
+  const std::vector<DegradingEpoch> epochs = AnalyzeDegrading(
+      params, options, model, /*horizon_epochs=*/4, epoch_periods);
+  for (const DegradingEpoch& epoch : epochs) {
+    MsApproachOptions scaled = options;
+    scaled.node_reliability = model.SurvivalAt(epoch.time_s);
+    const MsApproachResult reference = MsApproachAnalyze(params, scaled);
+    EXPECT_DOUBLE_EQ(epoch.detection_probability,
+                     reference.detection_probability)
+        << "epoch " << epoch.epoch;
+  }
+}
+
+TEST(AnalyzeDegrading, DetectionDecaysWithTheFleet) {
+  const SystemParams params = Scenario();
+  SensorFailureModel model;
+  model.mean_lifetime_s = 20000.0;
+  const std::vector<DegradingEpoch> epochs =
+      AnalyzeDegrading(params, MsApproachOptions(), model,
+                       /*horizon_epochs=*/5,
+                       /*epoch_periods=*/params.window_periods);
+  for (std::size_t i = 1; i < epochs.size(); ++i) {
+    EXPECT_LT(epochs[i].survival, epochs[i - 1].survival);
+    EXPECT_LE(epochs[i].detection_probability,
+              epochs[i - 1].detection_probability);
+  }
+  // The horizon is long enough to matter: detection visibly degrades.
+  EXPECT_LT(epochs.back().detection_probability,
+            epochs.front().detection_probability - 0.01);
+}
+
+TEST(AnalyzeDegrading, ReportLossThinsDetectProb) {
+  const SystemParams params = Scenario();
+  SensorFailureModel lossy;
+  lossy.report_loss_prob = 0.3;
+  const std::vector<DegradingEpoch> epochs =
+      AnalyzeDegrading(params, MsApproachOptions(), lossy,
+                       /*horizon_epochs=*/1,
+                       /*epoch_periods=*/params.window_periods);
+  SystemParams thinned = params;
+  thinned.detect_prob = params.detect_prob * 0.7;
+  const MsApproachResult reference =
+      MsApproachAnalyze(thinned, MsApproachOptions());
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(epochs[0].detection_probability,
+                   reference.detection_probability);
+}
+
+TEST(AnalyzeDegrading, SystemFaUsesTheThinnedReportRate) {
+  const SystemParams params = Scenario();
+  SensorFailureModel model;
+  model.mean_lifetime_s = 30000.0;
+  model.report_loss_prob = 0.1;
+  const double pf = 0.001;
+  const std::vector<DegradingEpoch> epochs = AnalyzeDegrading(
+      params, MsApproachOptions(), model, /*horizon_epochs=*/3,
+      /*epoch_periods=*/params.window_periods, pf);
+  for (const DegradingEpoch& epoch : epochs) {
+    const double pf_eff = epoch.survival * pf * (1.0 - 0.1);
+    EXPECT_DOUBLE_EQ(epoch.system_fa,
+                     CountOnlySystemFaProbability(params, pf_eff))
+        << "epoch " << epoch.epoch;
+  }
+  // Dead sensors cannot false-alarm: the bound must decay with the fleet.
+  EXPECT_LT(epochs.back().system_fa, epochs.front().system_fa);
+}
+
+TEST(AnalyzeDegrading, RejectsDegenerateHorizons) {
+  const SystemParams params = Scenario();
+  const SensorFailureModel model;
+  EXPECT_THROW(AnalyzeDegrading(params, MsApproachOptions(), model, 0, 10),
+               Error);
+  EXPECT_THROW(AnalyzeDegrading(params, MsApproachOptions(), model, 3, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace sparsedet

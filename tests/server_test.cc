@@ -2,8 +2,9 @@
 // sockets, pipelined in-order delivery, hostile framing (oversized lines,
 // byte-at-a-time frames, slowloris), mid-request disconnect cancellation,
 // per-tenant admission control, the connection cap, in-stream stats, the
-// drain-time memo snapshot roundtrip, and off-loop {"cmd":"optimize"}
-// execution.
+// drain-time memo snapshot roundtrip, off-loop {"cmd":"optimize"} /
+// {"cmd":"adapt"} execution, and the drain-time degraded-tagging contract
+// for long commands.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -19,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "adapt/adapt.h"
 #include "common/json.h"
 #include "engine/engine.h"
 #include "opt/backend.h"
@@ -52,6 +54,10 @@ class TestServer {
   }
 
   int port() const { return server_->port(); }
+
+  // Triggers the drain without joining, so a test can observe in-flight
+  // responses delivered while the loop winds down.
+  void Drain() { server_->RequestDrain(); }
 
   std::uint64_t CounterValue(const std::string& name) {
     const obs::RegistrySnapshot snapshot = engine_->MetricsSnapshot();
@@ -488,6 +494,113 @@ TEST(TcpServer, OptimizeErrorIsStructuredAndTheConnectionSurvives) {
   ASSERT_TRUE(client.ReadLine(&response));
   EXPECT_EQ(IdOf(response), 10);
   EXPECT_NE(response.find("\"result\""), std::string::npos);
+}
+
+// The adapt command a few tests share: a short analyze-mode loop.
+std::string AdaptCommandLine(int id) {
+  return R"({"cmd":"adapt","id":)" + std::to_string(id) +
+         R"(,"spec":{"mode":"analyze",)"
+         R"("params":{"nodes":60,"window":10,"k":3},)"
+         R"("failure":{"mean_lifetime_s":40000},"horizon_epochs":3,)"
+         R"("constraints":{"min_detection":0.5},)"
+         R"("search":{"k":{"from":2,"to":5}}}})";
+}
+
+TEST(TcpServer, AdaptCommandAnswersOffLoopInStreamOrder) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Pipeline a solve, the adapt run, and another solve: in-order delivery
+  // even though the loop runs on the executor thread.
+  ASSERT_TRUE(client.SendLine(R"({"id":1,"op":"analyze"})"));
+  ASSERT_TRUE(client.SendLine(AdaptCommandLine(2)));
+  ASSERT_TRUE(client.SendLine(R"({"id":3,"op":"analyze"})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 1);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 2);
+  EXPECT_NE(response.find("\"result\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"epochs_run\":3"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"degraded\":false"), std::string::npos);
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 3);
+  server.Stop();
+  EXPECT_EQ(server.CounterValue("opt_server_jobs_total"), 1u);
+  EXPECT_EQ(server.CounterValue("adapt_runs_total"), 1u);
+  EXPECT_EQ(server.CounterValue("adapt_epochs_total"), 3u);
+}
+
+TEST(TcpServer, AdaptResponseMatchesTheStdioHandler) {
+  // The same command through a standalone engine + SyncEngineBackend (what
+  // stdio serve runs) must produce byte-identical response text.
+  std::string expected;
+  {
+    engine::EngineOptions options;
+    options.threads = 2;
+    engine::BatchEngine engine(options);
+    opt::SyncEngineBackend backend(engine);
+    expected = adapt::HandleAdaptCommand(ParseJson(AdaptCommandLine(4)),
+                                         backend, &engine.registry())
+                   .ToString();
+  }
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(AdaptCommandLine(4)));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, expected);
+}
+
+TEST(TcpServer, AdaptErrorIsStructuredAndTheConnectionSurvives) {
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"cmd":"adapt","id":9})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 9);
+  EXPECT_NE(response.find("\"error\""), std::string::npos);
+  EXPECT_NE(response.find("\"error_code\":\"invalid_argument\""),
+            std::string::npos);
+  ASSERT_TRUE(client.SendLine(R"({"id":10,"op":"analyze"})"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 10);
+  EXPECT_NE(response.find("\"result\""), std::string::npos);
+}
+
+TEST(TcpServer, DrainTagsInFlightLongCommandsDegradedAndFlushesThem) {
+  // Regression: a long command still running when SIGTERM drain starts
+  // must (a) stop at its next batch boundary, (b) carry "degraded":true
+  // even if its own run state says otherwise, and (c) flush to the socket
+  // BEFORE the server closes the connection and Run() returns — a drained
+  // client must never see a truncated stream or a response claiming
+  // completeness.
+  TestServer server;
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A loop far too long to finish: 256 epochs over a 300-candidate grid.
+  ASSERT_TRUE(client.SendLine(
+      R"({"cmd":"adapt","id":1,"spec":{"mode":"analyze",)"
+      R"("params":{"nodes":60,"window":10,"k":3},)"
+      R"("failure":{"mean_lifetime_s":40000},"horizon_epochs":256,)"
+      R"("search":{"k":{"from":1,"to":10},)"
+      R"("window":{"from":8,"to":37}}}})"));
+  // Let the executor pick the job up, then drain mid-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.Drain();
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response)) << "drain dropped the response";
+  EXPECT_EQ(IdOf(response), 1);
+  EXPECT_NE(response.find("\"result\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"degraded\":true"), std::string::npos)
+      << response;
+  // After the flushed response the server closes cleanly: EOF, not junk.
+  std::string extra;
+  EXPECT_FALSE(client.ReadLine(&extra)) << extra;
+  server.Stop();
 }
 
 TEST(TokenBucket, RefillsAtTheConfiguredRate) {

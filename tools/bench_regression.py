@@ -102,10 +102,15 @@ def metric_optimize(benches):
     return max_config_rate(benches, "optimize", "candidates_per_s")
 
 
+def metric_adapt(benches):
+    return max_config_rate(benches, "adapt", "epochs_per_s")
+
+
 METRICS = [
     ("net_serve.requests_per_s", metric_net_serve),
     ("engine_batch.max_units_per_s", metric_engine_batch),
     ("optimize.max_candidates_per_s", metric_optimize),
+    ("adapt.max_epochs_per_s", metric_adapt),
 ]
 
 
