@@ -1,0 +1,46 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sparsedet::common {
+
+namespace {
+constexpr std::size_t kMinBlockDoubles = 1024;  // 8 KiB
+}  // namespace
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+double* ScratchArena::Alloc(std::size_t n) {
+  if (n == 0) n = 1;  // keep returned pointers distinct and dereferenceable
+  // Bump within the current block when it fits.
+  if (block_ < blocks_.size() && used_ + n <= blocks_[block_].capacity) {
+    double* p = blocks_[block_].data.get() + used_;
+    used_ += n;
+    return p;
+  }
+  // Otherwise advance to the next block that fits (blocks retain their
+  // capacity across frames, so steady state allocates nothing).
+  std::size_t next = block_ < blocks_.size() ? block_ + 1 : blocks_.size();
+  while (next < blocks_.size() && blocks_[next].capacity < n) ++next;
+  if (next == blocks_.size()) {
+    const std::size_t last_cap =
+        blocks_.empty() ? 0 : blocks_.back().capacity;
+    const std::size_t cap = std::max({n, 2 * last_cap, kMinBlockDoubles});
+    blocks_.push_back(Block{std::make_unique<double[]>(cap), cap});
+  }
+  block_ = next;
+  used_ = n;
+  return blocks_[block_].data.get();
+}
+
+double* ScratchArena::Frame::AllocZeroed(std::size_t n) {
+  double* p = Alloc(n);
+  std::memset(p, 0, (n == 0 ? 1 : n) * sizeof(double));
+  return p;
+}
+
+}  // namespace sparsedet::common

@@ -1,0 +1,71 @@
+// Thread-local scratch arena for the solver hot loops.
+//
+// The propagation and region-table kernels need short-lived double buffers
+// (double-buffered Markov state vectors, n-fold convolution ping-pong).
+// Allocating them per step was a measurable fraction of a cold solve, so
+// they come from a per-thread bump arena instead: blocks are allocated
+// once, grow geometrically, persist for the thread's lifetime, and a
+// solve's allocations are released wholesale when its Frame closes.
+//
+// Usage:
+//   common::ScratchArena::Frame frame;
+//   double* buf = frame.Alloc(n);        // uninitialized
+//   double* zed = frame.AllocZeroed(n);  // zero-filled
+//
+// Frames nest (inner solves open their own), pointers stay valid until the
+// owning Frame is destroyed, and nothing here is thread-safe or needs to
+// be — the arena is thread-local by construction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sparsedet::common {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  static ScratchArena& ThreadLocal();
+
+  // RAII watermark over the calling thread's arena.
+  class Frame {
+   public:
+    Frame() : Frame(ThreadLocal()) {}
+    explicit Frame(ScratchArena& arena)
+        : arena_(arena),
+          saved_block_(arena.block_),
+          saved_used_(arena.used_) {}
+    ~Frame() {
+      arena_.block_ = saved_block_;
+      arena_.used_ = saved_used_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+    double* Alloc(std::size_t n) { return arena_.Alloc(n); }
+    double* AllocZeroed(std::size_t n);
+
+   private:
+    ScratchArena& arena_;
+    std::size_t saved_block_;
+    std::size_t saved_used_;
+  };
+
+ private:
+  struct Block {
+    std::unique_ptr<double[]> data;
+    std::size_t capacity = 0;
+  };
+
+  double* Alloc(std::size_t n);
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  // blocks_[block_] is the current bump target
+  std::size_t used_ = 0;   // doubles consumed in the current block
+};
+
+}  // namespace sparsedet::common

@@ -205,22 +205,28 @@ MsApproachResult MsApproachAnalyze(const SystemParams& params,
 
   // Everything up to the tail sum is independent of k/normalize, so it is
   // shared across the threshold sweep via the process-wide memo cache.
-  prob::MemoKey key("core/ms_solve_core");
-  key.AddDouble(params.field_width)
-      .AddDouble(params.field_height)
-      .AddInt(params.num_nodes)
-      .AddDouble(params.sensing_range)
-      .AddDouble(params.detect_prob)
-      .AddDouble(params.period_length)
-      .AddDouble(params.target_speed)
-      .AddInt(params.window_periods)
-      .AddInt(options.gh)
-      .AddInt(options.g)
-      .AddDouble(options.node_reliability)
-      .AddBool(options.use_transition_matrices);
-  const std::shared_ptr<const MsSolveCore> core =
-      prob::MemoCache::Global().GetOrCompute<MsSolveCore>(
-          key, compute_core, MsSolveCoreHeapBytes);
+  // With the cache disabled (capacity 0) a lookup can never hit; skip the
+  // key build and shard locking and compute directly.
+  std::shared_ptr<const MsSolveCore> core;
+  if (prob::MemoCache::Global().capacity() == 0) {
+    core = std::make_shared<const MsSolveCore>(compute_core());
+  } else {
+    prob::MemoKey key("core/ms_solve_core");
+    key.AddDouble(params.field_width)
+        .AddDouble(params.field_height)
+        .AddInt(params.num_nodes)
+        .AddDouble(params.sensing_range)
+        .AddDouble(params.detect_prob)
+        .AddDouble(params.period_length)
+        .AddDouble(params.target_speed)
+        .AddInt(params.window_periods)
+        .AddInt(options.gh)
+        .AddInt(options.g)
+        .AddDouble(options.node_reliability)
+        .AddBool(options.use_transition_matrices);
+    core = prob::MemoCache::Global().GetOrCompute<MsSolveCore>(
+        key, compute_core, MsSolveCoreHeapBytes);
+  }
 
   MsApproachResult result;
   // One tail stage per NEDR crescent, so the count recovers decomp.ms().

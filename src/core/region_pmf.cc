@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
@@ -10,6 +11,7 @@
 #include "prob/memo_cache.h"
 #include "prob/memo_snapshot.h"
 #include "resilience/cancel.h"
+#include "simd/simd.h"
 
 namespace sparsedet {
 namespace {
@@ -83,13 +85,15 @@ double CheckAreas(const std::vector<double>& areas, double field_area,
 Pmf ConditionalSensorReportPmf(const std::vector<double>& areas, double pd) {
   const double total = CheckAreas(areas, 1e300, pd);
   const int max_periods = static_cast<int>(areas.size());
+  const simd::Kernels& kern = simd::Active();
   std::vector<double> mass(static_cast<std::size_t>(max_periods) + 1, 0.0);
   for (int periods = 1; periods <= max_periods; ++periods) {
     const double weight = areas[periods - 1] / total;
     if (weight == 0.0) continue;
-    for (int m = 0; m <= periods; ++m) {
-      mass[m] += weight * BinomialPmf(periods, m, pd);
-    }
+    // One hoisted Binomial(periods, pd) row instead of per-m transcendental
+    // calls; the axpy accumulates the same products in the same m order.
+    const std::vector<double> row = BinomialPmfVector(periods, pd);
+    kern.axpy(weight, row.data(), mass.data(), row.size());
   }
   return Pmf(std::move(mass));
 }
@@ -109,14 +113,14 @@ Pmf ComputeExactRegionReportPmf(int num_nodes, double field_area,
   // 1 - total/S (zero reports), otherwise in subarea i with probability
   // areas[i]/S generating Binomial(i+1, pd) reports.
   const int max_periods = static_cast<int>(areas.size());
+  const simd::Kernels& kern = simd::Active();
   std::vector<double> per(static_cast<std::size_t>(max_periods) + 1, 0.0);
   per[0] = 1.0 - total / field_area;
   for (int periods = 1; periods <= max_periods; ++periods) {
     const double weight = areas[periods - 1] / field_area;
     if (weight == 0.0) continue;
-    for (int m = 0; m <= periods; ++m) {
-      per[m] += weight * BinomialPmf(periods, m, pd);
-    }
+    const std::vector<double> row = BinomialPmfVector(periods, pd);
+    kern.axpy(weight, row.data(), per.data(), row.size());
   }
   return Pmf(per).ThinnedBy(node_reliability).ConvolvePower(num_nodes);
 }
@@ -141,16 +145,35 @@ Pmf ComputeCappedRegionReportPmf(int num_nodes, double field_area,
 
   const Pmf conditional =
       ConditionalSensorReportPmf(areas, pd).ThinnedBy(node_reliability);
+  const std::size_t cond_size = conditional.size();
   std::vector<double> out(
       static_cast<std::size_t>(effective_cap) * max_periods + 1, 0.0);
-  Pmf n_fold = Pmf::Delta(0);  // conditional^0
+  // The n-fold powers conditional^0, conditional^1, ... ping-pong through
+  // two arena buffers instead of allocating a Pmf per n; ConvolveAccumulate
+  // is the exact kernel ConvolveWith runs, so the chain — still strictly
+  // sequential in n to keep the FP association thread-count-independent —
+  // produces bit-identical tables.
+  const std::size_t max_fold =
+      static_cast<std::size_t>(effective_cap) * (cond_size - 1) + 1;
+  common::ScratchArena::Frame frame;
+  double* fold = frame.Alloc(max_fold);
+  double* next = frame.Alloc(max_fold);
+  fold[0] = 1.0;  // conditional^0 = Delta(0)
+  std::size_t fold_size = 1;
+  const simd::Kernels& kern = simd::Active();
+  const std::vector<double> p_n = BinomialPmfVector(num_nodes, p_in,
+                                                    effective_cap);
   for (int n = 0; n <= effective_cap; ++n) {
     resilience::CancellationPoint();
-    const double p_n = BinomialPmf(num_nodes, n, p_in);
-    for (std::size_t m = 0; m < n_fold.size(); ++m) {
-      out[m] += p_n * n_fold[m];
+    kern.axpy(p_n[n], fold, out.data(), std::min(fold_size, out.size()));
+    if (n < effective_cap) {
+      const std::size_t next_size = fold_size + cond_size - 1;
+      std::fill(next, next + next_size, 0.0);
+      ConvolveAccumulate(fold, fold_size, conditional.mass().data(),
+                         cond_size, next, next_size, /*saturate=*/false);
+      std::swap(fold, next);
+      fold_size = next_size;
     }
-    if (n < effective_cap) n_fold = n_fold.ConvolveWith(conditional);
   }
   return Pmf(std::move(out));
 }
@@ -160,6 +183,13 @@ Pmf ComputeCappedRegionReportPmf(int num_nodes, double field_area,
 Pmf ExactRegionReportPmf(int num_nodes, double field_area,
                          const std::vector<double>& areas, double pd,
                          double node_reliability) {
+  // With the cache disabled (capacity 0: cold benchmarks, memo-off runs)
+  // a lookup can never hit, so key construction and shard locking are
+  // pure overhead on the solve hot path — compute directly.
+  if (prob::MemoCache::Global().capacity() == 0) {
+    return ComputeExactRegionReportPmf(num_nodes, field_area, areas, pd,
+                                       node_reliability);
+  }
   prob::MemoKey key =
       RegionKey("core/exact_region_pmf", num_nodes, field_area, areas, pd);
   key.AddDouble(node_reliability);
@@ -175,6 +205,10 @@ Pmf ExactRegionReportPmf(int num_nodes, double field_area,
 Pmf CappedRegionReportPmf(int num_nodes, double field_area,
                           const std::vector<double>& areas, double pd,
                           int cap, double node_reliability) {
+  if (prob::MemoCache::Global().capacity() == 0) {
+    return ComputeCappedRegionReportPmf(num_nodes, field_area, areas, pd, cap,
+                                        node_reliability);
+  }
   prob::MemoKey key =
       RegionKey("core/capped_region_pmf", num_nodes, field_area, areas, pd);
   key.AddInt(cap).AddDouble(node_reliability);
@@ -274,10 +308,7 @@ Pmf ComputeCappedRegionReportPmfLiteral(int num_nodes, double field_area,
     // weights, so scale by BinomialPmf / (A/S)^n for stability.
     double scale = BinomialPmf(num_nodes, n, p_in);
     for (int d = 0; d < n; ++d) scale /= p_in;
-    const std::vector<double>& partial = partials[n];
-    for (std::size_t m = 0; m < out.size(); ++m) {
-      out[m] += scale * partial[m];
-    }
+    simd::Active().axpy(scale, partials[n].data(), out.data(), out.size());
   }
   return Pmf(std::move(out));
 }
@@ -287,6 +318,10 @@ Pmf ComputeCappedRegionReportPmfLiteral(int num_nodes, double field_area,
 Pmf CappedRegionReportPmfLiteral(int num_nodes, double field_area,
                                  const std::vector<double>& areas, double pd,
                                  int cap) {
+  if (prob::MemoCache::Global().capacity() == 0) {
+    return ComputeCappedRegionReportPmfLiteral(num_nodes, field_area, areas,
+                                               pd, cap);
+  }
   prob::MemoKey key = RegionKey("core/capped_region_pmf_literal", num_nodes,
                                 field_area, areas, pd);
   key.AddInt(cap);
@@ -355,14 +390,13 @@ JointPmf CappedRegionJointPmf(int num_nodes, double field_area,
       ConditionalSensorJointPmf(areas, pd, max_m, max_n);
   JointPmf out(max_m, max_n);
   JointPmf n_fold = JointPmf::DeltaZero(max_m, max_n);
+  const std::vector<double> p_n = BinomialPmfVector(num_nodes, p_in,
+                                                    effective_cap);
   for (int n = 0; n <= effective_cap; ++n) {
     resilience::CancellationPoint();
-    const double p_n = BinomialPmf(num_nodes, n, p_in);
-    for (int m = 0; m <= max_m; ++m) {
-      for (int nn = 0; nn <= max_n; ++nn) {
-        out.At(m, nn) += p_n * n_fold.At(m, nn);
-      }
-    }
+    // Same element order as the historical (m, nn) double loop: the grid
+    // is row-major, so one flat axpy accumulates identically.
+    out.AccumulateScaled(n_fold, p_n[n]);
     if (n < effective_cap) {
       // Node axis saturates (">= h nodes"); the report axis is sized to be
       // exact, so saturation there never triggers.

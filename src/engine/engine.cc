@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <string>
@@ -64,6 +65,27 @@ std::int64_t NowUnixMillis() {
              std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
+
+// Rough elementary-operation count for one unit — enough to split "tiny
+// analytical solve" from "heavy simulation or scaled-up scenario", not a
+// schedule. Analytical solves propagate an O(M*Z)-state chain M times over
+// roughly N-proportional stage work; simulation runs `trials` windows of M
+// periods with a per-period constant in the dozens of operations.
+std::size_t UnitCostProxy(const WorkUnit& unit) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::max(unit.params.num_nodes, 1));
+  const std::size_t m =
+      static_cast<std::size_t>(std::max(unit.params.window_periods, 1));
+  if (unit.op == RequestOp::kSimulate) {
+    return 64 * static_cast<std::size_t>(std::max(unit.sim.trials, 1)) * m;
+  }
+  return n * m * m;
+}
+
+// Group chunks aim for at least this many units each; fewer units than
+// this per available worker and the dispatch overhead being amortized is
+// already negligible.
+constexpr std::size_t kGroupMinUnitsPerChunk = 16;
 
 WorkerPoolOptions MakePoolOptions(const EngineOptions& options,
                                   const EngineMetrics& metrics) {
@@ -203,6 +225,9 @@ JsonValue BatchEngine::OptionsJson() const {
            static_cast<std::int64_t>(options_.cache_capacity))
       .Set("memo_cache_entries",
            static_cast<std::int64_t>(options_.memo_cache_entries))
+      .Set("group_dispatch", options_.group_dispatch)
+      .Set("group_cost_threshold",
+           static_cast<std::int64_t>(options_.group_cost_threshold))
       .Set("unordered", options_.unordered)
       .Set("trace", options_.trace)
       .Set("max_queue", static_cast<std::int64_t>(options_.max_queue))
@@ -269,6 +294,10 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
   pending->span.trace_id = next_trace_id_++;
   pending->span.line = line_number;
   metrics_.requests->Inc();
+  // Fresh (non-cached, non-coalesced) units are collected here and handed
+  // to the pool together once the whole request has planned, so small
+  // units can share pool tasks (FlushSubmits).
+  std::vector<std::pair<std::shared_ptr<PendingUnit>, WorkUnit>> fresh;
   try {
     const JsonValue json = ParseJson(line, options_.max_json_depth);
     // Recover the caller's id even if validation below fails, so the error
@@ -347,17 +376,88 @@ std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::PlanLine(
         if (!isolated) in_flight_.emplace(key, slot);
         ref.pending = slot;
         unit_span.source = "computed";
-        SubmitUnit(slot, std::move(unit), /*attempt=*/1);
+        fresh.emplace_back(slot, std::move(unit));
       }
       pending->units.push_back(std::move(ref));
       pending->span.units.push_back(std::move(unit_span));
     }
+    FlushSubmits(&fresh);
   } catch (const Error& e) {
+    // Units planned before the failure were registered as coalescing
+    // targets but never submitted; leaving them would hang any later
+    // request that coalesces onto them.
+    for (const auto& [slot, unit] : fresh) {
+      const auto it = in_flight_.find(slot->key);
+      if (it != in_flight_.end() && it->second == slot) in_flight_.erase(it);
+    }
     pending->parse_error = e.what();
     pending->units.clear();
     pending->span.units.clear();
   }
   return pending;
+}
+
+void BatchEngine::FlushSubmits(
+    std::vector<std::pair<std::shared_ptr<PendingUnit>, WorkUnit>>* fresh) {
+  if (fresh->empty()) return;
+  const bool groupable =
+      options_.group_dispatch && options_.watchdog_stuck_ms == 0;
+  std::vector<std::pair<std::shared_ptr<PendingUnit>, WorkUnit>> small;
+  for (auto& entry : *fresh) {
+    if (groupable &&
+        UnitCostProxy(entry.second) < options_.group_cost_threshold) {
+      small.push_back(std::move(entry));
+    } else {
+      SubmitUnit(entry.first, std::move(entry.second), /*attempt=*/1);
+    }
+  }
+  fresh->clear();
+  if (small.empty()) return;
+  if (small.size() == 1) {
+    SubmitUnit(small[0].first, std::move(small[0].second), /*attempt=*/1);
+    return;
+  }
+  // Contiguous chunks preserve the units' in-request order inside each
+  // task; chunk count caps at the pool width (more chunks than workers
+  // only adds dispatch overhead back).
+  const std::size_t pool_width = std::max<std::size_t>(1, pool_.thread_count());
+  const std::size_t chunk_count = std::min(
+      pool_width,
+      std::max<std::size_t>(1, small.size() / kGroupMinUnitsPerChunk));
+  const std::size_t per_chunk = (small.size() + chunk_count - 1) / chunk_count;
+  const std::int64_t submitted_ns = obs::NowNanos();
+  for (std::size_t begin = 0; begin < small.size(); begin += per_chunk) {
+    const std::size_t end = std::min(small.size(), begin + per_chunk);
+    auto chunk = std::make_shared<
+        std::vector<std::pair<std::shared_ptr<PendingUnit>, WorkUnit>>>(
+        std::make_move_iterator(small.begin() + begin),
+        std::make_move_iterator(small.begin() + end));
+    pool_.Submit([this, chunk, submitted_ns]() {
+      for (std::size_t i = 0; i < chunk->size(); ++i) {
+        auto& [slot, unit] = (*chunk)[i];
+        // The same per-attempt token chain SubmitUnit builds, so deadline
+        // and disconnect cancellation behave identically under grouping.
+        // (No watchdog token: grouping is bypassed when it is armed.)
+        std::shared_ptr<resilience::CancelToken> token;
+        if (slot->request_token != nullptr) {
+          token = std::make_shared<resilience::CancelToken>(
+              resilience::Deadline(), slot->request_token);
+        }
+        try {
+          RunUnit(slot, token, std::move(unit), /*attempt=*/1, submitted_ns);
+        } catch (const resilience::WorkerAbort&) {
+          // This worker thread is dying. Peel the not-yet-run group mates
+          // off onto their own tasks so their requests still complete,
+          // then let the abort propagate for the pool to respawn us.
+          for (std::size_t j = i + 1; j < chunk->size(); ++j) {
+            SubmitUnit((*chunk)[j].first, std::move((*chunk)[j].second),
+                       /*attempt=*/1);
+          }
+          throw;
+        }
+      }
+    });
+  }
 }
 
 std::unique_ptr<BatchEngine::PendingRequest> BatchEngine::RejectedLine(

@@ -42,6 +42,8 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/json.h"
 #include "engine/cache.h"
@@ -71,6 +73,20 @@ struct EngineOptions {
   // construction, restored on destruction; the cached values themselves
   // persist across engines (they are keyed, immutable, and request-free).
   std::size_t memo_cache_entries = 4096;
+  // Cross-request batch dispatch. Fresh work units whose cost proxy falls
+  // below group_cost_threshold are packed into a few pool tasks instead of
+  // one task per unit: a paper-sized analytical solve runs in ~10 us, so
+  // per-task dispatch (queue mutex, condvar wakeup, ~us each) would
+  // otherwise dominate and a multi-thread pool could lose to a serial
+  // loop. Heavy units keep a task to themselves for latency. Results and
+  // every output byte are unchanged either way — grouping only re-buckets
+  // which worker runs which unit. Grouping is bypassed while the watchdog
+  // is armed: the watchdog cancels whole pool tasks, and one stuck unit
+  // must not take its group-mates down with it.
+  bool group_dispatch = true;
+  // Units below this rough elementary-operation count are groupable
+  // (~one millisecond of solve work at the default).
+  std::size_t group_cost_threshold = std::size_t{1} << 20;
   bool unordered = false;  // emit completions immediately, tagged by id
   bool trace = false;      // attach a "trace" span object to response lines
   std::string trace_file;  // JSONL span log path; empty = no span file
@@ -274,6 +290,11 @@ class BatchEngine {
   // from the coordinator; retries resubmit from the failing worker.
   void SubmitUnit(const std::shared_ptr<PendingUnit>& slot, WorkUnit unit,
                   int attempt);
+  // Dispatches the freshly planned units of one request: heavy units one
+  // pool task each, small units grouped into contiguous chunks (see
+  // EngineOptions::group_dispatch). Clears `*fresh`.
+  void FlushSubmits(
+      std::vector<std::pair<std::shared_ptr<PendingUnit>, WorkUnit>>* fresh);
   // The worker-side body of one attempt: fault injection, cancellation
   // scope, evaluation, retry-or-publish.
   void RunUnit(const std::shared_ptr<PendingUnit>& slot,

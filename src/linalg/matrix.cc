@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "simd/simd.h"
 
 namespace sparsedet {
 
@@ -31,13 +32,15 @@ DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
   SPARSEDET_REQUIRE(cols_ == other.rows_,
                     "matrix product dimension mismatch");
   DenseMatrix out(rows_, other.cols_);
+  // (i, k)-major with the contiguous row run vectorized: per-element this
+  // is the same multiply-then-add in the same order as the historical
+  // scalar loop, so the product is bit-identical across SIMD backends.
+  const simd::Kernels& kern = simd::Active();
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
       if (a == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
-      }
+      kern.axpy(a, other.RowData(k), out.RowData(i), other.cols_);
     }
   }
   return out;
@@ -46,12 +49,11 @@ DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
 std::vector<double> DenseMatrix::LeftApply(const std::vector<double>& v) const {
   SPARSEDET_REQUIRE(v.size() == rows_, "vector-matrix dimension mismatch");
   std::vector<double> out(cols_, 0.0);
+  const simd::Kernels& kern = simd::Active();
   for (std::size_t i = 0; i < rows_; ++i) {
     const double a = v[i];
     if (a == 0.0) continue;
-    for (std::size_t j = 0; j < cols_; ++j) {
-      out[j] += a * (*this)(i, j);
-    }
+    kern.axpy(a, RowData(i), out.data(), cols_);
   }
   return out;
 }

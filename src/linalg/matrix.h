@@ -23,6 +23,10 @@ class DenseMatrix {
   double operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+  // Contiguous row r (row-major storage), for the vectorized kernels.
+  const double* RowData(std::size_t r) const { return data_.data() + r * cols_; }
+  double* RowData(std::size_t r) { return data_.data() + r * cols_; }
+
   // Bounds-checked access.
   double At(std::size_t r, std::size_t c) const;
   void Set(std::size_t r, std::size_t c, double v);

@@ -1,7 +1,11 @@
 #include "markov/increment_chain.h"
 
+#include <algorithm>
+
+#include "common/arena.h"
 #include "common/check.h"
 #include "resilience/cancel.h"
+#include "simd/simd.h"
 
 namespace sparsedet {
 
@@ -26,26 +30,78 @@ DenseMatrix BuildIncrementTransitionMatrix(const Pmf& step,
   return t;
 }
 
+namespace {
+
+// Index one past the last nonzero entry (at least 1 so the state vector
+// never degenerates). Entries beyond it contribute exact zeros to every
+// target, so skipping them wholesale changes no bits.
+std::size_t SupportEnd(const double* v, std::size_t n) {
+  while (n > 1 && v[n - 1] == 0.0) --n;
+  return n;
+}
+
+// One increment step, m-major: out = dist * T, accumulated into out.
+//
+// PRECONDITION: out[0, n) holds exact +0.0 on entry (a fresh
+// value-initialized vector, or a prefix the caller re-zeroed). The caller
+// owns the fill so the ping-pong loop in PropagateIncrementSteps can zero
+// only the live prefix instead of the whole state vector every step.
+//
+// The historical kernel walked states s-major with a scalar inner loop
+// over the step pmf; this walks the step pmf outer and the states inner.
+// For a fixed target state t = s + m that reorders the per-t accumulation
+// from m-descending to m-ascending — an intentional, documented
+// FP-summation-order change (docs/PERFORMANCE.md); every consumer pins
+// propagated values to >= 1e-13 tolerances, and determinism is unaffected
+// because the new order is just as fixed as the old one. Only entries
+// dist[0..support) can be nonzero; the zero suffix is skipped wholesale
+// (bit-exact: it only ever adds +0). The non-saturating path fuses taps
+// four at a time through simd::Kernels::conv4, which keeps the identical
+// per-element ascending-m order while loading/storing each out element
+// once per four taps; conv4 also applies interior zero taps, which is
+// bit-neutral on the non-negative masses that flow through here (an exact
+// +0.0 contribution cannot move a finite non-negative accumulator).
+void PropagateIncrementInto(const double* dist, std::size_t n,
+                            std::size_t support, const Pmf& step,
+                            std::size_t step_support, bool saturate_top,
+                            double* out) {
+  const std::size_t top = n - 1;
+  const simd::Kernels& kern = simd::Active();
+  const double* taps = step.mass().data();
+  if (!saturate_top) {
+    std::size_t m = 0;
+    for (; m + 4 <= step_support && m < n; m += 4) {
+      resilience::CancellationPoint();
+      kern.conv4(taps + m, dist, support, out + m, n - m);
+    }
+    for (; m < step_support && m < n; ++m) {
+      const double p = taps[m];
+      if (p == 0.0) continue;
+      kern.axpy(p, dist, out + m, std::min(support, n - m));
+    }
+    return;
+  }
+  for (std::size_t m = 0; m < step_support; ++m) {
+    const double p = taps[m];
+    if (p == 0.0) continue;
+    resilience::CancellationPoint();
+    // States s < n - m land in range at s + m; the rest overflow.
+    const std::size_t in_range = m < n ? std::min(support, n - m) : 0;
+    kern.axpy(p, dist, out + m, in_range);
+    for (std::size_t s = in_range; s < support; ++s) out[top] += p * dist[s];
+  }
+}
+
+}  // namespace
+
 std::vector<double> PropagateIncrement(const std::vector<double>& dist,
                                        const Pmf& step, bool saturate_top) {
   SPARSEDET_REQUIRE(!dist.empty(), "distribution must be non-empty");
-  const std::size_t top = dist.size() - 1;
-  std::vector<double> out(dist.size(), 0.0);
-  for (std::size_t s = 0; s < dist.size(); ++s) {
-    resilience::CancellationPoint();
-    const double a = dist[s];
-    if (a == 0.0) continue;
-    for (std::size_t m = 0; m < step.size(); ++m) {
-      const double p = step[m];
-      if (p == 0.0) continue;
-      const std::size_t target = s + m;
-      if (target <= top) {
-        out[target] += a * p;
-      } else if (saturate_top) {
-        out[top] += a * p;
-      }
-    }
-  }
+  std::vector<double> out(dist.size());  // value-initialized: all +0.0
+  PropagateIncrementInto(dist.data(), dist.size(),
+                         SupportEnd(dist.data(), dist.size()), step,
+                         SupportEnd(step.mass().data(), step.size()),
+                         saturate_top, out.data());
   return out;
 }
 
@@ -53,11 +109,43 @@ std::vector<double> PropagateIncrementSteps(const std::vector<double>& dist,
                                             const Pmf& step, int steps,
                                             bool saturate_top) {
   SPARSEDET_REQUIRE(steps >= 0, "step count must be >= 0");
+  if (steps == 0) return dist;
+  SPARSEDET_REQUIRE(!dist.empty(), "distribution must be non-empty");
+  const std::size_t n = dist.size();
   std::vector<double> cur = dist;
+
+  // Ping-pong through one arena buffer instead of allocating a fresh
+  // vector per step; the support grows by at most the step pmf's top
+  // nonzero index per iteration, which bounds each pass to the live
+  // prefix of the state vector. Each buffer only needs its *dirty* prefix
+  // re-zeroed before serving as the destination; beyond it both buffers
+  // are exact +0.0 (the scratch is born zeroed, and cur's suffix is
+  // normalized below — SupportEnd guarantees it holds only zeros, but a
+  // caller-supplied -0.0 must become the +0.0 the historical full fill
+  // produced).
+  common::ScratchArena::Frame frame;
+  const std::size_t step_support =
+      SupportEnd(step.mass().data(), step.size());
+  const std::size_t step_growth = step_support - 1;
+  std::size_t support = SupportEnd(cur.data(), n);
+  std::fill(cur.data() + support, cur.data() + n, 0.0);
+  double* src = cur.data();
+  double* dst = frame.AllocZeroed(n);
+  std::size_t dirty_src = support;
+  std::size_t dirty_dst = 0;
   for (int i = 0; i < steps; ++i) {
-    resilience::CancellationPoint();
-    cur = PropagateIncrement(cur, step, saturate_top);
+    std::fill(dst, dst + dirty_dst, 0.0);
+    PropagateIncrementInto(src, n, support, step, step_support, saturate_top,
+                           dst);
+    support = std::min(n, support + step_growth);
+    dirty_dst = support;
+    // Saturation parks overflow mass on the top state, past the
+    // contiguous prefix — but only when the prefix has already reached
+    // the top, so the dirty extent above still covers it.
+    std::swap(src, dst);
+    std::swap(dirty_src, dirty_dst);
   }
+  if (src != cur.data()) std::copy(src, src + n, cur.data());
   return cur;
 }
 

@@ -1,7 +1,10 @@
 #include "prob/binomial.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/check.h"
 #include "prob/combinatorics.h"
@@ -13,6 +16,40 @@ void CheckArgs(int n, double p) {
   SPARSEDET_REQUIRE(n >= 0, "binomial n must be >= 0");
   SPARSEDET_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p must be in [0, 1]");
 }
+
+std::vector<double> ComputeBinomialPmfVector(int n, double p, int max_k) {
+  std::vector<double> pmf(static_cast<std::size_t>(max_k) + 1);
+  if (p == 0.0 || p == 1.0) {
+    for (int k = 0; k <= max_k; ++k) pmf[k] = BinomialPmf(n, k, p);
+    return pmf;
+  }
+  // Hoist log(p) / log1p(-p) out of the loop. The per-k expression keeps
+  // the exact shape of BinomialPmf's — (LogChoose + k*log_p) + (n-k)*log_q
+  // — so every entry is bit-identical to a direct BinomialPmf call; only
+  // the redundant transcendental evaluations go away.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  for (int k = 0; k <= max_k; ++k) {
+    pmf[k] = std::exp(LogChoose(n, k) + k * log_p + (n - k) * log_q);
+  }
+  return pmf;
+}
+
+// Thread-local memo for BinomialPmfVector. A single M-S solve rebuilds
+// the same handful of (n, p, max_k) rows — six stage pmfs share one Pd and
+// one node count — and cold sweeps repeat them per solve, with the exp()
+// calls dominating stage construction. Entries hold the exact vector
+// ComputeBinomialPmfVector produces (p keyed by its bit pattern), so a hit
+// returns bit-identical values and caching is behaviorally invisible.
+// Thread-local keeps it lock-free under engine workers; direct-mapped
+// keeps memory bounded.
+struct BinomialRowSlot {
+  int n = -1;
+  int max_k = -1;
+  std::uint64_t p_bits = 0;
+  std::vector<double> row;
+};
+constexpr std::size_t kBinomialRowSlots = 64;
 
 }  // namespace
 
@@ -58,8 +95,23 @@ double BinomialSurvival(int n, int k, double p) {
 std::vector<double> BinomialPmfVector(int n, double p, int max_k) {
   CheckArgs(n, p);
   if (max_k < 0 || max_k > n) max_k = n;
-  std::vector<double> pmf(static_cast<std::size_t>(max_k) + 1);
-  for (int k = 0; k <= max_k; ++k) pmf[k] = BinomialPmf(n, k, p);
+  std::uint64_t p_bits = 0;
+  static_assert(sizeof(p_bits) == sizeof(p));
+  std::memcpy(&p_bits, &p, sizeof(p));
+  thread_local std::array<BinomialRowSlot, kBinomialRowSlots> cache;
+  std::uint64_t h = p_bits * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(n)) * 0x85EBCA77ull;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(max_k)) << 17;
+  h ^= h >> 29;
+  BinomialRowSlot& slot = cache[h % kBinomialRowSlots];
+  if (slot.n == n && slot.max_k == max_k && slot.p_bits == p_bits) {
+    return slot.row;
+  }
+  std::vector<double> pmf = ComputeBinomialPmfVector(n, p, max_k);
+  slot.n = n;
+  slot.max_k = max_k;
+  slot.p_bits = p_bits;
+  slot.row = pmf;
   return pmf;
 }
 

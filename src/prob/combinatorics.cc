@@ -9,6 +9,7 @@ namespace sparsedet {
 namespace {
 
 constexpr int kTableSize = 128;
+constexpr int kBigTableSize = 4096;
 
 const std::array<double, kTableSize>& LogFactorialTable() {
   static const std::array<double, kTableSize> table = [] {
@@ -16,6 +17,23 @@ const std::array<double, kTableSize>& LogFactorialTable() {
     t[0] = 0.0;
     for (int n = 1; n < kTableSize; ++n) {
       t[n] = t[n - 1] + std::log(static_cast<double>(n));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Cached lgamma values for kTableSize <= n < kBigTableSize: paper-sized
+// problems (N up to a few hundred nodes, scaling benches far beyond) sit
+// past the cumulative-sum table, and LogChoose is called per (n, k) in
+// every binomial row. Each entry is the *same* LogGamma(n + 1) the live
+// call would compute, so caching is bit-invisible; it only removes the
+// repeated lgamma_r evaluations from the stage-pmf hot path.
+const std::array<double, kBigTableSize - kTableSize>& BigLogFactorialTable() {
+  static const std::array<double, kBigTableSize - kTableSize> table = [] {
+    std::array<double, kBigTableSize - kTableSize> t{};
+    for (int n = kTableSize; n < kBigTableSize; ++n) {
+      t[n - kTableSize] = LogGamma(static_cast<double>(n) + 1.0);
     }
     return t;
   }();
@@ -39,6 +57,7 @@ double LogGamma(double x) {
 double LogFactorial(int n) {
   SPARSEDET_REQUIRE(n >= 0, "factorial of a negative number");
   if (n < kTableSize) return LogFactorialTable()[n];
+  if (n < kBigTableSize) return BigLogFactorialTable()[n - kTableSize];
   return LogGamma(static_cast<double>(n) + 1.0);
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "simd/simd.h"
 
 namespace sparsedet {
 
@@ -67,30 +68,40 @@ Pmf JointPmf::MarginalN() const {
 JointPmf JointPmf::ConvolveWith(const JointPmf& other, bool saturate_m,
                                 bool saturate_n) const {
   JointPmf out(max_m_, max_n_);
+  // The grid is row-major in n, so for fixed (m1, n1, m2) the in-range n2
+  // run is one contiguous axpy into out's row m at offset n1, followed by
+  // the n-saturating tail into (m, max_n_) in ascending n2 — exactly the
+  // per-element order of the historical quadruple loop, so the result is
+  // bit-identical across SIMD backends and to the pre-SIMD code.
+  const simd::Kernels& kern = simd::Active();
   for (int m1 = 0; m1 <= max_m_; ++m1) {
     for (int n1 = 0; n1 <= max_n_; ++n1) {
       const double a = mass_[Index(m1, n1)];
       if (a == 0.0) continue;
       for (int m2 = 0; m2 <= other.max_m_; ++m2) {
-        for (int n2 = 0; n2 <= other.max_n_; ++n2) {
-          const double b = other.mass_[other.Index(m2, n2)];
-          if (b == 0.0) continue;
-          int m = m1 + m2;
-          int n = n1 + n2;
-          if (m > max_m_) {
-            if (!saturate_m) continue;
-            m = max_m_;
-          }
-          if (n > max_n_) {
-            if (!saturate_n) continue;
-            n = max_n_;
-          }
-          out.mass_[out.Index(m, n)] += a * b;
+        int m = m1 + m2;
+        if (m > max_m_) {
+          if (!saturate_m) continue;
+          m = max_m_;
+        }
+        const double* brow = &other.mass_[other.Index(m2, 0)];
+        double* orow = &out.mass_[out.Index(m, 0)];
+        const int len = std::min(other.max_n_, max_n_ - n1) + 1;
+        kern.axpy(a, brow, orow + n1, static_cast<std::size_t>(len));
+        if (saturate_n) {
+          double& top = orow[max_n_];
+          for (int n2 = len; n2 <= other.max_n_; ++n2) top += a * brow[n2];
         }
       }
     }
   }
   return out;
+}
+
+void JointPmf::AccumulateScaled(const JointPmf& other, double scale) {
+  SPARSEDET_REQUIRE(max_m_ == other.max_m_ && max_n_ == other.max_n_,
+                    "joint pmf accumulation needs matching caps");
+  simd::Active().axpy(scale, other.mass_.data(), mass_.data(), mass_.size());
 }
 
 JointPmf JointPmf::Normalized() const {

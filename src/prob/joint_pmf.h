@@ -45,6 +45,11 @@ class JointPmf {
   // Scales so TotalMass() == 1; requires positive mass.
   JointPmf Normalized() const;
 
+  // this += scale * other, element-wise over the whole grid; both grids
+  // must share the same caps. The vectorized form of the region chains'
+  // "out += p_n * n_fold" accumulation.
+  void AccumulateScaled(const JointPmf& other, double scale);
+
  private:
   std::size_t Index(int m, int n) const {
     return static_cast<std::size_t>(m) * (max_n_ + 1) +

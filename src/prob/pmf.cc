@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "resilience/cancel.h"
+#include "simd/simd.h"
 
 namespace sparsedet {
 
@@ -70,19 +71,37 @@ Pmf Pmf::ConvolveWith(const Pmf& other, int max_value, bool saturate) const {
       max_value < 0 ? full
                     : std::min(full, static_cast<std::size_t>(max_value) + 1);
   std::vector<double> out(out_size, 0.0);
-  for (std::size_t i = 0; i < mass_.size(); ++i) {
+  ConvolveAccumulate(mass_.data(), mass_.size(), other.mass_.data(),
+                     other.mass_.size(), out.data(), out_size, saturate);
+  return Pmf(std::move(out));
+}
+
+void ConvolveAccumulate(const double* a, std::size_t na, const double* b,
+                        std::size_t nb, double* out, std::size_t out_size,
+                        bool saturate) {
+  const simd::Kernels& kern = simd::Active();
+  double* const last = out + (out_size - 1);
+  for (std::size_t i = 0; i < na; ++i) {
     resilience::CancellationPoint();
-    if (mass_[i] == 0.0) continue;
-    for (std::size_t j = 0; j < other.mass_.size(); ++j) {
-      const std::size_t k = i + j;
-      if (k < out_size) {
-        out[k] += mass_[i] * other.mass_[j];
-      } else if (saturate) {
-        out.back() += mass_[i] * other.mass_[j];
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    if (i < out_size) {
+      // In-range targets i .. i+len-1 form one contiguous axpy run; the
+      // vector lanes perform the same multiply-then-add per element as
+      // the scalar reference, so this stays bit-identical across
+      // backends (and to the pre-SIMD double loop).
+      const std::size_t len = std::min(nb, out_size - i);
+      kern.axpy(ai, b, out + i, len);
+      if (saturate) {
+        // The overflow tail keeps strict ascending-j order into the top
+        // bin, matching the historical interleaving (the in-range run
+        // ends exactly where the tail begins).
+        for (std::size_t j = len; j < nb; ++j) *last += ai * b[j];
       }
+    } else if (saturate) {
+      for (std::size_t j = 0; j < nb; ++j) *last += ai * b[j];
     }
   }
-  return Pmf(std::move(out));
 }
 
 Pmf Pmf::ConvolvePower(int n, int max_value, bool saturate) const {
@@ -112,7 +131,7 @@ Pmf Pmf::ThinnedBy(double keep_prob) const {
   SPARSEDET_REQUIRE(keep_prob >= 0.0 && keep_prob <= 1.0,
                     "keep probability must be in [0, 1]");
   std::vector<double> out(mass_.size());
-  for (std::size_t i = 0; i < mass_.size(); ++i) out[i] = keep_prob * mass_[i];
+  simd::Active().scale(keep_prob, mass_.data(), out.data(), mass_.size());
   // The collapsed outcomes keep the total mass constant (sub-stochastic
   // pmfs stay sub-stochastic with the same total).
   out[0] += (1.0 - keep_prob) * TotalMass();

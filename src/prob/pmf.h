@@ -65,4 +65,16 @@ class Pmf {
   std::vector<double> mass_;
 };
 
+// The raw-buffer kernel under ConvolveWith, shared with the arena-backed
+// region-table chains: out[i + j] += a[i] * b[j] for every (i, j) with
+// i + j < out_size; when `saturate` is true the overflowing terms
+// accumulate into out[out_size - 1] instead of being dropped. `out` must
+// hold out_size entries and is accumulated into (callers zero it first
+// when they want a plain convolution). Runs i-major with the inner j run
+// vectorized, which keeps the per-element accumulation order — and hence
+// the bits — identical to the historical scalar double loop.
+void ConvolveAccumulate(const double* a, std::size_t na, const double* b,
+                        std::size_t nb, double* out, std::size_t out_size,
+                        bool saturate);
+
 }  // namespace sparsedet

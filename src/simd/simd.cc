@@ -1,0 +1,119 @@
+#include "simd/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sparsedet::simd {
+
+// Defined in simd_avx2.cc / simd_neon.cc; return null when the backend was
+// not compiled in or the CPU lacks the instructions.
+const Kernels* Avx2KernelsOrNull();
+const Kernels* NeonKernelsOrNull();
+
+namespace {
+
+void AxpyScalar(double a, const double* src, double* dst, std::size_t n) {
+  // With -ffp-contract=off this compiles to a separate multiply and add
+  // per element — the exact operation the vector lanes perform.
+  for (std::size_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+void ScaleScalar(double a, const double* src, double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a * src[i];
+}
+
+// Tap-major reference: tap t is applied to every element before tap t+1,
+// so each dst element accumulates its contributions in ascending-t order —
+// the exact per-element sequence the vector backends reproduce.
+void Conv4Scalar(const double* taps, const double* src, std::size_t src_len,
+                 double* dst, std::size_t dst_len) {
+  for (std::size_t t = 0; t < 4 && t < dst_len; ++t) {
+    const double a = taps[t];
+    const std::size_t len = std::min(src_len, dst_len - t);
+    double* d = dst + t;
+    for (std::size_t i = 0; i < len; ++i) d[i] += a * src[i];
+  }
+}
+
+constexpr Kernels kScalarKernels{Backend::kScalar, "scalar", AxpyScalar,
+                                 ScaleScalar, Conv4Scalar};
+
+const Kernels* ResolveBackend(Backend backend) {
+  switch (backend) {
+    case Backend::kAvx2:
+      return Avx2KernelsOrNull();
+    case Backend::kNeon:
+      return NeonKernelsOrNull();
+    case Backend::kScalar:
+      return &kScalarKernels;
+  }
+  return nullptr;
+}
+
+const Kernels* BestAvailable() {
+  if (const Kernels* k = Avx2KernelsOrNull()) return k;
+  if (const Kernels* k = NeonKernelsOrNull()) return k;
+  return &kScalarKernels;
+}
+
+// Env override parsing happens once; SetBackendForTest mutates afterwards.
+const Kernels* InitialKernels() {
+  const char* env = std::getenv("SPARSEDET_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return BestAvailable();
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    if (const Kernels* k = Avx2KernelsOrNull()) return k;
+    return &kScalarKernels;
+  }
+  if (std::strcmp(env, "neon") == 0) {
+    if (const Kernels* k = NeonKernelsOrNull()) return k;
+    return &kScalarKernels;
+  }
+  // "off", "scalar", and anything unrecognized: the scalar reference is
+  // always correct (all backends are bit-identical by contract).
+  return &kScalarKernels;
+}
+
+std::atomic<const Kernels*>& ActivePtr() {
+  static std::atomic<const Kernels*> active{InitialKernels()};
+  return active;
+}
+
+}  // namespace
+
+const Kernels& Active() {
+  return *ActivePtr().load(std::memory_order_relaxed);
+}
+
+const Kernels& Scalar() { return kScalarKernels; }
+
+Backend ActiveBackend() { return Active().backend; }
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool BackendAvailable(Backend backend) {
+  return ResolveBackend(backend) != nullptr;
+}
+
+Backend SetBackendForTest(Backend backend) {
+  const Kernels* next = ResolveBackend(backend);
+  if (next == nullptr) next = &kScalarKernels;
+  const Kernels* prev =
+      ActivePtr().exchange(next, std::memory_order_relaxed);
+  return prev->backend;
+}
+
+}  // namespace sparsedet::simd

@@ -1,0 +1,100 @@
+// Portable SIMD layer for the solver's element-wise double kernels.
+//
+// Every hot loop in the analytical models reduces to two primitives over
+// contiguous double buffers:
+//
+//   axpy:  dst[i] += a * src[i]      (convolution / propagation inner loop)
+//   scale: dst[i]  = a * src[i]      (thinning, scaled copies)
+//   conv4: dst[t+i] += taps[t]*src[i], t in 0..3  (fused 4-tap propagation)
+//
+// All are *element-wise*: lane i of the vectorized kernel performs exactly
+// the multiply-then-add the scalar reference performs for index i, in the
+// same rounding mode, with no fused multiply-add and no cross-lane
+// reduction. That makes the vector backends bit-identical to the scalar
+// reference — not merely close — which is what lets golden tables and the
+// engine's byte-identity contract survive runtime dispatch. The project is
+// compiled with -ffp-contract=off so the compiler cannot re-fuse the
+// scalar reference either (see docs/PERFORMANCE.md, "FP-determinism
+// contract").
+//
+// Reductions (TotalMass, TailSum, Mean, ...) are deliberately NOT offered
+// here: a vector reduction reassociates the sum and changes bits, so they
+// stay strict sequential scalar at the call sites.
+//
+// Backend selection: the best available backend is chosen once at startup
+// (AVX2 via cpuid on x86-64, NEON on aarch64, scalar everywhere else).
+// The SPARSEDET_SIMD environment variable overrides it:
+//
+//   SPARSEDET_SIMD=off|scalar   force the scalar reference
+//   SPARSEDET_SIMD=avx2         request AVX2 (scalar if unavailable)
+//   SPARSEDET_SIMD=neon         request NEON (scalar if unavailable)
+//   SPARSEDET_SIMD=auto / unset best available
+//
+// An unavailable or unknown request degrades to scalar rather than
+// erroring: the contract is that every backend produces identical bits, so
+// degrading is always safe, and it lets one CI matrix run the same command
+// line on every architecture.
+#pragma once
+
+#include <cstddef>
+
+namespace sparsedet::simd {
+
+enum class Backend {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// A resolved kernel table. Function pointers, not virtuals: the call sites
+// hoist `const Kernels& k = Active()` out of their loops and pay one
+// indirect call per contiguous run.
+struct Kernels {
+  Backend backend;
+  const char* name;  // "scalar" | "avx2" | "neon"
+  // dst[i] += a * src[i] for i in [0, n). src and dst must not overlap
+  // except when they are equal-and-aliased is also forbidden (dst != src).
+  void (*axpy)(double a, const double* src, double* dst, std::size_t n);
+  // dst[i] = a * src[i] for i in [0, n). dst == src is allowed.
+  void (*scale)(double a, const double* src, double* dst, std::size_t n);
+  // Four shifted axpys fused into one pass:
+  //
+  //   for t in 0..3: dst[t + i] += taps[t] * src[i]
+  //                  for i in [0, min(src_len, dst_len - t))
+  //
+  // i.e. the four-tap slice of an increment-propagation step. Each dst
+  // element receives its (up to four) tap contributions in ascending-t
+  // order, every contribution a separate multiply-then-add — the same
+  // per-element operation sequence as four consecutive axpy calls — but
+  // dst is loaded and stored once per pass instead of four times, which
+  // is what makes the propagation hot loop memory-efficient. All four
+  // taps are applied even when zero (a zero tap contributes an exact
+  // +0.0, which cannot change any finite non-negative accumulator).
+  // Writes touch dst[0, min(dst_len, src_len + 3)); src and dst must not
+  // overlap.
+  void (*conv4)(const double* taps, const double* src, std::size_t src_len,
+                double* dst, std::size_t dst_len);
+};
+
+// The process-wide active kernel table (env override applied once, on
+// first use). Safe to call concurrently from engine workers.
+const Kernels& Active();
+
+// The scalar reference table, always available — the "expected" side of
+// the differential harness.
+const Kernels& Scalar();
+
+Backend ActiveBackend();
+const char* BackendName(Backend backend);
+
+// True when the backend's kernels exist in this binary *and* the CPU can
+// run them. kScalar is always available.
+bool BackendAvailable(Backend backend);
+
+// Test hook: force the active table to `backend` (degrades to scalar when
+// unavailable, mirroring the env override) and return the previously
+// active backend so tests can restore it. Not thread-safe against
+// concurrent solves; tests install it before spawning work.
+Backend SetBackendForTest(Backend backend);
+
+}  // namespace sparsedet::simd

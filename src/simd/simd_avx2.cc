@@ -1,0 +1,104 @@
+// AVX2 backend: 4-wide double lanes, explicit multiply + add (never FMA —
+// fused rounding would diverge from the scalar reference bit-for-bit).
+// This translation unit is compiled with -mavx2 (see CMakeLists.txt) only
+// on x86-64 hosts whose compiler accepts the flag; everywhere else it
+// compiles to the null stub below.
+#include "simd/simd.h"
+
+#if defined(SPARSEDET_SIMD_BUILD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace sparsedet::simd {
+namespace {
+
+void AxpyAvx2(double a, const double* src, double* dst, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_loadu_pd(src + i);
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, _mm256_mul_pd(va, s)));
+  }
+  for (; i < n; ++i) dst[i] += a * src[i];
+}
+
+void ScaleAvx2(double a, const double* src, double* dst, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(va, _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = a * src[i];
+}
+
+// Output-major 4-tap pass. The scalar reference is tap-major, but the two
+// orders are bit-identical: every dst element still receives its tap
+// contributions in ascending-t order, each one a separately rounded
+// multiply + add, and element results never feed each other.
+void Conv4Avx2(const double* taps, const double* src, std::size_t src_len,
+               double* dst, std::size_t dst_len) {
+  // Output index o = t + i; o in [0, src_len + 3) clipped to dst_len.
+  const std::size_t out_end = std::min(dst_len, src_len + 3);
+  // Partial-tap elements, ascending t per element.
+  const auto edge = [&](std::size_t o_begin, std::size_t o_end) {
+    for (std::size_t o = o_begin; o < o_end; ++o) {
+      double acc = dst[o];
+      const std::size_t t_lo = o >= src_len ? o - src_len + 1 : 0;
+      const std::size_t t_hi = std::min<std::size_t>(3, o);
+      for (std::size_t t = t_lo; t <= t_hi; ++t) acc += taps[t] * src[o - t];
+      dst[o] = acc;
+    }
+  };
+  // All four taps are in range for o in [3, min(src_len, dst_len)).
+  const std::size_t interior_end = std::min(src_len, dst_len);
+  edge(0, std::min<std::size_t>(3, out_end));
+  if (interior_end > 3) {
+    const __m256d p0 = _mm256_set1_pd(taps[0]);
+    const __m256d p1 = _mm256_set1_pd(taps[1]);
+    const __m256d p2 = _mm256_set1_pd(taps[2]);
+    const __m256d p3 = _mm256_set1_pd(taps[3]);
+    std::size_t o = 3;
+    for (; o + 4 <= interior_end; o += 4) {
+      __m256d acc = _mm256_loadu_pd(dst + o);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(p0, _mm256_loadu_pd(src + o)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(p1, _mm256_loadu_pd(src + o - 1)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(p2, _mm256_loadu_pd(src + o - 2)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(p3, _mm256_loadu_pd(src + o - 3)));
+      _mm256_storeu_pd(dst + o, acc);
+    }
+    for (; o < interior_end; ++o) {
+      double acc = dst[o];
+      acc += taps[0] * src[o];
+      acc += taps[1] * src[o - 1];
+      acc += taps[2] * src[o - 2];
+      acc += taps[3] * src[o - 3];
+      dst[o] = acc;
+    }
+  }
+  edge(std::max<std::size_t>(3, interior_end), out_end);
+}
+
+constexpr Kernels kAvx2Kernels{Backend::kAvx2, "avx2", AxpyAvx2, ScaleAvx2,
+                               Conv4Avx2};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+}  // namespace sparsedet::simd
+
+#else  // !SPARSEDET_SIMD_BUILD_AVX2
+
+namespace sparsedet::simd {
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace sparsedet::simd
+
+#endif

@@ -1,0 +1,94 @@
+// NEON backend: 2-wide double lanes (AArch64 Advanced SIMD is mandatory,
+// so no runtime cpuid is needed — availability is a compile-time fact).
+// vmulq/vaddq are used explicitly instead of vfmaq: fused rounding would
+// diverge from the scalar reference bit-for-bit.
+#include "simd/simd.h"
+
+#if defined(SPARSEDET_SIMD_BUILD_NEON)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+namespace sparsedet::simd {
+namespace {
+
+void AxpyNeon(double a, const double* src, double* dst, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t s = vld1q_f64(src + i);
+    const float64x2_t d = vld1q_f64(dst + i);
+    vst1q_f64(dst + i, vaddq_f64(d, vmulq_f64(va, s)));
+  }
+  for (; i < n; ++i) dst[i] += a * src[i];
+}
+
+void ScaleNeon(double a, const double* src, double* dst, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vmulq_f64(va, vld1q_f64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = a * src[i];
+}
+
+// Output-major 4-tap pass; see Conv4Avx2 for the bit-identity argument
+// (each element's contributions apply in ascending-t order, one rounded
+// multiply + add per contribution).
+void Conv4Neon(const double* taps, const double* src, std::size_t src_len,
+               double* dst, std::size_t dst_len) {
+  const std::size_t out_end = std::min(dst_len, src_len + 3);
+  const auto edge = [&](std::size_t o_begin, std::size_t o_end) {
+    for (std::size_t o = o_begin; o < o_end; ++o) {
+      double acc = dst[o];
+      const std::size_t t_lo = o >= src_len ? o - src_len + 1 : 0;
+      const std::size_t t_hi = std::min<std::size_t>(3, o);
+      for (std::size_t t = t_lo; t <= t_hi; ++t) acc += taps[t] * src[o - t];
+      dst[o] = acc;
+    }
+  };
+  const std::size_t interior_end = std::min(src_len, dst_len);
+  edge(0, std::min<std::size_t>(3, out_end));
+  if (interior_end > 3) {
+    const float64x2_t p0 = vdupq_n_f64(taps[0]);
+    const float64x2_t p1 = vdupq_n_f64(taps[1]);
+    const float64x2_t p2 = vdupq_n_f64(taps[2]);
+    const float64x2_t p3 = vdupq_n_f64(taps[3]);
+    std::size_t o = 3;
+    for (; o + 2 <= interior_end; o += 2) {
+      float64x2_t acc = vld1q_f64(dst + o);
+      acc = vaddq_f64(acc, vmulq_f64(p0, vld1q_f64(src + o)));
+      acc = vaddq_f64(acc, vmulq_f64(p1, vld1q_f64(src + o - 1)));
+      acc = vaddq_f64(acc, vmulq_f64(p2, vld1q_f64(src + o - 2)));
+      acc = vaddq_f64(acc, vmulq_f64(p3, vld1q_f64(src + o - 3)));
+      vst1q_f64(dst + o, acc);
+    }
+    for (; o < interior_end; ++o) {
+      double acc = dst[o];
+      acc += taps[0] * src[o];
+      acc += taps[1] * src[o - 1];
+      acc += taps[2] * src[o - 2];
+      acc += taps[3] * src[o - 3];
+      dst[o] = acc;
+    }
+  }
+  edge(std::max<std::size_t>(3, interior_end), out_end);
+}
+
+constexpr Kernels kNeonKernels{Backend::kNeon, "neon", AxpyNeon, ScaleNeon,
+                               Conv4Neon};
+
+}  // namespace
+
+const Kernels* NeonKernelsOrNull() { return &kNeonKernels; }
+
+}  // namespace sparsedet::simd
+
+#else  // !SPARSEDET_SIMD_BUILD_NEON
+
+namespace sparsedet::simd {
+const Kernels* NeonKernelsOrNull() { return nullptr; }
+}  // namespace sparsedet::simd
+
+#endif

@@ -1,0 +1,196 @@
+// Edge cases for the engine's cross-request group dispatch (PR10): small
+// work units are bucketed into chunked pool tasks instead of one task per
+// unit (engine.cc FlushSubmits). The contract under test is that grouping
+// changes SCHEDULING ONLY — for every batch shape, the response stream is
+// byte-identical to the serial (group_dispatch = false) engine, errors
+// stay per-request, and cancellation/fault recovery behave exactly as
+// they do under per-unit dispatch.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "obs/metrics.h"
+
+namespace sparsedet::engine {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string RunBatch(const EngineOptions& options, const std::string& input) {
+  BatchEngine engine(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  engine.RunBatch(in, out);
+  return out.str();
+}
+
+EngineOptions Opts(int threads, bool group_dispatch,
+                   std::size_t group_cost_threshold =
+                       EngineOptions{}.group_cost_threshold) {
+  EngineOptions options;
+  options.threads = threads;
+  options.group_dispatch = group_dispatch;
+  options.group_cost_threshold = group_cost_threshold;
+  return options;
+}
+
+// A batch of many tiny units: 6 sweeps x 5 points, every unit far below
+// the default grouping threshold, plus some repeats so coalescing and
+// grouping interact.
+std::string TinySweepBatch() {
+  std::string batch;
+  for (int i = 0; i < 6; ++i) {
+    const int from = 60 + 10 * (i % 3);
+    batch += R"({"id":"sw)" + std::to_string(i) +
+             R"(","op":"sweep","sweep":{"param":"nodes","from":)" +
+             std::to_string(from) + R"(,"to":)" + std::to_string(from + 80) +
+             R"(,"step":20}})" + "\n";
+  }
+  return batch;
+}
+
+// ---- byte-identity across dispatch modes ------------------------------
+
+TEST(GroupDispatch, SingleRequestBatchMatchesSerial) {
+  const std::string batch = R"({"id":"only","op":"analyze"})" "\n";
+  const std::string grouped = RunBatch(Opts(4, true), batch);
+  const std::string serial = RunBatch(Opts(1, false), batch);
+  EXPECT_EQ(grouped, serial);
+  const JsonValue response = ParseJson(Lines(grouped).at(0));
+  EXPECT_EQ(response.Find("id")->AsString(), "only");
+  EXPECT_NE(response.Find("result"), nullptr);
+}
+
+TEST(GroupDispatch, AllTinyBatchIsByteIdenticalAcrossModes) {
+  const std::string batch = TinySweepBatch();
+  const std::string reference = RunBatch(Opts(1, false), batch);
+  for (int threads : {1, 2, 8}) {
+    for (bool group : {true, false}) {
+      EXPECT_EQ(RunBatch(Opts(threads, group), batch), reference)
+          << "threads=" << threads << " group=" << group;
+    }
+  }
+}
+
+TEST(GroupDispatch, MixedTinyAndHugeUnitsMatchSerial) {
+  // Drop the threshold to 1 so every unit counts as "big" (all direct),
+  // raise it to SIZE_MAX so every unit is "small" (all grouped), and
+  // leave the default for the genuine mix; all three must match serial.
+  const std::string batch =
+      TinySweepBatch() +
+      R"({"id":"big","op":"analyze","params":{"nodes":240}})" "\n" +
+      R"({"id":"mc","op":"simulate","params":{"nodes":120},)"
+      R"("sim":{"trials":5000,"seed":11}})" "\n";
+  const std::string reference = RunBatch(Opts(1, false), batch);
+  const std::size_t kDefault = EngineOptions{}.group_cost_threshold;
+  for (std::size_t threshold :
+       {std::size_t{1}, kDefault, static_cast<std::size_t>(-1)}) {
+    EXPECT_EQ(RunBatch(Opts(4, true, threshold), batch), reference)
+        << "threshold=" << threshold;
+  }
+}
+
+TEST(GroupDispatch, ResponsesStayInInputOrderUnderGrouping) {
+  const std::string batch = TinySweepBatch();
+  const std::vector<std::string> lines =
+      Lines(RunBatch(Opts(8, true), batch));
+  ASSERT_EQ(lines.size(), 6u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(ParseJson(lines[i]).Find("id")->AsString(),
+              "sw" + std::to_string(i));
+  }
+}
+
+TEST(GroupDispatch, OptionsJsonReportsDispatchConfiguration) {
+  BatchEngine engine(Opts(2, true, 12345));
+  const std::string json = engine.OptionsJson().ToString();
+  EXPECT_NE(json.find("\"group_dispatch\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"group_cost_threshold\":12345"), std::string::npos)
+      << json;
+}
+
+// ---- cancellation inside a group --------------------------------------
+
+TEST(GroupDispatch, DeadlinedUnitInsideGroupCancelsOnlyItself) {
+  // Force EVERYTHING into group tasks (threshold = SIZE_MAX), then put an
+  // enormous analyze with a short deadline between small requests. The
+  // group task chains a per-unit token off the request token, so the huge
+  // unit must cancel promptly while its group-mates complete normally.
+  const std::string batch =
+      R"({"id":"pre","op":"analyze","params":{"nodes":90}})" "\n" +
+      std::string(R"({"id":"huge","op":"analyze",)"
+                  R"("params":{"nodes":20000},)"
+                  R"("options":{"gh":6000,"g":6000},"deadline_ms":200})") +
+      "\n" +
+      R"({"id":"post","op":"analyze","params":{"nodes":110}})" "\n";
+  EngineOptions options = Opts(2, true, static_cast<std::size_t>(-1));
+  options.retry.max_attempts = 1;
+  BatchEngine engine(options);
+  std::istringstream in(batch);
+  std::ostringstream out;
+  engine.RunBatch(in, out);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  const JsonValue pre = ParseJson(lines[0]);
+  const JsonValue huge = ParseJson(lines[1]);
+  const JsonValue post = ParseJson(lines[2]);
+  EXPECT_NE(pre.Find("result"), nullptr) << lines[0];
+  ASSERT_NE(huge.Find("error_code"), nullptr) << lines[1];
+  EXPECT_EQ(huge.Find("error_code")->AsString(), "deadline_exceeded");
+  EXPECT_NE(post.Find("result"), nullptr) << lines[2];
+}
+
+// ---- fault recovery inside a group ------------------------------------
+
+TEST(GroupDispatch, InjectedWorkerAbortsResubmitGroupMates) {
+  // Worker aborts tear down the thread mid-chunk; FlushSubmits' group task
+  // must resubmit the not-yet-run group-mates individually before the
+  // abort propagates, so every request still resolves — with output
+  // byte-identical to an undisturbed serial run.
+  const std::string batch = TinySweepBatch();
+  const std::string reference = RunBatch(Opts(1, false), batch);
+
+  EngineOptions faulty = Opts(2, true, static_cast<std::size_t>(-1));
+  // 6 faults max against 8 attempts per unit: recovery is guaranteed, so
+  // any non-identical output is a dispatch bug, not fault-budget noise.
+  faulty.retry.max_attempts = 8;
+  faulty.retry.base_delay_ms = 1;
+  faulty.fault_config =
+      R"({"abort_every":3,"fail_every":5,"delay_ms":1,"max_faults":6})";
+  BatchEngine engine(faulty);
+  std::istringstream in(batch);
+  std::ostringstream out;
+  engine.RunBatch(in, out);
+  EXPECT_EQ(out.str(), reference);
+  std::uint64_t injected = 0;
+  for (const auto& counter : engine.MetricsSnapshot().counters) {
+    if (counter.name == "engine_injected_faults_total") {
+      injected = counter.value;
+    }
+  }
+  EXPECT_GE(injected, 6u);
+}
+
+TEST(GroupDispatch, WatchdogArmedBypassesGroupingButStaysIdentical) {
+  // With a watchdog configured the engine must fall back to per-unit
+  // dispatch (a grouped chunk would hide per-unit liveness); the output
+  // contract is unchanged.
+  const std::string batch = TinySweepBatch();
+  const std::string reference = RunBatch(Opts(1, false), batch);
+  EngineOptions watched = Opts(2, true);
+  watched.watchdog_stuck_ms = 60000;  // armed, far from firing
+  EXPECT_EQ(RunBatch(watched, batch), reference);
+}
+
+}  // namespace
+}  // namespace sparsedet::engine

@@ -1,0 +1,402 @@
+// Differential harness for the SIMD kernel layer (src/simd/).
+//
+// The vector backends (AVX2, NEON) claim BIT-IDENTITY with the scalar
+// reference, not approximate agreement — that claim is what lets golden
+// tables and the engine's byte-identity contract survive runtime dispatch.
+// This suite checks the claim the only way that means anything: memcmp on
+// the output buffers, across
+//
+//   * every backend the binary + CPU can actually run,
+//   * every vector-width remainder 0..7 (widths up to 8 doubles would
+//     cover AVX-512; AVX2 is 4-wide and NEON 2-wide, so 0..7 covers every
+//     partial-vector tail either can produce),
+//   * 256+ seeded pseudo-random cases per kernel mixing magnitudes from
+//     subnormal to huge, exact zeros, negative zeros, and negatives,
+//   * conv4's edge geometry: src shorter than the tap count, dst clipping
+//     every tap partially or fully, dst longer than src_len + 3 (the
+//     untouched suffix must stay untouched).
+//
+// Failures print the backend, case seed, and first mismatching index so a
+// case reproduces from its seed alone.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "simd/simd.h"
+
+namespace sparsedet {
+namespace {
+
+using simd::Backend;
+using simd::Kernels;
+
+// Backends worth testing differentially: every non-scalar backend that is
+// actually runnable here. An empty result means scalar-only hardware; the
+// suite then still runs scalar-vs-scalar as a harness self-check.
+std::vector<Backend> VectorBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (simd::BackendAvailable(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+// Installs `backend`, hands out the active table, restores on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend)
+      : previous_(simd::SetBackendForTest(backend)) {}
+  ~ScopedBackend() { simd::SetBackendForTest(previous_); }
+  const Kernels& kernels() const { return simd::Active(); }
+
+ private:
+  Backend previous_;
+};
+
+// Draws a double whose magnitude spans the full finite range — including
+// exact +0.0, -0.0, subnormals, and values near overflow — because lane
+// math must match the scalar reference for *every* bit pattern, not just
+// friendly probability masses.
+double DrawValue(Rng& rng) {
+  switch (rng.UniformInt(8)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:  // subnormal territory
+      return std::ldexp(rng.Uniform(-1.0, 1.0), -1050);
+    case 3:  // near-overflow
+      return std::ldexp(rng.Uniform(-1.0, 1.0), 1020);
+    default: {
+      // log-uniform magnitude, random sign
+      const double mag = std::ldexp(rng.UniformDouble() + 0.5,
+                                    static_cast<int>(rng.UniformInt(80)) - 40);
+      return rng.Bernoulli(0.5) ? mag : -mag;
+    }
+  }
+}
+
+std::vector<double> DrawBuffer(Rng& rng, std::size_t n) {
+  std::vector<double> buf(n);
+  for (double& v : buf) v = DrawValue(rng);
+  return buf;
+}
+
+// Bitwise comparison with a diagnosable failure message.
+::testing::AssertionResult BitIdentical(const std::vector<double>& got,
+                                        const std::vector<double>& want,
+                                        const char* kernel,
+                                        std::uint64_t case_seed) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << kernel << ": size mismatch (seed " << case_seed << ")";
+  }
+  if (std::memcmp(got.data(), want.data(),
+                  got.size() * sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint64_t gb = 0, wb = 0;
+    std::memcpy(&gb, &got[i], sizeof(double));
+    std::memcpy(&wb, &want[i], sizeof(double));
+    if (gb != wb) {
+      return ::testing::AssertionFailure()
+             << kernel << ": first bit mismatch at index " << i << " (seed "
+             << case_seed << "): got " << got[i] << " [0x" << std::hex << gb
+             << "] want " << want[i] << " [0x" << wb << "]";
+    }
+  }
+  return ::testing::AssertionFailure()
+         << kernel << ": memcmp differs but no lane differs — padding? "
+         << "(seed " << case_seed << ")";
+}
+
+// Lengths crossing every remainder class for vector widths up to 8,
+// around each width boundary and at sizes big enough that the vector body
+// executes many iterations (the solver's real buffers are ~16..301 wide).
+std::vector<std::size_t> RemainderLengths() {
+  std::vector<std::size_t> lens;
+  for (std::size_t n = 0; n <= 17; ++n) lens.push_back(n);
+  for (std::size_t base : {24u, 32u, 48u, 64u, 96u, 128u, 256u}) {
+    for (std::size_t d = 0; d < 8; ++d) lens.push_back(base + d);
+  }
+  return lens;
+}
+
+struct DifferentialCounters {
+  int cases = 0;
+};
+
+// ---- axpy ------------------------------------------------------------
+
+void CheckAxpyCase(const Kernels& vec, const Kernels& ref, std::uint64_t seed,
+                   std::size_t n, DifferentialCounters* counters) {
+  Rng rng(seed);
+  const double a = DrawValue(rng);
+  const std::vector<double> src = DrawBuffer(rng, n);
+  const std::vector<double> dst0 = DrawBuffer(rng, n);
+  std::vector<double> got = dst0;
+  std::vector<double> want = dst0;
+  vec.axpy(a, src.data(), got.data(), n);
+  ref.axpy(a, src.data(), want.data(), n);
+  ASSERT_TRUE(BitIdentical(got, want, "axpy", seed)) << "n=" << n;
+  ++counters->cases;
+}
+
+// ---- scale -----------------------------------------------------------
+
+void CheckScaleCase(const Kernels& vec, const Kernels& ref, std::uint64_t seed,
+                    std::size_t n, DifferentialCounters* counters) {
+  Rng rng(seed);
+  const double a = DrawValue(rng);
+  const std::vector<double> src = DrawBuffer(rng, n);
+  std::vector<double> got(n, -7.0);
+  std::vector<double> want(n, -7.0);
+  vec.scale(a, src.data(), got.data(), n);
+  ref.scale(a, src.data(), want.data(), n);
+  ASSERT_TRUE(BitIdentical(got, want, "scale", seed)) << "n=" << n;
+
+  // scale documents dst == src as legal: check the aliased form too.
+  std::vector<double> aliased_got = src;
+  std::vector<double> aliased_want = src;
+  vec.scale(a, aliased_got.data(), aliased_got.data(), n);
+  ref.scale(a, aliased_want.data(), aliased_want.data(), n);
+  ASSERT_TRUE(BitIdentical(aliased_got, aliased_want, "scale/aliased", seed))
+      << "n=" << n;
+  ++counters->cases;
+}
+
+// ---- conv4 -----------------------------------------------------------
+
+// Runs one conv4 geometry on both tables. dst is over-allocated by
+// kSlack sentinel lanes past dst_len so out-of-extent writes are caught
+// bit-exactly along with everything else.
+void CheckConv4Case(const Kernels& vec, const Kernels& ref, std::uint64_t seed,
+                    std::size_t src_len, std::size_t dst_len,
+                    DifferentialCounters* counters) {
+  constexpr std::size_t kSlack = 8;
+  Rng rng(seed);
+  std::vector<double> taps(4);
+  for (double& t : taps) t = DrawValue(rng);
+  if (rng.Bernoulli(0.25)) taps[rng.UniformInt(4)] = 0.0;  // zero-tap path
+  const std::vector<double> src = DrawBuffer(rng, src_len);
+  const std::vector<double> dst0 = DrawBuffer(rng, dst_len + kSlack);
+  std::vector<double> got = dst0;
+  std::vector<double> want = dst0;
+  vec.conv4(taps.data(), src.data(), src_len, got.data(), dst_len);
+  ref.conv4(taps.data(), src.data(), src_len, want.data(), dst_len);
+  ASSERT_TRUE(BitIdentical(got, want, "conv4", seed))
+      << "src_len=" << src_len << " dst_len=" << dst_len;
+
+  // The documented write extent is dst[0, min(dst_len, src_len + 3)):
+  // everything past it must still hold the sentinel prefill, bit for bit.
+  const std::size_t extent = std::min(dst_len, src_len + 3);
+  for (std::size_t i = extent; i < dst0.size(); ++i) {
+    std::uint64_t gb = 0, ob = 0;
+    std::memcpy(&gb, &got[i], sizeof(double));
+    std::memcpy(&ob, &dst0[i], sizeof(double));
+    ASSERT_EQ(gb, ob) << "conv4 wrote past its extent at index " << i
+                      << " (seed " << seed << ", src_len=" << src_len
+                      << ", dst_len=" << dst_len << ")";
+  }
+  ++counters->cases;
+}
+
+// conv4 must equal four consecutive axpy calls (the tap-major reference
+// formulation) — this is the algebraic contract the increment chain's
+// remainder loop relies on when it mixes conv4 blocks with axpy tails.
+void CheckConv4EqualsAxpySequence(const Kernels& table, std::uint64_t seed,
+                                  std::size_t src_len, std::size_t dst_len) {
+  Rng rng(seed);
+  std::vector<double> taps(4);
+  for (double& t : taps) t = DrawValue(rng);
+  const std::vector<double> src = DrawBuffer(rng, src_len);
+  const std::vector<double> dst0 = DrawBuffer(rng, dst_len);
+  std::vector<double> got = dst0;
+  std::vector<double> want = dst0;
+  table.conv4(taps.data(), src.data(), src_len, got.data(), dst_len);
+  const Kernels& ref = simd::Scalar();
+  for (std::size_t t = 0; t < 4 && t < dst_len; ++t) {
+    const std::size_t len = std::min(src_len, dst_len - t);
+    ref.axpy(taps[t], src.data(), want.data() + t, len);
+  }
+  ASSERT_TRUE(BitIdentical(got, want, "conv4-vs-axpy", seed))
+      << "src_len=" << src_len << " dst_len=" << dst_len;
+}
+
+// ---- suites ----------------------------------------------------------
+
+class KernelDifferentialTest : public ::testing::Test {
+ protected:
+  // 0x51D... "SIMD differential", fixed so failures reproduce.
+  static constexpr std::uint64_t kSuiteSeed = 0x51D0D1FFE0001ULL;
+};
+
+TEST_F(KernelDifferentialTest, BackendsReportConsistentAvailability) {
+  // Scalar is always available and always installable.
+  EXPECT_TRUE(simd::BackendAvailable(Backend::kScalar));
+  ScopedBackend scoped(Backend::kScalar);
+  EXPECT_EQ(scoped.kernels().backend, Backend::kScalar);
+  EXPECT_STREQ(scoped.kernels().name, "scalar");
+  // Requesting an unavailable backend degrades to scalar, never errors.
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    ScopedBackend forced(b);
+    if (simd::BackendAvailable(b)) {
+      EXPECT_EQ(forced.kernels().backend, b);
+    } else {
+      EXPECT_EQ(forced.kernels().backend, Backend::kScalar);
+    }
+  }
+}
+
+TEST_F(KernelDifferentialTest, AxpyMatchesScalarAcrossRemainders) {
+  const Kernels& ref = simd::Scalar();
+  DifferentialCounters counters;
+  std::vector<Backend> backends = VectorBackends();
+  if (backends.empty()) backends.push_back(Backend::kScalar);
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    std::uint64_t case_index = 0;
+    for (std::size_t n : RemainderLengths()) {
+      for (int rep = 0; rep < 4; ++rep) {
+        CheckAxpyCase(scoped.kernels(), ref, kSuiteSeed + 17 * ++case_index,
+                      n, &counters);
+      }
+    }
+  }
+  EXPECT_GE(counters.cases, 256) << "harness breadth eroded";
+}
+
+TEST_F(KernelDifferentialTest, ScaleMatchesScalarAcrossRemainders) {
+  const Kernels& ref = simd::Scalar();
+  DifferentialCounters counters;
+  std::vector<Backend> backends = VectorBackends();
+  if (backends.empty()) backends.push_back(Backend::kScalar);
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    std::uint64_t case_index = 0;
+    for (std::size_t n : RemainderLengths()) {
+      for (int rep = 0; rep < 4; ++rep) {
+        CheckScaleCase(scoped.kernels(), ref, kSuiteSeed + 31 * ++case_index,
+                       n, &counters);
+      }
+    }
+  }
+  EXPECT_GE(counters.cases, 256) << "harness breadth eroded";
+}
+
+TEST_F(KernelDifferentialTest, Conv4MatchesScalarAcrossGeometries) {
+  const Kernels& ref = simd::Scalar();
+  DifferentialCounters counters;
+  std::vector<Backend> backends = VectorBackends();
+  if (backends.empty()) backends.push_back(Backend::kScalar);
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    std::uint64_t case_index = 0;
+    for (std::size_t src_len : RemainderLengths()) {
+      // dst shorter than src (every tap clipped), inside the tap spill
+      // window [src_len, src_len+3], and past it (untouched suffix).
+      const std::size_t probes[] = {
+          src_len / 2,     src_len,         src_len + 1, src_len + 2,
+          src_len + 3,     src_len + 4,     src_len + 9};
+      for (std::size_t dst_len : probes) {
+        CheckConv4Case(scoped.kernels(), ref,
+                       kSuiteSeed + 43 * ++case_index, src_len, dst_len,
+                       &counters);
+      }
+    }
+  }
+  EXPECT_GE(counters.cases, 256) << "harness breadth eroded";
+}
+
+TEST_F(KernelDifferentialTest, Conv4EqualsTapMajorAxpySequence) {
+  std::vector<Backend> backends = VectorBackends();
+  backends.push_back(Backend::kScalar);  // the reference obeys it too
+  std::uint64_t case_index = 0;
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    for (std::size_t src_len : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 16u, 33u, 301u}) {
+      for (std::size_t dst_len :
+           {0u, 1u, 3u, 4u, 7u, 16u, 32u, 304u}) {
+        CheckConv4EqualsAxpySequence(scoped.kernels(),
+                                     kSuiteSeed + 59 * ++case_index,
+                                     src_len, dst_len);
+      }
+    }
+  }
+}
+
+// Mass conservation: the solver's propagation feeds conv4 probability
+// masses, and the unnormalized-truncation bookkeeping (eta_MS) assumes a
+// propagation step neither creates nor destroys mass beyond truncation.
+// With dst long enough that nothing clips, sum(dst') - sum(dst) must be
+// (sum taps) * (sum src) up to accumulation-order rounding.
+TEST_F(KernelDifferentialTest, Conv4ConservesMassWhenUnclipped) {
+  std::vector<Backend> backends = VectorBackends();
+  backends.push_back(Backend::kScalar);
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    Rng rng(kSuiteSeed ^ 0xC0115EBAULL);
+    for (int rep = 0; rep < 64; ++rep) {
+      const std::size_t src_len = 1 + rng.UniformInt(64);
+      const std::size_t dst_len = src_len + 3 + rng.UniformInt(8);
+      std::vector<double> taps(4), src(src_len);
+      double tap_sum = 0.0, src_sum = 0.0;
+      for (double& t : taps) {
+        t = rng.UniformDouble();
+        tap_sum += t;
+      }
+      for (double& v : src) {
+        v = rng.UniformDouble();
+        src_sum += v;
+      }
+      std::vector<double> dst(dst_len, 0.0);
+      scoped.kernels().conv4(taps.data(), src.data(), src_len, dst.data(),
+                             dst_len);
+      double out_sum = 0.0;
+      for (double v : dst) out_sum += v;
+      EXPECT_NEAR(out_sum, tap_sum * src_sum,
+                  1e-12 * std::max(1.0, tap_sum * src_sum))
+          << "backend=" << scoped.kernels().name << " rep=" << rep;
+    }
+  }
+}
+
+// axpy's mass bookkeeping: sum(dst') = sum(dst) + a * sum(src).
+TEST_F(KernelDifferentialTest, AxpyConservesMass) {
+  std::vector<Backend> backends = VectorBackends();
+  backends.push_back(Backend::kScalar);
+  for (Backend b : backends) {
+    ScopedBackend scoped(b);
+    Rng rng(kSuiteSeed ^ 0xA11E57ULL);
+    for (int rep = 0; rep < 64; ++rep) {
+      const std::size_t n = 1 + rng.UniformInt(128);
+      const double a = rng.UniformDouble();
+      std::vector<double> src(n), dst(n);
+      double src_sum = 0.0, dst_sum = 0.0;
+      for (double& v : src) {
+        v = rng.UniformDouble();
+        src_sum += v;
+      }
+      for (double& v : dst) {
+        v = rng.UniformDouble();
+        dst_sum += v;
+      }
+      scoped.kernels().axpy(a, src.data(), dst.data(), n);
+      double out_sum = 0.0;
+      for (double v : dst) out_sum += v;
+      EXPECT_NEAR(out_sum, dst_sum + a * src_sum,
+                  1e-12 * std::max(1.0, dst_sum + a * src_sum))
+          << "backend=" << scoped.kernels().name << " rep=" << rep;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparsedet

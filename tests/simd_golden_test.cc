@@ -1,0 +1,178 @@
+// Byte-identity of the headline experiment results across SIMD backends.
+//
+// The golden-table suite (golden_tables_test.cc) pins E1/E2/E3 against
+// whatever backend the host selects; the CI matrix re-runs the whole suite
+// with SPARSEDET_SIMD=off to pin the scalar reference. This file closes
+// the remaining gap *within one process*: it recomputes the E1/E2/E3
+// headline quantities under every backend the binary can run — forced via
+// SetBackendForTest, with the memo cache disabled so each run really
+// exercises the kernels instead of replaying the first run's cache — and
+// requires the results to be BIT-identical, memcmp on the full report
+// distributions included. This is the user-visible face of the kernel
+// bit-identity contract: dispatch may change which instructions run,
+// never which bytes come out.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ms_approach.h"
+#include "core/s_approach.h"
+#include "prob/memo_cache.h"
+#include "simd/simd.h"
+
+namespace sparsedet {
+namespace {
+
+using simd::Backend;
+
+SystemParams Onr(int nodes, double speed) {
+  SystemParams p = SystemParams::OnrDefaults();
+  p.num_nodes = nodes;
+  p.target_speed = speed;
+  return p;
+}
+
+// Every backend this binary + CPU can run, scalar always included and
+// always last so failure messages name the vector backend that diverged.
+std::vector<Backend> RunnableBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (simd::BackendAvailable(b)) backends.push_back(b);
+  }
+  backends.push_back(Backend::kScalar);
+  return backends;
+}
+
+// Memo off for the scope: backend-forcing tests must not read results the
+// previous backend computed (the memo is keyed on inputs, not backend,
+// *because* of the bit-identity this suite verifies — so a hit would
+// silently turn the comparison into scalar-vs-cache).
+class ScopedMemoOff {
+ public:
+  ScopedMemoOff() : saved_(prob::MemoCache::Global().capacity()) {
+    prob::MemoCache::Global().SetCapacity(0);
+  }
+  ~ScopedMemoOff() { prob::MemoCache::Global().SetCapacity(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+::testing::AssertionResult SameBits(const std::vector<double>& got,
+                                    const std::vector<double>& want,
+                                    const char* what, const char* backend) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << what << ": support size " << got.size() << " vs "
+           << want.size() << " under backend " << backend;
+  }
+  if (std::memcmp(got.data(), want.data(),
+                  got.size() * sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint64_t gb = 0, wb = 0;
+    std::memcpy(&gb, &got[i], sizeof(double));
+    std::memcpy(&wb, &want[i], sizeof(double));
+    if (gb != wb) {
+      return ::testing::AssertionFailure()
+             << what << "[" << i << "] differs under backend " << backend
+             << ": " << got[i] << " vs scalar " << want[i];
+    }
+  }
+  return ::testing::AssertionFailure() << what << ": memcmp-only mismatch";
+}
+
+::testing::AssertionResult SameDoubleBits(double got, double want,
+                                          const char* what,
+                                          const char* backend) {
+  std::uint64_t gb = 0, wb = 0;
+  std::memcpy(&gb, &got, sizeof(double));
+  std::memcpy(&wb, &want, sizeof(double));
+  if (gb == wb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << what << " differs under backend " << backend << ": " << got
+         << " (0x" << std::hex << gb << ") vs scalar " << want << " (0x"
+         << wb << ")";
+}
+
+// The E2/E3 grid corners plus the E1 cap recipe: small-N slow, large-N
+// fast, and the N=240 headline point the paper calls out.
+const struct { int nodes; double speed; } kScenarios[] = {
+    {60, 10.0}, {120, 20.0}, {240, 10.0}, {240, 40.0}};
+
+TEST(SimdGoldenTest, MsAnalysisBitIdenticalAcrossBackends) {
+  ScopedMemoOff memo_off;
+  for (const auto& sc : kScenarios) {
+    const SystemParams params = Onr(sc.nodes, sc.speed);
+    // Scalar reference first.
+    simd::SetBackendForTest(Backend::kScalar);
+    const MsApproachResult ref = MsApproachAnalyze(params);
+    for (Backend b : RunnableBackends()) {
+      const Backend installed = simd::SetBackendForTest(b);
+      (void)installed;
+      const MsApproachResult got = MsApproachAnalyze(params);
+      const char* name = simd::BackendName(simd::ActiveBackend());
+      EXPECT_TRUE(SameBits(got.report_distribution.mass(),
+                           ref.report_distribution.mass(),
+                           "ms report_distribution", name))
+          << "N=" << sc.nodes << " v=" << sc.speed;
+      EXPECT_TRUE(SameDoubleBits(got.detection_probability,
+                                 ref.detection_probability,
+                                 "ms detection_probability", name));
+      EXPECT_TRUE(SameDoubleBits(got.total_mass, ref.total_mass,
+                                 "ms total_mass (E3 1-eta numerator)",
+                                 name));
+      EXPECT_TRUE(SameDoubleBits(got.predicted_accuracy,
+                                 ref.predicted_accuracy, "ms eta_MS", name));
+      EXPECT_EQ(got.num_states, ref.num_states);
+    }
+    simd::SetBackendForTest(Backend::kScalar);
+  }
+}
+
+TEST(SimdGoldenTest, SAnalysisBitIdenticalAcrossBackends) {
+  ScopedMemoOff memo_off;
+  for (const auto& sc : kScenarios) {
+    const SystemParams params = Onr(sc.nodes, sc.speed);
+    simd::SetBackendForTest(Backend::kScalar);
+    const SApproachResult ref = SApproachAnalyze(params);
+    for (Backend b : RunnableBackends()) {
+      simd::SetBackendForTest(b);
+      const SApproachResult got = SApproachAnalyze(params);
+      const char* name = simd::BackendName(simd::ActiveBackend());
+      EXPECT_TRUE(SameBits(got.report_distribution.mass(),
+                           ref.report_distribution.mass(),
+                           "s report_distribution", name));
+      EXPECT_TRUE(SameDoubleBits(got.detection_probability,
+                                 ref.detection_probability,
+                                 "s detection_probability", name));
+      EXPECT_TRUE(SameDoubleBits(got.predicted_accuracy,
+                                 ref.predicted_accuracy, "s eta_S", name));
+    }
+    simd::SetBackendForTest(Backend::kScalar);
+  }
+}
+
+TEST(SimdGoldenTest, E1RequiredCapsIdenticalAcrossBackends) {
+  ScopedMemoOff memo_off;
+  for (const auto& sc : kScenarios) {
+    const SystemParams params = Onr(sc.nodes, sc.speed);
+    simd::SetBackendForTest(Backend::kScalar);
+    const MsRequiredCaps ref = MsRequiredCapsFor(params, 0.99);
+    for (Backend b : RunnableBackends()) {
+      simd::SetBackendForTest(b);
+      const MsRequiredCaps got = MsRequiredCapsFor(params, 0.99);
+      EXPECT_EQ(got.gh, ref.gh)
+          << "backend " << simd::BackendName(simd::ActiveBackend());
+      EXPECT_EQ(got.g, ref.g)
+          << "backend " << simd::BackendName(simd::ActiveBackend());
+    }
+    simd::SetBackendForTest(Backend::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace sparsedet

@@ -11,9 +11,13 @@ allowed fraction (default 20%):
   * engine_batch max units_per_s    — best batch-engine config
   * optimize max candidates_per_s   — best optimizer search config
 
-Only relative regressions fail the build: CI machines are slower and
-noisier than the machines that produced the baseline, so the gate is a
-ratio against the baseline recorded in-tree, not an absolute bar.
+Relative regressions fail the build: CI machines are slower and noisier
+than the machines that produced the baseline, so the throughput gate is a
+ratio against the baseline recorded in-tree, not an absolute bar. Two
+hardware-independent *ratios* are additionally gated as absolute floors on
+the fresh artifact (see check_floors): the cold M-S solve speedup vs the
+pinned PR5 baseline (>= 5x) and, on multicore hosts, the hw-thread pool
+beating the 1-thread pool (strictly > 1x).
 
 A missing baseline, or a metric absent from the *baseline*, is a SKIP
 with a notice (exit 0), never a traceback: older baselines predate newer
@@ -114,6 +118,57 @@ METRICS = [
 ]
 
 
+def bench_field(benches, bench_name, key):
+    value = benches.get(bench_name, {}).get(key)
+    return None if value is None else float(value)
+
+
+# Absolute floors checked on the FRESH artifact only — these encode the
+# PR10 acceptance bars (SIMD kernel speedup, pool scaling), not a ratio
+# against a baseline, so they hold even when CI hardware drifts.
+#
+#   name                  key in engine_batch   floor  comparison
+#   full_ms_speedup_vs_pr5  cold solve vs the pinned PR5 ns/solve, >= 5.0
+#   hw_vs_1thread           pool scaling on multicore hosts, strictly > 1.0
+#
+# full_ms_speedup_vs_pr5 is emitted unconditionally, so its absence from a
+# fresh artifact is lost coverage (fail). hw_vs_1thread is only emitted
+# when hardware_concurrency() > 1; single-core runners legitimately omit
+# it (bench reports hw_threads), so absence there is a SKIP, not a fail.
+def check_floors(fresh):
+    failures = 0
+    speedup = bench_field(fresh, "engine_batch", "full_ms_speedup_vs_pr5")
+    if speedup is None:
+        print("  engine_batch.full_ms_speedup_vs_pr5 MISSING "
+              "(floor 5.0; bench emits it unconditionally — lost coverage)")
+        failures += 1
+    else:
+        verdict = "ok" if speedup >= 5.0 else "BELOW FLOOR"
+        print(f"  engine_batch.full_ms_speedup_vs_pr5 {speedup:12.2f}  "
+              f"(floor 5.00)  {verdict}")
+        if verdict != "ok":
+            failures += 1
+
+    scaling = bench_field(fresh, "engine_batch", "hw_vs_1thread")
+    hw_threads = bench_field(fresh, "engine_batch", "hw_threads")
+    if scaling is None:
+        if hw_threads is not None and hw_threads > 1:
+            print(f"  engine_batch.hw_vs_1thread       MISSING "
+                  f"(host reports {hw_threads:.0f} hw threads — the bench "
+                  f"should have emitted it)")
+            failures += 1
+        else:
+            print("  engine_batch.hw_vs_1thread       SKIP "
+                  "(single-core host)")
+    else:
+        verdict = "ok" if scaling > 1.0 else "BELOW FLOOR"
+        print(f"  engine_batch.hw_vs_1thread       {scaling:12.2f}  "
+              f"(floor >1.00 strict)  {verdict}")
+        if verdict != "ok":
+            failures += 1
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh", required=True,
@@ -155,9 +210,13 @@ def main():
         if verdict != "ok":
             failures += 1
 
+    print("absolute floors (fresh artifact only):")
+    failures += check_floors(fresh)
+
     if failures:
         print(f"bench-regression: {failures} metric(s) regressed more than "
-              f"{args.threshold:.0%} or went missing")
+              f"{args.threshold:.0%}, fell below an absolute floor, or "
+              f"went missing")
         return 1
     print("bench-regression: within budget")
     return 0
